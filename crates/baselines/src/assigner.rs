@@ -1,0 +1,427 @@
+//! The common assignment interface and the non-market mechanisms.
+//!
+//! An [`Assigner`] answers one question — *which in-range node(s) should
+//! run this task, and what does deciding cost?* — so that experiment T6
+//! can hold the workload, radio and executors constant while swapping the
+//! allocation mechanism.
+
+use airdnd_radio::NodeAddr;
+use airdnd_sim::{SimDuration, SimRng, SimTime};
+use airdnd_task::TaskSpec;
+use serde::{Deserialize, Serialize};
+
+/// Mechanism-agnostic view of one candidate executor (derived from the
+/// Model-1 mesh descriptor).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CandidateInfo {
+    /// Candidate address.
+    pub addr: NodeAddr,
+    /// Execution speed, gas/s.
+    pub gas_rate: u64,
+    /// Queued gas.
+    pub gas_backlog: u64,
+    /// Link quality `[0, 1]`.
+    pub link_quality: f64,
+    /// Whether the advertised catalog plausibly satisfies the task inputs.
+    pub has_data: bool,
+    /// Reputation score `[0, 1]`.
+    pub trust: f64,
+}
+
+impl CandidateInfo {
+    /// Estimated completion seconds for `gas` on this candidate.
+    pub fn eta_secs(&self, gas: u64) -> f64 {
+        if self.gas_rate == 0 {
+            return f64::INFINITY;
+        }
+        (self.gas_backlog + gas) as f64 / self.gas_rate as f64
+    }
+}
+
+/// The outcome of an assignment decision.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Assignment {
+    /// Chosen executors, best first.
+    pub executors: Vec<NodeAddr>,
+    /// Results required before the task completes (≤ `executors.len()`;
+    /// `executors.len()` for plain redundancy, `m` for coded schemes).
+    pub min_results: usize,
+    /// Protocol delay before the first offer can leave the node.
+    pub decision_latency: SimDuration,
+    /// Control-plane messages the mechanism exchanged to decide.
+    pub control_messages: u64,
+    /// Clearing price, for market mechanisms.
+    pub price: Option<f64>,
+}
+
+impl Assignment {
+    /// A direct single-executor assignment with zero overhead.
+    pub fn direct(executor: NodeAddr) -> Self {
+        Assignment {
+            executors: vec![executor],
+            min_results: 1,
+            decision_latency: SimDuration::ZERO,
+            control_messages: 0,
+            price: None,
+        }
+    }
+}
+
+/// An allocation mechanism. Returns `None` when no candidate is feasible.
+pub trait Assigner {
+    /// Mechanism name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Decides executor(s) for `task` among `candidates` at `now`.
+    fn assign(&mut self, task: &TaskSpec, candidates: &[CandidateInfo], now: SimTime) -> Option<Assignment>;
+}
+
+fn feasible(candidates: &[CandidateInfo]) -> impl Iterator<Item = &CandidateInfo> {
+    candidates.iter().filter(|c| c.has_data && c.gas_rate > 0)
+}
+
+/// Shared feasibility filter for the auction module.
+pub(crate) fn feasible_for_auction(
+    candidates: &[CandidateInfo],
+) -> impl Iterator<Item = &CandidateInfo> {
+    feasible(candidates)
+}
+
+/// AirDnD's multi-criteria selection, reduced to the mechanism-agnostic
+/// candidate view (the full-featured version lives in `airdnd-core`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScoreAssigner;
+
+impl Assigner for ScoreAssigner {
+    fn name(&self) -> &'static str {
+        "airdnd"
+    }
+
+    fn assign(&mut self, task: &TaskSpec, candidates: &[CandidateInfo], _now: SimTime) -> Option<Assignment> {
+        let deadline = task.requirements.deadline.as_secs_f64().max(1e-3);
+        let best = feasible(candidates).max_by(|a, b| {
+            let score = |c: &CandidateInfo| {
+                let compute = (1.0 - c.eta_secs(task.requirements.gas) / deadline).clamp(0.0, 1.0);
+                compute + c.link_quality + c.trust
+            };
+            score(a).partial_cmp(&score(b)).expect("finite").then(b.addr.cmp(&a.addr))
+        })?;
+        Some(Assignment::direct(best.addr))
+    }
+}
+
+/// Uniform random choice among feasible candidates.
+#[derive(Clone, Debug)]
+pub struct RandomAssigner {
+    rng: SimRng,
+}
+
+impl RandomAssigner {
+    /// Creates the assigner with its own RNG stream.
+    pub fn new(rng: SimRng) -> Self {
+        RandomAssigner { rng }
+    }
+}
+
+impl Assigner for RandomAssigner {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn assign(&mut self, _task: &TaskSpec, candidates: &[CandidateInfo], _now: SimTime) -> Option<Assignment> {
+        let pool: Vec<&CandidateInfo> = feasible(candidates).collect();
+        let idx = self.rng.index(pool.len())?;
+        Some(Assignment::direct(pool[idx].addr))
+    }
+}
+
+/// Always the lowest-ETA candidate, ignoring links and trust.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GreedyComputeAssigner;
+
+impl Assigner for GreedyComputeAssigner {
+    fn name(&self) -> &'static str {
+        "greedy-compute"
+    }
+
+    fn assign(&mut self, task: &TaskSpec, candidates: &[CandidateInfo], _now: SimTime) -> Option<Assignment> {
+        let best = feasible(candidates).min_by(|a, b| {
+            a.eta_secs(task.requirements.gas)
+                .partial_cmp(&b.eta_secs(task.requirements.gas))
+                .expect("finite")
+                .then(a.addr.cmp(&b.addr))
+        })?;
+        Some(Assignment::direct(best.addr))
+    }
+}
+
+/// Smart-contract allocation (Xu et al. [8]): a greedy match whose
+/// decision is only final after a consensus round, modelled as the chain's
+/// block interval plus per-candidate transaction gossip.
+#[derive(Clone, Copy, Debug)]
+pub struct SmartContractAssigner {
+    /// Block interval of the chain.
+    pub block_interval: SimDuration,
+}
+
+impl Default for SmartContractAssigner {
+    /// A 2-second block interval (permissioned-chain scale).
+    fn default() -> Self {
+        SmartContractAssigner { block_interval: SimDuration::from_secs(2) }
+    }
+}
+
+impl Assigner for SmartContractAssigner {
+    fn name(&self) -> &'static str {
+        "smart-contract"
+    }
+
+    fn assign(&mut self, task: &TaskSpec, candidates: &[CandidateInfo], now: SimTime) -> Option<Assignment> {
+        let mut inner = GreedyComputeAssigner;
+        let mut assignment = inner.assign(task, candidates, now)?;
+        assignment.decision_latency = self.block_interval;
+        // Bid transactions from every feasible candidate + the award tx.
+        assignment.control_messages = feasible(candidates).count() as u64 + 1;
+        Some(assignment)
+    }
+}
+
+/// `(k, m)` coded offloading (Ng et al. [9]): send to `k` executors,
+/// complete on any `m` results — trades radio and compute for tail
+/// latency and stragglers.
+#[derive(Clone, Copy, Debug)]
+pub struct CodedAssigner {
+    /// Executors to engage.
+    pub k: usize,
+    /// Results required.
+    pub m: usize,
+}
+
+impl CodedAssigner {
+    /// Creates a `(k, m)` coded assigner.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ m ≤ k`.
+    pub fn new(k: usize, m: usize) -> Self {
+        assert!(m >= 1 && m <= k, "need 1 ≤ m ≤ k");
+        CodedAssigner { k, m }
+    }
+}
+
+impl Assigner for CodedAssigner {
+    fn name(&self) -> &'static str {
+        "coded-vec"
+    }
+
+    fn assign(&mut self, task: &TaskSpec, candidates: &[CandidateInfo], _now: SimTime) -> Option<Assignment> {
+        let mut pool: Vec<&CandidateInfo> = feasible(candidates).collect();
+        if pool.len() < self.m {
+            return None;
+        }
+        pool.sort_by(|a, b| {
+            a.eta_secs(task.requirements.gas)
+                .partial_cmp(&b.eta_secs(task.requirements.gas))
+                .expect("finite")
+                .then(a.addr.cmp(&b.addr))
+        });
+        let executors: Vec<NodeAddr> = pool.iter().take(self.k).map(|c| c.addr).collect();
+        let min_results = self.m.min(executors.len());
+        Some(Assignment {
+            executors,
+            min_results,
+            decision_latency: SimDuration::ZERO,
+            control_messages: 0,
+            price: None,
+        })
+    }
+}
+
+/// The asynchrony ablation: identical selection to [`ScoreAssigner`], but
+/// decisions only leave the node at fixed round boundaries.
+#[derive(Clone, Copy, Debug)]
+pub struct SyncRoundAssigner {
+    /// Round period.
+    pub period: SimDuration,
+}
+
+impl SyncRoundAssigner {
+    /// Creates the assigner with the given round period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero.
+    pub fn new(period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "round period must be positive");
+        SyncRoundAssigner { period }
+    }
+
+    /// Delay from `now` to the next round boundary.
+    pub fn wait_until_round(&self, now: SimTime) -> SimDuration {
+        let period = self.period.as_nanos();
+        let phase = now.as_nanos() % period;
+        if phase == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(period - phase)
+        }
+    }
+}
+
+impl Assigner for SyncRoundAssigner {
+    fn name(&self) -> &'static str {
+        "sync-round"
+    }
+
+    fn assign(&mut self, task: &TaskSpec, candidates: &[CandidateInfo], now: SimTime) -> Option<Assignment> {
+        let mut assignment = ScoreAssigner.assign(task, candidates, now)?;
+        assignment.decision_latency = self.wait_until_round(now);
+        Some(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airdnd_task::{Program, ResourceRequirements, TaskId};
+
+    fn candidate(id: u64, gas_rate: u64, backlog: u64, link: f64, trust: f64) -> CandidateInfo {
+        CandidateInfo {
+            addr: NodeAddr::new(id),
+            gas_rate,
+            gas_backlog: backlog,
+            link_quality: link,
+            has_data: true,
+            trust,
+        }
+    }
+
+    fn task() -> TaskSpec {
+        TaskSpec::new(TaskId::new(1), "t", Program::new(vec![airdnd_task::Instr::Halt], 0))
+            .with_requirements(ResourceRequirements {
+                gas: 1_000_000,
+                deadline: SimDuration::from_secs(2),
+                ..Default::default()
+            })
+    }
+
+    #[test]
+    fn eta_combines_backlog_and_task() {
+        let c = candidate(1, 1_000_000, 500_000, 1.0, 0.5);
+        assert!((c.eta_secs(1_000_000) - 1.5).abs() < 1e-12);
+        let dead = CandidateInfo { gas_rate: 0, ..c };
+        assert!(dead.eta_secs(1).is_infinite());
+    }
+
+    #[test]
+    fn score_assigner_balances_criteria() {
+        // Candidate 1: fast, bad link+trust. Candidate 2: decent all round.
+        let cands = [
+            candidate(1, 10_000_000, 0, 0.1, 0.1),
+            candidate(2, 2_000_000, 0, 0.9, 0.9),
+        ];
+        let a = ScoreAssigner.assign(&task(), &cands, SimTime::ZERO).unwrap();
+        assert_eq!(a.executors, vec![NodeAddr::new(2)]);
+        assert_eq!(a.decision_latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn dataless_candidates_are_never_chosen() {
+        let mut no_data = candidate(1, 10_000_000, 0, 1.0, 1.0);
+        no_data.has_data = false;
+        assert!(ScoreAssigner.assign(&task(), &[no_data], SimTime::ZERO).is_none());
+        assert!(GreedyComputeAssigner.assign(&task(), &[no_data], SimTime::ZERO).is_none());
+        let mut random = RandomAssigner::new(SimRng::seed_from(1));
+        assert!(random.assign(&task(), &[no_data], SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn greedy_picks_lowest_eta() {
+        let cands = [
+            candidate(1, 1_000_000, 5_000_000, 1.0, 1.0), // 6 s
+            candidate(2, 1_000_000, 0, 0.1, 0.1),         // 1 s
+        ];
+        let a = GreedyComputeAssigner.assign(&task(), &cands, SimTime::ZERO).unwrap();
+        assert_eq!(a.executors, vec![NodeAddr::new(2)]);
+    }
+
+    #[test]
+    fn random_is_seed_deterministic_and_covers_pool() {
+        let cands: Vec<CandidateInfo> =
+            (1..=4).map(|i| candidate(i, 1_000_000, 0, 0.5, 0.5)).collect();
+        let run = |seed| {
+            let mut r = RandomAssigner::new(SimRng::seed_from(seed));
+            (0..50)
+                .map(|_| r.assign(&task(), &cands, SimTime::ZERO).unwrap().executors[0].raw())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        let picks = run(3);
+        for id in 1..=4u64 {
+            assert!(picks.contains(&id), "node {id} never picked");
+        }
+    }
+
+    #[test]
+    fn smart_contract_charges_block_interval() {
+        let cands = [candidate(1, 1_000_000, 0, 0.5, 0.5), candidate(2, 1_000_000, 0, 0.5, 0.5)];
+        let mut sc = SmartContractAssigner::default();
+        let a = sc.assign(&task(), &cands, SimTime::ZERO).unwrap();
+        assert_eq!(a.decision_latency, SimDuration::from_secs(2));
+        assert_eq!(a.control_messages, 3, "2 bids + 1 award");
+    }
+
+    #[test]
+    fn coded_engages_k_completes_on_m() {
+        let cands: Vec<CandidateInfo> =
+            (1..=5).map(|i| candidate(i, i * 1_000_000, 0, 0.5, 0.5)).collect();
+        let mut coded = CodedAssigner::new(3, 2);
+        let a = coded.assign(&task(), &cands, SimTime::ZERO).unwrap();
+        assert_eq!(a.executors.len(), 3);
+        assert_eq!(a.min_results, 2);
+        // Fastest first: highest gas rates.
+        assert_eq!(a.executors[0], NodeAddr::new(5));
+    }
+
+    #[test]
+    fn coded_needs_at_least_m_candidates() {
+        let cands = [candidate(1, 1_000_000, 0, 0.5, 0.5)];
+        let mut coded = CodedAssigner::new(3, 2);
+        assert!(coded.assign(&task(), &cands, SimTime::ZERO).is_none());
+        // k larger than the pool degrades gracefully to the pool size.
+        let cands: Vec<CandidateInfo> =
+            (1..=2).map(|i| candidate(i, 1_000_000, 0, 0.5, 0.5)).collect();
+        let a = coded.assign(&task(), &cands, SimTime::ZERO).unwrap();
+        assert_eq!(a.executors.len(), 2);
+        assert_eq!(a.min_results, 2);
+    }
+
+    #[test]
+    fn sync_round_waits_for_the_boundary() {
+        let assigner = SyncRoundAssigner::new(SimDuration::from_millis(500));
+        assert_eq!(assigner.wait_until_round(SimTime::ZERO), SimDuration::ZERO);
+        assert_eq!(
+            assigner.wait_until_round(SimTime::from_millis(200)),
+            SimDuration::from_millis(300)
+        );
+        assert_eq!(assigner.wait_until_round(SimTime::from_millis(500)), SimDuration::ZERO);
+        let cands = [candidate(1, 1_000_000, 0, 0.5, 0.5)];
+        let mut a = SyncRoundAssigner::new(SimDuration::from_millis(500));
+        let assignment = a.assign(&task(), &cands, SimTime::from_millis(321)).unwrap();
+        assert_eq!(assignment.decision_latency, SimDuration::from_millis(179));
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            ScoreAssigner.name(),
+            GreedyComputeAssigner.name(),
+            RandomAssigner::new(SimRng::seed_from(0)).name(),
+            SmartContractAssigner::default().name(),
+            CodedAssigner::new(2, 1).name(),
+            SyncRoundAssigner::new(SimDuration::from_secs(1)).name(),
+        ];
+        let unique: std::collections::BTreeSet<&str> = names.into_iter().collect();
+        assert_eq!(unique.len(), 6);
+    }
+}

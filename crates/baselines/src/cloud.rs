@@ -1,0 +1,117 @@
+//! The cellular cloud-offload baseline: what AirDnD argues against.
+//!
+//! A vehicle that wants remote perception without a mesh must ship its
+//! *raw sensor data* over the shared cellular uplink to a cloud region,
+//! wait for cloud compute, and download the result. The cloud is fast and
+//! always has capacity; the cost lives in the uplink serialization of
+//! megabyte frames and the core-network round trip — exactly the traffic
+//! the paper wants 5G to stop carrying.
+
+use airdnd_radio::{CellularLink, CellularParams};
+use airdnd_sim::{SimDuration, SimTime};
+
+/// One shared cloud path (cell + region).
+#[derive(Clone, Debug)]
+pub struct CloudOffload {
+    link: CellularLink,
+    cloud_gas_rate: u64,
+    tasks_served: u64,
+}
+
+impl CloudOffload {
+    /// Creates the baseline with the given cellular profile and cloud
+    /// execution speed (gas/s). The cloud is typically 10–100× faster than
+    /// a vehicle ECU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cloud_gas_rate` is zero.
+    pub fn new(params: CellularParams, cloud_gas_rate: u64) -> Self {
+        assert!(cloud_gas_rate > 0, "cloud must be able to compute");
+        CloudOffload { link: CellularLink::new(params), cloud_gas_rate, tasks_served: 0 }
+    }
+
+    /// An LTE cloud with a 100 M gas/s region.
+    pub fn lte() -> Self {
+        CloudOffload::new(CellularParams::lte(), 100_000_000)
+    }
+
+    /// A 5G cloud with a 100 M gas/s region.
+    pub fn fiveg() -> Self {
+        CloudOffload::new(CellularParams::fiveg(), 100_000_000)
+    }
+
+    /// Total bytes the cellular path has carried.
+    pub fn bytes_total(&self) -> u64 {
+        self.link.bytes_total()
+    }
+
+    /// Tasks served so far.
+    pub fn tasks_served(&self) -> u64 {
+        self.tasks_served
+    }
+
+    /// Runs one offload: upload `raw_input_bytes`, compute `gas`, download
+    /// `result_bytes`. Returns `(completion_time, wire_bytes)`.
+    ///
+    /// Concurrent calls queue on the shared uplink — twenty vehicles
+    /// pushing camera frames contend exactly like real cells do.
+    pub fn offload(
+        &mut self,
+        now: SimTime,
+        raw_input_bytes: u64,
+        gas: u64,
+        result_bytes: u64,
+    ) -> (SimTime, u64) {
+        let compute = SimDuration::from_secs_f64(gas as f64 / self.cloud_gas_rate as f64);
+        self.tasks_served += 1;
+        self.link.round_trip(now, raw_input_bytes, compute, result_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_offload_latency_decomposes() {
+        let mut cloud = CloudOffload::fiveg();
+        // 2 MB raw frame up, tiny result down, 1 M gas at 100 M gas/s.
+        let (done, bytes) = cloud.offload(SimTime::ZERO, 2_000_000, 1_000_000, 2_000);
+        // Lower bound: 2 × 12 ms latency + 2 MB / 400 Mbps = 40 ms + 24 ms.
+        assert!(done > SimTime::from_millis(60), "got {done}");
+        assert!(done < SimTime::from_millis(200), "got {done}");
+        assert!(bytes > 2_000_000);
+        assert_eq!(cloud.tasks_served(), 1);
+    }
+
+    #[test]
+    fn uplink_contention_stretches_the_tail() {
+        let mut cloud = CloudOffload::lte();
+        // Ten vehicles push 7.5 MB frames at the same instant; at 75 Mbps
+        // the tenth waits ~8 s of serialization.
+        let mut last = SimTime::ZERO;
+        for _ in 0..10 {
+            let (done, _) = cloud.offload(SimTime::ZERO, 7_500_000, 1_000_000, 2_000);
+            assert!(done >= last, "completions are FIFO on the uplink");
+            last = done;
+        }
+        assert!(last > SimTime::from_secs(7), "tail latency under contention, got {last}");
+    }
+
+    #[test]
+    fn raw_bytes_dominate_accounting() {
+        let mut cloud = CloudOffload::fiveg();
+        cloud.offload(SimTime::ZERO, 2_000_000, 1_000_000, 2_000);
+        assert!(cloud.bytes_total() > 2_000_000, "raw frame dominates");
+    }
+
+    #[test]
+    fn fiveg_beats_lte_for_the_same_offload() {
+        let mut lte = CloudOffload::lte();
+        let mut fiveg = CloudOffload::fiveg();
+        let (a, _) = lte.offload(SimTime::ZERO, 2_000_000, 1_000_000, 2_000);
+        let (b, _) = fiveg.offload(SimTime::ZERO, 2_000_000, 1_000_000, 2_000);
+        assert!(b < a);
+    }
+}

@@ -1,0 +1,37 @@
+//! # airdnd-baselines — comparators for the AirDnD orchestrator
+//!
+//! The paper positions AirDnD against the allocation mechanisms of its
+//! related work; this crate implements them behind one [`Assigner`]
+//! interface so experiment T6 can swap mechanisms under an identical
+//! workload:
+//!
+//! * [`ScoreAssigner`] — AirDnD's own multi-criteria selection (reference),
+//! * [`RandomAssigner`] / [`GreedyComputeAssigner`] — naive strawmen,
+//! * [`auction`] — a McAfee-style truthful double auction in the spirit of
+//!   DeCloud \[7\] and the coded-VEC auction \[9\] (single-task reverse
+//!   form and full batch form),
+//! * [`SmartContractAssigner`] — decentralized allocation through a
+//!   blockchain, charged a block-interval consensus delay \[8\],
+//! * [`CodedAssigner`] — `(k, m)` coded redundancy: offload to `k`, done
+//!   after any `m` results \[9\],
+//! * [`SyncRoundAssigner`] — the synchronous-round ablation of AirDnD's
+//!   asynchrony (experiment F12),
+//! * [`cloud`] — the cellular cloud-offload pipeline the paper argues
+//!   against (experiments F2/F3),
+//! * [`local`] — local-only execution and raw-data V2V sharing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assigner;
+pub mod auction;
+pub mod cloud;
+pub mod local;
+
+pub use assigner::{
+    Assignment, Assigner, CandidateInfo, CodedAssigner, GreedyComputeAssigner, RandomAssigner,
+    ScoreAssigner, SmartContractAssigner, SyncRoundAssigner,
+};
+pub use auction::{mcafee_double_auction, AuctionOutcome, DoubleAuctionAssigner};
+pub use cloud::CloudOffload;
+pub use local::{raw_sharing_completion, LocalOnly};

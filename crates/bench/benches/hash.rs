@@ -1,0 +1,23 @@
+//! SHA-256 and result-digest throughput (RQ3 verification cost).
+
+use airdnd_trust::{digest_outputs, sha256};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash");
+    for size in [64usize, 1024, 65_536] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, data| {
+            b.iter(|| sha256(black_box(data)))
+        });
+    }
+    let outputs: Vec<i64> = (0..512).map(|i| i as i64).collect();
+    group.bench_function("digest_outputs_512_words", |b| {
+        b.iter(|| digest_outputs(black_box(&outputs)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! End-to-end orchestrator-node benchmarks: the per-tick and per-offer
+//! costs a real deployment would pay.
+
+use airdnd_core::{NodeEvent, OffloadMsg, OrchestratorConfig, OrchestratorNode, WireMsg};
+use airdnd_data::{DataQuery, DataType, QualityDescriptor};
+use airdnd_geo::Vec2;
+use airdnd_mesh::MeshConfig;
+use airdnd_radio::NodeAddr;
+use airdnd_sim::{SimRng, SimTime};
+use airdnd_task::{library, ResourceRequirements, TaskId, TaskSpec};
+use airdnd_trust::PrivacyLevel;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn stocked_node(id: u64) -> OrchestratorNode {
+    let mut node = OrchestratorNode::new(
+        NodeAddr::new(id),
+        OrchestratorConfig::default(),
+        MeshConfig::default(),
+        2_000_000,
+        1 << 30,
+        SimRng::seed_from(id),
+    );
+    node.set_kinematics(Vec2::ZERO, Vec2::ZERO);
+    node.insert_data(
+        DataType::OccupancyGrid,
+        vec![0; 64],
+        QualityDescriptor::basic(SimTime::from_secs(1), 0.9, 1.0),
+    );
+    node
+}
+
+fn fuse_task(id: u64) -> TaskSpec {
+    TaskSpec::new(TaskId::new(id), "fuse", library::grid_fuse(32).into_inner())
+        .with_input(DataQuery::of_type(DataType::OccupancyGrid))
+        .with_requirements(ResourceRequirements { gas: 200_000, ..Default::default() })
+}
+
+fn bench_orchestrator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orchestrator");
+
+    let mut node = stocked_node(1);
+    let mut tick = 0u64;
+    group.bench_function("tick_idle_node", |b| {
+        b.iter(|| {
+            tick += 1;
+            node.handle(SimTime::from_millis(1_000 + tick * 100), NodeEvent::Tick)
+        })
+    });
+
+    // Executor path: admit + really execute a 32-cell fusion per offer.
+    let mut executor = stocked_node(2);
+    let requester = NodeAddr::new(3);
+    let mut n = 0u64;
+    group.bench_function("handle_offer_execute_fuse32", |b| {
+        b.iter(|| {
+            n += 1;
+            let offer = WireMsg::Offload(OffloadMsg::Offer {
+                task: Box::new(fuse_task(n)),
+                output_level: PrivacyLevel::Derived,
+            });
+            executor.handle(
+                SimTime::from_secs(2),
+                NodeEvent::Wire { from: requester, msg: black_box(offer) },
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_orchestrator);
+criterion_main!(benches);

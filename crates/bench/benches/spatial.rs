@@ -1,0 +1,39 @@
+//! Spatial-index benchmarks: the per-beacon neighbour-query cost.
+
+use airdnd_geo::{SpatialIndex, Vec2};
+use airdnd_sim::SimRng;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn points(n: usize) -> Vec<Vec2> {
+    let mut rng = SimRng::seed_from(5);
+    (0..n)
+        .map(|_| Vec2::new(rng.next_f64() * 2_000.0 - 1_000.0, rng.next_f64() * 2_000.0 - 1_000.0))
+        .collect()
+}
+
+fn bench_spatial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spatial");
+    for n in [100usize, 1_000, 10_000] {
+        let pts = points(n);
+        group.bench_with_input(BenchmarkId::new("rebuild", n), &pts, |b, pts| {
+            b.iter(|| {
+                let mut idx = SpatialIndex::new(300.0);
+                for (i, &p) in pts.iter().enumerate() {
+                    idx.insert(i as u64, p);
+                }
+                idx
+            })
+        });
+        let mut idx = SpatialIndex::new(300.0);
+        for (i, &p) in pts.iter().enumerate() {
+            idx.insert(i as u64, p);
+        }
+        group.bench_with_input(BenchmarkId::new("query_300m", n), &idx, |b, idx| {
+            b.iter(|| idx.query_range(black_box(Vec2::ZERO), 300.0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spatial);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates every table/figure in EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run -p airdnd-bench --bin run_experiments --release            # full
+//! cargo run -p airdnd-bench --bin run_experiments --release -- quick  # CI size
+//! cargo run -p airdnd-bench --bin run_experiments --release -- f2 t9  # subset
+//! ```
+//!
+//! Tables print to stdout; JSON lands in `target/experiments/`.
+
+use airdnd_bench::exp;
+use std::fs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let filter: Vec<&String> = args.iter().filter(|a| a.as_str() != "quick").collect();
+
+    let out_dir = std::path::Path::new("target/experiments");
+    fs::create_dir_all(out_dir).expect("can create target/experiments");
+
+    let started = std::time::Instant::now();
+    for (name, result) in exp::all(quick) {
+        if !filter.is_empty() && !filter.iter().any(|f| f.as_str() == name) {
+            continue;
+        }
+        println!("{}", result.table.render());
+        let path = out_dir.join(format!("{name}.json"));
+        let json = serde_json::to_string_pretty(&result).expect("results serialize");
+        fs::write(&path, json).expect("can write experiment JSON");
+        println!("  -> {}\n", path.display());
+    }
+    println!(
+        "all experiments regenerated in {:.1} s ({} mode)",
+        started.elapsed().as_secs_f64(),
+        if quick { "quick" } else { "full" }
+    );
+}

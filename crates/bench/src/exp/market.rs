@@ -1,0 +1,158 @@
+//! A synthetic allocation market: one workload, swappable mechanisms.
+//!
+//! Used by experiments T6 and F12. A pool of heterogeneous executors
+//! receives a Poisson stream of tasks; the mechanism under test picks
+//! executor(s) per task; completions follow the executors' (drained)
+//! backlogs plus the mechanism's decision latency. Everything is
+//! deterministic per seed, so mechanism rows are directly comparable.
+
+use airdnd_baselines::{Assigner, CandidateInfo};
+use airdnd_radio::NodeAddr;
+use airdnd_sim::{SimRng, SimTime};
+use airdnd_task::{Program, ResourceRequirements, TaskId, TaskSpec};
+use std::collections::BTreeMap;
+
+/// Aggregate results of one market simulation.
+#[derive(Clone, Debug)]
+pub struct MarketStats {
+    /// Fraction of tasks that received an executor.
+    pub allocated_fraction: f64,
+    /// Mean completion latency (decision + queueing + execution), seconds.
+    pub mean_completion_s: f64,
+    /// 95th-percentile completion latency, seconds.
+    pub p95_completion_s: f64,
+    /// Control-plane messages per task.
+    pub control_msgs_per_task: f64,
+    /// Jain fairness of gas assigned across executors.
+    pub fairness: f64,
+}
+
+/// Runs `n_tasks` through `mechanism` over a pool of `n_candidates`.
+pub fn market_sim(
+    mechanism: &mut dyn Assigner,
+    seed: u64,
+    n_candidates: usize,
+    n_tasks: usize,
+) -> MarketStats {
+    let mut rng = SimRng::seed_from(seed);
+    // Heterogeneous executor pool.
+    let mut gas_rates = BTreeMap::new();
+    let mut backlogs: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut assigned_gas: BTreeMap<u64, f64> = BTreeMap::new();
+    for i in 0..n_candidates {
+        let id = i as u64 + 1;
+        gas_rates.insert(id, 500_000.0 + rng.next_f64() * 3_500_000.0);
+        backlogs.insert(id, 0.0);
+        assigned_gas.insert(id, 0.0);
+    }
+    let links: BTreeMap<u64, f64> =
+        gas_rates.keys().map(|&id| (id, 0.5 + rng.next_f64() * 0.5)).collect();
+    let trusts: BTreeMap<u64, f64> =
+        gas_rates.keys().map(|&id| (id, 0.5 + rng.next_f64() * 0.45)).collect();
+
+    let mut now_s = 0.0f64;
+    let mut completions = Vec::new();
+    let mut allocated = 0usize;
+    let mut control_msgs = 0u64;
+    for t in 0..n_tasks {
+        let dt = rng.exp(0.2); // mean 200 ms between arrivals
+        now_s += dt;
+        // Backlogs drain while time passes.
+        for (id, backlog) in backlogs.iter_mut() {
+            *backlog = (*backlog - gas_rates[id] * dt).max(0.0);
+        }
+        let gas = 500_000.0 + rng.next_f64() * 1_500_000.0;
+        let task = TaskSpec::new(
+            TaskId::new(t as u64),
+            "market",
+            Program::new(vec![airdnd_task::Instr::Halt], 0),
+        )
+        .with_requirements(ResourceRequirements {
+            gas: gas as u64,
+            deadline: airdnd_sim::SimDuration::from_secs(3),
+            ..Default::default()
+        });
+        let candidates: Vec<CandidateInfo> = gas_rates
+            .iter()
+            .map(|(&id, &rate)| CandidateInfo {
+                addr: NodeAddr::new(id),
+                gas_rate: rate as u64,
+                gas_backlog: backlogs[&id] as u64,
+                link_quality: links[&id],
+                has_data: true,
+                trust: trusts[&id],
+            })
+            .collect();
+        let Some(assignment) =
+            mechanism.assign(&task, &candidates, SimTime::from_secs_f64(now_s))
+        else {
+            continue;
+        };
+        allocated += 1;
+        control_msgs += assignment.control_messages;
+        let decision_s = assignment.decision_latency.as_secs_f64();
+        // Each chosen executor queues the full task; completion is the
+        // min_results-th earliest finish.
+        let mut finishes: Vec<f64> = assignment
+            .executors
+            .iter()
+            .map(|addr| {
+                let id = addr.raw();
+                let rate = gas_rates[&id];
+                let backlog = backlogs.get_mut(&id).expect("known executor");
+                *backlog += gas;
+                *assigned_gas.get_mut(&id).expect("known executor") += gas;
+                decision_s + *backlog / rate
+            })
+            .collect();
+        finishes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let k = assignment.min_results.clamp(1, finishes.len());
+        completions.push(finishes[k - 1]);
+    }
+    let fairness_input: Vec<f64> = assigned_gas.values().copied().collect();
+    MarketStats {
+        allocated_fraction: allocated as f64 / n_tasks as f64,
+        mean_completion_s: if completions.is_empty() {
+            0.0
+        } else {
+            completions.iter().sum::<f64>() / completions.len() as f64
+        },
+        p95_completion_s: airdnd_sim::percentile(&completions, 0.95).unwrap_or(0.0),
+        control_msgs_per_task: control_msgs as f64 / n_tasks.max(1) as f64,
+        fairness: airdnd_sim::stats::jain_fairness(&fairness_input),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airdnd_baselines::{GreedyComputeAssigner, ScoreAssigner, SmartContractAssigner};
+
+    #[test]
+    fn market_is_deterministic() {
+        let a = market_sim(&mut ScoreAssigner, 5, 10, 200);
+        let b = market_sim(&mut ScoreAssigner, 5, 10, 200);
+        assert_eq!(a.mean_completion_s, b.mean_completion_s);
+        assert_eq!(a.allocated_fraction, b.allocated_fraction);
+    }
+
+    #[test]
+    fn smart_contract_pays_its_block_interval() {
+        let fast = market_sim(&mut GreedyComputeAssigner, 6, 10, 300);
+        let chained = market_sim(&mut SmartContractAssigner::default(), 6, 10, 300);
+        assert!(
+            chained.mean_completion_s > fast.mean_completion_s + 1.5,
+            "block interval must show up: {} vs {}",
+            chained.mean_completion_s,
+            fast.mean_completion_s
+        );
+    }
+
+    #[test]
+    fn greedy_beats_nothing_and_allocates_everything() {
+        let stats = market_sim(&mut GreedyComputeAssigner, 7, 10, 300);
+        assert_eq!(stats.allocated_fraction, 1.0);
+        assert!(stats.mean_completion_s > 0.0);
+        assert!(stats.fairness > 0.0 && stats.fairness <= 1.0);
+    }
+}

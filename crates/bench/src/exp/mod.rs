@@ -1,0 +1,473 @@
+//! One module per experiment in EXPERIMENTS.md.
+//!
+//! Every function takes `quick` (small, CI-sized runs) and returns an
+//! [`ExperimentResult`]. DESIGN.md §4 maps each experiment to the paper
+//! claim it tests.
+
+mod market;
+
+use crate::report::{fmt_f, fmt_opt, ExperimentResult, Table};
+use airdnd_baselines::{
+    Assigner, CodedAssigner, DoubleAuctionAssigner, GreedyComputeAssigner, RandomAssigner,
+    ScoreAssigner, SmartContractAssigner, SyncRoundAssigner,
+};
+use airdnd_core::{score_candidates, OrchestratorConfig, SelectionWeights};
+use airdnd_data::{DataCatalog, DataQuery, DataType, QualityDescriptor};
+use airdnd_geo::Vec2;
+use airdnd_mesh::{MemberDescriptor, MeshDescriptor, NodeAdvert};
+use airdnd_nfv::{NfManager, PlacementStrategy, ResourceCapacity, ServiceChain, VnfDescriptor, VnfKind};
+use airdnd_radio::NodeAddr;
+use airdnd_scenario::{run_scenario, ScenarioConfig, Strategy};
+use airdnd_sim::{SimDuration, SimRng, SimTime};
+use airdnd_task::{Program, ResourceRequirements, TaskId, TaskSpec};
+use airdnd_trust::ReputationTable;
+use serde_json::json;
+
+pub use market::market_sim;
+
+fn base(quick: bool) -> ScenarioConfig {
+    ScenarioConfig {
+        duration: if quick { SimDuration::from_secs(15) } else { SimDuration::from_secs(60) },
+        ..Default::default()
+    }
+}
+
+/// F1 — mesh formation & dissolution vs density (Model 1 dynamicity).
+pub fn f1_mesh_dynamics(quick: bool) -> ExperimentResult {
+    let mut table = Table::new(
+        "F1",
+        "mesh formation & dissolution vs fleet density",
+        &["vehicles", "formation s", "mean members", "joins/min", "leaves/min"],
+    );
+    let sweep: &[usize] = if quick { &[5, 10, 20] } else { &[5, 10, 20, 40, 60] };
+    for &n in sweep {
+        let r = run_scenario(ScenarioConfig { seed: 101, vehicles: n, ..base(quick) });
+        let minutes = r.duration_s / 60.0;
+        table.row(vec![
+            n.to_string(),
+            fmt_opt(r.mesh_formation_s),
+            fmt_f(r.mean_members),
+            fmt_f(r.joins as f64 / minutes),
+            fmt_f(r.leaves as f64 / minutes),
+        ]);
+    }
+    ExperimentResult::table_only(table)
+}
+
+/// F2 — data transferred per perception view (the minimization claim).
+pub fn f2_data_transfer(quick: bool) -> ExperimentResult {
+    let mut table = Table::new(
+        "F2",
+        "bytes per completed perception view, by strategy and fleet size",
+        &["vehicles", "strategy", "kB/view", "total MB", "done %"],
+    );
+    let sweep: &[usize] = if quick { &[8] } else { &[4, 8, 12, 16] };
+    let strategies = [Strategy::Airdnd, Strategy::Cloud { fiveg: true }, Strategy::RawSharing];
+    let mut series = Vec::new();
+    for &n in sweep {
+        for strategy in strategies {
+            let r = run_scenario(ScenarioConfig { seed: 102, vehicles: n, strategy, ..base(quick) });
+            table.row(vec![
+                n.to_string(),
+                r.strategy.clone(),
+                fmt_f(r.bytes_per_task / 1_000.0),
+                fmt_f((r.mesh_bytes + r.cellular_bytes) as f64 / 1e6),
+                fmt_f(r.completion_rate * 100.0),
+            ]);
+            series.push(json!({
+                "vehicles": n,
+                "strategy": r.strategy,
+                "bytes_per_task": r.bytes_per_task,
+            }));
+        }
+    }
+    ExperimentResult { table, series: json!(series) }
+}
+
+/// F3 — end-to-end latency CDF: mesh vs cellular cloud.
+pub fn f3_latency_cdf(quick: bool) -> ExperimentResult {
+    let mut table = Table::new(
+        "F3",
+        "task latency: AirDnD mesh vs cellular cloud",
+        &["strategy", "done %", "mean ms", "p50 ms", "p95 ms", "max ms"],
+    );
+    let strategies =
+        [Strategy::Airdnd, Strategy::Cloud { fiveg: true }, Strategy::Cloud { fiveg: false }];
+    let mut series = Vec::new();
+    for strategy in strategies {
+        let r = run_scenario(ScenarioConfig { seed: 103, vehicles: 12, strategy, ..base(quick) });
+        table.row(vec![
+            r.strategy.clone(),
+            fmt_f(r.completion_rate * 100.0),
+            fmt_f(r.latency_mean_ms),
+            fmt_f(r.latency_p50_ms),
+            fmt_f(r.latency_p95_ms),
+            fmt_f(r.latency_max_ms),
+        ]);
+        let cdf = airdnd_sim::stats::cdf_points(&r.latencies_ms, 40);
+        series.push(json!({ "strategy": r.strategy, "cdf": cdf }));
+    }
+    ExperimentResult { table, series: json!(series) }
+}
+
+/// F4 — looking-around-the-corner coverage vs cooperating vehicles.
+pub fn f4_coverage(quick: bool) -> ExperimentResult {
+    let mut table = Table::new(
+        "F4",
+        "hidden-region coverage & detection time vs fleet size",
+        &["vehicles", "strategy", "coverage %", "ego-only %", "detect s"],
+    );
+    let sweep: &[usize] = if quick { &[4, 12] } else { &[2, 4, 8, 12, 16, 24] };
+    for &n in sweep {
+        for strategy in [Strategy::Airdnd, Strategy::LocalOnly] {
+            let r = run_scenario(ScenarioConfig { seed: 104, vehicles: n, strategy, ..base(quick) });
+            table.row(vec![
+                n.to_string(),
+                r.strategy.clone(),
+                fmt_f(r.mean_coverage * 100.0),
+                fmt_f(r.ego_only_coverage * 100.0),
+                fmt_opt(r.time_to_detect_s),
+            ]);
+        }
+    }
+    ExperimentResult::table_only(table)
+}
+
+/// T5 — RQ1 ablation: which selection criteria matter.
+pub fn t5_selection_ablation(quick: bool) -> ExperimentResult {
+    let mut table = Table::new(
+        "T5",
+        "node-selection feature ablation (RQ1)",
+        &["weights", "done %", "p95 ms", "failed", "bad results"],
+    );
+    let variants: Vec<(&str, SelectionWeights)> = vec![
+        ("full", SelectionWeights::default()),
+        ("compute-only", SelectionWeights::compute_only()),
+        ("no-link", SelectionWeights { link: 0.0, ..SelectionWeights::default() }),
+        ("no-trust", SelectionWeights { trust: 0.0, ..SelectionWeights::default() }),
+        ("no-in-range", SelectionWeights { in_range: 0.0, ..SelectionWeights::default() }),
+    ];
+    let seeds: &[u64] = if quick { &[105, 205] } else { &[105, 205, 305, 405] };
+    for (name, weights) in variants {
+        let (mut done, mut p95, mut failed, mut bad, mut submitted) = (0.0, 0.0, 0u64, 0u64, 0u64);
+        for &seed in seeds {
+            let mut cfg = ScenarioConfig {
+                seed,
+                vehicles: 14,
+                byzantine_fraction: 0.2,
+                ..base(quick)
+            };
+            cfg.orch.weights = weights;
+            cfg.orch.redundancy = 1;
+            // Spot checks let reputations actually evolve, which is what
+            // the trust weight consumes.
+            cfg.orch.spot_check_probability = 0.25;
+            let r = run_scenario(cfg);
+            done += r.completion_rate;
+            p95 = f64::max(p95, r.latency_p95_ms);
+            failed += r.tasks_failed;
+            bad += r.invalid_results_accepted;
+            submitted += r.tasks_submitted;
+        }
+        let n = seeds.len() as f64;
+        table.row(vec![
+            name.to_owned(),
+            fmt_f(done / n * 100.0),
+            fmt_f(p95),
+            failed.to_string(),
+            format!("{bad} ({:.1}%)", bad as f64 / submitted.max(1) as f64 * 100.0),
+        ]);
+    }
+    ExperimentResult::table_only(table)
+}
+
+/// T6 — allocation-mechanism comparison on an identical synthetic market.
+pub fn t6_allocators(quick: bool) -> ExperimentResult {
+    let mut table = Table::new(
+        "T6",
+        "allocator comparison (identical workload)",
+        &["mechanism", "alloc %", "mean s", "p95 s", "ctrl msgs/task", "fairness"],
+    );
+    let tasks = if quick { 300 } else { 2000 };
+    let mut mechanisms: Vec<Box<dyn Assigner>> = vec![
+        Box::new(ScoreAssigner),
+        Box::new(GreedyComputeAssigner),
+        Box::new(RandomAssigner::new(SimRng::seed_from(61))),
+        Box::new(DoubleAuctionAssigner::default()),
+        Box::new(SmartContractAssigner::default()),
+        Box::new(CodedAssigner::new(3, 2)),
+    ];
+    for mechanism in &mut mechanisms {
+        let stats = market_sim(mechanism.as_mut(), 106, 20, tasks);
+        table.row(vec![
+            mechanism.name().to_owned(),
+            fmt_f(stats.allocated_fraction * 100.0),
+            fmt_f(stats.mean_completion_s),
+            fmt_f(stats.p95_completion_s),
+            fmt_f(stats.control_msgs_per_task),
+            fmt_f(stats.fairness),
+        ]);
+    }
+    ExperimentResult::table_only(table)
+}
+
+/// F7 — churn resilience: completion vs vehicle speed.
+pub fn f7_churn(quick: bool) -> ExperimentResult {
+    let mut table = Table::new(
+        "F7",
+        "task completion under mobility-driven churn",
+        &["speed m/s", "churn/min", "done %", "p95 ms", "offers/task"],
+    );
+    let sweep: &[f64] = if quick { &[8.0, 20.0] } else { &[5.0, 10.0, 15.0, 20.0, 25.0] };
+    for &speed in sweep {
+        let r = run_scenario(ScenarioConfig {
+            seed: 107,
+            vehicles: 12,
+            speed_limit: speed,
+            ..base(quick)
+        });
+        let minutes = r.duration_s / 60.0;
+        table.row(vec![
+            fmt_f(speed),
+            fmt_f((r.joins + r.leaves) as f64 / minutes),
+            fmt_f(r.completion_rate * 100.0),
+            fmt_f(r.latency_p95_ms),
+            fmt_f(r.offers_sent as f64 / r.tasks_submitted.max(1) as f64),
+        ]);
+    }
+    ExperimentResult::table_only(table)
+}
+
+/// F8 — excess-resource utilization vs offered load (the Airbnb claim).
+pub fn f8_utilization(quick: bool) -> ExperimentResult {
+    let mut table = Table::new(
+        "F8",
+        "helper-ECU utilization vs offered load",
+        &["task period ms", "done %", "helper util %", "p95 ms"],
+    );
+    let sweep: &[u32] = if quick { &[10, 3] } else { &[20, 10, 5, 3, 2] };
+    for &every in sweep {
+        let r = run_scenario(ScenarioConfig {
+            seed: 108,
+            vehicles: 10,
+            task_every_ticks: every,
+            task_compute_rounds: 600,
+            ..base(quick)
+        });
+        table.row(vec![
+            (every as u64 * 100).to_string(),
+            fmt_f(r.completion_rate * 100.0),
+            fmt_f(r.mean_executor_utilization * 100.0),
+            fmt_f(r.latency_p95_ms),
+        ]);
+    }
+    ExperimentResult::table_only(table)
+}
+
+/// T9 — RQ3: integrity under byzantine executors.
+pub fn t9_trust(quick: bool) -> ExperimentResult {
+    let mut table = Table::new(
+        "T9",
+        "byzantine tolerance: redundancy + reputation (RQ3)",
+        &["byz %", "redundancy", "done %", "bad accepted", "p95 ms"],
+    );
+    let fractions: &[f64] = if quick { &[0.0, 0.3] } else { &[0.0, 0.1, 0.2, 0.3, 0.4] };
+    let seeds: &[u64] = if quick { &[109, 209] } else { &[109, 209, 309, 409] };
+    for &frac in fractions {
+        for redundancy in [1usize, 3] {
+            let (mut done, mut p95, mut bad, mut submitted) = (0.0, 0.0f64, 0u64, 0u64);
+            for &seed in seeds {
+                let mut cfg = ScenarioConfig {
+                    seed,
+                    vehicles: 14,
+                    byzantine_fraction: frac,
+                    ..base(quick)
+                };
+                cfg.orch.redundancy = redundancy;
+                cfg.orch.max_candidates = redundancy + 2;
+                let r = run_scenario(cfg);
+                done += r.completion_rate;
+                p95 = f64::max(p95, r.latency_p95_ms);
+                bad += r.invalid_results_accepted;
+                submitted += r.tasks_submitted;
+            }
+            let n = seeds.len() as f64;
+            table.row(vec![
+                fmt_f(frac * 100.0),
+                redundancy.to_string(),
+                fmt_f(done / n * 100.0),
+                format!("{bad} ({:.1}%)", bad as f64 / submitted.max(1) as f64 * 100.0),
+                fmt_f(p95),
+            ]);
+        }
+    }
+    ExperimentResult::table_only(table)
+}
+
+fn synthetic_mesh(n: usize, now: SimTime) -> MeshDescriptor {
+    let mut rng = SimRng::seed_from(77);
+    let members = (0..n)
+        .map(|i| {
+            let mut catalog = DataCatalog::new(4);
+            catalog.insert(DataType::OccupancyGrid, 800, QualityDescriptor::basic(now, 0.9, 1.0));
+            MemberDescriptor {
+                addr: NodeAddr::new(i as u64 + 10),
+                pos: Vec2::new(rng.next_f64() * 400.0 - 200.0, rng.next_f64() * 400.0 - 200.0),
+                velocity: Vec2::new(rng.next_f64() * 20.0 - 10.0, 0.0),
+                link_quality: 0.5 + rng.next_f64() * 0.5,
+                advert: NodeAdvert {
+                    gas_rate: 500_000 + (rng.next_f64() * 3_500_000.0) as u64,
+                    gas_backlog: (rng.next_f64() * 2_000_000.0) as u64,
+                    mem_free_bytes: 1 << 30,
+                    accepting: true,
+                    catalog: catalog.summarize(),
+                },
+                info_age: SimDuration::from_millis(100),
+            }
+        })
+        .collect();
+    MeshDescriptor {
+        generated_at: now,
+        local: NodeAddr::new(1),
+        local_pos: Vec2::ZERO,
+        members,
+        churn_per_sec: 0.5,
+    }
+}
+
+/// F10 — orchestrator scalability: selection cost vs mesh size.
+pub fn f10_scalability(quick: bool) -> ExperimentResult {
+    let mut table = Table::new(
+        "F10",
+        "node-selection cost vs mesh size (wall clock)",
+        &["members", "µs/decision", "candidates ranked"],
+    );
+    let sweep: &[usize] = if quick { &[10, 100] } else { &[10, 50, 100, 250, 500] };
+    let now = SimTime::from_secs(1);
+    let task = TaskSpec::new(TaskId::new(1), "t", Program::new(vec![airdnd_task::Instr::Halt], 0))
+        .with_input(DataQuery::of_type(DataType::OccupancyGrid))
+        .with_requirements(ResourceRequirements { gas: 1_000_000, ..Default::default() });
+    let trust = ReputationTable::default();
+    let cfg = OrchestratorConfig::default();
+    for &n in sweep {
+        let mesh = synthetic_mesh(n, now);
+        let iterations = if quick { 200 } else { 1000 };
+        let start = std::time::Instant::now();
+        let mut ranked_total = 0usize;
+        for _ in 0..iterations {
+            let scores = score_candidates(&task, &mesh, Vec2::ZERO, &trust, &cfg, now);
+            ranked_total += scores.len();
+        }
+        let micros = start.elapsed().as_micros() as f64 / iterations as f64;
+        table.row(vec![
+            n.to_string(),
+            fmt_f(micros),
+            fmt_f(ranked_total as f64 / iterations as f64),
+        ]);
+    }
+    ExperimentResult::table_only(table)
+}
+
+/// T11 — NFV chain survival under node departures.
+pub fn t11_nfv(quick: bool) -> ExperimentResult {
+    let mut table = Table::new(
+        "T11",
+        "VNF migration & chain availability under churn",
+        &["departure %/round", "migrations ok", "vnfs lost", "availability %"],
+    );
+    let rounds = if quick { 50 } else { 300 };
+    let sweep: &[f64] = if quick { &[0.05, 0.2] } else { &[0.02, 0.05, 0.1, 0.2, 0.3] };
+    for &p in sweep {
+        let mut rng = SimRng::seed_from(111);
+        let mut manager = NfManager::new(PlacementStrategy::BestFit);
+        let mut next_node = 0u64;
+        for _ in 0..12 {
+            manager.register_node(next_node, ResourceCapacity::new(1_000, 1 << 30, 2_000_000));
+            next_node += 1;
+        }
+        let chain = ServiceChain::new(
+            "perception",
+            vec![
+                VnfDescriptor::of_kind("fw", VnfKind::Firewall),
+                VnfDescriptor::of_kind("agg", VnfKind::Aggregator),
+                VnfDescriptor::of_kind("fuse", VnfKind::PerceptionFuser),
+            ],
+        );
+        let chain_id = manager.deploy_chain(&chain, SimTime::ZERO).expect("initial placement fits");
+        let mut lost_total = 0usize;
+        for round in 1..=rounds {
+            let now = SimTime::from_secs(round as u64);
+            // Random departures + one arrival to keep density stable.
+            let hosts: Vec<u64> = manager.instances().map(|i| i.host).collect();
+            for host in hosts {
+                if rng.chance(p) {
+                    let orphans = manager.node_departed(host);
+                    let (_, lost) = manager.heal(&orphans, now);
+                    lost_total += lost.len();
+                }
+            }
+            manager.register_node(next_node, ResourceCapacity::new(1_000, 1 << 30, 2_000_000));
+            next_node += 1;
+            manager.refresh_chain_status(now);
+        }
+        let (ok, _failed) = manager.migration_counts();
+        let availability = manager
+            .chain_status(chain_id)
+            .map_or(0.0, |s| s.availability(SimTime::from_secs(rounds as u64)));
+        table.row(vec![
+            fmt_f(p * 100.0),
+            ok.to_string(),
+            lost_total.to_string(),
+            fmt_f(availability * 100.0),
+        ]);
+    }
+    ExperimentResult::table_only(table)
+}
+
+/// F12 — the asynchrony ablation: async vs synchronous rounds.
+pub fn f12_async_ablation(quick: bool) -> ExperimentResult {
+    let mut table = Table::new(
+        "F12",
+        "asynchronous orchestration vs synchronous rounds",
+        &["mode", "alloc %", "mean s", "p95 s"],
+    );
+    let tasks = if quick { 300 } else { 2000 };
+    let mut modes: Vec<(String, Box<dyn Assigner>)> = vec![
+        ("async (airdnd)".to_owned(), Box::new(ScoreAssigner)),
+    ];
+    let periods: &[u64] = if quick { &[250, 1000] } else { &[100, 250, 500, 1000] };
+    for &ms in periods {
+        modes.push((
+            format!("sync {ms} ms"),
+            Box::new(SyncRoundAssigner::new(SimDuration::from_millis(ms))),
+        ));
+    }
+    for (label, mechanism) in &mut modes {
+        let stats = market_sim(mechanism.as_mut(), 112, 20, tasks);
+        table.row(vec![
+            label.clone(),
+            fmt_f(stats.allocated_fraction * 100.0),
+            fmt_f(stats.mean_completion_s),
+            fmt_f(stats.p95_completion_s),
+        ]);
+    }
+    ExperimentResult::table_only(table)
+}
+
+/// Every experiment, in EXPERIMENTS.md order.
+pub fn all(quick: bool) -> Vec<(&'static str, ExperimentResult)> {
+    vec![
+        ("f1", f1_mesh_dynamics(quick)),
+        ("f2", f2_data_transfer(quick)),
+        ("f3", f3_latency_cdf(quick)),
+        ("f4", f4_coverage(quick)),
+        ("t5", t5_selection_ablation(quick)),
+        ("t6", t6_allocators(quick)),
+        ("f7", f7_churn(quick)),
+        ("f8", f8_utilization(quick)),
+        ("t9", t9_trust(quick)),
+        ("f10", f10_scalability(quick)),
+        ("t11", t11_nfv(quick)),
+        ("f12", f12_async_ablation(quick)),
+    ]
+}

@@ -1,0 +1,18 @@
+//! # airdnd-bench — the experiment harness
+//!
+//! One module per table/figure in `EXPERIMENTS.md`; the
+//! `run_experiments` binary executes them all, prints the tables and
+//! writes machine-readable JSON to `target/experiments/`.
+//!
+//! The paper is a vision paper with no quantitative evaluation of its own,
+//! so each experiment here regenerates a *constructed* figure derived from
+//! an explicit claim or research question (see DESIGN.md §4 for the
+//! mapping). Experiments run in two sizes: `quick` (seconds, CI-friendly)
+//! and `full` (the numbers recorded in EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+
+pub mod exp;
+pub mod report;
+
+pub use report::{ExperimentResult, Table};

@@ -1,0 +1,114 @@
+//! Orchestrator configuration: selection weights and protocol timing.
+
+use airdnd_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Weights of the RQ1 node-selection criteria. Each component scores in
+/// `[0, 1]`; the total is the weighted mean of the non-zero-weight
+/// components. Zeroing a weight removes the criterion — that is exactly
+/// what experiment T5 ablates.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SelectionWeights {
+    /// Compute headroom vs. the task deadline.
+    pub compute: f64,
+    /// Radio link quality.
+    pub link: f64,
+    /// Data-quality match (Model 3).
+    pub data: f64,
+    /// Reputation score (RQ3).
+    pub trust: f64,
+    /// Predicted time the candidate stays in range.
+    pub in_range: f64,
+}
+
+impl Default for SelectionWeights {
+    /// The full AirDnD blend.
+    fn default() -> Self {
+        SelectionWeights { compute: 1.0, link: 0.8, data: 1.0, trust: 0.6, in_range: 0.8 }
+    }
+}
+
+impl SelectionWeights {
+    /// Compute only — the naive "fastest node wins" policy.
+    pub fn compute_only() -> Self {
+        SelectionWeights { compute: 1.0, link: 0.0, data: 0.0, trust: 0.0, in_range: 0.0 }
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> f64 {
+        self.compute + self.link + self.data + self.trust + self.in_range
+    }
+}
+
+/// Tuning of the orchestrator node.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OrchestratorConfig {
+    /// Selection weights (RQ1).
+    pub weights: SelectionWeights,
+    /// Radio range assumed for in-range prediction, metres.
+    pub assumed_range_m: f64,
+    /// How long to wait for an offer response before trying the next
+    /// candidate.
+    pub offer_timeout: SimDuration,
+    /// How long past the accepted ETA to wait for a result.
+    pub result_grace: SimDuration,
+    /// Maximum distinct candidates tried per task.
+    pub max_candidates: usize,
+    /// Number of executors per task (>1 enables digest voting, RQ3).
+    pub redundancy: usize,
+    /// Minimum selection score a candidate must reach to be offered work.
+    pub min_score: f64,
+    /// Maximum backlog an executor may accumulate, as a multiple of the
+    /// task deadline, before it declines.
+    pub max_backlog_factor: f64,
+    /// Probability of spot-checking an accepted result by local
+    /// re-execution (0 disables).
+    pub spot_check_probability: f64,
+    /// Reputation threshold below which candidates are skipped entirely.
+    pub trust_floor: f64,
+}
+
+impl Default for OrchestratorConfig {
+    fn default() -> Self {
+        OrchestratorConfig {
+            weights: SelectionWeights::default(),
+            assumed_range_m: 300.0,
+            offer_timeout: SimDuration::from_millis(200),
+            result_grace: SimDuration::from_millis(500),
+            max_candidates: 4,
+            redundancy: 1,
+            min_score: 0.05,
+            max_backlog_factor: 2.0,
+            spot_check_probability: 0.0,
+            trust_floor: 0.2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_weights_enable_everything() {
+        let w = SelectionWeights::default();
+        assert!(w.compute > 0.0 && w.link > 0.0 && w.data > 0.0 && w.trust > 0.0 && w.in_range > 0.0);
+        assert!(w.total() > 0.0);
+    }
+
+    #[test]
+    fn compute_only_disables_the_rest() {
+        let w = SelectionWeights::compute_only();
+        assert_eq!(w.total(), 1.0);
+        assert_eq!(w.link + w.data + w.trust + w.in_range, 0.0);
+    }
+
+    #[test]
+    fn default_config_is_consistent() {
+        let c = OrchestratorConfig::default();
+        assert!(c.redundancy >= 1);
+        assert!(c.max_candidates >= c.redundancy);
+        assert!(c.offer_timeout > SimDuration::ZERO);
+        assert!((0.0..=1.0).contains(&c.spot_check_probability));
+    }
+}

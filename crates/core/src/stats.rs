@@ -1,0 +1,148 @@
+//! Orchestration statistics: what the experiments measure.
+
+use crate::protocol::{FailReason, TaskOutcome};
+use airdnd_sim::{OnlineStats, SimTime};
+use airdnd_task::TaskId;
+use serde::{Deserialize, Serialize};
+
+/// Timeline of one offloaded task (diagnostics and experiment output).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SessionRecord {
+    /// The task.
+    pub task: TaskId,
+    /// Submission time.
+    pub submitted_at: SimTime,
+    /// Terminal time, once finished.
+    pub finished_at: Option<SimTime>,
+    /// `true` if completed (vs failed).
+    pub completed: Option<bool>,
+    /// Offers transmitted for this task.
+    pub offers_sent: u32,
+}
+
+/// Aggregate counters for one orchestrator node.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct OrchestratorStats {
+    /// Tasks submitted locally.
+    pub submitted: u64,
+    /// Tasks that completed with a result.
+    pub completed: u64,
+    /// Tasks that completed with a redundancy-verified result.
+    pub verified: u64,
+    /// Tasks that failed, by reason.
+    pub failed_no_candidates: u64,
+    /// Failures: every candidate declined/timed out.
+    pub failed_all_declined: u64,
+    /// Failures: deadline expired.
+    pub failed_deadline: u64,
+    /// Failures: redundant results disagreed.
+    pub failed_verification: u64,
+    /// Completion latency distribution (seconds).
+    pub latency: OnlineStats,
+    /// Offers sent (requester side).
+    pub offers_sent: u64,
+    /// Offers accepted (executor side).
+    pub offers_accepted: u64,
+    /// Offers declined (executor side).
+    pub offers_declined: u64,
+    /// Results returned (executor side).
+    pub results_returned: u64,
+}
+
+impl OrchestratorStats {
+    /// Total failed tasks.
+    pub fn failed(&self) -> u64 {
+        self.failed_no_candidates
+            + self.failed_all_declined
+            + self.failed_deadline
+            + self.failed_verification
+    }
+
+    /// Completion rate in `[0, 1]` (1.0 when nothing was submitted).
+    pub fn completion_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            return 1.0;
+        }
+        self.completed as f64 / self.submitted as f64
+    }
+
+    /// Records a terminal outcome.
+    pub fn record_outcome(&mut self, outcome: &TaskOutcome) {
+        match outcome {
+            TaskOutcome::Completed { latency, verified, .. } => {
+                self.completed += 1;
+                if *verified {
+                    self.verified += 1;
+                }
+                self.latency.push(latency.as_secs_f64());
+            }
+            TaskOutcome::Failed { reason } => match reason {
+                FailReason::NoCandidates => self.failed_no_candidates += 1,
+                FailReason::AllDeclined => self.failed_all_declined += 1,
+                FailReason::DeadlineExpired => self.failed_deadline += 1,
+                FailReason::VerificationFailed => self.failed_verification += 1,
+            },
+        }
+    }
+
+    /// Merges another node's counters (for fleet-wide totals).
+    pub fn merge(&mut self, other: &OrchestratorStats) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.verified += other.verified;
+        self.failed_no_candidates += other.failed_no_candidates;
+        self.failed_all_declined += other.failed_all_declined;
+        self.failed_deadline += other.failed_deadline;
+        self.failed_verification += other.failed_verification;
+        self.latency.merge(&other.latency);
+        self.offers_sent += other.offers_sent;
+        self.offers_accepted += other.offers_accepted;
+        self.offers_declined += other.offers_declined;
+        self.results_returned += other.results_returned;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airdnd_radio::NodeAddr;
+    use airdnd_sim::SimDuration;
+
+    #[test]
+    fn outcome_recording() {
+        let mut s = OrchestratorStats::default();
+        s.submitted = 3;
+        s.record_outcome(&TaskOutcome::Completed {
+            outputs: vec![],
+            executors: vec![NodeAddr::new(1)],
+            latency: SimDuration::from_millis(100),
+            verified: true,
+        });
+        s.record_outcome(&TaskOutcome::Failed { reason: FailReason::DeadlineExpired });
+        s.record_outcome(&TaskOutcome::Failed { reason: FailReason::AllDeclined });
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.verified, 1);
+        assert_eq!(s.failed(), 2);
+        assert!((s.completion_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.latency.count(), 1);
+    }
+
+    #[test]
+    fn empty_stats_rate_is_one() {
+        let s = OrchestratorStats::default();
+        assert_eq!(s.completion_rate(), 1.0);
+        assert_eq!(s.failed(), 0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = OrchestratorStats { submitted: 2, completed: 1, ..Default::default() };
+        a.latency.push(0.5);
+        let mut b = OrchestratorStats { submitted: 3, completed: 3, ..Default::default() };
+        b.latency.push(0.1);
+        a.merge(&b);
+        assert_eq!(a.submitted, 5);
+        assert_eq!(a.completed, 4);
+        assert_eq!(a.latency.count(), 2);
+    }
+}

@@ -1,0 +1,264 @@
+//! Quality descriptors and graded requirement matching.
+//!
+//! A [`QualityDescriptor`] travels with every advertised data item; a
+//! [`QualityRequirement`] travels with every task input. Matching is
+//! *graded*: beyond the hard pass/fail test, [`QualityRequirement::score`]
+//! returns how comfortably an item clears the bar, which the RQ1 node
+//! selector blends with link quality, compute headroom and trust.
+
+use airdnd_geo::Aabb;
+use airdnd_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Quality attributes of a concrete data item.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QualityDescriptor {
+    /// When the data was produced.
+    pub produced_at: SimTime,
+    /// Producer's confidence in the content, `[0, 1]`.
+    pub confidence: f64,
+    /// Spatial resolution in cells (or detections) per metre.
+    pub resolution: f64,
+    /// The region the data covers, if spatial.
+    pub coverage: Option<Aabb>,
+    /// Estimated noise standard deviation (sensor-specific units).
+    pub noise_sigma: f64,
+}
+
+impl QualityDescriptor {
+    /// A descriptor produced "now" with the given confidence and
+    /// resolution, no spatial extent and zero noise.
+    pub fn basic(produced_at: SimTime, confidence: f64, resolution: f64) -> Self {
+        QualityDescriptor { produced_at, confidence, resolution, coverage: None, noise_sigma: 0.0 }
+    }
+
+    /// Age of the data at `now`.
+    pub fn age(&self, now: SimTime) -> SimDuration {
+        now.saturating_since(self.produced_at)
+    }
+}
+
+/// Minimum quality a task input demands.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QualityRequirement {
+    /// Maximum acceptable age.
+    pub max_age: SimDuration,
+    /// Minimum confidence, `[0, 1]`.
+    pub min_confidence: f64,
+    /// Minimum resolution, cells per metre.
+    pub min_resolution: f64,
+    /// Region the data must cover (at least [`QualityRequirement::min_coverage_fraction`] of it).
+    pub required_region: Option<Aabb>,
+    /// Fraction of `required_region` that must be covered, `[0, 1]`.
+    pub min_coverage_fraction: f64,
+    /// Maximum acceptable noise sigma.
+    pub max_noise_sigma: f64,
+}
+
+impl Default for QualityRequirement {
+    /// Permissive: anything younger than 10 s with any confidence.
+    fn default() -> Self {
+        QualityRequirement {
+            max_age: SimDuration::from_secs(10),
+            min_confidence: 0.0,
+            min_resolution: 0.0,
+            required_region: None,
+            min_coverage_fraction: 1.0,
+            max_noise_sigma: f64::INFINITY,
+        }
+    }
+}
+
+/// Fraction of `required` covered by `offered` (by area).
+fn coverage_fraction(required: &Aabb, offered: Option<&Aabb>) -> f64 {
+    let Some(offered) = offered else { return 0.0 };
+    if required.area() <= 0.0 {
+        // A degenerate (point/line) requirement is covered iff it intersects.
+        return if required.intersects(offered) { 1.0 } else { 0.0 };
+    }
+    if !required.intersects(offered) {
+        return 0.0;
+    }
+    let min = required.min().max(offered.min());
+    let max = required.max().min(offered.max());
+    let inter = Aabb::new(min, max);
+    (inter.area() / required.area()).clamp(0.0, 1.0)
+}
+
+impl QualityRequirement {
+    /// Hard pass/fail: `true` if `desc` satisfies every bound at `now`.
+    pub fn is_satisfied_by(&self, desc: &QualityDescriptor, now: SimTime) -> bool {
+        if desc.age(now) > self.max_age {
+            return false;
+        }
+        if desc.confidence < self.min_confidence {
+            return false;
+        }
+        if desc.resolution < self.min_resolution {
+            return false;
+        }
+        if desc.noise_sigma > self.max_noise_sigma {
+            return false;
+        }
+        if let Some(region) = &self.required_region {
+            if coverage_fraction(region, desc.coverage.as_ref()) + 1e-12 < self.min_coverage_fraction {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Graded score in `[0, 1]`: 0 if the requirement fails, otherwise the
+    /// geometric mean of per-attribute headroom (freshness, confidence,
+    /// resolution margin, coverage). Fresher, higher-confidence,
+    /// better-covering data scores higher.
+    pub fn score(&self, desc: &QualityDescriptor, now: SimTime) -> f64 {
+        if !self.is_satisfied_by(desc, now) {
+            return 0.0;
+        }
+        let freshness = if self.max_age.is_zero() {
+            1.0
+        } else {
+            1.0 - (desc.age(now).as_secs_f64() / self.max_age.as_secs_f64()).clamp(0.0, 1.0)
+        };
+        let confidence = desc.confidence.clamp(0.0, 1.0);
+        let resolution = if self.min_resolution > 0.0 {
+            (desc.resolution / (2.0 * self.min_resolution)).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let coverage = match &self.required_region {
+            Some(region) => coverage_fraction(region, desc.coverage.as_ref()),
+            None => 1.0,
+        };
+        let product: f64 = freshness * confidence * resolution * coverage;
+        product.powf(0.25)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airdnd_geo::Vec2;
+
+    fn fresh(now: SimTime) -> QualityDescriptor {
+        QualityDescriptor {
+            produced_at: now,
+            confidence: 0.9,
+            resolution: 4.0,
+            coverage: Some(Aabb::from_center_size(Vec2::ZERO, 100.0, 100.0)),
+            noise_sigma: 0.1,
+        }
+    }
+
+    #[test]
+    fn age_gate() {
+        let now = SimTime::from_secs(100);
+        let req = QualityRequirement { max_age: SimDuration::from_secs(2), ..Default::default() };
+        let mut d = fresh(SimTime::from_secs(99));
+        assert!(req.is_satisfied_by(&d, now));
+        d.produced_at = SimTime::from_secs(97);
+        assert!(!req.is_satisfied_by(&d, now), "3 s old vs 2 s bound");
+    }
+
+    #[test]
+    fn confidence_resolution_noise_gates() {
+        let now = SimTime::ZERO;
+        let d = fresh(now);
+        let mut req = QualityRequirement { min_confidence: 0.95, ..Default::default() };
+        assert!(!req.is_satisfied_by(&d, now));
+        req = QualityRequirement { min_resolution: 8.0, ..Default::default() };
+        assert!(!req.is_satisfied_by(&d, now));
+        req = QualityRequirement { max_noise_sigma: 0.05, ..Default::default() };
+        assert!(!req.is_satisfied_by(&d, now));
+        assert!(QualityRequirement::default().is_satisfied_by(&d, now));
+    }
+
+    #[test]
+    fn coverage_gate_full_and_partial() {
+        let now = SimTime::ZERO;
+        let d = fresh(now); // covers 100×100 around origin
+        let inside = Aabb::from_center_size(Vec2::ZERO, 20.0, 20.0);
+        let half_out = Aabb::new(Vec2::new(0.0, -10.0), Vec2::new(100.0, 10.0));
+        let outside = Aabb::from_center_size(Vec2::new(500.0, 0.0), 10.0, 10.0);
+
+        let strict = QualityRequirement {
+            required_region: Some(inside),
+            min_coverage_fraction: 1.0,
+            ..Default::default()
+        };
+        assert!(strict.is_satisfied_by(&d, now));
+
+        let strict_half = QualityRequirement {
+            required_region: Some(half_out),
+            min_coverage_fraction: 1.0,
+            ..Default::default()
+        };
+        assert!(!strict_half.is_satisfied_by(&d, now), "only half the region is covered");
+
+        let lenient_half = QualityRequirement {
+            required_region: Some(half_out),
+            min_coverage_fraction: 0.4,
+            ..Default::default()
+        };
+        assert!(lenient_half.is_satisfied_by(&d, now));
+
+        let impossible = QualityRequirement {
+            required_region: Some(outside),
+            min_coverage_fraction: 0.01,
+            ..Default::default()
+        };
+        assert!(!impossible.is_satisfied_by(&d, now));
+    }
+
+    #[test]
+    fn missing_coverage_fails_spatial_requirements() {
+        let now = SimTime::ZERO;
+        let mut d = fresh(now);
+        d.coverage = None;
+        let req = QualityRequirement {
+            required_region: Some(Aabb::from_center_size(Vec2::ZERO, 1.0, 1.0)),
+            min_coverage_fraction: 0.1,
+            ..Default::default()
+        };
+        assert!(!req.is_satisfied_by(&d, now));
+    }
+
+    #[test]
+    fn score_zero_on_failure_and_graded_on_pass() {
+        let now = SimTime::from_secs(10);
+        let req = QualityRequirement { max_age: SimDuration::from_secs(4), ..Default::default() };
+        let stale = QualityDescriptor::basic(SimTime::ZERO, 0.9, 1.0);
+        assert_eq!(req.score(&stale, now), 0.0);
+
+        let newer = QualityDescriptor::basic(SimTime::from_secs(9), 0.9, 1.0);
+        let older = QualityDescriptor::basic(SimTime::from_secs(7), 0.9, 1.0);
+        let s_new = req.score(&newer, now);
+        let s_old = req.score(&older, now);
+        assert!(s_new > s_old, "fresher data must score higher: {s_new} vs {s_old}");
+        assert!((0.0..=1.0).contains(&s_new));
+    }
+
+    #[test]
+    fn score_rewards_confidence() {
+        let now = SimTime::ZERO;
+        let req = QualityRequirement::default();
+        let hi = QualityDescriptor::basic(now, 0.95, 1.0);
+        let lo = QualityDescriptor::basic(now, 0.5, 1.0);
+        assert!(req.score(&hi, now) > req.score(&lo, now));
+    }
+
+    #[test]
+    fn degenerate_required_region() {
+        let now = SimTime::ZERO;
+        let d = fresh(now);
+        // Zero-area region inside coverage: treated as intersect test.
+        let point = Aabb::new(Vec2::new(1.0, 1.0), Vec2::new(1.0, 1.0));
+        let req = QualityRequirement {
+            required_region: Some(point),
+            min_coverage_fraction: 1.0,
+            ..Default::default()
+        };
+        assert!(req.is_satisfied_by(&d, now));
+    }
+}

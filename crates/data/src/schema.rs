@@ -1,0 +1,139 @@
+//! Data types: what a piece of edge data *is*, and how big it tends to be.
+//!
+//! The size model matters: the paper's core claim is that exchanging
+//! *tasks and results* (kilobytes) beats exchanging *raw sensor data*
+//! (megabytes). The typical sizes here parameterize every data-transfer
+//! experiment (F2).
+
+use crate::quality::QualityRequirement;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The physical sensor that produced a raw frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SensorModality {
+    /// RGB camera.
+    Camera,
+    /// Spinning or solid-state lidar.
+    Lidar,
+    /// Automotive radar.
+    Radar,
+    /// Positioning receiver.
+    Gnss,
+}
+
+impl fmt::Display for SensorModality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SensorModality::Camera => "camera",
+            SensorModality::Lidar => "lidar",
+            SensorModality::Radar => "radar",
+            SensorModality::Gnss => "gnss",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The semantic type of a data item, ordered roughly by processing stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// An unprocessed sensor frame.
+    RawFrame(SensorModality),
+    /// A list of detected objects (class, position, confidence).
+    DetectionList,
+    /// A rasterized occupancy grid around the producing vehicle.
+    OccupancyGrid,
+    /// Tracked objects with velocity estimates.
+    TrackList,
+    /// A fused multi-source perception summary.
+    FusedPerception,
+}
+
+impl DataType {
+    /// Typical serialized size in bytes, used when generating workloads.
+    ///
+    /// Raw frames are megabytes; computed artefacts are kilobytes. These
+    /// are order-of-magnitude figures from the automotive perception
+    /// literature, not calibrated to a specific sensor.
+    pub fn typical_size_bytes(self) -> u64 {
+        match self {
+            DataType::RawFrame(SensorModality::Camera) => 2_000_000,
+            DataType::RawFrame(SensorModality::Lidar) => 1_400_000,
+            DataType::RawFrame(SensorModality::Radar) => 200_000,
+            DataType::RawFrame(SensorModality::Gnss) => 100,
+            DataType::DetectionList => 2_000,
+            DataType::OccupancyGrid => 32_000,
+            DataType::TrackList => 1_200,
+            DataType::FusedPerception => 16_000,
+        }
+    }
+
+    /// `true` for unprocessed sensor output.
+    pub fn is_raw(self) -> bool {
+        matches!(self, DataType::RawFrame(_))
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::RawFrame(m) => write!(f, "raw-{m}"),
+            DataType::DetectionList => f.write_str("detections"),
+            DataType::OccupancyGrid => f.write_str("occupancy-grid"),
+            DataType::TrackList => f.write_str("tracks"),
+            DataType::FusedPerception => f.write_str("fused-perception"),
+        }
+    }
+}
+
+/// A request for data: the type wanted plus the quality it must meet.
+///
+/// Tasks carry one query per input; the orchestrator matches queries
+/// against the catalogs advertised by in-range nodes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DataQuery {
+    /// The data type required.
+    pub data_type: DataType,
+    /// Minimum acceptable quality.
+    pub requirement: QualityRequirement,
+}
+
+impl DataQuery {
+    /// A query with the given type and a permissive default requirement.
+    pub fn of_type(data_type: DataType) -> Self {
+        DataQuery { data_type, requirement: QualityRequirement::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_frames_dwarf_computed_artefacts() {
+        let raw = DataType::RawFrame(SensorModality::Camera).typical_size_bytes();
+        for computed in [DataType::DetectionList, DataType::TrackList, DataType::FusedPerception] {
+            let ratio = raw as f64 / computed.typical_size_bytes() as f64;
+            assert!(ratio > 50.0, "{computed} must be ≫ smaller than a raw frame");
+        }
+    }
+
+    #[test]
+    fn raw_flag() {
+        assert!(DataType::RawFrame(SensorModality::Lidar).is_raw());
+        assert!(!DataType::OccupancyGrid.is_raw());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(DataType::RawFrame(SensorModality::Camera).to_string(), "raw-camera");
+        assert_eq!(DataType::FusedPerception.to_string(), "fused-perception");
+    }
+
+    #[test]
+    fn default_query_is_permissive() {
+        let q = DataQuery::of_type(DataType::DetectionList);
+        assert_eq!(q.data_type, DataType::DetectionList);
+        assert_eq!(q.requirement, QualityRequirement::default());
+    }
+}

@@ -1,0 +1,249 @@
+//! Semantic capability matching (the paper's Goal 3 extension).
+//!
+//! Goal 3 of the research plan calls for "semantic protocols which enable
+//! communication between heterogeneous systems". Heterogeneous nodes do
+//! not share a closed enum of data types: a drone advertises
+//! `sensor.camera.thermal`, a roadside unit wants anything under
+//! `sensor.camera`. This module provides that vocabulary: dot-separated
+//! capability terms with subsumption (`a` subsumes `a.b.c`), advertised
+//! capability sets, and query matching with specificity scoring.
+//!
+//! ```
+//! use airdnd_data::semantic::{CapabilitySet, Term};
+//!
+//! let mut caps = CapabilitySet::new();
+//! caps.add(Term::parse("sensor.camera.thermal").unwrap());
+//! caps.add(Term::parse("compute.fusion").unwrap());
+//!
+//! let want = Term::parse("sensor.camera").unwrap();
+//! assert!(caps.satisfies(&want));
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from parsing capability terms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseTermError {
+    /// The term was empty.
+    Empty,
+    /// A segment was empty (`"a..b"`) or contained invalid characters.
+    BadSegment(String),
+    /// More segments than the supported depth.
+    TooDeep(usize),
+}
+
+impl fmt::Display for ParseTermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTermError::Empty => write!(f, "empty capability term"),
+            ParseTermError::BadSegment(s) => write!(f, "invalid term segment {s:?}"),
+            ParseTermError::TooDeep(n) => write!(f, "term has {n} segments (max {MAX_DEPTH})"),
+        }
+    }
+}
+
+impl Error for ParseTermError {}
+
+/// Maximum taxonomy depth.
+pub const MAX_DEPTH: usize = 8;
+
+/// A dot-separated capability term, e.g. `sensor.camera.thermal`.
+///
+/// Terms form a taxonomy by prefixing: `sensor.camera` *subsumes*
+/// `sensor.camera.thermal`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Term {
+    segments: Vec<String>,
+}
+
+impl Term {
+    /// Parses a term.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTermError`] for empty terms, empty/invalid segments
+    /// (only `[a-z0-9_-]` allowed) or terms deeper than [`MAX_DEPTH`].
+    pub fn parse(s: &str) -> Result<Self, ParseTermError> {
+        if s.is_empty() {
+            return Err(ParseTermError::Empty);
+        }
+        let segments: Vec<String> = s.split('.').map(str::to_owned).collect();
+        if segments.len() > MAX_DEPTH {
+            return Err(ParseTermError::TooDeep(segments.len()));
+        }
+        for seg in &segments {
+            let ok = !seg.is_empty()
+                && seg.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-');
+            if !ok {
+                return Err(ParseTermError::BadSegment(seg.clone()));
+            }
+        }
+        Ok(Term { segments })
+    }
+
+    /// Number of segments (specificity).
+    pub fn depth(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// `true` if `self` subsumes `other` (equal or proper prefix).
+    ///
+    /// `sensor` subsumes `sensor.camera.thermal`; a term subsumes itself.
+    pub fn subsumes(&self, other: &Term) -> bool {
+        self.segments.len() <= other.segments.len()
+            && self.segments.iter().zip(&other.segments).all(|(a, b)| a == b)
+    }
+
+    /// The parent term (one segment shorter), if any.
+    pub fn parent(&self) -> Option<Term> {
+        if self.segments.len() <= 1 {
+            return None;
+        }
+        Some(Term { segments: self.segments[..self.segments.len() - 1].to_vec() })
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.segments.join("."))
+    }
+}
+
+/// A node's advertised capability vocabulary.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CapabilitySet {
+    terms: BTreeSet<Term>,
+}
+
+impl CapabilitySet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a capability.
+    pub fn add(&mut self, term: Term) {
+        self.terms.insert(term);
+    }
+
+    /// Number of advertised terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` if nothing is advertised.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// `true` if some advertised term is subsumed by `query` — i.e. the
+    /// node offers *something* under the requested category — or an
+    /// advertised term subsumes the query (the node claims the broader
+    /// capability outright).
+    pub fn satisfies(&self, query: &Term) -> bool {
+        self.terms.iter().any(|t| query.subsumes(t) || t.subsumes(query))
+    }
+
+    /// Match specificity in `[0, 1]`: the deepest shared prefix between the
+    /// query and any advertised term, normalized by the query depth.
+    /// 0.0 means no overlap at all; 1.0 means an exact-or-deeper match.
+    pub fn match_score(&self, query: &Term) -> f64 {
+        let best = self
+            .terms
+            .iter()
+            .map(|t| {
+                t.segments
+                    .iter()
+                    .zip(&query.segments)
+                    .take_while(|(a, b)| a == b)
+                    .count()
+            })
+            .max()
+            .unwrap_or(0);
+        if query.depth() == 0 {
+            return 0.0;
+        }
+        (best.min(query.depth()) as f64 / query.depth() as f64).clamp(0.0, 1.0)
+    }
+
+    /// Iterates advertised terms in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Term> {
+        self.terms.iter()
+    }
+}
+
+impl FromIterator<Term> for CapabilitySet {
+    fn from_iter<I: IntoIterator<Item = Term>>(iter: I) -> Self {
+        CapabilitySet { terms: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Term {
+        Term::parse(s).expect("valid test term")
+    }
+
+    #[test]
+    fn parse_validates() {
+        assert!(Term::parse("sensor.camera").is_ok());
+        assert!(Term::parse("a-b.c_d.e2").is_ok());
+        assert_eq!(Term::parse(""), Err(ParseTermError::Empty));
+        assert!(matches!(Term::parse("a..b"), Err(ParseTermError::BadSegment(_))));
+        assert!(matches!(Term::parse("A.b"), Err(ParseTermError::BadSegment(_))));
+        assert!(matches!(Term::parse("a b"), Err(ParseTermError::BadSegment(_))));
+        let deep = vec!["x"; MAX_DEPTH + 1].join(".");
+        assert!(matches!(Term::parse(&deep), Err(ParseTermError::TooDeep(_))));
+    }
+
+    #[test]
+    fn subsumption_is_prefix_based() {
+        assert!(t("sensor").subsumes(&t("sensor.camera.thermal")));
+        assert!(t("sensor.camera").subsumes(&t("sensor.camera")));
+        assert!(!t("sensor.camera.thermal").subsumes(&t("sensor.camera")));
+        assert!(!t("sensor.lidar").subsumes(&t("sensor.camera")));
+        assert!(!t("sens").subsumes(&t("sensor")), "prefix of a segment is not a parent");
+    }
+
+    #[test]
+    fn parent_walks_up() {
+        assert_eq!(t("a.b.c").parent(), Some(t("a.b")));
+        assert_eq!(t("a.b").parent(), Some(t("a")));
+        assert_eq!(t("a").parent(), None);
+    }
+
+    #[test]
+    fn satisfies_both_directions() {
+        let caps: CapabilitySet =
+            [t("sensor.camera.thermal"), t("compute.fusion")].into_iter().collect();
+        // Query broader than the advert.
+        assert!(caps.satisfies(&t("sensor.camera")));
+        assert!(caps.satisfies(&t("sensor")));
+        // Query deeper than the advert: node claims the broader capability.
+        assert!(caps.satisfies(&t("compute.fusion.occupancy")));
+        // Disjoint.
+        assert!(!caps.satisfies(&t("actuator.brake")));
+        assert!(!CapabilitySet::new().satisfies(&t("sensor")));
+    }
+
+    #[test]
+    fn match_score_rewards_specificity() {
+        let caps: CapabilitySet = [t("sensor.camera.thermal")].into_iter().collect();
+        assert_eq!(caps.match_score(&t("sensor.camera.thermal")), 1.0);
+        assert_eq!(caps.match_score(&t("sensor.camera")), 1.0, "advert is deeper than query");
+        let partial = caps.match_score(&t("sensor.camera.rgb"));
+        assert!((partial - 2.0 / 3.0).abs() < 1e-12, "shares sensor.camera, got {partial}");
+        assert_eq!(caps.match_score(&t("actuator")), 0.0);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let term = t("sensor.camera.thermal");
+        assert_eq!(Term::parse(&term.to_string()).unwrap(), term);
+    }
+}

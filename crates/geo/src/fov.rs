@@ -1,0 +1,237 @@
+//! Sensor fields of view: range, aperture and occlusion combined.
+//!
+//! A perception sensor sees a target when it is (a) within range, (b)
+//! within the angular aperture around the sensor heading, and (c) not
+//! occluded by a building. [`coverage_fraction`] samples a region on a grid
+//! to quantify how much of it a set of sensors can observe — the basis of
+//! the looking-around-the-corner coverage metric (experiment F4).
+
+use crate::occlusion::{Aabb, World};
+use crate::vec2::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// A sensor's field of view.
+///
+/// ```
+/// use airdnd_geo::{SensorFov, Vec2};
+/// let fov = SensorFov::new(100.0, std::f64::consts::FRAC_PI_4);
+/// // Target dead ahead at 50 m: covered.
+/// assert!(fov.covers(Vec2::ZERO, 0.0, Vec2::new(50.0, 0.0)));
+/// // Behind the sensor: not covered.
+/// assert!(!fov.covers(Vec2::ZERO, 0.0, Vec2::new(-50.0, 0.0)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SensorFov {
+    range: f64,
+    half_angle: f64,
+}
+
+impl SensorFov {
+    /// A cone of the given `range` (m) and `half_angle` (radians) either
+    /// side of the heading.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is negative or `half_angle` is outside `[0, π]`.
+    pub fn new(range: f64, half_angle: f64) -> Self {
+        assert!(range >= 0.0 && range.is_finite(), "range must be non-negative");
+        assert!(
+            (0.0..=std::f64::consts::PI).contains(&half_angle),
+            "half-angle must be within [0, PI]"
+        );
+        SensorFov { range, half_angle }
+    }
+
+    /// A 360° sensor (e.g. roof lidar) with the given range.
+    pub fn omnidirectional(range: f64) -> Self {
+        SensorFov::new(range, std::f64::consts::PI)
+    }
+
+    /// Maximum sensing range, metres.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Angular aperture either side of the heading, radians.
+    pub fn half_angle(&self) -> f64 {
+        self.half_angle
+    }
+
+    /// `true` if `target` is inside the cone (ignoring occlusion).
+    pub fn covers(&self, origin: Vec2, heading: f64, target: Vec2) -> bool {
+        let to = target - origin;
+        let dist = to.norm();
+        if dist > self.range {
+            return false;
+        }
+        if dist < 1e-9 {
+            return true;
+        }
+        let angle = to.angle();
+        let mut delta = (angle - heading).abs() % (2.0 * std::f64::consts::PI);
+        if delta > std::f64::consts::PI {
+            delta = 2.0 * std::f64::consts::PI - delta;
+        }
+        delta <= self.half_angle + 1e-12
+    }
+
+    /// `true` if `target` is inside the cone *and* has line of sight.
+    pub fn sees(&self, origin: Vec2, heading: f64, target: Vec2, world: &World) -> bool {
+        self.covers(origin, heading, target) && world.line_of_sight(origin, target)
+    }
+}
+
+/// A positioned sensor: origin, heading and field of view.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlacedSensor {
+    /// Sensor position.
+    pub origin: Vec2,
+    /// Sensor heading, radians from +x.
+    pub heading: f64,
+    /// The field-of-view cone.
+    pub fov: SensorFov,
+}
+
+impl PlacedSensor {
+    /// `true` if this sensor sees `target` in `world`.
+    pub fn sees(&self, target: Vec2, world: &World) -> bool {
+        self.fov.sees(self.origin, self.heading, target, world)
+    }
+}
+
+/// Fraction of `region` (sampled on a `cell`-metre grid) visible to at
+/// least one of `sensors` in `world`. Sample points inside obstacles are
+/// excluded from the denominator. Returns 1.0 for a region with no valid
+/// sample points.
+pub fn coverage_fraction(sensors: &[PlacedSensor], region: Aabb, cell: f64, world: &World) -> f64 {
+    assert!(cell > 0.0, "cell size must be positive");
+    let (mut total, mut seen) = (0u64, 0u64);
+    let nx = (region.width() / cell).ceil().max(1.0) as usize;
+    let ny = (region.height() / cell).ceil().max(1.0) as usize;
+    for ix in 0..nx {
+        for iy in 0..ny {
+            let p = Vec2::new(
+                region.min().x + (ix as f64 + 0.5) * cell,
+                region.min().y + (iy as f64 + 0.5) * cell,
+            );
+            if !region.contains(p) || world.is_inside_obstacle(p) {
+                continue;
+            }
+            total += 1;
+            if sensors.iter().any(|s| s.sees(p, world)) {
+                seen += 1;
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        seen as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occlusion::Obstacle;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    #[test]
+    fn range_gate() {
+        let fov = SensorFov::omnidirectional(10.0);
+        assert!(fov.covers(Vec2::ZERO, 0.0, Vec2::new(10.0, 0.0)));
+        assert!(!fov.covers(Vec2::ZERO, 0.0, Vec2::new(10.1, 0.0)));
+    }
+
+    #[test]
+    fn angular_gate() {
+        let fov = SensorFov::new(100.0, FRAC_PI_4);
+        assert!(fov.covers(Vec2::ZERO, 0.0, Vec2::new(10.0, 9.9)));
+        assert!(!fov.covers(Vec2::ZERO, 0.0, Vec2::new(10.0, 10.2)));
+        // Heading rotates the cone.
+        assert!(fov.covers(Vec2::ZERO, FRAC_PI_2, Vec2::new(0.0, 10.0)));
+        assert!(!fov.covers(Vec2::ZERO, FRAC_PI_2, Vec2::new(10.0, 0.0)));
+    }
+
+    #[test]
+    fn angle_wraparound() {
+        let fov = SensorFov::new(100.0, FRAC_PI_4);
+        // Heading just below +π, target just above -π: tiny angular gap.
+        let heading = PI - 0.05;
+        let target = Vec2::from_angle(-PI + 0.05) * 10.0;
+        assert!(fov.covers(Vec2::ZERO, heading, target));
+    }
+
+    #[test]
+    fn coincident_target_is_covered() {
+        let fov = SensorFov::new(5.0, 0.1);
+        assert!(fov.covers(Vec2::ZERO, 0.0, Vec2::ZERO));
+    }
+
+    #[test]
+    fn occlusion_blocks_sight() {
+        let mut world = World::new();
+        world.add_obstacle(Obstacle::Rect(Aabb::from_center_size(Vec2::new(5.0, 0.0), 2.0, 2.0)));
+        let fov = SensorFov::omnidirectional(100.0);
+        assert!(!fov.sees(Vec2::ZERO, 0.0, Vec2::new(10.0, 0.0), &world));
+        assert!(fov.sees(Vec2::ZERO, 0.0, Vec2::new(0.0, 10.0), &world));
+    }
+
+    #[test]
+    fn coverage_open_world_full() {
+        let sensors = [PlacedSensor {
+            origin: Vec2::ZERO,
+            heading: 0.0,
+            fov: SensorFov::omnidirectional(1000.0),
+        }];
+        let region = Aabb::from_center_size(Vec2::ZERO, 100.0, 100.0);
+        let c = coverage_fraction(&sensors, region, 10.0, &World::new());
+        assert_eq!(c, 1.0);
+    }
+
+    #[test]
+    fn coverage_blocked_corner_is_partial_and_improves_with_helper() {
+        let world = World::corner_buildings(10.0, 40.0);
+        // Ego vehicle approaching from the south; the hidden region is the
+        // east arm behind the corner building.
+        let ego = PlacedSensor {
+            origin: Vec2::new(0.0, -60.0),
+            heading: FRAC_PI_2,
+            fov: SensorFov::omnidirectional(300.0),
+        };
+        let hidden = Aabb::new(Vec2::new(30.0, -10.0), Vec2::new(120.0, 10.0));
+        let alone = coverage_fraction(&[ego], hidden, 5.0, &world);
+        assert!(alone < 0.8, "corner must hide part of the region, got {alone}");
+        // A helper on the east arm sees what the ego cannot.
+        let helper = PlacedSensor {
+            origin: Vec2::new(80.0, 0.0),
+            heading: PI,
+            fov: SensorFov::omnidirectional(300.0),
+        };
+        let together = coverage_fraction(&[ego, helper], hidden, 5.0, &world);
+        assert!(together > alone + 0.2, "helper must add coverage: {alone} -> {together}");
+    }
+
+    #[test]
+    fn coverage_excludes_obstacle_interiors() {
+        let mut world = World::new();
+        // The whole region is one building: no valid samples, vacuous 1.0.
+        world.add_obstacle(Obstacle::Rect(Aabb::from_center_size(Vec2::ZERO, 100.0, 100.0)));
+        let region = Aabb::from_center_size(Vec2::ZERO, 50.0, 50.0);
+        let c = coverage_fraction(&[], region, 10.0, &world);
+        assert_eq!(c, 1.0);
+    }
+
+    #[test]
+    fn no_sensors_means_zero_coverage() {
+        let region = Aabb::from_center_size(Vec2::ZERO, 50.0, 50.0);
+        let c = coverage_fraction(&[], region, 10.0, &World::new());
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "half-angle")]
+    fn invalid_half_angle_panics() {
+        let _ = SensorFov::new(10.0, 4.0);
+    }
+}

@@ -1,0 +1,469 @@
+//! Vehicle and device mobility models.
+//!
+//! Three models cover the paper's scenarios:
+//!
+//! * [`Mobility::fixed`] — parked vehicles / roadside units,
+//! * [`Mobility::constant_velocity`] — simple straight-line motion (also the
+//!   predictor used by the orchestrator's in-range-time estimate),
+//! * [`Mobility::route`] — follows a [`Route`] with an IDM (Intelligent
+//!   Driver Model, Treiber et al. 2000) speed profile and optional leader
+//!   coupling,
+//! * [`Mobility::random_waypoint`] — the classic model for generic edge
+//!   devices.
+//!
+//! All models advance with [`Mobility::step`] on a fixed tick and expose a
+//! [`VehicleState`]; determinism comes from the forked [`SimRng`] owned by
+//! the random-waypoint model.
+
+use crate::occlusion::Aabb;
+use crate::road::Route;
+use crate::vec2::Vec2;
+use airdnd_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Instantaneous kinematic state of a node.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VehicleState {
+    /// Position in metres.
+    pub pos: Vec2,
+    /// Scalar speed in m/s (non-negative).
+    pub speed: f64,
+    /// Heading in radians from +x.
+    pub heading: f64,
+}
+
+impl VehicleState {
+    /// Velocity vector implied by speed and heading.
+    pub fn velocity(&self) -> Vec2 {
+        Vec2::from_angle(self.heading) * self.speed
+    }
+}
+
+impl Default for VehicleState {
+    fn default() -> Self {
+        VehicleState { pos: Vec2::ZERO, speed: 0.0, heading: 0.0 }
+    }
+}
+
+/// Intelligent Driver Model parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IdmParams {
+    /// Desired free-flow speed, m/s (capped by lane speed limits).
+    pub desired_speed: f64,
+    /// Safe time headway, s.
+    pub time_headway: f64,
+    /// Standstill minimum gap, m.
+    pub min_gap: f64,
+    /// Maximum acceleration, m/s².
+    pub max_accel: f64,
+    /// Comfortable deceleration, m/s².
+    pub comfort_decel: f64,
+    /// Acceleration exponent (4 in the original paper).
+    pub exponent: f64,
+}
+
+impl Default for IdmParams {
+    fn default() -> Self {
+        IdmParams {
+            desired_speed: 13.9, // 50 km/h urban
+            time_headway: 1.5,
+            min_gap: 2.0,
+            max_accel: 1.4,
+            comfort_decel: 2.0,
+            exponent: 4.0,
+        }
+    }
+}
+
+/// IDM acceleration for a vehicle at speed `v`; `leader` is `(gap_m,
+/// leader_speed)` if a vehicle is ahead on the same lane.
+///
+/// The returned acceleration is clamped to `[-8, max_accel]` m/s² (an
+/// emergency-braking floor keeps the integration stable at tiny gaps).
+pub fn idm_acceleration(params: &IdmParams, v: f64, leader: Option<(f64, f64)>) -> f64 {
+    let v0 = params.desired_speed.max(0.1);
+    let free = params.max_accel * (1.0 - (v / v0).powf(params.exponent));
+    let interaction = match leader {
+        Some((gap, v_leader)) => {
+            let gap = gap.max(0.01);
+            let dv = v - v_leader;
+            let s_star = params.min_gap
+                + (v * params.time_headway
+                    + v * dv / (2.0 * (params.max_accel * params.comfort_decel).sqrt()))
+                .max(0.0);
+            -params.max_accel * (s_star / gap).powi(2)
+        }
+        None => 0.0,
+    };
+    (free + interaction).clamp(-8.0, params.max_accel)
+}
+
+/// Follows a [`Route`] with an IDM speed profile.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RouteFollower {
+    route: Route,
+    arc: f64,
+    speed: f64,
+    idm: IdmParams,
+    leader: Option<(f64, f64)>,
+    finished: bool,
+}
+
+impl RouteFollower {
+    /// Starts at the route origin with the given initial speed.
+    pub fn new(route: Route, initial_speed: f64, idm: IdmParams) -> Self {
+        RouteFollower {
+            route,
+            arc: 0.0,
+            speed: initial_speed.max(0.0),
+            idm,
+            leader: None,
+            finished: false,
+        }
+    }
+
+    /// Arc length travelled so far, metres.
+    pub fn arc_length(&self) -> f64 {
+        self.arc
+    }
+
+    /// `true` once the route end has been reached.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Informs the follower about the vehicle ahead for the next step:
+    /// `(gap_m, leader_speed)`. Cleared after each step.
+    pub fn set_leader(&mut self, leader: Option<(f64, f64)>) {
+        self.leader = leader;
+    }
+
+    /// The route being followed.
+    pub fn route(&self) -> &Route {
+        &self.route
+    }
+
+    fn step(&mut self, dt: f64) {
+        if self.finished {
+            self.speed = 0.0;
+            return;
+        }
+        let limit = self.route.speed_limit_at(self.arc);
+        let mut params = self.idm;
+        if limit > 0.0 {
+            params.desired_speed = params.desired_speed.min(limit);
+        }
+        let a = idm_acceleration(&params, self.speed, self.leader.take());
+        self.speed = (self.speed + a * dt).max(0.0);
+        self.arc += self.speed * dt;
+        if self.arc >= self.route.length() {
+            self.arc = self.route.length();
+            self.finished = true;
+            self.speed = 0.0;
+        }
+    }
+
+    fn state(&self) -> VehicleState {
+        let (pos, heading) = self.route.position_at(self.arc);
+        VehicleState { pos, speed: self.speed, heading }
+    }
+}
+
+/// Random-waypoint motion inside a rectangular area.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RandomWaypoint {
+    area: Aabb,
+    pos: Vec2,
+    target: Vec2,
+    speed: f64,
+    speed_range: (f64, f64),
+    rng: SimRng,
+}
+
+impl RandomWaypoint {
+    /// Creates a walker inside `area` with speeds drawn uniformly from
+    /// `speed_range`; `rng` should be forked per entity for determinism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the speed range is empty or non-positive.
+    pub fn new(area: Aabb, speed_range: (f64, f64), mut rng: SimRng) -> Self {
+        assert!(
+            speed_range.0 > 0.0 && speed_range.1 >= speed_range.0,
+            "speed range must be positive and non-empty"
+        );
+        let pos = Self::sample_point(&area, &mut rng);
+        let target = Self::sample_point(&area, &mut rng);
+        let speed = Self::sample_speed(speed_range, &mut rng);
+        RandomWaypoint { area, pos, target, speed, speed_range, rng }
+    }
+
+    fn sample_point(area: &Aabb, rng: &mut SimRng) -> Vec2 {
+        let x = area.min().x + rng.next_f64() * (area.max().x - area.min().x);
+        let y = area.min().y + rng.next_f64() * (area.max().y - area.min().y);
+        Vec2::new(x, y)
+    }
+
+    fn sample_speed(range: (f64, f64), rng: &mut SimRng) -> f64 {
+        range.0 + rng.next_f64() * (range.1 - range.0)
+    }
+
+    fn step(&mut self, dt: f64) {
+        let mut remaining = self.speed * dt;
+        // May pass through several waypoints in one tick at large dt.
+        while remaining > 0.0 {
+            let to_target = self.target - self.pos;
+            let dist = to_target.norm();
+            if dist <= remaining {
+                self.pos = self.target;
+                remaining -= dist;
+                self.target = Self::sample_point(&self.area, &mut self.rng);
+                self.speed = Self::sample_speed(self.speed_range, &mut self.rng);
+                if remaining <= 1e-12 {
+                    break;
+                }
+            } else {
+                self.pos += to_target / dist * remaining;
+                break;
+            }
+        }
+    }
+
+    fn state(&self) -> VehicleState {
+        let heading = (self.target - self.pos).normalized().map_or(0.0, |d| d.angle());
+        VehicleState { pos: self.pos, speed: self.speed, heading }
+    }
+}
+
+/// A node's mobility model. Construct with the provided constructors and
+/// advance with [`Mobility::step`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Mobility {
+    /// Never moves.
+    Fixed(VehicleState),
+    /// Straight-line constant-velocity motion.
+    ConstantVelocity(VehicleState),
+    /// Route following with IDM.
+    Route(RouteFollower),
+    /// Random waypoint within an area.
+    RandomWaypoint(RandomWaypoint),
+}
+
+impl Mobility {
+    /// A stationary node at `pos`.
+    pub fn fixed(pos: Vec2) -> Self {
+        Mobility::Fixed(VehicleState { pos, speed: 0.0, heading: 0.0 })
+    }
+
+    /// Straight-line motion from `pos` with velocity `vel`.
+    pub fn constant_velocity(pos: Vec2, vel: Vec2) -> Self {
+        Mobility::ConstantVelocity(VehicleState {
+            pos,
+            speed: vel.norm(),
+            heading: vel.normalized().map_or(0.0, |d| d.angle()),
+        })
+    }
+
+    /// Route following; see [`RouteFollower`].
+    pub fn route(route: Route, initial_speed: f64, idm: IdmParams) -> Self {
+        Mobility::Route(RouteFollower::new(route, initial_speed, idm))
+    }
+
+    /// Random waypoint; see [`RandomWaypoint`].
+    pub fn random_waypoint(area: Aabb, speed_range: (f64, f64), rng: SimRng) -> Self {
+        Mobility::RandomWaypoint(RandomWaypoint::new(area, speed_range, rng))
+    }
+
+    /// Advances the model by `dt` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative or not finite.
+    pub fn step(&mut self, dt: f64) {
+        assert!(dt.is_finite() && dt >= 0.0, "dt must be non-negative");
+        match self {
+            Mobility::Fixed(_) => {}
+            Mobility::ConstantVelocity(s) => {
+                s.pos += s.velocity() * dt;
+            }
+            Mobility::Route(f) => f.step(dt),
+            Mobility::RandomWaypoint(w) => w.step(dt),
+        }
+    }
+
+    /// Current kinematic state.
+    pub fn state(&self) -> VehicleState {
+        match self {
+            Mobility::Fixed(s) | Mobility::ConstantVelocity(s) => *s,
+            Mobility::Route(f) => f.state(),
+            Mobility::RandomWaypoint(w) => w.state(),
+        }
+    }
+
+    /// Current position (shorthand for `state().pos`).
+    pub fn pos(&self) -> Vec2 {
+        self.state().pos
+    }
+
+    /// Mutable access to the route follower, if this is a route model
+    /// (for leader coupling).
+    pub fn as_route_mut(&mut self) -> Option<&mut RouteFollower> {
+        match self {
+            Mobility::Route(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Predicts the position `horizon` seconds ahead assuming current
+    /// velocity persists — the estimator the orchestrator uses for
+    /// in-range-time scoring (it intentionally ignores route curvature;
+    /// short horizons dominate).
+    pub fn predict_pos(&self, horizon: f64) -> Vec2 {
+        let s = self.state();
+        s.pos + s.velocity() * horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::road::RoadNetwork;
+
+    #[test]
+    fn fixed_never_moves() {
+        let mut m = Mobility::fixed(Vec2::new(1.0, 2.0));
+        m.step(10.0);
+        assert_eq!(m.pos(), Vec2::new(1.0, 2.0));
+        assert_eq!(m.state().speed, 0.0);
+    }
+
+    #[test]
+    fn constant_velocity_integrates() {
+        let mut m = Mobility::constant_velocity(Vec2::ZERO, Vec2::new(3.0, 4.0));
+        m.step(2.0);
+        assert_eq!(m.pos(), Vec2::new(6.0, 8.0));
+        assert_eq!(m.state().speed, 5.0);
+    }
+
+    #[test]
+    fn idm_free_road_accelerates_to_desired_speed() {
+        let p = IdmParams::default();
+        let mut v: f64 = 0.0;
+        for _ in 0..3000 {
+            v += idm_acceleration(&p, v, None) * 0.1;
+        }
+        assert!((v - p.desired_speed).abs() < 0.1, "converged to {v}");
+    }
+
+    #[test]
+    fn idm_brakes_behind_slow_leader() {
+        let p = IdmParams::default();
+        // Fast vehicle 5 m behind a stopped one: strong braking.
+        let a = idm_acceleration(&p, 13.9, Some((5.0, 0.0)));
+        assert!(a < -3.0, "acceleration was {a}");
+        // Far leader at same speed: nearly free-flow.
+        let a = idm_acceleration(&p, 10.0, Some((200.0, 10.0)));
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn idm_acceleration_is_clamped() {
+        let p = IdmParams::default();
+        let a = idm_acceleration(&p, 30.0, Some((0.001, 0.0)));
+        assert!(a >= -8.0);
+        let a = idm_acceleration(&p, 0.0, None);
+        assert!(a <= p.max_accel);
+    }
+
+    #[test]
+    fn route_follower_reaches_the_end_and_stops() {
+        let net = RoadNetwork::four_way_intersection(100.0, 13.9);
+        let route = net.route(net.approach_node(0), net.exit_node(2)).unwrap();
+        let mut m = Mobility::route(route, 10.0, IdmParams::default());
+        let mut t = 0.0;
+        while !matches!(&m, Mobility::Route(f) if f.is_finished()) && t < 120.0 {
+            m.step(0.1);
+            t += 0.1;
+        }
+        assert!(t < 60.0, "should finish a 200 m route well within a minute");
+        assert_eq!(m.pos(), Vec2::new(0.0, 100.0));
+        assert_eq!(m.state().speed, 0.0);
+        // Further steps are inert.
+        m.step(5.0);
+        assert_eq!(m.pos(), Vec2::new(0.0, 100.0));
+    }
+
+    #[test]
+    fn route_follower_respects_speed_limit() {
+        let net = RoadNetwork::four_way_intersection(500.0, 5.0);
+        let route = net.route(net.approach_node(0), net.exit_node(2)).unwrap();
+        let mut m = Mobility::route(route, 0.0, IdmParams { desired_speed: 30.0, ..IdmParams::default() });
+        for _ in 0..400 {
+            m.step(0.1);
+        }
+        assert!(m.state().speed <= 5.0 + 1e-6, "speed {}", m.state().speed);
+    }
+
+    #[test]
+    fn leader_coupling_slows_the_follower() {
+        let net = RoadNetwork::four_way_intersection(500.0, 20.0);
+        let route = net.route(net.approach_node(0), net.exit_node(2)).unwrap();
+        let mut free = Mobility::route(route.clone(), 10.0, IdmParams::default());
+        let mut follower = Mobility::route(route, 10.0, IdmParams::default());
+        for _ in 0..100 {
+            follower.as_route_mut().unwrap().set_leader(Some((8.0, 3.0)));
+            follower.step(0.1);
+            free.step(0.1);
+        }
+        let vf = follower.state().speed;
+        let vfree = free.state().speed;
+        assert!(vf < vfree - 1.0, "follower {vf} vs free {vfree}");
+    }
+
+    #[test]
+    fn random_waypoint_stays_in_area() {
+        let area = Aabb::from_center_size(Vec2::ZERO, 100.0, 100.0);
+        let mut m = Mobility::random_waypoint(area, (1.0, 5.0), SimRng::seed_from(1));
+        for _ in 0..5000 {
+            m.step(0.5);
+            let p = m.pos();
+            assert!(area.expanded(1e-9).contains(p), "escaped to {p}");
+        }
+    }
+
+    #[test]
+    fn random_waypoint_is_deterministic_per_seed() {
+        let area = Aabb::from_center_size(Vec2::ZERO, 50.0, 50.0);
+        let mut a = Mobility::random_waypoint(area, (1.0, 2.0), SimRng::seed_from(9));
+        let mut b = Mobility::random_waypoint(area, (1.0, 2.0), SimRng::seed_from(9));
+        for _ in 0..100 {
+            a.step(1.0);
+            b.step(1.0);
+        }
+        assert_eq!(a.pos(), b.pos());
+    }
+
+    #[test]
+    fn random_waypoint_actually_moves() {
+        let area = Aabb::from_center_size(Vec2::ZERO, 100.0, 100.0);
+        let mut m = Mobility::random_waypoint(area, (2.0, 2.0), SimRng::seed_from(3));
+        let start = m.pos();
+        m.step(10.0);
+        assert!(m.pos().distance(start) > 1.0);
+    }
+
+    #[test]
+    fn predict_pos_linear_extrapolation() {
+        let m = Mobility::constant_velocity(Vec2::new(1.0, 1.0), Vec2::new(2.0, 0.0));
+        assert_eq!(m.predict_pos(3.0), Vec2::new(7.0, 1.0));
+        let f = Mobility::fixed(Vec2::new(4.0, 4.0));
+        assert_eq!(f.predict_pos(100.0), Vec2::new(4.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be non-negative")]
+    fn negative_dt_panics() {
+        let mut m = Mobility::fixed(Vec2::ZERO);
+        m.step(-1.0);
+    }
+}

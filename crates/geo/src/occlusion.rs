@@ -1,0 +1,305 @@
+//! Obstacles and line-of-sight: why anyone needs to look around a corner.
+//!
+//! Buildings are modelled as axis-aligned boxes ([`Aabb`]). A [`World`]
+//! holds the obstacle set and answers line-of-sight queries with a
+//! slab-method segment/box intersection test. The canonical evaluation
+//! world — four buildings hugging the corners of an intersection — is built
+//! by [`World::corner_buildings`].
+
+use crate::vec2::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box.
+///
+/// ```
+/// use airdnd_geo::{Aabb, Vec2};
+/// let b = Aabb::from_center_size(Vec2::ZERO, 10.0, 4.0);
+/// assert!(b.contains(Vec2::new(4.9, 1.9)));
+/// assert!(!b.contains(Vec2::new(5.1, 0.0)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    min: Vec2,
+    max: Vec2,
+}
+
+impl Aabb {
+    /// Creates a box from two opposite corners (in any order).
+    pub fn new(a: Vec2, b: Vec2) -> Self {
+        Aabb { min: a.min(b), max: a.max(b) }
+    }
+
+    /// Creates a box centred at `center` with the given width and height.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is negative.
+    pub fn from_center_size(center: Vec2, width: f64, height: f64) -> Self {
+        assert!(width >= 0.0 && height >= 0.0, "box dimensions must be non-negative");
+        let half = Vec2::new(width / 2.0, height / 2.0);
+        Aabb { min: center - half, max: center + half }
+    }
+
+    /// The minimum corner.
+    pub fn min(&self) -> Vec2 {
+        self.min
+    }
+
+    /// The maximum corner.
+    pub fn max(&self) -> Vec2 {
+        self.max
+    }
+
+    /// The centre point.
+    pub fn center(&self) -> Vec2 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Width along x.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along y.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area in square metres.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// `true` if `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Vec2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Grows the box by `margin` on every side.
+    pub fn expanded(&self, margin: f64) -> Aabb {
+        let m = Vec2::new(margin, margin);
+        Aabb::new(self.min - m, self.max + m)
+    }
+
+    /// `true` if the two boxes overlap (including edge contact).
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// `true` if the segment `a`–`b` touches the box (slab method).
+    pub fn intersects_segment(&self, a: Vec2, b: Vec2) -> bool {
+        // Degenerate segment: a point.
+        let d = b - a;
+        if d.norm_sq() < 1e-24 {
+            return self.contains(a);
+        }
+        let mut t_min: f64 = 0.0;
+        let mut t_max: f64 = 1.0;
+        for (origin, dir, lo, hi) in
+            [(a.x, d.x, self.min.x, self.max.x), (a.y, d.y, self.min.y, self.max.y)]
+        {
+            if dir.abs() < 1e-15 {
+                if origin < lo || origin > hi {
+                    return false;
+                }
+            } else {
+                let inv = 1.0 / dir;
+                let (mut t0, mut t1) = ((lo - origin) * inv, (hi - origin) * inv);
+                if t0 > t1 {
+                    std::mem::swap(&mut t0, &mut t1);
+                }
+                t_min = t_min.max(t0);
+                t_max = t_max.min(t1);
+                if t_min > t_max {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// A physical obstacle that blocks line of sight (and radio, depending on
+/// the channel model).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Obstacle {
+    /// A rectangular building footprint.
+    Rect(Aabb),
+}
+
+impl Obstacle {
+    /// `true` if the segment `a`–`b` is blocked by this obstacle.
+    pub fn blocks(&self, a: Vec2, b: Vec2) -> bool {
+        match self {
+            Obstacle::Rect(r) => r.intersects_segment(a, b),
+        }
+    }
+
+    /// The obstacle's bounding box.
+    pub fn bounds(&self) -> Aabb {
+        match self {
+            Obstacle::Rect(r) => *r,
+        }
+    }
+}
+
+/// A static world: obstacles plus an optional overall boundary.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct World {
+    obstacles: Vec<Obstacle>,
+    bounds: Option<Aabb>,
+}
+
+impl World {
+    /// An empty, unbounded world with free line of sight everywhere.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The four-corner-building world for "looking around the corner":
+    /// square buildings of side `size`, set back `setback` metres from each
+    /// road centreline of a four-way intersection at the origin.
+    pub fn corner_buildings(setback: f64, size: f64) -> Self {
+        let mut world = World::new();
+        for (sx, sy) in [(1.0, 1.0), (-1.0, 1.0), (1.0, -1.0), (-1.0, -1.0)] {
+            let near = setback;
+            let center =
+                Vec2::new(sx * (near + size / 2.0), sy * (near + size / 2.0));
+            world.add_obstacle(Obstacle::Rect(Aabb::from_center_size(center, size, size)));
+        }
+        world
+    }
+
+    /// Adds an obstacle.
+    pub fn add_obstacle(&mut self, obstacle: Obstacle) {
+        self.obstacles.push(obstacle);
+    }
+
+    /// Sets the outer boundary (informational; used by mobility models).
+    pub fn set_bounds(&mut self, bounds: Aabb) {
+        self.bounds = Some(bounds);
+    }
+
+    /// The outer boundary, if set.
+    pub fn bounds(&self) -> Option<Aabb> {
+        self.bounds
+    }
+
+    /// The obstacles in insertion order.
+    pub fn obstacles(&self) -> &[Obstacle] {
+        &self.obstacles
+    }
+
+    /// `true` if nothing blocks the straight segment from `a` to `b`.
+    pub fn line_of_sight(&self, a: Vec2, b: Vec2) -> bool {
+        self.obstacles.iter().all(|o| !o.blocks(a, b))
+    }
+
+    /// Number of obstacles.
+    pub fn obstacle_count(&self) -> usize {
+        self.obstacles.len()
+    }
+
+    /// `true` if `p` is inside any obstacle (e.g. to reject spawn points).
+    pub fn is_inside_obstacle(&self, p: Vec2) -> bool {
+        self.obstacles.iter().any(|o| o.bounds().contains(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aabb_normalizes_corners() {
+        let b = Aabb::new(Vec2::new(5.0, -1.0), Vec2::new(-5.0, 1.0));
+        assert_eq!(b.min(), Vec2::new(-5.0, -1.0));
+        assert_eq!(b.max(), Vec2::new(5.0, 1.0));
+        assert_eq!(b.center(), Vec2::ZERO);
+        assert_eq!(b.width(), 10.0);
+        assert_eq!(b.height(), 2.0);
+        assert_eq!(b.area(), 20.0);
+    }
+
+    #[test]
+    fn segment_misses_box() {
+        let b = Aabb::from_center_size(Vec2::ZERO, 2.0, 2.0);
+        assert!(!b.intersects_segment(Vec2::new(-5.0, 5.0), Vec2::new(5.0, 5.0)));
+        assert!(!b.intersects_segment(Vec2::new(2.0, 2.0), Vec2::new(5.0, 2.0)));
+    }
+
+    #[test]
+    fn segment_crosses_box() {
+        let b = Aabb::from_center_size(Vec2::ZERO, 2.0, 2.0);
+        assert!(b.intersects_segment(Vec2::new(-5.0, 0.0), Vec2::new(5.0, 0.0)));
+        assert!(b.intersects_segment(Vec2::new(-2.0, -2.0), Vec2::new(2.0, 2.0)), "diagonal");
+        // Endpoint inside.
+        assert!(b.intersects_segment(Vec2::ZERO, Vec2::new(9.0, 9.0)));
+        // Fully inside.
+        assert!(b.intersects_segment(Vec2::new(-0.5, 0.0), Vec2::new(0.5, 0.0)));
+    }
+
+    #[test]
+    fn vertical_and_horizontal_segments() {
+        let b = Aabb::new(Vec2::new(1.0, 1.0), Vec2::new(3.0, 3.0));
+        assert!(b.intersects_segment(Vec2::new(2.0, 0.0), Vec2::new(2.0, 4.0)));
+        assert!(!b.intersects_segment(Vec2::new(0.5, 0.0), Vec2::new(0.5, 4.0)));
+        assert!(b.intersects_segment(Vec2::new(0.0, 2.0), Vec2::new(4.0, 2.0)));
+    }
+
+    #[test]
+    fn degenerate_point_segment() {
+        let b = Aabb::from_center_size(Vec2::ZERO, 2.0, 2.0);
+        assert!(b.intersects_segment(Vec2::ZERO, Vec2::ZERO));
+        assert!(!b.intersects_segment(Vec2::new(9.0, 9.0), Vec2::new(9.0, 9.0)));
+    }
+
+    #[test]
+    fn box_box_intersection() {
+        let a = Aabb::from_center_size(Vec2::ZERO, 2.0, 2.0);
+        let b = Aabb::from_center_size(Vec2::new(1.5, 0.0), 2.0, 2.0);
+        let c = Aabb::from_center_size(Vec2::new(5.0, 0.0), 2.0, 2.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn corner_buildings_block_the_corner() {
+        let world = World::corner_buildings(10.0, 30.0);
+        assert_eq!(world.obstacle_count(), 4);
+        // Two vehicles on perpendicular arms, both 50 m from the centre:
+        // the corner building sits between them.
+        let south = Vec2::new(0.0, -50.0);
+        let east = Vec2::new(50.0, 0.0);
+        assert!(!world.line_of_sight(south, east), "corner must occlude");
+        // Straight across the intersection stays clear (road is open).
+        let north = Vec2::new(0.0, 50.0);
+        assert!(world.line_of_sight(south, north));
+        // Close to the centre both see each other past the setback.
+        assert!(world.line_of_sight(Vec2::new(0.0, -5.0), Vec2::new(5.0, 0.0)));
+    }
+
+    #[test]
+    fn inside_obstacle_check() {
+        let world = World::corner_buildings(10.0, 30.0);
+        assert!(world.is_inside_obstacle(Vec2::new(25.0, 25.0)));
+        assert!(!world.is_inside_obstacle(Vec2::ZERO));
+    }
+
+    #[test]
+    fn empty_world_has_free_sight() {
+        let world = World::new();
+        assert!(world.line_of_sight(Vec2::new(-100.0, -100.0), Vec2::new(100.0, 100.0)));
+        assert_eq!(world.bounds(), None);
+    }
+
+    #[test]
+    fn expanded_grows_every_side() {
+        let b = Aabb::from_center_size(Vec2::ZERO, 2.0, 2.0).expanded(1.0);
+        assert_eq!(b.min(), Vec2::new(-2.0, -2.0));
+        assert_eq!(b.max(), Vec2::new(2.0, 2.0));
+    }
+}

@@ -1,0 +1,201 @@
+//! A uniform-grid spatial index for in-range neighbour queries.
+//!
+//! Radio-range queries ("which nodes are within 300 m of me?") run every
+//! beacon interval for every node, so they must be cheap. The index buckets
+//! positions into square cells of the query radius's order of magnitude;
+//! a range query touches only the cells overlapping the query circle.
+//!
+//! Buckets are kept in a `BTreeMap` so iteration order — and therefore every
+//! downstream event ordering — is deterministic.
+
+use crate::vec2::Vec2;
+use std::collections::BTreeMap;
+
+/// A rebuild-per-tick spatial hash over items of type `T`.
+///
+/// ```
+/// use airdnd_geo::{SpatialIndex, Vec2};
+/// let mut idx = SpatialIndex::new(100.0);
+/// idx.insert(1u64, Vec2::new(0.0, 0.0));
+/// idx.insert(2u64, Vec2::new(50.0, 0.0));
+/// idx.insert(3u64, Vec2::new(500.0, 0.0));
+/// let near = idx.query_range(Vec2::ZERO, 100.0);
+/// assert_eq!(near, vec![1, 2]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpatialIndex<T> {
+    cell_size: f64,
+    cells: BTreeMap<(i64, i64), Vec<(T, Vec2)>>,
+    len: usize,
+}
+
+impl<T: Copy> SpatialIndex<T> {
+    /// Creates an index with the given cell size (metres).
+    ///
+    /// Pick roughly the typical query radius; correctness does not depend
+    /// on the choice, only performance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not positive and finite.
+    pub fn new(cell_size: f64) -> Self {
+        assert!(cell_size.is_finite() && cell_size > 0.0, "cell size must be positive");
+        SpatialIndex { cell_size, cells: BTreeMap::new(), len: 0 }
+    }
+
+    fn cell_of(&self, p: Vec2) -> (i64, i64) {
+        ((p.x / self.cell_size).floor() as i64, (p.y / self.cell_size).floor() as i64)
+    }
+
+    /// Inserts an item at a position. Duplicate ids are allowed (the index
+    /// has no notion of identity); rebuild from scratch each tick instead
+    /// of updating.
+    pub fn insert(&mut self, item: T, pos: Vec2) {
+        let cell = self.cell_of(pos);
+        self.cells.entry(cell).or_default().push((item, pos));
+        self.len += 1;
+    }
+
+    /// Removes all items, keeping allocated buckets for reuse.
+    pub fn clear(&mut self) {
+        for bucket in self.cells.values_mut() {
+            bucket.clear();
+        }
+        self.len = 0;
+    }
+
+    /// Number of items currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the index holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All items within `radius` of `center` (inclusive), with positions,
+    /// in deterministic (cell, insertion) order.
+    pub fn query_range_with_pos(&self, center: Vec2, radius: f64) -> Vec<(T, Vec2)> {
+        if radius < 0.0 {
+            return Vec::new();
+        }
+        let r2 = radius * radius;
+        let min = self.cell_of(center - Vec2::new(radius, radius));
+        let max = self.cell_of(center + Vec2::new(radius, radius));
+        let mut out = Vec::new();
+        for cx in min.0..=max.0 {
+            for cy in min.1..=max.1 {
+                if let Some(bucket) = self.cells.get(&(cx, cy)) {
+                    for &(item, pos) in bucket {
+                        if pos.distance_sq(center) <= r2 {
+                            out.push((item, pos));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All items within `radius` of `center` (inclusive).
+    pub fn query_range(&self, center: Vec2, radius: f64) -> Vec<T> {
+        self.query_range_with_pos(center, radius).into_iter().map(|(item, _)| item).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airdnd_sim::SimRng;
+
+    #[test]
+    fn finds_items_across_cell_borders() {
+        let mut idx = SpatialIndex::new(10.0);
+        idx.insert(1u32, Vec2::new(9.9, 0.0));
+        idx.insert(2u32, Vec2::new(10.1, 0.0));
+        let hits = idx.query_range(Vec2::new(10.0, 0.0), 0.5);
+        assert_eq!(hits, vec![1, 2]);
+    }
+
+    #[test]
+    fn radius_is_inclusive() {
+        let mut idx = SpatialIndex::new(5.0);
+        idx.insert(1u32, Vec2::new(3.0, 4.0)); // distance exactly 5
+        assert_eq!(idx.query_range(Vec2::ZERO, 5.0), vec![1]);
+        assert!(idx.query_range(Vec2::ZERO, 4.999).is_empty());
+    }
+
+    #[test]
+    fn negative_radius_returns_nothing() {
+        let mut idx = SpatialIndex::new(5.0);
+        idx.insert(1u32, Vec2::ZERO);
+        assert!(idx.query_range(Vec2::ZERO, -1.0).is_empty());
+    }
+
+    #[test]
+    fn clear_resets_but_reuses() {
+        let mut idx = SpatialIndex::new(5.0);
+        idx.insert(1u32, Vec2::ZERO);
+        assert_eq!(idx.len(), 1);
+        idx.clear();
+        assert!(idx.is_empty());
+        assert!(idx.query_range(Vec2::ZERO, 10.0).is_empty());
+        idx.insert(2u32, Vec2::ZERO);
+        assert_eq!(idx.query_range(Vec2::ZERO, 1.0), vec![2]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_points() {
+        let mut rng = SimRng::seed_from(42);
+        let points: Vec<(u64, Vec2)> = (0..500)
+            .map(|i| {
+                let x = rng.next_f64() * 1000.0 - 500.0;
+                let y = rng.next_f64() * 1000.0 - 500.0;
+                (i, Vec2::new(x, y))
+            })
+            .collect();
+        let mut idx = SpatialIndex::new(75.0);
+        for &(id, p) in &points {
+            idx.insert(id, p);
+        }
+        for probe in 0..20 {
+            let center = Vec2::new(
+                rng.next_f64() * 1000.0 - 500.0,
+                rng.next_f64() * 1000.0 - 500.0,
+            );
+            let radius = rng.next_f64() * 200.0;
+            let mut expected: Vec<u64> = points
+                .iter()
+                .filter(|(_, p)| p.distance(center) <= radius)
+                .map(|&(id, _)| id)
+                .collect();
+            expected.sort_unstable();
+            let mut got = idx.query_range(center, radius);
+            got.sort_unstable();
+            assert_eq!(got, expected, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn negative_coordinates_bucket_correctly() {
+        let mut idx = SpatialIndex::new(10.0);
+        idx.insert(1u32, Vec2::new(-0.5, -0.5));
+        idx.insert(2u32, Vec2::new(0.5, 0.5));
+        let hits = idx.query_range(Vec2::ZERO, 1.0);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_result_order() {
+        let build = || {
+            let mut idx = SpatialIndex::new(20.0);
+            for i in 0..100u64 {
+                let angle = i as f64;
+                idx.insert(i, Vec2::new(angle.cos() * 50.0, angle.sin() * 50.0));
+            }
+            idx.query_range(Vec2::ZERO, 60.0)
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for geometry, routes and occlusion.
+
+use airdnd_geo::{Aabb, RoadNetwork, Vec2, World};
+use proptest::prelude::*;
+
+fn arb_vec2() -> impl Strategy<Value = Vec2> {
+    (-1e4f64..1e4, -1e4f64..1e4).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+proptest! {
+    /// Vector algebra: norm scales with scalar multiplication; the
+    /// triangle inequality holds.
+    #[test]
+    fn vector_norms(a in arb_vec2(), b in arb_vec2(), k in -100.0f64..100.0) {
+        prop_assert!(((a * k).norm() - a.norm() * k.abs()).abs() < 1e-6);
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-12);
+    }
+
+    /// Rotation preserves length; rotating by ±θ round-trips.
+    #[test]
+    fn rotation_is_isometric(v in arb_vec2(), theta in -6.3f64..6.3) {
+        let r = v.rotated(theta);
+        prop_assert!((r.norm() - v.norm()).abs() < 1e-6);
+        let back = r.rotated(-theta);
+        prop_assert!(back.distance(v) < 1e-6);
+    }
+
+    /// Any point strictly inside a box blocks the segment test through it;
+    /// segments fully on one side never intersect.
+    #[test]
+    fn aabb_segment_agreement(
+        cx in -100.0f64..100.0,
+        cy in -100.0f64..100.0,
+        w in 1.0f64..50.0,
+        h in 1.0f64..50.0,
+        t in 0.05f64..0.95,
+    ) {
+        let b = Aabb::from_center_size(Vec2::new(cx, cy), w, h);
+        // A segment crossing the centre horizontally must intersect.
+        let left = Vec2::new(cx - w, cy);
+        let right = Vec2::new(cx + w, cy);
+        prop_assert!(b.intersects_segment(left, right));
+        // Any point sampled on the inside chord is contained.
+        let p = left.lerp(right, t);
+        if p.x > cx - w / 2.0 && p.x < cx + w / 2.0 {
+            prop_assert!(b.contains(p));
+        }
+        // A segment strictly above the box never intersects.
+        let above = Vec2::new(cx - w, cy + h);
+        let above2 = Vec2::new(cx + w, cy + h);
+        prop_assert!(!b.intersects_segment(above, above2));
+    }
+
+    /// Route positions are continuous: small arc steps move small
+    /// distances, and position_at stays on the polyline's bounding box.
+    #[test]
+    fn route_position_is_continuous(steps in 2usize..50) {
+        let net = RoadNetwork::four_way_intersection(200.0, 10.0);
+        let route = net.route(net.approach_node(0), net.exit_node(1)).unwrap();
+        let len = route.length();
+        let mut prev = route.position_at(0.0).0;
+        for i in 1..=steps {
+            let s = len * i as f64 / steps as f64;
+            let (p, _) = route.position_at(s);
+            let moved = p.distance(prev);
+            let step_len = len / steps as f64;
+            prop_assert!(moved <= step_len + 1e-6, "jumped {moved} for step {step_len}");
+            prop_assert!(p.x.abs() <= 200.0 + 1e-9 && p.y.abs() <= 200.0 + 1e-9);
+            prev = p;
+        }
+    }
+
+    /// Line of sight is symmetric: if A sees B, B sees A.
+    #[test]
+    fn line_of_sight_is_symmetric(a in arb_vec2(), b in arb_vec2()) {
+        let world = World::corner_buildings(12.0, 40.0);
+        prop_assert_eq!(world.line_of_sight(a, b), world.line_of_sight(b, a));
+    }
+
+    /// Expanding a box never loses containment.
+    #[test]
+    fn expansion_is_monotone(p in arb_vec2(), margin in 0.0f64..100.0) {
+        let b = Aabb::from_center_size(Vec2::ZERO, 50.0, 30.0);
+        if b.contains(p) {
+            prop_assert!(b.expanded(margin).contains(p));
+        }
+    }
+}

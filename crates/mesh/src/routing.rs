@@ -1,0 +1,128 @@
+//! Two-hop relay selection.
+//!
+//! The mesh is intentionally shallow — AirDnD orchestrates *in-range*
+//! nodes — but links fade before they fail, and a task result is sometimes
+//! worth one relay hop. Beacons carry each node's member list precisely so
+//! that [`next_hop`] can pick the best-linked neighbor that claims
+//! adjacency to the destination.
+
+use crate::neighbor::NeighborTable;
+use airdnd_radio::NodeAddr;
+
+/// Picks the forwarding hop toward `dst`.
+///
+/// * If `dst` is a direct neighbor with link quality at least
+///   `direct_threshold`, the answer is `dst` itself.
+/// * Otherwise the best-linked neighbor whose last beacon listed `dst` as a
+///   member is chosen — provided its link beats both the threshold and any
+///   weak direct link.
+/// * `None` means `dst` is unreachable in two hops.
+pub fn next_hop(table: &NeighborTable, dst: NodeAddr, direct_threshold: f64) -> Option<NodeAddr> {
+    let direct = table.link_quality(dst);
+    if direct >= direct_threshold {
+        return Some(dst);
+    }
+    let relay = table
+        .iter()
+        .filter(|(&addr, entry)| addr != dst && entry.last_beacon.members.contains(&dst))
+        .max_by(|a, b| {
+            a.1.link_quality
+                .partial_cmp(&b.1.link_quality)
+                .expect("link qualities are finite")
+                // Deterministic tie-break on address.
+                .then(b.0.cmp(a.0))
+        })
+        .map(|(&addr, entry)| (addr, entry.link_quality));
+    match relay {
+        Some((addr, quality)) if quality >= direct_threshold && quality > direct => Some(addr),
+        _ => {
+            // Fall back to a weak direct link rather than nothing.
+            (direct > 0.0).then_some(dst)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beacon::{Beacon, NodeAdvert};
+    use airdnd_geo::Vec2;
+    use airdnd_sim::{SimDuration, SimTime};
+
+    fn beacon(src: u64, seq: u64, members: &[u64]) -> Beacon {
+        Beacon {
+            src: NodeAddr::new(src),
+            seq,
+            pos: Vec2::ZERO,
+            velocity: Vec2::ZERO,
+            advert: NodeAdvert::closed(),
+            members: members.iter().map(|&m| NodeAddr::new(m)).collect(),
+        }
+    }
+
+    fn table() -> NeighborTable {
+        NeighborTable::new(0.3, SimDuration::from_secs(10))
+    }
+
+    /// Feeds `n` consecutive beacons so the link quality converges high.
+    fn strong_link(t: &mut NeighborTable, src: u64, members: &[u64]) {
+        for seq in 0..20 {
+            t.on_beacon(SimTime::from_millis(seq * 100), beacon(src, seq, members));
+        }
+    }
+
+    #[test]
+    fn direct_neighbor_wins() {
+        let mut t = table();
+        strong_link(&mut t, 2, &[]);
+        assert_eq!(next_hop(&t, NodeAddr::new(2), 0.5), Some(NodeAddr::new(2)));
+    }
+
+    #[test]
+    fn relay_found_through_member_lists() {
+        let mut t = table();
+        // 3 is not our neighbor; 2 is, and lists 3 as a member.
+        strong_link(&mut t, 2, &[3]);
+        assert_eq!(next_hop(&t, NodeAddr::new(3), 0.5), Some(NodeAddr::new(2)));
+    }
+
+    #[test]
+    fn unreachable_destination_is_none() {
+        let mut t = table();
+        strong_link(&mut t, 2, &[]);
+        assert_eq!(next_hop(&t, NodeAddr::new(9), 0.5), None);
+    }
+
+    #[test]
+    fn best_linked_relay_is_chosen() {
+        let mut t = table();
+        // Neighbor 2: weak (single beacon). Neighbor 4: strong. Both list 7.
+        t.on_beacon(SimTime::ZERO, beacon(2, 0, &[7]));
+        strong_link(&mut t, 4, &[7]);
+        assert_eq!(next_hop(&t, NodeAddr::new(7), 0.5), Some(NodeAddr::new(4)));
+    }
+
+    #[test]
+    fn weak_direct_link_is_replaced_by_strong_relay() {
+        let mut t = table();
+        // Direct link to 7 exists but is weak; relay via 4 is strong.
+        t.on_beacon(SimTime::ZERO, beacon(7, 0, &[]));
+        // Degrade 7's quality with sequence gaps.
+        t.on_beacon(SimTime::from_secs(1), beacon(7, 50, &[]));
+        strong_link(&mut t, 4, &[7]);
+        let direct_quality = t.link_quality(NodeAddr::new(7));
+        assert!(direct_quality < 0.5, "setup: direct link must be weak, got {direct_quality}");
+        assert_eq!(next_hop(&t, NodeAddr::new(7), 0.5), Some(NodeAddr::new(4)));
+    }
+
+    #[test]
+    fn weak_direct_beats_nothing() {
+        let mut t = table();
+        t.on_beacon(SimTime::ZERO, beacon(7, 0, &[]));
+        t.on_beacon(SimTime::from_secs(1), beacon(7, 50, &[]));
+        let q = t.link_quality(NodeAddr::new(7));
+        assert!(q > 0.0 && q < 0.5);
+        // No relay available: fall back to the weak direct link.
+        assert_eq!(next_hop(&t, NodeAddr::new(7), 0.5), Some(NodeAddr::new(7)));
+    }
+}

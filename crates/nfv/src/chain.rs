@@ -1,0 +1,181 @@
+//! Service-function chains: ordered VNF compositions.
+//!
+//! A chain like `firewall → aggregator → perception-fuser` is the unit the
+//! application layer asks for; the NF manager places each link on a mesh
+//! node. A chain is *up* only while every link runs, and the chain tracks
+//! its cumulative downtime — the metric experiment T11 reports under
+//! mobility.
+
+use crate::vnf::{VnfDescriptor, VnfId};
+use airdnd_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a deployed chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChainId(pub u64);
+
+impl fmt::Display for ChainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chain#{}", self.0)
+    }
+}
+
+/// An ordered list of VNFs to deploy as one service.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceChain {
+    /// Diagnostic name.
+    pub name: String,
+    /// The links, in traversal order.
+    pub links: Vec<VnfDescriptor>,
+}
+
+impl ServiceChain {
+    /// Creates a chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `links` is empty — an empty chain is meaningless.
+    pub fn new(name: impl Into<String>, links: Vec<VnfDescriptor>) -> Self {
+        assert!(!links.is_empty(), "a service chain needs at least one link");
+        ServiceChain { name: name.into(), links }
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// `true` if the chain has no links (cannot happen via [`ServiceChain::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+}
+
+/// Runtime availability accounting for a deployed chain.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChainStatus {
+    /// The chain's instances, in link order.
+    pub instances: Vec<VnfId>,
+    up_since: Option<SimTime>,
+    down_since: Option<SimTime>,
+    total_downtime: SimDuration,
+    deployed_at: SimTime,
+}
+
+impl ChainStatus {
+    /// Creates status for a chain deployed (but not yet up) at `now`.
+    pub fn new(instances: Vec<VnfId>, now: SimTime) -> Self {
+        ChainStatus {
+            instances,
+            up_since: None,
+            down_since: Some(now),
+            total_downtime: SimDuration::ZERO,
+            deployed_at: now,
+        }
+    }
+
+    /// `true` while every link is running.
+    pub fn is_up(&self) -> bool {
+        self.up_since.is_some()
+    }
+
+    /// Marks the chain up at `now` (idempotent).
+    pub fn mark_up(&mut self, now: SimTime) {
+        if let Some(down) = self.down_since.take() {
+            self.total_downtime += now.saturating_since(down);
+        }
+        self.up_since.get_or_insert(now);
+    }
+
+    /// Marks the chain down at `now` (idempotent).
+    pub fn mark_down(&mut self, now: SimTime) {
+        if self.up_since.take().is_some() {
+            self.down_since = Some(now);
+        }
+    }
+
+    /// Cumulative downtime up to `now` (includes an ongoing outage).
+    pub fn downtime(&self, now: SimTime) -> SimDuration {
+        match self.down_since {
+            Some(down) => self.total_downtime + now.saturating_since(down),
+            None => self.total_downtime,
+        }
+    }
+
+    /// Availability fraction since deployment, in `[0, 1]`.
+    pub fn availability(&self, now: SimTime) -> f64 {
+        let lifetime = now.saturating_since(self.deployed_at);
+        if lifetime.is_zero() {
+            return 0.0;
+        }
+        1.0 - self.downtime(now).as_secs_f64() / lifetime.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vnf::VnfKind;
+
+    fn chain() -> ServiceChain {
+        ServiceChain::new(
+            "perception",
+            vec![
+                VnfDescriptor::of_kind("fw", VnfKind::Firewall),
+                VnfDescriptor::of_kind("agg", VnfKind::Aggregator),
+                VnfDescriptor::of_kind("fuse", VnfKind::PerceptionFuser),
+            ],
+        )
+    }
+
+    #[test]
+    fn chain_construction() {
+        let c = chain();
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn empty_chain_panics() {
+        let _ = ServiceChain::new("x", vec![]);
+    }
+
+    #[test]
+    fn downtime_accumulates_across_outages() {
+        let mut s = ChainStatus::new(vec![VnfId(1)], SimTime::ZERO);
+        assert!(!s.is_up());
+        // 1 s of deploy time counts as downtime.
+        s.mark_up(SimTime::from_secs(1));
+        assert!(s.is_up());
+        assert_eq!(s.downtime(SimTime::from_secs(5)), SimDuration::from_secs(1));
+        // Outage from t=5 to t=8.
+        s.mark_down(SimTime::from_secs(5));
+        s.mark_up(SimTime::from_secs(8));
+        assert_eq!(s.downtime(SimTime::from_secs(10)), SimDuration::from_secs(4));
+        // Ongoing outage counts up to `now`.
+        s.mark_down(SimTime::from_secs(10));
+        assert_eq!(s.downtime(SimTime::from_secs(12)), SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn marks_are_idempotent() {
+        let mut s = ChainStatus::new(vec![VnfId(1)], SimTime::ZERO);
+        s.mark_up(SimTime::from_secs(1));
+        s.mark_up(SimTime::from_secs(2));
+        s.mark_down(SimTime::from_secs(3));
+        s.mark_down(SimTime::from_secs(4));
+        assert_eq!(s.downtime(SimTime::from_secs(5)), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn availability_fraction() {
+        let mut s = ChainStatus::new(vec![VnfId(1)], SimTime::ZERO);
+        s.mark_up(SimTime::ZERO);
+        assert_eq!(s.availability(SimTime::from_secs(10)), 1.0);
+        s.mark_down(SimTime::from_secs(10));
+        // 10 s up, 10 s down.
+        assert!((s.availability(SimTime::from_secs(20)) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,433 @@
+//! The NF manager: placement, migration and healing.
+//!
+//! The manager owns every node's [`ResourcePool`] and every VNF instance.
+//! It decides *where* functions run ([`PlacementStrategy`]), moves them
+//! when their host leaves the mesh ([`NfManager::node_departed`] →
+//! [`NfManager::heal`]), and keeps chain availability accounting current.
+
+use crate::chain::{ChainId, ChainStatus, ServiceChain};
+use crate::resources::{ResourceCapacity, ResourcePool};
+use crate::vnf::{VnfDescriptor, VnfId, VnfInstance, VnfState};
+use airdnd_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// How the manager picks a host among those with room.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementStrategy {
+    /// Lowest node address with room (fast, deterministic).
+    FirstFit,
+    /// The node left with the *least* headroom after placement (packs
+    /// tightly, preserves big slots).
+    #[default]
+    BestFit,
+    /// The node left with the *most* headroom (spreads load).
+    WorstFit,
+}
+
+/// Errors from manager operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NfvError {
+    /// No registered node can fit the request.
+    NoFeasibleHost,
+    /// The referenced node is not registered.
+    UnknownNode(u64),
+    /// The referenced VNF does not exist.
+    UnknownVnf(VnfId),
+    /// The referenced chain does not exist.
+    UnknownChain(ChainId),
+}
+
+impl fmt::Display for NfvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NfvError::NoFeasibleHost => write!(f, "no registered node can host the function"),
+            NfvError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NfvError::UnknownVnf(v) => write!(f, "unknown {v}"),
+            NfvError::UnknownChain(c) => write!(f, "unknown {c}"),
+        }
+    }
+}
+
+impl Error for NfvError {}
+
+/// The infrastructure-layer manager. See the module docs.
+#[derive(Debug, Default)]
+pub struct NfManager {
+    pools: BTreeMap<u64, ResourcePool>,
+    instances: BTreeMap<VnfId, VnfInstance>,
+    chains: BTreeMap<ChainId, ChainStatus>,
+    strategy: PlacementStrategy,
+    next_vnf: u64,
+    next_chain: u64,
+    migrations: u64,
+    failed_migrations: u64,
+}
+
+impl NfManager {
+    /// Creates a manager with the given placement strategy.
+    pub fn new(strategy: PlacementStrategy) -> Self {
+        NfManager { strategy, ..Default::default() }
+    }
+
+    /// Registers (or re-registers) a node's capacity.
+    pub fn register_node(&mut self, node: u64, capacity: ResourceCapacity) {
+        self.pools.insert(node, ResourcePool::new(capacity));
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Lifetime migration counters: `(attempted_ok, failed)`.
+    pub fn migration_counts(&self) -> (u64, u64) {
+        (self.migrations, self.failed_migrations)
+    }
+
+    /// The instance record for a VNF.
+    pub fn instance(&self, id: VnfId) -> Option<&VnfInstance> {
+        self.instances.get(&id)
+    }
+
+    /// Iterates over all live instances in id order.
+    pub fn instances(&self) -> impl Iterator<Item = &VnfInstance> {
+        self.instances.values()
+    }
+
+    /// Dominant-dimension utilization of one node (`None` if unknown).
+    pub fn node_utilization(&self, node: u64) -> Option<f64> {
+        self.pools.get(&node).map(ResourcePool::utilization)
+    }
+
+    /// Mean utilization across registered nodes (0.0 with no nodes).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.pools.is_empty() {
+            return 0.0;
+        }
+        self.pools.values().map(ResourcePool::utilization).sum::<f64>() / self.pools.len() as f64
+    }
+
+    fn pick_host(&self, required: &ResourceCapacity, exclude: Option<u64>) -> Option<u64> {
+        let candidates = self
+            .pools
+            .iter()
+            .filter(|(&node, pool)| Some(node) != exclude && pool.available().fits(required));
+        let headroom = |pool: &ResourcePool| {
+            let after = pool.available() - *required;
+            // Scalarize leftover capacity; gas dominates for compute VNFs.
+            after.cpu_millicores as f64 + (after.mem_bytes >> 20) as f64 + after.gas_rate as f64 / 1_000.0
+        };
+        match self.strategy {
+            PlacementStrategy::FirstFit => candidates.map(|(&n, _)| n).next(),
+            PlacementStrategy::BestFit => candidates
+                .min_by(|a, b| {
+                    headroom(a.1).partial_cmp(&headroom(b.1)).expect("finite").then(a.0.cmp(b.0))
+                })
+                .map(|(&n, _)| n),
+            PlacementStrategy::WorstFit => candidates
+                .max_by(|a, b| {
+                    headroom(a.1).partial_cmp(&headroom(b.1)).expect("finite").then(b.0.cmp(a.0))
+                })
+                .map(|(&n, _)| n),
+        }
+    }
+
+    /// Instantiates a VNF somewhere feasible and brings it to `Running`.
+    ///
+    /// # Errors
+    ///
+    /// [`NfvError::NoFeasibleHost`] if nothing fits.
+    pub fn instantiate(&mut self, descriptor: VnfDescriptor) -> Result<VnfId, NfvError> {
+        let host = self.pick_host(&descriptor.required, None).ok_or(NfvError::NoFeasibleHost)?;
+        let pool = self.pools.get_mut(&host).expect("picked host exists");
+        let allocation =
+            pool.try_allocate(descriptor.required).expect("pick_host checked fit");
+        let id = VnfId(self.next_vnf);
+        self.next_vnf += 1;
+        let mut instance = VnfInstance::new(id, descriptor, host, allocation);
+        instance.transition(VnfState::Running).expect("instantiating → running is legal");
+        self.instances.insert(id, instance);
+        Ok(id)
+    }
+
+    /// Migrates a VNF to the best feasible host other than its current one.
+    ///
+    /// # Errors
+    ///
+    /// [`NfvError::UnknownVnf`] or [`NfvError::NoFeasibleHost`]; on failure
+    /// the instance keeps running where it is (if its host still exists).
+    pub fn migrate(&mut self, id: VnfId) -> Result<u64, NfvError> {
+        let (old_host, old_alloc, required) = {
+            let inst = self.instances.get(&id).ok_or(NfvError::UnknownVnf(id))?;
+            (inst.host, inst.allocation, inst.descriptor.required)
+        };
+        let Some(new_host) = self.pick_host(&required, Some(old_host)) else {
+            self.failed_migrations += 1;
+            return Err(NfvError::NoFeasibleHost);
+        };
+        let new_alloc = self
+            .pools
+            .get_mut(&new_host)
+            .expect("picked host exists")
+            .try_allocate(required)
+            .expect("pick_host checked fit");
+        if let Some(pool) = self.pools.get_mut(&old_host) {
+            pool.release(old_alloc);
+        }
+        let inst = self.instances.get_mut(&id).expect("checked above");
+        if inst.is_running() {
+            inst.transition(VnfState::Migrating).expect("running → migrating");
+            inst.transition(VnfState::Running).expect("migrating → running");
+        }
+        inst.host = new_host;
+        inst.allocation = new_alloc;
+        self.migrations += 1;
+        Ok(new_host)
+    }
+
+    /// Terminates a VNF, releasing its slice.
+    ///
+    /// # Errors
+    ///
+    /// [`NfvError::UnknownVnf`] if it does not exist.
+    pub fn terminate(&mut self, id: VnfId) -> Result<(), NfvError> {
+        let mut inst = self.instances.remove(&id).ok_or(NfvError::UnknownVnf(id))?;
+        let _ = inst.transition(VnfState::Terminated);
+        if let Some(pool) = self.pools.get_mut(&inst.host) {
+            pool.release(inst.allocation);
+        }
+        Ok(())
+    }
+
+    /// Handles a node leaving the mesh: its pool disappears and its VNFs
+    /// become orphans needing migration. Returns the orphaned VNF ids.
+    pub fn node_departed(&mut self, node: u64) -> Vec<VnfId> {
+        self.pools.remove(&node);
+        self.instances
+            .values()
+            .filter(|i| i.host == node)
+            .map(|i| i.id)
+            .collect()
+    }
+
+    /// Attempts to re-place every orphan; returns `(healed, lost)` ids.
+    /// Lost VNFs are terminated and removed.
+    pub fn heal(&mut self, orphans: &[VnfId], now: SimTime) -> (Vec<VnfId>, Vec<VnfId>) {
+        let mut healed = Vec::new();
+        let mut lost = Vec::new();
+        for &id in orphans {
+            match self.migrate(id) {
+                Ok(_) => healed.push(id),
+                Err(_) => {
+                    let _ = self.terminate(id);
+                    lost.push(id);
+                }
+            }
+        }
+        self.refresh_chain_status(now);
+        (healed, lost)
+    }
+
+    /// Deploys every link of a chain; rolls back on failure.
+    ///
+    /// # Errors
+    ///
+    /// [`NfvError::NoFeasibleHost`] if any link cannot be placed (already
+    /// placed links are terminated again).
+    pub fn deploy_chain(&mut self, chain: &ServiceChain, now: SimTime) -> Result<ChainId, NfvError> {
+        let mut placed = Vec::with_capacity(chain.len());
+        for link in &chain.links {
+            match self.instantiate(link.clone()) {
+                Ok(id) => placed.push(id),
+                Err(e) => {
+                    for id in placed {
+                        let _ = self.terminate(id);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let id = ChainId(self.next_chain);
+        self.next_chain += 1;
+        let mut status = ChainStatus::new(placed, now);
+        status.mark_up(now);
+        self.chains.insert(id, status);
+        Ok(id)
+    }
+
+    /// The status record of a chain.
+    pub fn chain_status(&self, id: ChainId) -> Option<&ChainStatus> {
+        self.chains.get(&id)
+    }
+
+    /// Recomputes chain up/down state from instance health.
+    pub fn refresh_chain_status(&mut self, now: SimTime) {
+        for status in self.chains.values_mut() {
+            let all_up = status
+                .instances
+                .iter()
+                .all(|id| self.instances.get(id).is_some_and(VnfInstance::is_running));
+            if all_up {
+                status.mark_up(now);
+            } else {
+                status.mark_down(now);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vnf::VnfKind;
+
+    fn capacity(gas: u64) -> ResourceCapacity {
+        ResourceCapacity::new(1_000, 1 << 30, gas)
+    }
+
+    fn manager(strategy: PlacementStrategy) -> NfManager {
+        let mut m = NfManager::new(strategy);
+        m.register_node(1, capacity(1_000_000));
+        m.register_node(2, capacity(2_000_000));
+        m.register_node(3, capacity(500_000));
+        m
+    }
+
+    fn fuser() -> VnfDescriptor {
+        VnfDescriptor::of_kind("fuse", VnfKind::PerceptionFuser) // needs 1M gas/s
+    }
+
+    #[test]
+    fn first_fit_picks_lowest_feasible_address() {
+        let mut m = manager(PlacementStrategy::FirstFit);
+        let id = m.instantiate(fuser()).unwrap();
+        assert_eq!(m.instance(id).unwrap().host, 1, "node 1 fits and is first");
+    }
+
+    #[test]
+    fn best_fit_packs_tightly() {
+        let mut m = manager(PlacementStrategy::BestFit);
+        let id = m.instantiate(fuser()).unwrap();
+        // Node 1 (1M gas) leaves less headroom than node 2 (2M gas).
+        assert_eq!(m.instance(id).unwrap().host, 1);
+    }
+
+    #[test]
+    fn worst_fit_spreads_load() {
+        let mut m = manager(PlacementStrategy::WorstFit);
+        let id = m.instantiate(fuser()).unwrap();
+        assert_eq!(m.instance(id).unwrap().host, 2, "node 2 has the most headroom");
+    }
+
+    #[test]
+    fn infeasible_instantiation_fails() {
+        let mut m = manager(PlacementStrategy::BestFit);
+        let mut huge = fuser();
+        huge.required = ResourceCapacity::new(10_000, 1 << 40, 10_000_000);
+        assert_eq!(m.instantiate(huge), Err(NfvError::NoFeasibleHost));
+    }
+
+    #[test]
+    fn resources_are_charged_and_released() {
+        let mut m = manager(PlacementStrategy::FirstFit);
+        let id = m.instantiate(fuser()).unwrap();
+        assert!(m.node_utilization(1).unwrap() > 0.9);
+        m.terminate(id).unwrap();
+        assert_eq!(m.node_utilization(1).unwrap(), 0.0);
+        assert_eq!(m.terminate(id), Err(NfvError::UnknownVnf(id)));
+    }
+
+    #[test]
+    fn migration_moves_the_allocation() {
+        let mut m = manager(PlacementStrategy::FirstFit);
+        let id = m.instantiate(fuser()).unwrap();
+        assert_eq!(m.instance(id).unwrap().host, 1);
+        let new_host = m.migrate(id).unwrap();
+        assert_eq!(new_host, 2, "only node 2 also fits a fuser");
+        assert_eq!(m.node_utilization(1).unwrap(), 0.0, "old slice released");
+        assert!(m.node_utilization(2).unwrap() > 0.0);
+        assert!(m.instance(id).unwrap().is_running());
+        assert_eq!(m.migration_counts(), (1, 0));
+    }
+
+    #[test]
+    fn node_departure_and_heal() {
+        let mut m = manager(PlacementStrategy::FirstFit);
+        let id = m.instantiate(fuser()).unwrap();
+        let orphans = m.node_departed(1);
+        assert_eq!(orphans, vec![id]);
+        let (healed, lost) = m.heal(&orphans, SimTime::from_secs(1));
+        assert_eq!(healed, vec![id]);
+        assert!(lost.is_empty());
+        assert_eq!(m.instance(id).unwrap().host, 2);
+    }
+
+    #[test]
+    fn heal_terminates_unplaceable_orphans() {
+        let mut m = NfManager::new(PlacementStrategy::BestFit);
+        m.register_node(1, capacity(1_000_000));
+        m.register_node(2, capacity(100)); // far too small for a fuser
+        let id = m.instantiate(fuser()).unwrap();
+        let orphans = m.node_departed(1);
+        let (healed, lost) = m.heal(&orphans, SimTime::from_secs(1));
+        assert!(healed.is_empty());
+        assert_eq!(lost, vec![id]);
+        assert!(m.instance(id).is_none());
+        assert_eq!(m.migration_counts(), (0, 1));
+    }
+
+    #[test]
+    fn chain_deployment_and_rollback() {
+        let mut m = manager(PlacementStrategy::BestFit);
+        let ok_chain = ServiceChain::new(
+            "small",
+            vec![
+                VnfDescriptor::of_kind("fw", VnfKind::Firewall),
+                VnfDescriptor::of_kind("agg", VnfKind::Aggregator),
+            ],
+        );
+        let cid = m.deploy_chain(&ok_chain, SimTime::ZERO).unwrap();
+        assert!(m.chain_status(cid).unwrap().is_up());
+
+        // Capacity check: node 1 hosts one fuser (1M gas), node 2 hosts two
+        // (2M gas), node 3 none — so a fourth fuser must fail and roll the
+        // whole chain back.
+        let instances_before = m.instances().count();
+        let too_big = ServiceChain::new(
+            "heavy",
+            vec![fuser(), fuser(), fuser(), fuser()],
+        );
+        assert_eq!(m.deploy_chain(&too_big, SimTime::ZERO), Err(NfvError::NoFeasibleHost));
+        assert_eq!(m.instances().count(), instances_before, "rollback released everything");
+    }
+
+    #[test]
+    fn chain_goes_down_when_a_link_is_lost() {
+        let mut m = manager(PlacementStrategy::FirstFit);
+        let chain = ServiceChain::new("svc", vec![fuser()]);
+        let cid = m.deploy_chain(&chain, SimTime::ZERO).unwrap();
+        let host = m.instance(m.chain_status(cid).unwrap().instances[0]).unwrap().host;
+        // Remove every other node so healing must fail.
+        let others: Vec<u64> = [1u64, 2, 3].into_iter().filter(|&n| n != host).collect();
+        for n in others {
+            m.node_departed(n);
+        }
+        let orphans = m.node_departed(host);
+        m.heal(&orphans, SimTime::from_secs(2));
+        let status = m.chain_status(cid).unwrap();
+        assert!(!status.is_up());
+        assert!(status.downtime(SimTime::from_secs(5)) >= airdnd_sim::SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn mean_utilization_averages_nodes() {
+        let mut m = manager(PlacementStrategy::FirstFit);
+        assert_eq!(m.mean_utilization(), 0.0);
+        m.instantiate(fuser()).unwrap();
+        let mean = m.mean_utilization();
+        assert!(mean > 0.0 && mean < 1.0);
+    }
+}

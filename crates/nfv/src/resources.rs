@@ -1,0 +1,253 @@
+//! Resource virtualization: slicing a node's capacity.
+//!
+//! A [`ResourcePool`] tracks one node's total capacity and its outstanding
+//! allocations. Allocation is all-or-nothing across three dimensions (CPU,
+//! memory, gas-rate share) — matching how the orchestrator reasons about
+//! whether a VNF or task *fits* on a node.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A three-dimensional resource vector.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceCapacity {
+    /// CPU in millicores.
+    pub cpu_millicores: u64,
+    /// Memory in bytes.
+    pub mem_bytes: u64,
+    /// TaskVM execution share, gas per second.
+    pub gas_rate: u64,
+}
+
+impl ResourceCapacity {
+    /// The zero vector.
+    pub const ZERO: ResourceCapacity =
+        ResourceCapacity { cpu_millicores: 0, mem_bytes: 0, gas_rate: 0 };
+
+    /// Creates a capacity vector.
+    pub const fn new(cpu_millicores: u64, mem_bytes: u64, gas_rate: u64) -> Self {
+        ResourceCapacity { cpu_millicores, mem_bytes, gas_rate }
+    }
+
+    /// `true` if every dimension of `other` fits within `self`.
+    pub fn fits(&self, other: &ResourceCapacity) -> bool {
+        self.cpu_millicores >= other.cpu_millicores
+            && self.mem_bytes >= other.mem_bytes
+            && self.gas_rate >= other.gas_rate
+    }
+
+    /// The largest per-dimension utilization fraction of `used` against
+    /// `self` (0.0 when self is the zero vector).
+    pub fn dominant_utilization(&self, used: &ResourceCapacity) -> f64 {
+        let frac = |u: u64, c: u64| if c == 0 { 0.0 } else { u as f64 / c as f64 };
+        frac(used.cpu_millicores, self.cpu_millicores)
+            .max(frac(used.mem_bytes, self.mem_bytes))
+            .max(frac(used.gas_rate, self.gas_rate))
+    }
+}
+
+impl Add for ResourceCapacity {
+    type Output = ResourceCapacity;
+    fn add(self, rhs: ResourceCapacity) -> ResourceCapacity {
+        ResourceCapacity {
+            cpu_millicores: self.cpu_millicores.saturating_add(rhs.cpu_millicores),
+            mem_bytes: self.mem_bytes.saturating_add(rhs.mem_bytes),
+            gas_rate: self.gas_rate.saturating_add(rhs.gas_rate),
+        }
+    }
+}
+
+impl Sub for ResourceCapacity {
+    type Output = ResourceCapacity;
+    fn sub(self, rhs: ResourceCapacity) -> ResourceCapacity {
+        ResourceCapacity {
+            cpu_millicores: self.cpu_millicores.saturating_sub(rhs.cpu_millicores),
+            mem_bytes: self.mem_bytes.saturating_sub(rhs.mem_bytes),
+            gas_rate: self.gas_rate.saturating_sub(rhs.gas_rate),
+        }
+    }
+}
+
+impl fmt::Display for ResourceCapacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}m cpu / {} MiB / {} gas/s",
+            self.cpu_millicores,
+            self.mem_bytes >> 20,
+            self.gas_rate
+        )
+    }
+}
+
+/// Identifies one allocation within a pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AllocationId(u64);
+
+impl fmt::Display for AllocationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "alloc#{}", self.0)
+    }
+}
+
+/// Why an allocation failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InsufficientCapacity {
+    /// What was requested.
+    pub requested: ResourceCapacity,
+    /// What remained available.
+    pub available: ResourceCapacity,
+}
+
+impl fmt::Display for InsufficientCapacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "insufficient capacity: requested {}, available {}", self.requested, self.available)
+    }
+}
+
+impl Error for InsufficientCapacity {}
+
+/// One node's capacity and outstanding slices.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ResourcePool {
+    capacity: ResourceCapacity,
+    allocations: BTreeMap<AllocationId, ResourceCapacity>,
+    used: ResourceCapacity,
+    next_id: u64,
+}
+
+impl ResourcePool {
+    /// Creates a pool with the given total capacity.
+    pub fn new(capacity: ResourceCapacity) -> Self {
+        ResourcePool {
+            capacity,
+            allocations: BTreeMap::new(),
+            used: ResourceCapacity::ZERO,
+            next_id: 0,
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> ResourceCapacity {
+        self.capacity
+    }
+
+    /// Currently allocated resources.
+    pub fn used(&self) -> ResourceCapacity {
+        self.used
+    }
+
+    /// Remaining free resources.
+    pub fn available(&self) -> ResourceCapacity {
+        self.capacity - self.used
+    }
+
+    /// Number of live allocations.
+    pub fn allocation_count(&self) -> usize {
+        self.allocations.len()
+    }
+
+    /// Dominant-dimension utilization fraction in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.capacity.dominant_utilization(&self.used)
+    }
+
+    /// Attempts to carve out a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InsufficientCapacity`] if the request does not fit.
+    pub fn try_allocate(&mut self, request: ResourceCapacity) -> Result<AllocationId, InsufficientCapacity> {
+        if !self.available().fits(&request) {
+            return Err(InsufficientCapacity { requested: request, available: self.available() });
+        }
+        let id = AllocationId(self.next_id);
+        self.next_id += 1;
+        self.allocations.insert(id, request);
+        self.used = self.used + request;
+        Ok(id)
+    }
+
+    /// Releases a slice; returns the freed resources, or `None` if the id
+    /// is unknown (double release is harmless and observable).
+    pub fn release(&mut self, id: AllocationId) -> Option<ResourceCapacity> {
+        let freed = self.allocations.remove(&id)?;
+        self.used = self.used - freed;
+        Some(freed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(cpu: u64, mem: u64, gas: u64) -> ResourceCapacity {
+        ResourceCapacity::new(cpu, mem, gas)
+    }
+
+    #[test]
+    fn fits_is_per_dimension() {
+        let big = cap(1000, 1000, 1000);
+        assert!(big.fits(&cap(1000, 1000, 1000)));
+        assert!(!big.fits(&cap(1001, 0, 0)));
+        assert!(!big.fits(&cap(0, 1001, 0)));
+        assert!(!big.fits(&cap(0, 0, 1001)));
+    }
+
+    #[test]
+    fn allocate_and_release_round_trip() {
+        let mut pool = ResourcePool::new(cap(1000, 1 << 30, 1_000_000));
+        let a = pool.try_allocate(cap(400, 1 << 29, 500_000)).unwrap();
+        assert_eq!(pool.used(), cap(400, 1 << 29, 500_000));
+        assert_eq!(pool.allocation_count(), 1);
+        let freed = pool.release(a).unwrap();
+        assert_eq!(freed, cap(400, 1 << 29, 500_000));
+        assert_eq!(pool.used(), ResourceCapacity::ZERO);
+        assert_eq!(pool.release(a), None, "double release is a no-op");
+    }
+
+    #[test]
+    fn overcommit_is_rejected() {
+        let mut pool = ResourcePool::new(cap(1000, 1000, 1000));
+        pool.try_allocate(cap(700, 0, 0)).unwrap();
+        let err = pool.try_allocate(cap(400, 0, 0)).unwrap_err();
+        assert_eq!(err.available.cpu_millicores, 300);
+        // A fitting request still succeeds after the failure.
+        assert!(pool.try_allocate(cap(300, 0, 0)).is_ok());
+        assert_eq!(pool.available().cpu_millicores, 0);
+    }
+
+    #[test]
+    fn utilization_tracks_dominant_dimension() {
+        let mut pool = ResourcePool::new(cap(1000, 1000, 1000));
+        assert_eq!(pool.utilization(), 0.0);
+        pool.try_allocate(cap(100, 900, 500)).unwrap();
+        assert!((pool.utilization() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_pool() {
+        let mut pool = ResourcePool::new(ResourceCapacity::ZERO);
+        assert_eq!(pool.utilization(), 0.0);
+        assert!(pool.try_allocate(cap(1, 0, 0)).is_err());
+        assert!(pool.try_allocate(ResourceCapacity::ZERO).is_ok(), "zero fits in zero");
+    }
+
+    #[test]
+    fn allocation_ids_are_unique() {
+        let mut pool = ResourcePool::new(cap(100, 100, 100));
+        let a = pool.try_allocate(cap(10, 10, 10)).unwrap();
+        pool.release(a);
+        let b = pool.try_allocate(cap(10, 10, 10)).unwrap();
+        assert_ne!(a, b, "ids are never reused");
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = cap(500, 64 << 20, 1_000_000);
+        assert_eq!(c.to_string(), "500m cpu / 64 MiB / 1000000 gas/s");
+    }
+}

@@ -1,0 +1,244 @@
+//! VNF descriptors, instances and the lifecycle state machine.
+
+use crate::resources::{AllocationId, ResourceCapacity};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// The function a VNF performs (drives default resource sizing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum VnfKind {
+    /// Frame forwarding / relay between mesh segments.
+    Router,
+    /// Admission filtering of offload requests.
+    Firewall,
+    /// Aggregates perception results from several producers.
+    Aggregator,
+    /// Runs fused-perception kernels for the whole mesh.
+    PerceptionFuser,
+    /// Caches task results for repeated queries.
+    ResultCache,
+}
+
+impl VnfKind {
+    /// Default resource footprint for this kind.
+    pub fn default_footprint(self) -> ResourceCapacity {
+        match self {
+            VnfKind::Router => ResourceCapacity::new(100, 32 << 20, 0),
+            VnfKind::Firewall => ResourceCapacity::new(50, 16 << 20, 0),
+            VnfKind::Aggregator => ResourceCapacity::new(200, 128 << 20, 200_000),
+            VnfKind::PerceptionFuser => ResourceCapacity::new(500, 256 << 20, 1_000_000),
+            VnfKind::ResultCache => ResourceCapacity::new(50, 512 << 20, 0),
+        }
+    }
+}
+
+impl fmt::Display for VnfKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VnfKind::Router => "router",
+            VnfKind::Firewall => "firewall",
+            VnfKind::Aggregator => "aggregator",
+            VnfKind::PerceptionFuser => "perception-fuser",
+            VnfKind::ResultCache => "result-cache",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static description of a VNF to be instantiated.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VnfDescriptor {
+    /// Diagnostic name.
+    pub name: String,
+    /// The function performed.
+    pub kind: VnfKind,
+    /// Resources the instance needs.
+    pub required: ResourceCapacity,
+}
+
+impl VnfDescriptor {
+    /// A descriptor with the kind's default footprint.
+    pub fn of_kind(name: impl Into<String>, kind: VnfKind) -> Self {
+        VnfDescriptor { name: name.into(), kind, required: kind.default_footprint() }
+    }
+}
+
+/// Identifies a VNF instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VnfId(pub u64);
+
+impl fmt::Display for VnfId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vnf#{}", self.0)
+    }
+}
+
+/// Lifecycle states. Legal transitions:
+/// `Instantiating → Running → Migrating → Running` and any → `Terminated`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VnfState {
+    /// Being deployed on its host.
+    Instantiating,
+    /// Serving traffic.
+    Running,
+    /// Moving to a new host (not serving).
+    Migrating,
+    /// Shut down; terminal.
+    Terminated,
+}
+
+impl fmt::Display for VnfState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VnfState::Instantiating => "instantiating",
+            VnfState::Running => "running",
+            VnfState::Migrating => "migrating",
+            VnfState::Terminated => "terminated",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An illegal lifecycle transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidTransition {
+    /// State the instance was in.
+    pub from: VnfState,
+    /// State that was requested.
+    pub to: VnfState,
+}
+
+impl fmt::Display for InvalidTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid VNF transition {} → {}", self.from, self.to)
+    }
+}
+
+impl Error for InvalidTransition {}
+
+/// A deployed VNF.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VnfInstance {
+    /// Instance id.
+    pub id: VnfId,
+    /// What was deployed.
+    pub descriptor: VnfDescriptor,
+    /// Hosting node (raw address).
+    pub host: u64,
+    /// The resource slice backing this instance.
+    pub allocation: AllocationId,
+    state: VnfState,
+}
+
+impl VnfInstance {
+    /// Creates an instance in `Instantiating` state.
+    pub fn new(id: VnfId, descriptor: VnfDescriptor, host: u64, allocation: AllocationId) -> Self {
+        VnfInstance { id, descriptor, host, allocation, state: VnfState::Instantiating }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> VnfState {
+        self.state
+    }
+
+    /// `true` if the instance is serving.
+    pub fn is_running(&self) -> bool {
+        self.state == VnfState::Running
+    }
+
+    /// Attempts a lifecycle transition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidTransition`] for anything but the legal moves
+    /// documented on [`VnfState`].
+    pub fn transition(&mut self, to: VnfState) -> Result<(), InvalidTransition> {
+        use VnfState::*;
+        let legal = matches!(
+            (self.state, to),
+            (Instantiating, Running)
+                | (Running, Migrating)
+                | (Migrating, Running)
+                | (Instantiating, Terminated)
+                | (Running, Terminated)
+                | (Migrating, Terminated)
+        );
+        if !legal {
+            return Err(InvalidTransition { from: self.state, to });
+        }
+        self.state = to;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc_id() -> AllocationId {
+        // Round-trip through a pool to obtain a real id.
+        let mut pool = crate::resources::ResourcePool::new(ResourceCapacity::new(1, 1, 1));
+        pool.try_allocate(ResourceCapacity::ZERO).unwrap()
+    }
+
+    fn instance() -> VnfInstance {
+        VnfInstance::new(
+            VnfId(1),
+            VnfDescriptor::of_kind("fuser", VnfKind::PerceptionFuser),
+            7,
+            alloc_id(),
+        )
+    }
+
+    #[test]
+    fn normal_lifecycle() {
+        let mut v = instance();
+        assert_eq!(v.state(), VnfState::Instantiating);
+        v.transition(VnfState::Running).unwrap();
+        assert!(v.is_running());
+        v.transition(VnfState::Migrating).unwrap();
+        assert!(!v.is_running());
+        v.transition(VnfState::Running).unwrap();
+        v.transition(VnfState::Terminated).unwrap();
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        let mut v = instance();
+        assert_eq!(
+            v.transition(VnfState::Migrating),
+            Err(InvalidTransition { from: VnfState::Instantiating, to: VnfState::Migrating })
+        );
+        v.transition(VnfState::Terminated).unwrap();
+        assert!(v.transition(VnfState::Running).is_err(), "terminated is terminal");
+        assert!(v.transition(VnfState::Terminated).is_err(), "no self-loop on terminal");
+    }
+
+    #[test]
+    fn kind_footprints_are_sane() {
+        for kind in [
+            VnfKind::Router,
+            VnfKind::Firewall,
+            VnfKind::Aggregator,
+            VnfKind::PerceptionFuser,
+            VnfKind::ResultCache,
+        ] {
+            let fp = kind.default_footprint();
+            assert!(fp.cpu_millicores > 0, "{kind} needs cpu");
+            assert!(fp.mem_bytes > 0, "{kind} needs memory");
+        }
+        // The fuser is the compute-heavy one.
+        assert!(
+            VnfKind::PerceptionFuser.default_footprint().gas_rate
+                > VnfKind::Aggregator.default_footprint().gas_rate
+        );
+    }
+
+    #[test]
+    fn descriptor_of_kind_uses_default_footprint() {
+        let d = VnfDescriptor::of_kind("r", VnfKind::Router);
+        assert_eq!(d.required, VnfKind::Router.default_footprint());
+        assert_eq!(d.kind, VnfKind::Router);
+    }
+}

@@ -1,0 +1,102 @@
+//! MAC-layer timing: CSMA/CA-style access delay and airtime accounting.
+//!
+//! The medium applies DIFS + slotted binary-exponential backoff before each
+//! transmission and serializes transmissions that share airspace. This
+//! module holds the timing parameters and the pure timing arithmetic; the
+//! contention state lives in [`crate::medium::RadioMedium`].
+
+use airdnd_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// MAC timing and framing parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacParams {
+    /// PHY bitrate, bits per second.
+    pub bitrate_bps: u64,
+    /// Slot time.
+    pub slot: SimDuration,
+    /// DIFS — fixed wait before contention.
+    pub difs: SimDuration,
+    /// Minimum contention window (slots), power of two minus one.
+    pub cw_min: u32,
+    /// Maximum contention window (slots).
+    pub cw_max: u32,
+    /// Maximum unicast (re)transmissions before giving up.
+    pub max_attempts: u32,
+    /// PHY + MAC header overhead added to every frame, bytes.
+    pub header_bytes: u64,
+}
+
+impl Default for MacParams {
+    /// The 802.11p-like profile; see [`crate::profiles::dsrc`].
+    fn default() -> Self {
+        crate::profiles::dsrc().1
+    }
+}
+
+impl MacParams {
+    /// Time on air for a payload of `bytes` (headers included).
+    pub fn tx_time(&self, bytes: u64) -> SimDuration {
+        let bits = (bytes + self.header_bytes) * 8;
+        let nanos = bits.saturating_mul(1_000_000_000) / self.bitrate_bps.max(1);
+        SimDuration::from_nanos(nanos)
+    }
+
+    /// Contention window for the given retry attempt (0-based), slots.
+    pub fn contention_window(&self, attempt: u32) -> u32 {
+        let cw = (self.cw_min + 1).saturating_mul(1 << attempt.min(16));
+        (cw - 1).min(self.cw_max)
+    }
+
+    /// Backoff duration for a drawn slot count.
+    pub fn backoff(&self, slots: u32) -> SimDuration {
+        self.slot * slots as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac() -> MacParams {
+        MacParams {
+            bitrate_bps: 6_000_000,
+            slot: SimDuration::from_micros(13),
+            difs: SimDuration::from_micros(58),
+            cw_min: 15,
+            cw_max: 1023,
+            max_attempts: 4,
+            header_bytes: 36,
+        }
+    }
+
+    #[test]
+    fn tx_time_scales_with_size() {
+        let m = mac();
+        // (100 + 36) bytes * 8 = 1088 bits at 6 Mbps ≈ 181.33 µs
+        // (truncated to whole nanoseconds).
+        let t = m.tx_time(100);
+        assert!((t.as_secs_f64() - 1088.0 / 6e6).abs() < 1e-9);
+        assert!(m.tx_time(1000) > m.tx_time(100));
+        // Zero payload still pays header airtime.
+        assert!(m.tx_time(0) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn contention_window_doubles_then_caps() {
+        let m = mac();
+        assert_eq!(m.contention_window(0), 15);
+        assert_eq!(m.contention_window(1), 31);
+        assert_eq!(m.contention_window(2), 63);
+        assert_eq!(m.contention_window(10), 1023);
+        // Huge attempt values must not overflow.
+        assert_eq!(m.contention_window(40), 1023);
+    }
+
+    #[test]
+    fn backoff_is_slots_times_slot_time() {
+        let m = mac();
+        assert_eq!(m.backoff(0), SimDuration::ZERO);
+        assert_eq!(m.backoff(10), SimDuration::from_micros(130));
+    }
+}

@@ -1,0 +1,557 @@
+//! The shared wireless medium: contention, loss, and delivery timing.
+//!
+//! [`RadioMedium`] is a passive service (no actor of its own): protocol
+//! layers ask it *when* a frame would be delivered and *whether* it
+//! survives, then schedule their own engine messages with the returned
+//! delays. This keeps the radio independent of any particular message type
+//! while still producing honest latency/loss/goodput behaviour:
+//!
+//! * **Contention** — transmissions carrier-sense a grid of airspace cells
+//!   (`cs_range`-sized); a transmitter defers until its local airspace is
+//!   free, then pays DIFS + slotted backoff. Spatially separated nodes
+//!   reuse the spectrum, co-located ones serialize and collapse under load.
+//! * **Loss** — per-frame PER from the [`ChannelModel`] with a fresh
+//!   log-normal shadowing draw; unicast retries up to
+//!   [`MacParams::max_attempts`], broadcast is send-once.
+//! * **Accounting** — every call reports bytes put on the air, which the
+//!   data-transfer experiments (F2) aggregate.
+//!
+//! Explicit hidden-terminal collisions are not modelled; contention and
+//! SNR-based loss reproduce the load behaviour the experiments need (see
+//! DESIGN.md §3).
+
+use crate::channel::ChannelModel;
+use crate::mac::MacParams;
+use airdnd_geo::{Vec2, World};
+use airdnd_sim::{SimDuration, SimRng, SimTime};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Radio-level address of a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeAddr(u64);
+
+/// The broadcast address.
+pub const BROADCAST: NodeAddr = NodeAddr(u64::MAX);
+
+impl NodeAddr {
+    /// Creates an address from a raw id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is `u64::MAX` (reserved for [`BROADCAST`]).
+    pub fn new(id: u64) -> Self {
+        assert_ne!(id, u64::MAX, "u64::MAX is the broadcast address");
+        NodeAddr(id)
+    }
+
+    /// The raw id.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// `true` if this is the broadcast address.
+    pub const fn is_broadcast(self) -> bool {
+        self.0 == u64::MAX
+    }
+}
+
+impl fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_broadcast() {
+            write!(f, "radio:*")
+        } else {
+            write!(f, "radio:{}", self.0)
+        }
+    }
+}
+
+/// Result of a unicast transmission attempt sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// The frame arrived at the destination at the given time.
+    Delivered {
+        /// Arrival time at the receiver.
+        at: SimTime,
+        /// Number of transmissions used (1 = first try).
+        attempts: u32,
+    },
+    /// All attempts failed the channel draw.
+    Lost {
+        /// Number of transmissions used.
+        attempts: u32,
+    },
+    /// Source or destination is not registered on the medium.
+    Unreachable,
+}
+
+impl DeliveryOutcome {
+    /// The arrival time if delivered.
+    pub fn delivered_at(self) -> Option<SimTime> {
+        match self {
+            DeliveryOutcome::Delivered { at, .. } => Some(at),
+            _ => None,
+        }
+    }
+}
+
+/// Airtime/byte accounting for one medium call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct TxReport {
+    /// Bytes put on the air (headers and retries included).
+    pub bytes_on_air: u64,
+    /// Total air occupancy caused by this call.
+    pub airtime: SimDuration,
+}
+
+/// One broadcast delivery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BroadcastDelivery {
+    /// The receiver.
+    pub to: NodeAddr,
+    /// Arrival time.
+    pub at: SimTime,
+}
+
+/// The shared medium. See the module docs for the model.
+#[derive(Clone, Debug)]
+pub struct RadioMedium {
+    channel: ChannelModel,
+    mac: MacParams,
+    world: World,
+    cs_range: f64,
+    positions: BTreeMap<NodeAddr, Vec2>,
+    busy: BTreeMap<(i64, i64), SimTime>,
+    rng: SimRng,
+    total_bytes_on_air: u64,
+    total_airtime: SimDuration,
+}
+
+/// Speed of light, m/s (propagation delay).
+const C: f64 = 299_792_458.0;
+
+impl RadioMedium {
+    /// Creates a medium.
+    ///
+    /// `cs_range` is the carrier-sense range in metres: transmitters within
+    /// `cs_range` of each other contend for the same airspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cs_range` is not positive and finite.
+    pub fn new(channel: ChannelModel, mac: MacParams, world: World, cs_range: f64, rng: SimRng) -> Self {
+        assert!(cs_range.is_finite() && cs_range > 0.0, "carrier-sense range must be positive");
+        RadioMedium {
+            channel,
+            mac,
+            world,
+            cs_range,
+            positions: BTreeMap::new(),
+            busy: BTreeMap::new(),
+            rng,
+            total_bytes_on_air: 0,
+            total_airtime: SimDuration::ZERO,
+        }
+    }
+
+    /// A medium with V2V defaults over the given world.
+    pub fn v2v(world: World, rng: SimRng) -> Self {
+        let (channel, mac) = crate::profiles::dsrc();
+        RadioMedium::new(channel, mac, world, 600.0, rng)
+    }
+
+    /// The channel model in use.
+    pub fn channel(&self) -> &ChannelModel {
+        &self.channel
+    }
+
+    /// The MAC parameters in use.
+    pub fn mac(&self) -> &MacParams {
+        &self.mac
+    }
+
+    /// Registers or moves a node.
+    pub fn set_position(&mut self, addr: NodeAddr, pos: Vec2) {
+        assert!(!addr.is_broadcast(), "cannot position the broadcast address");
+        self.positions.insert(addr, pos);
+    }
+
+    /// Deregisters a node (frames to it become [`DeliveryOutcome::Unreachable`]).
+    pub fn remove_node(&mut self, addr: NodeAddr) {
+        self.positions.remove(&addr);
+    }
+
+    /// Position of a node, if registered.
+    pub fn position(&self, addr: NodeAddr) -> Option<Vec2> {
+        self.positions.get(&addr).copied()
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Registered nodes within `radius` of `center` (excluding none).
+    pub fn nodes_in_range(&self, center: Vec2, radius: f64) -> Vec<NodeAddr> {
+        let r2 = radius * radius;
+        self.positions
+            .iter()
+            .filter(|(_, p)| p.distance_sq(center) <= r2)
+            .map(|(&a, _)| a)
+            .collect()
+    }
+
+    /// Total bytes ever put on the air.
+    pub fn bytes_on_air_total(&self) -> u64 {
+        self.total_bytes_on_air
+    }
+
+    /// Total airtime ever occupied.
+    pub fn airtime_total(&self) -> SimDuration {
+        self.total_airtime
+    }
+
+    fn cell_of(&self, p: Vec2) -> (i64, i64) {
+        ((p.x / self.cs_range).floor() as i64, (p.y / self.cs_range).floor() as i64)
+    }
+
+    /// Earliest time the airspace around `pos` is free.
+    fn airspace_free_at(&self, pos: Vec2) -> SimTime {
+        let (cx, cy) = self.cell_of(pos);
+        let mut free = SimTime::ZERO;
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(&t) = self.busy.get(&(cx + dx, cy + dy)) {
+                    free = free.max(t);
+                }
+            }
+        }
+        free
+    }
+
+    fn occupy_airspace(&mut self, pos: Vec2, until: SimTime) {
+        let (cx, cy) = self.cell_of(pos);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                let entry = self.busy.entry((cx + dx, cy + dy)).or_insert(SimTime::ZERO);
+                *entry = (*entry).max(until);
+            }
+        }
+    }
+
+    /// One physical transmission: returns `(tx_end, frame_survives)` for a
+    /// link of `distance` metres, and accounts airtime/bytes.
+    fn transmit(
+        &mut self,
+        earliest: SimTime,
+        src_pos: Vec2,
+        payload_bytes: u64,
+        attempt: u32,
+        distance: f64,
+        line_of_sight: bool,
+    ) -> (SimTime, bool) {
+        let cw = self.mac.contention_window(attempt);
+        let slots = if cw == 0 { 0 } else { (self.rng.next_u64() % (cw as u64 + 1)) as u32 };
+        let access = self.mac.difs + self.mac.backoff(slots);
+        let start = self.airspace_free_at(src_pos).max(earliest) + access;
+        let airtime = self.mac.tx_time(payload_bytes);
+        let end = start + airtime;
+        self.occupy_airspace(src_pos, end);
+        self.total_airtime += airtime;
+        self.total_bytes_on_air += payload_bytes + self.mac.header_bytes;
+        let shadow = self.rng.normal(0.0, self.channel.shadowing_sigma_db);
+        let bits = (payload_bytes + self.mac.header_bytes) * 8;
+        let per = self.channel.per_at(distance, line_of_sight, shadow, bits);
+        let survives = !self.rng.chance(per);
+        (end, survives)
+    }
+
+    /// Sends `payload_bytes` from `src` to `dst` with ARQ retries.
+    ///
+    /// Returns the outcome plus airtime/byte accounting. The returned
+    /// delivery time includes queueing, contention, transmission and
+    /// propagation.
+    pub fn unicast(
+        &mut self,
+        now: SimTime,
+        src: NodeAddr,
+        dst: NodeAddr,
+        payload_bytes: u64,
+    ) -> (DeliveryOutcome, TxReport) {
+        let (Some(&src_pos), Some(&dst_pos)) = (self.positions.get(&src), self.positions.get(&dst))
+        else {
+            return (DeliveryOutcome::Unreachable, TxReport::default());
+        };
+        let distance = src_pos.distance(dst_pos);
+        let los = self.world.line_of_sight(src_pos, dst_pos);
+        let airtime_before = self.total_airtime;
+        let bytes_before = self.total_bytes_on_air;
+        let mut cursor = now;
+        let mut attempts = 0;
+        let outcome = loop {
+            let (end, ok) =
+                self.transmit(cursor, src_pos, payload_bytes, attempts, distance, los);
+            attempts += 1;
+            if ok {
+                let prop = SimDuration::from_secs_f64(distance / C);
+                break DeliveryOutcome::Delivered { at: end + prop, attempts };
+            }
+            if attempts >= self.mac.max_attempts {
+                break DeliveryOutcome::Lost { attempts };
+            }
+            cursor = end;
+        };
+        let report = TxReport {
+            bytes_on_air: self.total_bytes_on_air - bytes_before,
+            airtime: self.total_airtime - airtime_before,
+        };
+        (outcome, report)
+    }
+
+    /// Broadcasts `payload_bytes` from `src`: one transmission, each
+    /// registered neighbour independently survives or loses the frame.
+    ///
+    /// Receivers beyond `2 × nominal range` are skipped outright (their PER
+    /// is indistinguishable from 1).
+    pub fn broadcast(
+        &mut self,
+        now: SimTime,
+        src: NodeAddr,
+        payload_bytes: u64,
+    ) -> (Vec<BroadcastDelivery>, TxReport) {
+        let Some(&src_pos) = self.positions.get(&src) else {
+            return (Vec::new(), TxReport::default());
+        };
+        let airtime_before = self.total_airtime;
+        let bytes_before = self.total_bytes_on_air;
+        // Single transmission, no retries: pay access + airtime once.
+        let cw = self.mac.contention_window(0);
+        let slots = if cw == 0 { 0 } else { (self.rng.next_u64() % (cw as u64 + 1)) as u32 };
+        let access = self.mac.difs + self.mac.backoff(slots);
+        let start = self.airspace_free_at(src_pos).max(now) + access;
+        let airtime = self.mac.tx_time(payload_bytes);
+        let end = start + airtime;
+        self.occupy_airspace(src_pos, end);
+        self.total_airtime += airtime;
+        self.total_bytes_on_air += payload_bytes + self.mac.header_bytes;
+
+        let horizon = 2.0 * self.channel.nominal_range(true);
+        let bits = (payload_bytes + self.mac.header_bytes) * 8;
+        let candidates: Vec<(NodeAddr, Vec2)> = self
+            .positions
+            .iter()
+            .filter(|(&a, p)| a != src && p.distance(src_pos) <= horizon)
+            .map(|(&a, &p)| (a, p))
+            .collect();
+        let mut deliveries = Vec::new();
+        for (addr, pos) in candidates {
+            let distance = src_pos.distance(pos);
+            let los = self.world.line_of_sight(src_pos, pos);
+            let shadow = self.rng.normal(0.0, self.channel.shadowing_sigma_db);
+            let per = self.channel.per_at(distance, los, shadow, bits);
+            if !self.rng.chance(per) {
+                let prop = SimDuration::from_secs_f64(distance / C);
+                deliveries.push(BroadcastDelivery { to: addr, at: end + prop });
+            }
+        }
+        let report = TxReport {
+            bytes_on_air: self.total_bytes_on_air - bytes_before,
+            airtime: self.total_airtime - airtime_before,
+        };
+        (deliveries, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn medium() -> RadioMedium {
+        RadioMedium::v2v(World::new(), SimRng::seed_from(7))
+    }
+
+    #[test]
+    fn unicast_close_nodes_delivers_quickly() {
+        let mut m = medium();
+        let a = NodeAddr::new(1);
+        let b = NodeAddr::new(2);
+        m.set_position(a, Vec2::ZERO);
+        m.set_position(b, Vec2::new(20.0, 0.0));
+        let (outcome, report) = m.unicast(SimTime::ZERO, a, b, 500);
+        let at = outcome.delivered_at().expect("20 m link must deliver");
+        assert!(at.as_millis_f64() < 5.0, "delivery took {at}");
+        assert!(report.bytes_on_air >= 500);
+        assert!(report.airtime > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unicast_far_nodes_is_lost_after_retries() {
+        let mut m = medium();
+        let a = NodeAddr::new(1);
+        let b = NodeAddr::new(2);
+        m.set_position(a, Vec2::ZERO);
+        m.set_position(b, Vec2::new(50_000.0, 0.0));
+        let (outcome, report) = m.unicast(SimTime::ZERO, a, b, 500);
+        match outcome {
+            DeliveryOutcome::Lost { attempts } => {
+                assert_eq!(attempts, m.mac().max_attempts);
+                // Retries each burn airtime.
+                assert_eq!(report.bytes_on_air, attempts as u64 * (500 + m.mac().header_bytes));
+            }
+            other => panic!("expected loss at 50 km, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_nodes_are_unreachable() {
+        let mut m = medium();
+        let a = NodeAddr::new(1);
+        m.set_position(a, Vec2::ZERO);
+        let (outcome, report) = m.unicast(SimTime::ZERO, a, NodeAddr::new(99), 100);
+        assert_eq!(outcome, DeliveryOutcome::Unreachable);
+        assert_eq!(report.bytes_on_air, 0);
+        let (deliveries, _) = m.broadcast(SimTime::ZERO, NodeAddr::new(42), 100);
+        assert!(deliveries.is_empty());
+    }
+
+    #[test]
+    fn removed_node_becomes_unreachable() {
+        let mut m = medium();
+        let a = NodeAddr::new(1);
+        let b = NodeAddr::new(2);
+        m.set_position(a, Vec2::ZERO);
+        m.set_position(b, Vec2::new(10.0, 0.0));
+        m.remove_node(b);
+        let (outcome, _) = m.unicast(SimTime::ZERO, a, b, 100);
+        assert_eq!(outcome, DeliveryOutcome::Unreachable);
+    }
+
+    #[test]
+    fn broadcast_reaches_near_not_far() {
+        let mut m = medium();
+        let src = NodeAddr::new(1);
+        m.set_position(src, Vec2::ZERO);
+        m.set_position(NodeAddr::new(2), Vec2::new(30.0, 0.0));
+        m.set_position(NodeAddr::new(3), Vec2::new(60.0, 0.0));
+        m.set_position(NodeAddr::new(4), Vec2::new(100_000.0, 0.0));
+        let (deliveries, report) = m.broadcast(SimTime::ZERO, src, 200);
+        let receivers: Vec<u64> = deliveries.iter().map(|d| d.to.raw()).collect();
+        assert!(receivers.contains(&2) && receivers.contains(&3), "got {receivers:?}");
+        assert!(!receivers.contains(&4));
+        // Broadcast transmits once regardless of receiver count.
+        assert_eq!(report.bytes_on_air, 200 + m.mac().header_bytes);
+    }
+
+    #[test]
+    fn contention_serializes_colocated_transmitters() {
+        let mut m = medium();
+        let a = NodeAddr::new(1);
+        let b = NodeAddr::new(2);
+        let c = NodeAddr::new(3);
+        m.set_position(a, Vec2::ZERO);
+        m.set_position(b, Vec2::new(10.0, 0.0));
+        m.set_position(c, Vec2::new(20.0, 0.0));
+        // Two back-to-back large transfers from the same spot at t=0.
+        let (o1, _) = m.unicast(SimTime::ZERO, a, c, 10_000);
+        let (o2, _) = m.unicast(SimTime::ZERO, b, c, 10_000);
+        let t1 = o1.delivered_at().unwrap();
+        let t2 = o2.delivered_at().unwrap();
+        // The second must queue behind the first's airtime.
+        let airtime = m.mac().tx_time(10_000);
+        assert!(t2 >= t1 + airtime.saturating_sub(SimDuration::from_micros(1)), "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn spatial_reuse_allows_distant_parallel_transmissions() {
+        let mut m = medium();
+        let a = NodeAddr::new(1);
+        let b = NodeAddr::new(2);
+        let far_a = NodeAddr::new(3);
+        let far_b = NodeAddr::new(4);
+        m.set_position(a, Vec2::ZERO);
+        m.set_position(b, Vec2::new(10.0, 0.0));
+        m.set_position(far_a, Vec2::new(100_000.0, 0.0));
+        m.set_position(far_b, Vec2::new(100_010.0, 0.0));
+        let (o1, _) = m.unicast(SimTime::ZERO, a, b, 10_000);
+        let (o2, _) = m.unicast(SimTime::ZERO, far_a, far_b, 10_000);
+        let t1 = o1.delivered_at().unwrap();
+        let t2 = o2.delivered_at().unwrap();
+        // Far pair does not queue behind the near pair: both finish within
+        // one airtime + max backoff of t=0.
+        let bound = m.mac().tx_time(10_000)
+            + m.mac().difs
+            + m.mac().backoff(m.mac().contention_window(0))
+            + SimDuration::from_micros(1);
+        assert!(t1 <= SimTime::ZERO + bound);
+        assert!(t2 <= SimTime::ZERO + bound, "far pair queued: {t2}");
+    }
+
+    #[test]
+    fn occlusion_hurts_delivery() {
+        // Wall between the two nodes: with 40 dB penetration loss the link
+        // dies at a distance that works fine with LOS.
+        let mut channel = crate::profiles::dsrc().0;
+        channel.obstacle_loss_db = 60.0;
+        let mac = crate::profiles::dsrc().1;
+        let mut world = World::new();
+        world.add_obstacle(airdnd_geo::Obstacle::Rect(airdnd_geo::Aabb::from_center_size(
+            Vec2::new(100.0, 0.0),
+            5.0,
+            200.0,
+        )));
+        let mut m = RadioMedium::new(channel, mac, world, 600.0, SimRng::seed_from(3));
+        let a = NodeAddr::new(1);
+        let b = NodeAddr::new(2);
+        m.set_position(a, Vec2::ZERO);
+        m.set_position(b, Vec2::new(200.0, 0.0));
+        let mut lost = 0;
+        for i in 0..20 {
+            let (o, _) = m.unicast(SimTime::from_secs(i), a, b, 1000);
+            if matches!(o, DeliveryOutcome::Lost { .. }) {
+                lost += 1;
+            }
+        }
+        assert!(lost > 10, "blocked link should mostly fail, lost {lost}/20");
+    }
+
+    #[test]
+    fn accounting_accumulates() {
+        let mut m = medium();
+        let a = NodeAddr::new(1);
+        let b = NodeAddr::new(2);
+        m.set_position(a, Vec2::ZERO);
+        m.set_position(b, Vec2::new(10.0, 0.0));
+        m.unicast(SimTime::ZERO, a, b, 1000);
+        m.broadcast(SimTime::ZERO, a, 500);
+        assert!(m.bytes_on_air_total() >= 1500);
+        assert!(m.airtime_total() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let run = |seed| {
+            let mut m = RadioMedium::v2v(World::new(), SimRng::seed_from(seed));
+            let a = NodeAddr::new(1);
+            let b = NodeAddr::new(2);
+            m.set_position(a, Vec2::ZERO);
+            m.set_position(b, Vec2::new(150.0, 0.0));
+            (0..50)
+                .map(|i| m.unicast(SimTime::from_millis(i * 10), a, b, 800).0)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn nodes_in_range_filters_by_distance() {
+        let mut m = medium();
+        m.set_position(NodeAddr::new(1), Vec2::ZERO);
+        m.set_position(NodeAddr::new(2), Vec2::new(100.0, 0.0));
+        m.set_position(NodeAddr::new(3), Vec2::new(400.0, 0.0));
+        let near = m.nodes_in_range(Vec2::ZERO, 150.0);
+        assert_eq!(near.len(), 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! Ready-made radio profiles: V2V mesh and cellular uplink.
+//!
+//! [`dsrc`] parameterizes the V2V mesh path (802.11p-like: short access
+//! delays, a few hundred metres of range, shared spectrum). [`CellularLink`]
+//! models the alternative the paper argues against — hauling data over
+//! LTE/5G to a centralized cloud: high per-link bandwidth but a
+//! core-network round trip on every exchange, plus a shared uplink that
+//! saturates when many vehicles push raw sensor data simultaneously.
+
+use crate::channel::ChannelModel;
+use crate::mac::MacParams;
+use airdnd_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// 802.11p/DSRC-like V2V profile: `(channel, mac)`.
+pub fn dsrc() -> (ChannelModel, MacParams) {
+    (
+        ChannelModel {
+            tx_power_dbm: 23.0,
+            path_loss_exponent: 2.75,
+            reference_loss_db: 40.0,
+            shadowing_sigma_db: 3.0,
+            noise_floor_dbm: -99.0,
+            obstacle_loss_db: 15.0,
+        },
+        MacParams {
+            bitrate_bps: 6_000_000,
+            slot: SimDuration::from_micros(13),
+            difs: SimDuration::from_micros(58),
+            cw_min: 15,
+            cw_max: 1023,
+            max_attempts: 4,
+            header_bytes: 36,
+        },
+    )
+}
+
+/// Parameters of a cellular connection to a cloud region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellularParams {
+    /// Uplink capacity shared by all vehicles in the cell, bits/s.
+    pub uplink_bps: u64,
+    /// Downlink capacity, bits/s.
+    pub downlink_bps: u64,
+    /// One-way latency radio→core→cloud (RAN + core + internet), per
+    /// direction.
+    pub one_way_latency: SimDuration,
+    /// Per-message protocol overhead, bytes.
+    pub header_bytes: u64,
+}
+
+impl CellularParams {
+    /// LTE-like profile: 75 Mbps shared uplink, 35 ms one-way to the cloud.
+    pub fn lte() -> Self {
+        CellularParams {
+            uplink_bps: 75_000_000,
+            downlink_bps: 150_000_000,
+            one_way_latency: SimDuration::from_millis(35),
+            header_bytes: 60,
+        }
+    }
+
+    /// 5G-like profile: 400 Mbps shared uplink, 12 ms one-way (edge core).
+    pub fn fiveg() -> Self {
+        CellularParams {
+            uplink_bps: 400_000_000,
+            downlink_bps: 800_000_000,
+            one_way_latency: SimDuration::from_millis(12),
+            header_bytes: 60,
+        }
+    }
+}
+
+/// A shared cellular link to the cloud with FIFO queueing per direction.
+///
+/// ```
+/// use airdnd_radio::{CellularLink, CellularParams};
+/// use airdnd_sim::SimTime;
+///
+/// let mut link = CellularLink::new(CellularParams::fiveg());
+/// let (arrival, _bytes) = link.upload(SimTime::ZERO, 1_000_000);
+/// assert!(arrival > SimTime::from_millis(12), "pays core latency");
+/// ```
+#[derive(Clone, Debug)]
+pub struct CellularLink {
+    params: CellularParams,
+    uplink_busy_until: SimTime,
+    downlink_busy_until: SimTime,
+    total_bytes: u64,
+}
+
+impl CellularLink {
+    /// Creates an idle link.
+    pub fn new(params: CellularParams) -> Self {
+        CellularLink {
+            params,
+            uplink_busy_until: SimTime::ZERO,
+            downlink_busy_until: SimTime::ZERO,
+            total_bytes: 0,
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &CellularParams {
+        &self.params
+    }
+
+    /// Total bytes ever carried (both directions).
+    pub fn bytes_total(&self) -> u64 {
+        self.total_bytes
+    }
+
+    fn serialize_on(
+        busy_until: &mut SimTime,
+        now: SimTime,
+        bytes: u64,
+        bps: u64,
+        header: u64,
+    ) -> (SimTime, u64) {
+        let wire_bytes = bytes + header;
+        let tx = SimDuration::from_nanos(wire_bytes.saturating_mul(8_000_000_000) / bps.max(1));
+        let start = (*busy_until).max(now);
+        let end = start + tx;
+        *busy_until = end;
+        (end, wire_bytes)
+    }
+
+    /// Uploads `bytes` starting at `now`; returns `(arrival_at_cloud,
+    /// wire_bytes)`. Queues behind earlier uploads (shared uplink).
+    pub fn upload(&mut self, now: SimTime, bytes: u64) -> (SimTime, u64) {
+        let (end, wire) = Self::serialize_on(
+            &mut self.uplink_busy_until,
+            now,
+            bytes,
+            self.params.uplink_bps,
+            self.params.header_bytes,
+        );
+        self.total_bytes += wire;
+        (end + self.params.one_way_latency, wire)
+    }
+
+    /// Downloads `bytes` starting at `now` (cloud side); returns
+    /// `(arrival_at_vehicle, wire_bytes)`.
+    pub fn download(&mut self, now: SimTime, bytes: u64) -> (SimTime, u64) {
+        let (end, wire) = Self::serialize_on(
+            &mut self.downlink_busy_until,
+            now,
+            bytes,
+            self.params.downlink_bps,
+            self.params.header_bytes,
+        );
+        self.total_bytes += wire;
+        (end + self.params.one_way_latency, wire)
+    }
+
+    /// Round trip: upload a request of `up_bytes`, compute for
+    /// `compute_time` in the cloud, download a response of `down_bytes`.
+    /// Returns `(response_arrival, total_wire_bytes)`.
+    pub fn round_trip(
+        &mut self,
+        now: SimTime,
+        up_bytes: u64,
+        compute_time: SimDuration,
+        down_bytes: u64,
+    ) -> (SimTime, u64) {
+        let (at_cloud, up_wire) = self.upload(now, up_bytes);
+        let (at_vehicle, down_wire) = self.download(at_cloud + compute_time, down_bytes);
+        (at_vehicle, up_wire + down_wire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsrc_profile_is_consistent() {
+        let (channel, mac) = dsrc();
+        // Nominal LOS range should land in the DSRC ballpark (a few 100 m).
+        let r = channel.nominal_range(true);
+        assert!((150.0..800.0).contains(&r), "nominal range {r}");
+        assert_eq!(mac.bitrate_bps, 6_000_000);
+    }
+
+    #[test]
+    fn upload_pays_serialization_and_latency() {
+        let mut link = CellularLink::new(CellularParams::lte());
+        // 7.5 MB at 75 Mbps = 0.8 s serialization + 35 ms latency.
+        let (arrival, wire) = link.upload(SimTime::ZERO, 7_500_000);
+        let expected = 8.0 * 7_500_060.0 / 75e6 + 0.035;
+        assert!((arrival.as_secs_f64() - expected).abs() < 1e-6, "arrival {arrival}");
+        assert_eq!(wire, 7_500_060);
+    }
+
+    #[test]
+    fn uplink_queues_but_downlink_is_independent() {
+        let mut link = CellularLink::new(CellularParams::lte());
+        let (a1, _) = link.upload(SimTime::ZERO, 7_500_000);
+        let (a2, _) = link.upload(SimTime::ZERO, 7_500_000);
+        assert!(a2 > a1, "second upload queues behind the first");
+        // A download issued at t=0 does not wait for the uploads.
+        let (d, _) = link.download(SimTime::ZERO, 1_000);
+        assert!(d < a1);
+    }
+
+    #[test]
+    fn round_trip_includes_both_directions_and_compute() {
+        let mut link = CellularLink::new(CellularParams::fiveg());
+        let compute = SimDuration::from_millis(50);
+        let (resp, wire) = link.round_trip(SimTime::ZERO, 1_000_000, compute, 10_000);
+        // Two one-way latencies + compute is a hard lower bound.
+        assert!(resp > SimTime::from_millis(12 + 50 + 12));
+        assert_eq!(wire, 1_000_060 + 10_060);
+        assert_eq!(link.bytes_total(), wire);
+    }
+
+    #[test]
+    fn fiveg_beats_lte_latency() {
+        let mut lte = CellularLink::new(CellularParams::lte());
+        let mut fg = CellularLink::new(CellularParams::fiveg());
+        let (a, _) = lte.round_trip(SimTime::ZERO, 100_000, SimDuration::ZERO, 1_000);
+        let (b, _) = fg.round_trip(SimTime::ZERO, 100_000, SimDuration::ZERO, 1_000);
+        assert!(b < a);
+    }
+}

@@ -1,0 +1,259 @@
+//! The vehicle fleet: mobility + a full orchestrator node per vehicle.
+
+use crate::world::ScenarioWorld;
+use airdnd_core::{OrchestratorConfig, OrchestratorNode};
+use airdnd_geo::{IdmParams, Mobility, Vec2};
+use airdnd_mesh::MeshConfig;
+use airdnd_radio::NodeAddr;
+use airdnd_sim::SimRng;
+use rand::Rng;
+
+/// One simulated vehicle.
+pub struct Vehicle {
+    /// The AirDnD node riding in this vehicle.
+    pub node: OrchestratorNode,
+    /// Kinematics.
+    pub mobility: Mobility,
+    /// Sensor range, metres.
+    pub sensor_range: f64,
+    rng: SimRng,
+    current_exit: usize,
+    /// When set, every respawn re-enters from this arm (the ego keeps
+    /// approaching the occluded corner from the south).
+    fixed_arm: Option<usize>,
+}
+
+impl Vehicle {
+    fn fresh_route(world: &ScenarioWorld, rng: &mut SimRng, from_arm: usize) -> (Mobility, usize) {
+        let arms = world.net.arm_count();
+        let mut to_arm = rng.gen_range(0..arms);
+        if to_arm == from_arm {
+            to_arm = (to_arm + 1) % arms;
+        }
+        let route = world
+            .net
+            .route(world.net.approach_node(from_arm), world.net.exit_node(to_arm))
+            .expect("intersection arms are connected");
+        let speed = rng.gen_range(5.0..12.0);
+        (Mobility::route(route, speed, IdmParams::default()), to_arm)
+    }
+
+    /// Creates a vehicle entering from `arm`.
+    pub fn spawn(
+        world: &ScenarioWorld,
+        addr: NodeAddr,
+        arm: usize,
+        gas_rate: u64,
+        sensor_range: f64,
+        orch: OrchestratorConfig,
+        mesh: MeshConfig,
+        mut rng: SimRng,
+    ) -> Self {
+        let (mut mobility, exit) = Self::fresh_route(world, &mut rng, arm);
+        // Scatter along the approach so the fleet is not bunched at spawn.
+        let warmup = rng.gen_range(0.0..20.0);
+        mobility.step(warmup);
+        let node_rng = rng.fork(addr.raw());
+        let node = OrchestratorNode::new(addr, orch, mesh, gas_rate, 1 << 30, node_rng);
+        Vehicle { node, mobility, sensor_range, rng, current_exit: exit, fixed_arm: None }
+    }
+
+    /// Pins every respawn to re-enter from `arm` (used for the ego).
+    pub fn pin_entry_arm(&mut self, arm: usize) {
+        self.fixed_arm = Some(arm);
+    }
+
+    /// Advances the vehicle by `dt` seconds, re-entering from its exit arm
+    /// (or its pinned arm) when the route completes, so fleet density
+    /// stays constant.
+    pub fn step(&mut self, world: &ScenarioWorld, dt: f64) {
+        self.mobility.step(dt);
+        let finished = matches!(&self.mobility, Mobility::Route(f) if f.is_finished());
+        if finished {
+            let from = self.fixed_arm.unwrap_or(self.current_exit);
+            let (mobility, exit) = Self::fresh_route(world, &mut self.rng, from);
+            self.mobility = mobility;
+            self.current_exit = exit;
+        }
+    }
+
+    /// Current position.
+    pub fn pos(&self) -> Vec2 {
+        self.mobility.pos()
+    }
+
+    /// Current velocity vector.
+    pub fn velocity(&self) -> Vec2 {
+        self.mobility.state().velocity()
+    }
+}
+
+/// The whole fleet; index 0 is the ego vehicle (southern approach).
+pub struct Fleet {
+    /// Vehicles, ego first.
+    pub vehicles: Vec<Vehicle>,
+}
+
+impl Fleet {
+    /// Spawns `count` vehicles with heterogeneous ECUs drawn from
+    /// `gas_rate_range`; a `byzantine_fraction` of helpers corrupt
+    /// results.
+    pub fn spawn(
+        world: &ScenarioWorld,
+        count: usize,
+        gas_rate_range: (u64, u64),
+        sensor_range: f64,
+        byzantine_fraction: f64,
+        orch: OrchestratorConfig,
+        mesh: MeshConfig,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(count >= 1, "need at least the ego vehicle");
+        let mut vehicles = Vec::with_capacity(count);
+        for i in 0..count {
+            let arm = if i == 0 { 0 } else { i % world.net.arm_count() };
+            let gas_rate = if gas_rate_range.1 > gas_rate_range.0 {
+                rng.gen_range(gas_rate_range.0..=gas_rate_range.1)
+            } else {
+                gas_rate_range.0
+            };
+            let addr = NodeAddr::new(i as u64 + 1);
+            let mut vehicle = Vehicle::spawn(
+                world,
+                addr,
+                arm,
+                gas_rate,
+                sensor_range,
+                orch,
+                mesh,
+                rng.fork(1000 + i as u64),
+            );
+            if i == 0 {
+                vehicle.pin_entry_arm(0);
+            } else if rng.next_f64() < byzantine_fraction {
+                vehicle.node.executor_mut().set_byzantine(true);
+            }
+            vehicles.push(vehicle);
+        }
+        Fleet { vehicles }
+    }
+
+    /// Number of vehicles.
+    pub fn len(&self) -> usize {
+        self.vehicles.len()
+    }
+
+    /// `true` if the fleet is empty (cannot happen via [`Fleet::spawn`]).
+    pub fn is_empty(&self) -> bool {
+        self.vehicles.is_empty()
+    }
+
+    /// Index of the vehicle with address `addr`, if any.
+    pub fn index_of(&self, addr: NodeAddr) -> Option<usize> {
+        // Addresses are assigned densely as index + 1.
+        let idx = addr.raw().checked_sub(1)? as usize;
+        (idx < self.vehicles.len()).then_some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::ScenarioWorld;
+
+    fn stage() -> ScenarioWorld {
+        ScenarioWorld::build(250.0, 13.9, 12.0, 40.0)
+    }
+
+    #[test]
+    fn fleet_spawns_with_unique_addresses() {
+        let world = stage();
+        let mut rng = SimRng::seed_from(1);
+        let fleet = Fleet::spawn(
+            &world,
+            10,
+            (500_000, 2_000_000),
+            120.0,
+            0.0,
+            OrchestratorConfig::default(),
+            MeshConfig::default(),
+            &mut rng,
+        );
+        assert_eq!(fleet.len(), 10);
+        let mut addrs: Vec<u64> = fleet.vehicles.iter().map(|v| v.node.addr().raw()).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 10);
+        for (i, v) in fleet.vehicles.iter().enumerate() {
+            assert_eq!(fleet.index_of(v.node.addr()), Some(i));
+        }
+    }
+
+    #[test]
+    fn vehicles_move_and_respawn() {
+        let world = stage();
+        let mut rng = SimRng::seed_from(2);
+        let mut fleet = Fleet::spawn(
+            &world,
+            3,
+            (1_000_000, 1_000_000),
+            120.0,
+            0.0,
+            OrchestratorConfig::default(),
+            MeshConfig::default(),
+            &mut rng,
+        );
+        let start: Vec<Vec2> = fleet.vehicles.iter().map(Vehicle::pos).collect();
+        // Two simulated minutes: every vehicle must complete ≥1 route and
+        // respawn without panicking.
+        for _ in 0..1200 {
+            for v in &mut fleet.vehicles {
+                v.step(&world, 0.1);
+            }
+        }
+        for (i, v) in fleet.vehicles.iter().enumerate() {
+            assert!(v.pos().is_finite());
+            assert_ne!(v.pos(), start[i], "vehicle {i} never moved");
+        }
+    }
+
+    #[test]
+    fn byzantine_fraction_marks_helpers_not_ego() {
+        let world = stage();
+        let mut rng = SimRng::seed_from(3);
+        let fleet = Fleet::spawn(
+            &world,
+            20,
+            (1_000_000, 1_000_000),
+            120.0,
+            1.0, // every helper byzantine
+            OrchestratorConfig::default(),
+            MeshConfig::default(),
+            &mut rng,
+        );
+        assert!(!fleet.vehicles[0].node.executor().is_byzantine(), "ego stays honest");
+        let byz = fleet.vehicles[1..].iter().filter(|v| v.node.executor().is_byzantine()).count();
+        assert_eq!(byz, 19);
+    }
+
+    #[test]
+    fn deterministic_spawn_for_same_seed() {
+        let world = stage();
+        let spawn = |seed| {
+            let mut rng = SimRng::seed_from(seed);
+            let fleet = Fleet::spawn(
+                &world,
+                5,
+                (500_000, 2_000_000),
+                120.0,
+                0.0,
+                OrchestratorConfig::default(),
+                MeshConfig::default(),
+                &mut rng,
+            );
+            fleet.vehicles.iter().map(|v| (v.pos(), v.node.executor().gas_rate())).collect::<Vec<_>>()
+        };
+        assert_eq!(spawn(7), spawn(7));
+        assert_ne!(spawn(7), spawn(8));
+    }
+}

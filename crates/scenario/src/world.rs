@@ -1,0 +1,158 @@
+//! The physical stage: intersection, corner buildings, hidden region.
+
+use airdnd_geo::{Aabb, RoadNetwork, Vec2, World};
+use serde::{Deserialize, Serialize};
+
+/// The static world of the looking-around-the-corner scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioWorld {
+    /// The road graph (four-way intersection at the origin).
+    pub net: RoadNetwork,
+    /// Obstacles (four corner buildings).
+    pub world: World,
+    /// The region an ego approaching from the south cannot see: a corridor
+    /// along the east arm, behind the south-east corner building.
+    pub hidden_region: Aabb,
+    /// Grid cell size over the hidden region, metres.
+    pub cell_size: f64,
+    /// Grid columns.
+    pub cols: usize,
+    /// Grid rows.
+    pub rows: usize,
+}
+
+impl ScenarioWorld {
+    /// Builds the canonical stage.
+    ///
+    /// `arm_length` sizes the intersection; buildings of `building_size`
+    /// sit `building_setback` metres from the road centrelines.
+    pub fn build(arm_length: f64, speed_limit: f64, building_setback: f64, building_size: f64) -> Self {
+        let net = RoadNetwork::four_way_intersection(arm_length, speed_limit);
+        let world = World::corner_buildings(building_setback, building_size);
+        let hidden_region = Aabb::new(
+            Vec2::new(building_setback + 10.0, -8.0),
+            Vec2::new((building_setback + 10.0 + 100.0).min(arm_length), 8.0),
+        );
+        let cell_size = 5.0;
+        let cols = (hidden_region.width() / cell_size).ceil() as usize;
+        let rows = (hidden_region.height() / cell_size).ceil() as usize;
+        ScenarioWorld { net, world, hidden_region, cell_size, cols, rows }
+    }
+
+    /// Number of grid cells over the hidden region.
+    pub fn cell_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Centre of grid cell `(col, row)`.
+    pub fn cell_center(&self, col: usize, row: usize) -> Vec2 {
+        Vec2::new(
+            self.hidden_region.min().x + (col as f64 + 0.5) * self.cell_size,
+            self.hidden_region.min().y + (row as f64 + 0.5) * self.cell_size,
+        )
+    }
+
+    /// Grid cell containing `pos`, if inside the grid's extent (the grid
+    /// may overhang the region box by up to one cell per axis).
+    pub fn cell_of(&self, pos: Vec2) -> Option<usize> {
+        let dx = pos.x - self.hidden_region.min().x;
+        let dy = pos.y - self.hidden_region.min().y;
+        if dx < 0.0 || dy < 0.0 {
+            return None;
+        }
+        let col = (dx / self.cell_size) as usize;
+        let row = (dy / self.cell_size) as usize;
+        if col >= self.cols || row >= self.rows {
+            return None;
+        }
+        Some(row * self.cols + col)
+    }
+
+    /// Rasterizes one vehicle's view of the hidden region.
+    ///
+    /// Cell values: `-1` = unobserved, `0` = observed and free, `1` =
+    /// observed and occupied (a ground-truth agent stands in it). A cell
+    /// is observed when its centre is within `sensor_range` of `pos` and
+    /// line of sight is clear.
+    pub fn rasterize(&self, pos: Vec2, sensor_range: f64, agents: &[Vec2]) -> Vec<i64> {
+        let mut grid = vec![-1i64; self.cell_count()];
+        let agent_cells: Vec<usize> = agents.iter().filter_map(|&a| self.cell_of(a)).collect();
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let center = self.cell_center(col, row);
+                if center.distance(pos) > sensor_range {
+                    continue;
+                }
+                if !self.world.line_of_sight(pos, center) {
+                    continue;
+                }
+                let idx = row * self.cols + col;
+                grid[idx] = if agent_cells.contains(&idx) { 1 } else { 0 };
+            }
+        }
+        grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage() -> ScenarioWorld {
+        ScenarioWorld::build(250.0, 13.9, 12.0, 40.0)
+    }
+
+    #[test]
+    fn grid_geometry_is_consistent() {
+        let w = stage();
+        assert_eq!(w.cell_count(), w.cols * w.rows);
+        assert!(w.cell_count() > 20, "hidden region should have a real grid");
+        // Every cell centre maps back to its own index.
+        for row in 0..w.rows {
+            for col in 0..w.cols {
+                let c = w.cell_center(col, row);
+                assert_eq!(w.cell_of(c), Some(row * w.cols + col));
+            }
+        }
+        assert_eq!(w.cell_of(Vec2::new(-500.0, 0.0)), None);
+    }
+
+    #[test]
+    fn southern_ego_cannot_see_the_hidden_region() {
+        let w = stage();
+        let ego = Vec2::new(0.0, -60.0);
+        let grid = w.rasterize(ego, 150.0, &[]);
+        let observed = grid.iter().filter(|&&c| c >= 0).count();
+        let frac = observed as f64 / grid.len() as f64;
+        assert!(frac < 0.5, "the corner must hide most of the region, saw {frac}");
+    }
+
+    #[test]
+    fn eastern_helper_sees_it() {
+        let w = stage();
+        let helper = Vec2::new(80.0, 0.0);
+        let grid = w.rasterize(helper, 150.0, &[]);
+        let observed = grid.iter().filter(|&&c| c >= 0).count();
+        let frac = observed as f64 / grid.len() as f64;
+        assert!(frac > 0.6, "an on-arm helper sees most of the corridor, saw {frac}");
+    }
+
+    #[test]
+    fn agents_mark_cells_occupied() {
+        let w = stage();
+        let agent = Vec2::new(60.0, 0.0);
+        let helper = Vec2::new(80.0, 0.0);
+        let grid = w.rasterize(helper, 150.0, &[agent]);
+        let idx = w.cell_of(agent).unwrap();
+        assert_eq!(grid[idx], 1);
+        assert!(grid.iter().filter(|&&c| c == 1).count() >= 1);
+    }
+
+    #[test]
+    fn out_of_range_sensor_sees_nothing() {
+        let w = stage();
+        let far = Vec2::new(0.0, -240.0);
+        let grid = w.rasterize(far, 50.0, &[]);
+        assert!(grid.iter().all(|&c| c == -1));
+    }
+}

@@ -1,0 +1,644 @@
+//! The discrete-event actor engine.
+//!
+//! An [`Engine`] owns a set of [`Actor`]s and a priority queue of pending
+//! messages. Each message is addressed to one actor and carries a delivery
+//! time; the engine repeatedly pops the earliest message and hands it to the
+//! destination actor, which may send further messages through its
+//! [`Context`]. Two messages scheduled for the same instant are delivered in
+//! the order they were scheduled (`(time, sequence)` ordering), which makes
+//! runs bit-for-bit deterministic for a given seed.
+//!
+//! Asynchrony in the AirDnD sense — nodes never waiting on global rounds —
+//! falls out naturally: an actor only ever reacts to individual messages.
+
+use crate::metrics::Metrics;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Identifies an actor within one [`Engine`].
+///
+/// Ids are assigned densely from zero in spawn order and are never reused,
+/// so they double as stable indices in experiment bookkeeping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(u32);
+
+impl ActorId {
+    /// The raw index value.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an id from a raw index (for bookkeeping tables).
+    pub const fn from_index(index: usize) -> Self {
+        ActorId(index as u32)
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "actor#{}", self.0)
+    }
+}
+
+/// A simulated entity that reacts to messages of type `M`.
+///
+/// Implementations should be pure state machines: all side effects go
+/// through the [`Context`]. See the crate-level example.
+pub trait Actor<M> {
+    /// Called once when the actor is added to the engine.
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Called for every message delivered to this actor.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, msg: M);
+}
+
+struct Scheduled<M> {
+    time: SimTime,
+    seq: u64,
+    dest: ActorId,
+    msg: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Why an engine run returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Completed,
+    /// The requested time horizon was reached with events still pending.
+    HorizonReached,
+    /// An actor called [`Context::halt`].
+    Halted,
+    /// The configured event-count limit was hit (runaway-protection).
+    EventLimit,
+}
+
+struct EngineShared<M> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<M>>,
+    rng: SimRng,
+    metrics: Metrics,
+    trace: Trace,
+    next_actor: u32,
+    pending_spawn: Vec<(ActorId, Box<dyn Actor<M>>)>,
+    pending_stop: Vec<ActorId>,
+    halted: bool,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl<M> EngineShared<M> {
+    fn push(&mut self, time: SimTime, dest: ActorId, msg: M) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { time, seq, dest, msg });
+    }
+}
+
+/// The capabilities available to an actor while it handles a message.
+///
+/// A `Context` borrows the engine internals, so it cannot outlive the
+/// handler invocation.
+pub struct Context<'a, M> {
+    shared: &'a mut EngineShared<M>,
+    self_id: ActorId,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shared.now
+    }
+
+    /// The id of the actor handling this message.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Sends `msg` to `dest`, delivered `delay` from now.
+    pub fn send(&mut self, dest: ActorId, delay: SimDuration, msg: M) {
+        let at = self.shared.now + delay;
+        self.shared.push(at, dest, msg);
+    }
+
+    /// Sends `msg` to `dest` at an absolute time.
+    ///
+    /// Times in the past are clamped to "now" (delivered next, preserving
+    /// scheduling order).
+    pub fn send_at(&mut self, dest: ActorId, at: SimTime, msg: M) {
+        let at = at.max(self.shared.now);
+        self.shared.push(at, dest, msg);
+    }
+
+    /// Sends `msg` back to the handling actor after `delay` (a timer).
+    pub fn send_self(&mut self, delay: SimDuration, msg: M) {
+        self.send(self.self_id, delay, msg);
+    }
+
+    /// Spawns a new actor; it receives `on_start` after the current handler
+    /// returns, at the current virtual time.
+    pub fn spawn(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
+        let id = ActorId(self.shared.next_actor);
+        self.shared.next_actor += 1;
+        self.shared.pending_spawn.push((id, actor));
+        id
+    }
+
+    /// Removes an actor after the current handler returns. Messages already
+    /// queued for it are dropped on delivery (counted in
+    /// [`Engine::dropped_messages`]).
+    pub fn stop_actor(&mut self, id: ActorId) {
+        self.shared.pending_stop.push(id);
+    }
+
+    /// Removes the handling actor itself.
+    pub fn stop_self(&mut self) {
+        let id = self.self_id;
+        self.stop_actor(id);
+    }
+
+    /// Stops the whole engine run after the current handler returns.
+    pub fn halt(&mut self) {
+        self.shared.halted = true;
+    }
+
+    /// The engine-wide random-number generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.shared.rng
+    }
+
+    /// Derives an independent per-entity generator; see [`SimRng::fork`].
+    pub fn fork_rng(&mut self, tag: u64) -> SimRng {
+        self.shared.rng.fork(tag)
+    }
+
+    /// The engine-wide metrics registry.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        &mut self.shared.metrics
+    }
+
+    /// Records a trace entry attributed to this actor (no-op unless tracing
+    /// is enabled on the engine).
+    pub fn trace(&mut self, label: impl Into<String>) {
+        let (now, id) = (self.shared.now, self.self_id);
+        self.shared.trace.record(now, id.index() as u32, label);
+    }
+}
+
+/// A deterministic discrete-event engine over message type `M`.
+///
+/// See the crate-level documentation for an end-to-end example.
+pub struct Engine<M> {
+    shared: EngineShared<M>,
+    actors: Vec<Option<Box<dyn Actor<M>>>>,
+    event_limit: u64,
+}
+
+impl<M> Engine<M> {
+    /// Creates an engine whose randomness derives entirely from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            shared: EngineShared {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                rng: SimRng::seed_from(seed),
+                metrics: Metrics::new(),
+                trace: Trace::disabled(),
+                next_actor: 0,
+                pending_spawn: Vec::new(),
+                pending_stop: Vec::new(),
+                halted: false,
+                delivered: 0,
+                dropped: 0,
+            },
+            actors: Vec::new(),
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shared.now
+    }
+
+    /// Number of actors ever spawned (including stopped ones).
+    pub fn actor_count(&self) -> usize {
+        self.shared.next_actor as usize
+    }
+
+    /// Number of messages delivered so far.
+    pub fn delivered_messages(&self) -> u64 {
+        self.shared.delivered
+    }
+
+    /// Number of messages dropped because their destination had stopped.
+    pub fn dropped_messages(&self) -> u64 {
+        self.shared.dropped
+    }
+
+    /// `true` if the given actor is still alive.
+    pub fn is_alive(&self, id: ActorId) -> bool {
+        self.actors.get(id.index()).is_some_and(|slot| slot.is_some())
+    }
+
+    /// Caps the number of events a single `run_*` call may process; exceeding
+    /// it returns [`RunOutcome::EventLimit`]. Defaults to unlimited.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Enables bounded tracing with the given capacity.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.shared.trace = Trace::bounded(capacity);
+    }
+
+    /// Read access to the trace collected so far.
+    pub fn trace(&self) -> &Trace {
+        &self.shared.trace
+    }
+
+    /// Read access to collected metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Mutable access to collected metrics (e.g. to pre-register or reset).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.shared.metrics
+    }
+
+    /// The engine-wide RNG (useful for seeding workloads outside actors).
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.shared.rng
+    }
+
+    /// Adds an actor, invoking its `on_start` immediately at the current
+    /// virtual time, and returns its id.
+    pub fn spawn(&mut self, actor: impl Actor<M> + 'static) -> ActorId {
+        self.spawn_boxed(Box::new(actor))
+    }
+
+    /// Object-safe variant of [`Engine::spawn`].
+    pub fn spawn_boxed(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
+        let id = ActorId(self.shared.next_actor);
+        self.shared.next_actor += 1;
+        self.shared.pending_spawn.push((id, actor));
+        self.drain_pending();
+        id
+    }
+
+    /// Injects a message from outside the actor system.
+    pub fn send(&mut self, dest: ActorId, delay: SimDuration, msg: M) {
+        let at = self.shared.now + delay;
+        self.shared.push(at, dest, msg);
+    }
+
+    /// Injects a message for delivery at an absolute time (clamped to now).
+    pub fn send_at(&mut self, dest: ActorId, at: SimTime, msg: M) {
+        let at = at.max(self.shared.now);
+        self.shared.push(at, dest, msg);
+    }
+
+    fn drain_pending(&mut self) {
+        // Spawns can trigger further spawns from on_start; loop until quiet.
+        loop {
+            for id in self.shared.pending_stop.drain(..) {
+                if let Some(slot) = self.actors.get_mut(id.index()) {
+                    *slot = None;
+                }
+            }
+            if self.shared.pending_spawn.is_empty() {
+                break;
+            }
+            let batch: Vec<_> = self.shared.pending_spawn.drain(..).collect();
+            for (id, mut actor) in batch {
+                debug_assert_eq!(id.index(), self.actors.len(), "actor ids must stay dense");
+                let mut ctx = Context { shared: &mut self.shared, self_id: id };
+                actor.on_start(&mut ctx);
+                self.actors.push(Some(actor));
+            }
+        }
+    }
+
+    fn dispatch_one(&mut self) -> bool {
+        let Some(ev) = self.shared.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.shared.now, "time must be monotone");
+        self.shared.now = ev.time;
+        match self.actors.get_mut(ev.dest.index()).and_then(Option::take) {
+            Some(mut actor) => {
+                self.shared.delivered += 1;
+                let mut ctx = Context { shared: &mut self.shared, self_id: ev.dest };
+                actor.on_message(&mut ctx, ev.msg);
+                // The actor may have stopped itself; honour that after
+                // putting it back so ids stay dense.
+                self.actors[ev.dest.index()] = Some(actor);
+            }
+            None => {
+                self.shared.dropped += 1;
+            }
+        }
+        self.drain_pending();
+        true
+    }
+
+    /// Runs until the queue is empty (or a halt / event limit intervenes).
+    pub fn run_to_completion(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until no event at or before `horizon` remains. Advances `now` to
+    /// `horizon` when the outcome is [`RunOutcome::HorizonReached`] or the
+    /// queue empties earlier (unless `horizon` is [`SimTime::MAX`]).
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        self.shared.halted = false;
+        let mut processed: u64 = 0;
+        loop {
+            if self.shared.halted {
+                return RunOutcome::Halted;
+            }
+            if processed >= self.event_limit {
+                return RunOutcome::EventLimit;
+            }
+            match self.shared.queue.peek() {
+                None => {
+                    if horizon != SimTime::MAX {
+                        self.shared.now = self.shared.now.max(horizon);
+                    }
+                    return RunOutcome::Completed;
+                }
+                Some(next) if next.time > horizon => {
+                    self.shared.now = horizon;
+                    return RunOutcome::HorizonReached;
+                }
+                Some(_) => {
+                    self.dispatch_one();
+                    processed += 1;
+                }
+            }
+        }
+    }
+
+    /// Runs for `span` of virtual time from the current instant.
+    pub fn run_for(&mut self, span: SimDuration) -> RunOutcome {
+        let horizon = self.shared.now + span;
+        self.run_until(horizon)
+    }
+}
+
+impl<M> fmt::Debug for Engine<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.shared.now)
+            .field("actors", &self.shared.next_actor)
+            .field("queued", &self.shared.queue.len())
+            .field("delivered", &self.shared.delivered)
+            .field("dropped", &self.shared.dropped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Msg {
+        Tick,
+        Value(u64),
+    }
+
+    struct Recorder {
+        log: std::rc::Rc<std::cell::RefCell<Vec<(SimTime, u64)>>>,
+    }
+    impl Actor<Msg> for Recorder {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, msg: Msg) {
+            if let Msg::Value(v) = msg {
+                self.log.borrow_mut().push((ctx.now(), v));
+            }
+        }
+    }
+
+    fn recorder() -> (Recorder, std::rc::Rc<std::cell::RefCell<Vec<(SimTime, u64)>>>) {
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        (Recorder { log: log.clone() }, log)
+    }
+
+    #[test]
+    fn same_time_events_delivered_in_schedule_order() {
+        let mut engine = Engine::new(0);
+        let (actor, log) = recorder();
+        let id = engine.spawn(actor);
+        let t = SimDuration::from_millis(10);
+        for v in 0..20 {
+            engine.send(id, t, Msg::Value(v));
+        }
+        engine.run_to_completion();
+        let got: Vec<u64> = log.borrow().iter().map(|&(_, v)| v).collect();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn time_advances_to_event_times() {
+        let mut engine = Engine::new(0);
+        let (actor, log) = recorder();
+        let id = engine.spawn(actor);
+        engine.send(id, SimDuration::from_millis(5), Msg::Value(1));
+        engine.send(id, SimDuration::from_millis(2), Msg::Value(2));
+        engine.run_to_completion();
+        let log = log.borrow();
+        assert_eq!(log[0], (SimTime::from_millis(2), 2));
+        assert_eq!(log[1], (SimTime::from_millis(5), 1));
+    }
+
+    struct Ticker {
+        remaining: u32,
+        period: SimDuration,
+    }
+    impl Actor<Msg> for Ticker {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            ctx.send_self(self.period, Msg::Tick);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _msg: Msg) {
+            self.remaining -= 1;
+            ctx.metrics().counter("ticks").incr();
+            if self.remaining > 0 {
+                ctx.send_self(self.period, Msg::Tick);
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_timer_pattern() {
+        let mut engine = Engine::new(0);
+        engine.spawn(Ticker { remaining: 5, period: SimDuration::from_secs(1) });
+        let outcome = engine.run_to_completion();
+        assert_eq!(outcome, RunOutcome::Completed);
+        assert_eq!(engine.now(), SimTime::from_secs(5));
+        assert_eq!(engine.metrics().counter_value("ticks"), 5);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut engine = Engine::new(0);
+        engine.spawn(Ticker { remaining: 100, period: SimDuration::from_secs(1) });
+        let outcome = engine.run_until(SimTime::from_millis(3500));
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(engine.now(), SimTime::from_millis(3500));
+        assert_eq!(engine.metrics().counter_value("ticks"), 3);
+        // Resuming picks up where we left off.
+        engine.run_until(SimTime::from_millis(4500));
+        assert_eq!(engine.metrics().counter_value("ticks"), 4);
+    }
+
+    #[test]
+    fn run_until_advances_now_to_horizon_when_queue_empties() {
+        let mut engine: Engine<Msg> = Engine::new(0);
+        let outcome = engine.run_until(SimTime::from_secs(9));
+        assert_eq!(outcome, RunOutcome::Completed);
+        assert_eq!(engine.now(), SimTime::from_secs(9));
+    }
+
+    struct Stopper;
+    impl Actor<Msg> for Stopper {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _msg: Msg) {
+            ctx.stop_self();
+        }
+    }
+
+    #[test]
+    fn messages_to_stopped_actor_are_dropped() {
+        let mut engine = Engine::new(0);
+        let id = engine.spawn(Stopper);
+        engine.send(id, SimDuration::from_millis(1), Msg::Tick);
+        engine.send(id, SimDuration::from_millis(2), Msg::Tick);
+        engine.send(id, SimDuration::from_millis(3), Msg::Tick);
+        engine.run_to_completion();
+        assert_eq!(engine.delivered_messages(), 1);
+        assert_eq!(engine.dropped_messages(), 2);
+        assert!(!engine.is_alive(id));
+    }
+
+    struct Spawner;
+    impl Actor<Msg> for Spawner {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _msg: Msg) {
+            let child = ctx.spawn(Box::new(Stopper));
+            ctx.send(child, SimDuration::from_millis(1), Msg::Tick);
+        }
+    }
+
+    #[test]
+    fn actors_can_spawn_actors_mid_run() {
+        let mut engine = Engine::new(0);
+        let id = engine.spawn(Spawner);
+        engine.send(id, SimDuration::ZERO, Msg::Tick);
+        engine.run_to_completion();
+        assert_eq!(engine.actor_count(), 2);
+        assert_eq!(engine.delivered_messages(), 2);
+    }
+
+    struct Halter;
+    impl Actor<Msg> for Halter {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _msg: Msg) {
+            ctx.halt();
+        }
+    }
+
+    #[test]
+    fn halt_stops_the_run_with_events_pending() {
+        let mut engine = Engine::new(0);
+        let id = engine.spawn(Halter);
+        engine.send(id, SimDuration::from_millis(1), Msg::Tick);
+        engine.send(id, SimDuration::from_millis(2), Msg::Tick);
+        assert_eq!(engine.run_to_completion(), RunOutcome::Halted);
+        assert_eq!(engine.now(), SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn event_limit_guards_runaway_loops() {
+        struct Loopy;
+        impl Actor<Msg> for Loopy {
+            fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _msg: Msg) {
+                ctx.send_self(SimDuration::ZERO, Msg::Tick);
+            }
+        }
+        let mut engine = Engine::new(0);
+        let id = engine.spawn(Loopy);
+        engine.send(id, SimDuration::ZERO, Msg::Tick);
+        engine.set_event_limit(1000);
+        assert_eq!(engine.run_to_completion(), RunOutcome::EventLimit);
+        assert_eq!(engine.delivered_messages(), 1000);
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        fn run(seed: u64) -> Vec<(SimTime, u64)> {
+            struct Noisy {
+                peer: Option<ActorId>,
+                log: std::rc::Rc<std::cell::RefCell<Vec<(SimTime, u64)>>>,
+            }
+            impl Actor<Msg> for Noisy {
+                fn on_message(&mut self, ctx: &mut Context<'_, Msg>, msg: Msg) {
+                    if let Msg::Value(v) = msg {
+                        self.log.borrow_mut().push((ctx.now(), v));
+                        if v > 0 {
+                            let jitter = ctx.rng().next_u64() % 1000;
+                            let dest = self.peer.unwrap_or(ctx.self_id());
+                            ctx.send(dest, SimDuration::from_micros(jitter), Msg::Value(v - 1));
+                        }
+                    }
+                }
+            }
+            use rand::RngCore;
+            let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+            let mut engine = Engine::new(seed);
+            let a = engine.spawn(Noisy { peer: None, log: log.clone() });
+            let b = engine.spawn(Noisy { peer: Some(a), log: log.clone() });
+            engine.send(b, SimDuration::ZERO, Msg::Value(50));
+            engine.run_to_completion();
+            let result = log.borrow().clone();
+            result
+        }
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn send_at_clamps_past_times() {
+        let mut engine = Engine::new(0);
+        let (actor, log) = recorder();
+        let id = engine.spawn(actor);
+        engine.send(id, SimDuration::from_secs(1), Msg::Value(1));
+        engine.run_to_completion();
+        // Now is 1s; sending "at 0" must not move time backwards.
+        engine.send_at(id, SimTime::ZERO, Msg::Value(2));
+        engine.run_to_completion();
+        assert_eq!(log.borrow()[1].0, SimTime::from_secs(1));
+    }
+}

@@ -1,0 +1,376 @@
+//! Run-time metrics: counters, gauges and reservoir histograms.
+//!
+//! Actors record into a [`Metrics`] registry through their context; the
+//! experiment harness reads the registry after a run to produce table rows.
+//! Histograms keep exact streaming moments (Welford) plus a bounded
+//! reservoir of samples for percentile estimation, so memory stays constant
+//! regardless of run length.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Number of samples a histogram retains for percentile estimation.
+const RESERVOIR_CAPACITY: usize = 4096;
+
+/// A monotonically increasing counter handle.
+#[derive(Debug)]
+pub struct Counter<'a>(&'a mut u64);
+
+impl Counter<'_> {
+    /// Adds one.
+    pub fn incr(&mut self) {
+        *self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        *self.0 += n;
+    }
+}
+
+/// A streaming histogram with exact moments and reservoir percentiles.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    reservoir: Vec<f64>,
+    // Deterministic quasi-random replacement state (xorshift).
+    rstate: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            reservoir: Vec::new(),
+            rstate: 0x9E3779B97F4A7C15,
+        }
+    }
+
+    /// Records one observation. Non-finite values are ignored (and would
+    /// otherwise poison the moments).
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if self.reservoir.len() < RESERVOIR_CAPACITY {
+            self.reservoir.push(value);
+        } else {
+            // Algorithm R with a deterministic xorshift source.
+            self.rstate ^= self.rstate << 13;
+            self.rstate ^= self.rstate >> 7;
+            self.rstate ^= self.rstate << 17;
+            let j = (self.rstate % self.count) as usize;
+            if j < RESERVOIR_CAPACITY {
+                self.reservoir[j] = value;
+            }
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation (0 if fewer than two observations).
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0,1]`) from the reservoir, `None` if
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.reservoir.is_empty() {
+            return None;
+        }
+        let mut sorted = self.reservoir.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("reservoir holds no NaN"));
+        Some(crate::stats::percentile_of_sorted(&sorted, q))
+    }
+
+    /// Convenience: the median.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "hist(empty)");
+        }
+        write!(
+            f,
+            "hist(n={} mean={:.3} sd={:.3} min={:.3} p50={:.3} p95={:.3} max={:.3})",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.min,
+            self.median().unwrap_or(0.0),
+            self.quantile(0.95).unwrap_or(0.0),
+            self.max,
+        )
+    }
+}
+
+/// A named registry of counters, gauges and histograms.
+///
+/// Keys are plain strings; the convention across AirDnD crates is
+/// `"<area>.<event>"`, e.g. `"mesh.joins"` or `"offload.latency_ms"`.
+///
+/// ```
+/// use airdnd_sim::Metrics;
+/// let mut m = Metrics::new();
+/// m.counter("mesh.joins").add(3);
+/// m.record("offload.latency_ms", 12.5);
+/// m.set_gauge("mesh.size", 4.0);
+/// assert_eq!(m.counter_value("mesh.joins"), 3);
+/// assert_eq!(m.histogram("offload.latency_ms").unwrap().count(), 1);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a handle to the named counter, creating it at zero.
+    pub fn counter(&mut self, name: &str) -> Counter<'_> {
+        Counter(self.counters.entry(name.to_owned()).or_insert(0))
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge to an instantaneous value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Current value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records an observation into the named histogram, creating it.
+    pub fn record(&mut self, name: &str, value: f64) {
+        self.histograms.entry(name.to_owned()).or_insert_with(Histogram::new).record(value);
+    }
+
+    /// The named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates over all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates over all gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates over all histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges another registry into this one (counters add, gauges take the
+    /// other's value, histogram reservoirs concatenate up to capacity).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            let dst = self.histograms.entry(k.clone()).or_insert_with(Histogram::new);
+            for &s in &h.reservoir {
+                dst.record(s);
+            }
+        }
+    }
+
+    /// Drops all recorded data.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "counter {k} = {v}")?;
+        }
+        for (k, v) in &self.gauges {
+            writeln!(f, "gauge   {k} = {v:.4}")?;
+        }
+        for (k, h) in &self.histograms {
+            writeln!(f, "hist    {k} = {h}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.counter("a").incr();
+        m.counter("a").add(4);
+        assert_eq!(m.counter_value("a"), 5);
+        assert_eq!(m.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = Metrics::new();
+        m.set_gauge("g", 1.0);
+        m.set_gauge("g", 2.5);
+        assert_eq!(m.gauge("g"), Some(2.5));
+        assert_eq!(m.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histogram_moments_are_exact() {
+        let mut h = Histogram::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+        assert!((h.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(h.min(), Some(2.0));
+        assert_eq!(h.max(), Some(9.0));
+    }
+
+    #[test]
+    fn histogram_quantiles_from_reservoir() {
+        let mut h = Histogram::new();
+        for i in 0..1000 {
+            h.record(i as f64);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((p50 - 499.5).abs() < 2.0, "p50 was {p50}");
+        let p95 = h.quantile(0.95).unwrap();
+        assert!((p95 - 949.0).abs() < 3.0, "p95 was {p95}");
+    }
+
+    #[test]
+    fn histogram_reservoir_stays_bounded() {
+        let mut h = Histogram::new();
+        for i in 0..100_000 {
+            h.record(i as f64);
+        }
+        assert!(h.reservoir.len() <= RESERVOIR_CAPACITY);
+        assert_eq!(h.count(), 100_000);
+        // Reservoir median should still approximate the true median.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((p50 - 50_000.0).abs() < 5_000.0, "p50 was {p50}");
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(1.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.std_dev(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.to_string(), "hist(empty)");
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Metrics::new();
+        a.counter("c").add(2);
+        a.record("h", 1.0);
+        let mut b = Metrics::new();
+        b.counter("c").add(3);
+        b.record("h", 3.0);
+        b.set_gauge("g", 9.0);
+        a.merge(&b);
+        assert_eq!(a.counter_value("c"), 5);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.gauge("g"), Some(9.0));
+    }
+
+    #[test]
+    fn display_is_never_empty_per_entry() {
+        let mut m = Metrics::new();
+        m.counter("x").incr();
+        m.record("y", 2.0);
+        let s = m.to_string();
+        assert!(s.contains("counter x = 1"));
+        assert!(s.contains("hist    y"));
+    }
+}

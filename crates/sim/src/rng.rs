@@ -1,0 +1,269 @@
+//! Seedable, forkable randomness for reproducible experiments.
+//!
+//! [`SimRng`] is a PCG32 generator (O'Neill 2014): 64-bit state, 64-bit
+//! stream selector, 32-bit output. It implements [`rand::RngCore`] so all of
+//! `rand`'s distribution helpers work on it, and adds [`SimRng::fork`] which
+//! deterministically derives an independent stream — each simulated node gets
+//! its own forked generator, so adding a node never perturbs the random
+//! sequence observed by the others.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+/// A deterministic PCG32 random-number generator.
+///
+/// ```
+/// use airdnd_sim::SimRng;
+/// use rand::Rng;
+///
+/// let mut a = SimRng::seed_from(7);
+/// let mut b = SimRng::seed_from(7);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+///
+/// // Forked streams are independent of the parent's subsequent draws.
+/// let mut child = a.fork(1);
+/// assert_ne!(a.gen::<u64>(), child.gen::<u64>());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimRng {
+    state: u64,
+    inc: u64,
+}
+
+/// SplitMix64 — used to expand seeds into well-mixed initial state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a seed, on stream 0.
+    pub fn seed_from(seed: u64) -> Self {
+        Self::with_stream(seed, 0)
+    }
+
+    /// Creates a generator from a seed on a specific stream; distinct
+    /// streams with the same seed produce uncorrelated sequences.
+    pub fn with_stream(seed: u64, stream: u64) -> Self {
+        let mut mix = seed;
+        let state0 = splitmix64(&mut mix);
+        let mut smix = stream.wrapping_add(0xDA3E39CB94B95BDB);
+        let inc = splitmix64(&mut smix) | 1; // stream selector must be odd
+        let mut rng = SimRng { state: 0, inc };
+        rng.state = state0.wrapping_add(inc);
+        rng.next_u32();
+        rng
+    }
+
+    /// Deterministically derives an independent child generator.
+    ///
+    /// The child depends only on the parent's *identity* (its stream and a
+    /// snapshot of its state mixed with `tag`), so forking does not consume
+    /// randomness visible to distribution sampling and the same `(parent,
+    /// tag)` pair always yields the same child.
+    pub fn fork(&self, tag: u64) -> SimRng {
+        let mut mix = self.inc ^ tag.wrapping_mul(0x9E3779B97F4A7C15);
+        let seed = splitmix64(&mut mix) ^ self.state.rotate_left(17);
+        SimRng::with_stream(seed, tag.wrapping_add(self.inc >> 1))
+    }
+
+    /// Draws a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits, the standard open-interval construction.
+        let x = self.next_u64() >> 11;
+        x as f64 / (1u64 << 53) as f64
+    }
+
+    /// Draws from an exponential distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive");
+        let u = 1.0 - self.next_f64(); // avoid ln(0)
+        -mean * u.ln()
+    }
+
+    /// Draws from a normal distribution via Box–Muller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is not finite.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0);
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        let mag = (-2.0 * u1.ln()).sqrt();
+        mean + std_dev * mag * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Picks a uniformly random index in `[0, len)`, or `None` if `len == 0`.
+    pub fn index(&mut self, len: usize) -> Option<usize> {
+        if len == 0 {
+            None
+        } else {
+            Some((self.next_u64() % len as u64) as usize)
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (self.next_u32() as u64) << 32 | self.next_u32() as u64
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::seed_from(123);
+        let mut b = SimRng::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "distinct seeds should disagree almost always, agreed {same}/64");
+    }
+
+    #[test]
+    fn streams_are_uncorrelated() {
+        let mut a = SimRng::with_stream(9, 0);
+        let mut b = SimRng::with_stream(9, 1);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let parent = SimRng::seed_from(55);
+        let mut c1 = parent.fork(7);
+        let mut c2 = parent.fork(7);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        let mut other = parent.fork(8);
+        assert_ne!(c1.next_u64(), other.next_u64());
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = SimRng::seed_from(77);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_about_half() {
+        let mut rng = SimRng::seed_from(3);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "uniform mean was {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_matches_parameter() {
+        let mut rng = SimRng::seed_from(4);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.exp(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "exp mean was {mean}");
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let mut rng = SimRng::seed_from(5);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 3.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "normal mean was {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "normal sd was {}", var.sqrt());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(6);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        // Out-of-range probabilities are clamped rather than panicking.
+        assert!(rng.chance(2.5));
+        assert!(!rng.chance(-1.0));
+    }
+
+    #[test]
+    fn index_bounds() {
+        let mut rng = SimRng::seed_from(8);
+        assert_eq!(rng.index(0), None);
+        for _ in 0..1000 {
+            let i = rng.index(7).unwrap();
+            assert!(i < 7);
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = SimRng::seed_from(9);
+        let mut buf = [0u8; 7];
+        rng.fill_bytes(&mut buf);
+        // Identical generator state produces identical bytes.
+        let mut rng2 = SimRng::seed_from(9);
+        let mut buf2 = [0u8; 7];
+        rng2.fill_bytes(&mut buf2);
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn works_with_rand_traits() {
+        let mut rng = SimRng::seed_from(10);
+        let x: f64 = rng.gen_range(0.0..100.0);
+        assert!((0.0..100.0).contains(&x));
+        let y: u32 = rng.gen_range(5..10);
+        assert!((5..10).contains(&y));
+    }
+}

@@ -1,0 +1,256 @@
+//! Statistical helpers shared by tests and the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// ```
+/// use airdnd_sim::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0] { s.push(x); }
+/// assert_eq!(s.mean(), 2.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation; non-finite values are ignored.
+    pub fn push(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another accumulator (Chan et al. parallel formula).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+}
+
+/// Linear-interpolated `q`-quantile of an unsorted slice.
+///
+/// Returns `None` for an empty slice or out-of-range `q`.
+///
+/// ```
+/// use airdnd_sim::percentile;
+/// let xs = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(percentile(&xs, 0.5), Some(2.5));
+/// ```
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("filtered to finite"));
+    Some(percentile_of_sorted(&sorted, q))
+}
+
+/// Linear-interpolated quantile of an already-sorted, non-empty slice.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty.
+pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    let q = q.clamp(0.0, 1.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Evenly spaced CDF points `(value, cumulative_fraction)` for plotting.
+///
+/// Returns at most `points` pairs spanning the value range; empty input
+/// yields an empty vector.
+pub fn cdf_points(values: &[f64], points: usize) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() || points == 0 {
+        return Vec::new();
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("filtered to finite"));
+    let n = sorted.len();
+    let step = (n.max(points) / points).max(1);
+    let mut out = Vec::with_capacity(points + 1);
+    let mut i = 0;
+    while i < n {
+        out.push((sorted[i], (i + 1) as f64 / n as f64));
+        i += step;
+    }
+    if out.last().map(|&(v, _)| v) != Some(sorted[n - 1]) {
+        out.push((sorted[n - 1], 1.0));
+    }
+    out
+}
+
+/// Jain's fairness index of a set of allocations: `(Σx)² / (n·Σx²)`.
+///
+/// 1.0 means perfectly balanced; `1/n` means one entity hogs everything.
+/// Returns 1.0 for empty or all-zero input (vacuously fair).
+pub fn jain_fairness(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [1.5, 2.5, 3.5, 10.0, -4.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert!((left.mean() - all.mean()).abs() < 1e-9);
+        assert!((left.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(left.count(), all.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(5.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 1.0), Some(40.0));
+        assert_eq!(percentile(&xs, 0.5), Some(25.0));
+        assert_eq!(percentile(&xs, 1.5), None);
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[7.0], 0.3), Some(7.0));
+    }
+
+    #[test]
+    fn cdf_points_monotone_and_complete() {
+        let xs: Vec<f64> = (0..500).rev().map(|i| i as f64).collect();
+        let cdf = cdf_points(&xs, 50);
+        assert!(!cdf.is_empty());
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0, "values must be non-decreasing");
+            assert!(w[0].1 <= w[1].1, "fractions must be non-decreasing");
+        }
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        assert_eq!(cdf.last().unwrap().0, 499.0);
+    }
+
+    #[test]
+    fn cdf_points_empty_input() {
+        assert!(cdf_points(&[], 10).is_empty());
+        assert!(cdf_points(&[1.0], 0).is_empty());
+    }
+
+    #[test]
+    fn jain_bounds() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+        assert!((jain_fairness(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        let skewed = jain_fairness(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((skewed - 0.25).abs() < 1e-12);
+    }
+}

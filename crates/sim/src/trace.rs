@@ -1,0 +1,134 @@
+//! Bounded protocol tracing for debugging.
+//!
+//! Tracing is off by default; enabling it on the engine records up to a
+//! fixed number of `(time, actor, label)` entries. The bound keeps long
+//! experiment runs from accumulating unbounded memory — once full, the trace
+//! stops recording and counts how many entries were discarded.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// One recorded trace entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Virtual time of the event.
+    pub time: SimTime,
+    /// Raw index of the actor that recorded the entry.
+    pub actor: u32,
+    /// Free-form label, conventionally `"area: detail"`.
+    pub label: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] actor#{} {}", self.time, self.actor, self.label)
+    }
+}
+
+/// A bounded in-memory event trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    capacity: usize,
+    discarded: u64,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A trace that records nothing (the default).
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// A trace that records up to `capacity` entries.
+    pub fn bounded(capacity: usize) -> Self {
+        Trace { entries: Vec::new(), capacity, discarded: 0, enabled: true }
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an entry if enabled and capacity remains.
+    pub fn record(&mut self, time: SimTime, actor: u32, label: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            self.discarded += 1;
+            return;
+        }
+        self.entries.push(TraceEntry { time, actor, label: label.into() });
+    }
+
+    /// The recorded entries, in time order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// How many entries were discarded after the capacity filled.
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    /// Entries whose label starts with `prefix`.
+    pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
+        self.entries.iter().filter(move |e| e.label.starts_with(prefix))
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.enabled {
+            return writeln!(f, "trace disabled");
+        }
+        for e in &self.entries {
+            writeln!(f, "{e}")?;
+        }
+        if self.discarded > 0 {
+            writeln!(f, "... {} entries discarded", self.discarded)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, 0, "x");
+        assert!(t.entries().is_empty());
+        assert_eq!(t.discarded(), 0);
+    }
+
+    #[test]
+    fn bounded_trace_caps_and_counts() {
+        let mut t = Trace::bounded(2);
+        t.record(SimTime::from_secs(1), 0, "a");
+        t.record(SimTime::from_secs(2), 1, "b");
+        t.record(SimTime::from_secs(3), 2, "c");
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.discarded(), 1);
+    }
+
+    #[test]
+    fn prefix_filter() {
+        let mut t = Trace::bounded(10);
+        t.record(SimTime::ZERO, 0, "mesh: join");
+        t.record(SimTime::ZERO, 0, "task: offload");
+        t.record(SimTime::ZERO, 0, "mesh: leave");
+        assert_eq!(t.with_prefix("mesh:").count(), 2);
+    }
+
+    #[test]
+    fn display_formats_entries() {
+        let mut t = Trace::bounded(4);
+        t.record(SimTime::from_millis(1), 3, "hello");
+        let s = t.to_string();
+        assert!(s.contains("actor#3 hello"), "got: {s}");
+    }
+}

@@ -1,0 +1,263 @@
+//! Task DAGs: multi-stage pipelines over single TaskVM kernels.
+//!
+//! A perception pipeline is rarely one kernel — detect, then fuse, then
+//! summarize. A [`TaskGraph`] wires [`TaskSpec`]s into a DAG; the
+//! orchestrator dispatches stages as their dependencies complete
+//! ([`TaskGraph::ready_stages`]) and cycle-checks at construction time.
+
+use crate::spec::TaskSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Identifies a stage within one [`TaskGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StageId(u32);
+
+impl StageId {
+    /// Raw index of the stage.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stage#{}", self.0)
+    }
+}
+
+/// Errors from graph construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// A referenced stage does not exist.
+    UnknownStage(StageId),
+    /// The dependency would create a cycle.
+    WouldCycle {
+        /// Edge source.
+        from: StageId,
+        /// Edge destination.
+        to: StageId,
+    },
+    /// A stage cannot depend on itself.
+    SelfDependency(StageId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownStage(s) => write!(f, "unknown stage {s}"),
+            GraphError::WouldCycle { from, to } => {
+                write!(f, "dependency {from} → {to} would create a cycle")
+            }
+            GraphError::SelfDependency(s) => write!(f, "stage {s} cannot depend on itself"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// A DAG of task stages.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaskGraph {
+    stages: Vec<TaskSpec>,
+    /// `deps[i]` = stages that must complete before stage `i`.
+    deps: Vec<BTreeSet<StageId>>,
+}
+
+impl TaskGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        TaskGraph { stages: Vec::new(), deps: Vec::new() }
+    }
+
+    /// Adds a stage; returns its id.
+    pub fn add_stage(&mut self, spec: TaskSpec) -> StageId {
+        let id = StageId(self.stages.len() as u32);
+        self.stages.push(spec);
+        self.deps.push(BTreeSet::new());
+        id
+    }
+
+    /// Declares that `stage` depends on `on` (i.e. `on` runs first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if either id is unknown, the edge is a
+    /// self-loop, or the edge would create a cycle.
+    pub fn add_dependency(&mut self, stage: StageId, on: StageId) -> Result<(), GraphError> {
+        for s in [stage, on] {
+            if s.index() >= self.stages.len() {
+                return Err(GraphError::UnknownStage(s));
+            }
+        }
+        if stage == on {
+            return Err(GraphError::SelfDependency(stage));
+        }
+        // A cycle would exist iff `stage` is already (transitively) a
+        // dependency of `on`.
+        if self.depends_transitively(on, stage) {
+            return Err(GraphError::WouldCycle { from: stage, to: on });
+        }
+        self.deps[stage.index()].insert(on);
+        Ok(())
+    }
+
+    fn depends_transitively(&self, stage: StageId, on: StageId) -> bool {
+        let mut stack = vec![stage];
+        let mut seen = BTreeSet::new();
+        while let Some(s) = stack.pop() {
+            if s == on {
+                return true;
+            }
+            if seen.insert(s) {
+                stack.extend(self.deps[s.index()].iter().copied());
+            }
+        }
+        false
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// `true` if the graph has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The spec of a stage.
+    pub fn stage(&self, id: StageId) -> Option<&TaskSpec> {
+        self.stages.get(id.index())
+    }
+
+    /// Direct dependencies of a stage.
+    pub fn dependencies(&self, id: StageId) -> impl Iterator<Item = StageId> + '_ {
+        self.deps[id.index()].iter().copied()
+    }
+
+    /// Stages whose dependencies are all in `completed` and which are not
+    /// themselves completed — what the orchestrator may dispatch next.
+    pub fn ready_stages(&self, completed: &BTreeSet<StageId>) -> Vec<StageId> {
+        (0..self.stages.len() as u32)
+            .map(StageId)
+            .filter(|s| !completed.contains(s))
+            .filter(|s| self.deps[s.index()].iter().all(|d| completed.contains(d)))
+            .collect()
+    }
+
+    /// A full topological order (dependencies first). Always succeeds
+    /// because [`TaskGraph::add_dependency`] rejects cycles.
+    pub fn topological_order(&self) -> Vec<StageId> {
+        let mut completed = BTreeSet::new();
+        let mut order = Vec::with_capacity(self.stages.len());
+        while completed.len() < self.stages.len() {
+            let ready = self.ready_stages(&completed);
+            debug_assert!(!ready.is_empty(), "acyclic graph always has a ready stage");
+            for s in ready {
+                completed.insert(s);
+                order.push(s);
+            }
+        }
+        order
+    }
+}
+
+impl Default for TaskGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{TaskId, TaskSpec};
+    use crate::vm::{Instr, Program};
+
+    fn spec(i: u64) -> TaskSpec {
+        TaskSpec::new(TaskId::new(i), format!("stage{i}"), Program::new(vec![Instr::Halt], 0))
+    }
+
+    fn diamond() -> (TaskGraph, [StageId; 4]) {
+        // a → b, a → c, b → d, c → d
+        let mut g = TaskGraph::new();
+        let a = g.add_stage(spec(0));
+        let b = g.add_stage(spec(1));
+        let c = g.add_stage(spec(2));
+        let d = g.add_stage(spec(3));
+        g.add_dependency(b, a).unwrap();
+        g.add_dependency(c, a).unwrap();
+        g.add_dependency(d, b).unwrap();
+        g.add_dependency(d, c).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn ready_stages_respect_dependencies() {
+        let (g, [a, b, c, d]) = diamond();
+        let mut done = BTreeSet::new();
+        assert_eq!(g.ready_stages(&done), vec![a]);
+        done.insert(a);
+        assert_eq!(g.ready_stages(&done), vec![b, c]);
+        done.insert(b);
+        assert_eq!(g.ready_stages(&done), vec![c], "d still blocked by c");
+        done.insert(c);
+        assert_eq!(g.ready_stages(&done), vec![d]);
+        done.insert(d);
+        assert!(g.ready_stages(&done).is_empty());
+    }
+
+    #[test]
+    fn topological_order_is_valid() {
+        let (g, _) = diamond();
+        let order = g.topological_order();
+        assert_eq!(order.len(), 4);
+        let position = |s: StageId| order.iter().position(|&x| x == s).unwrap();
+        for s in &order {
+            for d in g.dependencies(*s) {
+                assert!(position(d) < position(*s), "{d} must precede {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_stage(spec(0));
+        let b = g.add_stage(spec(1));
+        let c = g.add_stage(spec(2));
+        g.add_dependency(b, a).unwrap();
+        g.add_dependency(c, b).unwrap();
+        assert_eq!(g.add_dependency(a, c), Err(GraphError::WouldCycle { from: a, to: c }));
+        assert_eq!(g.add_dependency(a, a), Err(GraphError::SelfDependency(a)));
+    }
+
+    #[test]
+    fn unknown_stage_rejected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_stage(spec(0));
+        let ghost = StageId(9);
+        assert_eq!(g.add_dependency(a, ghost), Err(GraphError::UnknownStage(ghost)));
+    }
+
+    #[test]
+    fn empty_graph_behaves() {
+        let g = TaskGraph::new();
+        assert!(g.is_empty());
+        assert!(g.topological_order().is_empty());
+        assert!(g.ready_stages(&BTreeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn duplicate_dependency_is_idempotent() {
+        let mut g = TaskGraph::new();
+        let a = g.add_stage(spec(0));
+        let b = g.add_stage(spec(1));
+        g.add_dependency(b, a).unwrap();
+        g.add_dependency(b, a).unwrap();
+        assert_eq!(g.dependencies(b).count(), 1);
+    }
+}

@@ -1,0 +1,394 @@
+//! Ready-made TaskVM kernels for the evaluation scenarios.
+//!
+//! These are the programs that actually travel through the mesh in the
+//! examples, tests and experiments. They mirror the "looking around the
+//! corner" perception pipeline:
+//!
+//! * [`grid_fuse`] — merge two occupancy grids (the helper vehicle fuses
+//!   its own grid with the requester's, returning a small result instead of
+//!   a raw frame),
+//! * [`count_above`] — detection thresholding over a grid,
+//! * [`sum_inputs`] / [`echo_inputs`] — micro-kernels for tests and the
+//!   raw-data-shipping baseline,
+//! * [`matmul`] — a compute-heavy kernel whose gas grows as `n³`, the knob
+//!   for compute-vs-transfer trade-off experiments,
+//! * [`checksum`] — FNV-1a over the inputs, used by integrity spot checks.
+//!
+//! All constructors return already-[verified](crate::vm::verify) programs;
+//! [`measure_gas`] reports the exact gas a kernel uses on given inputs
+//! (execution is deterministic, so one measurement is authoritative).
+
+use crate::vm::{execute, verify, Assembler, ExecLimits, Instr, VerifiedProgram};
+
+/// Builds and verifies, panicking on programmer error (library kernels are
+/// trusted to assemble).
+fn build(a: Assembler, memory_words: u32) -> VerifiedProgram {
+    let program = a.finish(memory_words).expect("library kernel labels are bound");
+    verify(program).expect("library kernels verify")
+}
+
+/// Sums all inputs into a single output word.
+pub fn sum_inputs() -> VerifiedProgram {
+    let mut a = Assembler::new();
+    let (top, done) = (a.new_label(), a.new_label());
+    a.bind(top);
+    a.load_var(1);
+    a.emit(Instr::InputLen);
+    a.emit(Instr::Ge);
+    a.jnz(done);
+    a.load_var(0);
+    a.load_var(1);
+    a.emit(Instr::Input);
+    a.emit(Instr::Add);
+    a.store_var(0);
+    a.incr_var(1);
+    a.jmp(top);
+    a.bind(done);
+    a.load_var(0);
+    a.emit(Instr::Output);
+    build(a, 2)
+}
+
+/// Copies every input word to the output stream (the "ship the raw data"
+/// kernel used by baselines).
+pub fn echo_inputs() -> VerifiedProgram {
+    let mut a = Assembler::new();
+    let (top, done) = (a.new_label(), a.new_label());
+    a.bind(top);
+    a.load_var(0);
+    a.emit(Instr::InputLen);
+    a.emit(Instr::Ge);
+    a.jnz(done);
+    a.load_var(0);
+    a.emit(Instr::Input);
+    a.emit(Instr::Output);
+    a.incr_var(0);
+    a.jmp(top);
+    a.bind(done);
+    build(a, 1)
+}
+
+/// Cell-wise max of two occupancy grids of `cells` words each.
+///
+/// Inputs: grid A (`cells` words) followed by grid B (`cells` words).
+/// Outputs: the fused grid (`cells` words).
+///
+/// # Panics
+///
+/// Panics if `cells` is zero.
+pub fn grid_fuse(cells: u32) -> VerifiedProgram {
+    assert!(cells > 0, "grid must have at least one cell");
+    let mut a = Assembler::new();
+    let (top, done) = (a.new_label(), a.new_label());
+    a.bind(top);
+    a.load_var(0);
+    a.push(cells as i64);
+    a.emit(Instr::Ge);
+    a.jnz(done);
+    a.load_var(0);
+    a.emit(Instr::Input); // A[i]
+    a.load_var(0);
+    a.push(cells as i64);
+    a.emit(Instr::Add);
+    a.emit(Instr::Input); // B[i]
+    a.emit(Instr::Max);
+    a.emit(Instr::Output);
+    a.incr_var(0);
+    a.jmp(top);
+    a.bind(done);
+    build(a, 1)
+}
+
+/// Counts input cells with value ≥ `threshold`; one output word.
+pub fn count_above(threshold: i64) -> VerifiedProgram {
+    let mut a = Assembler::new();
+    let (top, skip, done) = (a.new_label(), a.new_label(), a.new_label());
+    a.bind(top);
+    a.load_var(0);
+    a.emit(Instr::InputLen);
+    a.emit(Instr::Ge);
+    a.jnz(done);
+    a.load_var(0);
+    a.emit(Instr::Input);
+    a.push(threshold);
+    a.emit(Instr::Ge);
+    a.jz(skip);
+    a.incr_var(1);
+    a.bind(skip);
+    a.incr_var(0);
+    a.jmp(top);
+    a.bind(done);
+    a.load_var(1);
+    a.emit(Instr::Output);
+    build(a, 2)
+}
+
+/// `n × n` integer matrix multiply: inputs are A then B row-major (`2n²`
+/// words); outputs are C row-major (`n²` words). Gas grows as `n³`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn matmul(n: u32) -> VerifiedProgram {
+    assert!(n > 0, "matrix dimension must be positive");
+    let n = n as i64;
+    // Memory variables: 0 = i, 1 = j, 2 = k, 3 = acc.
+    let mut a = Assembler::new();
+    let (li, lj, lk) = (a.new_label(), a.new_label(), a.new_label());
+    let (emit, j_next, i_next, done) = (a.new_label(), a.new_label(), a.new_label(), a.new_label());
+
+    a.bind(li);
+    a.load_var(0);
+    a.push(n);
+    a.emit(Instr::Ge);
+    a.jnz(done);
+    a.set_var(1, 0);
+
+    a.bind(lj);
+    a.load_var(1);
+    a.push(n);
+    a.emit(Instr::Ge);
+    a.jnz(i_next);
+    a.set_var(2, 0);
+    a.set_var(3, 0);
+
+    a.bind(lk);
+    a.load_var(2);
+    a.push(n);
+    a.emit(Instr::Ge);
+    a.jnz(emit);
+    // acc += A[i*n + k] * B[n*n + k*n + j]
+    a.load_var(3);
+    a.load_var(0);
+    a.push(n);
+    a.emit(Instr::Mul);
+    a.load_var(2);
+    a.emit(Instr::Add);
+    a.emit(Instr::Input); // A[i*n+k]
+    a.load_var(2);
+    a.push(n);
+    a.emit(Instr::Mul);
+    a.load_var(1);
+    a.emit(Instr::Add);
+    a.push(n * n);
+    a.emit(Instr::Add);
+    a.emit(Instr::Input); // B[k*n+j]
+    a.emit(Instr::Mul);
+    a.emit(Instr::Add);
+    a.store_var(3);
+    a.incr_var(2);
+    a.jmp(lk);
+
+    a.bind(emit);
+    a.load_var(3);
+    a.emit(Instr::Output);
+    a.jmp(j_next);
+
+    a.bind(j_next);
+    a.incr_var(1);
+    a.jmp(lj);
+
+    a.bind(i_next);
+    a.incr_var(0);
+    a.jmp(li);
+
+    a.bind(done);
+    build(a, 4)
+}
+
+/// A calibrated-cost perception kernel: `rounds` FNV passes over the
+/// inputs (the "inference" work), then echoes the inputs (the derived
+/// artefact). Gas grows as `rounds × inputs`, which lets experiments dial
+/// realistic compute loads onto executors without changing the result.
+pub fn burn_and_echo(rounds: u32) -> VerifiedProgram {
+    const FNV_PRIME: i64 = 0x100000001b3;
+    // mem[0] = round counter, mem[1] = index, mem[2] = hash accumulator.
+    let mut a = Assembler::new();
+    let (outer, outer_done) = (a.new_label(), a.new_label());
+    let (inner, inner_done) = (a.new_label(), a.new_label());
+    a.bind(outer);
+    a.load_var(0);
+    a.push(rounds as i64);
+    a.emit(Instr::Ge);
+    a.jnz(outer_done);
+    a.set_var(1, 0);
+    a.bind(inner);
+    a.load_var(1);
+    a.emit(Instr::InputLen);
+    a.emit(Instr::Ge);
+    a.jnz(inner_done);
+    a.load_var(2);
+    a.load_var(1);
+    a.emit(Instr::Input);
+    a.emit(Instr::Xor);
+    a.push(FNV_PRIME);
+    a.emit(Instr::Mul);
+    a.store_var(2);
+    a.incr_var(1);
+    a.jmp(inner);
+    a.bind(inner_done);
+    a.incr_var(0);
+    a.jmp(outer);
+    a.bind(outer_done);
+    // Echo the inputs as the result.
+    let (echo, echo_done) = (a.new_label(), a.new_label());
+    a.set_var(1, 0);
+    a.bind(echo);
+    a.load_var(1);
+    a.emit(Instr::InputLen);
+    a.emit(Instr::Ge);
+    a.jnz(echo_done);
+    a.load_var(1);
+    a.emit(Instr::Input);
+    a.emit(Instr::Output);
+    a.incr_var(1);
+    a.jmp(echo);
+    a.bind(echo_done);
+    build(a, 3)
+}
+
+/// FNV-1a hash over the input words; one output word. Used for integrity
+/// spot checks (a challenger can re-run it over claimed data).
+pub fn checksum() -> VerifiedProgram {
+    const FNV_OFFSET: i64 = 0xcbf29ce484222325u64 as i64;
+    const FNV_PRIME: i64 = 0x100000001b3;
+    let mut a = Assembler::new();
+    let (top, done) = (a.new_label(), a.new_label());
+    a.set_var(1, FNV_OFFSET);
+    a.bind(top);
+    a.load_var(0);
+    a.emit(Instr::InputLen);
+    a.emit(Instr::Ge);
+    a.jnz(done);
+    a.load_var(1);
+    a.load_var(0);
+    a.emit(Instr::Input);
+    a.emit(Instr::Xor);
+    a.push(FNV_PRIME);
+    a.emit(Instr::Mul);
+    a.store_var(1);
+    a.incr_var(0);
+    a.jmp(top);
+    a.bind(done);
+    a.load_var(1);
+    a.emit(Instr::Output);
+    build(a, 2)
+}
+
+/// Exact gas the kernel consumes on `inputs` (deterministic, so this is
+/// authoritative for budgeting).
+///
+/// # Panics
+///
+/// Panics if the kernel traps on these inputs.
+pub fn measure_gas(program: &VerifiedProgram, inputs: &[i64]) -> u64 {
+    execute(program, inputs, ExecLimits { max_gas: u64::MAX / 2, max_outputs: usize::MAX >> 1 })
+        .expect("measurement inputs must not trap")
+        .gas_used
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::ExecLimits;
+
+    fn run(p: &VerifiedProgram, inputs: &[i64]) -> Vec<i64> {
+        execute(p, inputs, ExecLimits::default()).expect("no traps").outputs
+    }
+
+    #[test]
+    fn sum_inputs_works() {
+        let p = sum_inputs();
+        assert_eq!(run(&p, &[1, 2, 3, 4]), vec![10]);
+        assert_eq!(run(&p, &[]), vec![0]);
+        assert_eq!(run(&p, &[-5, 5]), vec![0]);
+    }
+
+    #[test]
+    fn echo_round_trips() {
+        let p = echo_inputs();
+        assert_eq!(run(&p, &[9, 8, 7]), vec![9, 8, 7]);
+        assert_eq!(run(&p, &[]), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn grid_fuse_takes_cellwise_max() {
+        let p = grid_fuse(4);
+        assert_eq!(run(&p, &[1, 0, 5, 0, 0, 2, 3, 9]), vec![1, 2, 5, 9]);
+        // Symmetric.
+        assert_eq!(run(&p, &[0, 2, 3, 9, 1, 0, 5, 0]), vec![1, 2, 5, 9]);
+    }
+
+    #[test]
+    fn count_above_threshold() {
+        let p = count_above(50);
+        assert_eq!(run(&p, &[10, 50, 90, 49, 51]), vec![3]);
+        assert_eq!(run(&p, &[]), vec![0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let p = matmul(2);
+        // A = I, B = [[1,2],[3,4]] → C = B
+        let inputs = [1, 0, 0, 1, 1, 2, 3, 4];
+        assert_eq!(run(&p, &inputs), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let p = matmul(2);
+        // A = [[1,2],[3,4]], B = [[5,6],[7,8]] → [[19,22],[43,50]]
+        let inputs = [1, 2, 3, 4, 5, 6, 7, 8];
+        assert_eq!(run(&p, &inputs), vec![19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn matmul_3x3() {
+        let p = matmul(3);
+        let a = [1, 0, 2, 0, 1, 0, 0, 0, 1]; // upper-triangular-ish
+        let b = [1, 2, 3, 4, 5, 6, 7, 8, 9];
+        let inputs: Vec<i64> = a.iter().chain(b.iter()).copied().collect();
+        // C = A*B computed by hand.
+        assert_eq!(run(&p, &inputs), vec![15, 18, 21, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn matmul_gas_grows_cubically() {
+        let g4 = measure_gas(&matmul(4), &vec![1; 32]);
+        let g8 = measure_gas(&matmul(8), &vec![1; 128]);
+        let ratio = g8 as f64 / g4 as f64;
+        assert!((6.0..12.0).contains(&ratio), "≈8× expected, got {ratio}");
+    }
+
+    #[test]
+    fn checksum_discriminates_and_is_stable() {
+        let p = checksum();
+        let a = run(&p, &[1, 2, 3]);
+        let b = run(&p, &[1, 2, 3]);
+        let c = run(&p, &[1, 2, 4]);
+        let d = run(&p, &[2, 1, 3]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d, "order must matter");
+    }
+
+    #[test]
+    fn burn_and_echo_burns_then_echoes() {
+        let p = burn_and_echo(10);
+        assert_eq!(run(&p, &[7, 8, 9]), vec![7, 8, 9], "result is the echoed input");
+        let cheap = measure_gas(&burn_and_echo(10), &[1; 32]);
+        let pricey = measure_gas(&burn_and_echo(100), &[1; 32]);
+        let ratio = pricey as f64 / cheap as f64;
+        assert!(ratio > 5.0, "gas must scale with rounds, got {ratio}");
+        // Zero rounds degenerates to echo.
+        assert_eq!(run(&burn_and_echo(0), &[5]), vec![5]);
+    }
+
+    #[test]
+    fn fuse_gas_linear_in_cells() {
+        let g100 = measure_gas(&grid_fuse(100), &vec![0; 200]);
+        let g200 = measure_gas(&grid_fuse(200), &vec![0; 400]);
+        let ratio = g200 as f64 / g100 as f64;
+        assert!((1.8..2.2).contains(&ratio), "≈2× expected, got {ratio}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Declarative task metadata: what the orchestrator reasons about.
+//!
+//! A [`TaskSpec`] is the complete Model-2 artefact that travels through the
+//! mesh: the portable program, the Model-3 data queries describing its
+//! inputs, declared resource requirements and a deadline. The orchestrator
+//! never inspects bytecode — feasibility checks (RQ3) work on the declared
+//! [`ResourceRequirements`], which the gas meter then *enforces* at
+//! execution time.
+
+use crate::vm::Program;
+use airdnd_data::DataQuery;
+use airdnd_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique task identifier (assigned by the originating node).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(u64);
+
+impl TaskId {
+    /// Creates an id from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        TaskId(raw)
+    }
+
+    /// The raw value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+/// Scheduling priority, ordered low → critical.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Priority {
+    /// Background work.
+    Low,
+    /// Default.
+    #[default]
+    Normal,
+    /// Time-sensitive perception.
+    High,
+    /// Safety-critical (e.g. collision avoidance input).
+    Critical,
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+            Priority::Critical => "critical",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Declared resource needs of a task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceRequirements {
+    /// Gas budget the executor must grant (and may meter against).
+    pub gas: u64,
+    /// Working memory the program needs, bytes.
+    pub memory_bytes: u64,
+    /// Expected on-wire size of task + input references, bytes.
+    pub input_bytes: u64,
+    /// Expected on-wire size of the result, bytes.
+    pub output_bytes: u64,
+    /// Completion deadline, relative to submission.
+    pub deadline: SimDuration,
+}
+
+impl Default for ResourceRequirements {
+    /// A small perception task: 1 M gas, 1 MiB memory, 2 s deadline.
+    fn default() -> Self {
+        ResourceRequirements {
+            gas: 1_000_000,
+            memory_bytes: 1 << 20,
+            input_bytes: 4_096,
+            output_bytes: 4_096,
+            deadline: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// The complete offloadable task description (Model 2).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Globally unique id.
+    pub id: TaskId,
+    /// Human-readable kernel name (diagnostics only).
+    pub name: String,
+    /// The portable program.
+    pub program: Program,
+    /// Model-3 queries describing the data the executor must hold.
+    pub inputs: Vec<DataQuery>,
+    /// Declared resource needs.
+    pub requirements: ResourceRequirements,
+    /// Scheduling priority.
+    pub priority: Priority,
+}
+
+impl TaskSpec {
+    /// Builds a spec around a program with default requirements.
+    pub fn new(id: TaskId, name: impl Into<String>, program: Program) -> Self {
+        TaskSpec {
+            id,
+            name: name.into(),
+            program,
+            inputs: Vec::new(),
+            requirements: ResourceRequirements::default(),
+            priority: Priority::default(),
+        }
+    }
+
+    /// Adds a data query (builder style).
+    pub fn with_input(mut self, query: DataQuery) -> Self {
+        self.inputs.push(query);
+        self
+    }
+
+    /// Sets the requirements (builder style).
+    pub fn with_requirements(mut self, requirements: ResourceRequirements) -> Self {
+        self.requirements = requirements;
+        self
+    }
+
+    /// Sets the priority (builder style).
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Approximate on-wire size of this spec in bytes: program instructions
+    /// (9 bytes each serialized), name, queries and fixed metadata. This is
+    /// what the offload protocol charges the radio for.
+    pub fn wire_size_bytes(&self) -> u64 {
+        let program = self.program.len() as u64 * 9 + 8;
+        let name = self.name.len() as u64 + 4;
+        let queries = self.inputs.len() as u64 * 80;
+        let fixed = 8 + 40 + 1;
+        program + name + queries + fixed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::Instr;
+    use airdnd_data::{DataQuery, DataType};
+
+    fn program() -> Program {
+        Program::new(vec![Instr::Push(1), Instr::Output], 0)
+    }
+
+    #[test]
+    fn priority_ordering_matches_urgency() {
+        assert!(Priority::Critical > Priority::High);
+        assert!(Priority::High > Priority::Normal);
+        assert!(Priority::Normal > Priority::Low);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let spec = TaskSpec::new(TaskId::new(7), "fuse", program())
+            .with_input(DataQuery::of_type(DataType::OccupancyGrid))
+            .with_priority(Priority::High)
+            .with_requirements(ResourceRequirements { gas: 42, ..Default::default() });
+        assert_eq!(spec.id.raw(), 7);
+        assert_eq!(spec.inputs.len(), 1);
+        assert_eq!(spec.priority, Priority::High);
+        assert_eq!(spec.requirements.gas, 42);
+    }
+
+    #[test]
+    fn wire_size_scales_with_content() {
+        let small = TaskSpec::new(TaskId::new(1), "s", program());
+        let big_program = Program::new(vec![Instr::Push(0); 100], 0);
+        let big = TaskSpec::new(TaskId::new(2), "big-kernel-name", big_program)
+            .with_input(DataQuery::of_type(DataType::OccupancyGrid));
+        assert!(big.wire_size_bytes() > small.wire_size_bytes() + 800);
+        // Specs are small relative to raw sensor frames — the core claim.
+        assert!(big.wire_size_bytes() < 10_000);
+    }
+
+    #[test]
+    fn task_id_display() {
+        assert_eq!(TaskId::new(3).to_string(), "task#3");
+    }
+}

@@ -1,0 +1,278 @@
+//! A small assembler for writing TaskVM programs ergonomically.
+//!
+//! Raw instruction vectors need hand-counted jump targets; the
+//! [`Assembler`] provides forward-referencing [`Label`]s that are patched
+//! at [`Assembler::finish`], plus composite helpers for the common
+//! memory-variable idioms (`load_var`, `store_var`, counted loops).
+//!
+//! ```
+//! use airdnd_task::vm::{Assembler, Instr, execute, ExecLimits};
+//!
+//! // out = sum of inputs, using a label-based loop.
+//! let mut a = Assembler::new();
+//! let (loop_top, done) = (a.new_label(), a.new_label());
+//! a.bind(loop_top);
+//! a.load_var(1);                 // i
+//! a.emit(Instr::InputLen);
+//! a.emit(Instr::Ge);
+//! a.jnz(done);
+//! a.load_var(0);                 // acc
+//! a.load_var(1);
+//! a.emit(Instr::Input);
+//! a.emit(Instr::Add);
+//! a.store_var(0);
+//! a.incr_var(1);
+//! a.jmp(loop_top);
+//! a.bind(done);
+//! a.load_var(0);
+//! a.emit(Instr::Output);
+//! let program = a.finish(2)?;
+//! let verified = airdnd_task::vm::verify(program)?;
+//! let out = execute(&verified, &[1, 2, 3], ExecLimits::default())?;
+//! assert_eq!(out.outputs, vec![6]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use super::isa::{Instr, Program};
+use std::error::Error;
+use std::fmt;
+
+/// A forward-referencable jump target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors produced when finishing an assembly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced by a jump but never bound.
+    UnboundLabel(Label),
+    /// A label was bound twice.
+    ReboundLabel(Label),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {:?} referenced but never bound", l),
+            AsmError::ReboundLabel(l) => write!(f, "label {:?} bound twice", l),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+enum PendingInstr {
+    Fixed(Instr),
+    Jmp(Label),
+    Jz(Label),
+    Jnz(Label),
+}
+
+/// Builder for TaskVM programs; see the module example.
+#[derive(Default)]
+pub struct Assembler {
+    code: Vec<PendingInstr>,
+    bindings: Vec<Option<u32>>,
+    rebound: Option<Label>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.bindings.push(None);
+        Label(self.bindings.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    pub fn bind(&mut self, label: Label) {
+        if self.bindings[label.0].is_some() {
+            self.rebound.get_or_insert(label);
+            return;
+        }
+        self.bindings[label.0] = Some(self.code.len() as u32);
+    }
+
+    /// Appends a non-jump instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if given a jump instruction — use [`Assembler::jmp`] /
+    /// [`Assembler::jz`] / [`Assembler::jnz`] so targets go through labels.
+    pub fn emit(&mut self, instr: Instr) {
+        assert!(
+            !matches!(instr, Instr::Jmp(_) | Instr::Jz(_) | Instr::Jnz(_)),
+            "use the label-based jump methods"
+        );
+        self.code.push(PendingInstr::Fixed(instr));
+    }
+
+    /// Appends `Push(value)`.
+    pub fn push(&mut self, value: i64) {
+        self.emit(Instr::Push(value));
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jmp(&mut self, label: Label) {
+        self.code.push(PendingInstr::Jmp(label));
+    }
+
+    /// Jump to `label` if the popped value is zero.
+    pub fn jz(&mut self, label: Label) {
+        self.code.push(PendingInstr::Jz(label));
+    }
+
+    /// Jump to `label` if the popped value is non-zero.
+    pub fn jnz(&mut self, label: Label) {
+        self.code.push(PendingInstr::Jnz(label));
+    }
+
+    /// Pushes `mem[addr]` (a "variable" read).
+    pub fn load_var(&mut self, addr: i64) {
+        self.push(addr);
+        self.emit(Instr::Load);
+    }
+
+    /// Pops the top of stack into `mem[addr]` (a "variable" write).
+    pub fn store_var(&mut self, addr: i64) {
+        self.push(addr);
+        self.emit(Instr::Store);
+    }
+
+    /// `mem[addr] = value` without touching the surrounding stack.
+    pub fn set_var(&mut self, addr: i64, value: i64) {
+        self.push(value);
+        self.store_var(addr);
+    }
+
+    /// `mem[addr] += 1`.
+    pub fn incr_var(&mut self, addr: i64) {
+        self.load_var(addr);
+        self.push(1);
+        self.emit(Instr::Add);
+        self.store_var(addr);
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// `true` if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] if any referenced label is unbound, or a label
+    /// was bound twice.
+    pub fn finish(self, memory_words: u32) -> Result<Program, AsmError> {
+        if let Some(l) = self.rebound {
+            return Err(AsmError::ReboundLabel(l));
+        }
+        let resolve = |l: Label| self.bindings[l.0].ok_or(AsmError::UnboundLabel(l));
+        let mut code = Vec::with_capacity(self.code.len());
+        for pending in self.code {
+            code.push(match pending {
+                PendingInstr::Fixed(i) => i,
+                PendingInstr::Jmp(l) => Instr::Jmp(resolve(l)?),
+                PendingInstr::Jz(l) => Instr::Jz(resolve(l)?),
+                PendingInstr::Jnz(l) => Instr::Jnz(resolve(l)?),
+            });
+        }
+        Ok(Program::new(code, memory_words))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::exec::{execute, ExecLimits};
+    use crate::vm::verify::verify;
+
+    fn run(program: Program, inputs: &[i64]) -> Vec<i64> {
+        let v = verify(program).expect("assembled programs verify");
+        execute(&v, inputs, ExecLimits::default()).expect("no traps").outputs
+    }
+
+    #[test]
+    fn forward_reference_is_patched() {
+        let mut a = Assembler::new();
+        let end = a.new_label();
+        a.push(0);
+        a.jz(end); // forward jump over the "wrong" output
+        a.push(666);
+        a.emit(Instr::Output);
+        a.bind(end);
+        a.push(1);
+        a.emit(Instr::Output);
+        let out = run(a.finish(0).unwrap(), &[]);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn backward_reference_loops() {
+        // Count down from 3, outputting each value.
+        let mut a = Assembler::new();
+        let (top, done) = (a.new_label(), a.new_label());
+        a.set_var(0, 3);
+        a.bind(top);
+        a.load_var(0);
+        a.jz(done);
+        a.load_var(0);
+        a.emit(Instr::Output);
+        a.load_var(0);
+        a.push(1);
+        a.emit(Instr::Sub);
+        a.store_var(0);
+        a.jmp(top);
+        a.bind(done);
+        let out = run(a.finish(1).unwrap(), &[]);
+        assert_eq!(out, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Assembler::new();
+        let l = a.new_label();
+        a.jmp(l);
+        assert_eq!(a.finish(0), Err(AsmError::UnboundLabel(l)));
+    }
+
+    #[test]
+    fn rebound_label_is_an_error() {
+        let mut a = Assembler::new();
+        let l = a.new_label();
+        a.bind(l);
+        a.push(1);
+        a.bind(l);
+        a.emit(Instr::Output);
+        assert_eq!(a.finish(0), Err(AsmError::ReboundLabel(l)));
+    }
+
+    #[test]
+    #[should_panic(expected = "label-based jump")]
+    fn raw_jump_emission_panics() {
+        let mut a = Assembler::new();
+        a.emit(Instr::Jmp(0));
+    }
+
+    #[test]
+    fn var_helpers_compose() {
+        let mut a = Assembler::new();
+        a.set_var(2, 20);
+        a.incr_var(2);
+        a.incr_var(2);
+        a.load_var(2);
+        a.emit(Instr::Output);
+        let out = run(a.finish(4).unwrap(), &[]);
+        assert_eq!(out, vec![22]);
+    }
+}

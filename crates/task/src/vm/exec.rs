@@ -1,0 +1,443 @@
+//! The TaskVM interpreter: gas-metered execution of verified programs.
+//!
+//! Execution is fully deterministic: the same program, inputs and limits
+//! produce the same outputs and gas usage on any node — which is what lets
+//! AirDnD verify results by redundant execution (RQ3).
+
+use super::isa::{gas_cost, Instr};
+use super::verify::VerifiedProgram;
+use std::error::Error;
+use std::fmt;
+
+/// Runtime resource limits for one execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecLimits {
+    /// Maximum gas; execution traps with [`Trap::OutOfGas`] beyond it.
+    pub max_gas: u64,
+    /// Maximum output words a program may emit.
+    pub max_outputs: usize,
+}
+
+impl Default for ExecLimits {
+    /// 10 M gas and 64 Ki output words — generous for perception kernels.
+    fn default() -> Self {
+        ExecLimits { max_gas: 10_000_000, max_outputs: 65_536 }
+    }
+}
+
+/// A successful execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Execution {
+    /// The program's output stream.
+    pub outputs: Vec<i64>,
+    /// Gas consumed.
+    pub gas_used: u64,
+    /// Instructions executed.
+    pub steps: u64,
+}
+
+/// A runtime failure. Traps abort the execution; no partial outputs are
+/// returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trap {
+    /// The gas limit was exhausted.
+    OutOfGas {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// Division or remainder by zero.
+    DivByZero {
+        /// Instruction index.
+        pc: usize,
+    },
+    /// Memory access outside the declared region.
+    MemOutOfBounds {
+        /// Instruction index.
+        pc: usize,
+        /// The offending address.
+        addr: i64,
+    },
+    /// Input index outside the provided inputs.
+    InputOutOfBounds {
+        /// Instruction index.
+        pc: usize,
+        /// The offending index.
+        index: i64,
+    },
+    /// The program emitted more than `max_outputs` words.
+    OutputLimit {
+        /// Instruction index.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::OutOfGas { limit } => write!(f, "out of gas (limit {limit})"),
+            Trap::DivByZero { pc } => write!(f, "division by zero at {pc}"),
+            Trap::MemOutOfBounds { pc, addr } => write!(f, "memory access {addr} out of bounds at {pc}"),
+            Trap::InputOutOfBounds { pc, index } => write!(f, "input index {index} out of bounds at {pc}"),
+            Trap::OutputLimit { pc } => write!(f, "output limit exceeded at {pc}"),
+        }
+    }
+}
+
+impl Error for Trap {}
+
+/// Executes a verified program against `inputs`.
+///
+/// # Errors
+///
+/// Returns a [`Trap`] on any runtime failure; see the trap variants.
+pub fn execute(program: &VerifiedProgram, inputs: &[i64], limits: ExecLimits) -> Result<Execution, Trap> {
+    let code = program.program().code();
+    let mem_words = program.program().memory_words() as usize;
+    let mut memory = vec![0i64; mem_words];
+    let mut stack: Vec<i64> = Vec::with_capacity(program.max_stack() as usize);
+    let mut outputs = Vec::new();
+    let mut pc = 0usize;
+    let mut gas: u64 = 0;
+    let mut steps: u64 = 0;
+
+    // Stack pops are safe without checks: the verifier proved heights.
+    macro_rules! pop {
+        () => {
+            stack.pop().expect("verified program cannot underflow")
+        };
+    }
+
+    while pc < code.len() {
+        let instr = code[pc];
+        gas += gas_cost(instr);
+        if gas > limits.max_gas {
+            return Err(Trap::OutOfGas { limit: limits.max_gas });
+        }
+        steps += 1;
+        let mut next = pc + 1;
+        match instr {
+            Instr::Push(c) => stack.push(c),
+            Instr::Pop => {
+                pop!();
+            }
+            Instr::Dup => {
+                let a = *stack.last().expect("verified");
+                stack.push(a);
+            }
+            Instr::Swap => {
+                let n = stack.len();
+                stack.swap(n - 1, n - 2);
+            }
+            Instr::Over => {
+                let a = stack[stack.len() - 2];
+                stack.push(a);
+            }
+            Instr::Add => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(a.wrapping_add(b));
+            }
+            Instr::Sub => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(a.wrapping_sub(b));
+            }
+            Instr::Mul => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(a.wrapping_mul(b));
+            }
+            Instr::Div => {
+                let b = pop!();
+                let a = pop!();
+                if b == 0 {
+                    return Err(Trap::DivByZero { pc });
+                }
+                stack.push(a.wrapping_div(b));
+            }
+            Instr::Rem => {
+                let b = pop!();
+                let a = pop!();
+                if b == 0 {
+                    return Err(Trap::DivByZero { pc });
+                }
+                stack.push(a.wrapping_rem(b));
+            }
+            Instr::Neg => {
+                let a = pop!();
+                stack.push(a.wrapping_neg());
+            }
+            Instr::Abs => {
+                let a = pop!();
+                stack.push(a.wrapping_abs());
+            }
+            Instr::Min => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(a.min(b));
+            }
+            Instr::Max => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(a.max(b));
+            }
+            Instr::And => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(a & b);
+            }
+            Instr::Or => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(a | b);
+            }
+            Instr::Xor => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(a ^ b);
+            }
+            Instr::Not => {
+                let a = pop!();
+                stack.push(!a);
+            }
+            Instr::Shl => {
+                let s = pop!();
+                let a = pop!();
+                stack.push(a.wrapping_shl(s as u32 & 63));
+            }
+            Instr::Shr => {
+                let s = pop!();
+                let a = pop!();
+                stack.push(a.wrapping_shr(s as u32 & 63));
+            }
+            Instr::Eq => {
+                let b = pop!();
+                let a = pop!();
+                stack.push((a == b) as i64);
+            }
+            Instr::Ne => {
+                let b = pop!();
+                let a = pop!();
+                stack.push((a != b) as i64);
+            }
+            Instr::Lt => {
+                let b = pop!();
+                let a = pop!();
+                stack.push((a < b) as i64);
+            }
+            Instr::Le => {
+                let b = pop!();
+                let a = pop!();
+                stack.push((a <= b) as i64);
+            }
+            Instr::Gt => {
+                let b = pop!();
+                let a = pop!();
+                stack.push((a > b) as i64);
+            }
+            Instr::Ge => {
+                let b = pop!();
+                let a = pop!();
+                stack.push((a >= b) as i64);
+            }
+            Instr::Jmp(t) => next = t as usize,
+            Instr::Jz(t) => {
+                if pop!() == 0 {
+                    next = t as usize;
+                }
+            }
+            Instr::Jnz(t) => {
+                if pop!() != 0 {
+                    next = t as usize;
+                }
+            }
+            Instr::Load => {
+                let addr = pop!();
+                let Some(&v) = usize::try_from(addr).ok().and_then(|a| memory.get(a)) else {
+                    return Err(Trap::MemOutOfBounds { pc, addr });
+                };
+                stack.push(v);
+            }
+            Instr::Store => {
+                let addr = pop!();
+                let value = pop!();
+                let Some(slot) = usize::try_from(addr).ok().and_then(|a| memory.get_mut(a)) else {
+                    return Err(Trap::MemOutOfBounds { pc, addr });
+                };
+                *slot = value;
+            }
+            Instr::Input => {
+                let index = pop!();
+                let Some(&v) = usize::try_from(index).ok().and_then(|i| inputs.get(i)) else {
+                    return Err(Trap::InputOutOfBounds { pc, index });
+                };
+                stack.push(v);
+            }
+            Instr::InputLen => stack.push(inputs.len() as i64),
+            Instr::Output => {
+                let v = pop!();
+                if outputs.len() >= limits.max_outputs {
+                    return Err(Trap::OutputLimit { pc });
+                }
+                outputs.push(v);
+            }
+            Instr::Halt => break,
+        }
+        pc = next;
+    }
+    Ok(Execution { outputs, gas_used: gas, steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::isa::{Instr::*, Program};
+    use crate::vm::verify::verify;
+
+    fn run(code: Vec<Instr>, mem: u32, inputs: &[i64]) -> Result<Execution, Trap> {
+        let v = verify(Program::new(code, mem)).expect("test programs verify");
+        execute(&v, inputs, ExecLimits::default())
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let out = run(vec![Push(7), Push(5), Sub, Output], 0, &[]).unwrap();
+        assert_eq!(out.outputs, vec![2]);
+        let out = run(vec![Push(7), Push(5), Mul, Output], 0, &[]).unwrap();
+        assert_eq!(out.outputs, vec![35]);
+        let out = run(vec![Push(-7), Abs, Output, Push(3), Neg, Output], 0, &[]).unwrap();
+        assert_eq!(out.outputs, vec![7, -3]);
+        let out = run(vec![Push(9), Push(4), Div, Output, Push(9), Push(4), Rem, Output], 0, &[]).unwrap();
+        assert_eq!(out.outputs, vec![2, 1]);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let out = run(
+            vec![
+                Push(3), Push(5), Lt, Output,
+                Push(3), Push(5), Ge, Output,
+                Push(0b1100), Push(0b1010), And, Output,
+                Push(0b1100), Push(0b1010), Xor, Output,
+                Push(1), Push(3), Shl, Output,
+            ],
+            0,
+            &[],
+        )
+        .unwrap();
+        assert_eq!(out.outputs, vec![1, 0, 0b1000, 0b0110, 8]);
+    }
+
+    #[test]
+    fn stack_shuffles() {
+        let out = run(vec![Push(1), Push(2), Swap, Output, Output], 0, &[]).unwrap();
+        assert_eq!(out.outputs, vec![1, 2]);
+        let out = run(vec![Push(1), Push(2), Over, Output, Output, Output], 0, &[]).unwrap();
+        assert_eq!(out.outputs, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn memory_round_trip() {
+        let out = run(
+            vec![Push(42), Push(3), Store, Push(3), Load, Output, Push(0), Load, Output],
+            8,
+            &[],
+        )
+        .unwrap();
+        assert_eq!(out.outputs, vec![42, 0], "memory is zero-initialized");
+    }
+
+    #[test]
+    fn inputs_are_readable() {
+        let out = run(
+            vec![InputLen, Output, Push(0), Input, Push(2), Input, Add, Output],
+            0,
+            &[10, 20, 30],
+        )
+        .unwrap();
+        assert_eq!(out.outputs, vec![3, 40]);
+    }
+
+    #[test]
+    fn loop_sums_inputs() {
+        // acc lives in mem[0], i in mem[1]; while i < len: acc += input[i].
+        let code = vec![
+            Push(1), Load, InputLen, Ge, Jnz(20), // 0..=4   exit when i >= len
+            Push(0), Load, Push(1), Load, Input, Add, Push(0), Store, // 5..=12  acc += input[i]
+            Push(1), Load, Push(1), Add, Push(1), Store, // 13..=18  i += 1
+            Jmp(0), // 19
+            Push(0), Load, Output, // 20..=22  emit acc
+        ];
+        let out = run(code, 2, &[5, 6, 7, 8]).unwrap();
+        assert_eq!(out.outputs, vec![26]);
+    }
+
+    #[test]
+    fn div_by_zero_traps() {
+        assert_eq!(run(vec![Push(1), Push(0), Div, Output], 0, &[]), Err(Trap::DivByZero { pc: 2 }));
+        assert_eq!(run(vec![Push(1), Push(0), Rem, Output], 0, &[]), Err(Trap::DivByZero { pc: 2 }));
+    }
+
+    #[test]
+    fn memory_bounds_trap() {
+        let r = run(vec![Push(99), Load, Output], 8, &[]);
+        assert_eq!(r, Err(Trap::MemOutOfBounds { pc: 1, addr: 99 }));
+        let r = run(vec![Push(1), Push(-1), Store], 8, &[]);
+        assert_eq!(r, Err(Trap::MemOutOfBounds { pc: 2, addr: -1 }));
+    }
+
+    #[test]
+    fn input_bounds_trap() {
+        let r = run(vec![Push(5), Input, Output], 0, &[1, 2]);
+        assert_eq!(r, Err(Trap::InputOutOfBounds { pc: 1, index: 5 }));
+        let r = run(vec![Push(-1), Input, Output], 0, &[1, 2]);
+        assert_eq!(r, Err(Trap::InputOutOfBounds { pc: 1, index: -1 }));
+    }
+
+    #[test]
+    fn gas_limit_stops_infinite_loop() {
+        let v = verify(Program::new(vec![Jmp(0)], 0)).unwrap();
+        let r = execute(&v, &[], ExecLimits { max_gas: 1_000, max_outputs: 16 });
+        assert_eq!(r, Err(Trap::OutOfGas { limit: 1_000 }));
+    }
+
+    #[test]
+    fn output_limit_enforced() {
+        let code = vec![Push(1), Output, Jmp(0)];
+        let v = verify(Program::new(code, 0)).unwrap();
+        let r = execute(&v, &[], ExecLimits { max_gas: 1_000_000, max_outputs: 3 });
+        assert_eq!(r, Err(Trap::OutputLimit { pc: 1 }));
+    }
+
+    #[test]
+    fn gas_accounting_matches_costs() {
+        let out = run(vec![Push(2), Push(3), Mul, Output], 0, &[]).unwrap();
+        // push(1) + push(1) + mul(4) + output(2) = 8
+        assert_eq!(out.gas_used, 8);
+        assert_eq!(out.steps, 4);
+    }
+
+    #[test]
+    fn falling_off_the_end_halts_cleanly() {
+        let out = run(vec![Push(1), Output], 0, &[]).unwrap();
+        assert_eq!(out.outputs, vec![1]);
+    }
+
+    #[test]
+    fn wrapping_arithmetic_does_not_panic() {
+        let out = run(vec![Push(i64::MAX), Push(1), Add, Output], 0, &[]).unwrap();
+        assert_eq!(out.outputs, vec![i64::MIN]);
+        let out = run(vec![Push(i64::MIN), Neg, Output], 0, &[]).unwrap();
+        assert_eq!(out.outputs, vec![i64::MIN]);
+        let out = run(vec![Push(i64::MIN), Push(-1), Div, Output], 0, &[]).unwrap();
+        assert_eq!(out.outputs, vec![i64::MIN]);
+    }
+
+    #[test]
+    fn determinism() {
+        let code = vec![Push(0), Input, Push(1), Input, Mul, Output];
+        let a = run(code.clone(), 0, &[123, 456]).unwrap();
+        let b = run(code, 0, &[123, 456]).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,117 @@
+//! Privacy levels and sharing policies (data minimization).
+//!
+//! AirDnD's whole design is privacy-friendly — raw data never leaves its
+//! producer — but tasks still read local data and return derived results.
+//! A [`PrivacyPolicy`] states, per data category, the *least processed*
+//! form a node is willing to let results reveal. The orchestrator rejects
+//! task offers whose declared output level is more revealing than the
+//! policy allows.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How much a shared artefact reveals, ordered from least to most
+/// revealing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PrivacyLevel {
+    /// Only aggregate statistics (counts, histograms).
+    #[default]
+    Aggregate,
+    /// Derived artefacts without identities (occupancy, anonymous tracks).
+    Anonymized,
+    /// Full derived artefacts (detections with attributes).
+    Derived,
+    /// Raw sensor data.
+    Raw,
+}
+
+impl fmt::Display for PrivacyLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PrivacyLevel::Aggregate => "aggregate",
+            PrivacyLevel::Anonymized => "anonymized",
+            PrivacyLevel::Derived => "derived",
+            PrivacyLevel::Raw => "raw",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-category sharing policy, generic over the category key so any layer
+/// can reuse it (the core orchestrator keys by data type).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PrivacyPolicy<K: Ord> {
+    limits: BTreeMap<K, PrivacyLevel>,
+    default_limit: PrivacyLevel,
+}
+
+impl<K: Ord> PrivacyPolicy<K> {
+    /// A policy allowing up to `default_limit` for unlisted categories.
+    pub fn new(default_limit: PrivacyLevel) -> Self {
+        PrivacyPolicy { limits: BTreeMap::new(), default_limit }
+    }
+
+    /// Sets the limit for one category.
+    pub fn set_limit(&mut self, category: K, limit: PrivacyLevel) {
+        self.limits.insert(category, limit);
+    }
+
+    /// The limit for a category.
+    pub fn limit(&self, category: &K) -> PrivacyLevel {
+        self.limits.get(category).copied().unwrap_or(self.default_limit)
+    }
+
+    /// `true` if sharing an artefact at `level` for this category is
+    /// allowed (i.e. `level` is no more revealing than the limit).
+    pub fn allows(&self, category: &K, level: PrivacyLevel) -> bool {
+        level <= self.limit(category)
+    }
+}
+
+impl<K: Ord> Default for PrivacyPolicy<K> {
+    /// Anything up to anonymized derived artefacts; never raw.
+    fn default() -> Self {
+        PrivacyPolicy::new(PrivacyLevel::Anonymized)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_tracks_revelation() {
+        assert!(PrivacyLevel::Aggregate < PrivacyLevel::Anonymized);
+        assert!(PrivacyLevel::Anonymized < PrivacyLevel::Derived);
+        assert!(PrivacyLevel::Derived < PrivacyLevel::Raw);
+    }
+
+    #[test]
+    fn default_policy_blocks_raw() {
+        let policy: PrivacyPolicy<&str> = PrivacyPolicy::default();
+        assert!(policy.allows(&"camera", PrivacyLevel::Aggregate));
+        assert!(policy.allows(&"camera", PrivacyLevel::Anonymized));
+        assert!(!policy.allows(&"camera", PrivacyLevel::Derived));
+        assert!(!policy.allows(&"camera", PrivacyLevel::Raw));
+    }
+
+    #[test]
+    fn per_category_overrides() {
+        let mut policy: PrivacyPolicy<&str> = PrivacyPolicy::new(PrivacyLevel::Derived);
+        policy.set_limit("camera", PrivacyLevel::Aggregate);
+        policy.set_limit("gnss", PrivacyLevel::Raw);
+        assert!(!policy.allows(&"camera", PrivacyLevel::Anonymized), "camera locked down");
+        assert!(policy.allows(&"gnss", PrivacyLevel::Raw), "gnss fully shareable");
+        assert!(policy.allows(&"lidar", PrivacyLevel::Derived), "default applies");
+        assert!(!policy.allows(&"lidar", PrivacyLevel::Raw));
+    }
+
+    #[test]
+    fn limit_lookup() {
+        let mut policy: PrivacyPolicy<u8> = PrivacyPolicy::new(PrivacyLevel::Aggregate);
+        policy.set_limit(1, PrivacyLevel::Raw);
+        assert_eq!(policy.limit(&1), PrivacyLevel::Raw);
+        assert_eq!(policy.limit(&2), PrivacyLevel::Aggregate);
+    }
+}

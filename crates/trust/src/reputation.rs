@@ -1,0 +1,222 @@
+//! Beta-distribution reputation (Jøsang & Ismail 2002).
+//!
+//! Each interaction outcome updates a `Beta(α, β)` posterior; the
+//! reputation score is its mean `α / (α + β)`. A forgetting factor decays
+//! old evidence so nodes can redeem themselves — and so a long-honest node
+//! that turns byzantine is caught quickly.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One entity's reputation state.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BetaReputation {
+    alpha: f64,
+    beta: f64,
+    decay: f64,
+}
+
+impl BetaReputation {
+    /// A fresh reputation with a uniform prior (`Beta(1, 1)`, score 0.5)
+    /// and the given forgetting factor per observation (1.0 = never
+    /// forget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay` is outside `(0, 1]`.
+    pub fn new(decay: f64) -> Self {
+        assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
+        BetaReputation { alpha: 1.0, beta: 1.0, decay }
+    }
+
+    /// Records an interaction outcome.
+    pub fn record(&mut self, success: bool) {
+        self.alpha = (self.alpha - 1.0) * self.decay + 1.0;
+        self.beta = (self.beta - 1.0) * self.decay + 1.0;
+        if success {
+            self.alpha += 1.0;
+        } else {
+            self.beta += 1.0;
+        }
+    }
+
+    /// Expected probability of good behaviour, `(0, 1)`.
+    pub fn score(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Total (decayed) evidence mass — low means "barely known".
+    pub fn evidence(&self) -> f64 {
+        self.alpha + self.beta - 2.0
+    }
+}
+
+impl Default for BetaReputation {
+    /// Decay 0.98 per observation.
+    fn default() -> Self {
+        BetaReputation::new(0.98)
+    }
+}
+
+/// Reputation bookkeeping for a population of nodes, keyed by raw address.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReputationTable {
+    entries: BTreeMap<u64, BetaReputation>,
+    decay: f64,
+}
+
+impl Default for ReputationTable {
+    /// Decay 0.98 per observation.
+    fn default() -> Self {
+        ReputationTable::new(0.98)
+    }
+}
+
+impl ReputationTable {
+    /// Creates a table whose entries use the given forgetting factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay` is outside `(0, 1]`.
+    pub fn new(decay: f64) -> Self {
+        assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
+        ReputationTable { entries: BTreeMap::new(), decay }
+    }
+
+    /// Records an outcome for `node`.
+    pub fn record(&mut self, node: u64, success: bool) {
+        let decay = self.decay;
+        self.entries.entry(node).or_insert_with(|| BetaReputation::new(decay)).record(success);
+    }
+
+    /// Score for `node`; unknown nodes get the neutral prior 0.5.
+    pub fn score(&self, node: u64) -> f64 {
+        self.entries.get(&node).map_or(0.5, BetaReputation::score)
+    }
+
+    /// Evidence mass for `node` (0 if unknown).
+    pub fn evidence(&self, node: u64) -> f64 {
+        self.entries.get(&node).map_or(0.0, BetaReputation::evidence)
+    }
+
+    /// `true` if the node's score is at least `threshold`.
+    pub fn is_trusted(&self, node: u64, threshold: f64) -> bool {
+        self.score(node) >= threshold
+    }
+
+    /// Number of nodes with recorded history.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no history is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(node, score)` in node order.
+    pub fn scores(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.entries.iter().map(|(&n, r)| (n, r.score()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prior_is_neutral() {
+        let r = BetaReputation::default();
+        assert!((r.score() - 0.5).abs() < 1e-12);
+        assert_eq!(r.evidence(), 0.0);
+    }
+
+    #[test]
+    fn successes_raise_failures_lower() {
+        let mut good = BetaReputation::default();
+        let mut bad = BetaReputation::default();
+        for _ in 0..20 {
+            good.record(true);
+            bad.record(false);
+        }
+        assert!(good.score() > 0.9, "got {}", good.score());
+        assert!(bad.score() < 0.1, "got {}", bad.score());
+    }
+
+    #[test]
+    fn score_stays_in_open_interval() {
+        let mut r = BetaReputation::new(1.0);
+        for _ in 0..10_000 {
+            r.record(true);
+        }
+        assert!(r.score() < 1.0);
+        for _ in 0..100_000 {
+            r.record(false);
+        }
+        assert!(r.score() > 0.0);
+    }
+
+    #[test]
+    fn decay_allows_redemption() {
+        let mut forgetful = BetaReputation::new(0.9);
+        let mut elephant = BetaReputation::new(1.0);
+        for _ in 0..30 {
+            forgetful.record(false);
+            elephant.record(false);
+        }
+        for _ in 0..30 {
+            forgetful.record(true);
+            elephant.record(true);
+        }
+        assert!(
+            forgetful.score() > elephant.score() + 0.1,
+            "forgetful {} vs elephant {}",
+            forgetful.score(),
+            elephant.score()
+        );
+        assert!(forgetful.score() > 0.8, "redeemed: {}", forgetful.score());
+    }
+
+    #[test]
+    fn turncoat_is_caught_quickly_with_decay() {
+        let mut r = BetaReputation::new(0.9);
+        for _ in 0..100 {
+            r.record(true);
+        }
+        let honest = r.score();
+        for _ in 0..10 {
+            r.record(false);
+        }
+        assert!(r.score() < honest - 0.3, "10 failures must bite: {} → {}", honest, r.score());
+    }
+
+    #[test]
+    fn table_defaults_unknown_to_neutral() {
+        let t = ReputationTable::new(0.98);
+        assert_eq!(t.score(42), 0.5);
+        assert!(!t.is_trusted(42, 0.6));
+        assert!(t.is_trusted(42, 0.5));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn table_tracks_multiple_nodes() {
+        let mut t = ReputationTable::new(0.98);
+        for _ in 0..10 {
+            t.record(1, true);
+            t.record(2, false);
+        }
+        assert!(t.score(1) > 0.8);
+        assert!(t.score(2) < 0.2);
+        assert_eq!(t.len(), 2);
+        let scores: Vec<(u64, f64)> = t.scores().collect();
+        assert_eq!(scores[0].0, 1);
+        assert_eq!(scores[1].0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay")]
+    fn invalid_decay_panics() {
+        let _ = BetaReputation::new(0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: run the canonical looking-around-the-corner scenario with
+//! the AirDnD orchestrator and print the headline numbers.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use airdnd::scenario::{run_scenario, ScenarioConfig, Strategy};
+use airdnd::sim::SimDuration;
+
+fn main() {
+    let cfg = ScenarioConfig {
+        seed: 42,
+        vehicles: 12,
+        duration: SimDuration::from_secs(60),
+        strategy: Strategy::Airdnd,
+        ..Default::default()
+    };
+    println!("AirDnD quickstart: {} vehicles, {:.0} s at an occluded intersection", cfg.vehicles, 60.0);
+    let report = run_scenario(cfg);
+
+    println!("\n== mesh (Model 1) ==");
+    match report.mesh_formation_s {
+        Some(t) => println!("first member joined the ego's mesh after {t:.2} s"),
+        None => println!("the mesh never formed (!)"),
+    }
+    println!("mean mesh size seen by the ego: {:.1}", report.mean_members);
+    println!("membership churn: {} joins / {} leaves", report.joins, report.leaves);
+
+    println!("\n== offloading (Models 2+3, RQ1–RQ2) ==");
+    println!(
+        "perception tasks: {} submitted, {} completed ({:.0}%)",
+        report.tasks_submitted,
+        report.tasks_completed,
+        report.completion_rate * 100.0
+    );
+    println!(
+        "latency: mean {:.1} ms, p50 {:.1} ms, p95 {:.1} ms",
+        report.latency_mean_ms, report.latency_p50_ms, report.latency_p95_ms
+    );
+
+    println!("\n== the data stayed home ==");
+    println!(
+        "bytes on the V2V air: {} ({:.1} kB per completed view)",
+        report.mesh_bytes,
+        report.bytes_per_task / 1000.0
+    );
+    println!("bytes over cellular: {}", report.cellular_bytes);
+
+    println!("\n== looking around the corner ==");
+    println!(
+        "hidden-region coverage: {:.0}% with cooperation vs {:.0}% alone",
+        report.mean_coverage * 100.0,
+        report.ego_only_coverage * 100.0
+    );
+    match report.time_to_detect_s {
+        Some(t) => println!("hidden agent detected after {t:.2} s"),
+        None => println!("hidden agent was never detected"),
+    }
+}

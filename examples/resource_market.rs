@@ -1,0 +1,103 @@
+//! The "Airbnb of compute" angle: excess resources as a market.
+//!
+//! Demonstrates the allocation mechanisms from the paper's related work on
+//! one fleet snapshot — AirDnD's scoring, a truthful McAfee double auction
+//! (DeCloud-style), smart-contract allocation, and coded redundancy — then
+//! deploys an NFV service chain across the same nodes.
+//!
+//! ```sh
+//! cargo run --example resource_market
+//! ```
+
+use airdnd::baselines::{
+    mcafee_double_auction, Assigner, CandidateInfo, CodedAssigner, DoubleAuctionAssigner,
+    GreedyComputeAssigner, ScoreAssigner, SmartContractAssigner,
+};
+use airdnd::nfv::{NfManager, PlacementStrategy, ResourceCapacity, ServiceChain, VnfDescriptor, VnfKind};
+use airdnd::radio::NodeAddr;
+use airdnd::sim::{SimTime, SimDuration};
+use airdnd::task::{library, Priority, ResourceRequirements, TaskId, TaskSpec};
+
+fn main() {
+    // A snapshot of five in-range vehicles with very different headroom.
+    let candidates: Vec<CandidateInfo> = vec![
+        CandidateInfo { addr: NodeAddr::new(1), gas_rate: 4_000_000, gas_backlog: 0, link_quality: 0.9, has_data: true, trust: 0.8 },
+        CandidateInfo { addr: NodeAddr::new(2), gas_rate: 2_000_000, gas_backlog: 3_000_000, link_quality: 0.95, has_data: true, trust: 0.9 },
+        CandidateInfo { addr: NodeAddr::new(3), gas_rate: 1_000_000, gas_backlog: 0, link_quality: 0.4, has_data: true, trust: 0.5 },
+        CandidateInfo { addr: NodeAddr::new(4), gas_rate: 500_000, gas_backlog: 0, link_quality: 0.99, has_data: true, trust: 0.95 },
+        CandidateInfo { addr: NodeAddr::new(5), gas_rate: 8_000_000, gas_backlog: 0, link_quality: 0.7, has_data: false, trust: 0.6 },
+    ];
+    let task = TaskSpec::new(TaskId::new(1), "fuse", library::grid_fuse(64).into_inner())
+        .with_requirements(ResourceRequirements {
+            gas: 2_000_000,
+            deadline: SimDuration::from_secs(2),
+            ..Default::default()
+        })
+        .with_priority(Priority::High);
+
+    println!("== one task, five mechanisms ==");
+    let mut mechanisms: Vec<Box<dyn Assigner>> = vec![
+        Box::new(ScoreAssigner),
+        Box::new(GreedyComputeAssigner),
+        Box::new(DoubleAuctionAssigner::default()),
+        Box::new(SmartContractAssigner::default()),
+        Box::new(CodedAssigner::new(3, 2)),
+    ];
+    for mechanism in &mut mechanisms {
+        match mechanism.assign(&task, &candidates, SimTime::ZERO) {
+            Some(a) => println!(
+                "{:<16} -> {:?} (decision latency {}, {} control msgs{})",
+                mechanism.name(),
+                a.executors.iter().map(|e| e.raw()).collect::<Vec<_>>(),
+                a.decision_latency,
+                a.control_messages,
+                a.price.map_or(String::new(), |p| format!(", price {p:.2}")),
+            ),
+            None => println!("{:<16} -> no feasible executor", mechanism.name()),
+        }
+    }
+
+    println!("\n== batch double auction (McAfee) ==");
+    // Three tasks bid for compute; four sellers ask.
+    let bids = [(101u64, 30.0), (102, 20.0), (103, 8.0)];
+    let asks = [(1u64, 5.0), (2, 12.0), (3, 18.0), (4, 25.0)];
+    match mcafee_double_auction(&bids, &asks) {
+        Some(outcome) => {
+            println!("clearing price {:.2}", outcome.clearing_price);
+            for (buyer, seller) in outcome.matches {
+                println!("  task {buyer} runs on node {seller}");
+            }
+        }
+        None => println!("no trade possible"),
+    }
+
+    println!("\n== NFV service chain on the same fleet ==");
+    let mut manager = NfManager::new(PlacementStrategy::BestFit);
+    for c in &candidates {
+        manager.register_node(c.addr.raw(), ResourceCapacity::new(1_000, 1 << 30, c.gas_rate));
+    }
+    let chain = ServiceChain::new(
+        "cooperative-perception",
+        vec![
+            VnfDescriptor::of_kind("admission-fw", VnfKind::Firewall),
+            VnfDescriptor::of_kind("result-agg", VnfKind::Aggregator),
+            VnfDescriptor::of_kind("fusion", VnfKind::PerceptionFuser),
+        ],
+    );
+    let chain_id = manager.deploy_chain(&chain, SimTime::ZERO).expect("fleet can host the chain");
+    println!("deployed {chain_id}:");
+    for vnf in manager.instances() {
+        println!("  {} ({}) on node {}", vnf.id, vnf.descriptor.kind, vnf.host);
+    }
+    println!("mean fleet utilization: {:.1}%", manager.mean_utilization() * 100.0);
+
+    // Node departure: heal the chain onto surviving nodes.
+    let departing = manager.instances().map(|i| i.host).next().expect("chain is placed");
+    println!("\nnode {departing} drives away...");
+    let orphans = manager.node_departed(departing);
+    let (healed, lost) = manager.heal(&orphans, SimTime::from_secs(5));
+    println!("healed {} VNFs, lost {}", healed.len(), lost.len());
+    for vnf in manager.instances() {
+        println!("  {} now on node {}", vnf.id, vnf.host);
+    }
+}

@@ -1,0 +1,129 @@
+//! Cross-crate integration: full scenario runs and the paper's headline
+//! comparisons, exercised through the public facade API.
+
+use airdnd::scenario::{run_scenario, ScenarioConfig, ScenarioReport, Strategy};
+use airdnd::sim::SimDuration;
+
+fn run(strategy: Strategy, seed: u64, vehicles: usize) -> ScenarioReport {
+    run_scenario(ScenarioConfig {
+        seed,
+        vehicles,
+        duration: SimDuration::from_secs(20),
+        strategy,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn airdnd_completes_most_tasks_with_low_latency() {
+    let r = run(Strategy::Airdnd, 11, 10);
+    assert!(r.completion_rate > 0.7, "completion {}", r.completion_rate);
+    assert!(r.latency_p95_ms < 500.0, "p95 {}", r.latency_p95_ms);
+    assert!(r.mesh_formation_s.expect("mesh forms") < 5.0);
+}
+
+#[test]
+fn data_minimization_claim_holds() {
+    // The paper's core claim: task-to-data moves orders of magnitude fewer
+    // bytes than raw-to-cloud for the same perception workload.
+    let airdnd = run(Strategy::Airdnd, 12, 10);
+    let cloud = run(Strategy::Cloud { fiveg: true }, 12, 10);
+    assert!(airdnd.tasks_completed > 0 && cloud.tasks_completed > 0);
+    let airdnd_total = airdnd.mesh_bytes + airdnd.cellular_bytes;
+    let cloud_total = cloud.mesh_bytes + cloud.cellular_bytes;
+    assert!(
+        cloud_total > 50 * airdnd_total,
+        "cloud {cloud_total} bytes vs airdnd {airdnd_total} bytes"
+    );
+}
+
+#[test]
+fn cooperation_extends_perception() {
+    let airdnd = run(Strategy::Airdnd, 13, 12);
+    let local = run(Strategy::LocalOnly, 13, 12);
+    assert!(
+        airdnd.mean_coverage > local.mean_coverage,
+        "airdnd {} vs local {}",
+        airdnd.mean_coverage,
+        local.mean_coverage
+    );
+}
+
+#[test]
+fn raw_sharing_chokes_the_mesh() {
+    let airdnd = run(Strategy::Airdnd, 14, 10);
+    let raw = run(Strategy::RawSharing, 14, 10);
+    assert!(
+        raw.mesh_bytes > 3 * airdnd.mesh_bytes,
+        "raw frames must dominate the air: {} vs {}",
+        raw.mesh_bytes,
+        airdnd.mesh_bytes
+    );
+    // And it pays for it in latency.
+    if raw.tasks_completed > 0 {
+        assert!(raw.latency_p50_ms > airdnd.latency_p50_ms);
+    }
+}
+
+#[test]
+fn runs_are_seed_deterministic() {
+    let a = run(Strategy::Airdnd, 15, 8);
+    let b = run(Strategy::Airdnd, 15, 8);
+    assert_eq!(a.tasks_submitted, b.tasks_submitted);
+    assert_eq!(a.tasks_completed, b.tasks_completed);
+    assert_eq!(a.latencies_ms, b.latencies_ms);
+    assert_eq!(a.mesh_bytes, b.mesh_bytes);
+    assert_eq!(a.joins, b.joins);
+    let c = run(Strategy::Airdnd, 16, 8);
+    assert_ne!(a.latencies_ms, c.latencies_ms, "different seeds diverge");
+}
+
+#[test]
+fn denser_fleets_offer_more_helpers() {
+    let sparse = run(Strategy::Airdnd, 17, 4);
+    let dense = run(Strategy::Airdnd, 17, 16);
+    assert!(
+        dense.mean_members > sparse.mean_members,
+        "dense {} vs sparse {}",
+        dense.mean_members,
+        sparse.mean_members
+    );
+}
+
+#[test]
+fn byzantine_helpers_are_filtered_by_redundancy() {
+    let mut cfg = ScenarioConfig {
+        seed: 18,
+        vehicles: 12,
+        duration: SimDuration::from_secs(20),
+        byzantine_fraction: 0.3,
+        strategy: Strategy::Airdnd,
+        ..Default::default()
+    };
+    cfg.orch.redundancy = 3;
+    cfg.orch.max_candidates = 5;
+    let verified = run_scenario(cfg);
+    // With triple redundancy and voting, corrupted grids should rarely be
+    // accepted into the fused view.
+    let bad_rate = verified.invalid_results_accepted as f64
+        / verified.tasks_completed.max(1) as f64;
+    assert!(bad_rate < 0.2, "bad-accept rate {bad_rate}");
+
+    // Without redundancy the same fleet slips corrupted results through.
+    let mut naive_cfg = ScenarioConfig {
+        seed: 18,
+        vehicles: 12,
+        duration: SimDuration::from_secs(20),
+        byzantine_fraction: 0.3,
+        strategy: Strategy::Airdnd,
+        ..Default::default()
+    };
+    naive_cfg.orch.redundancy = 1;
+    let naive = run_scenario(naive_cfg);
+    assert!(
+        naive.invalid_results_accepted > verified.invalid_results_accepted,
+        "redundancy must reduce accepted corruption: {} vs {}",
+        naive.invalid_results_accepted,
+        verified.invalid_results_accepted
+    );
+}
