@@ -73,7 +73,12 @@ pub trait Assigner {
     fn name(&self) -> &'static str;
 
     /// Decides executor(s) for `task` among `candidates` at `now`.
-    fn assign(&mut self, task: &TaskSpec, candidates: &[CandidateInfo], now: SimTime) -> Option<Assignment>;
+    fn assign(
+        &mut self,
+        task: &TaskSpec,
+        candidates: &[CandidateInfo],
+        now: SimTime,
+    ) -> Option<Assignment>;
 }
 
 fn feasible(candidates: &[CandidateInfo]) -> impl Iterator<Item = &CandidateInfo> {
@@ -97,14 +102,22 @@ impl Assigner for ScoreAssigner {
         "airdnd"
     }
 
-    fn assign(&mut self, task: &TaskSpec, candidates: &[CandidateInfo], _now: SimTime) -> Option<Assignment> {
+    fn assign(
+        &mut self,
+        task: &TaskSpec,
+        candidates: &[CandidateInfo],
+        _now: SimTime,
+    ) -> Option<Assignment> {
         let deadline = task.requirements.deadline.as_secs_f64().max(1e-3);
         let best = feasible(candidates).max_by(|a, b| {
             let score = |c: &CandidateInfo| {
                 let compute = (1.0 - c.eta_secs(task.requirements.gas) / deadline).clamp(0.0, 1.0);
                 compute + c.link_quality + c.trust
             };
-            score(a).partial_cmp(&score(b)).expect("finite").then(b.addr.cmp(&a.addr))
+            score(a)
+                .partial_cmp(&score(b))
+                .expect("finite")
+                .then(b.addr.cmp(&a.addr))
         })?;
         Some(Assignment::direct(best.addr))
     }
@@ -128,7 +141,12 @@ impl Assigner for RandomAssigner {
         "random"
     }
 
-    fn assign(&mut self, _task: &TaskSpec, candidates: &[CandidateInfo], _now: SimTime) -> Option<Assignment> {
+    fn assign(
+        &mut self,
+        _task: &TaskSpec,
+        candidates: &[CandidateInfo],
+        _now: SimTime,
+    ) -> Option<Assignment> {
         let pool: Vec<&CandidateInfo> = feasible(candidates).collect();
         let idx = self.rng.index(pool.len())?;
         Some(Assignment::direct(pool[idx].addr))
@@ -144,7 +162,12 @@ impl Assigner for GreedyComputeAssigner {
         "greedy-compute"
     }
 
-    fn assign(&mut self, task: &TaskSpec, candidates: &[CandidateInfo], _now: SimTime) -> Option<Assignment> {
+    fn assign(
+        &mut self,
+        task: &TaskSpec,
+        candidates: &[CandidateInfo],
+        _now: SimTime,
+    ) -> Option<Assignment> {
         let best = feasible(candidates).min_by(|a, b| {
             a.eta_secs(task.requirements.gas)
                 .partial_cmp(&b.eta_secs(task.requirements.gas))
@@ -167,7 +190,9 @@ pub struct SmartContractAssigner {
 impl Default for SmartContractAssigner {
     /// A 2-second block interval (permissioned-chain scale).
     fn default() -> Self {
-        SmartContractAssigner { block_interval: SimDuration::from_secs(2) }
+        SmartContractAssigner {
+            block_interval: SimDuration::from_secs(2),
+        }
     }
 }
 
@@ -176,7 +201,12 @@ impl Assigner for SmartContractAssigner {
         "smart-contract"
     }
 
-    fn assign(&mut self, task: &TaskSpec, candidates: &[CandidateInfo], now: SimTime) -> Option<Assignment> {
+    fn assign(
+        &mut self,
+        task: &TaskSpec,
+        candidates: &[CandidateInfo],
+        now: SimTime,
+    ) -> Option<Assignment> {
         let mut inner = GreedyComputeAssigner;
         let mut assignment = inner.assign(task, candidates, now)?;
         assignment.decision_latency = self.block_interval;
@@ -214,7 +244,12 @@ impl Assigner for CodedAssigner {
         "coded-vec"
     }
 
-    fn assign(&mut self, task: &TaskSpec, candidates: &[CandidateInfo], _now: SimTime) -> Option<Assignment> {
+    fn assign(
+        &mut self,
+        task: &TaskSpec,
+        candidates: &[CandidateInfo],
+        _now: SimTime,
+    ) -> Option<Assignment> {
         let mut pool: Vec<&CandidateInfo> = feasible(candidates).collect();
         if pool.len() < self.m {
             return None;
@@ -273,7 +308,12 @@ impl Assigner for SyncRoundAssigner {
         "sync-round"
     }
 
-    fn assign(&mut self, task: &TaskSpec, candidates: &[CandidateInfo], now: SimTime) -> Option<Assignment> {
+    fn assign(
+        &mut self,
+        task: &TaskSpec,
+        candidates: &[CandidateInfo],
+        now: SimTime,
+    ) -> Option<Assignment> {
         let mut assignment = ScoreAssigner.assign(task, candidates, now)?;
         assignment.decision_latency = self.wait_until_round(now);
         Some(assignment)
@@ -297,12 +337,16 @@ mod tests {
     }
 
     fn task() -> TaskSpec {
-        TaskSpec::new(TaskId::new(1), "t", Program::new(vec![airdnd_task::Instr::Halt], 0))
-            .with_requirements(ResourceRequirements {
-                gas: 1_000_000,
-                deadline: SimDuration::from_secs(2),
-                ..Default::default()
-            })
+        TaskSpec::new(
+            TaskId::new(1),
+            "t",
+            Program::new(vec![airdnd_task::Instr::Halt], 0),
+        )
+        .with_requirements(ResourceRequirements {
+            gas: 1_000_000,
+            deadline: SimDuration::from_secs(2),
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -320,7 +364,9 @@ mod tests {
             candidate(1, 10_000_000, 0, 0.1, 0.1),
             candidate(2, 2_000_000, 0, 0.9, 0.9),
         ];
-        let a = ScoreAssigner.assign(&task(), &cands, SimTime::ZERO).unwrap();
+        let a = ScoreAssigner
+            .assign(&task(), &cands, SimTime::ZERO)
+            .unwrap();
         assert_eq!(a.executors, vec![NodeAddr::new(2)]);
         assert_eq!(a.decision_latency, SimDuration::ZERO);
     }
@@ -329,8 +375,12 @@ mod tests {
     fn dataless_candidates_are_never_chosen() {
         let mut no_data = candidate(1, 10_000_000, 0, 1.0, 1.0);
         no_data.has_data = false;
-        assert!(ScoreAssigner.assign(&task(), &[no_data], SimTime::ZERO).is_none());
-        assert!(GreedyComputeAssigner.assign(&task(), &[no_data], SimTime::ZERO).is_none());
+        assert!(ScoreAssigner
+            .assign(&task(), &[no_data], SimTime::ZERO)
+            .is_none());
+        assert!(GreedyComputeAssigner
+            .assign(&task(), &[no_data], SimTime::ZERO)
+            .is_none());
         let mut random = RandomAssigner::new(SimRng::seed_from(1));
         assert!(random.assign(&task(), &[no_data], SimTime::ZERO).is_none());
     }
@@ -341,14 +391,17 @@ mod tests {
             candidate(1, 1_000_000, 5_000_000, 1.0, 1.0), // 6 s
             candidate(2, 1_000_000, 0, 0.1, 0.1),         // 1 s
         ];
-        let a = GreedyComputeAssigner.assign(&task(), &cands, SimTime::ZERO).unwrap();
+        let a = GreedyComputeAssigner
+            .assign(&task(), &cands, SimTime::ZERO)
+            .unwrap();
         assert_eq!(a.executors, vec![NodeAddr::new(2)]);
     }
 
     #[test]
     fn random_is_seed_deterministic_and_covers_pool() {
-        let cands: Vec<CandidateInfo> =
-            (1..=4).map(|i| candidate(i, 1_000_000, 0, 0.5, 0.5)).collect();
+        let cands: Vec<CandidateInfo> = (1..=4)
+            .map(|i| candidate(i, 1_000_000, 0, 0.5, 0.5))
+            .collect();
         let run = |seed| {
             let mut r = RandomAssigner::new(SimRng::seed_from(seed));
             (0..50)
@@ -364,7 +417,10 @@ mod tests {
 
     #[test]
     fn smart_contract_charges_block_interval() {
-        let cands = [candidate(1, 1_000_000, 0, 0.5, 0.5), candidate(2, 1_000_000, 0, 0.5, 0.5)];
+        let cands = [
+            candidate(1, 1_000_000, 0, 0.5, 0.5),
+            candidate(2, 1_000_000, 0, 0.5, 0.5),
+        ];
         let mut sc = SmartContractAssigner::default();
         let a = sc.assign(&task(), &cands, SimTime::ZERO).unwrap();
         assert_eq!(a.decision_latency, SimDuration::from_secs(2));
@@ -373,8 +429,9 @@ mod tests {
 
     #[test]
     fn coded_engages_k_completes_on_m() {
-        let cands: Vec<CandidateInfo> =
-            (1..=5).map(|i| candidate(i, i * 1_000_000, 0, 0.5, 0.5)).collect();
+        let cands: Vec<CandidateInfo> = (1..=5)
+            .map(|i| candidate(i, i * 1_000_000, 0, 0.5, 0.5))
+            .collect();
         let mut coded = CodedAssigner::new(3, 2);
         let a = coded.assign(&task(), &cands, SimTime::ZERO).unwrap();
         assert_eq!(a.executors.len(), 3);
@@ -389,8 +446,9 @@ mod tests {
         let mut coded = CodedAssigner::new(3, 2);
         assert!(coded.assign(&task(), &cands, SimTime::ZERO).is_none());
         // k larger than the pool degrades gracefully to the pool size.
-        let cands: Vec<CandidateInfo> =
-            (1..=2).map(|i| candidate(i, 1_000_000, 0, 0.5, 0.5)).collect();
+        let cands: Vec<CandidateInfo> = (1..=2)
+            .map(|i| candidate(i, 1_000_000, 0, 0.5, 0.5))
+            .collect();
         let a = coded.assign(&task(), &cands, SimTime::ZERO).unwrap();
         assert_eq!(a.executors.len(), 2);
         assert_eq!(a.min_results, 2);
@@ -404,10 +462,15 @@ mod tests {
             assigner.wait_until_round(SimTime::from_millis(200)),
             SimDuration::from_millis(300)
         );
-        assert_eq!(assigner.wait_until_round(SimTime::from_millis(500)), SimDuration::ZERO);
+        assert_eq!(
+            assigner.wait_until_round(SimTime::from_millis(500)),
+            SimDuration::ZERO
+        );
         let cands = [candidate(1, 1_000_000, 0, 0.5, 0.5)];
         let mut a = SyncRoundAssigner::new(SimDuration::from_millis(500));
-        let assignment = a.assign(&task(), &cands, SimTime::from_millis(321)).unwrap();
+        let assignment = a
+            .assign(&task(), &cands, SimTime::from_millis(321))
+            .unwrap();
         assert_eq!(assignment.decision_latency, SimDuration::from_millis(179));
     }
 

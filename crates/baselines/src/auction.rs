@@ -30,12 +30,17 @@ pub struct AuctionOutcome {
 /// truthfulness). Returns `None` when no trade is possible.
 ///
 /// Ties and pair identity are deterministic: equal prices order by id.
-pub fn mcafee_double_auction(
-    bids: &[(u64, f64)],
-    asks: &[(u64, f64)],
-) -> Option<AuctionOutcome> {
-    let mut bids: Vec<(u64, f64)> = bids.iter().copied().filter(|(_, p)| p.is_finite()).collect();
-    let mut asks: Vec<(u64, f64)> = asks.iter().copied().filter(|(_, p)| p.is_finite()).collect();
+pub fn mcafee_double_auction(bids: &[(u64, f64)], asks: &[(u64, f64)]) -> Option<AuctionOutcome> {
+    let mut bids: Vec<(u64, f64)> = bids
+        .iter()
+        .copied()
+        .filter(|(_, p)| p.is_finite())
+        .collect();
+    let mut asks: Vec<(u64, f64)> = asks
+        .iter()
+        .copied()
+        .filter(|(_, p)| p.is_finite())
+        .collect();
     if bids.is_empty() || asks.is_empty() {
         return None;
     }
@@ -53,7 +58,10 @@ pub fn mcafee_double_auction(
         // No marginal pair to price off; trade at the midpoint of the only
         // feasible pair (loses strict truthfulness, standard fallback).
         let price = (bids[0].1 + asks[0].1) / 2.0;
-        return Some(AuctionOutcome { matches: vec![(bids[0].0, asks[0].0)], clearing_price: price });
+        return Some(AuctionOutcome {
+            matches: vec![(bids[0].0, asks[0].0)],
+            clearing_price: price,
+        });
     }
     let price = (bids[k - 1].1 + asks[k - 1].1) / 2.0;
     // McAfee: if the price is individually rational for the (k−1) pairs,
@@ -61,7 +69,10 @@ pub fn mcafee_double_auction(
     // the marginal pair. The common simplification trades k−1 pairs at p.
     let trades = k - 1;
     let matches = (0..trades).map(|i| (bids[i].0, asks[i].0)).collect();
-    Some(AuctionOutcome { matches, clearing_price: price })
+    Some(AuctionOutcome {
+        matches,
+        clearing_price: price,
+    })
 }
 
 /// Per-task reverse auction (single buyer): every feasible candidate asks
@@ -111,7 +122,12 @@ impl Assigner for DoubleAuctionAssigner {
         "double-auction"
     }
 
-    fn assign(&mut self, task: &TaskSpec, candidates: &[CandidateInfo], _now: SimTime) -> Option<Assignment> {
+    fn assign(
+        &mut self,
+        task: &TaskSpec,
+        candidates: &[CandidateInfo],
+        _now: SimTime,
+    ) -> Option<Assignment> {
         let bid = self.bid_price(task);
         let mut asks: Vec<(&CandidateInfo, f64)> = feasible_for_auction(candidates)
             .map(|c| (c, self.ask_price(c, task.requirements.gas)))
@@ -120,7 +136,11 @@ impl Assigner for DoubleAuctionAssigner {
         if asks.is_empty() {
             return None;
         }
-        asks.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.addr.cmp(&b.0.addr)));
+        asks.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite")
+                .then(a.0.addr.cmp(&b.0.addr))
+        });
         let winner = asks[0].0;
         let price = if asks.len() > 1 { asks[1].1 } else { bid };
         Some(Assignment {
@@ -152,9 +172,16 @@ mod tests {
     }
 
     fn task(priority: Priority) -> TaskSpec {
-        TaskSpec::new(TaskId::new(1), "t", Program::new(vec![airdnd_task::Instr::Halt], 0))
-            .with_requirements(ResourceRequirements { gas: 1_000_000, ..Default::default() })
-            .with_priority(priority)
+        TaskSpec::new(
+            TaskId::new(1),
+            "t",
+            Program::new(vec![airdnd_task::Instr::Halt], 0),
+        )
+        .with_requirements(ResourceRequirements {
+            gas: 1_000_000,
+            ..Default::default()
+        })
+        .with_priority(priority)
     }
 
     #[test]
@@ -195,7 +222,10 @@ mod tests {
         for &(buyer, seller) in &out.matches {
             let bid = bids.iter().find(|(b, _)| *b == buyer).unwrap().1;
             let ask = asks.iter().find(|(s, _)| *s == seller).unwrap().1;
-            assert!(bid >= p && p >= ask, "price {p} must sit between {bid} and {ask}");
+            assert!(
+                bid >= p && p >= ask,
+                "price {p} must sit between {bid} and {ask}"
+            );
         }
     }
 
@@ -218,7 +248,9 @@ mod tests {
             candidate(1, 1_000_000, 0),         // eta 1 s  → ask 2.0
             candidate(2, 1_000_000, 2_000_000), // eta 3 s  → ask 4.0
         ];
-        let a = auction.assign(&task(Priority::Normal), &cands, SimTime::ZERO).unwrap();
+        let a = auction
+            .assign(&task(Priority::Normal), &cands, SimTime::ZERO)
+            .unwrap();
         assert_eq!(a.executors, vec![NodeAddr::new(1)]);
         assert!((a.price.unwrap() - 4.0).abs() < 1e-12, "second price");
         assert_eq!(a.decision_latency, SimDuration::from_millis(60));
@@ -227,12 +259,19 @@ mod tests {
 
     #[test]
     fn low_priority_task_cannot_afford_busy_sellers() {
-        let mut auction = DoubleAuctionAssigner { valuation: 2.0, ..Default::default() };
+        let mut auction = DoubleAuctionAssigner {
+            valuation: 2.0,
+            ..Default::default()
+        };
         // Ask = 1 + eta; eta = 30 s → ask 31 ≫ bid 2 (low = ×1).
         let busy = [candidate(1, 1_000_000, 29_000_000)];
-        assert!(auction.assign(&task(Priority::Low), &busy, SimTime::ZERO).is_none());
+        assert!(auction
+            .assign(&task(Priority::Low), &busy, SimTime::ZERO)
+            .is_none());
         // A critical task (bid 8) still cannot afford it; an idle seller is fine.
         let idle = [candidate(2, 1_000_000, 0)];
-        assert!(auction.assign(&task(Priority::Low), &idle, SimTime::ZERO).is_some());
+        assert!(auction
+            .assign(&task(Priority::Low), &idle, SimTime::ZERO)
+            .is_some());
     }
 }

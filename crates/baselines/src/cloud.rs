@@ -28,7 +28,11 @@ impl CloudOffload {
     /// Panics if `cloud_gas_rate` is zero.
     pub fn new(params: CellularParams, cloud_gas_rate: u64) -> Self {
         assert!(cloud_gas_rate > 0, "cloud must be able to compute");
-        CloudOffload { link: CellularLink::new(params), cloud_gas_rate, tasks_served: 0 }
+        CloudOffload {
+            link: CellularLink::new(params),
+            cloud_gas_rate,
+            tasks_served: 0,
+        }
     }
 
     /// An LTE cloud with a 100 M gas/s region.
@@ -65,7 +69,8 @@ impl CloudOffload {
     ) -> (SimTime, u64) {
         let compute = SimDuration::from_secs_f64(gas as f64 / self.cloud_gas_rate as f64);
         self.tasks_served += 1;
-        self.link.round_trip(now, raw_input_bytes, compute, result_bytes)
+        self.link
+            .round_trip(now, raw_input_bytes, compute, result_bytes)
     }
 }
 
@@ -96,7 +101,10 @@ mod tests {
             assert!(done >= last, "completions are FIFO on the uplink");
             last = done;
         }
-        assert!(last > SimTime::from_secs(7), "tail latency under contention, got {last}");
+        assert!(
+            last > SimTime::from_secs(7),
+            "tail latency under contention, got {last}"
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod cloud;
 pub mod local;
 
 pub use assigner::{
-    Assignment, Assigner, CandidateInfo, CodedAssigner, GreedyComputeAssigner, RandomAssigner,
+    Assigner, Assignment, CandidateInfo, CodedAssigner, GreedyComputeAssigner, RandomAssigner,
     ScoreAssigner, SmartContractAssigner, SyncRoundAssigner,
 };
 pub use auction::{mcafee_double_auction, AuctionOutcome, DoubleAuctionAssigner};

@@ -28,7 +28,10 @@ impl LocalOnly {
     /// Panics if `gas_rate` is zero.
     pub fn new(gas_rate: u64) -> Self {
         assert!(gas_rate > 0, "local execution needs a positive gas rate");
-        LocalOnly { gas_rate, busy_until: SimTime::ZERO }
+        LocalOnly {
+            gas_rate,
+            busy_until: SimTime::ZERO,
+        }
     }
 
     /// Runs a task of `gas` locally; returns its completion time.
@@ -48,6 +51,7 @@ impl LocalOnly {
 /// `fragment_bytes` frames), and local execution of `gas`. Returns
 /// `(completion_time, wire_bytes)` or `None` if any fragment is lost
 /// beyond the MAC's retries.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol message fields one-to-one
 pub fn raw_sharing_completion(
     medium: &mut RadioMedium,
     local: &mut LocalOnly,
@@ -108,7 +112,14 @@ mod tests {
         let mut local = LocalOnly::new(1_000_000);
         let raw = 500_000; // a modest lidar slice
         let (done, wire) = raw_sharing_completion(
-            &mut medium, &mut local, SimTime::ZERO, a, b, raw, 1_400, 100_000,
+            &mut medium,
+            &mut local,
+            SimTime::ZERO,
+            a,
+            b,
+            raw,
+            1_400,
+            100_000,
         )
         .expect("30 m link should survive");
         assert!(wire > raw, "headers inflate the wire cost");
@@ -125,7 +136,14 @@ mod tests {
         medium.set_position(b, Vec2::new(50_000.0, 0.0));
         let mut local = LocalOnly::new(1_000_000);
         let result = raw_sharing_completion(
-            &mut medium, &mut local, SimTime::ZERO, a, b, 10_000, 1_400, 1_000,
+            &mut medium,
+            &mut local,
+            SimTime::ZERO,
+            a,
+            b,
+            10_000,
+            1_400,
+            1_000,
         );
         assert!(result.is_none());
     }

@@ -15,13 +15,21 @@ fn bench_channel(c: &mut Criterion) {
 
     let mut medium = RadioMedium::v2v(World::corner_buildings(12.0, 40.0), SimRng::seed_from(1));
     for i in 0..50u64 {
-        medium.set_position(NodeAddr::new(i + 1), Vec2::new((i as f64) * 15.0 - 350.0, 0.0));
+        medium.set_position(
+            NodeAddr::new(i + 1),
+            Vec2::new((i as f64) * 15.0 - 350.0, 0.0),
+        );
     }
     let mut t = 0u64;
     group.bench_function("unicast_50_node_medium", |b| {
         b.iter(|| {
             t += 1;
-            medium.unicast(SimTime::from_micros(t * 500), NodeAddr::new(1), NodeAddr::new(20), 512)
+            medium.unicast(
+                SimTime::from_micros(t * 500),
+                NodeAddr::new(1),
+                NodeAddr::new(20),
+                512,
+            )
         })
     });
 

@@ -18,7 +18,11 @@ fn beacon(src: u64, seq: u64) -> Beacon {
 }
 
 fn populated_node(peers: u64) -> MeshNode {
-    let mut node = MeshNode::new(NodeAddr::new(1), MeshConfig::default(), NodeAdvert::closed());
+    let mut node = MeshNode::new(
+        NodeAddr::new(1),
+        MeshConfig::default(),
+        NodeAdvert::closed(),
+    );
     for p in 2..=peers + 1 {
         for seq in 0..3 {
             node.on_message(

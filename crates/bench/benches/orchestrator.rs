@@ -32,7 +32,10 @@ fn stocked_node(id: u64) -> OrchestratorNode {
 fn fuse_task(id: u64) -> TaskSpec {
     TaskSpec::new(TaskId::new(id), "fuse", library::grid_fuse(32).into_inner())
         .with_input(DataQuery::of_type(DataType::OccupancyGrid))
-        .with_requirements(ResourceRequirements { gas: 200_000, ..Default::default() })
+        .with_requirements(ResourceRequirements {
+            gas: 200_000,
+            ..Default::default()
+        })
 }
 
 fn bench_orchestrator(c: &mut Criterion) {
@@ -60,7 +63,10 @@ fn bench_orchestrator(c: &mut Criterion) {
             });
             executor.handle(
                 SimTime::from_secs(2),
-                NodeEvent::Wire { from: requester, msg: black_box(offer) },
+                NodeEvent::Wire {
+                    from: requester,
+                    msg: black_box(offer),
+                },
             )
         })
     });

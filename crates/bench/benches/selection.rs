@@ -16,10 +16,17 @@ fn mesh_of(n: usize) -> MeshDescriptor {
     let members = (0..n)
         .map(|i| {
             let mut catalog = DataCatalog::new(4);
-            catalog.insert(DataType::OccupancyGrid, 800, QualityDescriptor::basic(now, 0.9, 1.0));
+            catalog.insert(
+                DataType::OccupancyGrid,
+                800,
+                QualityDescriptor::basic(now, 0.9, 1.0),
+            );
             MemberDescriptor {
                 addr: NodeAddr::new(i as u64 + 10),
-                pos: Vec2::new(rng.next_f64() * 400.0 - 200.0, rng.next_f64() * 400.0 - 200.0),
+                pos: Vec2::new(
+                    rng.next_f64() * 400.0 - 200.0,
+                    rng.next_f64() * 400.0 - 200.0,
+                ),
                 velocity: Vec2::new(rng.next_f64() * 20.0 - 10.0, 0.0),
                 link_quality: 0.5 + rng.next_f64() * 0.5,
                 advert: NodeAdvert {
@@ -44,9 +51,16 @@ fn mesh_of(n: usize) -> MeshDescriptor {
 
 fn bench_selection(c: &mut Criterion) {
     let mut group = c.benchmark_group("selection");
-    let task = TaskSpec::new(TaskId::new(1), "t", Program::new(vec![airdnd_task::Instr::Halt], 0))
-        .with_input(DataQuery::of_type(DataType::OccupancyGrid))
-        .with_requirements(ResourceRequirements { gas: 1_000_000, ..Default::default() });
+    let task = TaskSpec::new(
+        TaskId::new(1),
+        "t",
+        Program::new(vec![airdnd_task::Instr::Halt], 0),
+    )
+    .with_input(DataQuery::of_type(DataType::OccupancyGrid))
+    .with_requirements(ResourceRequirements {
+        gas: 1_000_000,
+        ..Default::default()
+    });
     let trust = ReputationTable::default();
     let cfg = OrchestratorConfig::default();
     for n in [10usize, 100, 1000] {

@@ -7,7 +7,12 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 fn points(n: usize) -> Vec<Vec2> {
     let mut rng = SimRng::seed_from(5);
     (0..n)
-        .map(|_| Vec2::new(rng.next_f64() * 2_000.0 - 1_000.0, rng.next_f64() * 2_000.0 - 1_000.0))
+        .map(|_| {
+            Vec2::new(
+                rng.next_f64() * 2_000.0 - 1_000.0,
+                rng.next_f64() * 2_000.0 - 1_000.0,
+            )
+        })
         .collect()
 }
 

@@ -1,29 +1,85 @@
 //! Regenerates every table/figure in EXPERIMENTS.md.
 //!
 //! ```sh
-//! cargo run -p airdnd-bench --bin run_experiments --release            # full
-//! cargo run -p airdnd-bench --bin run_experiments --release -- quick  # CI size
-//! cargo run -p airdnd-bench --bin run_experiments --release -- f2 t9  # subset
+//! cargo run -p airdnd-bench --bin run_experiments --release             # full
+//! cargo run -p airdnd-bench --bin run_experiments --release -- quick   # CI size
+//! cargo run -p airdnd-bench --bin run_experiments --release -- f2 t9   # subset
+//! cargo run -p airdnd-bench --bin run_experiments --release -- --threads 4
 //! ```
 //!
-//! Tables print to stdout; JSON lands in `target/experiments/`.
+//! Experiments are farmed across the `airdnd-harness` worker pool and
+//! printed in EXPERIMENTS.md order regardless of completion order, so the
+//! output is identical to a sequential run. The default is `--threads 1`
+//! (one experiment at a time): F10 times `score_candidates` with a
+//! wall-clock, and running it beside other CPU-saturating experiments
+//! would contaminate its µs/decision column — opt into parallelism
+//! (`--threads N` or `--threads 0` for all cores) when that trade-off is
+//! acceptable. Tables print to stdout; JSON lands in
+//! `target/experiments/`.
 
 use airdnd_bench::exp;
+use airdnd_harness::{run_sweep, SweepSpec};
 use std::fs;
+
+fn usage_error(msg: &str) -> ! {
+    let names: Vec<&str> = exp::registry().iter().map(|(name, _)| *name).collect();
+    eprintln!(
+        "error: {msg}\nusage: run_experiments [quick] [--threads N] [names...]\nnames: {}",
+        names.join(", ")
+    );
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "quick");
-    let filter: Vec<&String> = args.iter().filter(|a| a.as_str() != "quick").collect();
+    let mut quick = false;
+    let mut threads = 1usize;
+    let mut filter: Vec<&str> = Vec::new();
+    let known: Vec<&str> = exp::registry().iter().map(|(name, _)| *name).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "quick" | "--quick" => quick = true,
+            "--threads" => {
+                threads = match it.next().map(|v| (v.parse(), v)) {
+                    Some((Ok(n), _)) => n,
+                    Some((Err(_), v)) => {
+                        usage_error(&format!("--threads takes a number, got `{v}`"))
+                    }
+                    None => usage_error("--threads needs a value"),
+                };
+            }
+            flag if flag.starts_with('-') => usage_error(&format!("unknown flag `{flag}`")),
+            name if known.contains(&name) => filter.push(name),
+            name => usage_error(&format!("unknown experiment `{name}`")),
+        }
+    }
+
+    let selected: Vec<(&'static str, exp::ExperimentFn)> = exp::registry()
+        .into_iter()
+        .filter(|(name, _)| filter.is_empty() || filter.contains(name))
+        .collect();
 
     let out_dir = std::path::Path::new("target/experiments");
     fs::create_dir_all(out_dir).expect("can create target/experiments");
 
     let started = std::time::Instant::now();
-    for (name, result) in exp::all(quick) {
-        if !filter.is_empty() && !filter.iter().any(|f| f.as_str() == name) {
-            continue;
-        }
+    // One manifest entry per experiment; the harness reassembles results in
+    // registry order no matter which worker finishes first.
+    let manifest = SweepSpec::new(usize::MAX)
+        .axis_labeled(
+            "experiment",
+            0..selected.len(),
+            |&i| selected[i].0.to_owned(),
+            |slot, &i| *slot = i,
+        )
+        .manifest();
+    let outcome = run_sweep(&manifest, threads, |plan| {
+        let (name, run) = selected[plan.config];
+        (name, run(quick))
+    });
+
+    for (name, result) in &outcome.results {
         println!("{}", result.table.render());
         let path = out_dir.join(format!("{name}.json"));
         let json = serde_json::to_string_pretty(&result).expect("results serialize");
@@ -31,8 +87,10 @@ fn main() {
         println!("  -> {}\n", path.display());
     }
     println!(
-        "all experiments regenerated in {:.1} s ({} mode)",
+        "all experiments regenerated in {:.1} s ({} mode, {} worker{})",
         started.elapsed().as_secs_f64(),
-        if quick { "quick" } else { "full" }
+        if quick { "quick" } else { "full" },
+        outcome.threads,
+        if outcome.threads == 1 { "" } else { "s" },
     );
 }

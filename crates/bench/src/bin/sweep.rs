@@ -1,0 +1,184 @@
+//! Declarative, multi-threaded experiment sweeps.
+//!
+//! ```sh
+//! cargo run -p airdnd-bench --bin sweep --release                       # full, all cores
+//! cargo run -p airdnd-bench --bin sweep --release -- --quick f2         # CI-sized F2
+//! cargo run -p airdnd-bench --bin sweep --release -- --threads 8 f2 t9  # explicit pool
+//! cargo run -p airdnd-bench --bin sweep --release -- --bench            # BENCH_harness.json
+//! ```
+//!
+//! Determinism contract: stdout (the rendered tables) and the JSON/CSV
+//! artifacts are **byte-identical for any `--threads` value** — the
+//! harness farms runs across workers but reassembles results in manifest
+//! order, and seeds derive from `(base_seed, run_index)`, never from
+//! scheduling. Progress streams to stderr, which is exempt.
+
+use airdnd_bench::sweeps;
+use airdnd_harness::{run_sweep, write_report};
+use airdnd_scenario::run_scenario;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    threads: usize,
+    quick: bool,
+    bench: bool,
+    out: PathBuf,
+    names: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        threads: 0,
+        quick: false,
+        bench: false,
+        out: PathBuf::from("target/experiments/sweep"),
+        names: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                args.threads = match it.next().map(|v| (v.parse(), v)) {
+                    Some((Ok(n), _)) => n,
+                    Some((Err(_), v)) => {
+                        usage_error(&format!("--threads takes a number, got `{v}`"))
+                    }
+                    None => usage_error("--threads needs a value"),
+                };
+            }
+            "--out" => match it.next() {
+                Some(path) => args.out = PathBuf::from(path),
+                None => usage_error("--out needs a path"),
+            },
+            "--quick" | "quick" => args.quick = true,
+            "--bench" => args.bench = true,
+            "--help" | "-h" => {
+                eprintln!("{}", usage());
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => {
+                usage_error(&format!("unknown flag `{flag}`"));
+            }
+            name => args.names.push(name.to_owned()),
+        }
+    }
+    let known: Vec<&str> = sweeps::registry().iter().map(|e| e.name).collect();
+    for name in &args.names {
+        if !known.contains(&name.as_str()) {
+            usage_error(&format!("unknown sweep experiment `{name}`"));
+        }
+    }
+    args
+}
+
+fn usage() -> String {
+    format!(
+        "usage: sweep [--threads N] [--quick] [--out DIR] [--bench] [names...]\n\
+         names: {}",
+        sweeps::registry()
+            .iter()
+            .map(|e| e.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{}", usage());
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    if args.bench {
+        bench_snapshot(args.threads);
+        return;
+    }
+
+    std::fs::create_dir_all(&args.out).expect("can create the output directory");
+    let started = Instant::now();
+    for exp in sweeps::registry() {
+        if !args.names.is_empty() && !args.names.iter().any(|n| n == exp.name) {
+            continue;
+        }
+        let (manifest, results, result) = sweeps::execute(&exp, args.quick, args.threads, |p| {
+            eprint!("\r[{}] {}/{} runs", exp.name, p.done, p.total);
+            let _ = std::io::stderr().flush();
+        });
+        eprintln!();
+        print!("{}", result.table.render());
+        let report = sweeps::aggregate_report(&exp, &manifest, &results);
+        let (json_path, csv_path) =
+            write_report(&args.out, &report).expect("can write sweep artifacts");
+        eprintln!(
+            "  -> {}\n  -> {}\n",
+            json_path.display(),
+            csv_path.display()
+        );
+    }
+    eprintln!(
+        "sweeps done in {:.1} s ({} mode)",
+        started.elapsed().as_secs_f64(),
+        if args.quick { "quick" } else { "full" }
+    );
+}
+
+/// Emits `BENCH_harness.json`: sequential vs parallel wall-clock for the
+/// quick F2 sweep, plus pure dispatch overhead on no-op runs.
+fn bench_snapshot(threads: usize) {
+    use airdnd_harness::SweepSpec;
+    use serde_json::json;
+
+    let f2 = sweeps::find("f2").expect("f2 registered");
+    let manifest = (f2.spec)(true).manifest();
+    eprintln!("timing quick F2 sweep ({} runs) ...", manifest.len());
+    let seq = run_sweep(&manifest, 1, |plan| run_scenario(plan.config));
+    let par = run_sweep(&manifest, threads, |plan| run_scenario(plan.config));
+    let identical = {
+        let table = |results: &[airdnd_scenario::ScenarioReport]| {
+            (f2.tabulate)(&manifest, results).table.render()
+        };
+        table(&seq.results) == table(&par.results)
+    };
+    assert!(
+        identical,
+        "sequential and parallel F2 tables must be byte-identical"
+    );
+
+    // Pure orchestration overhead: dispatch N no-op runs.
+    let noop_runs = 4096usize;
+    let noop = SweepSpec::new(0u64)
+        .axis("run", 0..noop_runs as u64, |cfg, &v| *cfg = v)
+        .manifest();
+    let start = Instant::now();
+    let outcome = run_sweep(&noop, par.threads, |plan| plan.config);
+    assert_eq!(outcome.results.len(), noop_runs);
+    let noop_elapsed = start.elapsed();
+
+    let snapshot = json!({
+        "description": "harness overhead + sequential-vs-parallel wall clock for the quick F2 sweep",
+        "hardware_threads": std::thread::available_parallelism().map_or(1, |n| n.get()),
+        "f2_quick": json!({
+            "runs": manifest.len(),
+            "sequential_ms": seq.wall.as_secs_f64() * 1e3,
+            "parallel_ms": par.wall.as_secs_f64() * 1e3,
+            "parallel_threads": par.threads,
+            "speedup": seq.wall.as_secs_f64() / par.wall.as_secs_f64().max(1e-9),
+            "outputs_byte_identical": identical,
+        }),
+        "noop_dispatch": json!({
+            "runs": noop_runs,
+            "total_ms": noop_elapsed.as_secs_f64() * 1e3,
+            "per_run_us": noop_elapsed.as_secs_f64() * 1e6 / noop_runs as f64,
+        }),
+    });
+    let path = "BENCH_harness.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&snapshot).expect("serializes") + "\n",
+    )
+    .expect("can write BENCH_harness.json");
+    println!("wrote {path}");
+}

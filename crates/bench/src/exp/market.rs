@@ -45,10 +45,14 @@ pub fn market_sim(
         backlogs.insert(id, 0.0);
         assigned_gas.insert(id, 0.0);
     }
-    let links: BTreeMap<u64, f64> =
-        gas_rates.keys().map(|&id| (id, 0.5 + rng.next_f64() * 0.5)).collect();
-    let trusts: BTreeMap<u64, f64> =
-        gas_rates.keys().map(|&id| (id, 0.5 + rng.next_f64() * 0.45)).collect();
+    let links: BTreeMap<u64, f64> = gas_rates
+        .keys()
+        .map(|&id| (id, 0.5 + rng.next_f64() * 0.5))
+        .collect();
+    let trusts: BTreeMap<u64, f64> = gas_rates
+        .keys()
+        .map(|&id| (id, 0.5 + rng.next_f64() * 0.45))
+        .collect();
 
     let mut now_s = 0.0f64;
     let mut completions = Vec::new();
@@ -83,8 +87,7 @@ pub fn market_sim(
                 trust: trusts[&id],
             })
             .collect();
-        let Some(assignment) =
-            mechanism.assign(&task, &candidates, SimTime::from_secs_f64(now_s))
+        let Some(assignment) = mechanism.assign(&task, &candidates, SimTime::from_secs_f64(now_s))
         else {
             continue;
         };

@@ -6,7 +6,7 @@
 
 mod market;
 
-use crate::report::{fmt_f, fmt_opt, ExperimentResult, Table};
+use crate::report::{fmt_f, ExperimentResult, Table};
 use airdnd_baselines::{
     Assigner, CodedAssigner, DoubleAuctionAssigner, GreedyComputeAssigner, RandomAssigner,
     ScoreAssigner, SmartContractAssigner, SyncRoundAssigner,
@@ -15,7 +15,9 @@ use airdnd_core::{score_candidates, OrchestratorConfig, SelectionWeights};
 use airdnd_data::{DataCatalog, DataQuery, DataType, QualityDescriptor};
 use airdnd_geo::Vec2;
 use airdnd_mesh::{MemberDescriptor, MeshDescriptor, NodeAdvert};
-use airdnd_nfv::{NfManager, PlacementStrategy, ResourceCapacity, ServiceChain, VnfDescriptor, VnfKind};
+use airdnd_nfv::{
+    NfManager, PlacementStrategy, ResourceCapacity, ServiceChain, VnfDescriptor, VnfKind,
+};
 use airdnd_radio::NodeAddr;
 use airdnd_scenario::{run_scenario, ScenarioConfig, Strategy};
 use airdnd_sim::{SimDuration, SimRng, SimTime};
@@ -27,61 +29,33 @@ pub use market::market_sim;
 
 fn base(quick: bool) -> ScenarioConfig {
     ScenarioConfig {
-        duration: if quick { SimDuration::from_secs(15) } else { SimDuration::from_secs(60) },
+        duration: if quick {
+            SimDuration::from_secs(15)
+        } else {
+            SimDuration::from_secs(60)
+        },
         ..Default::default()
     }
 }
 
 /// F1 — mesh formation & dissolution vs density (Model 1 dynamicity).
+///
+/// Declared as a harness sweep over fleet density (see [`crate::sweeps`]).
+/// Sweep-backed experiments run their grid serially (`threads = 1`):
+/// parallelism belongs to the caller — `run_experiments --threads N`
+/// parallelizes *across* experiments, the `sweep` binary *within* one —
+/// so pools never nest and `--threads` limits stay honest.
 pub fn f1_mesh_dynamics(quick: bool) -> ExperimentResult {
-    let mut table = Table::new(
-        "F1",
-        "mesh formation & dissolution vs fleet density",
-        &["vehicles", "formation s", "mean members", "joins/min", "leaves/min"],
-    );
-    let sweep: &[usize] = if quick { &[5, 10, 20] } else { &[5, 10, 20, 40, 60] };
-    for &n in sweep {
-        let r = run_scenario(ScenarioConfig { seed: 101, vehicles: n, ..base(quick) });
-        let minutes = r.duration_s / 60.0;
-        table.row(vec![
-            n.to_string(),
-            fmt_opt(r.mesh_formation_s),
-            fmt_f(r.mean_members),
-            fmt_f(r.joins as f64 / minutes),
-            fmt_f(r.leaves as f64 / minutes),
-        ]);
-    }
-    ExperimentResult::table_only(table)
+    crate::sweeps::run_named("f1", quick, 1)
 }
 
 /// F2 — data transferred per perception view (the minimization claim).
+///
+/// Declared as a harness sweep over fleet size × strategy (see
+/// [`crate::sweeps`]); the `sweep` binary exposes the same grid with
+/// explicit thread control.
 pub fn f2_data_transfer(quick: bool) -> ExperimentResult {
-    let mut table = Table::new(
-        "F2",
-        "bytes per completed perception view, by strategy and fleet size",
-        &["vehicles", "strategy", "kB/view", "total MB", "done %"],
-    );
-    let sweep: &[usize] = if quick { &[8] } else { &[4, 8, 12, 16] };
-    let strategies = [Strategy::Airdnd, Strategy::Cloud { fiveg: true }, Strategy::RawSharing];
-    let mut series = Vec::new();
-    for &n in sweep {
-        for strategy in strategies {
-            let r = run_scenario(ScenarioConfig { seed: 102, vehicles: n, strategy, ..base(quick) });
-            table.row(vec![
-                n.to_string(),
-                r.strategy.clone(),
-                fmt_f(r.bytes_per_task / 1_000.0),
-                fmt_f((r.mesh_bytes + r.cellular_bytes) as f64 / 1e6),
-                fmt_f(r.completion_rate * 100.0),
-            ]);
-            series.push(json!({
-                "vehicles": n,
-                "strategy": r.strategy,
-                "bytes_per_task": r.bytes_per_task,
-            }));
-        }
-    }
-    ExperimentResult { table, series: json!(series) }
+    crate::sweeps::run_named("f2", quick, 1)
 }
 
 /// F3 — end-to-end latency CDF: mesh vs cellular cloud.
@@ -89,13 +63,23 @@ pub fn f3_latency_cdf(quick: bool) -> ExperimentResult {
     let mut table = Table::new(
         "F3",
         "task latency: AirDnD mesh vs cellular cloud",
-        &["strategy", "done %", "mean ms", "p50 ms", "p95 ms", "max ms"],
+        &[
+            "strategy", "done %", "mean ms", "p50 ms", "p95 ms", "max ms",
+        ],
     );
-    let strategies =
-        [Strategy::Airdnd, Strategy::Cloud { fiveg: true }, Strategy::Cloud { fiveg: false }];
+    let strategies = [
+        Strategy::Airdnd,
+        Strategy::Cloud { fiveg: true },
+        Strategy::Cloud { fiveg: false },
+    ];
     let mut series = Vec::new();
     for strategy in strategies {
-        let r = run_scenario(ScenarioConfig { seed: 103, vehicles: 12, strategy, ..base(quick) });
+        let r = run_scenario(ScenarioConfig {
+            seed: 103,
+            vehicles: 12,
+            strategy,
+            ..base(quick)
+        });
         table.row(vec![
             r.strategy.clone(),
             fmt_f(r.completion_rate * 100.0),
@@ -107,30 +91,18 @@ pub fn f3_latency_cdf(quick: bool) -> ExperimentResult {
         let cdf = airdnd_sim::stats::cdf_points(&r.latencies_ms, 40);
         series.push(json!({ "strategy": r.strategy, "cdf": cdf }));
     }
-    ExperimentResult { table, series: json!(series) }
+    ExperimentResult {
+        table,
+        series: json!(series),
+    }
 }
 
 /// F4 — looking-around-the-corner coverage vs cooperating vehicles.
+///
+/// Declared as a harness sweep over fleet size × strategy (see
+/// [`crate::sweeps`]).
 pub fn f4_coverage(quick: bool) -> ExperimentResult {
-    let mut table = Table::new(
-        "F4",
-        "hidden-region coverage & detection time vs fleet size",
-        &["vehicles", "strategy", "coverage %", "ego-only %", "detect s"],
-    );
-    let sweep: &[usize] = if quick { &[4, 12] } else { &[2, 4, 8, 12, 16, 24] };
-    for &n in sweep {
-        for strategy in [Strategy::Airdnd, Strategy::LocalOnly] {
-            let r = run_scenario(ScenarioConfig { seed: 104, vehicles: n, strategy, ..base(quick) });
-            table.row(vec![
-                n.to_string(),
-                r.strategy.clone(),
-                fmt_f(r.mean_coverage * 100.0),
-                fmt_f(r.ego_only_coverage * 100.0),
-                fmt_opt(r.time_to_detect_s),
-            ]);
-        }
-    }
-    ExperimentResult::table_only(table)
+    crate::sweeps::run_named("f4", quick, 1)
 }
 
 /// T5 — RQ1 ablation: which selection criteria matter.
@@ -143,11 +115,33 @@ pub fn t5_selection_ablation(quick: bool) -> ExperimentResult {
     let variants: Vec<(&str, SelectionWeights)> = vec![
         ("full", SelectionWeights::default()),
         ("compute-only", SelectionWeights::compute_only()),
-        ("no-link", SelectionWeights { link: 0.0, ..SelectionWeights::default() }),
-        ("no-trust", SelectionWeights { trust: 0.0, ..SelectionWeights::default() }),
-        ("no-in-range", SelectionWeights { in_range: 0.0, ..SelectionWeights::default() }),
+        (
+            "no-link",
+            SelectionWeights {
+                link: 0.0,
+                ..SelectionWeights::default()
+            },
+        ),
+        (
+            "no-trust",
+            SelectionWeights {
+                trust: 0.0,
+                ..SelectionWeights::default()
+            },
+        ),
+        (
+            "no-in-range",
+            SelectionWeights {
+                in_range: 0.0,
+                ..SelectionWeights::default()
+            },
+        ),
     ];
-    let seeds: &[u64] = if quick { &[105, 205] } else { &[105, 205, 305, 405] };
+    let seeds: &[u64] = if quick {
+        &[105, 205]
+    } else {
+        &[105, 205, 305, 405]
+    };
     for (name, weights) in variants {
         let (mut done, mut p95, mut failed, mut bad, mut submitted) = (0.0, 0.0, 0u64, 0u64, 0u64);
         for &seed in seeds {
@@ -175,7 +169,10 @@ pub fn t5_selection_ablation(quick: bool) -> ExperimentResult {
             fmt_f(done / n * 100.0),
             fmt_f(p95),
             failed.to_string(),
-            format!("{bad} ({:.1}%)", bad as f64 / submitted.max(1) as f64 * 100.0),
+            format!(
+                "{bad} ({:.1}%)",
+                bad as f64 / submitted.max(1) as f64 * 100.0
+            ),
         ]);
     }
     ExperimentResult::table_only(table)
@@ -186,7 +183,14 @@ pub fn t6_allocators(quick: bool) -> ExperimentResult {
     let mut table = Table::new(
         "T6",
         "allocator comparison (identical workload)",
-        &["mechanism", "alloc %", "mean s", "p95 s", "ctrl msgs/task", "fairness"],
+        &[
+            "mechanism",
+            "alloc %",
+            "mean s",
+            "p95 s",
+            "ctrl msgs/task",
+            "fairness",
+        ],
     );
     let tasks = if quick { 300 } else { 2000 };
     let mut mechanisms: Vec<Box<dyn Assigner>> = vec![
@@ -212,30 +216,10 @@ pub fn t6_allocators(quick: bool) -> ExperimentResult {
 }
 
 /// F7 — churn resilience: completion vs vehicle speed.
+///
+/// Declared as a harness sweep over the speed limit (see [`crate::sweeps`]).
 pub fn f7_churn(quick: bool) -> ExperimentResult {
-    let mut table = Table::new(
-        "F7",
-        "task completion under mobility-driven churn",
-        &["speed m/s", "churn/min", "done %", "p95 ms", "offers/task"],
-    );
-    let sweep: &[f64] = if quick { &[8.0, 20.0] } else { &[5.0, 10.0, 15.0, 20.0, 25.0] };
-    for &speed in sweep {
-        let r = run_scenario(ScenarioConfig {
-            seed: 107,
-            vehicles: 12,
-            speed_limit: speed,
-            ..base(quick)
-        });
-        let minutes = r.duration_s / 60.0;
-        table.row(vec![
-            fmt_f(speed),
-            fmt_f((r.joins + r.leaves) as f64 / minutes),
-            fmt_f(r.completion_rate * 100.0),
-            fmt_f(r.latency_p95_ms),
-            fmt_f(r.offers_sent as f64 / r.tasks_submitted.max(1) as f64),
-        ]);
-    }
-    ExperimentResult::table_only(table)
+    crate::sweeps::run_named("f7", quick, 1)
 }
 
 /// F8 — excess-resource utilization vs offered load (the Airbnb claim).
@@ -265,43 +249,11 @@ pub fn f8_utilization(quick: bool) -> ExperimentResult {
 }
 
 /// T9 — RQ3: integrity under byzantine executors.
+///
+/// Declared as a harness sweep over byzantine fraction × redundancy with
+/// seed replicates per cell (see [`crate::sweeps`]).
 pub fn t9_trust(quick: bool) -> ExperimentResult {
-    let mut table = Table::new(
-        "T9",
-        "byzantine tolerance: redundancy + reputation (RQ3)",
-        &["byz %", "redundancy", "done %", "bad accepted", "p95 ms"],
-    );
-    let fractions: &[f64] = if quick { &[0.0, 0.3] } else { &[0.0, 0.1, 0.2, 0.3, 0.4] };
-    let seeds: &[u64] = if quick { &[109, 209] } else { &[109, 209, 309, 409] };
-    for &frac in fractions {
-        for redundancy in [1usize, 3] {
-            let (mut done, mut p95, mut bad, mut submitted) = (0.0, 0.0f64, 0u64, 0u64);
-            for &seed in seeds {
-                let mut cfg = ScenarioConfig {
-                    seed,
-                    vehicles: 14,
-                    byzantine_fraction: frac,
-                    ..base(quick)
-                };
-                cfg.orch.redundancy = redundancy;
-                cfg.orch.max_candidates = redundancy + 2;
-                let r = run_scenario(cfg);
-                done += r.completion_rate;
-                p95 = f64::max(p95, r.latency_p95_ms);
-                bad += r.invalid_results_accepted;
-                submitted += r.tasks_submitted;
-            }
-            let n = seeds.len() as f64;
-            table.row(vec![
-                fmt_f(frac * 100.0),
-                redundancy.to_string(),
-                fmt_f(done / n * 100.0),
-                format!("{bad} ({:.1}%)", bad as f64 / submitted.max(1) as f64 * 100.0),
-                fmt_f(p95),
-            ]);
-        }
-    }
-    ExperimentResult::table_only(table)
+    crate::sweeps::run_named("t9", quick, 1)
 }
 
 fn synthetic_mesh(n: usize, now: SimTime) -> MeshDescriptor {
@@ -309,10 +261,17 @@ fn synthetic_mesh(n: usize, now: SimTime) -> MeshDescriptor {
     let members = (0..n)
         .map(|i| {
             let mut catalog = DataCatalog::new(4);
-            catalog.insert(DataType::OccupancyGrid, 800, QualityDescriptor::basic(now, 0.9, 1.0));
+            catalog.insert(
+                DataType::OccupancyGrid,
+                800,
+                QualityDescriptor::basic(now, 0.9, 1.0),
+            );
             MemberDescriptor {
                 addr: NodeAddr::new(i as u64 + 10),
-                pos: Vec2::new(rng.next_f64() * 400.0 - 200.0, rng.next_f64() * 400.0 - 200.0),
+                pos: Vec2::new(
+                    rng.next_f64() * 400.0 - 200.0,
+                    rng.next_f64() * 400.0 - 200.0,
+                ),
                 velocity: Vec2::new(rng.next_f64() * 20.0 - 10.0, 0.0),
                 link_quality: 0.5 + rng.next_f64() * 0.5,
                 advert: NodeAdvert {
@@ -342,11 +301,22 @@ pub fn f10_scalability(quick: bool) -> ExperimentResult {
         "node-selection cost vs mesh size (wall clock)",
         &["members", "µs/decision", "candidates ranked"],
     );
-    let sweep: &[usize] = if quick { &[10, 100] } else { &[10, 50, 100, 250, 500] };
+    let sweep: &[usize] = if quick {
+        &[10, 100]
+    } else {
+        &[10, 50, 100, 250, 500]
+    };
     let now = SimTime::from_secs(1);
-    let task = TaskSpec::new(TaskId::new(1), "t", Program::new(vec![airdnd_task::Instr::Halt], 0))
-        .with_input(DataQuery::of_type(DataType::OccupancyGrid))
-        .with_requirements(ResourceRequirements { gas: 1_000_000, ..Default::default() });
+    let task = TaskSpec::new(
+        TaskId::new(1),
+        "t",
+        Program::new(vec![airdnd_task::Instr::Halt], 0),
+    )
+    .with_input(DataQuery::of_type(DataType::OccupancyGrid))
+    .with_requirements(ResourceRequirements {
+        gas: 1_000_000,
+        ..Default::default()
+    });
     let trust = ReputationTable::default();
     let cfg = OrchestratorConfig::default();
     for &n in sweep {
@@ -373,10 +343,19 @@ pub fn t11_nfv(quick: bool) -> ExperimentResult {
     let mut table = Table::new(
         "T11",
         "VNF migration & chain availability under churn",
-        &["departure %/round", "migrations ok", "vnfs lost", "availability %"],
+        &[
+            "departure %/round",
+            "migrations ok",
+            "vnfs lost",
+            "availability %",
+        ],
     );
     let rounds = if quick { 50 } else { 300 };
-    let sweep: &[f64] = if quick { &[0.05, 0.2] } else { &[0.02, 0.05, 0.1, 0.2, 0.3] };
+    let sweep: &[f64] = if quick {
+        &[0.05, 0.2]
+    } else {
+        &[0.02, 0.05, 0.1, 0.2, 0.3]
+    };
     for &p in sweep {
         let mut rng = SimRng::seed_from(111);
         let mut manager = NfManager::new(PlacementStrategy::BestFit);
@@ -393,7 +372,9 @@ pub fn t11_nfv(quick: bool) -> ExperimentResult {
                 VnfDescriptor::of_kind("fuse", VnfKind::PerceptionFuser),
             ],
         );
-        let chain_id = manager.deploy_chain(&chain, SimTime::ZERO).expect("initial placement fits");
+        let chain_id = manager
+            .deploy_chain(&chain, SimTime::ZERO)
+            .expect("initial placement fits");
         let mut lost_total = 0usize;
         for round in 1..=rounds {
             let now = SimTime::from_secs(round as u64);
@@ -432,10 +413,13 @@ pub fn f12_async_ablation(quick: bool) -> ExperimentResult {
         &["mode", "alloc %", "mean s", "p95 s"],
     );
     let tasks = if quick { 300 } else { 2000 };
-    let mut modes: Vec<(String, Box<dyn Assigner>)> = vec![
-        ("async (airdnd)".to_owned(), Box::new(ScoreAssigner)),
-    ];
-    let periods: &[u64] = if quick { &[250, 1000] } else { &[100, 250, 500, 1000] };
+    let mut modes: Vec<(String, Box<dyn Assigner>)> =
+        vec![("async (airdnd)".to_owned(), Box::new(ScoreAssigner))];
+    let periods: &[u64] = if quick {
+        &[250, 1000]
+    } else {
+        &[100, 250, 500, 1000]
+    };
     for &ms in periods {
         modes.push((
             format!("sync {ms} ms"),
@@ -454,20 +438,34 @@ pub fn f12_async_ablation(quick: bool) -> ExperimentResult {
     ExperimentResult::table_only(table)
 }
 
-/// Every experiment, in EXPERIMENTS.md order.
-pub fn all(quick: bool) -> Vec<(&'static str, ExperimentResult)> {
+/// An experiment entry point: `quick` in, rendered result out.
+pub type ExperimentFn = fn(bool) -> ExperimentResult;
+
+/// Every experiment as a named function pointer, in EXPERIMENTS.md order.
+///
+/// `run_experiments` farms these across the harness worker pool; results
+/// print in this order regardless of completion order.
+pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
     vec![
-        ("f1", f1_mesh_dynamics(quick)),
-        ("f2", f2_data_transfer(quick)),
-        ("f3", f3_latency_cdf(quick)),
-        ("f4", f4_coverage(quick)),
-        ("t5", t5_selection_ablation(quick)),
-        ("t6", t6_allocators(quick)),
-        ("f7", f7_churn(quick)),
-        ("f8", f8_utilization(quick)),
-        ("t9", t9_trust(quick)),
-        ("f10", f10_scalability(quick)),
-        ("t11", t11_nfv(quick)),
-        ("f12", f12_async_ablation(quick)),
+        ("f1", f1_mesh_dynamics as ExperimentFn),
+        ("f2", f2_data_transfer),
+        ("f3", f3_latency_cdf),
+        ("f4", f4_coverage),
+        ("t5", t5_selection_ablation),
+        ("t6", t6_allocators),
+        ("f7", f7_churn),
+        ("f8", f8_utilization),
+        ("t9", t9_trust),
+        ("f10", f10_scalability),
+        ("t11", t11_nfv),
+        ("f12", f12_async_ablation),
     ]
+}
+
+/// Every experiment, executed sequentially in EXPERIMENTS.md order.
+pub fn all(quick: bool) -> Vec<(&'static str, ExperimentResult)> {
+    registry()
+        .into_iter()
+        .map(|(name, run)| (name, run(quick)))
+        .collect()
 }

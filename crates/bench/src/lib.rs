@@ -14,5 +14,7 @@
 
 pub mod exp;
 pub mod report;
+pub mod sweeps;
 
 pub use report::{ExperimentResult, Table};
+pub use sweeps::SweepExperiment;

@@ -29,7 +29,11 @@ impl Table {
 
     /// Appends a row.
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.columns.len(), "row arity must match header");
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row arity must match header"
+        );
         self.rows.push(cells);
     }
 
@@ -51,8 +55,11 @@ impl Table {
             .collect();
         let _ = writeln!(out, "{}", header.join("  "));
         for row in &self.rows {
-            let cells: Vec<String> =
-                row.iter().enumerate().map(|(i, c)| format!("{c:>w$}", w = widths[i])).collect();
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect();
             let _ = writeln!(out, "{}", cells.join("  "));
         }
         out
@@ -71,7 +78,10 @@ pub struct ExperimentResult {
 impl ExperimentResult {
     /// A result with no extra series.
     pub fn table_only(table: Table) -> Self {
-        ExperimentResult { table, series: serde_json::Value::Null }
+        ExperimentResult {
+            table,
+            series: serde_json::Value::Null,
+        }
     }
 }
 
@@ -106,7 +116,11 @@ mod tests {
         assert!(s.contains("T0 — demo"));
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
-        assert_eq!(lines[2].len(), lines[3].len(), "aligned rows have equal width");
+        assert_eq!(
+            lines[2].len(),
+            lines[3].len(),
+            "aligned rows have equal width"
+        );
     }
 
     #[test]
@@ -119,7 +133,7 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(fmt_f(0.0), "0");
-        assert_eq!(fmt_f(3.14159), "3.142");
+        assert_eq!(fmt_f(1.23456), "1.235");
         assert_eq!(fmt_f(42.5), "42.5");
         assert_eq!(fmt_f(12345.6), "12346");
         assert_eq!(fmt_opt(None), "-");

@@ -1,0 +1,458 @@
+//! The sweep-experiment registry: every grid-shaped figure (density,
+//! strategy, churn, byzantine fraction) declared through the
+//! `airdnd-harness` builder instead of a hand-rolled loop.
+//!
+//! Each entry contributes a [`SweepSpec`] (what to vary) and a tabulator
+//! (how to render the familiar EXPERIMENTS.md table from the ordered
+//! results). The harness guarantees that the result vector is in manifest
+//! order regardless of the worker count, so the rendered table — and the
+//! JSON/CSV aggregate reports — are byte-identical for `threads = 1` and
+//! `threads = N`.
+
+use crate::report::{fmt_f, fmt_opt, ExperimentResult, Table};
+use airdnd_harness::{
+    run_sweep_with_progress, summarize_cells, Manifest, Progress, SeedMode, SweepReport, SweepSpec,
+};
+use airdnd_scenario::{run_scenario, ScenarioConfig, ScenarioReport, Strategy};
+use airdnd_sim::SimDuration;
+use serde_json::json;
+
+fn base(quick: bool) -> ScenarioConfig {
+    ScenarioConfig {
+        duration: if quick {
+            SimDuration::from_secs(15)
+        } else {
+            SimDuration::from_secs(60)
+        },
+        ..Default::default()
+    }
+}
+
+/// One sweep-shaped experiment: its grid plus its table renderer.
+pub struct SweepExperiment {
+    /// Experiment id (`"f2"`), used for filtering and artifact names.
+    pub name: &'static str,
+    /// Human title for the aggregate report.
+    pub title: &'static str,
+    /// Builds the parameter grid (`quick` selects the CI-sized version).
+    pub spec: fn(bool) -> SweepSpec<ScenarioConfig>,
+    /// Renders the EXPERIMENTS.md table from ordered results.
+    pub tabulate: fn(&Manifest<ScenarioConfig>, &[ScenarioReport]) -> ExperimentResult,
+}
+
+/// Every experiment expressed as a harness sweep, in EXPERIMENTS.md order.
+pub fn registry() -> Vec<SweepExperiment> {
+    vec![
+        SweepExperiment {
+            name: "f1",
+            title: "mesh formation & dissolution vs fleet density",
+            spec: f1_spec,
+            tabulate: f1_tabulate,
+        },
+        SweepExperiment {
+            name: "f2",
+            title: "bytes per completed perception view, by strategy and fleet size",
+            spec: f2_spec,
+            tabulate: f2_tabulate,
+        },
+        SweepExperiment {
+            name: "f4",
+            title: "hidden-region coverage & detection time vs fleet size",
+            spec: f4_spec,
+            tabulate: f4_tabulate,
+        },
+        SweepExperiment {
+            name: "f7",
+            title: "task completion under mobility-driven churn",
+            spec: f7_spec,
+            tabulate: f7_tabulate,
+        },
+        SweepExperiment {
+            name: "t9",
+            title: "byzantine tolerance: redundancy + reputation (RQ3)",
+            spec: t9_spec,
+            tabulate: t9_tabulate,
+        },
+    ]
+}
+
+/// Looks up one sweep experiment by name.
+pub fn find(name: &str) -> Option<SweepExperiment> {
+    registry().into_iter().find(|e| e.name == name)
+}
+
+/// Expands, executes (across `threads` workers; `0` = all cores) and
+/// tabulates one sweep experiment. `progress` streams completion counts —
+/// send it to stderr so stdout stays byte-identical across thread counts.
+pub fn execute(
+    exp: &SweepExperiment,
+    quick: bool,
+    threads: usize,
+    mut progress: impl FnMut(Progress),
+) -> (
+    Manifest<ScenarioConfig>,
+    Vec<ScenarioReport>,
+    ExperimentResult,
+) {
+    let manifest = (exp.spec)(quick).manifest();
+    let outcome = run_sweep_with_progress(
+        &manifest,
+        threads,
+        |plan| run_scenario(plan.config),
+        &mut progress,
+    );
+    let result = (exp.tabulate)(&manifest, &outcome.results);
+    (manifest, outcome.results, result)
+}
+
+/// Convenience used by `exp::*`: execute by name with silent progress.
+pub fn run_named(name: &str, quick: bool, threads: usize) -> ExperimentResult {
+    let exp = find(name).unwrap_or_else(|| panic!("sweep experiment `{name}` is registered"));
+    let (_, _, result) = execute(&exp, quick, threads, |_| {});
+    result
+}
+
+/// The scenario metrics aggregated per grid cell in sweep reports.
+pub fn scenario_metrics(r: &ScenarioReport) -> Vec<(&'static str, f64)> {
+    vec![
+        ("completion_rate", r.completion_rate),
+        ("latency_mean_ms", r.latency_mean_ms),
+        ("latency_p50_ms", r.latency_p50_ms),
+        ("latency_p95_ms", r.latency_p95_ms),
+        ("mesh_bytes", r.mesh_bytes as f64),
+        ("cellular_bytes", r.cellular_bytes as f64),
+        ("bytes_per_task", r.bytes_per_task),
+        ("mean_coverage", r.mean_coverage),
+        ("mean_members", r.mean_members),
+        ("mean_executor_utilization", r.mean_executor_utilization),
+        (
+            "invalid_results_accepted",
+            r.invalid_results_accepted as f64,
+        ),
+    ]
+}
+
+/// Builds the deterministic aggregate report (JSON/CSV payload) for one
+/// executed sweep.
+pub fn aggregate_report(
+    exp: &SweepExperiment,
+    manifest: &Manifest<ScenarioConfig>,
+    results: &[ScenarioReport],
+) -> SweepReport {
+    SweepReport {
+        name: exp.name.to_owned(),
+        title: exp.title.to_owned(),
+        axis_names: manifest.axis_names.clone(),
+        replicates: manifest.replicates,
+        base_seed: manifest.base_seed,
+        cells: summarize_cells(manifest, results, scenario_metrics),
+    }
+}
+
+// --- F1: mesh formation & dissolution vs density (Model 1 dynamicity) ---
+
+fn f1_spec(quick: bool) -> SweepSpec<ScenarioConfig> {
+    let sweep: &[usize] = if quick {
+        &[5, 10, 20]
+    } else {
+        &[5, 10, 20, 40, 60]
+    };
+    SweepSpec::new(base(quick))
+        .axis("vehicles", sweep.to_vec(), |cfg, &n| cfg.vehicles = n)
+        .seed_mode(SeedMode::PerReplicate)
+        .base_seed(101)
+        .seed_with(|cfg, seed| cfg.seed = seed)
+}
+
+fn f1_tabulate(
+    manifest: &Manifest<ScenarioConfig>,
+    results: &[ScenarioReport],
+) -> ExperimentResult {
+    let mut table = Table::new(
+        "F1",
+        "mesh formation & dissolution vs fleet density",
+        &[
+            "vehicles",
+            "formation s",
+            "mean members",
+            "joins/min",
+            "leaves/min",
+        ],
+    );
+    for (plan, r) in manifest.runs.iter().zip(results) {
+        let minutes = r.duration_s / 60.0;
+        table.row(vec![
+            plan.config.vehicles.to_string(),
+            fmt_opt(r.mesh_formation_s),
+            fmt_f(r.mean_members),
+            fmt_f(r.joins as f64 / minutes),
+            fmt_f(r.leaves as f64 / minutes),
+        ]);
+    }
+    ExperimentResult::table_only(table)
+}
+
+// --- F2: data transferred per perception view (the minimization claim) ---
+
+fn strategy_axis_f2() -> Vec<Strategy> {
+    vec![
+        Strategy::Airdnd,
+        Strategy::Cloud { fiveg: true },
+        Strategy::RawSharing,
+    ]
+}
+
+fn f2_spec(quick: bool) -> SweepSpec<ScenarioConfig> {
+    let sweep: &[usize] = if quick { &[8] } else { &[4, 8, 12, 16] };
+    SweepSpec::new(base(quick))
+        .axis("vehicles", sweep.to_vec(), |cfg, &n| cfg.vehicles = n)
+        .axis_labeled(
+            "strategy",
+            strategy_axis_f2(),
+            |s| s.label().to_owned(),
+            |cfg, &s| cfg.strategy = s,
+        )
+        .seed_mode(SeedMode::PerReplicate)
+        .base_seed(102)
+        .seed_with(|cfg, seed| cfg.seed = seed)
+}
+
+fn f2_tabulate(
+    manifest: &Manifest<ScenarioConfig>,
+    results: &[ScenarioReport],
+) -> ExperimentResult {
+    let mut table = Table::new(
+        "F2",
+        "bytes per completed perception view, by strategy and fleet size",
+        &["vehicles", "strategy", "kB/view", "total MB", "done %"],
+    );
+    let mut series = Vec::new();
+    for (plan, r) in manifest.runs.iter().zip(results) {
+        table.row(vec![
+            plan.config.vehicles.to_string(),
+            r.strategy.clone(),
+            fmt_f(r.bytes_per_task / 1_000.0),
+            fmt_f((r.mesh_bytes + r.cellular_bytes) as f64 / 1e6),
+            fmt_f(r.completion_rate * 100.0),
+        ]);
+        series.push(json!({
+            "vehicles": plan.config.vehicles,
+            "strategy": r.strategy,
+            "bytes_per_task": r.bytes_per_task,
+        }));
+    }
+    ExperimentResult {
+        table,
+        series: json!(series),
+    }
+}
+
+// --- F4: looking-around-the-corner coverage vs cooperating vehicles ---
+
+fn f4_spec(quick: bool) -> SweepSpec<ScenarioConfig> {
+    let sweep: &[usize] = if quick {
+        &[4, 12]
+    } else {
+        &[2, 4, 8, 12, 16, 24]
+    };
+    SweepSpec::new(base(quick))
+        .axis("vehicles", sweep.to_vec(), |cfg, &n| cfg.vehicles = n)
+        .axis_labeled(
+            "strategy",
+            vec![Strategy::Airdnd, Strategy::LocalOnly],
+            |s| s.label().to_owned(),
+            |cfg, &s| cfg.strategy = s,
+        )
+        .seed_mode(SeedMode::PerReplicate)
+        .base_seed(104)
+        .seed_with(|cfg, seed| cfg.seed = seed)
+}
+
+fn f4_tabulate(
+    manifest: &Manifest<ScenarioConfig>,
+    results: &[ScenarioReport],
+) -> ExperimentResult {
+    let mut table = Table::new(
+        "F4",
+        "hidden-region coverage & detection time vs fleet size",
+        &[
+            "vehicles",
+            "strategy",
+            "coverage %",
+            "ego-only %",
+            "detect s",
+        ],
+    );
+    for (plan, r) in manifest.runs.iter().zip(results) {
+        table.row(vec![
+            plan.config.vehicles.to_string(),
+            r.strategy.clone(),
+            fmt_f(r.mean_coverage * 100.0),
+            fmt_f(r.ego_only_coverage * 100.0),
+            fmt_opt(r.time_to_detect_s),
+        ]);
+    }
+    ExperimentResult::table_only(table)
+}
+
+// --- F7: churn resilience: completion vs vehicle speed ---
+
+fn f7_spec(quick: bool) -> SweepSpec<ScenarioConfig> {
+    let sweep: &[f64] = if quick {
+        &[8.0, 20.0]
+    } else {
+        &[5.0, 10.0, 15.0, 20.0, 25.0]
+    };
+    SweepSpec::new(ScenarioConfig {
+        vehicles: 12,
+        ..base(quick)
+    })
+    .axis("speed_mps", sweep.to_vec(), |cfg, &speed| {
+        cfg.speed_limit = speed
+    })
+    .seed_mode(SeedMode::PerReplicate)
+    .base_seed(107)
+    .seed_with(|cfg, seed| cfg.seed = seed)
+}
+
+fn f7_tabulate(
+    manifest: &Manifest<ScenarioConfig>,
+    results: &[ScenarioReport],
+) -> ExperimentResult {
+    let mut table = Table::new(
+        "F7",
+        "task completion under mobility-driven churn",
+        &["speed m/s", "churn/min", "done %", "p95 ms", "offers/task"],
+    );
+    for (plan, r) in manifest.runs.iter().zip(results) {
+        let minutes = r.duration_s / 60.0;
+        table.row(vec![
+            fmt_f(plan.config.speed_limit),
+            fmt_f((r.joins + r.leaves) as f64 / minutes),
+            fmt_f(r.completion_rate * 100.0),
+            fmt_f(r.latency_p95_ms),
+            fmt_f(r.offers_sent as f64 / r.tasks_submitted.max(1) as f64),
+        ]);
+    }
+    ExperimentResult::table_only(table)
+}
+
+// --- T9: RQ3 — integrity under byzantine executors, with replicates ---
+
+fn t9_spec(quick: bool) -> SweepSpec<ScenarioConfig> {
+    let fractions: &[f64] = if quick {
+        &[0.0, 0.3]
+    } else {
+        &[0.0, 0.1, 0.2, 0.3, 0.4]
+    };
+    let replicates = if quick { 2 } else { 4 };
+    SweepSpec::new(ScenarioConfig {
+        vehicles: 14,
+        ..base(quick)
+    })
+    .axis(
+        "byzantine_pct",
+        fractions.iter().map(|f| Pct(*f)).collect::<Vec<_>>(),
+        |cfg, p| {
+            cfg.byzantine_fraction = p.0;
+        },
+    )
+    .axis("redundancy", vec![1usize, 3], |cfg, &r| {
+        cfg.orch.redundancy = r;
+        cfg.orch.max_candidates = r + 2;
+    })
+    .replicates(replicates)
+    .seed_mode(SeedMode::PerReplicate)
+    .base_seed(109)
+    .seed_with(|cfg, seed| cfg.seed = seed)
+}
+
+/// A fraction labelled as a percentage on its sweep axis.
+struct Pct(f64);
+
+impl std::fmt::Display for Pct {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0 * 100.0)
+    }
+}
+
+fn t9_tabulate(
+    manifest: &Manifest<ScenarioConfig>,
+    results: &[ScenarioReport],
+) -> ExperimentResult {
+    let mut table = Table::new(
+        "T9",
+        "byzantine tolerance: redundancy + reputation (RQ3)",
+        &["byz %", "redundancy", "done %", "bad accepted", "p95 ms"],
+    );
+    for cell in 0..manifest.cell_count {
+        let plans = manifest.cell_runs(cell);
+        let cell_results = manifest.cell_results(results, cell);
+        let n = cell_results.len() as f64;
+        let done: f64 = cell_results.iter().map(|r| r.completion_rate).sum::<f64>() / n;
+        let p95 = cell_results
+            .iter()
+            .map(|r| r.latency_p95_ms)
+            .fold(0.0, f64::max);
+        let bad: u64 = cell_results
+            .iter()
+            .map(|r| r.invalid_results_accepted)
+            .sum();
+        let submitted: u64 = cell_results.iter().map(|r| r.tasks_submitted).sum();
+        let cfg = &plans[0].config;
+        table.row(vec![
+            fmt_f(cfg.byzantine_fraction * 100.0),
+            cfg.orch.redundancy.to_string(),
+            fmt_f(done * 100.0),
+            format!(
+                "{bad} ({:.1}%)",
+                bad as f64 / submitted.max(1) as f64 * 100.0
+            ),
+            fmt_f(p95),
+        ]);
+    }
+    ExperimentResult::table_only(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The `exp::*` delegates look sweeps up by string at runtime
+    /// (`run_named`); pin both registries together so a rename fails here
+    /// in unit tests instead of panicking mid-suite in `run_experiments`.
+    #[test]
+    fn sweep_registry_matches_exp_registry() {
+        let exp_names: Vec<&str> = crate::exp::registry()
+            .iter()
+            .map(|(name, _)| *name)
+            .collect();
+        for sweep in registry() {
+            assert!(
+                exp_names.contains(&sweep.name),
+                "sweep `{}` has no exp::registry entry",
+                sweep.name
+            );
+            assert!(find(sweep.name).is_some());
+        }
+        let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
+        assert_eq!(names, ["f1", "f2", "f4", "f7", "t9"]);
+    }
+
+    /// Grid shapes: quick and full expansions match the hand-rolled loops
+    /// they replaced.
+    #[test]
+    fn grid_shapes_match_the_original_loops() {
+        assert_eq!(f1_spec(true).manifest().len(), 3);
+        assert_eq!(f1_spec(false).manifest().len(), 5);
+        assert_eq!(f2_spec(true).manifest().len(), 3); // 1 fleet size × 3 strategies
+        assert_eq!(f2_spec(false).manifest().len(), 4 * 3);
+        assert_eq!(f4_spec(true).manifest().len(), 2 * 2);
+        assert_eq!(f4_spec(false).manifest().len(), 6 * 2);
+        assert_eq!(f7_spec(true).manifest().len(), 2);
+        assert_eq!(f7_spec(false).manifest().len(), 5);
+        // T9: fractions × redundancy × seed replicates.
+        assert_eq!(t9_spec(true).manifest().len(), 2 * 2 * 2);
+        assert_eq!(t9_spec(false).manifest().len(), 5 * 2 * 4);
+    }
+}

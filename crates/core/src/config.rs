@@ -24,14 +24,26 @@ pub struct SelectionWeights {
 impl Default for SelectionWeights {
     /// The full AirDnD blend.
     fn default() -> Self {
-        SelectionWeights { compute: 1.0, link: 0.8, data: 1.0, trust: 0.6, in_range: 0.8 }
+        SelectionWeights {
+            compute: 1.0,
+            link: 0.8,
+            data: 1.0,
+            trust: 0.6,
+            in_range: 0.8,
+        }
     }
 }
 
 impl SelectionWeights {
     /// Compute only — the naive "fastest node wins" policy.
     pub fn compute_only() -> Self {
-        SelectionWeights { compute: 1.0, link: 0.0, data: 0.0, trust: 0.0, in_range: 0.0 }
+        SelectionWeights {
+            compute: 1.0,
+            link: 0.0,
+            data: 0.0,
+            trust: 0.0,
+            in_range: 0.0,
+        }
     }
 
     /// Sum of all weights.
@@ -92,7 +104,9 @@ mod tests {
     #[test]
     fn default_weights_enable_everything() {
         let w = SelectionWeights::default();
-        assert!(w.compute > 0.0 && w.link > 0.0 && w.data > 0.0 && w.trust > 0.0 && w.in_range > 0.0);
+        assert!(
+            w.compute > 0.0 && w.link > 0.0 && w.data > 0.0 && w.trust > 0.0 && w.in_range > 0.0
+        );
         assert!(w.total() > 0.0);
     }
 

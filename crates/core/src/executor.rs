@@ -206,7 +206,10 @@ impl ExecutorSim {
         let reserved = self.running.remove(&task_id).unwrap_or(0);
         self.queued_gas = self.queued_gas.saturating_sub(reserved);
         let verified = verify(task.program.clone()).map_err(|_| Trap::OutOfGas { limit: 0 })?;
-        let limits = ExecLimits { max_gas: task.requirements.gas, max_outputs: 65_536 };
+        let limits = ExecLimits {
+            max_gas: task.requirements.gas,
+            max_outputs: 65_536,
+        };
         let start = self.busy_until.max(now);
         match execute(&verified, inputs, limits) {
             Ok(exec) => {
@@ -225,7 +228,11 @@ impl ExecutorSim {
                         outputs.push(0x0BAD);
                     }
                 }
-                Ok(ExecutionResult { finish, outputs, gas_used: exec.gas_used })
+                Ok(ExecutionResult {
+                    finish,
+                    outputs,
+                    gas_used: exec.gas_used,
+                })
             }
             Err(trap) => {
                 // Charge the declared budget: a trapping task still burned time.
@@ -273,13 +280,14 @@ mod tests {
     use airdnd_task::{library, Program, ResourceRequirements, TaskId};
 
     fn task_with_gas(gas: u64) -> TaskSpec {
-        TaskSpec::new(TaskId::new(1), "sum", library::sum_inputs().into_inner())
-            .with_requirements(ResourceRequirements {
+        TaskSpec::new(TaskId::new(1), "sum", library::sum_inputs().into_inner()).with_requirements(
+            ResourceRequirements {
                 gas,
                 memory_bytes: 1 << 20,
                 deadline: SimDuration::from_secs(2),
                 ..Default::default()
-            })
+            },
+        )
     }
 
     fn stocked_catalog(now: SimTime) -> (DataCatalog, BTreeMap<u64, Vec<i64>>) {
@@ -303,9 +311,17 @@ mod tests {
         let exec = ExecutorSim::new(1_000_000, 1 << 30);
         let now = SimTime::from_secs(1);
         let (catalog, _) = stocked_catalog(now);
-        let task = task_with_gas(500_000)
-            .with_input(DataQuery::of_type(DataType::OccupancyGrid));
-        let eta = exec.admit(now, &task, &catalog, &permissive_privacy(), PrivacyLevel::Derived, 2.0).unwrap();
+        let task = task_with_gas(500_000).with_input(DataQuery::of_type(DataType::OccupancyGrid));
+        let eta = exec
+            .admit(
+                now,
+                &task,
+                &catalog,
+                &permissive_privacy(),
+                PrivacyLevel::Derived,
+                2.0,
+            )
+            .unwrap();
         assert_eq!(eta, now + SimDuration::from_millis(500));
     }
 
@@ -333,14 +349,28 @@ mod tests {
         let mut bad_program = base.clone();
         bad_program.program = Program::new(vec![airdnd_task::Instr::Pop], 0);
         assert_eq!(
-            exec.admit(now, &bad_program, &catalog, &privacy, PrivacyLevel::Derived, 2.0),
+            exec.admit(
+                now,
+                &bad_program,
+                &catalog,
+                &privacy,
+                PrivacyLevel::Derived,
+                2.0
+            ),
             Err(DeclineReason::ProgramInvalid)
         );
 
         let mut wrong_data = base.clone();
         wrong_data.inputs[0].data_type = DataType::TrackList;
         assert_eq!(
-            exec.admit(now, &wrong_data, &catalog, &privacy, PrivacyLevel::Derived, 2.0),
+            exec.admit(
+                now,
+                &wrong_data,
+                &catalog,
+                &privacy,
+                PrivacyLevel::Derived,
+                2.0
+            ),
             Err(DeclineReason::DataUnavailable)
         );
 
@@ -360,11 +390,27 @@ mod tests {
         // 5 s of backlog vs 2 s deadline × factor 2 = 4 s bound → overload.
         exec.reserve(99, 5_000_000);
         assert_eq!(
-            exec.admit(now, &task, &catalog, &permissive_privacy(), PrivacyLevel::Derived, 2.0),
+            exec.admit(
+                now,
+                &task,
+                &catalog,
+                &permissive_privacy(),
+                PrivacyLevel::Derived,
+                2.0
+            ),
             Err(DeclineReason::Overloaded)
         );
         exec.cancel(99);
-        assert!(exec.admit(now, &task, &catalog, &permissive_privacy(), PrivacyLevel::Derived, 2.0).is_ok());
+        assert!(exec
+            .admit(
+                now,
+                &task,
+                &catalog,
+                &permissive_privacy(),
+                PrivacyLevel::Derived,
+                2.0
+            )
+            .is_ok());
     }
 
     #[test]
@@ -411,7 +457,11 @@ mod tests {
         // Divide by zero traps immediately.
         let mut task = task_with_gas(5_000);
         task.program = Program::new(
-            vec![airdnd_task::Instr::Push(1), airdnd_task::Instr::Push(0), airdnd_task::Instr::Div],
+            vec![
+                airdnd_task::Instr::Push(1),
+                airdnd_task::Instr::Push(0),
+                airdnd_task::Instr::Div,
+            ],
             0,
         );
         let before = exec.eta(SimTime::ZERO, 0);
@@ -425,7 +475,11 @@ mod tests {
     fn gather_inputs_concatenates_in_query_order() {
         let now = SimTime::from_secs(1);
         let (mut catalog, mut store) = stocked_catalog(now);
-        let id2 = catalog.insert(DataType::TrackList, 16, QualityDescriptor::basic(now, 0.9, 2.0));
+        let id2 = catalog.insert(
+            DataType::TrackList,
+            16,
+            QualityDescriptor::basic(now, 0.9, 2.0),
+        );
         store.insert(id2.raw(), vec![9, 9]);
         let queries = [
             DataQuery::of_type(DataType::TrackList),

@@ -225,7 +225,10 @@ impl OrchestratorNode {
         for action in actions {
             match action {
                 MeshAction::Broadcast(msg) => out.push(NodeAction::Broadcast(WireMsg::Mesh(msg))),
-                MeshAction::Unicast(to, msg) => out.push(NodeAction::Send { to, msg: WireMsg::Mesh(msg) }),
+                MeshAction::Unicast(to, msg) => out.push(NodeAction::Send {
+                    to,
+                    msg: WireMsg::Mesh(msg),
+                }),
                 MeshAction::Joined(addr) => out.push(NodeAction::MeshJoined(addr)),
                 MeshAction::Left(addr) => out.push(NodeAction::MeshLeft(addr)),
             }
@@ -240,9 +243,14 @@ impl OrchestratorNode {
         for directive in directives {
             match directive {
                 RequesterDirective::SendOffer { to, task } => {
-                    let Some(spec) = self.requester.spec(task) else { continue };
-                    let output_level =
-                        self.task_levels.get(&task).copied().unwrap_or(PrivacyLevel::Derived);
+                    let Some(spec) = self.requester.spec(task) else {
+                        continue;
+                    };
+                    let output_level = self
+                        .task_levels
+                        .get(&task)
+                        .copied()
+                        .unwrap_or(PrivacyLevel::Derived);
                     self.stats.offers_sent += 1;
                     out.push(NodeAction::Send {
                         to,
@@ -277,8 +285,14 @@ impl OrchestratorNode {
     ) -> Vec<NodeAction> {
         self.stats.submitted += 1;
         let descriptor = self.descriptor(now);
-        let scores =
-            score_candidates(&spec, &descriptor, self.velocity, &self.trust, &self.cfg, now);
+        let scores = score_candidates(
+            &spec,
+            &descriptor,
+            self.velocity,
+            &self.trust,
+            &self.cfg,
+            now,
+        );
         let ranked: Vec<NodeAddr> = scores.iter().map(|s| s.addr).collect();
         self.task_levels.insert(spec.id, output_level);
         // Spot-check escalation (RQ3): occasionally double up execution to
@@ -339,8 +353,7 @@ impl OrchestratorNode {
                     Ok(eta) => {
                         let task_id = task.id;
                         self.executor.reserve(task_id.raw(), task.requirements.gas);
-                        let inputs =
-                            gather_inputs(&self.catalog, &self.store, &task.inputs, now);
+                        let inputs = gather_inputs(&self.catalog, &self.store, &task.inputs, now);
                         let Some(inputs) = inputs else {
                             self.executor.cancel(task_id.raw());
                             self.stats.offers_declined += 1;
@@ -359,7 +372,10 @@ impl OrchestratorNode {
                                 self.stats.results_returned += 1;
                                 out.push(NodeAction::Send {
                                     to: from,
-                                    msg: WireMsg::Offload(OffloadMsg::Accept { task: task_id, eta }),
+                                    msg: WireMsg::Offload(OffloadMsg::Accept {
+                                        task: task_id,
+                                        eta,
+                                    }),
                                 });
                                 out.push(NodeAction::SendAt {
                                     to: from,
@@ -387,7 +403,10 @@ impl OrchestratorNode {
                         self.stats.offers_declined += 1;
                         out.push(NodeAction::Send {
                             to: from,
-                            msg: WireMsg::Offload(OffloadMsg::Decline { task: task.id, reason }),
+                            msg: WireMsg::Offload(OffloadMsg::Decline {
+                                task: task.id,
+                                reason,
+                            }),
                         });
                     }
                 }
@@ -402,9 +421,14 @@ impl OrchestratorNode {
                 let directives = self.requester.on_decline(now, from, task, &cfg);
                 self.map_requester_directives(directives, out);
             }
-            OffloadMsg::Result { task, outputs, gas_used } => {
+            OffloadMsg::Result {
+                task,
+                outputs,
+                gas_used,
+            } => {
                 let directives =
-                    self.requester.on_result(now, from, task, outputs, gas_used, &mut self.trust);
+                    self.requester
+                        .on_result(now, from, task, outputs, gas_used, &mut self.trust);
                 self.map_requester_directives(directives, out);
             }
             OffloadMsg::Cancel { task } => {
@@ -457,7 +481,11 @@ mod tests {
 
     impl Harness {
         fn new(nodes: Vec<OrchestratorNode>) -> Self {
-            Harness { nodes, delayed: Vec::new(), outcomes: Vec::new() }
+            Harness {
+                nodes,
+                delayed: Vec::new(),
+                outcomes: Vec::new(),
+            }
         }
 
         fn index_of(&self, addr: NodeAddr) -> Option<usize> {
@@ -509,7 +537,9 @@ mod tests {
                             let src_idx = self.index_of(dst_addr).expect("self");
                             self.delayed.push((src_idx, to, at, msg));
                         }
-                        NodeAction::Outcome { task, outcome } => self.outcomes.push((task, outcome)),
+                        NodeAction::Outcome { task, outcome } => {
+                            self.outcomes.push((task, outcome))
+                        }
                         NodeAction::MeshJoined(_) | NodeAction::MeshLeft(_) => {}
                     }
                 }
@@ -544,7 +574,11 @@ mod tests {
         let requester = node(1, 1_000_000);
         let mut helper = node(2, 2_000_000);
         let t0 = SimTime::ZERO;
-        helper.insert_data(DataType::OccupancyGrid, vec![1, 0, 5, 0, 0, 2, 3, 9], grid_quality(t0));
+        helper.insert_data(
+            DataType::OccupancyGrid,
+            vec![1, 0, 5, 0, 0, 2, 3, 9],
+            grid_quality(t0),
+        );
         let mut h = Harness::new(vec![requester, helper]);
 
         // Mesh formation.
@@ -566,7 +600,12 @@ mod tests {
         }
         assert_eq!(h.outcomes.len(), 1, "task must terminate");
         match &h.outcomes[0].1 {
-            TaskOutcome::Completed { outputs, executors, verified, .. } => {
+            TaskOutcome::Completed {
+                outputs,
+                executors,
+                verified,
+                ..
+            } => {
                 // grid_fuse(4) over the helper's single 8-word item (two
                 // concatenated grids).
                 assert_eq!(outputs, &vec![1, 2, 5, 9]);
@@ -590,7 +629,10 @@ mod tests {
         let actions = lone.submit_task(SimTime::ZERO, fuse_task(1), PrivacyLevel::Derived);
         assert!(actions.iter().any(|a| matches!(
             a,
-            NodeAction::Outcome { outcome: TaskOutcome::Failed { .. }, .. }
+            NodeAction::Outcome {
+                outcome: TaskOutcome::Failed { .. },
+                ..
+            }
         )));
         assert_eq!(lone.stats().failed_no_candidates, 1);
     }
@@ -636,7 +678,11 @@ mod tests {
         let data = vec![1, 0, 5, 0, 0, 2, 3, 9];
         let mut helpers: Vec<OrchestratorNode> = (2..=4).map(|i| node(i, 2_000_000)).collect();
         for helper in &mut helpers {
-            helper.insert_data(DataType::OccupancyGrid, data.clone(), grid_quality(SimTime::ZERO));
+            helper.insert_data(
+                DataType::OccupancyGrid,
+                data.clone(),
+                grid_quality(SimTime::ZERO),
+            );
         }
         helpers[2].executor_mut().set_byzantine(true);
         let mut nodes = vec![requester];
@@ -655,7 +701,12 @@ mod tests {
             }
         }
         match &h.outcomes[0].1 {
-            TaskOutcome::Completed { outputs, verified, executors, .. } => {
+            TaskOutcome::Completed {
+                outputs,
+                verified,
+                executors,
+                ..
+            } => {
                 assert_eq!(outputs, &vec![1, 2, 5, 9], "honest majority wins");
                 assert!(verified);
                 assert_eq!(executors.len(), 2);
@@ -669,14 +720,22 @@ mod tests {
     #[test]
     fn data_insertion_feeds_catalog_and_advert() {
         let mut n = node(1, 1_000_000);
-        n.insert_data(DataType::OccupancyGrid, vec![0; 16], grid_quality(SimTime::ZERO));
+        n.insert_data(
+            DataType::OccupancyGrid,
+            vec![0; 16],
+            grid_quality(SimTime::ZERO),
+        );
         let actions = n.handle(SimTime::from_millis(100), NodeEvent::Tick);
         let beacon = actions.iter().find_map(|a| match a {
             NodeAction::Broadcast(WireMsg::Mesh(MeshMsg::Beacon(b))) => Some(b),
             _ => None,
         });
         let beacon = beacon.expect("tick emits a beacon");
-        assert!(beacon.advert.catalog.digest(DataType::OccupancyGrid).is_some());
+        assert!(beacon
+            .advert
+            .catalog
+            .digest(DataType::OccupancyGrid)
+            .is_some());
         assert!(beacon.advert.accepting);
         assert_eq!(beacon.advert.gas_rate, 1_000_000);
     }

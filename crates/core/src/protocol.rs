@@ -193,7 +193,9 @@ impl RequesterBook {
         if ranked.is_empty() {
             return vec![RequesterDirective::Finished {
                 task: id,
-                outcome: TaskOutcome::Failed { reason: FailReason::NoCandidates },
+                outcome: TaskOutcome::Failed {
+                    reason: FailReason::NoCandidates,
+                },
             }];
         }
         let deadline_at = now + spec.requirements.deadline;
@@ -219,7 +221,9 @@ impl RequesterBook {
         if directives.is_empty() {
             return vec![RequesterDirective::Finished {
                 task: id,
-                outcome: TaskOutcome::Failed { reason: FailReason::NoCandidates },
+                outcome: TaskOutcome::Failed {
+                    reason: FailReason::NoCandidates,
+                },
             }];
         }
         self.tasks.insert(id, pending);
@@ -275,8 +279,16 @@ impl RequesterBook {
         if let Some(next) = Self::next_candidate(pending, cfg) {
             pending.outstanding.insert(next, now);
             directives.push(RequesterDirective::SendOffer { to: next, task });
-        } else if pending.outstanding.is_empty() && pending.accepted.is_empty() && pending.results.is_empty() {
-            directives.extend(self.finish(task, TaskOutcome::Failed { reason: FailReason::AllDeclined }));
+        } else if pending.outstanding.is_empty()
+            && pending.accepted.is_empty()
+            && pending.results.is_empty()
+        {
+            directives.extend(self.finish(
+                task,
+                TaskOutcome::Failed {
+                    reason: FailReason::AllDeclined,
+                },
+            ));
         }
         directives
     }
@@ -324,7 +336,12 @@ impl RequesterBook {
             trust.record(addr.raw(), true);
             return self.finish(
                 task,
-                TaskOutcome::Completed { outputs, executors: vec![addr], latency, verified: false },
+                TaskOutcome::Completed {
+                    outputs,
+                    executors: vec![addr],
+                    latency,
+                    verified: false,
+                },
             );
         }
         let votes: Vec<(u64, airdnd_trust::Digest)> = results
@@ -333,7 +350,11 @@ impl RequesterBook {
             .collect();
         let min_votes = results.len() / 2 + 1;
         match majority_vote(&votes, min_votes) {
-            Verdict::Accepted { digest, agreeing, dissenting } => {
+            Verdict::Accepted {
+                digest,
+                agreeing,
+                dissenting,
+            } => {
                 for &node in &agreeing {
                     trust.record(node, true);
                 }
@@ -348,14 +369,24 @@ impl RequesterBook {
                 let executors = agreeing.iter().map(|&n| NodeAddr::new(n)).collect();
                 self.finish(
                     task,
-                    TaskOutcome::Completed { outputs, executors, latency, verified: true },
+                    TaskOutcome::Completed {
+                        outputs,
+                        executors,
+                        latency,
+                        verified: true,
+                    },
                 )
             }
             Verdict::Inconclusive { .. } => {
                 for (addr, _, _) in &results {
                     trust.record(addr.raw(), false);
                 }
-                self.finish(task, TaskOutcome::Failed { reason: FailReason::VerificationFailed })
+                self.finish(
+                    task,
+                    TaskOutcome::Failed {
+                        reason: FailReason::VerificationFailed,
+                    },
+                )
             }
         }
     }
@@ -390,9 +421,12 @@ impl RequesterBook {
                 if has_results {
                     directives.extend(self.conclude(now, id, trust));
                 } else {
-                    directives.extend(
-                        self.finish(id, TaskOutcome::Failed { reason: FailReason::DeadlineExpired }),
-                    );
+                    directives.extend(self.finish(
+                        id,
+                        TaskOutcome::Failed {
+                            reason: FailReason::DeadlineExpired,
+                        },
+                    ));
                 }
                 continue;
             }
@@ -428,9 +462,12 @@ impl RequesterBook {
                 }
                 if p.outstanding.is_empty() && p.accepted.is_empty() {
                     if p.results.is_empty() {
-                        directives.extend(
-                            self.finish(id, TaskOutcome::Failed { reason: FailReason::AllDeclined }),
-                        );
+                        directives.extend(self.finish(
+                            id,
+                            TaskOutcome::Failed {
+                                reason: FailReason::AllDeclined,
+                            },
+                        ));
                     } else {
                         // Partial results and nobody left to wait for.
                         directives.extend(self.conclude(now, id, trust));
@@ -449,11 +486,15 @@ mod tests {
     use airdnd_task::{Program, ResourceRequirements};
 
     fn spec(id: u64) -> TaskSpec {
-        TaskSpec::new(TaskId::new(id), "t", Program::new(vec![airdnd_task::Instr::Halt], 0))
-            .with_requirements(ResourceRequirements {
-                deadline: SimDuration::from_secs(2),
-                ..Default::default()
-            })
+        TaskSpec::new(
+            TaskId::new(id),
+            "t",
+            Program::new(vec![airdnd_task::Instr::Halt], 0),
+        )
+        .with_requirements(ResourceRequirements {
+            deadline: SimDuration::from_secs(2),
+            ..Default::default()
+        })
     }
 
     fn addrs(ids: &[u64]) -> Vec<NodeAddr> {
@@ -468,7 +509,13 @@ mod tests {
     fn submit_offers_to_best_candidate() {
         let mut book = RequesterBook::new();
         let d = book.submit(SimTime::ZERO, spec(1), addrs(&[5, 6, 7]), &cfg());
-        assert_eq!(d, vec![RequesterDirective::SendOffer { to: NodeAddr::new(5), task: TaskId::new(1) }]);
+        assert_eq!(
+            d,
+            vec![RequesterDirective::SendOffer {
+                to: NodeAddr::new(5),
+                task: TaskId::new(1)
+            }]
+        );
         assert_eq!(book.len(), 1);
     }
 
@@ -478,7 +525,12 @@ mod tests {
         let d = book.submit(SimTime::ZERO, spec(1), vec![], &cfg());
         assert!(matches!(
             d.as_slice(),
-            [RequesterDirective::Finished { outcome: TaskOutcome::Failed { reason: FailReason::NoCandidates }, .. }]
+            [RequesterDirective::Finished {
+                outcome: TaskOutcome::Failed {
+                    reason: FailReason::NoCandidates
+                },
+                ..
+            }]
         ));
         assert!(book.is_empty());
     }
@@ -489,10 +541,32 @@ mod tests {
         let mut trust = ReputationTable::default();
         let c = cfg();
         book.submit(SimTime::ZERO, spec(1), addrs(&[5]), &c);
-        book.on_accept(SimTime::from_millis(50), NodeAddr::new(5), TaskId::new(1), SimTime::from_millis(300), &c);
-        let d = book.on_result(SimTime::from_millis(320), NodeAddr::new(5), TaskId::new(1), vec![42], 100, &mut trust);
+        book.on_accept(
+            SimTime::from_millis(50),
+            NodeAddr::new(5),
+            TaskId::new(1),
+            SimTime::from_millis(300),
+            &c,
+        );
+        let d = book.on_result(
+            SimTime::from_millis(320),
+            NodeAddr::new(5),
+            TaskId::new(1),
+            vec![42],
+            100,
+            &mut trust,
+        );
         match d.as_slice() {
-            [RequesterDirective::Finished { outcome: TaskOutcome::Completed { outputs, verified, latency, .. }, .. }] => {
+            [RequesterDirective::Finished {
+                outcome:
+                    TaskOutcome::Completed {
+                        outputs,
+                        verified,
+                        latency,
+                        ..
+                    },
+                ..
+            }] => {
                 assert_eq!(outputs, &vec![42]);
                 assert!(!verified);
                 assert_eq!(*latency, SimDuration::from_millis(320));
@@ -508,13 +582,34 @@ mod tests {
         let mut book = RequesterBook::new();
         let c = cfg();
         book.submit(SimTime::ZERO, spec(1), addrs(&[5, 6]), &c);
-        let d = book.on_decline(SimTime::from_millis(10), NodeAddr::new(5), TaskId::new(1), &c);
-        assert_eq!(d, vec![RequesterDirective::SendOffer { to: NodeAddr::new(6), task: TaskId::new(1) }]);
+        let d = book.on_decline(
+            SimTime::from_millis(10),
+            NodeAddr::new(5),
+            TaskId::new(1),
+            &c,
+        );
+        assert_eq!(
+            d,
+            vec![RequesterDirective::SendOffer {
+                to: NodeAddr::new(6),
+                task: TaskId::new(1)
+            }]
+        );
         // Exhausting the list fails the task.
-        let d = book.on_decline(SimTime::from_millis(20), NodeAddr::new(6), TaskId::new(1), &c);
+        let d = book.on_decline(
+            SimTime::from_millis(20),
+            NodeAddr::new(6),
+            TaskId::new(1),
+            &c,
+        );
         assert!(matches!(
             d.as_slice(),
-            [RequesterDirective::Finished { outcome: TaskOutcome::Failed { reason: FailReason::AllDeclined }, .. }]
+            [RequesterDirective::Finished {
+                outcome: TaskOutcome::Failed {
+                    reason: FailReason::AllDeclined
+                },
+                ..
+            }]
         ));
     }
 
@@ -526,7 +621,13 @@ mod tests {
         book.submit(SimTime::ZERO, spec(1), addrs(&[5, 6]), &c);
         // Past the 200 ms offer timeout.
         let d = book.on_tick(SimTime::from_millis(250), &c, &mut trust);
-        assert_eq!(d, vec![RequesterDirective::SendOffer { to: NodeAddr::new(6), task: TaskId::new(1) }]);
+        assert_eq!(
+            d,
+            vec![RequesterDirective::SendOffer {
+                to: NodeAddr::new(6),
+                task: TaskId::new(1)
+            }]
+        );
     }
 
     #[test]
@@ -535,10 +636,22 @@ mod tests {
         let mut trust = ReputationTable::default();
         let c = cfg();
         book.submit(SimTime::ZERO, spec(1), addrs(&[5, 6]), &c);
-        book.on_accept(SimTime::from_millis(10), NodeAddr::new(5), TaskId::new(1), SimTime::from_millis(100), &c);
+        book.on_accept(
+            SimTime::from_millis(10),
+            NodeAddr::new(5),
+            TaskId::new(1),
+            SimTime::from_millis(100),
+            &c,
+        );
         // Result due at 100 + 500 grace = 600 ms; tick at 700.
         let d = book.on_tick(SimTime::from_millis(700), &c, &mut trust);
-        assert_eq!(d, vec![RequesterDirective::SendOffer { to: NodeAddr::new(6), task: TaskId::new(1) }]);
+        assert_eq!(
+            d,
+            vec![RequesterDirective::SendOffer {
+                to: NodeAddr::new(6),
+                task: TaskId::new(1)
+            }]
+        );
         assert!(trust.score(5) < 0.5, "silent executor is penalized");
     }
 
@@ -548,12 +661,26 @@ mod tests {
         let mut trust = ReputationTable::default();
         let c = cfg();
         book.submit(SimTime::ZERO, spec(1), addrs(&[5]), &c);
-        book.on_accept(SimTime::from_millis(10), NodeAddr::new(5), TaskId::new(1), SimTime::from_secs(10), &c);
+        book.on_accept(
+            SimTime::from_millis(10),
+            NodeAddr::new(5),
+            TaskId::new(1),
+            SimTime::from_secs(10),
+            &c,
+        );
         let d = book.on_tick(SimTime::from_secs(3), &c, &mut trust);
-        assert!(d.contains(&RequesterDirective::SendCancel { to: NodeAddr::new(5), task: TaskId::new(1) }));
+        assert!(d.contains(&RequesterDirective::SendCancel {
+            to: NodeAddr::new(5),
+            task: TaskId::new(1)
+        }));
         assert!(d.iter().any(|x| matches!(
             x,
-            RequesterDirective::Finished { outcome: TaskOutcome::Failed { reason: FailReason::DeadlineExpired }, .. }
+            RequesterDirective::Finished {
+                outcome: TaskOutcome::Failed {
+                    reason: FailReason::DeadlineExpired
+                },
+                ..
+            }
         )));
     }
 
@@ -561,17 +688,57 @@ mod tests {
     fn redundant_agreement_verifies() {
         let mut book = RequesterBook::new();
         let mut trust = ReputationTable::default();
-        let c = OrchestratorConfig { redundancy: 3, max_candidates: 5, ..cfg() };
+        let c = OrchestratorConfig {
+            redundancy: 3,
+            max_candidates: 5,
+            ..cfg()
+        };
         let d = book.submit(SimTime::ZERO, spec(1), addrs(&[5, 6, 7, 8]), &c);
         assert_eq!(d.len(), 3, "three parallel offers");
         for n in [5, 6, 7] {
-            book.on_accept(SimTime::from_millis(10), NodeAddr::new(n), TaskId::new(1), SimTime::from_millis(100), &c);
+            book.on_accept(
+                SimTime::from_millis(10),
+                NodeAddr::new(n),
+                TaskId::new(1),
+                SimTime::from_millis(100),
+                &c,
+            );
         }
-        book.on_result(SimTime::from_millis(100), NodeAddr::new(5), TaskId::new(1), vec![1, 2], 10, &mut trust);
-        book.on_result(SimTime::from_millis(110), NodeAddr::new(6), TaskId::new(1), vec![1, 2], 10, &mut trust);
-        let d = book.on_result(SimTime::from_millis(120), NodeAddr::new(7), TaskId::new(1), vec![9, 9], 10, &mut trust);
+        book.on_result(
+            SimTime::from_millis(100),
+            NodeAddr::new(5),
+            TaskId::new(1),
+            vec![1, 2],
+            10,
+            &mut trust,
+        );
+        book.on_result(
+            SimTime::from_millis(110),
+            NodeAddr::new(6),
+            TaskId::new(1),
+            vec![1, 2],
+            10,
+            &mut trust,
+        );
+        let d = book.on_result(
+            SimTime::from_millis(120),
+            NodeAddr::new(7),
+            TaskId::new(1),
+            vec![9, 9],
+            10,
+            &mut trust,
+        );
         match d.as_slice() {
-            [RequesterDirective::Finished { outcome: TaskOutcome::Completed { outputs, executors, verified, .. }, .. }] => {
+            [RequesterDirective::Finished {
+                outcome:
+                    TaskOutcome::Completed {
+                        outputs,
+                        executors,
+                        verified,
+                        ..
+                    },
+                ..
+            }] => {
                 assert_eq!(outputs, &vec![1, 2]);
                 assert!(verified);
                 assert_eq!(executors.len(), 2);
@@ -586,16 +753,44 @@ mod tests {
     fn redundant_disagreement_fails_verification() {
         let mut book = RequesterBook::new();
         let mut trust = ReputationTable::default();
-        let c = OrchestratorConfig { redundancy: 2, ..cfg() };
+        let c = OrchestratorConfig {
+            redundancy: 2,
+            ..cfg()
+        };
         book.submit(SimTime::ZERO, spec(1), addrs(&[5, 6]), &c);
         for n in [5, 6] {
-            book.on_accept(SimTime::from_millis(10), NodeAddr::new(n), TaskId::new(1), SimTime::from_millis(100), &c);
+            book.on_accept(
+                SimTime::from_millis(10),
+                NodeAddr::new(n),
+                TaskId::new(1),
+                SimTime::from_millis(100),
+                &c,
+            );
         }
-        book.on_result(SimTime::from_millis(100), NodeAddr::new(5), TaskId::new(1), vec![1], 10, &mut trust);
-        let d = book.on_result(SimTime::from_millis(110), NodeAddr::new(6), TaskId::new(1), vec![2], 10, &mut trust);
+        book.on_result(
+            SimTime::from_millis(100),
+            NodeAddr::new(5),
+            TaskId::new(1),
+            vec![1],
+            10,
+            &mut trust,
+        );
+        let d = book.on_result(
+            SimTime::from_millis(110),
+            NodeAddr::new(6),
+            TaskId::new(1),
+            vec![2],
+            10,
+            &mut trust,
+        );
         assert!(matches!(
             d.as_slice(),
-            [RequesterDirective::Finished { outcome: TaskOutcome::Failed { reason: FailReason::VerificationFailed }, .. }]
+            [RequesterDirective::Finished {
+                outcome: TaskOutcome::Failed {
+                    reason: FailReason::VerificationFailed
+                },
+                ..
+            }]
         ));
     }
 
@@ -603,8 +798,20 @@ mod tests {
     fn late_accept_gets_cancelled() {
         let mut book = RequesterBook::new();
         let c = cfg();
-        let d = book.on_accept(SimTime::ZERO, NodeAddr::new(9), TaskId::new(77), SimTime::from_secs(1), &c);
-        assert_eq!(d, vec![RequesterDirective::SendCancel { to: NodeAddr::new(9), task: TaskId::new(77) }]);
+        let d = book.on_accept(
+            SimTime::ZERO,
+            NodeAddr::new(9),
+            TaskId::new(77),
+            SimTime::from_secs(1),
+            &c,
+        );
+        assert_eq!(
+            d,
+            vec![RequesterDirective::SendCancel {
+                to: NodeAddr::new(9),
+                task: TaskId::new(77)
+            }]
+        );
     }
 
     #[test]
@@ -613,7 +820,14 @@ mod tests {
         let mut trust = ReputationTable::default();
         let c = cfg();
         book.submit(SimTime::ZERO, spec(1), addrs(&[5]), &c);
-        let d = book.on_result(SimTime::from_millis(10), NodeAddr::new(6), TaskId::new(1), vec![1], 10, &mut trust);
+        let d = book.on_result(
+            SimTime::from_millis(10),
+            NodeAddr::new(6),
+            TaskId::new(1),
+            vec![1],
+            10,
+            &mut trust,
+        );
         assert!(d.is_empty());
         assert_eq!(book.len(), 1, "task still pending");
     }
@@ -624,17 +838,42 @@ mod tests {
         // the deadline tick must conclude with that single result.
         let mut book = RequesterBook::new();
         let mut trust = ReputationTable::default();
-        let c = OrchestratorConfig { redundancy: 2, ..cfg() };
+        let c = OrchestratorConfig {
+            redundancy: 2,
+            ..cfg()
+        };
         book.submit(SimTime::ZERO, spec(1), addrs(&[5, 6]), &c);
         for n in [5, 6] {
-            book.on_accept(SimTime::from_millis(10), NodeAddr::new(n), TaskId::new(1), SimTime::from_millis(100), &c);
+            book.on_accept(
+                SimTime::from_millis(10),
+                NodeAddr::new(n),
+                TaskId::new(1),
+                SimTime::from_millis(100),
+                &c,
+            );
         }
-        book.on_result(SimTime::from_millis(100), NodeAddr::new(5), TaskId::new(1), vec![3], 10, &mut trust);
+        book.on_result(
+            SimTime::from_millis(100),
+            NodeAddr::new(5),
+            TaskId::new(1),
+            vec![3],
+            10,
+            &mut trust,
+        );
         let d = book.on_tick(SimTime::from_secs(2), &c, &mut trust);
-        assert!(d.iter().any(|x| matches!(
-            x,
-            RequesterDirective::Finished { outcome: TaskOutcome::Completed { verified: false, .. }, .. }
-        )), "{d:?}");
+        assert!(
+            d.iter().any(|x| matches!(
+                x,
+                RequesterDirective::Finished {
+                    outcome: TaskOutcome::Completed {
+                        verified: false,
+                        ..
+                    },
+                    ..
+                }
+            )),
+            "{d:?}"
+        );
     }
 
     #[test]
@@ -643,7 +882,11 @@ mod tests {
             task: Box::new(spec(1)),
             output_level: airdnd_trust::PrivacyLevel::Derived,
         };
-        let result = OffloadMsg::Result { task: TaskId::new(1), outputs: vec![0; 100], gas_used: 5 };
+        let result = OffloadMsg::Result {
+            task: TaskId::new(1),
+            outputs: vec![0; 100],
+            gas_used: 5,
+        };
         assert!(offer.wire_size_bytes() < 2_000, "task specs stay small");
         assert_eq!(result.wire_size_bytes(), 32 + 800);
     }

@@ -77,7 +77,11 @@ fn summary_data_score(member: &MemberDescriptor, task: &TaskSpec, now: SimTime) 
         if !member.advert.catalog.may_satisfy(query, now) {
             return None;
         }
-        let digest = member.advert.catalog.digest(query.data_type).expect("may_satisfy implies digest");
+        let digest = member
+            .advert
+            .catalog
+            .digest(query.data_type)
+            .expect("may_satisfy implies digest");
         let age = now.saturating_since(digest.freshest);
         let freshness = if query.requirement.max_age.is_zero() {
             1.0
@@ -124,8 +128,8 @@ pub fn score_candidates(
             let data = summary_data_score(m, task, now)?;
 
             // Soft components.
-            let eta_secs =
-                m.advert.backlog_seconds() + task.requirements.gas as f64 / m.advert.gas_rate as f64;
+            let eta_secs = m.advert.backlog_seconds()
+                + task.requirements.gas as f64 / m.advert.gas_rate as f64;
             let compute = (1.0 - eta_secs / deadline_secs).clamp(0.0, 1.0);
             let link = m.link_quality.clamp(0.0, 1.0);
             let t_exit = time_in_range(m, mesh.local_pos, local_vel, cfg.assumed_range_m);
@@ -183,7 +187,13 @@ mod tests {
         cat.summarize()
     }
 
-    fn member(id: u64, gas_rate: u64, backlog: u64, link: f64, fresh_at: SimTime) -> MemberDescriptor {
+    fn member(
+        id: u64,
+        gas_rate: u64,
+        backlog: u64,
+        link: f64,
+        fresh_at: SimTime,
+    ) -> MemberDescriptor {
         MemberDescriptor {
             addr: NodeAddr::new(id),
             pos: Vec2::new(50.0, 0.0),
@@ -211,8 +221,12 @@ mod tests {
     }
 
     fn task() -> TaskSpec {
-        TaskSpec::new(TaskId::new(1), "t", Program::new(vec![airdnd_task::Instr::Halt], 0))
-            .with_input(DataQuery::of_type(DataType::OccupancyGrid))
+        TaskSpec::new(
+            TaskId::new(1),
+            "t",
+            Program::new(vec![airdnd_task::Instr::Halt], 0),
+        )
+        .with_input(DataQuery::of_type(DataType::OccupancyGrid))
     }
 
     fn now() -> SimTime {
@@ -225,7 +239,14 @@ mod tests {
             member(1, 2_000_000, 0, 0.9, now()),
             member(2, 200_000, 0, 0.9, now()),
         ]);
-        let scores = score_candidates(&task(), &m, Vec2::ZERO, &ReputationTable::default(), &OrchestratorConfig::default(), now());
+        let scores = score_candidates(
+            &task(),
+            &m,
+            Vec2::ZERO,
+            &ReputationTable::default(),
+            &OrchestratorConfig::default(),
+            now(),
+        );
         assert_eq!(scores.len(), 2);
         assert_eq!(scores[0].addr, NodeAddr::new(1));
         assert!(scores[0].compute > scores[1].compute);
@@ -238,7 +259,14 @@ mod tests {
             member(1, 1_000_000, 0, 0.9, now()),
             member(2, 1_000_000, 1_500_000, 0.9, now()),
         ]);
-        let scores = score_candidates(&task(), &m, Vec2::ZERO, &ReputationTable::default(), &OrchestratorConfig::default(), now());
+        let scores = score_candidates(
+            &task(),
+            &m,
+            Vec2::ZERO,
+            &ReputationTable::default(),
+            &OrchestratorConfig::default(),
+            now(),
+        );
         assert_eq!(scores[0].addr, NodeAddr::new(1));
     }
 
@@ -248,7 +276,14 @@ mod tests {
         closed.advert.accepting = false;
         let zero = member(2, 0, 0, 0.9, now());
         let m = mesh(vec![closed, zero, member(3, 1_000_000, 0, 0.9, now())]);
-        let scores = score_candidates(&task(), &m, Vec2::ZERO, &ReputationTable::default(), &OrchestratorConfig::default(), now());
+        let scores = score_candidates(
+            &task(),
+            &m,
+            Vec2::ZERO,
+            &ReputationTable::default(),
+            &OrchestratorConfig::default(),
+            now(),
+        );
         assert_eq!(scores.len(), 1);
         assert_eq!(scores[0].addr, NodeAddr::new(3));
     }
@@ -258,7 +293,14 @@ mod tests {
         let mut no_data = member(1, 1_000_000, 0, 0.9, now());
         no_data.advert.catalog = CatalogSummary::default();
         let m = mesh(vec![no_data, member(2, 1_000_000, 0, 0.9, now())]);
-        let scores = score_candidates(&task(), &m, Vec2::ZERO, &ReputationTable::default(), &OrchestratorConfig::default(), now());
+        let scores = score_candidates(
+            &task(),
+            &m,
+            Vec2::ZERO,
+            &ReputationTable::default(),
+            &OrchestratorConfig::default(),
+            now(),
+        );
         assert_eq!(scores.len(), 1);
         assert_eq!(scores[0].addr, NodeAddr::new(2));
     }
@@ -268,7 +310,14 @@ mod tests {
         let mut small = member(1, 1_000_000, 0, 0.9, now());
         small.advert.mem_free_bytes = 1024;
         let m = mesh(vec![small]);
-        let scores = score_candidates(&task(), &m, Vec2::ZERO, &ReputationTable::default(), &OrchestratorConfig::default(), now());
+        let scores = score_candidates(
+            &task(),
+            &m,
+            Vec2::ZERO,
+            &ReputationTable::default(),
+            &OrchestratorConfig::default(),
+            now(),
+        );
         assert!(scores.is_empty());
     }
 
@@ -278,8 +327,18 @@ mod tests {
         for _ in 0..20 {
             table.record(1, false);
         }
-        let m = mesh(vec![member(1, 1_000_000, 0, 0.9, now()), member(2, 1_000_000, 0, 0.9, now())]);
-        let scores = score_candidates(&task(), &m, Vec2::ZERO, &table, &OrchestratorConfig::default(), now());
+        let m = mesh(vec![
+            member(1, 1_000_000, 0, 0.9, now()),
+            member(2, 1_000_000, 0, 0.9, now()),
+        ]);
+        let scores = score_candidates(
+            &task(),
+            &m,
+            Vec2::ZERO,
+            &table,
+            &OrchestratorConfig::default(),
+            now(),
+        );
         assert_eq!(scores.len(), 1);
         assert_eq!(scores[0].addr, NodeAddr::new(2));
     }
@@ -291,7 +350,14 @@ mod tests {
         leaving.velocity = Vec2::new(30.0, 0.0); // exits 300 m range in <1 s
         let staying = member(2, 1_000_000, 0, 0.9, now());
         let m = mesh(vec![leaving, staying]);
-        let scores = score_candidates(&task(), &m, Vec2::ZERO, &ReputationTable::default(), &OrchestratorConfig::default(), now());
+        let scores = score_candidates(
+            &task(),
+            &m,
+            Vec2::ZERO,
+            &ReputationTable::default(),
+            &OrchestratorConfig::default(),
+            now(),
+        );
         let leave_score = scores.iter().find(|s| s.addr == NodeAddr::new(1)).unwrap();
         let stay_score = scores.iter().find(|s| s.addr == NodeAddr::new(2)).unwrap();
         assert!(leave_score.in_range < stay_score.in_range);
@@ -303,7 +369,14 @@ mod tests {
         let mut far = member(1, 1_000_000, 0, 0.9, now());
         far.pos = Vec2::new(500.0, 0.0);
         let m = mesh(vec![far]);
-        let scores = score_candidates(&task(), &m, Vec2::ZERO, &ReputationTable::default(), &OrchestratorConfig::default(), now());
+        let scores = score_candidates(
+            &task(),
+            &m,
+            Vec2::ZERO,
+            &ReputationTable::default(),
+            &OrchestratorConfig::default(),
+            now(),
+        );
         if let Some(s) = scores.first() {
             assert_eq!(s.in_range, 0.0);
         }
@@ -322,7 +395,14 @@ mod tests {
         };
         let mut t = task();
         t.inputs[0].requirement.max_age = SimDuration::from_secs(5);
-        let scores = score_candidates(&t, &m, Vec2::ZERO, &ReputationTable::default(), &OrchestratorConfig::default(), late);
+        let scores = score_candidates(
+            &t,
+            &m,
+            Vec2::ZERO,
+            &ReputationTable::default(),
+            &OrchestratorConfig::default(),
+            late,
+        );
         assert!(scores.is_empty(), "60 s old data vs 5 s bound");
     }
 
@@ -332,19 +412,58 @@ mod tests {
         let fast_weak = member(1, 4_000_000, 0, 0.2, now());
         let slow_strong = member(2, 600_000, 0, 1.0, now());
         let m = mesh(vec![fast_weak, slow_strong]);
-        let mut cfg = OrchestratorConfig { weights: SelectionWeights::compute_only(), ..Default::default() };
-        let by_compute = score_candidates(&task(), &m, Vec2::ZERO, &ReputationTable::default(), &cfg, now());
+        let mut cfg = OrchestratorConfig {
+            weights: SelectionWeights::compute_only(),
+            ..Default::default()
+        };
+        let by_compute = score_candidates(
+            &task(),
+            &m,
+            Vec2::ZERO,
+            &ReputationTable::default(),
+            &cfg,
+            now(),
+        );
         assert_eq!(by_compute[0].addr, NodeAddr::new(1));
-        cfg.weights = SelectionWeights { compute: 0.1, link: 2.0, ..SelectionWeights::default() };
-        let by_link = score_candidates(&task(), &m, Vec2::ZERO, &ReputationTable::default(), &cfg, now());
-        assert_eq!(by_link[0].addr, NodeAddr::new(2), "link-heavy weights flip the ranking");
+        cfg.weights = SelectionWeights {
+            compute: 0.1,
+            link: 2.0,
+            ..SelectionWeights::default()
+        };
+        let by_link = score_candidates(
+            &task(),
+            &m,
+            Vec2::ZERO,
+            &ReputationTable::default(),
+            &cfg,
+            now(),
+        );
+        assert_eq!(
+            by_link[0].addr,
+            NodeAddr::new(2),
+            "link-heavy weights flip the ranking"
+        );
     }
 
     #[test]
     fn deterministic_tie_break_by_address() {
-        let m = mesh(vec![member(2, 1_000_000, 0, 0.9, now()), member(1, 1_000_000, 0, 0.9, now())]);
-        let a = score_candidates(&task(), &m, Vec2::ZERO, &ReputationTable::default(), &OrchestratorConfig::default(), now());
-        assert_eq!(a[0].addr, NodeAddr::new(1), "equal scores resolve to lower address");
+        let m = mesh(vec![
+            member(2, 1_000_000, 0, 0.9, now()),
+            member(1, 1_000_000, 0, 0.9, now()),
+        ]);
+        let a = score_candidates(
+            &task(),
+            &m,
+            Vec2::ZERO,
+            &ReputationTable::default(),
+            &OrchestratorConfig::default(),
+            now(),
+        );
+        assert_eq!(
+            a[0].addr,
+            NodeAddr::new(1),
+            "equal scores resolve to lower address"
+        );
     }
 
     #[test]
@@ -353,7 +472,10 @@ mod tests {
         m.pos = Vec2::new(100.0, 0.0);
         m.velocity = Vec2::new(50.0, 0.0);
         let t = time_in_range(&m, Vec2::ZERO, Vec2::ZERO, 300.0);
-        assert!((t - 4.0).abs() < 1e-9, "200 m of headroom at 50 m/s, got {t}");
+        assert!(
+            (t - 4.0).abs() < 1e-9,
+            "200 m of headroom at 50 m/s, got {t}"
+        );
         // Approaching then receding.
         m.velocity = Vec2::new(-50.0, 0.0);
         let t = time_in_range(&m, Vec2::ZERO, Vec2::ZERO, 300.0);

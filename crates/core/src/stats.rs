@@ -69,7 +69,9 @@ impl OrchestratorStats {
     /// Records a terminal outcome.
     pub fn record_outcome(&mut self, outcome: &TaskOutcome) {
         match outcome {
-            TaskOutcome::Completed { latency, verified, .. } => {
+            TaskOutcome::Completed {
+                latency, verified, ..
+            } => {
                 self.completed += 1;
                 if *verified {
                     self.verified += 1;
@@ -110,16 +112,22 @@ mod tests {
 
     #[test]
     fn outcome_recording() {
-        let mut s = OrchestratorStats::default();
-        s.submitted = 3;
+        let mut s = OrchestratorStats {
+            submitted: 3,
+            ..OrchestratorStats::default()
+        };
         s.record_outcome(&TaskOutcome::Completed {
             outputs: vec![],
             executors: vec![NodeAddr::new(1)],
             latency: SimDuration::from_millis(100),
             verified: true,
         });
-        s.record_outcome(&TaskOutcome::Failed { reason: FailReason::DeadlineExpired });
-        s.record_outcome(&TaskOutcome::Failed { reason: FailReason::AllDeclined });
+        s.record_outcome(&TaskOutcome::Failed {
+            reason: FailReason::DeadlineExpired,
+        });
+        s.record_outcome(&TaskOutcome::Failed {
+            reason: FailReason::AllDeclined,
+        });
         assert_eq!(s.completed, 1);
         assert_eq!(s.verified, 1);
         assert_eq!(s.failed(), 2);
@@ -136,9 +144,17 @@ mod tests {
 
     #[test]
     fn merge_adds_counters() {
-        let mut a = OrchestratorStats { submitted: 2, completed: 1, ..Default::default() };
+        let mut a = OrchestratorStats {
+            submitted: 2,
+            completed: 1,
+            ..Default::default()
+        };
         a.latency.push(0.5);
-        let mut b = OrchestratorStats { submitted: 3, completed: 3, ..Default::default() };
+        let mut b = OrchestratorStats {
+            submitted: 3,
+            completed: 3,
+            ..Default::default()
+        };
         b.latency.push(0.1);
         a.merge(&b);
         assert_eq!(a.submitted, 5);

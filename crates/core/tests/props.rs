@@ -30,11 +30,15 @@ fn arb_event() -> impl Strategy<Value = NetEvent> {
 }
 
 fn spec(deadline_ms: u64) -> TaskSpec {
-    TaskSpec::new(TaskId::new(1), "p", Program::new(vec![airdnd_task::Instr::Halt], 0))
-        .with_requirements(ResourceRequirements {
-            deadline: SimDuration::from_millis(deadline_ms),
-            ..Default::default()
-        })
+    TaskSpec::new(
+        TaskId::new(1),
+        "p",
+        Program::new(vec![airdnd_task::Instr::Halt], 0),
+    )
+    .with_requirements(ResourceRequirements {
+        deadline: SimDuration::from_millis(deadline_ms),
+        ..Default::default()
+    })
 }
 
 proptest! {
@@ -149,9 +153,18 @@ fn late_accepts_always_cancelled() {
         );
         assert_eq!(
             d,
-            vec![RequesterDirective::SendCancel { to: NodeAddr::new(9), task: TaskId::new(42) }]
+            vec![RequesterDirective::SendCancel {
+                to: NodeAddr::new(9),
+                task: TaskId::new(42)
+            }]
         );
     }
     // Offer wire sizes remain stable for the cancel path.
-    assert_eq!(OffloadMsg::Cancel { task: TaskId::new(42) }.wire_size_bytes(), 16);
+    assert_eq!(
+        OffloadMsg::Cancel {
+            task: TaskId::new(42)
+        }
+        .wire_size_bytes(),
+        16
+    );
 }

@@ -132,7 +132,11 @@ impl DataCatalog {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "catalog capacity must be positive");
-        DataCatalog { items: Vec::new(), capacity, next_id: 0 }
+        DataCatalog {
+            items: Vec::new(),
+            capacity,
+            next_id: 0,
+        }
     }
 
     /// Number of items currently held.
@@ -146,7 +150,12 @@ impl DataCatalog {
     }
 
     /// Adds an item, evicting the oldest if full. Returns the assigned id.
-    pub fn insert(&mut self, data_type: DataType, size_bytes: u64, quality: QualityDescriptor) -> DataItemId {
+    pub fn insert(
+        &mut self,
+        data_type: DataType,
+        size_bytes: u64,
+        quality: QualityDescriptor,
+    ) -> DataItemId {
         if self.items.len() >= self.capacity {
             let oldest = self
                 .items
@@ -159,7 +168,12 @@ impl DataCatalog {
         }
         let id = DataItemId(self.next_id);
         self.next_id += 1;
-        self.items.push(DataItem { id, data_type, size_bytes, quality });
+        self.items.push(DataItem {
+            id,
+            data_type,
+            size_bytes,
+            quality,
+        });
         id
     }
 
@@ -193,7 +207,11 @@ impl DataCatalog {
                 (s > 0.0).then_some((item, s))
             })
             .collect();
-        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite").then(a.0.id.cmp(&b.0.id)));
+        hits.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("scores are finite")
+                .then(a.0.id.cmp(&b.0.id))
+        });
         hits.into_iter().map(|(item, _)| item).collect()
     }
 
@@ -244,7 +262,10 @@ mod tests {
         let id = cat.insert(DataType::DetectionList, 2048, quality_at(5));
         assert_eq!(cat.len(), 1);
         assert_eq!(cat.get(id).unwrap().size_bytes, 2048);
-        let hits = cat.find(&DataQuery::of_type(DataType::DetectionList), SimTime::from_secs(6));
+        let hits = cat.find(
+            &DataQuery::of_type(DataType::DetectionList),
+            SimTime::from_secs(6),
+        );
         assert_eq!(hits.len(), 1);
         assert!(cat.remove(id).is_some());
         assert!(cat.is_empty());

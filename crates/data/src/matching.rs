@@ -12,7 +12,11 @@ use airdnd_sim::SimTime;
 /// The best item in `catalog` for `query` at `now`, with its score.
 ///
 /// Ties resolve to the lowest item id, keeping results deterministic.
-pub fn best_match<'a>(catalog: &'a DataCatalog, query: &DataQuery, now: SimTime) -> Option<(&'a DataItem, f64)> {
+pub fn best_match<'a>(
+    catalog: &'a DataCatalog,
+    query: &DataQuery,
+    now: SimTime,
+) -> Option<(&'a DataItem, f64)> {
     catalog
         .iter()
         .filter(|item| item.data_type == query.data_type)
@@ -21,7 +25,9 @@ pub fn best_match<'a>(catalog: &'a DataCatalog, query: &DataQuery, now: SimTime)
             (s > 0.0).then_some((item, s))
         })
         .max_by(|a, b| {
-            a.1.partial_cmp(&b.1).expect("scores are finite").then(b.0.id.cmp(&a.0.id))
+            a.1.partial_cmp(&b.1)
+                .expect("scores are finite")
+                .then(b.0.id.cmp(&a.0.id))
         })
 }
 
@@ -66,7 +72,8 @@ mod tests {
     fn best_match_picks_freshest() {
         let cat = catalog_with_ages(&[2, 8, 5]);
         let now = SimTime::from_secs(9);
-        let (item, score) = best_match(&cat, &DataQuery::of_type(DataType::DetectionList), now).unwrap();
+        let (item, score) =
+            best_match(&cat, &DataQuery::of_type(DataType::DetectionList), now).unwrap();
         assert_eq!(item.quality.produced_at, SimTime::from_secs(8));
         assert!(score > 0.0);
     }
@@ -74,7 +81,12 @@ mod tests {
     #[test]
     fn best_match_none_for_missing_type() {
         let cat = catalog_with_ages(&[2]);
-        assert!(best_match(&cat, &DataQuery::of_type(DataType::TrackList), SimTime::from_secs(3)).is_none());
+        assert!(best_match(
+            &cat,
+            &DataQuery::of_type(DataType::TrackList),
+            SimTime::from_secs(3)
+        )
+        .is_none());
     }
 
     #[test]
@@ -83,7 +95,7 @@ mod tests {
         let now = SimTime::from_secs(9);
         let q_ok = DataQuery::of_type(DataType::DetectionList);
         let q_missing = DataQuery::of_type(DataType::OccupancyGrid);
-        assert!(match_score(&cat, &[q_ok.clone()], now) > 0.0);
+        assert!(match_score(&cat, std::slice::from_ref(&q_ok), now) > 0.0);
         assert_eq!(match_score(&cat, &[q_ok, q_missing], now), 0.0);
     }
 
@@ -98,9 +110,12 @@ mod tests {
         let cat = catalog_with_ages(&[8]);
         let now = SimTime::from_secs(9);
         let q = DataQuery::of_type(DataType::DetectionList);
-        let single = match_score(&cat, &[q.clone()], now);
+        let single = match_score(&cat, std::slice::from_ref(&q), now);
         let double = match_score(&cat, &[q.clone(), q], now);
-        assert!((single - double).abs() < 1e-12, "same query twice = same mean");
+        assert!(
+            (single - double).abs() < 1e-12,
+            "same query twice = same mean"
+        );
     }
 
     #[test]
@@ -111,7 +126,8 @@ mod tests {
         let first = cat.insert(DataType::DetectionList, 10, q);
         cat.insert(DataType::DetectionList, 10, q);
         let now = SimTime::from_secs(2);
-        let (item, _) = best_match(&cat, &DataQuery::of_type(DataType::DetectionList), now).unwrap();
+        let (item, _) =
+            best_match(&cat, &DataQuery::of_type(DataType::DetectionList), now).unwrap();
         assert_eq!(item.id, first);
     }
 }

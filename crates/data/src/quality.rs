@@ -29,7 +29,13 @@ impl QualityDescriptor {
     /// A descriptor produced "now" with the given confidence and
     /// resolution, no spatial extent and zero noise.
     pub fn basic(produced_at: SimTime, confidence: f64, resolution: f64) -> Self {
-        QualityDescriptor { produced_at, confidence, resolution, coverage: None, noise_sigma: 0.0 }
+        QualityDescriptor {
+            produced_at,
+            confidence,
+            resolution,
+            coverage: None,
+            noise_sigma: 0.0,
+        }
     }
 
     /// Age of the data at `now`.
@@ -74,7 +80,11 @@ fn coverage_fraction(required: &Aabb, offered: Option<&Aabb>) -> f64 {
     let Some(offered) = offered else { return 0.0 };
     if required.area() <= 0.0 {
         // A degenerate (point/line) requirement is covered iff it intersects.
-        return if required.intersects(offered) { 1.0 } else { 0.0 };
+        return if required.intersects(offered) {
+            1.0
+        } else {
+            0.0
+        };
     }
     if !required.intersects(offered) {
         return 0.0;
@@ -101,7 +111,9 @@ impl QualityRequirement {
             return false;
         }
         if let Some(region) = &self.required_region {
-            if coverage_fraction(region, desc.coverage.as_ref()) + 1e-12 < self.min_coverage_fraction {
+            if coverage_fraction(region, desc.coverage.as_ref()) + 1e-12
+                < self.min_coverage_fraction
+            {
                 return false;
             }
         }
@@ -154,7 +166,10 @@ mod tests {
     #[test]
     fn age_gate() {
         let now = SimTime::from_secs(100);
-        let req = QualityRequirement { max_age: SimDuration::from_secs(2), ..Default::default() };
+        let req = QualityRequirement {
+            max_age: SimDuration::from_secs(2),
+            ..Default::default()
+        };
         let mut d = fresh(SimTime::from_secs(99));
         assert!(req.is_satisfied_by(&d, now));
         d.produced_at = SimTime::from_secs(97);
@@ -165,11 +180,20 @@ mod tests {
     fn confidence_resolution_noise_gates() {
         let now = SimTime::ZERO;
         let d = fresh(now);
-        let mut req = QualityRequirement { min_confidence: 0.95, ..Default::default() };
+        let mut req = QualityRequirement {
+            min_confidence: 0.95,
+            ..Default::default()
+        };
         assert!(!req.is_satisfied_by(&d, now));
-        req = QualityRequirement { min_resolution: 8.0, ..Default::default() };
+        req = QualityRequirement {
+            min_resolution: 8.0,
+            ..Default::default()
+        };
         assert!(!req.is_satisfied_by(&d, now));
-        req = QualityRequirement { max_noise_sigma: 0.05, ..Default::default() };
+        req = QualityRequirement {
+            max_noise_sigma: 0.05,
+            ..Default::default()
+        };
         assert!(!req.is_satisfied_by(&d, now));
         assert!(QualityRequirement::default().is_satisfied_by(&d, now));
     }
@@ -194,7 +218,10 @@ mod tests {
             min_coverage_fraction: 1.0,
             ..Default::default()
         };
-        assert!(!strict_half.is_satisfied_by(&d, now), "only half the region is covered");
+        assert!(
+            !strict_half.is_satisfied_by(&d, now),
+            "only half the region is covered"
+        );
 
         let lenient_half = QualityRequirement {
             required_region: Some(half_out),
@@ -227,7 +254,10 @@ mod tests {
     #[test]
     fn score_zero_on_failure_and_graded_on_pass() {
         let now = SimTime::from_secs(10);
-        let req = QualityRequirement { max_age: SimDuration::from_secs(4), ..Default::default() };
+        let req = QualityRequirement {
+            max_age: SimDuration::from_secs(4),
+            ..Default::default()
+        };
         let stale = QualityDescriptor::basic(SimTime::ZERO, 0.9, 1.0);
         assert_eq!(req.score(&stale, now), 0.0);
 
@@ -235,7 +265,10 @@ mod tests {
         let older = QualityDescriptor::basic(SimTime::from_secs(7), 0.9, 1.0);
         let s_new = req.score(&newer, now);
         let s_old = req.score(&older, now);
-        assert!(s_new > s_old, "fresher data must score higher: {s_new} vs {s_old}");
+        assert!(
+            s_new > s_old,
+            "fresher data must score higher: {s_new} vs {s_old}"
+        );
         assert!((0.0..=1.0).contains(&s_new));
     }
 

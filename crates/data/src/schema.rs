@@ -101,7 +101,10 @@ pub struct DataQuery {
 impl DataQuery {
     /// A query with the given type and a permissive default requirement.
     pub fn of_type(data_type: DataType) -> Self {
-        DataQuery { data_type, requirement: QualityRequirement::default() }
+        DataQuery {
+            data_type,
+            requirement: QualityRequirement::default(),
+        }
     }
 }
 
@@ -112,9 +115,16 @@ mod tests {
     #[test]
     fn raw_frames_dwarf_computed_artefacts() {
         let raw = DataType::RawFrame(SensorModality::Camera).typical_size_bytes();
-        for computed in [DataType::DetectionList, DataType::TrackList, DataType::FusedPerception] {
+        for computed in [
+            DataType::DetectionList,
+            DataType::TrackList,
+            DataType::FusedPerception,
+        ] {
             let ratio = raw as f64 / computed.typical_size_bytes() as f64;
-            assert!(ratio > 50.0, "{computed} must be ≫ smaller than a raw frame");
+            assert!(
+                ratio > 50.0,
+                "{computed} must be ≫ smaller than a raw frame"
+            );
         }
     }
 
@@ -126,7 +136,10 @@ mod tests {
 
     #[test]
     fn display_is_stable() {
-        assert_eq!(DataType::RawFrame(SensorModality::Camera).to_string(), "raw-camera");
+        assert_eq!(
+            DataType::RawFrame(SensorModality::Camera).to_string(),
+            "raw-camera"
+        );
         assert_eq!(DataType::FusedPerception.to_string(), "fused-perception");
     }
 

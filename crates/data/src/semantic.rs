@@ -76,7 +76,9 @@ impl Term {
         }
         for seg in &segments {
             let ok = !seg.is_empty()
-                && seg.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-');
+                && seg
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-');
             if !ok {
                 return Err(ParseTermError::BadSegment(seg.clone()));
             }
@@ -94,7 +96,11 @@ impl Term {
     /// `sensor` subsumes `sensor.camera.thermal`; a term subsumes itself.
     pub fn subsumes(&self, other: &Term) -> bool {
         self.segments.len() <= other.segments.len()
-            && self.segments.iter().zip(&other.segments).all(|(a, b)| a == b)
+            && self
+                .segments
+                .iter()
+                .zip(&other.segments)
+                .all(|(a, b)| a == b)
     }
 
     /// The parent term (one segment shorter), if any.
@@ -102,7 +108,9 @@ impl Term {
         if self.segments.len() <= 1 {
             return None;
         }
-        Some(Term { segments: self.segments[..self.segments.len() - 1].to_vec() })
+        Some(Term {
+            segments: self.segments[..self.segments.len() - 1].to_vec(),
+        })
     }
 }
 
@@ -144,7 +152,9 @@ impl CapabilitySet {
     /// advertised term subsumes the query (the node claims the broader
     /// capability outright).
     pub fn satisfies(&self, query: &Term) -> bool {
-        self.terms.iter().any(|t| query.subsumes(t) || t.subsumes(query))
+        self.terms
+            .iter()
+            .any(|t| query.subsumes(t) || t.subsumes(query))
     }
 
     /// Match specificity in `[0, 1]`: the deepest shared prefix between the
@@ -177,7 +187,9 @@ impl CapabilitySet {
 
 impl FromIterator<Term> for CapabilitySet {
     fn from_iter<I: IntoIterator<Item = Term>>(iter: I) -> Self {
-        CapabilitySet { terms: iter.into_iter().collect() }
+        CapabilitySet {
+            terms: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -194,11 +206,23 @@ mod tests {
         assert!(Term::parse("sensor.camera").is_ok());
         assert!(Term::parse("a-b.c_d.e2").is_ok());
         assert_eq!(Term::parse(""), Err(ParseTermError::Empty));
-        assert!(matches!(Term::parse("a..b"), Err(ParseTermError::BadSegment(_))));
-        assert!(matches!(Term::parse("A.b"), Err(ParseTermError::BadSegment(_))));
-        assert!(matches!(Term::parse("a b"), Err(ParseTermError::BadSegment(_))));
-        let deep = vec!["x"; MAX_DEPTH + 1].join(".");
-        assert!(matches!(Term::parse(&deep), Err(ParseTermError::TooDeep(_))));
+        assert!(matches!(
+            Term::parse("a..b"),
+            Err(ParseTermError::BadSegment(_))
+        ));
+        assert!(matches!(
+            Term::parse("A.b"),
+            Err(ParseTermError::BadSegment(_))
+        ));
+        assert!(matches!(
+            Term::parse("a b"),
+            Err(ParseTermError::BadSegment(_))
+        ));
+        let deep = ["x"; MAX_DEPTH + 1].join(".");
+        assert!(matches!(
+            Term::parse(&deep),
+            Err(ParseTermError::TooDeep(_))
+        ));
     }
 
     #[test]
@@ -207,7 +231,10 @@ mod tests {
         assert!(t("sensor.camera").subsumes(&t("sensor.camera")));
         assert!(!t("sensor.camera.thermal").subsumes(&t("sensor.camera")));
         assert!(!t("sensor.lidar").subsumes(&t("sensor.camera")));
-        assert!(!t("sens").subsumes(&t("sensor")), "prefix of a segment is not a parent");
+        assert!(
+            !t("sens").subsumes(&t("sensor")),
+            "prefix of a segment is not a parent"
+        );
     }
 
     #[test]
@@ -219,8 +246,9 @@ mod tests {
 
     #[test]
     fn satisfies_both_directions() {
-        let caps: CapabilitySet =
-            [t("sensor.camera.thermal"), t("compute.fusion")].into_iter().collect();
+        let caps: CapabilitySet = [t("sensor.camera.thermal"), t("compute.fusion")]
+            .into_iter()
+            .collect();
         // Query broader than the advert.
         assert!(caps.satisfies(&t("sensor.camera")));
         assert!(caps.satisfies(&t("sensor")));
@@ -235,9 +263,16 @@ mod tests {
     fn match_score_rewards_specificity() {
         let caps: CapabilitySet = [t("sensor.camera.thermal")].into_iter().collect();
         assert_eq!(caps.match_score(&t("sensor.camera.thermal")), 1.0);
-        assert_eq!(caps.match_score(&t("sensor.camera")), 1.0, "advert is deeper than query");
+        assert_eq!(
+            caps.match_score(&t("sensor.camera")),
+            1.0,
+            "advert is deeper than query"
+        );
         let partial = caps.match_score(&t("sensor.camera.rgb"));
-        assert!((partial - 2.0 / 3.0).abs() < 1e-12, "shares sensor.camera, got {partial}");
+        assert!(
+            (partial - 2.0 / 3.0).abs() < 1e-12,
+            "shares sensor.camera, got {partial}"
+        );
         assert_eq!(caps.match_score(&t("actuator")), 0.0);
     }
 

@@ -34,7 +34,10 @@ impl SensorFov {
     ///
     /// Panics if `range` is negative or `half_angle` is outside `[0, π]`.
     pub fn new(range: f64, half_angle: f64) -> Self {
-        assert!(range >= 0.0 && range.is_finite(), "range must be non-negative");
+        assert!(
+            range >= 0.0 && range.is_finite(),
+            "range must be non-negative"
+        );
         assert!(
             (0.0..=std::f64::consts::PI).contains(&half_angle),
             "half-angle must be within [0, PI]"
@@ -171,7 +174,11 @@ mod tests {
     #[test]
     fn occlusion_blocks_sight() {
         let mut world = World::new();
-        world.add_obstacle(Obstacle::Rect(Aabb::from_center_size(Vec2::new(5.0, 0.0), 2.0, 2.0)));
+        world.add_obstacle(Obstacle::Rect(Aabb::from_center_size(
+            Vec2::new(5.0, 0.0),
+            2.0,
+            2.0,
+        )));
         let fov = SensorFov::omnidirectional(100.0);
         assert!(!fov.sees(Vec2::ZERO, 0.0, Vec2::new(10.0, 0.0), &world));
         assert!(fov.sees(Vec2::ZERO, 0.0, Vec2::new(0.0, 10.0), &world));
@@ -201,7 +208,10 @@ mod tests {
         };
         let hidden = Aabb::new(Vec2::new(30.0, -10.0), Vec2::new(120.0, 10.0));
         let alone = coverage_fraction(&[ego], hidden, 5.0, &world);
-        assert!(alone < 0.8, "corner must hide part of the region, got {alone}");
+        assert!(
+            alone < 0.8,
+            "corner must hide part of the region, got {alone}"
+        );
         // A helper on the east arm sees what the ego cannot.
         let helper = PlacedSensor {
             origin: Vec2::new(80.0, 0.0),
@@ -209,14 +219,21 @@ mod tests {
             fov: SensorFov::omnidirectional(300.0),
         };
         let together = coverage_fraction(&[ego, helper], hidden, 5.0, &world);
-        assert!(together > alone + 0.2, "helper must add coverage: {alone} -> {together}");
+        assert!(
+            together > alone + 0.2,
+            "helper must add coverage: {alone} -> {together}"
+        );
     }
 
     #[test]
     fn coverage_excludes_obstacle_interiors() {
         let mut world = World::new();
         // The whole region is one building: no valid samples, vacuous 1.0.
-        world.add_obstacle(Obstacle::Rect(Aabb::from_center_size(Vec2::ZERO, 100.0, 100.0)));
+        world.add_obstacle(Obstacle::Rect(Aabb::from_center_size(
+            Vec2::ZERO,
+            100.0,
+            100.0,
+        )));
         let region = Aabb::from_center_size(Vec2::ZERO, 50.0, 50.0);
         let c = coverage_fraction(&[], region, 10.0, &world);
         assert_eq!(c, 1.0);

@@ -41,7 +41,11 @@ impl VehicleState {
 
 impl Default for VehicleState {
     fn default() -> Self {
-        VehicleState { pos: Vec2::ZERO, speed: 0.0, heading: 0.0 }
+        VehicleState {
+            pos: Vec2::ZERO,
+            speed: 0.0,
+            heading: 0.0,
+        }
     }
 }
 
@@ -165,7 +169,11 @@ impl RouteFollower {
 
     fn state(&self) -> VehicleState {
         let (pos, heading) = self.route.position_at(self.arc);
-        VehicleState { pos, speed: self.speed, heading }
+        VehicleState {
+            pos,
+            speed: self.speed,
+            heading,
+        }
     }
 }
 
@@ -195,7 +203,14 @@ impl RandomWaypoint {
         let pos = Self::sample_point(&area, &mut rng);
         let target = Self::sample_point(&area, &mut rng);
         let speed = Self::sample_speed(speed_range, &mut rng);
-        RandomWaypoint { area, pos, target, speed, speed_range, rng }
+        RandomWaypoint {
+            area,
+            pos,
+            target,
+            speed,
+            speed_range,
+            rng,
+        }
     }
 
     fn sample_point(area: &Aabb, rng: &mut SimRng) -> Vec2 {
@@ -230,8 +245,14 @@ impl RandomWaypoint {
     }
 
     fn state(&self) -> VehicleState {
-        let heading = (self.target - self.pos).normalized().map_or(0.0, |d| d.angle());
-        VehicleState { pos: self.pos, speed: self.speed, heading }
+        let heading = (self.target - self.pos)
+            .normalized()
+            .map_or(0.0, |d| d.angle());
+        VehicleState {
+            pos: self.pos,
+            speed: self.speed,
+            heading,
+        }
     }
 }
 
@@ -252,7 +273,11 @@ pub enum Mobility {
 impl Mobility {
     /// A stationary node at `pos`.
     pub fn fixed(pos: Vec2) -> Self {
-        Mobility::Fixed(VehicleState { pos, speed: 0.0, heading: 0.0 })
+        Mobility::Fixed(VehicleState {
+            pos,
+            speed: 0.0,
+            heading: 0.0,
+        })
     }
 
     /// Straight-line motion from `pos` with velocity `vel`.
@@ -397,7 +422,14 @@ mod tests {
     fn route_follower_respects_speed_limit() {
         let net = RoadNetwork::four_way_intersection(500.0, 5.0);
         let route = net.route(net.approach_node(0), net.exit_node(2)).unwrap();
-        let mut m = Mobility::route(route, 0.0, IdmParams { desired_speed: 30.0, ..IdmParams::default() });
+        let mut m = Mobility::route(
+            route,
+            0.0,
+            IdmParams {
+                desired_speed: 30.0,
+                ..IdmParams::default()
+            },
+        );
         for _ in 0..400 {
             m.step(0.1);
         }
@@ -411,7 +443,10 @@ mod tests {
         let mut free = Mobility::route(route.clone(), 10.0, IdmParams::default());
         let mut follower = Mobility::route(route, 10.0, IdmParams::default());
         for _ in 0..100 {
-            follower.as_route_mut().unwrap().set_leader(Some((8.0, 3.0)));
+            follower
+                .as_route_mut()
+                .unwrap()
+                .set_leader(Some((8.0, 3.0)));
             follower.step(0.1);
             free.step(0.1);
         }

@@ -26,7 +26,10 @@ pub struct Aabb {
 impl Aabb {
     /// Creates a box from two opposite corners (in any order).
     pub fn new(a: Vec2, b: Vec2) -> Self {
-        Aabb { min: a.min(b), max: a.max(b) }
+        Aabb {
+            min: a.min(b),
+            max: a.max(b),
+        }
     }
 
     /// Creates a box centred at `center` with the given width and height.
@@ -35,9 +38,15 @@ impl Aabb {
     ///
     /// Panics if `width` or `height` is negative.
     pub fn from_center_size(center: Vec2, width: f64, height: f64) -> Self {
-        assert!(width >= 0.0 && height >= 0.0, "box dimensions must be non-negative");
+        assert!(
+            width >= 0.0 && height >= 0.0,
+            "box dimensions must be non-negative"
+        );
         let half = Vec2::new(width / 2.0, height / 2.0);
-        Aabb { min: center - half, max: center + half }
+        Aabb {
+            min: center - half,
+            max: center + half,
+        }
     }
 
     /// The minimum corner.
@@ -98,9 +107,10 @@ impl Aabb {
         }
         let mut t_min: f64 = 0.0;
         let mut t_max: f64 = 1.0;
-        for (origin, dir, lo, hi) in
-            [(a.x, d.x, self.min.x, self.max.x), (a.y, d.y, self.min.y, self.max.y)]
-        {
+        for (origin, dir, lo, hi) in [
+            (a.x, d.x, self.min.x, self.max.x),
+            (a.y, d.y, self.min.y, self.max.y),
+        ] {
             if dir.abs() < 1e-15 {
                 if origin < lo || origin > hi {
                     return false;
@@ -166,8 +176,7 @@ impl World {
         let mut world = World::new();
         for (sx, sy) in [(1.0, 1.0), (-1.0, 1.0), (1.0, -1.0), (-1.0, -1.0)] {
             let near = setback;
-            let center =
-                Vec2::new(sx * (near + size / 2.0), sy * (near + size / 2.0));
+            let center = Vec2::new(sx * (near + size / 2.0), sy * (near + size / 2.0));
             world.add_obstacle(Obstacle::Rect(Aabb::from_center_size(center, size, size)));
         }
         world
@@ -235,7 +244,10 @@ mod tests {
     fn segment_crosses_box() {
         let b = Aabb::from_center_size(Vec2::ZERO, 2.0, 2.0);
         assert!(b.intersects_segment(Vec2::new(-5.0, 0.0), Vec2::new(5.0, 0.0)));
-        assert!(b.intersects_segment(Vec2::new(-2.0, -2.0), Vec2::new(2.0, 2.0)), "diagonal");
+        assert!(
+            b.intersects_segment(Vec2::new(-2.0, -2.0), Vec2::new(2.0, 2.0)),
+            "diagonal"
+        );
         // Endpoint inside.
         assert!(b.intersects_segment(Vec2::ZERO, Vec2::new(9.0, 9.0)));
         // Fully inside.

@@ -93,7 +93,12 @@ impl RoadNetwork {
     ///
     /// Returns [`BuildRoadError`] if either node is unknown, the endpoints
     /// coincide, or the speed limit is not a positive finite number.
-    pub fn add_lane(&mut self, from: NodeId, to: NodeId, speed_limit: f64) -> Result<(), BuildRoadError> {
+    pub fn add_lane(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        speed_limit: f64,
+    ) -> Result<(), BuildRoadError> {
         for n in [from, to] {
             if n.index() >= self.positions.len() {
                 return Err(BuildRoadError::UnknownNode(n));
@@ -106,7 +111,11 @@ impl RoadNetwork {
             return Err(BuildRoadError::InvalidSpeed(speed_limit.to_bits()));
         }
         let length = self.positions[from.index()].distance(self.positions[to.index()]);
-        self.adjacency[from.index()].push(Lane { to, length, speed_limit });
+        self.adjacency[from.index()].push(Lane {
+            to,
+            length,
+            speed_limit,
+        });
         Ok(())
     }
 
@@ -115,7 +124,12 @@ impl RoadNetwork {
     /// # Errors
     ///
     /// Same conditions as [`RoadNetwork::add_lane`].
-    pub fn add_road(&mut self, a: NodeId, b: NodeId, speed_limit: f64) -> Result<(), BuildRoadError> {
+    pub fn add_road(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        speed_limit: f64,
+    ) -> Result<(), BuildRoadError> {
         self.add_lane(a, b, speed_limit)?;
         self.add_lane(b, a, speed_limit)
     }
@@ -162,7 +176,8 @@ impl RoadNetwork {
         ];
         for pos in ends {
             let end = net.add_node(pos);
-            net.add_road(end, center, speed_limit).expect("freshly created nodes are valid");
+            net.add_road(end, center, speed_limit)
+                .expect("freshly created nodes are valid");
             net.arms.push(end);
         }
         net
@@ -188,10 +203,12 @@ impl RoadNetwork {
             for c in 0..cols {
                 let here = ids[r * cols + c];
                 if c + 1 < cols {
-                    net.add_road(here, ids[r * cols + c + 1], speed_limit).expect("valid grid nodes");
+                    net.add_road(here, ids[r * cols + c + 1], speed_limit)
+                        .expect("valid grid nodes");
                 }
                 if r + 1 < rows {
-                    net.add_road(here, ids[(r + 1) * cols + c], speed_limit).expect("valid grid nodes");
+                    net.add_road(here, ids[(r + 1) * cols + c], speed_limit)
+                        .expect("valid grid nodes");
                 }
             }
         }
@@ -299,14 +316,22 @@ impl Route {
     /// Panics if `points` is empty or the lengths disagree.
     pub fn from_points(points: Vec<Vec2>, speed_limits: Vec<f64>) -> Self {
         assert!(!points.is_empty(), "route needs at least one point");
-        assert_eq!(speed_limits.len(), points.len().saturating_sub(1), "one speed per segment");
+        assert_eq!(
+            speed_limits.len(),
+            points.len().saturating_sub(1),
+            "one speed per segment"
+        );
         let mut cumulative = Vec::with_capacity(points.len());
         cumulative.push(0.0);
         for w in points.windows(2) {
             let prev = *cumulative.last().expect("non-empty");
             cumulative.push(prev + w[0].distance(w[1]));
         }
-        Route { points, cumulative, speed_limits }
+        Route {
+            points,
+            cumulative,
+            speed_limits,
+        }
     }
 
     /// Total length in metres.
@@ -327,12 +352,19 @@ impl Route {
             return (self.points[0], 0.0);
         }
         // Find the segment containing s (cumulative is sorted).
-        let seg = match self.cumulative.binary_search_by(|c| c.partial_cmp(&s).expect("finite")) {
+        let seg = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&s).expect("finite"))
+        {
             Ok(i) => i.min(self.points.len() - 2),
             Err(i) => i.saturating_sub(1).min(self.points.len() - 2),
         };
         let seg_len = self.cumulative[seg + 1] - self.cumulative[seg];
-        let t = if seg_len > 0.0 { (s - self.cumulative[seg]) / seg_len } else { 0.0 };
+        let t = if seg_len > 0.0 {
+            (s - self.cumulative[seg]) / seg_len
+        } else {
+            0.0
+        };
         let pos = self.points[seg].lerp(self.points[seg + 1], t);
         let heading = (self.points[seg + 1] - self.points[seg]).angle();
         (pos, heading)
@@ -439,9 +471,18 @@ mod tests {
         let a = net.add_node(Vec2::ZERO);
         let b = net.add_node(Vec2::new(1.0, 0.0));
         assert_eq!(net.add_lane(a, a, 10.0), Err(BuildRoadError::SelfLoop(a)));
-        assert_eq!(net.add_lane(a, NodeId(9), 10.0), Err(BuildRoadError::UnknownNode(NodeId(9))));
-        assert!(matches!(net.add_lane(a, b, 0.0), Err(BuildRoadError::InvalidSpeed(_))));
-        assert!(matches!(net.add_lane(a, b, f64::NAN), Err(BuildRoadError::InvalidSpeed(_))));
+        assert_eq!(
+            net.add_lane(a, NodeId(9), 10.0),
+            Err(BuildRoadError::UnknownNode(NodeId(9)))
+        );
+        assert!(matches!(
+            net.add_lane(a, b, 0.0),
+            Err(BuildRoadError::InvalidSpeed(_))
+        ));
+        assert!(matches!(
+            net.add_lane(a, b, f64::NAN),
+            Err(BuildRoadError::InvalidSpeed(_))
+        ));
         assert!(net.add_lane(a, b, 10.0).is_ok());
     }
 
@@ -452,7 +493,10 @@ mod tests {
         // Horizontal: 3 per row * 3 rows; vertical: 4 per column-pair * 2 = 8... each two-way.
         assert_eq!(net.lane_count(), 2 * (3 * 3 + 4 * 2));
         let r = net.route(NodeId(0), NodeId(11)).unwrap();
-        assert!((r.length() - 250.0).abs() < 1e-9, "manhattan distance 5 hops");
+        assert!(
+            (r.length() - 250.0).abs() < 1e-9,
+            "manhattan distance 5 hops"
+        );
     }
 
     #[test]

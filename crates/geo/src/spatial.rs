@@ -39,12 +39,22 @@ impl<T: Copy> SpatialIndex<T> {
     ///
     /// Panics if `cell_size` is not positive and finite.
     pub fn new(cell_size: f64) -> Self {
-        assert!(cell_size.is_finite() && cell_size > 0.0, "cell size must be positive");
-        SpatialIndex { cell_size, cells: BTreeMap::new(), len: 0 }
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell size must be positive"
+        );
+        SpatialIndex {
+            cell_size,
+            cells: BTreeMap::new(),
+            len: 0,
+        }
     }
 
     fn cell_of(&self, p: Vec2) -> (i64, i64) {
-        ((p.x / self.cell_size).floor() as i64, (p.y / self.cell_size).floor() as i64)
+        (
+            (p.x / self.cell_size).floor() as i64,
+            (p.y / self.cell_size).floor() as i64,
+        )
     }
 
     /// Inserts an item at a position. Duplicate ids are allowed (the index
@@ -100,7 +110,10 @@ impl<T: Copy> SpatialIndex<T> {
 
     /// All items within `radius` of `center` (inclusive).
     pub fn query_range(&self, center: Vec2, radius: f64) -> Vec<T> {
-        self.query_range_with_pos(center, radius).into_iter().map(|(item, _)| item).collect()
+        self.query_range_with_pos(center, radius)
+            .into_iter()
+            .map(|(item, _)| item)
+            .collect()
     }
 }
 

@@ -31,7 +31,10 @@ impl Vec2 {
 
     /// Unit vector at `angle` radians from the +x axis.
     pub fn from_angle(angle: f64) -> Self {
-        Vec2 { x: angle.cos(), y: angle.sin() }
+        Vec2 {
+            x: angle.cos(),
+            y: angle.sin(),
+        }
     }
 
     /// Euclidean length.
@@ -82,12 +85,18 @@ impl Vec2 {
     /// Rotates the vector by `angle` radians counter-clockwise.
     pub fn rotated(self, angle: f64) -> Vec2 {
         let (s, c) = angle.sin_cos();
-        Vec2 { x: self.x * c - self.y * s, y: self.x * s + self.y * c }
+        Vec2 {
+            x: self.x * c - self.y * s,
+            y: self.x * s + self.y * c,
+        }
     }
 
     /// The perpendicular vector (rotated +90°).
     pub fn perp(self) -> Vec2 {
-        Vec2 { x: -self.y, y: self.x }
+        Vec2 {
+            x: -self.y,
+            y: self.x,
+        }
     }
 
     /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
@@ -97,12 +106,18 @@ impl Vec2 {
 
     /// Component-wise minimum.
     pub fn min(self, other: Vec2) -> Vec2 {
-        Vec2 { x: self.x.min(other.x), y: self.y.min(other.y) }
+        Vec2 {
+            x: self.x.min(other.x),
+            y: self.y.min(other.y),
+        }
     }
 
     /// Component-wise maximum.
     pub fn max(self, other: Vec2) -> Vec2 {
-        Vec2 { x: self.x.max(other.x), y: self.y.max(other.y) }
+        Vec2 {
+            x: self.x.max(other.x),
+            y: self.y.max(other.y),
+        }
     }
 
     /// `true` if both components are finite.
@@ -114,7 +129,10 @@ impl Vec2 {
 impl Add for Vec2 {
     type Output = Vec2;
     fn add(self, rhs: Vec2) -> Vec2 {
-        Vec2 { x: self.x + rhs.x, y: self.y + rhs.y }
+        Vec2 {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+        }
     }
 }
 impl AddAssign for Vec2 {
@@ -125,7 +143,10 @@ impl AddAssign for Vec2 {
 impl Sub for Vec2 {
     type Output = Vec2;
     fn sub(self, rhs: Vec2) -> Vec2 {
-        Vec2 { x: self.x - rhs.x, y: self.y - rhs.y }
+        Vec2 {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+        }
     }
 }
 impl SubAssign for Vec2 {
@@ -136,19 +157,28 @@ impl SubAssign for Vec2 {
 impl Mul<f64> for Vec2 {
     type Output = Vec2;
     fn mul(self, rhs: f64) -> Vec2 {
-        Vec2 { x: self.x * rhs, y: self.y * rhs }
+        Vec2 {
+            x: self.x * rhs,
+            y: self.y * rhs,
+        }
     }
 }
 impl Div<f64> for Vec2 {
     type Output = Vec2;
     fn div(self, rhs: f64) -> Vec2 {
-        Vec2 { x: self.x / rhs, y: self.y / rhs }
+        Vec2 {
+            x: self.x / rhs,
+            y: self.y / rhs,
+        }
     }
 }
 impl Neg for Vec2 {
     type Output = Vec2;
     fn neg(self) -> Vec2 {
-        Vec2 { x: -self.x, y: -self.y }
+        Vec2 {
+            x: -self.x,
+            y: -self.y,
+        }
     }
 }
 

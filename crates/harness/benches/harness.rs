@@ -1,0 +1,49 @@
+//! Harness overhead: dispatching N no-op runs through the worker pool.
+//!
+//! This measures pure orchestration cost (manifest walk, channel traffic,
+//! ordered reassembly) — the per-run work is a single integer copy — so it
+//! bounds how much the harness can ever add on top of real scenarios.
+
+use airdnd_harness::{run_sweep, SweepSpec};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn manifest_of(runs: usize) -> airdnd_harness::Manifest<u64> {
+    SweepSpec::new(0u64)
+        .axis("run", 0..runs as u64, |cfg, &v| *cfg = v)
+        .seed_with(|cfg, seed| *cfg = cfg.wrapping_add(seed & 1))
+        .manifest()
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("harness");
+    for &runs in &[16usize, 256, 1024] {
+        let manifest = manifest_of(runs);
+        group.bench_with_input(
+            BenchmarkId::new("dispatch_noop_seq", runs),
+            &manifest,
+            |b, m| {
+                b.iter(|| black_box(run_sweep(m, 1, |plan| plan.config)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dispatch_noop_pool", runs),
+            &manifest,
+            |b, m| {
+                b.iter(|| black_box(run_sweep(m, 0, |plan| plan.config)));
+            },
+        );
+    }
+    let manifest = manifest_of(4096);
+    group.bench_with_input(
+        BenchmarkId::new("expand_manifest", 4096usize),
+        &4096usize,
+        |b, &n| {
+            b.iter(|| black_box(manifest_of(n).len()));
+        },
+    );
+    drop(manifest);
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! The worker-pool executor: parallelism *between* deterministic runs,
+//! never inside one, with results reassembled in manifest order.
+
+use crate::manifest::Manifest;
+use crate::RunPlan;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Progress snapshot streamed to the caller as results land.
+#[derive(Clone, Copy, Debug)]
+pub struct Progress {
+    /// Runs completed so far.
+    pub done: usize,
+    /// Total runs in the manifest.
+    pub total: usize,
+}
+
+/// A finished sweep execution.
+#[derive(Debug)]
+pub struct SweepOutcome<R> {
+    /// One result per manifest run, **in manifest order** — independent of
+    /// which worker finished when.
+    pub results: Vec<R>,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Wall-clock time of the whole sweep (not part of any report payload;
+    /// reports must stay byte-identical across thread counts).
+    pub wall: Duration,
+}
+
+fn resolve_threads(requested: usize, total_runs: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = if requested == 0 { hw } else { requested };
+    threads.clamp(1, total_runs.max(1))
+}
+
+/// Runs every manifest entry through `runner` across a thread pool.
+///
+/// `runner` must be a pure function of the [`RunPlan`] (the configuration
+/// carries its own derived seed), which is what makes the output
+/// byte-identical regardless of `threads`. `threads = 0` means "one worker
+/// per available core".
+pub fn run_sweep<C, R, F>(manifest: &Manifest<C>, threads: usize, runner: F) -> SweepOutcome<R>
+where
+    C: Sync,
+    R: Send,
+    F: Fn(&RunPlan<C>) -> R + Sync,
+{
+    run_sweep_with_progress(manifest, threads, runner, |_| {})
+}
+
+/// [`run_sweep`] with a progress callback invoked on the calling thread
+/// each time a result lands (in completion order, not manifest order).
+pub fn run_sweep_with_progress<C, R, F, P>(
+    manifest: &Manifest<C>,
+    threads: usize,
+    runner: F,
+    mut progress: P,
+) -> SweepOutcome<R>
+where
+    C: Sync,
+    R: Send,
+    F: Fn(&RunPlan<C>) -> R + Sync,
+    P: FnMut(Progress),
+{
+    let total = manifest.runs.len();
+    let threads = resolve_threads(threads, total);
+    let start = Instant::now();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(total);
+    slots.resize_with(total, || None);
+
+    if total > 0 {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let runner = &runner;
+        let runs = manifest.runs.as_slice();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= total {
+                        break;
+                    }
+                    let result = runner(&runs[index]);
+                    if tx.send((index, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut done = 0usize;
+            while let Ok((index, result)) = rx.recv() {
+                debug_assert!(slots[index].is_none(), "run {index} reported twice");
+                slots[index] = Some(result);
+                done += 1;
+                progress(Progress { done, total });
+            }
+            assert_eq!(done, total, "a worker died before finishing its runs");
+        });
+    }
+
+    SweepOutcome {
+        results: slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect(),
+        threads,
+        wall: start.elapsed(),
+    }
+}

@@ -1,0 +1,92 @@
+//! The flat, ordered run manifest a sweep expands into, and the splittable
+//! per-run seed derivation.
+
+const GOLDEN: u64 = 0x9E3779B97F4A7C15;
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(GOLDEN);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed for one run from `(base_seed, run_index)`.
+///
+/// A splittable hash, not a sequential stream: run *k*'s seed depends only
+/// on the pair, so manifests can be expanded, filtered or executed in any
+/// order — and grids can grow — without perturbing existing runs' seeds.
+/// Two SplitMix64 rounds whiten the low-entropy index.
+pub fn derive_seed(base_seed: u64, run_index: u64) -> u64 {
+    let mut x = base_seed
+        ^ run_index
+            .wrapping_add(1)
+            .wrapping_mul(GOLDEN)
+            .rotate_left(27);
+    splitmix64(&mut x);
+    splitmix64(&mut x)
+}
+
+/// One planned run: a fully materialized configuration plus its grid
+/// coordinates.
+#[derive(Clone, Debug)]
+pub struct RunPlan<C> {
+    /// Position in the flat manifest. Under `SeedMode::PerRun` this is
+    /// also the seed-derivation index.
+    pub run_index: usize,
+    /// Grid-cell index (row-major, first axis slowest).
+    pub cell: usize,
+    /// Replicate number within the cell.
+    pub replicate: usize,
+    /// Seed: `derive_seed(base_seed, run_index)` under
+    /// `SeedMode::PerRun`, `derive_seed(base_seed, replicate)` under
+    /// `SeedMode::PerReplicate` (common random numbers across cells).
+    pub seed: u64,
+    /// One label per axis identifying the cell, in axis order.
+    pub labels: Vec<String>,
+    /// The ready-to-run configuration.
+    pub config: C,
+}
+
+/// A fully expanded sweep: every run, in deterministic order.
+#[derive(Clone, Debug)]
+pub struct Manifest<C> {
+    /// Axis names, in declaration order.
+    pub axis_names: Vec<String>,
+    /// The base seed every run's seed was derived from.
+    pub base_seed: u64,
+    /// Number of grid cells.
+    pub cell_count: usize,
+    /// Seed replicates per cell.
+    pub replicates: usize,
+    /// All runs: `cell * replicates + replicate` indexing.
+    pub runs: Vec<RunPlan<C>>,
+}
+
+impl<C> Manifest<C> {
+    /// Total number of runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// `true` when the manifest contains no runs.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The runs of one grid cell, in replicate order.
+    pub fn cell_runs(&self, cell: usize) -> &[RunPlan<C>] {
+        let lo = cell * self.replicates;
+        let hi = (lo + self.replicates).min(self.runs.len());
+        &self.runs[lo..hi]
+    }
+
+    /// The slice of `results` belonging to one grid cell, given a result
+    /// vector in manifest order (as produced by the executor). Keeps the
+    /// `cell * replicates + replicate` indexing in one place.
+    pub fn cell_results<'r, R>(&self, results: &'r [R], cell: usize) -> &'r [R] {
+        let lo = cell * self.replicates;
+        let hi = (lo + self.cell_runs(cell).len()).min(results.len());
+        &results[lo..hi]
+    }
+}

@@ -1,0 +1,84 @@
+//! Deterministic JSON and CSV sweep reports.
+//!
+//! Report payloads deliberately contain **no timing, thread count, host
+//! name or other environment-dependent data**: the same sweep must produce
+//! byte-identical artifacts whether it ran on one worker or sixteen.
+
+use crate::agg::CellSummary;
+use serde::Serialize;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A complete, serializable sweep report.
+#[derive(Clone, Debug, Serialize)]
+pub struct SweepReport {
+    /// Sweep name (used as the artifact file stem).
+    pub name: String,
+    /// Human description of what the sweep varies.
+    pub title: String,
+    /// Axis names, in declaration order.
+    pub axis_names: Vec<String>,
+    /// Seed replicates per cell.
+    pub replicates: usize,
+    /// Base seed the per-run seeds derive from.
+    pub base_seed: u64,
+    /// Per-cell aggregates.
+    pub cells: Vec<CellSummary>,
+}
+
+/// Renders the report as pretty JSON.
+pub fn render_json(report: &SweepReport) -> String {
+    let mut out = serde_json::to_string_pretty(report).expect("report serializes");
+    out.push('\n');
+    out
+}
+
+/// Renders the report as CSV: one row per `(cell, metric)` with the axis
+/// labels as leading columns.
+pub fn render_csv(report: &SweepReport) -> String {
+    let mut out = String::new();
+    for name in &report.axis_names {
+        out.push_str(&csv_field(name));
+        out.push(',');
+    }
+    out.push_str("metric,n,mean,stddev,p50,p95,ci95\n");
+    for cell in &report.cells {
+        for metric in &cell.metrics {
+            for label in &cell.labels {
+                out.push_str(&csv_field(label));
+                out.push(',');
+            }
+            let a = &metric.agg;
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                csv_field(&metric.name),
+                a.n,
+                a.mean,
+                a.stddev,
+                a.p50,
+                a.p95,
+                a.ci95
+            ));
+        }
+    }
+    out
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Writes `<dir>/<name>.json` and `<dir>/<name>.csv`, creating `dir` if
+/// needed; returns both paths.
+pub fn write_report(dir: &Path, report: &SweepReport) -> io::Result<(PathBuf, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let json_path = dir.join(format!("{}.json", report.name));
+    let csv_path = dir.join(format!("{}.csv", report.name));
+    std::fs::write(&json_path, render_json(report))?;
+    std::fs::write(&csv_path, render_csv(report))?;
+    Ok((json_path, csv_path))
+}

@@ -1,0 +1,196 @@
+//! The declarative sweep builder: a base configuration plus named axes.
+
+use crate::manifest::{derive_seed, Manifest, RunPlan};
+use std::fmt::Display;
+use std::sync::Arc;
+
+type Apply<C> = Arc<dyn Fn(&mut C) + Send + Sync>;
+type SeedSetter<C> = Arc<dyn Fn(&mut C, u64) + Send + Sync>;
+
+/// How per-run seeds derive from the base seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SeedMode {
+    /// `derive_seed(base, run_index)` — every run independent. Right for
+    /// pure Monte-Carlo sampling where cells are never compared pairwise.
+    #[default]
+    PerRun,
+    /// `derive_seed(base, replicate)` — replicate *k* uses the same seed in
+    /// every grid cell (common random numbers). Right when cells are
+    /// compared against each other (strategy A vs B on the *same* fleet),
+    /// which is how the paper-style figures read.
+    PerReplicate,
+}
+
+/// One grid dimension: a name plus labelled configuration mutations.
+pub struct Axis<C> {
+    pub(crate) name: String,
+    pub(crate) points: Vec<AxisPoint<C>>,
+}
+
+pub(crate) struct AxisPoint<C> {
+    pub(crate) label: String,
+    pub(crate) apply: Apply<C>,
+}
+
+impl<C> Axis<C> {
+    /// Number of points on this axis.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the axis has no points (its sweep would be empty).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// A declarative sweep: base configuration, axes, seed policy, replicates.
+///
+/// Axes expand cartesian, first axis slowest (row-major), replicates
+/// innermost — the natural order of the nested `for` loops this replaces.
+pub struct SweepSpec<C> {
+    base: C,
+    axes: Vec<Axis<C>>,
+    replicates: usize,
+    base_seed: u64,
+    seed_mode: SeedMode,
+    seed_setter: Option<SeedSetter<C>>,
+}
+
+impl<C: Clone> SweepSpec<C> {
+    /// Starts a sweep from a base configuration.
+    pub fn new(base: C) -> Self {
+        SweepSpec {
+            base,
+            axes: Vec::new(),
+            replicates: 1,
+            base_seed: 0,
+            seed_mode: SeedMode::default(),
+            seed_setter: None,
+        }
+    }
+
+    /// Adds an axis whose labels come from the values' `Display`.
+    pub fn axis<V, I, F>(self, name: &str, values: I, apply: F) -> Self
+    where
+        V: Display + Send + Sync + 'static,
+        I: IntoIterator<Item = V>,
+        F: Fn(&mut C, &V) + Send + Sync + 'static,
+    {
+        self.axis_labeled(name, values, |v| v.to_string(), apply)
+    }
+
+    /// Adds an axis with an explicit label function (for values without a
+    /// useful `Display`, e.g. strategy enums).
+    pub fn axis_labeled<V, I, L, F>(mut self, name: &str, values: I, label: L, apply: F) -> Self
+    where
+        V: Send + Sync + 'static,
+        I: IntoIterator<Item = V>,
+        L: Fn(&V) -> String,
+        F: Fn(&mut C, &V) + Send + Sync + 'static,
+    {
+        let apply = Arc::new(apply);
+        let points = values
+            .into_iter()
+            .map(|v| {
+                let apply = Arc::clone(&apply);
+                AxisPoint {
+                    label: label(&v),
+                    apply: Arc::new(move |cfg: &mut C| apply(cfg, &v)) as Apply<C>,
+                }
+            })
+            .collect();
+        self.axes.push(Axis {
+            name: name.to_owned(),
+            points,
+        });
+        self
+    }
+
+    /// Sets the number of seed replicates per grid cell (default 1).
+    pub fn replicates(mut self, n: usize) -> Self {
+        assert!(n > 0, "a sweep needs at least one replicate per cell");
+        self.replicates = n;
+        self
+    }
+
+    /// Sets the base seed every per-run seed derives from (default 0).
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Sets the seed-derivation mode (default [`SeedMode::PerRun`]).
+    /// [`SeedMode::PerReplicate`] gives common random numbers across grid
+    /// cells, the right choice for paired strategy comparisons.
+    pub fn seed_mode(mut self, mode: SeedMode) -> Self {
+        self.seed_mode = mode;
+        self
+    }
+
+    /// Installs the hook writing each run's derived seed into its
+    /// configuration. Without it, configurations keep the base's own seed
+    /// field untouched (all replicates then collapse to one sample).
+    pub fn seed_with<F>(mut self, setter: F) -> Self
+    where
+        F: Fn(&mut C, u64) + Send + Sync + 'static,
+    {
+        self.seed_setter = Some(Arc::new(setter));
+        self
+    }
+
+    /// Number of grid cells (product of axis lengths; 1 with no axes).
+    pub fn cell_count(&self) -> usize {
+        self.axes.iter().map(Axis::len).product()
+    }
+
+    /// Expands the cartesian grid into a flat, ordered run manifest.
+    pub fn manifest(&self) -> Manifest<C> {
+        let cell_count = self.cell_count();
+        let mut runs = Vec::with_capacity(cell_count * self.replicates);
+        for cell in 0..cell_count {
+            // Decode the cell index into per-axis positions, first axis
+            // slowest: cell = ((a0 * len1) + a1) * len2 + a2 ...
+            let mut positions = vec![0usize; self.axes.len()];
+            let mut rest = cell;
+            for (k, axis) in self.axes.iter().enumerate().rev() {
+                positions[k] = rest % axis.len();
+                rest /= axis.len();
+            }
+            let mut config = self.base.clone();
+            let mut labels = Vec::with_capacity(self.axes.len());
+            for (axis, &pos) in self.axes.iter().zip(&positions) {
+                let point = &axis.points[pos];
+                (point.apply)(&mut config);
+                labels.push(point.label.clone());
+            }
+            for replicate in 0..self.replicates {
+                let run_index = cell * self.replicates + replicate;
+                let seed_index = match self.seed_mode {
+                    SeedMode::PerRun => run_index,
+                    SeedMode::PerReplicate => replicate,
+                };
+                let seed = derive_seed(self.base_seed, seed_index as u64);
+                let mut config = config.clone();
+                if let Some(setter) = &self.seed_setter {
+                    setter(&mut config, seed);
+                }
+                runs.push(RunPlan {
+                    run_index,
+                    cell,
+                    replicate,
+                    seed,
+                    labels: labels.clone(),
+                    config,
+                });
+            }
+        }
+        Manifest {
+            axis_names: self.axes.iter().map(|a| a.name.clone()).collect(),
+            base_seed: self.base_seed,
+            cell_count,
+            replicates: self.replicates,
+            runs,
+        }
+    }
+}

@@ -126,12 +126,20 @@ mod tests {
     use crate::membership::{MeshConfig, MeshMsg};
 
     fn handshaken_node() -> MeshNode {
-        let mut a = MeshNode::new(NodeAddr::new(1), MeshConfig::default(), NodeAdvert::closed());
+        let mut a = MeshNode::new(
+            NodeAddr::new(1),
+            MeshConfig::default(),
+            NodeAdvert::closed(),
+        );
         // Peer 2 joins and has beaconed.
         a.on_message(
             SimTime::ZERO,
             NodeAddr::new(2),
-            MeshMsg::JoinRequest { advert: NodeAdvert::closed(), pos: Vec2::ZERO, velocity: Vec2::ZERO },
+            MeshMsg::JoinRequest {
+                advert: NodeAdvert::closed(),
+                pos: Vec2::ZERO,
+                velocity: Vec2::ZERO,
+            },
         );
         let beacon = Beacon {
             src: NodeAddr::new(2),
@@ -141,7 +149,11 @@ mod tests {
             advert: NodeAdvert::closed(),
             members: Vec::new(),
         };
-        a.on_message(SimTime::from_millis(100), NodeAddr::new(2), MeshMsg::Beacon(beacon));
+        a.on_message(
+            SimTime::from_millis(100),
+            NodeAddr::new(2),
+            MeshMsg::Beacon(beacon),
+        );
         a
     }
 
@@ -158,12 +170,20 @@ mod tests {
 
     #[test]
     fn members_without_beacons_are_omitted() {
-        let mut node = MeshNode::new(NodeAddr::new(1), MeshConfig::default(), NodeAdvert::closed());
+        let mut node = MeshNode::new(
+            NodeAddr::new(1),
+            MeshConfig::default(),
+            NodeAdvert::closed(),
+        );
         // Join without any beacon: member exists but no neighbor entry.
         node.on_message(
             SimTime::ZERO,
             NodeAddr::new(7),
-            MeshMsg::JoinRequest { advert: NodeAdvert::closed(), pos: Vec2::ZERO, velocity: Vec2::ZERO },
+            MeshMsg::JoinRequest {
+                advert: NodeAdvert::closed(),
+                pos: Vec2::ZERO,
+                velocity: Vec2::ZERO,
+            },
         );
         assert!(node.is_member(NodeAddr::new(7)));
         let d = MeshDescriptor::capture(&node, SimTime::from_millis(10));

@@ -261,7 +261,12 @@ impl MeshNode {
             pos: self.pos,
             velocity: self.velocity,
             advert: self.advert.clone(),
-            members: self.members.keys().copied().take(MAX_BEACON_MEMBERS).collect(),
+            members: self
+                .members
+                .keys()
+                .copied()
+                .take(MAX_BEACON_MEMBERS)
+                .collect(),
         };
         self.seq += 1;
         actions.push(MeshAction::Broadcast(MeshMsg::Beacon(beacon)));
@@ -303,7 +308,9 @@ impl MeshNode {
                     self.add_member(now, from, &mut actions);
                     actions.push(MeshAction::Unicast(
                         from,
-                        MeshMsg::JoinAccept { lease: self.cfg.member_lease },
+                        MeshMsg::JoinAccept {
+                            lease: self.cfg.member_lease,
+                        },
                     ));
                 }
                 // At capacity: silently ignore; the requester's lease logic
@@ -339,7 +346,11 @@ mod tests {
     use super::*;
 
     fn node(id: u64) -> MeshNode {
-        MeshNode::new(NodeAddr::new(id), MeshConfig::default(), NodeAdvert::closed())
+        MeshNode::new(
+            NodeAddr::new(id),
+            MeshConfig::default(),
+            NodeAdvert::closed(),
+        )
     }
 
     /// Delivers every network action from `from` to `to` (lossless wire),
@@ -360,8 +371,11 @@ mod tests {
             }
         }
         while let Some((src, dst, msg)) = queue.pop_front() {
-            let (sender, receiver) =
-                if dst == to.addr() { (&mut *from, &mut *to) } else { (&mut *to, &mut *from) };
+            let (sender, receiver) = if dst == to.addr() {
+                (&mut *from, &mut *to)
+            } else {
+                (&mut *to, &mut *from)
+            };
             debug_assert_eq!(sender.addr(), src);
             for a in receiver.on_message(now, src, msg) {
                 match a {
@@ -443,7 +457,10 @@ mod tests {
         let now = SimTime::from_secs(1);
         let actions = a.leave_all(now);
         let note = exchange(now, &mut a, &mut b, actions);
-        assert!(note.contains(&MeshAction::Left(NodeAddr::new(2))), "a's own notification");
+        assert!(
+            note.contains(&MeshAction::Left(NodeAddr::new(2))),
+            "a's own notification"
+        );
         assert!(!b.is_member(a.addr()), "b must have processed Leave");
     }
 
@@ -462,7 +479,10 @@ mod tests {
             members: Vec::new(),
         };
         let acts = a.on_message(SimTime::ZERO, NodeAddr::new(2), MeshMsg::Beacon(b));
-        assert!(acts.is_empty(), "poor link must not trigger a join: {acts:?}");
+        assert!(
+            acts.is_empty(),
+            "poor link must not trigger a join: {acts:?}"
+        );
     }
 
     #[test]
@@ -482,7 +502,11 @@ mod tests {
         // clear the join threshold; the second does.
         let first = a.on_message(SimTime::ZERO, NodeAddr::new(2), beacon_from_2(0));
         assert!(first.is_empty(), "one beacon is not yet a joinable link");
-        let second = a.on_message(SimTime::from_millis(100), NodeAddr::new(2), beacon_from_2(1));
+        let second = a.on_message(
+            SimTime::from_millis(100),
+            NodeAddr::new(2),
+            beacon_from_2(1),
+        );
         assert_eq!(
             second
                 .iter()
@@ -491,10 +515,18 @@ mod tests {
             1
         );
         // 100 ms later (within the retry window): no duplicate request.
-        let third = a.on_message(SimTime::from_millis(200), NodeAddr::new(2), beacon_from_2(2));
+        let third = a.on_message(
+            SimTime::from_millis(200),
+            NodeAddr::new(2),
+            beacon_from_2(2),
+        );
         assert!(third.is_empty());
         // After the cooldown: retried.
-        let fourth = a.on_message(SimTime::from_millis(700), NodeAddr::new(2), beacon_from_2(3));
+        let fourth = a.on_message(
+            SimTime::from_millis(700),
+            NodeAddr::new(2),
+            beacon_from_2(3),
+        );
         assert_eq!(fourth.len(), 1);
     }
 
@@ -521,7 +553,11 @@ mod tests {
         a.on_message(
             now0,
             NodeAddr::new(2),
-            MeshMsg::JoinRequest { advert: NodeAdvert::closed(), pos: Vec2::ZERO, velocity: Vec2::ZERO },
+            MeshMsg::JoinRequest {
+                advert: NodeAdvert::closed(),
+                pos: Vec2::ZERO,
+                velocity: Vec2::ZERO,
+            },
         );
         assert!(a.is_member(NodeAddr::new(2)));
         // Keep beaconing every 100 ms well past the original 2 s lease.
@@ -538,7 +574,10 @@ mod tests {
             a.on_message(now, NodeAddr::new(2), MeshMsg::Beacon(b));
             a.on_timer(now);
         }
-        assert!(a.is_member(NodeAddr::new(2)), "beacons must renew the lease");
+        assert!(
+            a.is_member(NodeAddr::new(2)),
+            "beacons must renew the lease"
+        );
     }
 
     #[test]
@@ -549,7 +588,11 @@ mod tests {
             a.on_message(
                 now,
                 NodeAddr::new(id),
-                MeshMsg::JoinRequest { advert: NodeAdvert::closed(), pos: Vec2::ZERO, velocity: Vec2::ZERO },
+                MeshMsg::JoinRequest {
+                    advert: NodeAdvert::closed(),
+                    pos: Vec2::ZERO,
+                    velocity: Vec2::ZERO,
+                },
             );
         }
         // 10 joins within the window → 1 event/s.

@@ -48,7 +48,11 @@ impl NeighborTable {
     /// Panics if `alpha` is outside `(0, 1]`.
     pub fn new(alpha: f64, timeout: SimDuration) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1]");
-        NeighborTable { entries: BTreeMap::new(), alpha, timeout }
+        NeighborTable {
+            entries: BTreeMap::new(),
+            alpha,
+            timeout,
+        }
     }
 
     /// Ingests a received beacon.
@@ -152,7 +156,10 @@ mod tests {
         t.on_beacon(SimTime::ZERO, beacon(1, 0));
         assert_eq!(t.len(), 1);
         let q = t.link_quality(NodeAddr::new(1));
-        assert!(q > 0.0 && q < 0.5, "one beacon must not look like a solid link: {q}");
+        assert!(
+            q > 0.0 && q < 0.5,
+            "one beacon must not look like a solid link: {q}"
+        );
         assert_eq!(t.link_quality(NodeAddr::new(9)), 0.0);
     }
 
@@ -210,7 +217,10 @@ mod tests {
         t.on_beacon(SimTime::from_millis(100), b2.clone());
         let e = t.get(NodeAddr::new(1)).unwrap();
         assert_eq!(e.last_beacon.pos, Vec2::new(7.0, 5.0));
-        assert_eq!(e.age(SimTime::from_millis(150)), SimDuration::from_millis(50));
+        assert_eq!(
+            e.age(SimTime::from_millis(150)),
+            SimDuration::from_millis(50)
+        );
     }
 
     #[test]

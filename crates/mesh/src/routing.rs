@@ -111,7 +111,10 @@ mod tests {
         t.on_beacon(SimTime::from_secs(1), beacon(7, 50, &[]));
         strong_link(&mut t, 4, &[7]);
         let direct_quality = t.link_quality(NodeAddr::new(7));
-        assert!(direct_quality < 0.5, "setup: direct link must be weak, got {direct_quality}");
+        assert!(
+            direct_quality < 0.5,
+            "setup: direct link must be weak, got {direct_quality}"
+        );
         assert_eq!(next_hop(&t, NodeAddr::new(7), 0.5), Some(NodeAddr::new(4)));
     }
 

@@ -38,7 +38,10 @@ impl ServiceChain {
     /// Panics if `links` is empty — an empty chain is meaningless.
     pub fn new(name: impl Into<String>, links: Vec<VnfDescriptor>) -> Self {
         assert!(!links.is_empty(), "a service chain needs at least one link");
-        ServiceChain { name: name.into(), links }
+        ServiceChain {
+            name: name.into(),
+            links,
+        }
     }
 
     /// Number of links.
@@ -153,10 +156,16 @@ mod tests {
         // Outage from t=5 to t=8.
         s.mark_down(SimTime::from_secs(5));
         s.mark_up(SimTime::from_secs(8));
-        assert_eq!(s.downtime(SimTime::from_secs(10)), SimDuration::from_secs(4));
+        assert_eq!(
+            s.downtime(SimTime::from_secs(10)),
+            SimDuration::from_secs(4)
+        );
         // Ongoing outage counts up to `now`.
         s.mark_down(SimTime::from_secs(10));
-        assert_eq!(s.downtime(SimTime::from_secs(12)), SimDuration::from_secs(6));
+        assert_eq!(
+            s.downtime(SimTime::from_secs(12)),
+            SimDuration::from_secs(6)
+        );
     }
 
     #[test]

@@ -69,7 +69,10 @@ pub struct NfManager {
 impl NfManager {
     /// Creates a manager with the given placement strategy.
     pub fn new(strategy: PlacementStrategy) -> Self {
-        NfManager { strategy, ..Default::default() }
+        NfManager {
+            strategy,
+            ..Default::default()
+        }
     }
 
     /// Registers (or re-registers) a node's capacity.
@@ -107,7 +110,11 @@ impl NfManager {
         if self.pools.is_empty() {
             return 0.0;
         }
-        self.pools.values().map(ResourcePool::utilization).sum::<f64>() / self.pools.len() as f64
+        self.pools
+            .values()
+            .map(ResourcePool::utilization)
+            .sum::<f64>()
+            / self.pools.len() as f64
     }
 
     fn pick_host(&self, required: &ResourceCapacity, exclude: Option<u64>) -> Option<u64> {
@@ -118,18 +125,26 @@ impl NfManager {
         let headroom = |pool: &ResourcePool| {
             let after = pool.available() - *required;
             // Scalarize leftover capacity; gas dominates for compute VNFs.
-            after.cpu_millicores as f64 + (after.mem_bytes >> 20) as f64 + after.gas_rate as f64 / 1_000.0
+            after.cpu_millicores as f64
+                + (after.mem_bytes >> 20) as f64
+                + after.gas_rate as f64 / 1_000.0
         };
         match self.strategy {
             PlacementStrategy::FirstFit => candidates.map(|(&n, _)| n).next(),
             PlacementStrategy::BestFit => candidates
                 .min_by(|a, b| {
-                    headroom(a.1).partial_cmp(&headroom(b.1)).expect("finite").then(a.0.cmp(b.0))
+                    headroom(a.1)
+                        .partial_cmp(&headroom(b.1))
+                        .expect("finite")
+                        .then(a.0.cmp(b.0))
                 })
                 .map(|(&n, _)| n),
             PlacementStrategy::WorstFit => candidates
                 .max_by(|a, b| {
-                    headroom(a.1).partial_cmp(&headroom(b.1)).expect("finite").then(b.0.cmp(a.0))
+                    headroom(a.1)
+                        .partial_cmp(&headroom(b.1))
+                        .expect("finite")
+                        .then(b.0.cmp(a.0))
                 })
                 .map(|(&n, _)| n),
         }
@@ -141,14 +156,19 @@ impl NfManager {
     ///
     /// [`NfvError::NoFeasibleHost`] if nothing fits.
     pub fn instantiate(&mut self, descriptor: VnfDescriptor) -> Result<VnfId, NfvError> {
-        let host = self.pick_host(&descriptor.required, None).ok_or(NfvError::NoFeasibleHost)?;
+        let host = self
+            .pick_host(&descriptor.required, None)
+            .ok_or(NfvError::NoFeasibleHost)?;
         let pool = self.pools.get_mut(&host).expect("picked host exists");
-        let allocation =
-            pool.try_allocate(descriptor.required).expect("pick_host checked fit");
+        let allocation = pool
+            .try_allocate(descriptor.required)
+            .expect("pick_host checked fit");
         let id = VnfId(self.next_vnf);
         self.next_vnf += 1;
         let mut instance = VnfInstance::new(id, descriptor, host, allocation);
-        instance.transition(VnfState::Running).expect("instantiating → running is legal");
+        instance
+            .transition(VnfState::Running)
+            .expect("instantiating → running is legal");
         self.instances.insert(id, instance);
         Ok(id)
     }
@@ -179,8 +199,10 @@ impl NfManager {
         }
         let inst = self.instances.get_mut(&id).expect("checked above");
         if inst.is_running() {
-            inst.transition(VnfState::Migrating).expect("running → migrating");
-            inst.transition(VnfState::Running).expect("migrating → running");
+            inst.transition(VnfState::Migrating)
+                .expect("running → migrating");
+            inst.transition(VnfState::Running)
+                .expect("migrating → running");
         }
         inst.host = new_host;
         inst.allocation = new_alloc;
@@ -237,7 +259,11 @@ impl NfManager {
     ///
     /// [`NfvError::NoFeasibleHost`] if any link cannot be placed (already
     /// placed links are terminated again).
-    pub fn deploy_chain(&mut self, chain: &ServiceChain, now: SimTime) -> Result<ChainId, NfvError> {
+    pub fn deploy_chain(
+        &mut self,
+        chain: &ServiceChain,
+        now: SimTime,
+    ) -> Result<ChainId, NfvError> {
         let mut placed = Vec::with_capacity(chain.len());
         for link in &chain.links {
             match self.instantiate(link.clone()) {
@@ -319,7 +345,11 @@ mod tests {
     fn worst_fit_spreads_load() {
         let mut m = manager(PlacementStrategy::WorstFit);
         let id = m.instantiate(fuser()).unwrap();
-        assert_eq!(m.instance(id).unwrap().host, 2, "node 2 has the most headroom");
+        assert_eq!(
+            m.instance(id).unwrap().host,
+            2,
+            "node 2 has the most headroom"
+        );
     }
 
     #[test]
@@ -396,12 +426,16 @@ mod tests {
         // (2M gas), node 3 none — so a fourth fuser must fail and roll the
         // whole chain back.
         let instances_before = m.instances().count();
-        let too_big = ServiceChain::new(
-            "heavy",
-            vec![fuser(), fuser(), fuser(), fuser()],
+        let too_big = ServiceChain::new("heavy", vec![fuser(), fuser(), fuser(), fuser()]);
+        assert_eq!(
+            m.deploy_chain(&too_big, SimTime::ZERO),
+            Err(NfvError::NoFeasibleHost)
         );
-        assert_eq!(m.deploy_chain(&too_big, SimTime::ZERO), Err(NfvError::NoFeasibleHost));
-        assert_eq!(m.instances().count(), instances_before, "rollback released everything");
+        assert_eq!(
+            m.instances().count(),
+            instances_before,
+            "rollback released everything"
+        );
     }
 
     #[test]
@@ -409,7 +443,10 @@ mod tests {
         let mut m = manager(PlacementStrategy::FirstFit);
         let chain = ServiceChain::new("svc", vec![fuser()]);
         let cid = m.deploy_chain(&chain, SimTime::ZERO).unwrap();
-        let host = m.instance(m.chain_status(cid).unwrap().instances[0]).unwrap().host;
+        let host = m
+            .instance(m.chain_status(cid).unwrap().instances[0])
+            .unwrap()
+            .host;
         // Remove every other node so healing must fail.
         let others: Vec<u64> = [1u64, 2, 3].into_iter().filter(|&n| n != host).collect();
         for n in others {

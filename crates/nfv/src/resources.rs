@@ -24,12 +24,19 @@ pub struct ResourceCapacity {
 
 impl ResourceCapacity {
     /// The zero vector.
-    pub const ZERO: ResourceCapacity =
-        ResourceCapacity { cpu_millicores: 0, mem_bytes: 0, gas_rate: 0 };
+    pub const ZERO: ResourceCapacity = ResourceCapacity {
+        cpu_millicores: 0,
+        mem_bytes: 0,
+        gas_rate: 0,
+    };
 
     /// Creates a capacity vector.
     pub const fn new(cpu_millicores: u64, mem_bytes: u64, gas_rate: u64) -> Self {
-        ResourceCapacity { cpu_millicores, mem_bytes, gas_rate }
+        ResourceCapacity {
+            cpu_millicores,
+            mem_bytes,
+            gas_rate,
+        }
     }
 
     /// `true` if every dimension of `other` fits within `self`.
@@ -104,7 +111,11 @@ pub struct InsufficientCapacity {
 
 impl fmt::Display for InsufficientCapacity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "insufficient capacity: requested {}, available {}", self.requested, self.available)
+        write!(
+            f,
+            "insufficient capacity: requested {}, available {}",
+            self.requested, self.available
+        )
     }
 }
 
@@ -160,9 +171,15 @@ impl ResourcePool {
     /// # Errors
     ///
     /// Returns [`InsufficientCapacity`] if the request does not fit.
-    pub fn try_allocate(&mut self, request: ResourceCapacity) -> Result<AllocationId, InsufficientCapacity> {
+    pub fn try_allocate(
+        &mut self,
+        request: ResourceCapacity,
+    ) -> Result<AllocationId, InsufficientCapacity> {
         if !self.available().fits(&request) {
-            return Err(InsufficientCapacity { requested: request, available: self.available() });
+            return Err(InsufficientCapacity {
+                requested: request,
+                available: self.available(),
+            });
         }
         let id = AllocationId(self.next_id);
         self.next_id += 1;
@@ -233,7 +250,10 @@ mod tests {
         let mut pool = ResourcePool::new(ResourceCapacity::ZERO);
         assert_eq!(pool.utilization(), 0.0);
         assert!(pool.try_allocate(cap(1, 0, 0)).is_err());
-        assert!(pool.try_allocate(ResourceCapacity::ZERO).is_ok(), "zero fits in zero");
+        assert!(
+            pool.try_allocate(ResourceCapacity::ZERO).is_ok(),
+            "zero fits in zero"
+        );
     }
 
     #[test]

@@ -60,7 +60,11 @@ pub struct VnfDescriptor {
 impl VnfDescriptor {
     /// A descriptor with the kind's default footprint.
     pub fn of_kind(name: impl Into<String>, kind: VnfKind) -> Self {
-        VnfDescriptor { name: name.into(), kind, required: kind.default_footprint() }
+        VnfDescriptor {
+            name: name.into(),
+            kind,
+            required: kind.default_footprint(),
+        }
     }
 }
 
@@ -134,7 +138,13 @@ pub struct VnfInstance {
 impl VnfInstance {
     /// Creates an instance in `Instantiating` state.
     pub fn new(id: VnfId, descriptor: VnfDescriptor, host: u64, allocation: AllocationId) -> Self {
-        VnfInstance { id, descriptor, host, allocation, state: VnfState::Instantiating }
+        VnfInstance {
+            id,
+            descriptor,
+            host,
+            allocation,
+            state: VnfState::Instantiating,
+        }
     }
 
     /// Current lifecycle state.
@@ -165,7 +175,10 @@ impl VnfInstance {
                 | (Migrating, Terminated)
         );
         if !legal {
-            return Err(InvalidTransition { from: self.state, to });
+            return Err(InvalidTransition {
+                from: self.state,
+                to,
+            });
         }
         self.state = to;
         Ok(())
@@ -208,11 +221,20 @@ mod tests {
         let mut v = instance();
         assert_eq!(
             v.transition(VnfState::Migrating),
-            Err(InvalidTransition { from: VnfState::Instantiating, to: VnfState::Migrating })
+            Err(InvalidTransition {
+                from: VnfState::Instantiating,
+                to: VnfState::Migrating
+            })
         );
         v.transition(VnfState::Terminated).unwrap();
-        assert!(v.transition(VnfState::Running).is_err(), "terminated is terminal");
-        assert!(v.transition(VnfState::Terminated).is_err(), "no self-loop on terminal");
+        assert!(
+            v.transition(VnfState::Running).is_err(),
+            "terminated is terminal"
+        );
+        assert!(
+            v.transition(VnfState::Terminated).is_err(),
+            "no self-loop on terminal"
+        );
     }
 
     #[test]

@@ -43,7 +43,11 @@ impl ChannelModel {
     pub fn mean_rx_power_dbm(&self, distance: f64, line_of_sight: bool) -> f64 {
         let d = distance.max(1.0);
         let pl = self.reference_loss_db + 10.0 * self.path_loss_exponent * d.log10();
-        let obs = if line_of_sight { 0.0 } else { self.obstacle_loss_db };
+        let obs = if line_of_sight {
+            0.0
+        } else {
+            self.obstacle_loss_db
+        };
         self.tx_power_dbm - pl - obs
     }
 
@@ -125,7 +129,10 @@ mod tests {
     #[test]
     fn sub_metre_distances_clamp() {
         let m = model();
-        assert_eq!(m.mean_rx_power_dbm(0.0, true), m.mean_rx_power_dbm(1.0, true));
+        assert_eq!(
+            m.mean_rx_power_dbm(0.0, true),
+            m.mean_rx_power_dbm(1.0, true)
+        );
     }
 
     #[test]
@@ -147,7 +154,10 @@ mod tests {
             assert!(p >= last - 1e-15, "PER must not decrease as SNR drops");
             last = p;
         }
-        assert!(m.per(8.0, 16_000) >= m.per(8.0, 1_000), "bigger frames fail more");
+        assert!(
+            m.per(8.0, 16_000) >= m.per(8.0, 1_000),
+            "bigger frames fail more"
+        );
     }
 
     #[test]

@@ -141,8 +141,17 @@ impl RadioMedium {
     /// # Panics
     ///
     /// Panics if `cs_range` is not positive and finite.
-    pub fn new(channel: ChannelModel, mac: MacParams, world: World, cs_range: f64, rng: SimRng) -> Self {
-        assert!(cs_range.is_finite() && cs_range > 0.0, "carrier-sense range must be positive");
+    pub fn new(
+        channel: ChannelModel,
+        mac: MacParams,
+        world: World,
+        cs_range: f64,
+        rng: SimRng,
+    ) -> Self {
+        assert!(
+            cs_range.is_finite() && cs_range > 0.0,
+            "carrier-sense range must be positive"
+        );
         RadioMedium {
             channel,
             mac,
@@ -174,7 +183,10 @@ impl RadioMedium {
 
     /// Registers or moves a node.
     pub fn set_position(&mut self, addr: NodeAddr, pos: Vec2) {
-        assert!(!addr.is_broadcast(), "cannot position the broadcast address");
+        assert!(
+            !addr.is_broadcast(),
+            "cannot position the broadcast address"
+        );
         self.positions.insert(addr, pos);
     }
 
@@ -214,7 +226,10 @@ impl RadioMedium {
     }
 
     fn cell_of(&self, p: Vec2) -> (i64, i64) {
-        ((p.x / self.cs_range).floor() as i64, (p.y / self.cs_range).floor() as i64)
+        (
+            (p.x / self.cs_range).floor() as i64,
+            (p.y / self.cs_range).floor() as i64,
+        )
     }
 
     /// Earliest time the airspace around `pos` is free.
@@ -253,7 +268,11 @@ impl RadioMedium {
         line_of_sight: bool,
     ) -> (SimTime, bool) {
         let cw = self.mac.contention_window(attempt);
-        let slots = if cw == 0 { 0 } else { (self.rng.next_u64() % (cw as u64 + 1)) as u32 };
+        let slots = if cw == 0 {
+            0
+        } else {
+            (self.rng.next_u64() % (cw as u64 + 1)) as u32
+        };
         let access = self.mac.difs + self.mac.backoff(slots);
         let start = self.airspace_free_at(src_pos).max(earliest) + access;
         let airtime = self.mac.tx_time(payload_bytes);
@@ -291,12 +310,14 @@ impl RadioMedium {
         let mut cursor = now;
         let mut attempts = 0;
         let outcome = loop {
-            let (end, ok) =
-                self.transmit(cursor, src_pos, payload_bytes, attempts, distance, los);
+            let (end, ok) = self.transmit(cursor, src_pos, payload_bytes, attempts, distance, los);
             attempts += 1;
             if ok {
                 let prop = SimDuration::from_secs_f64(distance / C);
-                break DeliveryOutcome::Delivered { at: end + prop, attempts };
+                break DeliveryOutcome::Delivered {
+                    at: end + prop,
+                    attempts,
+                };
             }
             if attempts >= self.mac.max_attempts {
                 break DeliveryOutcome::Lost { attempts };
@@ -328,7 +349,11 @@ impl RadioMedium {
         let bytes_before = self.total_bytes_on_air;
         // Single transmission, no retries: pay access + airtime once.
         let cw = self.mac.contention_window(0);
-        let slots = if cw == 0 { 0 } else { (self.rng.next_u64() % (cw as u64 + 1)) as u32 };
+        let slots = if cw == 0 {
+            0
+        } else {
+            (self.rng.next_u64() % (cw as u64 + 1)) as u32
+        };
         let access = self.mac.difs + self.mac.backoff(slots);
         let start = self.airspace_free_at(src_pos).max(now) + access;
         let airtime = self.mac.tx_time(payload_bytes);
@@ -353,7 +378,10 @@ impl RadioMedium {
             let per = self.channel.per_at(distance, los, shadow, bits);
             if !self.rng.chance(per) {
                 let prop = SimDuration::from_secs_f64(distance / C);
-                deliveries.push(BroadcastDelivery { to: addr, at: end + prop });
+                deliveries.push(BroadcastDelivery {
+                    to: addr,
+                    at: end + prop,
+                });
             }
         }
         let report = TxReport {
@@ -398,7 +426,10 @@ mod tests {
             DeliveryOutcome::Lost { attempts } => {
                 assert_eq!(attempts, m.mac().max_attempts);
                 // Retries each burn airtime.
-                assert_eq!(report.bytes_on_air, attempts as u64 * (500 + m.mac().header_bytes));
+                assert_eq!(
+                    report.bytes_on_air,
+                    attempts as u64 * (500 + m.mac().header_bytes)
+                );
             }
             other => panic!("expected loss at 50 km, got {other:?}"),
         }
@@ -438,7 +469,10 @@ mod tests {
         m.set_position(NodeAddr::new(4), Vec2::new(100_000.0, 0.0));
         let (deliveries, report) = m.broadcast(SimTime::ZERO, src, 200);
         let receivers: Vec<u64> = deliveries.iter().map(|d| d.to.raw()).collect();
-        assert!(receivers.contains(&2) && receivers.contains(&3), "got {receivers:?}");
+        assert!(
+            receivers.contains(&2) && receivers.contains(&3),
+            "got {receivers:?}"
+        );
         assert!(!receivers.contains(&4));
         // Broadcast transmits once regardless of receiver count.
         assert_eq!(report.bytes_on_air, 200 + m.mac().header_bytes);
@@ -460,7 +494,10 @@ mod tests {
         let t2 = o2.delivered_at().unwrap();
         // The second must queue behind the first's airtime.
         let airtime = m.mac().tx_time(10_000);
-        assert!(t2 >= t1 + airtime.saturating_sub(SimDuration::from_micros(1)), "t1={t1} t2={t2}");
+        assert!(
+            t2 >= t1 + airtime.saturating_sub(SimDuration::from_micros(1)),
+            "t1={t1} t2={t2}"
+        );
     }
 
     #[test]
@@ -496,11 +533,9 @@ mod tests {
         channel.obstacle_loss_db = 60.0;
         let mac = crate::profiles::dsrc().1;
         let mut world = World::new();
-        world.add_obstacle(airdnd_geo::Obstacle::Rect(airdnd_geo::Aabb::from_center_size(
-            Vec2::new(100.0, 0.0),
-            5.0,
-            200.0,
-        )));
+        world.add_obstacle(airdnd_geo::Obstacle::Rect(
+            airdnd_geo::Aabb::from_center_size(Vec2::new(100.0, 0.0), 5.0, 200.0),
+        ));
         let mut m = RadioMedium::new(channel, mac, world, 600.0, SimRng::seed_from(3));
         let a = NodeAddr::new(1);
         let b = NodeAddr::new(2);

@@ -188,7 +188,10 @@ mod tests {
         // 7.5 MB at 75 Mbps = 0.8 s serialization + 35 ms latency.
         let (arrival, wire) = link.upload(SimTime::ZERO, 7_500_000);
         let expected = 8.0 * 7_500_060.0 / 75e6 + 0.035;
-        assert!((arrival.as_secs_f64() - expected).abs() < 1e-6, "arrival {arrival}");
+        assert!(
+            (arrival.as_secs_f64() - expected).abs() < 1e-6,
+            "arrival {arrival}"
+        );
         assert_eq!(wire, 7_500_060);
     }
 

@@ -32,13 +32,17 @@ impl Vehicle {
         }
         let route = world
             .net
-            .route(world.net.approach_node(from_arm), world.net.exit_node(to_arm))
+            .route(
+                world.net.approach_node(from_arm),
+                world.net.exit_node(to_arm),
+            )
             .expect("intersection arms are connected");
         let speed = rng.gen_range(5.0..12.0);
         (Mobility::route(route, speed, IdmParams::default()), to_arm)
     }
 
     /// Creates a vehicle entering from `arm`.
+    #[allow(clippy::too_many_arguments)] // one knob per ScenarioConfig field
     pub fn spawn(
         world: &ScenarioWorld,
         addr: NodeAddr,
@@ -55,7 +59,14 @@ impl Vehicle {
         mobility.step(warmup);
         let node_rng = rng.fork(addr.raw());
         let node = OrchestratorNode::new(addr, orch, mesh, gas_rate, 1 << 30, node_rng);
-        Vehicle { node, mobility, sensor_range, rng, current_exit: exit, fixed_arm: None }
+        Vehicle {
+            node,
+            mobility,
+            sensor_range,
+            rng,
+            current_exit: exit,
+            fixed_arm: None,
+        }
     }
 
     /// Pins every respawn to re-enter from `arm` (used for the ego).
@@ -98,6 +109,7 @@ impl Fleet {
     /// Spawns `count` vehicles with heterogeneous ECUs drawn from
     /// `gas_rate_range`; a `byzantine_fraction` of helpers corrupt
     /// results.
+    #[allow(clippy::too_many_arguments)] // one knob per ScenarioConfig field
     pub fn spawn(
         world: &ScenarioWorld,
         count: usize,
@@ -231,8 +243,14 @@ mod tests {
             MeshConfig::default(),
             &mut rng,
         );
-        assert!(!fleet.vehicles[0].node.executor().is_byzantine(), "ego stays honest");
-        let byz = fleet.vehicles[1..].iter().filter(|v| v.node.executor().is_byzantine()).count();
+        assert!(
+            !fleet.vehicles[0].node.executor().is_byzantine(),
+            "ego stays honest"
+        );
+        let byz = fleet.vehicles[1..]
+            .iter()
+            .filter(|v| v.node.executor().is_byzantine())
+            .count();
         assert_eq!(byz, 19);
     }
 
@@ -251,7 +269,11 @@ mod tests {
                 MeshConfig::default(),
                 &mut rng,
             );
-            fleet.vehicles.iter().map(|v| (v.pos(), v.node.executor().gas_rate())).collect::<Vec<_>>()
+            fleet
+                .vehicles
+                .iter()
+                .map(|v| (v.pos(), v.node.executor().gas_rate()))
+                .collect::<Vec<_>>()
         };
         assert_eq!(spawn(7), spawn(7));
         assert_ne!(spawn(7), spawn(8));

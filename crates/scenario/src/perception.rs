@@ -85,7 +85,7 @@ mod tests {
     fn validity_check_catches_corruption() {
         assert!(is_valid_grid(&[-1, 0, 1]));
         // The byzantine executor XORs 0x0BAD into outputs.
-        assert!(!is_valid_grid(&[0 ^ 0x0BAD, 1]));
+        assert!(!is_valid_grid(&[1 ^ 0x0BAD, 1]));
     }
 
     #[test]

@@ -22,7 +22,9 @@ use crate::fleet::Fleet;
 use crate::perception::{fuse_max, is_valid_grid, observed_fraction};
 use crate::world::ScenarioWorld;
 use airdnd_baselines::{CloudOffload, LocalOnly};
-use airdnd_core::{NodeAction, NodeEvent, OrchestratorConfig, OrchestratorStats, TaskOutcome, WireMsg};
+use airdnd_core::{
+    NodeAction, NodeEvent, OrchestratorConfig, OrchestratorStats, TaskOutcome, WireMsg,
+};
 use airdnd_data::{DataQuery, DataType, QualityDescriptor, QualityRequirement};
 use airdnd_geo::Vec2;
 use airdnd_mesh::MeshConfig;
@@ -103,6 +105,63 @@ pub struct ScenarioConfig {
     pub mesh: MeshConfig,
     /// Cooperation strategy.
     pub strategy: Strategy,
+}
+
+// The sweep harness farms `run_scenario` calls across worker threads; the
+// contract that makes this sound is enforced here at compile time: configs
+// move into workers, reports move back, and `run_scenario` itself is a pure
+// function of its config (all `Rc`/`RefCell` state is created per-call).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync + 'static>() {}
+    assert_send_sync::<ScenarioConfig>();
+    assert_send_sync::<ScenarioReport>();
+};
+
+/// Chainable builder hooks, the vocabulary sweep axes are written in
+/// (`SweepSpec::axis("vehicles", ns, |cfg, &n| { cfg.set_vehicles(n); })`
+/// or inline struct updates both work; these keep axis closures terse).
+impl ScenarioConfig {
+    /// Sets the master seed.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fleet size (including the ego).
+    pub fn with_vehicles(mut self, vehicles: usize) -> Self {
+        self.vehicles = vehicles;
+        self
+    }
+
+    /// Sets the cooperation strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the simulated duration.
+    pub fn with_duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets the lane speed limit (the churn knob), m/s.
+    pub fn with_speed_limit(mut self, speed_limit: f64) -> Self {
+        self.speed_limit = speed_limit;
+        self
+    }
+
+    /// Sets the ego task period in ticks (the offered-load knob).
+    pub fn with_task_every_ticks(mut self, ticks: u32) -> Self {
+        self.task_every_ticks = ticks;
+        self
+    }
+
+    /// Sets the fraction of byzantine helpers.
+    pub fn with_byzantine_fraction(mut self, fraction: f64) -> Self {
+        self.byzantine_fraction = fraction;
+        self
+    }
 }
 
 impl Default for ScenarioConfig {
@@ -190,10 +249,24 @@ pub struct ScenarioReport {
 #[derive(Clone, Debug)]
 enum ScenMsg {
     Tick,
-    Deliver { from: NodeAddr, to: NodeAddr, msg: WireMsg },
-    TransmitAt { src: NodeAddr, to: NodeAddr, msg: WireMsg },
-    CloudView { submitted: SimTime, grid: Vec<i64> },
-    RawView { submitted: SimTime, grid: Vec<i64> },
+    Deliver {
+        from: NodeAddr,
+        to: NodeAddr,
+        msg: WireMsg,
+    },
+    TransmitAt {
+        src: NodeAddr,
+        to: NodeAddr,
+        msg: WireMsg,
+    },
+    CloudView {
+        submitted: SimTime,
+        grid: Vec<i64>,
+    },
+    RawView {
+        submitted: SimTime,
+        grid: Vec<i64>,
+    },
 }
 
 struct WorldState {
@@ -229,7 +302,8 @@ impl WorldState {
 
     fn ego_grid(&self) -> Vec<i64> {
         let pos = self.fleet.vehicles[0].pos();
-        self.stage.rasterize(pos, self.cfg.sensor_range, &self.hidden_agents)
+        self.stage
+            .rasterize(pos, self.cfg.sensor_range, &self.hidden_agents)
     }
 
     fn record_view(&mut self, now: SimTime, submitted: SimTime, remote: &[i64]) {
@@ -241,7 +315,8 @@ impl WorldState {
             self.invalid_accepted += 1;
         }
         self.completed += 1;
-        self.latencies_ms.push(now.saturating_since(submitted).as_millis_f64());
+        self.latencies_ms
+            .push(now.saturating_since(submitted).as_millis_f64());
         self.coverage.push(observed_fraction(&fused));
         self.ego_only.push(observed_fraction(&self.ego_grid()));
         if self.detect_time.is_none() {
@@ -315,7 +390,11 @@ impl WorldActor {
                     for d in deliveries {
                         ctx.send_self(
                             d.at.saturating_since(now),
-                            ScenMsg::Deliver { from: src, to: d.to, msg: msg.clone() },
+                            ScenMsg::Deliver {
+                                from: src,
+                                to: d.to,
+                                msg: msg.clone(),
+                            },
                         );
                     }
                 }
@@ -339,10 +418,7 @@ impl WorldActor {
                 }
                 NodeAction::Outcome { task, outcome } => {
                     let mut state = self.state.borrow_mut();
-                    let submitted = state
-                        .task_submit_times
-                        .remove(&task.raw())
-                        .unwrap_or(now);
+                    let submitted = state.task_submit_times.remove(&task.raw()).unwrap_or(now);
                     match outcome {
                         TaskOutcome::Completed { outputs, .. } => {
                             state.record_view(now, submitted, &outputs);
@@ -355,8 +431,7 @@ impl WorldActor {
                 NodeAction::MeshJoined(_) => {
                     let mut state = self.state.borrow_mut();
                     state.joins += 1;
-                    if src == state.fleet.vehicles[0].node.addr()
-                        && state.mesh_formation.is_none()
+                    if src == state.fleet.vehicles[0].node.addr() && state.mesh_formation.is_none()
                     {
                         state.mesh_formation = Some(now);
                     }
@@ -386,7 +461,10 @@ impl WorldActor {
                 state.fleet.vehicles[i].node.set_kinematics(pos, vel);
             }
             // Sensor refresh: every vehicle snapshots the hidden region.
-            if state.tick_count % state.cfg.sensor_every_ticks as u64 == 0 {
+            if state
+                .tick_count
+                .is_multiple_of(state.cfg.sensor_every_ticks as u64)
+            {
                 let agents = state.hidden_agents.clone();
                 let range = state.cfg.sensor_range;
                 let coverage = state.stage.hidden_region;
@@ -435,7 +513,10 @@ impl WorldActor {
         // Next tick.
         let (tick, done) = {
             let state = self.state.borrow();
-            (state.cfg.tick, now + state.cfg.tick > SimTime::ZERO + state.cfg.duration)
+            (
+                state.cfg.tick,
+                now + state.cfg.tick > SimTime::ZERO + state.cfg.duration,
+            )
         };
         if !done {
             ctx.send_self(tick, ScenMsg::Tick);
@@ -466,7 +547,8 @@ impl WorldActor {
                 let agents = state.hidden_agents.clone();
                 let range = state.cfg.sensor_range;
                 let mut fused = vec![-1i64; state.stage.cell_count()];
-                let raw = DataType::RawFrame(airdnd_data::SensorModality::Camera).typical_size_bytes();
+                let raw =
+                    DataType::RawFrame(airdnd_data::SensorModality::Camera).typical_size_bytes();
                 let gas = state.task_gas();
                 let result_bytes = state.stage.cell_count() as u64 * 8;
                 let mut last_done = now;
@@ -481,7 +563,10 @@ impl WorldActor {
                 drop(state);
                 ctx.send_self(
                     last_done.saturating_since(now),
-                    ScenMsg::CloudView { submitted: now, grid: fused },
+                    ScenMsg::CloudView {
+                        submitted: now,
+                        grid: fused,
+                    },
                 );
             }
             Strategy::RawSharing => {
@@ -508,21 +593,34 @@ impl WorldActor {
                     state.failed += 1;
                     return;
                 };
-                let raw = DataType::RawFrame(airdnd_data::SensorModality::Camera).typical_size_bytes();
+                let raw =
+                    DataType::RawFrame(airdnd_data::SensorModality::Camera).typical_size_bytes();
                 let gas = state.task_gas();
                 let agents = state.hidden_agents.clone();
                 let helper_pos = state.fleet.vehicles[helper_idx].pos();
-                let grid = state.stage.rasterize(helper_pos, state.cfg.sensor_range, &agents);
+                let grid = state
+                    .stage
+                    .rasterize(helper_pos, state.cfg.sensor_range, &agents);
                 let WorldState { medium, local, .. } = &mut *state;
                 let outcome = airdnd_baselines::raw_sharing_completion(
-                    medium, local, now, ego_addr, helper_addr, raw, 1_400, gas,
+                    medium,
+                    local,
+                    now,
+                    ego_addr,
+                    helper_addr,
+                    raw,
+                    1_400,
+                    gas,
                 );
                 drop(state);
                 match outcome {
                     Some((done, _bytes)) => {
                         ctx.send_self(
                             done.saturating_since(now),
-                            ScenMsg::RawView { submitted: now, grid },
+                            ScenMsg::RawView {
+                                submitted: now,
+                                grid,
+                            },
                         );
                     }
                     None => {
@@ -539,7 +637,10 @@ impl WorldActor {
                 drop(state);
                 ctx.send_self(
                     done.saturating_since(now),
-                    ScenMsg::RawView { submitted: now, grid },
+                    ScenMsg::RawView {
+                        submitted: now,
+                        grid,
+                    },
                 );
             }
         }
@@ -559,7 +660,10 @@ impl Actor<ScenMsg> for WorldActor {
                     let mut state = self.state.borrow_mut();
                     state.fleet.index_of(to).map(|idx| {
                         let v = &mut state.fleet.vehicles[idx];
-                        (v.node.addr(), v.node.handle(ctx.now(), NodeEvent::Wire { from, msg }))
+                        (
+                            v.node.addr(),
+                            v.node.handle(ctx.now(), NodeEvent::Wire { from, msg }),
+                        )
                     })
                 };
                 if let Some((addr, actions)) = result {
@@ -574,7 +678,10 @@ impl Actor<ScenMsg> for WorldActor {
                     state.medium.unicast(now, src, to, size).0
                 };
                 if let DeliveryOutcome::Delivered { at, .. } = outcome {
-                    ctx.send_self(at.saturating_since(now), ScenMsg::Deliver { from: src, to, msg });
+                    ctx.send_self(
+                        at.saturating_since(now),
+                        ScenMsg::Deliver { from: src, to, msg },
+                    );
                 }
             }
             ScenMsg::CloudView { submitted, grid } | ScenMsg::RawView { submitted, grid } => {
@@ -588,7 +695,12 @@ impl Actor<ScenMsg> for WorldActor {
 /// Runs one scenario to completion and reports.
 pub fn run_scenario(cfg: ScenarioConfig) -> ScenarioReport {
     let mut rng = SimRng::seed_from(cfg.seed);
-    let stage = ScenarioWorld::build(cfg.arm_length, cfg.speed_limit, cfg.building_setback, cfg.building_size);
+    let stage = ScenarioWorld::build(
+        cfg.arm_length,
+        cfg.speed_limit,
+        cfg.building_setback,
+        cfg.building_size,
+    );
     let fleet = Fleet::spawn(
         &stage,
         cfg.vehicles,
@@ -647,7 +759,9 @@ pub fn run_scenario(cfg: ScenarioConfig) -> ScenarioReport {
     }));
 
     let mut engine: Engine<ScenMsg> = Engine::new(cfg.seed ^ 0x5EED);
-    engine.spawn(WorldActor { state: Rc::clone(&state) });
+    engine.spawn(WorldActor {
+        state: Rc::clone(&state),
+    });
     engine.run_until(SimTime::ZERO + cfg.duration + SimDuration::from_secs(3));
 
     let state = state.borrow();
@@ -677,7 +791,11 @@ pub fn run_scenario(cfg: ScenarioConfig) -> ScenarioReport {
         } else {
             completed as f64 / state.submitted as f64
         },
-        latency_mean_ms: if lat.is_empty() { 0.0 } else { lat.iter().sum::<f64>() / lat.len() as f64 },
+        latency_mean_ms: if lat.is_empty() {
+            0.0
+        } else {
+            lat.iter().sum::<f64>() / lat.len() as f64
+        },
         latency_p50_ms: percentile(lat, 0.5).unwrap_or(0.0),
         latency_p95_ms: percentile(lat, 0.95).unwrap_or(0.0),
         latency_max_ms: lat.iter().copied().fold(0.0, f64::max),
@@ -731,7 +849,11 @@ mod tests {
         assert!(r.tasks_submitted > 10, "submitted {}", r.tasks_submitted);
         assert!(r.completion_rate > 0.5, "completion {}", r.completion_rate);
         assert!(r.mesh_formation_s.is_some(), "mesh must form");
-        assert!(r.mean_members >= 1.0, "ego should keep members, got {}", r.mean_members);
+        assert!(
+            r.mean_members >= 1.0,
+            "ego should keep members, got {}",
+            r.mean_members
+        );
         assert!(r.latency_p50_ms > 0.0 && r.latency_p50_ms < 1_000.0);
         assert!(r.mesh_bytes > 0);
         assert_eq!(r.cellular_bytes, 0);

@@ -26,7 +26,12 @@ impl ScenarioWorld {
     ///
     /// `arm_length` sizes the intersection; buildings of `building_size`
     /// sit `building_setback` metres from the road centrelines.
-    pub fn build(arm_length: f64, speed_limit: f64, building_setback: f64, building_size: f64) -> Self {
+    pub fn build(
+        arm_length: f64,
+        speed_limit: f64,
+        building_setback: f64,
+        building_size: f64,
+    ) -> Self {
         let net = RoadNetwork::four_way_intersection(arm_length, speed_limit);
         let world = World::corner_buildings(building_setback, building_size);
         let hidden_region = Aabb::new(
@@ -36,7 +41,14 @@ impl ScenarioWorld {
         let cell_size = 5.0;
         let cols = (hidden_region.width() / cell_size).ceil() as usize;
         let rows = (hidden_region.height() / cell_size).ceil() as usize;
-        ScenarioWorld { net, world, hidden_region, cell_size, cols, rows }
+        ScenarioWorld {
+            net,
+            world,
+            hidden_region,
+            cell_size,
+            cols,
+            rows,
+        }
     }
 
     /// Number of grid cells over the hidden region.
@@ -124,7 +136,10 @@ mod tests {
         let grid = w.rasterize(ego, 150.0, &[]);
         let observed = grid.iter().filter(|&&c| c >= 0).count();
         let frac = observed as f64 / grid.len() as f64;
-        assert!(frac < 0.5, "the corner must hide most of the region, saw {frac}");
+        assert!(
+            frac < 0.5,
+            "the corner must hide most of the region, saw {frac}"
+        );
     }
 
     #[test]
@@ -134,7 +149,10 @@ mod tests {
         let grid = w.rasterize(helper, 150.0, &[]);
         let observed = grid.iter().filter(|&&c| c >= 0).count();
         let frac = observed as f64 / grid.len() as f64;
-        assert!(frac > 0.6, "an on-arm helper sees most of the corridor, saw {frac}");
+        assert!(
+            frac > 0.6,
+            "an on-arm helper sees most of the corridor, saw {frac}"
+        );
     }
 
     #[test]

@@ -115,7 +115,12 @@ impl<M> EngineShared<M> {
     fn push(&mut self, time: SimTime, dest: ActorId, msg: M) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled { time, seq, dest, msg });
+        self.queue.push(Scheduled {
+            time,
+            seq,
+            dest,
+            msg,
+        });
     }
 }
 
@@ -263,7 +268,9 @@ impl<M> Engine<M> {
 
     /// `true` if the given actor is still alive.
     pub fn is_alive(&self, id: ActorId) -> bool {
-        self.actors.get(id.index()).is_some_and(|slot| slot.is_some())
+        self.actors
+            .get(id.index())
+            .is_some_and(|slot| slot.is_some())
     }
 
     /// Caps the number of events a single `run_*` call may process; exceeding
@@ -338,7 +345,10 @@ impl<M> Engine<M> {
             let batch: Vec<_> = self.shared.pending_spawn.drain(..).collect();
             for (id, mut actor) in batch {
                 debug_assert_eq!(id.index(), self.actors.len(), "actor ids must stay dense");
-                let mut ctx = Context { shared: &mut self.shared, self_id: id };
+                let mut ctx = Context {
+                    shared: &mut self.shared,
+                    self_id: id,
+                };
                 actor.on_start(&mut ctx);
                 self.actors.push(Some(actor));
             }
@@ -354,7 +364,10 @@ impl<M> Engine<M> {
         match self.actors.get_mut(ev.dest.index()).and_then(Option::take) {
             Some(mut actor) => {
                 self.shared.delivered += 1;
-                let mut ctx = Context { shared: &mut self.shared, self_id: ev.dest };
+                let mut ctx = Context {
+                    shared: &mut self.shared,
+                    self_id: ev.dest,
+                };
                 actor.on_message(&mut ctx, ev.msg);
                 // The actor may have stopped itself; honour that after
                 // putting it back so ids stay dense.
@@ -445,7 +458,9 @@ mod tests {
         }
     }
 
-    fn recorder() -> (Recorder, std::rc::Rc<std::cell::RefCell<Vec<(SimTime, u64)>>>) {
+    type RecorderLog = std::rc::Rc<std::cell::RefCell<Vec<(SimTime, u64)>>>;
+
+    fn recorder() -> (Recorder, RecorderLog) {
         let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
         (Recorder { log: log.clone() }, log)
     }
@@ -497,7 +512,10 @@ mod tests {
     #[test]
     fn periodic_timer_pattern() {
         let mut engine = Engine::new(0);
-        engine.spawn(Ticker { remaining: 5, period: SimDuration::from_secs(1) });
+        engine.spawn(Ticker {
+            remaining: 5,
+            period: SimDuration::from_secs(1),
+        });
         let outcome = engine.run_to_completion();
         assert_eq!(outcome, RunOutcome::Completed);
         assert_eq!(engine.now(), SimTime::from_secs(5));
@@ -507,7 +525,10 @@ mod tests {
     #[test]
     fn run_until_respects_horizon() {
         let mut engine = Engine::new(0);
-        engine.spawn(Ticker { remaining: 100, period: SimDuration::from_secs(1) });
+        engine.spawn(Ticker {
+            remaining: 100,
+            period: SimDuration::from_secs(1),
+        });
         let outcome = engine.run_until(SimTime::from_millis(3500));
         assert_eq!(outcome, RunOutcome::HorizonReached);
         assert_eq!(engine.now(), SimTime::from_millis(3500));
@@ -618,8 +639,14 @@ mod tests {
             use rand::RngCore;
             let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
             let mut engine = Engine::new(seed);
-            let a = engine.spawn(Noisy { peer: None, log: log.clone() });
-            let b = engine.spawn(Noisy { peer: Some(a), log: log.clone() });
+            let a = engine.spawn(Noisy {
+                peer: None,
+                log: log.clone(),
+            });
+            let b = engine.spawn(Noisy {
+                peer: Some(a),
+                log: log.clone(),
+            });
             engine.send(b, SimDuration::ZERO, Msg::Value(50));
             engine.run_to_completion();
             let result = log.borrow().clone();

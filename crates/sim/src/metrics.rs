@@ -205,7 +205,10 @@ impl Metrics {
 
     /// Records an observation into the named histogram, creating it.
     pub fn record(&mut self, name: &str, value: f64) {
-        self.histograms.entry(name.to_owned()).or_insert_with(Histogram::new).record(value);
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
     }
 
     /// The named histogram, if any observation was recorded.
@@ -238,7 +241,7 @@ impl Metrics {
             self.gauges.insert(k.clone(), *v);
         }
         for (k, h) in &other.histograms {
-            let dst = self.histograms.entry(k.clone()).or_insert_with(Histogram::new);
+            let dst = self.histograms.entry(k.clone()).or_default();
             for &s in &h.reservoir {
                 dst.record(s);
             }

@@ -85,7 +85,10 @@ impl SimRng {
     ///
     /// Panics if `mean` is not positive and finite.
     pub fn exp(&mut self, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive"
+        );
         let u = 1.0 - self.next_f64(); // avoid ln(0)
         -mean * u.ln()
     }
@@ -168,7 +171,10 @@ mod tests {
         let mut a = SimRng::seed_from(1);
         let mut b = SimRng::seed_from(2);
         let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
-        assert!(same < 4, "distinct seeds should disagree almost always, agreed {same}/64");
+        assert!(
+            same < 4,
+            "distinct seeds should disagree almost always, agreed {same}/64"
+        );
     }
 
     #[test]
@@ -223,7 +229,11 @@ mod tests {
         let mean = xs.iter().sum::<f64>() / n as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 10.0).abs() < 0.1, "normal mean was {mean}");
-        assert!((var.sqrt() - 3.0).abs() < 0.1, "normal sd was {}", var.sqrt());
+        assert!(
+            (var.sqrt() - 3.0).abs() < 0.1,
+            "normal sd was {}",
+            var.sqrt()
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// let t = SimTime::ZERO + SimDuration::from_millis(250);
 /// assert_eq!(t.as_secs_f64(), 0.25);
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, in nanoseconds.
@@ -28,7 +30,9 @@ pub struct SimTime(u64);
 /// use airdnd_sim::SimDuration;
 /// assert_eq!(SimDuration::from_secs(2) / 4, SimDuration::from_millis(500));
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -63,7 +67,10 @@ impl SimTime {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "SimTime requires non-negative finite seconds");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime requires non-negative finite seconds"
+        );
         SimTime((secs * 1e9).round() as u64)
     }
 
@@ -126,7 +133,10 @@ impl SimDuration {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "SimDuration requires non-negative finite seconds");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimDuration requires non-negative finite seconds"
+        );
         SimDuration((secs * 1e9).round() as u64)
     }
 
@@ -162,7 +172,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or NaN.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor.is_finite() && factor >= 0.0, "factor must be non-negative and finite");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "factor must be non-negative and finite"
+        );
         let nanos = (self.0 as f64 * factor).min(u64::MAX as f64);
         SimDuration(nanos as u64)
     }
@@ -317,7 +330,10 @@ mod tests {
         let t = SimTime::MAX + SimDuration::from_secs(1);
         assert_eq!(t, SimTime::MAX);
         assert_eq!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)), None);
-        assert_eq!(SimTime::MAX.checked_add(SimDuration::ZERO), Some(SimTime::MAX));
+        assert_eq!(
+            SimTime::MAX.checked_add(SimDuration::ZERO),
+            Some(SimTime::MAX)
+        );
     }
 
     #[test]

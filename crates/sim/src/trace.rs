@@ -42,7 +42,12 @@ impl Trace {
 
     /// A trace that records up to `capacity` entries.
     pub fn bounded(capacity: usize) -> Self {
-        Trace { entries: Vec::new(), capacity, discarded: 0, enabled: true }
+        Trace {
+            entries: Vec::new(),
+            capacity,
+            discarded: 0,
+            enabled: true,
+        }
     }
 
     /// Whether recording is active.
@@ -59,7 +64,11 @@ impl Trace {
             self.discarded += 1;
             return;
         }
-        self.entries.push(TraceEntry { time, actor, label: label.into() });
+        self.entries.push(TraceEntry {
+            time,
+            actor,
+            label: label.into(),
+        });
     }
 
     /// The recorded entries, in time order.
@@ -74,7 +83,9 @@ impl Trace {
 
     /// Entries whose label starts with `prefix`.
     pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
-        self.entries.iter().filter(move |e| e.label.starts_with(prefix))
+        self.entries
+            .iter()
+            .filter(move |e| e.label.starts_with(prefix))
     }
 }
 

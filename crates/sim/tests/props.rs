@@ -1,6 +1,6 @@
 //! Property-based tests for the simulation substrate.
 
-use airdnd_sim::{percentile, Engine, Actor, Context, OnlineStats, SimDuration, SimRng, SimTime};
+use airdnd_sim::{percentile, Actor, Context, Engine, OnlineStats, SimDuration, SimRng, SimTime};
 use proptest::prelude::*;
 use rand::RngCore;
 

@@ -69,7 +69,10 @@ pub struct TaskGraph {
 impl TaskGraph {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        TaskGraph { stages: Vec::new(), deps: Vec::new() }
+        TaskGraph {
+            stages: Vec::new(),
+            deps: Vec::new(),
+        }
     }
 
     /// Adds a stage; returns its id.
@@ -98,7 +101,10 @@ impl TaskGraph {
         // A cycle would exist iff `stage` is already (transitively) a
         // dependency of `on`.
         if self.depends_transitively(on, stage) {
-            return Err(GraphError::WouldCycle { from: stage, to: on });
+            return Err(GraphError::WouldCycle {
+                from: stage,
+                to: on,
+            });
         }
         self.deps[stage.index()].insert(on);
         Ok(())
@@ -178,7 +184,11 @@ mod tests {
     use crate::vm::{Instr, Program};
 
     fn spec(i: u64) -> TaskSpec {
-        TaskSpec::new(TaskId::new(i), format!("stage{i}"), Program::new(vec![Instr::Halt], 0))
+        TaskSpec::new(
+            TaskId::new(i),
+            format!("stage{i}"),
+            Program::new(vec![Instr::Halt], 0),
+        )
     }
 
     fn diamond() -> (TaskGraph, [StageId; 4]) {
@@ -231,7 +241,10 @@ mod tests {
         let c = g.add_stage(spec(2));
         g.add_dependency(b, a).unwrap();
         g.add_dependency(c, b).unwrap();
-        assert_eq!(g.add_dependency(a, c), Err(GraphError::WouldCycle { from: a, to: c }));
+        assert_eq!(
+            g.add_dependency(a, c),
+            Err(GraphError::WouldCycle { from: a, to: c })
+        );
         assert_eq!(g.add_dependency(a, a), Err(GraphError::SelfDependency(a)));
     }
 
@@ -240,7 +253,10 @@ mod tests {
         let mut g = TaskGraph::new();
         let a = g.add_stage(spec(0));
         let ghost = StageId(9);
-        assert_eq!(g.add_dependency(a, ghost), Err(GraphError::UnknownStage(ghost)));
+        assert_eq!(
+            g.add_dependency(a, ghost),
+            Err(GraphError::UnknownStage(ghost))
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@ use crate::vm::{execute, verify, Assembler, ExecLimits, Instr, VerifiedProgram};
 /// Builds and verifies, panicking on programmer error (library kernels are
 /// trusted to assemble).
 fn build(a: Assembler, memory_words: u32) -> VerifiedProgram {
-    let program = a.finish(memory_words).expect("library kernel labels are bound");
+    let program = a
+        .finish(memory_words)
+        .expect("library kernel labels are bound");
     verify(program).expect("library kernels verify")
 }
 
@@ -282,9 +284,16 @@ pub fn checksum() -> VerifiedProgram {
 ///
 /// Panics if the kernel traps on these inputs.
 pub fn measure_gas(program: &VerifiedProgram, inputs: &[i64]) -> u64 {
-    execute(program, inputs, ExecLimits { max_gas: u64::MAX / 2, max_outputs: usize::MAX >> 1 })
-        .expect("measurement inputs must not trap")
-        .gas_used
+    execute(
+        program,
+        inputs,
+        ExecLimits {
+            max_gas: u64::MAX / 2,
+            max_outputs: usize::MAX >> 1,
+        },
+    )
+    .expect("measurement inputs must not trap")
+    .gas_used
 }
 
 #[cfg(test)]
@@ -293,7 +302,9 @@ mod tests {
     use crate::vm::ExecLimits;
 
     fn run(p: &VerifiedProgram, inputs: &[i64]) -> Vec<i64> {
-        execute(p, inputs, ExecLimits::default()).expect("no traps").outputs
+        execute(p, inputs, ExecLimits::default())
+            .expect("no traps")
+            .outputs
     }
 
     #[test]
@@ -375,7 +386,11 @@ mod tests {
     #[test]
     fn burn_and_echo_burns_then_echoes() {
         let p = burn_and_echo(10);
-        assert_eq!(run(&p, &[7, 8, 9]), vec![7, 8, 9], "result is the echoed input");
+        assert_eq!(
+            run(&p, &[7, 8, 9]),
+            vec![7, 8, 9],
+            "result is the echoed input"
+        );
         let cheap = measure_gas(&burn_and_echo(10), &[1; 32]);
         let pricey = measure_gas(&burn_and_echo(100), &[1; 32]);
         let ratio = pricey as f64 / cheap as f64;

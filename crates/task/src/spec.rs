@@ -36,7 +36,9 @@ impl fmt::Display for TaskId {
 }
 
 /// Scheduling priority, ordered low → critical.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub enum Priority {
     /// Background work.
     Low,
@@ -172,7 +174,10 @@ mod tests {
         let spec = TaskSpec::new(TaskId::new(7), "fuse", program())
             .with_input(DataQuery::of_type(DataType::OccupancyGrid))
             .with_priority(Priority::High)
-            .with_requirements(ResourceRequirements { gas: 42, ..Default::default() });
+            .with_requirements(ResourceRequirements {
+                gas: 42,
+                ..Default::default()
+            });
         assert_eq!(spec.id.raw(), 7);
         assert_eq!(spec.inputs.len(), 1);
         assert_eq!(spec.priority, Priority::High);

@@ -199,7 +199,9 @@ mod tests {
 
     fn run(program: Program, inputs: &[i64]) -> Vec<i64> {
         let v = verify(program).expect("assembled programs verify");
-        execute(&v, inputs, ExecLimits::default()).expect("no traps").outputs
+        execute(&v, inputs, ExecLimits::default())
+            .expect("no traps")
+            .outputs
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub struct ExecLimits {
 impl Default for ExecLimits {
     /// 10 M gas and 64 Ki output words — generous for perception kernels.
     fn default() -> Self {
-        ExecLimits { max_gas: 10_000_000, max_outputs: 65_536 }
+        ExecLimits {
+            max_gas: 10_000_000,
+            max_outputs: 65_536,
+        }
     }
 }
 
@@ -76,8 +79,12 @@ impl fmt::Display for Trap {
         match self {
             Trap::OutOfGas { limit } => write!(f, "out of gas (limit {limit})"),
             Trap::DivByZero { pc } => write!(f, "division by zero at {pc}"),
-            Trap::MemOutOfBounds { pc, addr } => write!(f, "memory access {addr} out of bounds at {pc}"),
-            Trap::InputOutOfBounds { pc, index } => write!(f, "input index {index} out of bounds at {pc}"),
+            Trap::MemOutOfBounds { pc, addr } => {
+                write!(f, "memory access {addr} out of bounds at {pc}")
+            }
+            Trap::InputOutOfBounds { pc, index } => {
+                write!(f, "input index {index} out of bounds at {pc}")
+            }
             Trap::OutputLimit { pc } => write!(f, "output limit exceeded at {pc}"),
         }
     }
@@ -90,7 +97,11 @@ impl Error for Trap {}
 /// # Errors
 ///
 /// Returns a [`Trap`] on any runtime failure; see the trap variants.
-pub fn execute(program: &VerifiedProgram, inputs: &[i64], limits: ExecLimits) -> Result<Execution, Trap> {
+pub fn execute(
+    program: &VerifiedProgram,
+    inputs: &[i64],
+    limits: ExecLimits,
+) -> Result<Execution, Trap> {
     let code = program.program().code();
     let mem_words = program.program().memory_words() as usize;
     let mut memory = vec![0i64; mem_words];
@@ -111,7 +122,9 @@ pub fn execute(program: &VerifiedProgram, inputs: &[i64], limits: ExecLimits) ->
         let instr = code[pc];
         gas += gas_cost(instr);
         if gas > limits.max_gas {
-            return Err(Trap::OutOfGas { limit: limits.max_gas });
+            return Err(Trap::OutOfGas {
+                limit: limits.max_gas,
+            });
         }
         steps += 1;
         let mut next = pc + 1;
@@ -285,7 +298,11 @@ pub fn execute(program: &VerifiedProgram, inputs: &[i64], limits: ExecLimits) ->
         }
         pc = next;
     }
-    Ok(Execution { outputs, gas_used: gas, steps })
+    Ok(Execution {
+        outputs,
+        gas_used: gas,
+        steps,
+    })
 }
 
 #[cfg(test)]
@@ -307,7 +324,12 @@ mod tests {
         assert_eq!(out.outputs, vec![35]);
         let out = run(vec![Push(-7), Abs, Output, Push(3), Neg, Output], 0, &[]).unwrap();
         assert_eq!(out.outputs, vec![7, -3]);
-        let out = run(vec![Push(9), Push(4), Div, Output, Push(9), Push(4), Rem, Output], 0, &[]).unwrap();
+        let out = run(
+            vec![Push(9), Push(4), Div, Output, Push(9), Push(4), Rem, Output],
+            0,
+            &[],
+        )
+        .unwrap();
         assert_eq!(out.outputs, vec![2, 1]);
     }
 
@@ -315,11 +337,26 @@ mod tests {
     fn comparisons_and_logic() {
         let out = run(
             vec![
-                Push(3), Push(5), Lt, Output,
-                Push(3), Push(5), Ge, Output,
-                Push(0b1100), Push(0b1010), And, Output,
-                Push(0b1100), Push(0b1010), Xor, Output,
-                Push(1), Push(3), Shl, Output,
+                Push(3),
+                Push(5),
+                Lt,
+                Output,
+                Push(3),
+                Push(5),
+                Ge,
+                Output,
+                Push(0b1100),
+                Push(0b1010),
+                And,
+                Output,
+                Push(0b1100),
+                Push(0b1010),
+                Xor,
+                Output,
+                Push(1),
+                Push(3),
+                Shl,
+                Output,
             ],
             0,
             &[],
@@ -339,7 +376,17 @@ mod tests {
     #[test]
     fn memory_round_trip() {
         let out = run(
-            vec![Push(42), Push(3), Store, Push(3), Load, Output, Push(0), Load, Output],
+            vec![
+                Push(42),
+                Push(3),
+                Store,
+                Push(3),
+                Load,
+                Output,
+                Push(0),
+                Load,
+                Output,
+            ],
             8,
             &[],
         )
@@ -350,7 +397,16 @@ mod tests {
     #[test]
     fn inputs_are_readable() {
         let out = run(
-            vec![InputLen, Output, Push(0), Input, Push(2), Input, Add, Output],
+            vec![
+                InputLen,
+                Output,
+                Push(0),
+                Input,
+                Push(2),
+                Input,
+                Add,
+                Output,
+            ],
             0,
             &[10, 20, 30],
         )
@@ -362,11 +418,29 @@ mod tests {
     fn loop_sums_inputs() {
         // acc lives in mem[0], i in mem[1]; while i < len: acc += input[i].
         let code = vec![
-            Push(1), Load, InputLen, Ge, Jnz(20), // 0..=4   exit when i >= len
-            Push(0), Load, Push(1), Load, Input, Add, Push(0), Store, // 5..=12  acc += input[i]
-            Push(1), Load, Push(1), Add, Push(1), Store, // 13..=18  i += 1
+            Push(1),
+            Load,
+            InputLen,
+            Ge,
+            Jnz(20), // 0..=4   exit when i >= len
+            Push(0),
+            Load,
+            Push(1),
+            Load,
+            Input,
+            Add,
+            Push(0),
+            Store, // 5..=12  acc += input[i]
+            Push(1),
+            Load,
+            Push(1),
+            Add,
+            Push(1),
+            Store,  // 13..=18  i += 1
             Jmp(0), // 19
-            Push(0), Load, Output, // 20..=22  emit acc
+            Push(0),
+            Load,
+            Output, // 20..=22  emit acc
         ];
         let out = run(code, 2, &[5, 6, 7, 8]).unwrap();
         assert_eq!(out.outputs, vec![26]);
@@ -374,8 +448,14 @@ mod tests {
 
     #[test]
     fn div_by_zero_traps() {
-        assert_eq!(run(vec![Push(1), Push(0), Div, Output], 0, &[]), Err(Trap::DivByZero { pc: 2 }));
-        assert_eq!(run(vec![Push(1), Push(0), Rem, Output], 0, &[]), Err(Trap::DivByZero { pc: 2 }));
+        assert_eq!(
+            run(vec![Push(1), Push(0), Div, Output], 0, &[]),
+            Err(Trap::DivByZero { pc: 2 })
+        );
+        assert_eq!(
+            run(vec![Push(1), Push(0), Rem, Output], 0, &[]),
+            Err(Trap::DivByZero { pc: 2 })
+        );
     }
 
     #[test]
@@ -397,7 +477,14 @@ mod tests {
     #[test]
     fn gas_limit_stops_infinite_loop() {
         let v = verify(Program::new(vec![Jmp(0)], 0)).unwrap();
-        let r = execute(&v, &[], ExecLimits { max_gas: 1_000, max_outputs: 16 });
+        let r = execute(
+            &v,
+            &[],
+            ExecLimits {
+                max_gas: 1_000,
+                max_outputs: 16,
+            },
+        );
         assert_eq!(r, Err(Trap::OutOfGas { limit: 1_000 }));
     }
 
@@ -405,7 +492,14 @@ mod tests {
     fn output_limit_enforced() {
         let code = vec![Push(1), Output, Jmp(0)];
         let v = verify(Program::new(code, 0)).unwrap();
-        let r = execute(&v, &[], ExecLimits { max_gas: 1_000_000, max_outputs: 3 });
+        let r = execute(
+            &v,
+            &[],
+            ExecLimits {
+                max_gas: 1_000_000,
+                max_outputs: 3,
+            },
+        );
         assert_eq!(r, Err(Trap::OutputLimit { pc: 1 }));
     }
 

@@ -217,7 +217,10 @@ mod tests {
 
     #[test]
     fn straight_line_gas_sums() {
-        let p = Program::new(vec![Instr::Push(1), Instr::Push(2), Instr::Mul, Instr::Output], 0);
+        let p = Program::new(
+            vec![Instr::Push(1), Instr::Push(2), Instr::Mul, Instr::Output],
+            0,
+        );
         assert_eq!(p.straight_line_gas(), 1 + 1 + 4 + 2);
     }
 

@@ -15,7 +15,7 @@ pub mod exec;
 pub mod isa;
 pub mod verify;
 
-pub use asm::{Assembler, AsmError, Label};
+pub use asm::{AsmError, Assembler, Label};
 pub use exec::{execute, ExecLimits, Execution, Trap};
 pub use isa::{gas_cost, Instr, Program, MAX_CODE_LEN, MAX_MEMORY_WORDS, MAX_STACK};
 pub use verify::{verify, VerifiedProgram, VerifyError};

@@ -58,17 +58,29 @@ impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VerifyError::EmptyProgram => write!(f, "program has no instructions"),
-            VerifyError::CodeTooLong(n) => write!(f, "program has {n} instructions (max {MAX_CODE_LEN})"),
+            VerifyError::CodeTooLong(n) => {
+                write!(f, "program has {n} instructions (max {MAX_CODE_LEN})")
+            }
             VerifyError::MemoryTooLarge(w) => {
-                write!(f, "program declares {w} memory words (max {MAX_MEMORY_WORDS})")
+                write!(
+                    f,
+                    "program declares {w} memory words (max {MAX_MEMORY_WORDS})"
+                )
             }
             VerifyError::InvalidJumpTarget { pc, target } => {
                 write!(f, "jump at {pc} targets invalid index {target}")
             }
             VerifyError::StackUnderflow { pc } => write!(f, "stack underflow at {pc}"),
             VerifyError::StackOverflow { pc } => write!(f, "stack overflow at {pc}"),
-            VerifyError::InconsistentStack { pc, expected, found } => {
-                write!(f, "inconsistent stack height at {pc}: {expected} vs {found}")
+            VerifyError::InconsistentStack {
+                pc,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "inconsistent stack height at {pc}: {expected} vs {found}"
+                )
             }
         }
     }
@@ -130,7 +142,11 @@ pub fn verify(program: Program) -> Result<VerifiedProgram, VerifyError> {
     heights[0] = Some(0);
     let mut worklist = vec![0usize];
     let mut max_seen = 0u32;
-    let merge = |heights: &mut Vec<Option<u32>>, worklist: &mut Vec<usize>, pc: usize, h: u32| -> Result<(), VerifyError> {
+    let merge = |heights: &mut Vec<Option<u32>>,
+                 worklist: &mut Vec<usize>,
+                 pc: usize,
+                 h: u32|
+     -> Result<(), VerifyError> {
         match heights[pc] {
             None => {
                 heights[pc] = Some(h);
@@ -140,7 +156,11 @@ pub fn verify(program: Program) -> Result<VerifiedProgram, VerifyError> {
                 Ok(())
             }
             Some(existing) if existing == h => Ok(()),
-            Some(existing) => Err(VerifyError::InconsistentStack { pc, expected: existing, found: h }),
+            Some(existing) => Err(VerifyError::InconsistentStack {
+                pc,
+                expected: existing,
+                found: h,
+            }),
         }
     };
     while let Some(pc) = worklist.pop() {
@@ -165,7 +185,10 @@ pub fn verify(program: Program) -> Result<VerifiedProgram, VerifyError> {
             _ => merge(&mut heights, &mut worklist, pc + 1, after)?,
         }
     }
-    Ok(VerifiedProgram { program, max_stack: max_seen })
+    Ok(VerifiedProgram {
+        program,
+        max_stack: max_seen,
+    })
 }
 
 #[cfg(test)]
@@ -185,7 +208,10 @@ mod tests {
 
     #[test]
     fn empty_program_rejected() {
-        assert_eq!(verify(Program::new(vec![], 0)), Err(VerifyError::EmptyProgram));
+        assert_eq!(
+            verify(Program::new(vec![], 0)),
+            Err(VerifyError::EmptyProgram)
+        );
     }
 
     #[test]
@@ -214,14 +240,14 @@ mod tests {
     fn loop_with_consistent_heights_verifies() {
         // i = 5; while (i != 0) i -= 1;
         let code = vec![
-            Push(5),     // 0: [i]
-            Dup,         // 1: [i, i]
-            Jz(6),       // 2: [i]
-            Push(1),     // 3
-            Sub,         // 4: [i-1]
-            Jmp(1),      // 5
-            Pop,         // 6: []
-            Halt,        // 7
+            Push(5), // 0: [i]
+            Dup,     // 1: [i, i]
+            Jz(6),   // 2: [i]
+            Push(1), // 3
+            Sub,     // 4: [i-1]
+            Jmp(1),  // 5
+            Pop,     // 6: []
+            Halt,    // 7
         ];
         let v = ok(code);
         assert_eq!(v.max_stack(), 2);
@@ -231,21 +257,24 @@ mod tests {
     fn inconsistent_join_heights_rejected() {
         // Path A reaches pc=3 with height 1, path B with height 2.
         let code = vec![
-            Push(0),  // 0: [0]
-            Jz(3),    // 1: []  -> target 3 with height 0
-            Push(1),  // 2: [1] -> falls to 3 with height 1
-            Halt,     // 3
+            Push(0), // 0: [0]
+            Jz(3),   // 1: []  -> target 3 with height 0
+            Push(1), // 2: [1] -> falls to 3 with height 1
+            Halt,    // 3
         ];
         let err = verify(Program::new(code, 0)).unwrap_err();
-        assert!(matches!(err, VerifyError::InconsistentStack { pc: 3, .. }), "{err}");
+        assert!(
+            matches!(err, VerifyError::InconsistentStack { pc: 3, .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn overflow_detected() {
         // An unconditional self-growing loop: push inside a loop body.
         let code = vec![
-            Push(1),  // 0
-            Jmp(0),   // 1  -> join at 0 with height 1 vs 0 → inconsistent
+            Push(1), // 0
+            Jmp(0),  // 1  -> join at 0 with height 1 vs 0 → inconsistent
         ];
         // This particular shape reports as inconsistent stack, which is the
         // correct diagnosis for unbounded growth through a back-edge.
@@ -266,7 +295,10 @@ mod tests {
     #[test]
     fn code_length_limit_enforced() {
         let long = vec![Halt; MAX_CODE_LEN + 1];
-        assert_eq!(verify(Program::new(long, 0)), Err(VerifyError::CodeTooLong(MAX_CODE_LEN + 1)));
+        assert_eq!(
+            verify(Program::new(long, 0)),
+            Err(VerifyError::CodeTooLong(MAX_CODE_LEN + 1))
+        );
     }
 
     #[test]
@@ -281,20 +313,24 @@ mod tests {
     #[test]
     fn conditional_diamond_verifies() {
         let code = vec![
-            Push(1),   // 0: [c]
-            Jz(4),     // 1: []
-            Push(10),  // 2: [10]
-            Jmp(5),    // 3
-            Push(20),  // 4: [20]
-            Output,    // 5: []   both paths arrive with height 1
-            Halt,      // 6
+            Push(1),  // 0: [c]
+            Jz(4),    // 1: []
+            Push(10), // 2: [10]
+            Jmp(5),   // 3
+            Push(20), // 4: [20]
+            Output,   // 5: []   both paths arrive with height 1
+            Halt,     // 6
         ];
         assert!(verify(Program::new(code, 0)).is_ok());
     }
 
     #[test]
     fn error_display_is_informative() {
-        let e = VerifyError::InconsistentStack { pc: 3, expected: 1, found: 2 };
+        let e = VerifyError::InconsistentStack {
+            pc: 3,
+            expected: 1,
+            found: 2,
+        };
         assert_eq!(e.to_string(), "inconsistent stack height at 3: 1 vs 2");
     }
 }

@@ -166,12 +166,11 @@ mod tests {
     fn avalanche() {
         let a = sha256(b"hello world");
         let b = sha256(b"hello worle");
-        let differing_bits: u32 = a
-            .0
-            .iter()
-            .zip(b.0.iter())
-            .map(|(x, y)| (x ^ y).count_ones())
-            .sum();
+        let differing_bits: u32 =
+            a.0.iter()
+                .zip(b.0.iter())
+                .map(|(x, y)| (x ^ y).count_ones())
+                .sum();
         assert!(differing_bits > 80, "≈128 expected, got {differing_bits}");
     }
 

@@ -13,7 +13,9 @@ use std::fmt;
 
 /// How much a shared artefact reveals, ordered from least to most
 /// revealing.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub enum PrivacyLevel {
     /// Only aggregate statistics (counts, histograms).
     #[default]
@@ -49,7 +51,10 @@ pub struct PrivacyPolicy<K: Ord> {
 impl<K: Ord> PrivacyPolicy<K> {
     /// A policy allowing up to `default_limit` for unlisted categories.
     pub fn new(default_limit: PrivacyLevel) -> Self {
-        PrivacyPolicy { limits: BTreeMap::new(), default_limit }
+        PrivacyPolicy {
+            limits: BTreeMap::new(),
+            default_limit,
+        }
     }
 
     /// Sets the limit for one category.
@@ -59,7 +64,10 @@ impl<K: Ord> PrivacyPolicy<K> {
 
     /// The limit for a category.
     pub fn limit(&self, category: &K) -> PrivacyLevel {
-        self.limits.get(category).copied().unwrap_or(self.default_limit)
+        self.limits
+            .get(category)
+            .copied()
+            .unwrap_or(self.default_limit)
     }
 
     /// `true` if sharing an artefact at `level` for this category is
@@ -101,9 +109,18 @@ mod tests {
         let mut policy: PrivacyPolicy<&str> = PrivacyPolicy::new(PrivacyLevel::Derived);
         policy.set_limit("camera", PrivacyLevel::Aggregate);
         policy.set_limit("gnss", PrivacyLevel::Raw);
-        assert!(!policy.allows(&"camera", PrivacyLevel::Anonymized), "camera locked down");
-        assert!(policy.allows(&"gnss", PrivacyLevel::Raw), "gnss fully shareable");
-        assert!(policy.allows(&"lidar", PrivacyLevel::Derived), "default applies");
+        assert!(
+            !policy.allows(&"camera", PrivacyLevel::Anonymized),
+            "camera locked down"
+        );
+        assert!(
+            policy.allows(&"gnss", PrivacyLevel::Raw),
+            "gnss fully shareable"
+        );
+        assert!(
+            policy.allows(&"lidar", PrivacyLevel::Derived),
+            "default applies"
+        );
         assert!(!policy.allows(&"lidar", PrivacyLevel::Raw));
     }
 

@@ -26,7 +26,11 @@ impl BetaReputation {
     /// Panics if `decay` is outside `(0, 1]`.
     pub fn new(decay: f64) -> Self {
         assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
-        BetaReputation { alpha: 1.0, beta: 1.0, decay }
+        BetaReputation {
+            alpha: 1.0,
+            beta: 1.0,
+            decay,
+        }
     }
 
     /// Records an interaction outcome.
@@ -80,13 +84,19 @@ impl ReputationTable {
     /// Panics if `decay` is outside `(0, 1]`.
     pub fn new(decay: f64) -> Self {
         assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
-        ReputationTable { entries: BTreeMap::new(), decay }
+        ReputationTable {
+            entries: BTreeMap::new(),
+            decay,
+        }
     }
 
     /// Records an outcome for `node`.
     pub fn record(&mut self, node: u64, success: bool) {
         let decay = self.decay;
-        self.entries.entry(node).or_insert_with(|| BetaReputation::new(decay)).record(success);
+        self.entries
+            .entry(node)
+            .or_insert_with(|| BetaReputation::new(decay))
+            .record(success);
     }
 
     /// Score for `node`; unknown nodes get the neutral prior 0.5.
@@ -96,7 +106,9 @@ impl ReputationTable {
 
     /// Evidence mass for `node` (0 if unknown).
     pub fn evidence(&self, node: u64) -> f64 {
-        self.entries.get(&node).map_or(0.0, BetaReputation::evidence)
+        self.entries
+            .get(&node)
+            .map_or(0.0, BetaReputation::evidence)
     }
 
     /// `true` if the node's score is at least `threshold`.
@@ -187,7 +199,12 @@ mod tests {
         for _ in 0..10 {
             r.record(false);
         }
-        assert!(r.score() < honest - 0.3, "10 failures must bite: {} → {}", honest, r.score());
+        assert!(
+            r.score() < honest - 0.3,
+            "10 failures must bite: {} → {}",
+            honest,
+            r.score()
+        );
     }
 
     #[test]

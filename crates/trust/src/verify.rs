@@ -71,7 +71,12 @@ pub fn weighted_vote(
     min_weight: f64,
     win_fraction: f64,
 ) -> Verdict {
-    vote_with_weights(results, |node| reputation.score(node), min_weight, win_fraction)
+    vote_with_weights(
+        results,
+        |node| reputation.score(node),
+        min_weight,
+        win_fraction,
+    )
 }
 
 fn vote_with_weights(
@@ -112,7 +117,11 @@ fn vote_with_weights(
         }
         (agree, dissent)
     };
-    Verdict::Accepted { digest: winner, agreeing, dissenting }
+    Verdict::Accepted {
+        digest: winner,
+        agreeing,
+        dissenting,
+    }
 }
 
 /// Deterministic random spot-checking: re-execute a sampled fraction of
@@ -132,8 +141,16 @@ impl SpotChecker {
     ///
     /// Panics if `probability` is outside `[0, 1]`.
     pub fn new(probability: f64, rng: SimRng) -> Self {
-        assert!((0.0..=1.0).contains(&probability), "probability must be in [0, 1]");
-        SpotChecker { probability, rng, checks: 0, caught: 0 }
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability must be in [0, 1]"
+        );
+        SpotChecker {
+            probability,
+            rng,
+            checks: 0,
+            caught: 0,
+        }
     }
 
     /// Decides whether this result should be re-executed locally.
@@ -182,7 +199,11 @@ mod tests {
     fn unanimous_majority_accepts() {
         let results = [(1, d(0)), (2, d(0)), (3, d(0))];
         match majority_vote(&results, 2) {
-            Verdict::Accepted { agreeing, dissenting, .. } => {
+            Verdict::Accepted {
+                agreeing,
+                dissenting,
+                ..
+            } => {
                 assert_eq!(agreeing, vec![1, 2, 3]);
                 assert!(dissenting.is_empty());
             }
@@ -194,7 +215,9 @@ mod tests {
     fn lone_dissenter_is_identified() {
         let results = [(1, d(0)), (2, d(0)), (3, d(9))];
         match majority_vote(&results, 2) {
-            Verdict::Accepted { digest, dissenting, .. } => {
+            Verdict::Accepted {
+                digest, dissenting, ..
+            } => {
                 assert_eq!(digest, d(0));
                 assert_eq!(dissenting, vec![3]);
             }
@@ -205,14 +228,23 @@ mod tests {
     #[test]
     fn tie_is_inconclusive() {
         let results = [(1, d(0)), (2, d(1))];
-        assert_eq!(majority_vote(&results, 1), Verdict::Inconclusive { distinct: 2 });
+        assert_eq!(
+            majority_vote(&results, 1),
+            Verdict::Inconclusive { distinct: 2 }
+        );
     }
 
     #[test]
     fn quorum_floor_is_enforced() {
         let results = [(1, d(0))];
-        assert_eq!(majority_vote(&results, 2), Verdict::Inconclusive { distinct: 1 });
-        assert!(matches!(majority_vote(&results, 1), Verdict::Accepted { .. }));
+        assert_eq!(
+            majority_vote(&results, 2),
+            Verdict::Inconclusive { distinct: 1 }
+        );
+        assert!(matches!(
+            majority_vote(&results, 1),
+            Verdict::Accepted { .. }
+        ));
     }
 
     #[test]
@@ -236,7 +268,9 @@ mod tests {
         }
         // Weighted: the trusted node's single vote dominates.
         match weighted_vote(&results, &table, 0.5, 0.5) {
-            Verdict::Accepted { digest, dissenting, .. } => {
+            Verdict::Accepted {
+                digest, dissenting, ..
+            } => {
                 assert_eq!(digest, d(0));
                 assert_eq!(dissenting, vec![2, 3]);
             }

@@ -25,12 +25,18 @@ fn main() {
     for i in 0..6u64 {
         let from = (i as usize) % 4;
         let to = (from + 1 + (i as usize) % 3) % 4;
-        let route = net.route(net.approach_node(from), net.exit_node(to)).expect("arms connect");
+        let route = net
+            .route(net.approach_node(from), net.exit_node(to))
+            .expect("arms connect");
         let mut m = Mobility::route(route, 8.0 + i as f64, IdmParams::default());
         m.step((i as f64) * 2.0); // stagger entries
         let addr = NodeAddr::new(i + 1);
         medium.set_position(addr, m.pos());
-        nodes.push(MeshNode::new(addr, MeshConfig::default(), NodeAdvert::closed()));
+        nodes.push(MeshNode::new(
+            addr,
+            MeshConfig::default(),
+            NodeAdvert::closed(),
+        ));
         mobility.push(m);
         let _ = rng.next_f64();
     }
@@ -56,8 +62,8 @@ fn main() {
             }
         }
         // Timers.
-        for i in 0..nodes.len() {
-            for action in nodes[i].on_timer(now) {
+        for (i, node) in nodes.iter_mut().enumerate() {
+            for action in node.on_timer(now) {
                 outgoing.push((i, action));
             }
         }

@@ -16,7 +16,10 @@ fn main() {
         strategy: Strategy::Airdnd,
         ..Default::default()
     };
-    println!("AirDnD quickstart: {} vehicles, {:.0} s at an occluded intersection", cfg.vehicles, 60.0);
+    println!(
+        "AirDnD quickstart: {} vehicles, {:.0} s at an occluded intersection",
+        cfg.vehicles, 60.0
+    );
     let report = run_scenario(cfg);
 
     println!("\n== mesh (Model 1) ==");
@@ -25,7 +28,10 @@ fn main() {
         None => println!("the mesh never formed (!)"),
     }
     println!("mean mesh size seen by the ego: {:.1}", report.mean_members);
-    println!("membership churn: {} joins / {} leaves", report.joins, report.leaves);
+    println!(
+        "membership churn: {} joins / {} leaves",
+        report.joins, report.leaves
+    );
 
     println!("\n== offloading (Models 2+3, RQ1–RQ2) ==");
     println!(

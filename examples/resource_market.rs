@@ -13,19 +13,56 @@ use airdnd::baselines::{
     mcafee_double_auction, Assigner, CandidateInfo, CodedAssigner, DoubleAuctionAssigner,
     GreedyComputeAssigner, ScoreAssigner, SmartContractAssigner,
 };
-use airdnd::nfv::{NfManager, PlacementStrategy, ResourceCapacity, ServiceChain, VnfDescriptor, VnfKind};
+use airdnd::nfv::{
+    NfManager, PlacementStrategy, ResourceCapacity, ServiceChain, VnfDescriptor, VnfKind,
+};
 use airdnd::radio::NodeAddr;
-use airdnd::sim::{SimTime, SimDuration};
+use airdnd::sim::{SimDuration, SimTime};
 use airdnd::task::{library, Priority, ResourceRequirements, TaskId, TaskSpec};
 
 fn main() {
     // A snapshot of five in-range vehicles with very different headroom.
     let candidates: Vec<CandidateInfo> = vec![
-        CandidateInfo { addr: NodeAddr::new(1), gas_rate: 4_000_000, gas_backlog: 0, link_quality: 0.9, has_data: true, trust: 0.8 },
-        CandidateInfo { addr: NodeAddr::new(2), gas_rate: 2_000_000, gas_backlog: 3_000_000, link_quality: 0.95, has_data: true, trust: 0.9 },
-        CandidateInfo { addr: NodeAddr::new(3), gas_rate: 1_000_000, gas_backlog: 0, link_quality: 0.4, has_data: true, trust: 0.5 },
-        CandidateInfo { addr: NodeAddr::new(4), gas_rate: 500_000, gas_backlog: 0, link_quality: 0.99, has_data: true, trust: 0.95 },
-        CandidateInfo { addr: NodeAddr::new(5), gas_rate: 8_000_000, gas_backlog: 0, link_quality: 0.7, has_data: false, trust: 0.6 },
+        CandidateInfo {
+            addr: NodeAddr::new(1),
+            gas_rate: 4_000_000,
+            gas_backlog: 0,
+            link_quality: 0.9,
+            has_data: true,
+            trust: 0.8,
+        },
+        CandidateInfo {
+            addr: NodeAddr::new(2),
+            gas_rate: 2_000_000,
+            gas_backlog: 3_000_000,
+            link_quality: 0.95,
+            has_data: true,
+            trust: 0.9,
+        },
+        CandidateInfo {
+            addr: NodeAddr::new(3),
+            gas_rate: 1_000_000,
+            gas_backlog: 0,
+            link_quality: 0.4,
+            has_data: true,
+            trust: 0.5,
+        },
+        CandidateInfo {
+            addr: NodeAddr::new(4),
+            gas_rate: 500_000,
+            gas_backlog: 0,
+            link_quality: 0.99,
+            has_data: true,
+            trust: 0.95,
+        },
+        CandidateInfo {
+            addr: NodeAddr::new(5),
+            gas_rate: 8_000_000,
+            gas_backlog: 0,
+            link_quality: 0.7,
+            has_data: false,
+            trust: 0.6,
+        },
     ];
     let task = TaskSpec::new(TaskId::new(1), "fuse", library::grid_fuse(64).into_inner())
         .with_requirements(ResourceRequirements {
@@ -74,7 +111,10 @@ fn main() {
     println!("\n== NFV service chain on the same fleet ==");
     let mut manager = NfManager::new(PlacementStrategy::BestFit);
     for c in &candidates {
-        manager.register_node(c.addr.raw(), ResourceCapacity::new(1_000, 1 << 30, c.gas_rate));
+        manager.register_node(
+            c.addr.raw(),
+            ResourceCapacity::new(1_000, 1 << 30, c.gas_rate),
+        );
     }
     let chain = ServiceChain::new(
         "cooperative-perception",
@@ -84,15 +124,27 @@ fn main() {
             VnfDescriptor::of_kind("fusion", VnfKind::PerceptionFuser),
         ],
     );
-    let chain_id = manager.deploy_chain(&chain, SimTime::ZERO).expect("fleet can host the chain");
+    let chain_id = manager
+        .deploy_chain(&chain, SimTime::ZERO)
+        .expect("fleet can host the chain");
     println!("deployed {chain_id}:");
     for vnf in manager.instances() {
-        println!("  {} ({}) on node {}", vnf.id, vnf.descriptor.kind, vnf.host);
+        println!(
+            "  {} ({}) on node {}",
+            vnf.id, vnf.descriptor.kind, vnf.host
+        );
     }
-    println!("mean fleet utilization: {:.1}%", manager.mean_utilization() * 100.0);
+    println!(
+        "mean fleet utilization: {:.1}%",
+        manager.mean_utilization() * 100.0
+    );
 
     // Node departure: heal the chain onto surviving nodes.
-    let departing = manager.instances().map(|i| i.host).next().expect("chain is placed");
+    let departing = manager
+        .instances()
+        .map(|i| i.host)
+        .next()
+        .expect("chain is placed");
     println!("\nnode {departing} drives away...");
     let orphans = manager.node_departed(departing);
     let (healed, lost) = manager.heal(&orphans, SimTime::from_secs(5));

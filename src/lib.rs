@@ -23,6 +23,7 @@
 //! | [`core`] | `airdnd-core` | the orchestrator itself (RQ1–RQ3) |
 //! | [`baselines`] | `airdnd-baselines` | auctions, cloud, local baselines |
 //! | [`scenario`] | `airdnd-scenario` | "looking around the corner" |
+//! | [`harness`] | `airdnd-harness` | parallel deterministic sweep orchestration |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,7 @@ pub use airdnd_baselines as baselines;
 pub use airdnd_core as core;
 pub use airdnd_data as data;
 pub use airdnd_geo as geo;
+pub use airdnd_harness as harness;
 pub use airdnd_mesh as mesh;
 pub use airdnd_nfv as nfv;
 pub use airdnd_radio as radio;

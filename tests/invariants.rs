@@ -5,8 +5,8 @@ use airdnd::data::{DataCatalog, DataQuery, DataType, QualityDescriptor};
 use airdnd::geo::{SpatialIndex, Vec2};
 use airdnd::scenario::fuse_max;
 use airdnd::sim::{percentile, SimTime};
-use airdnd::task::vm::{execute, verify, ExecLimits, Instr, Program, Trap};
 use airdnd::task::library;
+use airdnd::task::vm::{execute, verify, ExecLimits, Instr, Program, Trap};
 use airdnd::trust::{digest_outputs, majority_vote, Verdict};
 use proptest::prelude::*;
 

@@ -13,11 +13,14 @@ use airdnd::task::{library, ResourceRequirements, TaskId, TaskSpec};
 use airdnd::trust::PrivacyLevel;
 use std::collections::BinaryHeap;
 
+/// One queued delivery: (due, tie-break seq, destination index, sender, frame).
+type QueuedFrame = (SimTime, u64, usize, NodeAddr, WireMsgBox);
+
 /// A minimal deterministic driver: nodes + medium + a time-ordered queue.
 struct Driver {
     nodes: Vec<OrchestratorNode>,
     medium: RadioMedium,
-    queue: BinaryHeap<std::cmp::Reverse<(SimTime, u64, usize, NodeAddr, WireMsgBox)>>,
+    queue: BinaryHeap<std::cmp::Reverse<QueuedFrame>>,
     seq: u64,
     outcomes: Vec<(TaskId, TaskOutcome)>,
 }
@@ -61,7 +64,13 @@ impl Driver {
             medium.set_position(addr, pos);
             nodes.push(node);
         }
-        Driver { nodes, medium, queue: BinaryHeap::new(), seq: 0, outcomes: Vec::new() }
+        Driver {
+            nodes,
+            medium,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            outcomes: Vec::new(),
+        }
     }
 
     fn index_of(&self, addr: NodeAddr) -> Option<usize> {
@@ -89,11 +98,19 @@ impl Driver {
                     }
                 }
                 NodeAction::Send { to, msg } => {
-                    let (outcome, _) = self.medium.unicast(now, src_addr, to, msg.wire_size_bytes());
+                    let (outcome, _) =
+                        self.medium
+                            .unicast(now, src_addr, to, msg.wire_size_bytes());
                     if let DeliveryOutcome::Delivered { at, .. } = outcome {
                         if let Some(idx) = self.index_of(to) {
                             self.seq += 1;
-                            self.queue.push(std::cmp::Reverse((at, self.seq, idx, src_addr, WireMsgBox(msg))));
+                            self.queue.push(std::cmp::Reverse((
+                                at,
+                                self.seq,
+                                idx,
+                                src_addr,
+                                WireMsgBox(msg),
+                            )));
                         }
                     }
                 }
@@ -103,7 +120,13 @@ impl Driver {
                     if let DeliveryOutcome::Delivered { at: arrival, .. } = outcome {
                         if let Some(idx) = self.index_of(to) {
                             self.seq += 1;
-                            self.queue.push(std::cmp::Reverse((arrival, self.seq, idx, src_addr, WireMsgBox(msg))));
+                            self.queue.push(std::cmp::Reverse((
+                                arrival,
+                                self.seq,
+                                idx,
+                                src_addr,
+                                WireMsgBox(msg),
+                            )));
                         }
                     }
                 }
@@ -177,7 +200,9 @@ fn offload_completes_over_a_real_radio() {
     driver.run_until(SimTime::from_secs(5));
     assert_eq!(driver.outcomes.len(), 1);
     match &driver.outcomes[0].1 {
-        TaskOutcome::Completed { outputs, latency, .. } => {
+        TaskOutcome::Completed {
+            outputs, latency, ..
+        } => {
             assert_eq!(outputs.len(), 8, "grid_fuse(8) returns 8 cells");
             assert!(latency.as_millis_f64() < 1_000.0);
         }
@@ -194,7 +219,10 @@ fn out_of_range_nodes_never_join_the_candidate_set() {
     driver.medium.set_position(far, Vec2::new(100_000.0, 0.0));
     driver.nodes[2].set_kinematics(Vec2::new(100_000.0, 0.0), Vec2::ZERO);
     driver.run_until(SimTime::from_secs(1));
-    assert!(!driver.nodes[0].mesh().is_member(far), "far node must not be a member");
+    assert!(
+        !driver.nodes[0].mesh().is_member(far),
+        "far node must not be a member"
+    );
     let now = SimTime::from_millis(1100);
     stock(&mut driver.nodes[1], now);
     driver.run_until(SimTime::from_secs(2));
@@ -225,10 +253,18 @@ fn executor_departure_mid_task_triggers_retry_on_next_candidate() {
     let actions = driver.nodes[0].submit_task(t, grid_task(3, 1800), PrivacyLevel::Derived);
     driver.process(t, 0, actions);
     driver.run_until(SimTime::from_secs(6));
-    assert_eq!(driver.outcomes.len(), 1, "task must terminate one way or another");
+    assert_eq!(
+        driver.outcomes.len(),
+        1,
+        "task must terminate one way or another"
+    );
     match &driver.outcomes[0].1 {
         TaskOutcome::Completed { executors, .. } => {
-            assert_eq!(executors, &vec![NodeAddr::new(2)], "fallback executor finished it");
+            assert_eq!(
+                executors,
+                &vec![NodeAddr::new(2)],
+                "fallback executor finished it"
+            );
         }
         // Acceptable alternative: the deadline expired while failing over.
         TaskOutcome::Failed { .. } => {}
@@ -252,7 +288,11 @@ fn privacy_policy_blocks_offers_and_requester_fails_over() {
     driver.run_until(SimTime::from_secs(5));
     match &driver.outcomes[0].1 {
         TaskOutcome::Completed { executors, .. } => {
-            assert_eq!(executors, &vec![NodeAddr::new(2)], "only the permissive node may serve");
+            assert_eq!(
+                executors,
+                &vec![NodeAddr::new(2)],
+                "only the permissive node may serve"
+            );
         }
         other => panic!("{other:?}"),
     }

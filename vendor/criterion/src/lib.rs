@@ -1,0 +1,201 @@
+//! Minimal, API-compatible stand-in for the parts of `criterion` this
+//! workspace uses (vendored: the build container is offline).
+//!
+//! Measurement model: a short warm-up sizes the batch so one timed batch
+//! lasts roughly [`TARGET_BATCH`]; the reported figure is the best
+//! nanoseconds-per-iteration over [`BATCHES`] batches (minimum-of-batches
+//! is robust against scheduler noise, which matters in single-core CI
+//! containers). Results print one line per benchmark:
+//! `bench: <group>/<name> ... <ns> ns/iter`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One timed batch aims for roughly this long.
+const TARGET_BATCH: Duration = Duration::from_millis(25);
+/// Batches per benchmark; the minimum is reported.
+const BATCHES: u32 = 5;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Honors a single CLI substring filter, like the real crate.
+    pub fn configured_from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion { filter }
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(self.filter.as_deref(), name, f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(self.criterion.filter.as_deref(), &full, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Records the group's throughput basis (accepted, not reported).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, like the real crate.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput basis for a group.
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to benchmark closures; times the routine under test.
+pub struct Bencher {
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping the best batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: find an iteration count filling roughly one batch.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_BATCH / 2 || iters >= 1 << 24 {
+                let scale = TARGET_BATCH.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+                iters = ((iters as f64 * scale).ceil() as u64).clamp(1, 1 << 24);
+                break;
+            }
+            iters *= 4;
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+            best = best.min(ns);
+        }
+        self.ns_per_iter = Some(best);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(filter: Option<&str>, name: &str, mut f: F) {
+    if let Some(filter) = filter {
+        if !name.contains(filter) {
+            return;
+        }
+    }
+    let mut bencher = Bencher { ns_per_iter: None };
+    f(&mut bencher);
+    match bencher.ns_per_iter {
+        Some(ns) => println!("bench: {name} ... {ns:.1} ns/iter"),
+        None => println!("bench: {name} ... no measurement (b.iter never called)"),
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::configured_from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}

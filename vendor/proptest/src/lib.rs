@@ -1,0 +1,87 @@
+//! Minimal, API-compatible stand-in for the parts of `proptest` this
+//! workspace uses (vendored: the build container is offline).
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in
+//!   the assertion message; rerunning is deterministic, so the case is
+//!   reproducible by construction.
+//! * **Deterministic cases.** Each `proptest!` test runs a fixed number of
+//!   cases seeded from the test's module path and name — no OS entropy, no
+//!   persistence files, identical behaviour on every machine.
+//! * **Small strategy algebra.** Ranges, `any`, `Just`, tuples,
+//!   `prop_map`, `prop_oneof!` and `collection::vec` — exactly what the
+//!   workspace's property tests need.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, Just, Strategy, TestRng};
+
+/// Number of cases each `proptest!` test executes.
+pub const CASES: u64 = 48;
+
+/// Re-export hub matching `proptest::prelude::prop::*` paths.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+/// Builds a strategy choosing uniformly between the given strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`crate::CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            for __case in 0..$crate::CASES {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::Strategy::generate(&$strategy, &mut __rng);)*
+                $body
+            }
+        }
+    )*};
+}

@@ -1,0 +1,25 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::strategy::{Arbitrary, TestRng};
+
+/// A position into a collection whose length is only known at use time.
+#[derive(Clone, Copy, Debug)]
+pub struct Index(u64);
+
+impl Index {
+    /// Resolves the index against a concrete collection length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}

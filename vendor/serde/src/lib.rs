@@ -1,0 +1,205 @@
+//! Minimal, API-compatible stand-in for the parts of `serde` this workspace
+//! uses, vendored because the build container has no network access to a
+//! crates.io mirror.
+//!
+//! Scope (deliberately small — see `vendor/README.md`):
+//!
+//! * [`Serialize`] — a single-method trait producing the JSON-shaped
+//!   [`value::Value`] tree that `serde_json` renders. Object keys keep
+//!   declaration order, so output is fully deterministic.
+//! * [`Deserialize`] — the workspace never deserializes anything, so this is
+//!   a blanket-implemented marker trait and `#[derive(Deserialize)]`
+//!   expands to nothing.
+//! * `#[derive(Serialize)]` / `#[derive(Deserialize)]` re-exported from the
+//!   companion `serde_derive` proc-macro crate.
+
+#![forbid(unsafe_code)]
+
+pub mod value;
+
+/// Serialization trait and primitive implementations.
+pub mod ser {
+    pub use crate::value::{Number, Value};
+    use std::collections::BTreeMap;
+
+    /// A type that can render itself as a JSON-shaped [`Value`] tree.
+    pub trait Serialize {
+        /// Converts `self` into a [`Value`].
+        fn to_json_value(&self) -> Value;
+    }
+
+    macro_rules! impl_unsigned {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn to_json_value(&self) -> Value {
+                    Value::Number(Number::PosInt(*self as u64))
+                }
+            }
+        )*};
+    }
+    impl_unsigned!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_signed {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn to_json_value(&self) -> Value {
+                    let v = *self as i64;
+                    if v >= 0 {
+                        Value::Number(Number::PosInt(v as u64))
+                    } else {
+                        Value::Number(Number::NegInt(v))
+                    }
+                }
+            }
+        )*};
+    }
+    impl_signed!(i8, i16, i32, i64, isize);
+
+    impl Serialize for f32 {
+        fn to_json_value(&self) -> Value {
+            Value::Number(Number::Float(f64::from(*self)))
+        }
+    }
+
+    impl Serialize for f64 {
+        fn to_json_value(&self) -> Value {
+            Value::Number(Number::Float(*self))
+        }
+    }
+
+    impl Serialize for bool {
+        fn to_json_value(&self) -> Value {
+            Value::Bool(*self)
+        }
+    }
+
+    impl Serialize for char {
+        fn to_json_value(&self) -> Value {
+            Value::String(self.to_string())
+        }
+    }
+
+    impl Serialize for str {
+        fn to_json_value(&self) -> Value {
+            Value::String(self.to_owned())
+        }
+    }
+
+    impl Serialize for String {
+        fn to_json_value(&self) -> Value {
+            Value::String(self.clone())
+        }
+    }
+
+    impl Serialize for Value {
+        fn to_json_value(&self) -> Value {
+            self.clone()
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn to_json_value(&self) -> Value {
+            (**self).to_json_value()
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for Box<T> {
+        fn to_json_value(&self) -> Value {
+            (**self).to_json_value()
+        }
+    }
+
+    impl<T: Serialize> Serialize for Option<T> {
+        fn to_json_value(&self) -> Value {
+            match self {
+                Some(v) => v.to_json_value(),
+                None => Value::Null,
+            }
+        }
+    }
+
+    impl<T: Serialize> Serialize for [T] {
+        fn to_json_value(&self) -> Value {
+            Value::Array(self.iter().map(Serialize::to_json_value).collect())
+        }
+    }
+
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn to_json_value(&self) -> Value {
+            self.as_slice().to_json_value()
+        }
+    }
+
+    impl<T: Serialize, const N: usize> Serialize for [T; N] {
+        fn to_json_value(&self) -> Value {
+            self.as_slice().to_json_value()
+        }
+    }
+
+    impl Serialize for () {
+        fn to_json_value(&self) -> Value {
+            Value::Null
+        }
+    }
+
+    macro_rules! impl_tuple {
+        ($(($($n:tt $t:ident),+))+) => {$(
+            impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+                fn to_json_value(&self) -> Value {
+                    Value::Array(vec![$(self.$n.to_json_value()),+])
+                }
+            }
+        )+};
+    }
+    impl_tuple! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+    }
+
+    impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+        fn to_json_value(&self) -> Value {
+            Value::Array(self.iter().map(Serialize::to_json_value).collect())
+        }
+    }
+
+    impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+        fn to_json_value(&self) -> Value {
+            Value::Array(self.iter().map(Serialize::to_json_value).collect())
+        }
+    }
+
+    impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+        fn to_json_value(&self) -> Value {
+            let entries = self
+                .iter()
+                .map(|(k, v)| (key_string(&k.to_json_value()), v.to_json_value()))
+                .collect();
+            Value::Object(entries)
+        }
+    }
+
+    /// Renders a serialized map key as the JSON object-key string.
+    fn key_string(key: &Value) -> String {
+        match key {
+            Value::String(s) => s.clone(),
+            other => other.to_compact_string(),
+        }
+    }
+}
+
+/// Deserialization marker. The workspace only ever serializes, so this is a
+/// blanket-implemented marker trait; `#[derive(Deserialize)]` is accepted
+/// and expands to nothing.
+pub mod de {
+    /// Marker trait satisfied by every type.
+    pub trait Deserialize {}
+
+    impl<T: ?Sized> Deserialize for T {}
+}
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+pub use serde_derive::{Deserialize, Serialize};

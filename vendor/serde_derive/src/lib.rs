@@ -1,0 +1,391 @@
+//! Minimal stand-in for `serde_derive`, written against the raw
+//! `proc_macro` API (no `syn`/`quote` — the build container is offline).
+//!
+//! `#[derive(Serialize)]` supports exactly the item shapes this workspace
+//! declares:
+//!
+//! * structs with named fields (including simple type generics such as
+//!   `struct P<K: Ord> { .. }` — each parameter gains a `Serialize` bound),
+//! * tuple structs (single-field newtypes serialize transparently, wider
+//!   tuples as arrays) and unit structs,
+//! * enums with any mix of unit, newtype, tuple and struct variants, using
+//!   serde's externally-tagged representation.
+//!
+//! `#[derive(Deserialize)]` expands to nothing: the workspace never
+//! deserializes, and the vendored `serde::Deserialize` is a
+//! blanket-implemented marker trait.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` (externally-tagged, declaration
+/// order, deterministic).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(code) => code.parse().expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("valid error"),
+    }
+}
+
+/// Accepted for manifest compatibility; expands to nothing because the
+/// vendored `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+struct Generics {
+    /// `<K: Ord + ::serde::ser::Serialize>`-style impl parameter list, or empty.
+    impl_params: String,
+    /// `<K>`-style argument list, or empty.
+    args: String,
+}
+
+fn expand(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]` / doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if matches!(id.to_string().as_str(), "struct" | "enum") => {
+                break;
+            }
+            Some(other) => return Err(format!("unexpected token before item: {other}")),
+            None => return Err("ran out of tokens before `struct`/`enum`".into()),
+        }
+    }
+
+    let is_struct = matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "struct");
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".into()),
+    };
+    i += 1;
+
+    let generics = parse_generics(&tokens, &mut i)?;
+
+    let body = if is_struct {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g.stream())?;
+                struct_named_body(&name, &fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                struct_tuple_body(arity)
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                "::serde::ser::Value::Null".to_string()
+            }
+            _ => return Err(format!("unsupported struct body for `{name}`")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                enum_body(&name, g.stream())?
+            }
+            _ => return Err(format!("expected enum body for `{name}`")),
+        }
+    };
+
+    Ok(format!(
+        "impl{params} ::serde::ser::Serialize for {name}{args} {{\n\
+         \tfn to_json_value(&self) -> ::serde::ser::Value {{\n\
+         \t\t{body}\n\
+         \t}}\n\
+         }}\n",
+        params = generics.impl_params,
+        args = generics.args,
+    ))
+}
+
+/// Parses an optional `<...>` generic parameter list starting at `tokens[*i]`.
+/// Only plain type parameters with optional trait bounds are supported (the
+/// workspace never derives on lifetimes or const generics).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Result<Generics, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => {
+            return Ok(Generics {
+                impl_params: String::new(),
+                args: String::new(),
+            })
+        }
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut inner: Vec<TokenTree> = Vec::new();
+    while depth > 0 {
+        let tok = tokens
+            .get(*i)
+            .ok_or("unterminated generic parameter list")?;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        *i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        inner.push(tok.clone());
+        *i += 1;
+    }
+
+    // Split the parameter list on top-level commas.
+    let mut params: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle = 0usize;
+    for tok in inner {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle = angle.saturating_sub(1),
+                ',' if angle == 0 => {
+                    params.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        params.last_mut().expect("non-empty").push(tok);
+    }
+    params.retain(|p| !p.is_empty());
+
+    let mut impl_params = Vec::new();
+    let mut args = Vec::new();
+    for param in &params {
+        let name = match param.first() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("only plain type parameters are supported".into()),
+        };
+        let spelled: String = param
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let bound = if param.len() == 1 { ":" } else { "+" };
+        impl_params.push(format!("{spelled} {bound} ::serde::ser::Serialize"));
+        args.push(name);
+    }
+    Ok(Generics {
+        impl_params: format!("<{}>", impl_params.join(", ")),
+        args: format!("<{}>", args.join(", ")),
+    })
+}
+
+/// Collects field names from a named-field body (`{ a: T, b: U }`).
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    _ => return Err(format!("expected `:` after field `{id}`")),
+                }
+                // Skip the type up to the next top-level comma.
+                let mut angle = 0usize;
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        match p.as_char() {
+                            '<' => angle += 1,
+                            '>' => angle = angle.saturating_sub(1),
+                            ',' if angle == 0 => {
+                                i += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            other => return Err(format!("unexpected token in fields: {other}")),
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple body (`(T, U, ...)`).
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut pending = false;
+    let mut angle = 0usize;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle = angle.saturating_sub(1),
+                ',' if angle == 0 => {
+                    if pending {
+                        arity += 1;
+                        pending = false;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending = true;
+    }
+    if pending {
+        arity += 1;
+    }
+    arity
+}
+
+fn struct_named_body(_name: &str, fields: &[String]) -> String {
+    let mut pushes = String::new();
+    for f in fields {
+        pushes.push_str(&format!(
+            "__fields.push((::std::string::String::from({f:?}), \
+             ::serde::ser::Serialize::to_json_value(&self.{f})));\n\t\t"
+        ));
+    }
+    format!(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::ser::Value)> = \
+         ::std::vec::Vec::new();\n\t\t{pushes}::serde::ser::Value::Object(__fields)"
+    )
+}
+
+fn struct_tuple_body(arity: usize) -> String {
+    match arity {
+        0 => "::serde::ser::Value::Null".to_string(),
+        1 => "::serde::ser::Serialize::to_json_value(&self.0)".to_string(),
+        n => {
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::ser::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::ser::Value::Array(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+    }
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn enum_body(name: &str, stream: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants: Vec<(String, VariantShape)> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                let vname = id.to_string();
+                i += 1;
+                let shape = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        VariantShape::Tuple(tuple_arity(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        VariantShape::Struct(named_fields(g.stream())?)
+                    }
+                    _ => VariantShape::Unit,
+                };
+                // Skip an optional `= <discriminant>` up to the next comma.
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        if p.as_char() == ',' {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                variants.push((vname, shape));
+            }
+            other => return Err(format!("unexpected token in enum body: {other}")),
+        }
+    }
+
+    let mut arms = String::new();
+    for (vname, shape) in &variants {
+        let arm = match shape {
+            VariantShape::Unit => format!(
+                "{name}::{vname} => \
+                 ::serde::ser::Value::String(::std::string::String::from({vname:?})),"
+            ),
+            VariantShape::Tuple(1) => format!(
+                "{name}::{vname}(__f0) => ::serde::ser::Value::Object(::std::vec![(\
+                 ::std::string::String::from({vname:?}), \
+                 ::serde::ser::Serialize::to_json_value(__f0))]),"
+            ),
+            VariantShape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::ser::Serialize::to_json_value({b})"))
+                    .collect();
+                format!(
+                    "{name}::{vname}({binds}) => \
+                     ::serde::ser::Value::Object(::std::vec![(\
+                     ::std::string::String::from({vname:?}), \
+                     ::serde::ser::Value::Array(::std::vec![{items}]))]),",
+                    binds = binds.join(", "),
+                    items = items.join(", "),
+                )
+            }
+            VariantShape::Struct(fields) => {
+                let binds = fields.join(", ");
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from({f:?}), \
+                             ::serde::ser::Serialize::to_json_value({f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{name}::{vname} {{ {binds} }} => \
+                     ::serde::ser::Value::Object(::std::vec![(\
+                     ::std::string::String::from({vname:?}), \
+                     ::serde::ser::Value::Object(::std::vec![{entries}]))]),",
+                    entries = entries.join(", "),
+                )
+            }
+        };
+        arms.push_str(&arm);
+        arms.push_str("\n\t\t\t");
+    }
+    Ok(format!("match self {{\n\t\t\t{arms}\n\t\t}}"))
+}

@@ -1,0 +1,92 @@
+//! Minimal, API-compatible stand-in for the parts of `serde_json` this
+//! workspace uses (vendored: the build container is offline).
+//!
+//! Provides [`Value`], [`json!`], [`to_value`], [`to_string`] and
+//! [`to_string_pretty`]. Serialization is infallible here (the writer is a
+//! `String`), but the `Result` signatures are kept so call sites match the
+//! real crate. Output is deterministic: object keys keep insertion order
+//! and floats use Rust's shortest-round-trip formatting.
+
+#![forbid(unsafe_code)]
+
+use serde::Serialize;
+
+pub use serde::value::{Number, Value};
+
+/// Serialization error. Kept for signature compatibility; never produced.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Renders a serializable value as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_compact_string())
+}
+
+/// Renders a serializable value as pretty JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_pretty_string())
+}
+
+/// Builds a [`Value`] from a JSON-ish literal.
+///
+/// Supported forms: `null`, array literals, flat object literals with
+/// string-literal keys and expression values, and any serializable
+/// expression. (Nested object literals must be wrapped in their own
+/// `json!` call — the flat-object grammar is all this workspace needs.)
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $($crate::to_value(&$elem)),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $((::std::string::String::from($key), $crate::to_value(&$val))),*
+        ])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_order_and_escaping() {
+        let v = json!({ "b": 1u32, "a": "x\"y" });
+        assert_eq!(v.to_compact_string(), r#"{"b":1,"a":"x\"y"}"#);
+    }
+
+    #[test]
+    fn pretty_matches_shape() {
+        let v = json!({ "xs": vec![1u32, 2] });
+        assert_eq!(
+            v.to_pretty_string(),
+            "{\n  \"xs\": [\n    1,\n    2\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn floats_and_negatives() {
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+}
