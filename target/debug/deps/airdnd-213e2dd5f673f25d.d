@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/airdnd-213e2dd5f673f25d.d: src/lib.rs
+
+/root/repo/target/debug/deps/airdnd-213e2dd5f673f25d: src/lib.rs
+
+src/lib.rs:

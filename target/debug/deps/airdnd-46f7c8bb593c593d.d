@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/airdnd-46f7c8bb593c593d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libairdnd-46f7c8bb593c593d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/airdnd-73f1a367119122e2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libairdnd-73f1a367119122e2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libairdnd-73f1a367119122e2.rmeta: src/lib.rs
+
+src/lib.rs:

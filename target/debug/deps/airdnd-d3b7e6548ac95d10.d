@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/airdnd-d3b7e6548ac95d10.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libairdnd-d3b7e6548ac95d10.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/airdnd-eee17681855e3433.d: src/lib.rs
+
+/root/repo/target/debug/deps/libairdnd-eee17681855e3433.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libairdnd-eee17681855e3433.rmeta: src/lib.rs
+
+src/lib.rs:

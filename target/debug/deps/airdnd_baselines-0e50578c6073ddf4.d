@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/airdnd_baselines-0e50578c6073ddf4.d: crates/baselines/src/lib.rs crates/baselines/src/assigner.rs crates/baselines/src/auction.rs crates/baselines/src/cloud.rs crates/baselines/src/local.rs
+
+/root/repo/target/debug/deps/airdnd_baselines-0e50578c6073ddf4: crates/baselines/src/lib.rs crates/baselines/src/assigner.rs crates/baselines/src/auction.rs crates/baselines/src/cloud.rs crates/baselines/src/local.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/assigner.rs:
+crates/baselines/src/auction.rs:
+crates/baselines/src/cloud.rs:
+crates/baselines/src/local.rs:

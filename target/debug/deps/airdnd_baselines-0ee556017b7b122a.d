@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/airdnd_baselines-0ee556017b7b122a.d: crates/baselines/src/lib.rs crates/baselines/src/assigner.rs crates/baselines/src/auction.rs crates/baselines/src/cloud.rs crates/baselines/src/local.rs
+
+/root/repo/target/debug/deps/airdnd_baselines-0ee556017b7b122a: crates/baselines/src/lib.rs crates/baselines/src/assigner.rs crates/baselines/src/auction.rs crates/baselines/src/cloud.rs crates/baselines/src/local.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/assigner.rs:
+crates/baselines/src/auction.rs:
+crates/baselines/src/cloud.rs:
+crates/baselines/src/local.rs:

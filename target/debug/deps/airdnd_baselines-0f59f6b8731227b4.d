@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/airdnd_baselines-0f59f6b8731227b4.d: crates/baselines/src/lib.rs crates/baselines/src/assigner.rs crates/baselines/src/auction.rs crates/baselines/src/cloud.rs crates/baselines/src/local.rs
+
+/root/repo/target/debug/deps/libairdnd_baselines-0f59f6b8731227b4.rlib: crates/baselines/src/lib.rs crates/baselines/src/assigner.rs crates/baselines/src/auction.rs crates/baselines/src/cloud.rs crates/baselines/src/local.rs
+
+/root/repo/target/debug/deps/libairdnd_baselines-0f59f6b8731227b4.rmeta: crates/baselines/src/lib.rs crates/baselines/src/assigner.rs crates/baselines/src/auction.rs crates/baselines/src/cloud.rs crates/baselines/src/local.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/assigner.rs:
+crates/baselines/src/auction.rs:
+crates/baselines/src/cloud.rs:
+crates/baselines/src/local.rs:

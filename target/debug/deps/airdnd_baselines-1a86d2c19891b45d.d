@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/airdnd_baselines-1a86d2c19891b45d.d: crates/baselines/src/lib.rs crates/baselines/src/assigner.rs crates/baselines/src/auction.rs crates/baselines/src/cloud.rs crates/baselines/src/local.rs
+
+/root/repo/target/debug/deps/libairdnd_baselines-1a86d2c19891b45d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/assigner.rs crates/baselines/src/auction.rs crates/baselines/src/cloud.rs crates/baselines/src/local.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/assigner.rs:
+crates/baselines/src/auction.rs:
+crates/baselines/src/cloud.rs:
+crates/baselines/src/local.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/airdnd_bench-17e1968c90ed2991.d: crates/bench/src/lib.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/market.rs crates/bench/src/report.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/debug/deps/libairdnd_bench-17e1968c90ed2991.rmeta: crates/bench/src/lib.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/market.rs crates/bench/src/report.rs crates/bench/src/sweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp/mod.rs:
+crates/bench/src/exp/market.rs:
+crates/bench/src/report.rs:
+crates/bench/src/sweeps.rs:

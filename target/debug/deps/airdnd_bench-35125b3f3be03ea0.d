@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/airdnd_bench-35125b3f3be03ea0.d: crates/bench/src/lib.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/market.rs crates/bench/src/report.rs crates/bench/src/sweeps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libairdnd_bench-35125b3f3be03ea0.rmeta: crates/bench/src/lib.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/market.rs crates/bench/src/report.rs crates/bench/src/sweeps.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp/mod.rs:
+crates/bench/src/exp/market.rs:
+crates/bench/src/report.rs:
+crates/bench/src/sweeps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/airdnd_bench-38ce27cc5441eaa0.d: crates/bench/src/lib.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/market.rs crates/bench/src/report.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/debug/deps/airdnd_bench-38ce27cc5441eaa0: crates/bench/src/lib.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/market.rs crates/bench/src/report.rs crates/bench/src/sweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp/mod.rs:
+crates/bench/src/exp/market.rs:
+crates/bench/src/report.rs:
+crates/bench/src/sweeps.rs:

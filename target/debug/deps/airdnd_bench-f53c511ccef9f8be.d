@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/airdnd_bench-f53c511ccef9f8be.d: crates/bench/src/lib.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/market.rs crates/bench/src/report.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/debug/deps/libairdnd_bench-f53c511ccef9f8be.rlib: crates/bench/src/lib.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/market.rs crates/bench/src/report.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/debug/deps/libairdnd_bench-f53c511ccef9f8be.rmeta: crates/bench/src/lib.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/market.rs crates/bench/src/report.rs crates/bench/src/sweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp/mod.rs:
+crates/bench/src/exp/market.rs:
+crates/bench/src/report.rs:
+crates/bench/src/sweeps.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/airdnd_core-243c4ba87eb31285.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/executor.rs crates/core/src/node.rs crates/core/src/protocol.rs crates/core/src/selection.rs crates/core/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libairdnd_core-243c4ba87eb31285.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/executor.rs crates/core/src/node.rs crates/core/src/protocol.rs crates/core/src/selection.rs crates/core/src/stats.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/executor.rs:
+crates/core/src/node.rs:
+crates/core/src/protocol.rs:
+crates/core/src/selection.rs:
+crates/core/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/airdnd_core-26e606b8d6b6a7c0.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/executor.rs crates/core/src/node.rs crates/core/src/protocol.rs crates/core/src/selection.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libairdnd_core-26e606b8d6b6a7c0.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/executor.rs crates/core/src/node.rs crates/core/src/protocol.rs crates/core/src/selection.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/executor.rs:
+crates/core/src/node.rs:
+crates/core/src/protocol.rs:
+crates/core/src/selection.rs:
+crates/core/src/stats.rs:

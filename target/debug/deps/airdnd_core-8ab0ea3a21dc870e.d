@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/airdnd_core-8ab0ea3a21dc870e.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/executor.rs crates/core/src/node.rs crates/core/src/protocol.rs crates/core/src/selection.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libairdnd_core-8ab0ea3a21dc870e.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/executor.rs crates/core/src/node.rs crates/core/src/protocol.rs crates/core/src/selection.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libairdnd_core-8ab0ea3a21dc870e.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/executor.rs crates/core/src/node.rs crates/core/src/protocol.rs crates/core/src/selection.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/executor.rs:
+crates/core/src/node.rs:
+crates/core/src/protocol.rs:
+crates/core/src/selection.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/airdnd_core-b731a271b9c94667.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/executor.rs crates/core/src/node.rs crates/core/src/protocol.rs crates/core/src/selection.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libairdnd_core-b731a271b9c94667.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/executor.rs crates/core/src/node.rs crates/core/src/protocol.rs crates/core/src/selection.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libairdnd_core-b731a271b9c94667.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/executor.rs crates/core/src/node.rs crates/core/src/protocol.rs crates/core/src/selection.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/executor.rs:
+crates/core/src/node.rs:
+crates/core/src/protocol.rs:
+crates/core/src/selection.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/airdnd_data-1cdfe6a64eb6e599.d: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/matching.rs crates/data/src/quality.rs crates/data/src/schema.rs crates/data/src/semantic.rs
+
+/root/repo/target/debug/deps/libairdnd_data-1cdfe6a64eb6e599.rmeta: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/matching.rs crates/data/src/quality.rs crates/data/src/schema.rs crates/data/src/semantic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/catalog.rs:
+crates/data/src/matching.rs:
+crates/data/src/quality.rs:
+crates/data/src/schema.rs:
+crates/data/src/semantic.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/airdnd_data-67f64bd760fabf4e.d: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/matching.rs crates/data/src/quality.rs crates/data/src/schema.rs crates/data/src/semantic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libairdnd_data-67f64bd760fabf4e.rmeta: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/matching.rs crates/data/src/quality.rs crates/data/src/schema.rs crates/data/src/semantic.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/catalog.rs:
+crates/data/src/matching.rs:
+crates/data/src/quality.rs:
+crates/data/src/schema.rs:
+crates/data/src/semantic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

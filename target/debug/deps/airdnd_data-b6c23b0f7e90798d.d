@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/airdnd_data-b6c23b0f7e90798d.d: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/matching.rs crates/data/src/quality.rs crates/data/src/schema.rs crates/data/src/semantic.rs
+
+/root/repo/target/debug/deps/libairdnd_data-b6c23b0f7e90798d.rlib: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/matching.rs crates/data/src/quality.rs crates/data/src/schema.rs crates/data/src/semantic.rs
+
+/root/repo/target/debug/deps/libairdnd_data-b6c23b0f7e90798d.rmeta: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/matching.rs crates/data/src/quality.rs crates/data/src/schema.rs crates/data/src/semantic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/catalog.rs:
+crates/data/src/matching.rs:
+crates/data/src/quality.rs:
+crates/data/src/schema.rs:
+crates/data/src/semantic.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/airdnd_data-e0d6941998a6f402.d: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/matching.rs crates/data/src/quality.rs crates/data/src/schema.rs crates/data/src/semantic.rs
+
+/root/repo/target/debug/deps/airdnd_data-e0d6941998a6f402: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/matching.rs crates/data/src/quality.rs crates/data/src/schema.rs crates/data/src/semantic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/catalog.rs:
+crates/data/src/matching.rs:
+crates/data/src/quality.rs:
+crates/data/src/schema.rs:
+crates/data/src/semantic.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/airdnd_geo-38de91a2660406f6.d: crates/geo/src/lib.rs crates/geo/src/fov.rs crates/geo/src/mobility.rs crates/geo/src/occlusion.rs crates/geo/src/road.rs crates/geo/src/spatial.rs crates/geo/src/vec2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libairdnd_geo-38de91a2660406f6.rmeta: crates/geo/src/lib.rs crates/geo/src/fov.rs crates/geo/src/mobility.rs crates/geo/src/occlusion.rs crates/geo/src/road.rs crates/geo/src/spatial.rs crates/geo/src/vec2.rs Cargo.toml
+
+crates/geo/src/lib.rs:
+crates/geo/src/fov.rs:
+crates/geo/src/mobility.rs:
+crates/geo/src/occlusion.rs:
+crates/geo/src/road.rs:
+crates/geo/src/spatial.rs:
+crates/geo/src/vec2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

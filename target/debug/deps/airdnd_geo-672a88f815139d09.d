@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/airdnd_geo-672a88f815139d09.d: crates/geo/src/lib.rs crates/geo/src/fov.rs crates/geo/src/mobility.rs crates/geo/src/occlusion.rs crates/geo/src/road.rs crates/geo/src/spatial.rs crates/geo/src/vec2.rs
+
+/root/repo/target/debug/deps/libairdnd_geo-672a88f815139d09.rlib: crates/geo/src/lib.rs crates/geo/src/fov.rs crates/geo/src/mobility.rs crates/geo/src/occlusion.rs crates/geo/src/road.rs crates/geo/src/spatial.rs crates/geo/src/vec2.rs
+
+/root/repo/target/debug/deps/libairdnd_geo-672a88f815139d09.rmeta: crates/geo/src/lib.rs crates/geo/src/fov.rs crates/geo/src/mobility.rs crates/geo/src/occlusion.rs crates/geo/src/road.rs crates/geo/src/spatial.rs crates/geo/src/vec2.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/fov.rs:
+crates/geo/src/mobility.rs:
+crates/geo/src/occlusion.rs:
+crates/geo/src/road.rs:
+crates/geo/src/spatial.rs:
+crates/geo/src/vec2.rs:

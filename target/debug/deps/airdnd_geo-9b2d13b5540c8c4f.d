@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/airdnd_geo-9b2d13b5540c8c4f.d: crates/geo/src/lib.rs crates/geo/src/fov.rs crates/geo/src/mobility.rs crates/geo/src/occlusion.rs crates/geo/src/road.rs crates/geo/src/spatial.rs crates/geo/src/vec2.rs
+
+/root/repo/target/debug/deps/libairdnd_geo-9b2d13b5540c8c4f.rlib: crates/geo/src/lib.rs crates/geo/src/fov.rs crates/geo/src/mobility.rs crates/geo/src/occlusion.rs crates/geo/src/road.rs crates/geo/src/spatial.rs crates/geo/src/vec2.rs
+
+/root/repo/target/debug/deps/libairdnd_geo-9b2d13b5540c8c4f.rmeta: crates/geo/src/lib.rs crates/geo/src/fov.rs crates/geo/src/mobility.rs crates/geo/src/occlusion.rs crates/geo/src/road.rs crates/geo/src/spatial.rs crates/geo/src/vec2.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/fov.rs:
+crates/geo/src/mobility.rs:
+crates/geo/src/occlusion.rs:
+crates/geo/src/road.rs:
+crates/geo/src/spatial.rs:
+crates/geo/src/vec2.rs:

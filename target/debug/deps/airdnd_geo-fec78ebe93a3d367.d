@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/airdnd_geo-fec78ebe93a3d367.d: crates/geo/src/lib.rs crates/geo/src/fov.rs crates/geo/src/mobility.rs crates/geo/src/occlusion.rs crates/geo/src/road.rs crates/geo/src/spatial.rs crates/geo/src/vec2.rs
+
+/root/repo/target/debug/deps/airdnd_geo-fec78ebe93a3d367: crates/geo/src/lib.rs crates/geo/src/fov.rs crates/geo/src/mobility.rs crates/geo/src/occlusion.rs crates/geo/src/road.rs crates/geo/src/spatial.rs crates/geo/src/vec2.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/fov.rs:
+crates/geo/src/mobility.rs:
+crates/geo/src/occlusion.rs:
+crates/geo/src/road.rs:
+crates/geo/src/spatial.rs:
+crates/geo/src/vec2.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/airdnd_harness-2d452e76c0ad8e94.d: crates/harness/src/lib.rs crates/harness/src/agg.rs crates/harness/src/exec.rs crates/harness/src/manifest.rs crates/harness/src/report.rs crates/harness/src/spec.rs
+
+/root/repo/target/debug/deps/airdnd_harness-2d452e76c0ad8e94: crates/harness/src/lib.rs crates/harness/src/agg.rs crates/harness/src/exec.rs crates/harness/src/manifest.rs crates/harness/src/report.rs crates/harness/src/spec.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/agg.rs:
+crates/harness/src/exec.rs:
+crates/harness/src/manifest.rs:
+crates/harness/src/report.rs:
+crates/harness/src/spec.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/airdnd_harness-5848229136f79949.d: crates/harness/src/lib.rs crates/harness/src/agg.rs crates/harness/src/exec.rs crates/harness/src/manifest.rs crates/harness/src/report.rs crates/harness/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libairdnd_harness-5848229136f79949.rmeta: crates/harness/src/lib.rs crates/harness/src/agg.rs crates/harness/src/exec.rs crates/harness/src/manifest.rs crates/harness/src/report.rs crates/harness/src/spec.rs Cargo.toml
+
+crates/harness/src/lib.rs:
+crates/harness/src/agg.rs:
+crates/harness/src/exec.rs:
+crates/harness/src/manifest.rs:
+crates/harness/src/report.rs:
+crates/harness/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/airdnd_harness-ed52309e5a5bfe44.d: crates/harness/src/lib.rs crates/harness/src/agg.rs crates/harness/src/exec.rs crates/harness/src/manifest.rs crates/harness/src/report.rs crates/harness/src/spec.rs
+
+/root/repo/target/debug/deps/libairdnd_harness-ed52309e5a5bfe44.rlib: crates/harness/src/lib.rs crates/harness/src/agg.rs crates/harness/src/exec.rs crates/harness/src/manifest.rs crates/harness/src/report.rs crates/harness/src/spec.rs
+
+/root/repo/target/debug/deps/libairdnd_harness-ed52309e5a5bfe44.rmeta: crates/harness/src/lib.rs crates/harness/src/agg.rs crates/harness/src/exec.rs crates/harness/src/manifest.rs crates/harness/src/report.rs crates/harness/src/spec.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/agg.rs:
+crates/harness/src/exec.rs:
+crates/harness/src/manifest.rs:
+crates/harness/src/report.rs:
+crates/harness/src/spec.rs:

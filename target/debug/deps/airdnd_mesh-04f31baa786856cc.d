@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/airdnd_mesh-04f31baa786856cc.d: crates/mesh/src/lib.rs crates/mesh/src/beacon.rs crates/mesh/src/descriptor.rs crates/mesh/src/membership.rs crates/mesh/src/neighbor.rs crates/mesh/src/routing.rs
+
+/root/repo/target/debug/deps/airdnd_mesh-04f31baa786856cc: crates/mesh/src/lib.rs crates/mesh/src/beacon.rs crates/mesh/src/descriptor.rs crates/mesh/src/membership.rs crates/mesh/src/neighbor.rs crates/mesh/src/routing.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/beacon.rs:
+crates/mesh/src/descriptor.rs:
+crates/mesh/src/membership.rs:
+crates/mesh/src/neighbor.rs:
+crates/mesh/src/routing.rs:

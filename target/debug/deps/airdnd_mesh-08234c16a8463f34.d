@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/airdnd_mesh-08234c16a8463f34.d: crates/mesh/src/lib.rs crates/mesh/src/beacon.rs crates/mesh/src/descriptor.rs crates/mesh/src/membership.rs crates/mesh/src/neighbor.rs crates/mesh/src/routing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libairdnd_mesh-08234c16a8463f34.rmeta: crates/mesh/src/lib.rs crates/mesh/src/beacon.rs crates/mesh/src/descriptor.rs crates/mesh/src/membership.rs crates/mesh/src/neighbor.rs crates/mesh/src/routing.rs Cargo.toml
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/beacon.rs:
+crates/mesh/src/descriptor.rs:
+crates/mesh/src/membership.rs:
+crates/mesh/src/neighbor.rs:
+crates/mesh/src/routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/airdnd_mesh-70103863fea56328.d: crates/mesh/src/lib.rs crates/mesh/src/beacon.rs crates/mesh/src/descriptor.rs crates/mesh/src/membership.rs crates/mesh/src/neighbor.rs crates/mesh/src/routing.rs
+
+/root/repo/target/debug/deps/libairdnd_mesh-70103863fea56328.rlib: crates/mesh/src/lib.rs crates/mesh/src/beacon.rs crates/mesh/src/descriptor.rs crates/mesh/src/membership.rs crates/mesh/src/neighbor.rs crates/mesh/src/routing.rs
+
+/root/repo/target/debug/deps/libairdnd_mesh-70103863fea56328.rmeta: crates/mesh/src/lib.rs crates/mesh/src/beacon.rs crates/mesh/src/descriptor.rs crates/mesh/src/membership.rs crates/mesh/src/neighbor.rs crates/mesh/src/routing.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/beacon.rs:
+crates/mesh/src/descriptor.rs:
+crates/mesh/src/membership.rs:
+crates/mesh/src/neighbor.rs:
+crates/mesh/src/routing.rs:

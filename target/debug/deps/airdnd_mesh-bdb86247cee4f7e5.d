@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/airdnd_mesh-bdb86247cee4f7e5.d: crates/mesh/src/lib.rs crates/mesh/src/beacon.rs crates/mesh/src/descriptor.rs crates/mesh/src/membership.rs crates/mesh/src/neighbor.rs crates/mesh/src/routing.rs
+
+/root/repo/target/debug/deps/libairdnd_mesh-bdb86247cee4f7e5.rlib: crates/mesh/src/lib.rs crates/mesh/src/beacon.rs crates/mesh/src/descriptor.rs crates/mesh/src/membership.rs crates/mesh/src/neighbor.rs crates/mesh/src/routing.rs
+
+/root/repo/target/debug/deps/libairdnd_mesh-bdb86247cee4f7e5.rmeta: crates/mesh/src/lib.rs crates/mesh/src/beacon.rs crates/mesh/src/descriptor.rs crates/mesh/src/membership.rs crates/mesh/src/neighbor.rs crates/mesh/src/routing.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/beacon.rs:
+crates/mesh/src/descriptor.rs:
+crates/mesh/src/membership.rs:
+crates/mesh/src/neighbor.rs:
+crates/mesh/src/routing.rs:

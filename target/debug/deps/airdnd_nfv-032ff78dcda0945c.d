@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/airdnd_nfv-032ff78dcda0945c.d: crates/nfv/src/lib.rs crates/nfv/src/chain.rs crates/nfv/src/manager.rs crates/nfv/src/resources.rs crates/nfv/src/vnf.rs
+
+/root/repo/target/debug/deps/libairdnd_nfv-032ff78dcda0945c.rmeta: crates/nfv/src/lib.rs crates/nfv/src/chain.rs crates/nfv/src/manager.rs crates/nfv/src/resources.rs crates/nfv/src/vnf.rs
+
+crates/nfv/src/lib.rs:
+crates/nfv/src/chain.rs:
+crates/nfv/src/manager.rs:
+crates/nfv/src/resources.rs:
+crates/nfv/src/vnf.rs:

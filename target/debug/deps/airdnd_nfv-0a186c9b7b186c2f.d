@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/airdnd_nfv-0a186c9b7b186c2f.d: crates/nfv/src/lib.rs crates/nfv/src/chain.rs crates/nfv/src/manager.rs crates/nfv/src/resources.rs crates/nfv/src/vnf.rs
+
+/root/repo/target/debug/deps/libairdnd_nfv-0a186c9b7b186c2f.rlib: crates/nfv/src/lib.rs crates/nfv/src/chain.rs crates/nfv/src/manager.rs crates/nfv/src/resources.rs crates/nfv/src/vnf.rs
+
+/root/repo/target/debug/deps/libairdnd_nfv-0a186c9b7b186c2f.rmeta: crates/nfv/src/lib.rs crates/nfv/src/chain.rs crates/nfv/src/manager.rs crates/nfv/src/resources.rs crates/nfv/src/vnf.rs
+
+crates/nfv/src/lib.rs:
+crates/nfv/src/chain.rs:
+crates/nfv/src/manager.rs:
+crates/nfv/src/resources.rs:
+crates/nfv/src/vnf.rs:

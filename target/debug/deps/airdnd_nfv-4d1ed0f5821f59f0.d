@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/airdnd_nfv-4d1ed0f5821f59f0.d: crates/nfv/src/lib.rs crates/nfv/src/chain.rs crates/nfv/src/manager.rs crates/nfv/src/resources.rs crates/nfv/src/vnf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libairdnd_nfv-4d1ed0f5821f59f0.rmeta: crates/nfv/src/lib.rs crates/nfv/src/chain.rs crates/nfv/src/manager.rs crates/nfv/src/resources.rs crates/nfv/src/vnf.rs Cargo.toml
+
+crates/nfv/src/lib.rs:
+crates/nfv/src/chain.rs:
+crates/nfv/src/manager.rs:
+crates/nfv/src/resources.rs:
+crates/nfv/src/vnf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

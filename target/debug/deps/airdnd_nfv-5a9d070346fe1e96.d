@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/airdnd_nfv-5a9d070346fe1e96.d: crates/nfv/src/lib.rs crates/nfv/src/chain.rs crates/nfv/src/manager.rs crates/nfv/src/resources.rs crates/nfv/src/vnf.rs
+
+/root/repo/target/debug/deps/libairdnd_nfv-5a9d070346fe1e96.rlib: crates/nfv/src/lib.rs crates/nfv/src/chain.rs crates/nfv/src/manager.rs crates/nfv/src/resources.rs crates/nfv/src/vnf.rs
+
+/root/repo/target/debug/deps/libairdnd_nfv-5a9d070346fe1e96.rmeta: crates/nfv/src/lib.rs crates/nfv/src/chain.rs crates/nfv/src/manager.rs crates/nfv/src/resources.rs crates/nfv/src/vnf.rs
+
+crates/nfv/src/lib.rs:
+crates/nfv/src/chain.rs:
+crates/nfv/src/manager.rs:
+crates/nfv/src/resources.rs:
+crates/nfv/src/vnf.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/airdnd_radio-a8f3453eeddf9dbd.d: crates/radio/src/lib.rs crates/radio/src/channel.rs crates/radio/src/mac.rs crates/radio/src/medium.rs crates/radio/src/profiles.rs Cargo.toml
+
+/root/repo/target/debug/deps/libairdnd_radio-a8f3453eeddf9dbd.rmeta: crates/radio/src/lib.rs crates/radio/src/channel.rs crates/radio/src/mac.rs crates/radio/src/medium.rs crates/radio/src/profiles.rs Cargo.toml
+
+crates/radio/src/lib.rs:
+crates/radio/src/channel.rs:
+crates/radio/src/mac.rs:
+crates/radio/src/medium.rs:
+crates/radio/src/profiles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/airdnd_radio-b6f5dfcc8631a641.d: crates/radio/src/lib.rs crates/radio/src/channel.rs crates/radio/src/mac.rs crates/radio/src/medium.rs crates/radio/src/profiles.rs
+
+/root/repo/target/debug/deps/airdnd_radio-b6f5dfcc8631a641: crates/radio/src/lib.rs crates/radio/src/channel.rs crates/radio/src/mac.rs crates/radio/src/medium.rs crates/radio/src/profiles.rs
+
+crates/radio/src/lib.rs:
+crates/radio/src/channel.rs:
+crates/radio/src/mac.rs:
+crates/radio/src/medium.rs:
+crates/radio/src/profiles.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/airdnd_radio-cb11290a96a2f00e.d: crates/radio/src/lib.rs crates/radio/src/channel.rs crates/radio/src/mac.rs crates/radio/src/medium.rs crates/radio/src/profiles.rs
+
+/root/repo/target/debug/deps/libairdnd_radio-cb11290a96a2f00e.rmeta: crates/radio/src/lib.rs crates/radio/src/channel.rs crates/radio/src/mac.rs crates/radio/src/medium.rs crates/radio/src/profiles.rs
+
+crates/radio/src/lib.rs:
+crates/radio/src/channel.rs:
+crates/radio/src/mac.rs:
+crates/radio/src/medium.rs:
+crates/radio/src/profiles.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/airdnd_radio-cbed2fd277b2976c.d: crates/radio/src/lib.rs crates/radio/src/channel.rs crates/radio/src/mac.rs crates/radio/src/medium.rs crates/radio/src/profiles.rs
+
+/root/repo/target/debug/deps/libairdnd_radio-cbed2fd277b2976c.rlib: crates/radio/src/lib.rs crates/radio/src/channel.rs crates/radio/src/mac.rs crates/radio/src/medium.rs crates/radio/src/profiles.rs
+
+/root/repo/target/debug/deps/libairdnd_radio-cbed2fd277b2976c.rmeta: crates/radio/src/lib.rs crates/radio/src/channel.rs crates/radio/src/mac.rs crates/radio/src/medium.rs crates/radio/src/profiles.rs
+
+crates/radio/src/lib.rs:
+crates/radio/src/channel.rs:
+crates/radio/src/mac.rs:
+crates/radio/src/medium.rs:
+crates/radio/src/profiles.rs:

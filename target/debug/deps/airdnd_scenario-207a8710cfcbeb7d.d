@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/airdnd_scenario-207a8710cfcbeb7d.d: crates/scenario/src/lib.rs crates/scenario/src/fleet.rs crates/scenario/src/perception.rs crates/scenario/src/runner.rs crates/scenario/src/world.rs
+
+/root/repo/target/debug/deps/airdnd_scenario-207a8710cfcbeb7d: crates/scenario/src/lib.rs crates/scenario/src/fleet.rs crates/scenario/src/perception.rs crates/scenario/src/runner.rs crates/scenario/src/world.rs
+
+crates/scenario/src/lib.rs:
+crates/scenario/src/fleet.rs:
+crates/scenario/src/perception.rs:
+crates/scenario/src/runner.rs:
+crates/scenario/src/world.rs:

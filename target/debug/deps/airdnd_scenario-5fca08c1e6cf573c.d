@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/airdnd_scenario-5fca08c1e6cf573c.d: crates/scenario/src/lib.rs crates/scenario/src/fleet.rs crates/scenario/src/perception.rs crates/scenario/src/runner.rs crates/scenario/src/world.rs
+
+/root/repo/target/debug/deps/libairdnd_scenario-5fca08c1e6cf573c.rlib: crates/scenario/src/lib.rs crates/scenario/src/fleet.rs crates/scenario/src/perception.rs crates/scenario/src/runner.rs crates/scenario/src/world.rs
+
+/root/repo/target/debug/deps/libairdnd_scenario-5fca08c1e6cf573c.rmeta: crates/scenario/src/lib.rs crates/scenario/src/fleet.rs crates/scenario/src/perception.rs crates/scenario/src/runner.rs crates/scenario/src/world.rs
+
+crates/scenario/src/lib.rs:
+crates/scenario/src/fleet.rs:
+crates/scenario/src/perception.rs:
+crates/scenario/src/runner.rs:
+crates/scenario/src/world.rs:

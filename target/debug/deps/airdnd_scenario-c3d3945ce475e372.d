@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/airdnd_scenario-c3d3945ce475e372.d: crates/scenario/src/lib.rs crates/scenario/src/fleet.rs crates/scenario/src/perception.rs crates/scenario/src/runner.rs crates/scenario/src/world.rs
+
+/root/repo/target/debug/deps/libairdnd_scenario-c3d3945ce475e372.rlib: crates/scenario/src/lib.rs crates/scenario/src/fleet.rs crates/scenario/src/perception.rs crates/scenario/src/runner.rs crates/scenario/src/world.rs
+
+/root/repo/target/debug/deps/libairdnd_scenario-c3d3945ce475e372.rmeta: crates/scenario/src/lib.rs crates/scenario/src/fleet.rs crates/scenario/src/perception.rs crates/scenario/src/runner.rs crates/scenario/src/world.rs
+
+crates/scenario/src/lib.rs:
+crates/scenario/src/fleet.rs:
+crates/scenario/src/perception.rs:
+crates/scenario/src/runner.rs:
+crates/scenario/src/world.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/airdnd_scenario-e8367af606b62bbd.d: crates/scenario/src/lib.rs crates/scenario/src/fleet.rs crates/scenario/src/perception.rs crates/scenario/src/runner.rs crates/scenario/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libairdnd_scenario-e8367af606b62bbd.rmeta: crates/scenario/src/lib.rs crates/scenario/src/fleet.rs crates/scenario/src/perception.rs crates/scenario/src/runner.rs crates/scenario/src/world.rs Cargo.toml
+
+crates/scenario/src/lib.rs:
+crates/scenario/src/fleet.rs:
+crates/scenario/src/perception.rs:
+crates/scenario/src/runner.rs:
+crates/scenario/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

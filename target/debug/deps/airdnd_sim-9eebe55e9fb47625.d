@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/airdnd_sim-9eebe55e9fb47625.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libairdnd_sim-9eebe55e9fb47625.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/airdnd_sim-f2447e16fbe4ec96.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libairdnd_sim-f2447e16fbe4ec96.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

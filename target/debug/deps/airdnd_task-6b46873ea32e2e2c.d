@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/airdnd_task-6b46873ea32e2e2c.d: crates/task/src/lib.rs crates/task/src/graph.rs crates/task/src/library.rs crates/task/src/spec.rs crates/task/src/vm/mod.rs crates/task/src/vm/asm.rs crates/task/src/vm/exec.rs crates/task/src/vm/isa.rs crates/task/src/vm/verify.rs crates/task/src/wire.rs
+
+/root/repo/target/debug/deps/libairdnd_task-6b46873ea32e2e2c.rmeta: crates/task/src/lib.rs crates/task/src/graph.rs crates/task/src/library.rs crates/task/src/spec.rs crates/task/src/vm/mod.rs crates/task/src/vm/asm.rs crates/task/src/vm/exec.rs crates/task/src/vm/isa.rs crates/task/src/vm/verify.rs crates/task/src/wire.rs
+
+crates/task/src/lib.rs:
+crates/task/src/graph.rs:
+crates/task/src/library.rs:
+crates/task/src/spec.rs:
+crates/task/src/vm/mod.rs:
+crates/task/src/vm/asm.rs:
+crates/task/src/vm/exec.rs:
+crates/task/src/vm/isa.rs:
+crates/task/src/vm/verify.rs:
+crates/task/src/wire.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/airdnd_task-f4f715d71b157fec.d: crates/task/src/lib.rs crates/task/src/graph.rs crates/task/src/library.rs crates/task/src/spec.rs crates/task/src/vm/mod.rs crates/task/src/vm/asm.rs crates/task/src/vm/exec.rs crates/task/src/vm/isa.rs crates/task/src/vm/verify.rs crates/task/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libairdnd_task-f4f715d71b157fec.rmeta: crates/task/src/lib.rs crates/task/src/graph.rs crates/task/src/library.rs crates/task/src/spec.rs crates/task/src/vm/mod.rs crates/task/src/vm/asm.rs crates/task/src/vm/exec.rs crates/task/src/vm/isa.rs crates/task/src/vm/verify.rs crates/task/src/wire.rs Cargo.toml
+
+crates/task/src/lib.rs:
+crates/task/src/graph.rs:
+crates/task/src/library.rs:
+crates/task/src/spec.rs:
+crates/task/src/vm/mod.rs:
+crates/task/src/vm/asm.rs:
+crates/task/src/vm/exec.rs:
+crates/task/src/vm/isa.rs:
+crates/task/src/vm/verify.rs:
+crates/task/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

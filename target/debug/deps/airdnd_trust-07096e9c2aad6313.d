@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/airdnd_trust-07096e9c2aad6313.d: crates/trust/src/lib.rs crates/trust/src/hash.rs crates/trust/src/privacy.rs crates/trust/src/reputation.rs crates/trust/src/verify.rs
+
+/root/repo/target/debug/deps/libairdnd_trust-07096e9c2aad6313.rlib: crates/trust/src/lib.rs crates/trust/src/hash.rs crates/trust/src/privacy.rs crates/trust/src/reputation.rs crates/trust/src/verify.rs
+
+/root/repo/target/debug/deps/libairdnd_trust-07096e9c2aad6313.rmeta: crates/trust/src/lib.rs crates/trust/src/hash.rs crates/trust/src/privacy.rs crates/trust/src/reputation.rs crates/trust/src/verify.rs
+
+crates/trust/src/lib.rs:
+crates/trust/src/hash.rs:
+crates/trust/src/privacy.rs:
+crates/trust/src/reputation.rs:
+crates/trust/src/verify.rs:

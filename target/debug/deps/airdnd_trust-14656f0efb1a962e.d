@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/airdnd_trust-14656f0efb1a962e.d: crates/trust/src/lib.rs crates/trust/src/hash.rs crates/trust/src/privacy.rs crates/trust/src/reputation.rs crates/trust/src/verify.rs
+
+/root/repo/target/debug/deps/libairdnd_trust-14656f0efb1a962e.rmeta: crates/trust/src/lib.rs crates/trust/src/hash.rs crates/trust/src/privacy.rs crates/trust/src/reputation.rs crates/trust/src/verify.rs
+
+crates/trust/src/lib.rs:
+crates/trust/src/hash.rs:
+crates/trust/src/privacy.rs:
+crates/trust/src/reputation.rs:
+crates/trust/src/verify.rs:

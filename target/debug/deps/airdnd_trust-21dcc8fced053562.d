@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/airdnd_trust-21dcc8fced053562.d: crates/trust/src/lib.rs crates/trust/src/hash.rs crates/trust/src/privacy.rs crates/trust/src/reputation.rs crates/trust/src/verify.rs
+
+/root/repo/target/debug/deps/airdnd_trust-21dcc8fced053562: crates/trust/src/lib.rs crates/trust/src/hash.rs crates/trust/src/privacy.rs crates/trust/src/reputation.rs crates/trust/src/verify.rs
+
+crates/trust/src/lib.rs:
+crates/trust/src/hash.rs:
+crates/trust/src/privacy.rs:
+crates/trust/src/reputation.rs:
+crates/trust/src/verify.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/airdnd_trust-27a795c80b8a364e.d: crates/trust/src/lib.rs crates/trust/src/hash.rs crates/trust/src/privacy.rs crates/trust/src/reputation.rs crates/trust/src/verify.rs
+
+/root/repo/target/debug/deps/libairdnd_trust-27a795c80b8a364e.rlib: crates/trust/src/lib.rs crates/trust/src/hash.rs crates/trust/src/privacy.rs crates/trust/src/reputation.rs crates/trust/src/verify.rs
+
+/root/repo/target/debug/deps/libairdnd_trust-27a795c80b8a364e.rmeta: crates/trust/src/lib.rs crates/trust/src/hash.rs crates/trust/src/privacy.rs crates/trust/src/reputation.rs crates/trust/src/verify.rs
+
+crates/trust/src/lib.rs:
+crates/trust/src/hash.rs:
+crates/trust/src/privacy.rs:
+crates/trust/src/reputation.rs:
+crates/trust/src/verify.rs:

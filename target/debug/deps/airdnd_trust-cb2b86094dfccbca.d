@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/airdnd_trust-cb2b86094dfccbca.d: crates/trust/src/lib.rs crates/trust/src/hash.rs crates/trust/src/privacy.rs crates/trust/src/reputation.rs crates/trust/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libairdnd_trust-cb2b86094dfccbca.rmeta: crates/trust/src/lib.rs crates/trust/src/hash.rs crates/trust/src/privacy.rs crates/trust/src/reputation.rs crates/trust/src/verify.rs Cargo.toml
+
+crates/trust/src/lib.rs:
+crates/trust/src/hash.rs:
+crates/trust/src/privacy.rs:
+crates/trust/src/reputation.rs:
+crates/trust/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

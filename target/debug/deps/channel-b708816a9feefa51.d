@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/channel-b708816a9feefa51.d: crates/bench/benches/channel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchannel-b708816a9feefa51.rmeta: crates/bench/benches/channel.rs Cargo.toml
+
+crates/bench/benches/channel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

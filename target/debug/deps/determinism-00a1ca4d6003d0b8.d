@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-00a1ca4d6003d0b8.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-00a1ca4d6003d0b8: tests/determinism.rs
+
+tests/determinism.rs:

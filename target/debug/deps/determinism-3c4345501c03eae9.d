@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-3c4345501c03eae9.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-3c4345501c03eae9.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-a6e7ac28a47de8b8.d: tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-a6e7ac28a47de8b8.rmeta: tests/end_to_end.rs Cargo.toml
+
+tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-c0508f07fb9398a4.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-c0508f07fb9398a4: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harness-4b64e5cef1069a2f.d: crates/harness/benches/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharness-4b64e5cef1069a2f.rmeta: crates/harness/benches/harness.rs Cargo.toml
+
+crates/harness/benches/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

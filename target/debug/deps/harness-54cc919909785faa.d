@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harness-54cc919909785faa.d: crates/harness/tests/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharness-54cc919909785faa.rmeta: crates/harness/tests/harness.rs Cargo.toml
+
+crates/harness/tests/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

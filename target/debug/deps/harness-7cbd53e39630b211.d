@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-7cbd53e39630b211.d: crates/harness/tests/harness.rs
+
+/root/repo/target/debug/deps/harness-7cbd53e39630b211: crates/harness/tests/harness.rs
+
+crates/harness/tests/harness.rs:

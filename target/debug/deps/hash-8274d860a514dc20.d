@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hash-8274d860a514dc20.d: crates/bench/benches/hash.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhash-8274d860a514dc20.rmeta: crates/bench/benches/hash.rs Cargo.toml
+
+crates/bench/benches/hash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

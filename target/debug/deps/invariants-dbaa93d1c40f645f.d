@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-dbaa93d1c40f645f.d: tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-dbaa93d1c40f645f.rmeta: tests/invariants.rs Cargo.toml
+
+tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

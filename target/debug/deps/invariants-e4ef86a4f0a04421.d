@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-e4ef86a4f0a04421.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-e4ef86a4f0a04421: tests/invariants.rs
+
+tests/invariants.rs:

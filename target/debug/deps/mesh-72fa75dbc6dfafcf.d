@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mesh-72fa75dbc6dfafcf.d: crates/bench/benches/mesh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmesh-72fa75dbc6dfafcf.rmeta: crates/bench/benches/mesh.rs Cargo.toml
+
+crates/bench/benches/mesh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

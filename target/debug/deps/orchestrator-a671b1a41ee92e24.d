@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/orchestrator-a671b1a41ee92e24.d: crates/bench/benches/orchestrator.rs Cargo.toml
+
+/root/repo/target/debug/deps/liborchestrator-a671b1a41ee92e24.rmeta: crates/bench/benches/orchestrator.rs Cargo.toml
+
+crates/bench/benches/orchestrator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-096c464894701414.d: crates/sim/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-096c464894701414.rmeta: crates/sim/tests/props.rs Cargo.toml
+
+crates/sim/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

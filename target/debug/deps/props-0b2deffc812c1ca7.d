@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-0b2deffc812c1ca7.d: crates/core/tests/props.rs
+
+/root/repo/target/debug/deps/props-0b2deffc812c1ca7: crates/core/tests/props.rs
+
+crates/core/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-2b29e2ed510dbe40.d: crates/radio/tests/props.rs
+
+/root/repo/target/debug/deps/props-2b29e2ed510dbe40: crates/radio/tests/props.rs
+
+crates/radio/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-6bb5040a264f0ae7.d: crates/mesh/tests/props.rs
+
+/root/repo/target/debug/deps/props-6bb5040a264f0ae7: crates/mesh/tests/props.rs
+
+crates/mesh/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-8a384440d6862263.d: crates/radio/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-8a384440d6862263.rmeta: crates/radio/tests/props.rs Cargo.toml
+
+crates/radio/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-a9792a0abee0ecf1.d: crates/core/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-a9792a0abee0ecf1.rmeta: crates/core/tests/props.rs Cargo.toml
+
+crates/core/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-b9013fada1f4ef21.d: crates/geo/tests/props.rs
+
+/root/repo/target/debug/deps/props-b9013fada1f4ef21: crates/geo/tests/props.rs
+
+crates/geo/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-bb401333d3558966.d: crates/geo/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-bb401333d3558966.rmeta: crates/geo/tests/props.rs Cargo.toml
+
+crates/geo/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-d2d9e74f5cb4943d.d: crates/sim/tests/props.rs
+
+/root/repo/target/debug/deps/props-d2d9e74f5cb4943d: crates/sim/tests/props.rs
+
+crates/sim/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-eb5e4cbe8adadb2c.d: crates/mesh/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-eb5e4cbe8adadb2c.rmeta: crates/mesh/tests/props.rs Cargo.toml
+
+crates/mesh/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

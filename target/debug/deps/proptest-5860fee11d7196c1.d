@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-5860fee11d7196c1.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-5860fee11d7196c1.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-5860fee11d7196c1.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs vendor/proptest/src/strategy.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/sample.rs:
+vendor/proptest/src/strategy.rs:

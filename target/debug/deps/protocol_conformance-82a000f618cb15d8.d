@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_conformance-82a000f618cb15d8.d: tests/protocol_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_conformance-82a000f618cb15d8.rmeta: tests/protocol_conformance.rs Cargo.toml
+
+tests/protocol_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_conformance-c4325505c74e36a7.d: tests/protocol_conformance.rs
+
+/root/repo/target/debug/deps/protocol_conformance-c4325505c74e36a7: tests/protocol_conformance.rs
+
+tests/protocol_conformance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-637b9819395a1284.d: vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-637b9819395a1284.rmeta: vendor/rand/src/lib.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

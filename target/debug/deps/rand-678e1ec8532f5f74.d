@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-678e1ec8532f5f74.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-678e1ec8532f5f74: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

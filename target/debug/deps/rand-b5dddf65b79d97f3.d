@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-b5dddf65b79d97f3.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b5dddf65b79d97f3.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

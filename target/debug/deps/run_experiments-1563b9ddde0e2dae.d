@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_experiments-1563b9ddde0e2dae.d: crates/bench/src/bin/run_experiments.rs
+
+/root/repo/target/debug/deps/run_experiments-1563b9ddde0e2dae: crates/bench/src/bin/run_experiments.rs
+
+crates/bench/src/bin/run_experiments.rs:

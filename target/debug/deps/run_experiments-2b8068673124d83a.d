@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_experiments-2b8068673124d83a.d: crates/bench/src/bin/run_experiments.rs
+
+/root/repo/target/debug/deps/librun_experiments-2b8068673124d83a.rmeta: crates/bench/src/bin/run_experiments.rs
+
+crates/bench/src/bin/run_experiments.rs:

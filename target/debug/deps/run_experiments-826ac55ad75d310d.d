@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/run_experiments-826ac55ad75d310d.d: crates/bench/src/bin/run_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/librun_experiments-826ac55ad75d310d.rmeta: crates/bench/src/bin/run_experiments.rs Cargo.toml
+
+crates/bench/src/bin/run_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

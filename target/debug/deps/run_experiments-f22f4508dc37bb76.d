@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_experiments-f22f4508dc37bb76.d: crates/bench/src/bin/run_experiments.rs
+
+/root/repo/target/debug/deps/run_experiments-f22f4508dc37bb76: crates/bench/src/bin/run_experiments.rs
+
+crates/bench/src/bin/run_experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/selection-dd80f284ce3f2f8a.d: crates/bench/benches/selection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libselection-dd80f284ce3f2f8a.rmeta: crates/bench/benches/selection.rs Cargo.toml
+
+crates/bench/benches/selection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

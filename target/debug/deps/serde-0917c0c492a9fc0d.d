@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/serde-0917c0c492a9fc0d.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/serde-0917c0c492a9fc0d: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/serde-7c321c3ad36147a5.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-7c321c3ad36147a5.rmeta: vendor/serde/src/lib.rs vendor/serde/src/value.rs Cargo.toml
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

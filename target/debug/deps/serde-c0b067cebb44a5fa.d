@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/serde-c0b067cebb44a5fa.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-c0b067cebb44a5fa.rmeta: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-92c15664adbb36fe.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-92c15664adbb36fe: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-17d07571e050658c.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-17d07571e050658c: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

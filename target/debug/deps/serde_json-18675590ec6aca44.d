@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-18675590ec6aca44.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-18675590ec6aca44.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-18675590ec6aca44.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-666612fd68ad9ad6.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-666612fd68ad9ad6.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-c15d8cd4c770cc4f.d: vendor/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-c15d8cd4c770cc4f.rmeta: vendor/serde_json/src/lib.rs Cargo.toml
+
+vendor/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spatial-4f9861b223f66a92.d: crates/bench/benches/spatial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspatial-4f9861b223f66a92.rmeta: crates/bench/benches/spatial.rs Cargo.toml
+
+crates/bench/benches/spatial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

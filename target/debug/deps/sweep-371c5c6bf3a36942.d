@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-371c5c6bf3a36942.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-371c5c6bf3a36942: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-7c0490ab6d13839c.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/libsweep-7c0490ab6d13839c.rmeta: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-c929b77f3bd352eb.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-c929b77f3bd352eb: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vm-0b7c73728f0a2cd2.d: crates/bench/benches/vm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvm-0b7c73728f0a2cd2.rmeta: crates/bench/benches/vm.rs Cargo.toml
+
+crates/bench/benches/vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/looking_around_corner-185eaeb321b1db83.d: examples/looking_around_corner.rs
+
+/root/repo/target/debug/examples/looking_around_corner-185eaeb321b1db83: examples/looking_around_corner.rs
+
+examples/looking_around_corner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/looking_around_corner-7d6fa4bc6c0b1107.d: examples/looking_around_corner.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblooking_around_corner-7d6fa4bc6c0b1107.rmeta: examples/looking_around_corner.rs Cargo.toml
+
+examples/looking_around_corner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

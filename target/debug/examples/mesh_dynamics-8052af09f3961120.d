@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mesh_dynamics-8052af09f3961120.d: examples/mesh_dynamics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmesh_dynamics-8052af09f3961120.rmeta: examples/mesh_dynamics.rs Cargo.toml
+
+examples/mesh_dynamics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mesh_dynamics-f636e2d1c444f11f.d: examples/mesh_dynamics.rs
+
+/root/repo/target/debug/examples/mesh_dynamics-f636e2d1c444f11f: examples/mesh_dynamics.rs
+
+examples/mesh_dynamics.rs:

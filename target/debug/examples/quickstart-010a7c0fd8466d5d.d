@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-010a7c0fd8466d5d.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-010a7c0fd8466d5d.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

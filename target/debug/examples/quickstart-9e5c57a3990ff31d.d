@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9e5c57a3990ff31d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9e5c57a3990ff31d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resource_market-73b79729723a5659.d: examples/resource_market.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresource_market-73b79729723a5659.rmeta: examples/resource_market.rs Cargo.toml
+
+examples/resource_market.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resource_market-92ba92842f19d5ae.d: examples/resource_market.rs
+
+/root/repo/target/debug/examples/resource_market-92ba92842f19d5ae: examples/resource_market.rs
+
+examples/resource_market.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/airdnd-10e3ace6e39bb07d.d: src/lib.rs
+
+/root/repo/target/release/deps/libairdnd-10e3ace6e39bb07d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libairdnd-10e3ace6e39bb07d.rmeta: src/lib.rs
+
+src/lib.rs:

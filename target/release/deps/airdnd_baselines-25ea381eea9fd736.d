@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/airdnd_baselines-25ea381eea9fd736.d: crates/baselines/src/lib.rs crates/baselines/src/assigner.rs crates/baselines/src/auction.rs crates/baselines/src/cloud.rs crates/baselines/src/local.rs
+
+/root/repo/target/release/deps/libairdnd_baselines-25ea381eea9fd736.rlib: crates/baselines/src/lib.rs crates/baselines/src/assigner.rs crates/baselines/src/auction.rs crates/baselines/src/cloud.rs crates/baselines/src/local.rs
+
+/root/repo/target/release/deps/libairdnd_baselines-25ea381eea9fd736.rmeta: crates/baselines/src/lib.rs crates/baselines/src/assigner.rs crates/baselines/src/auction.rs crates/baselines/src/cloud.rs crates/baselines/src/local.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/assigner.rs:
+crates/baselines/src/auction.rs:
+crates/baselines/src/cloud.rs:
+crates/baselines/src/local.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/airdnd_bench-e8dba152f25f6879.d: crates/bench/src/lib.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/market.rs crates/bench/src/report.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/release/deps/libairdnd_bench-e8dba152f25f6879.rlib: crates/bench/src/lib.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/market.rs crates/bench/src/report.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/release/deps/libairdnd_bench-e8dba152f25f6879.rmeta: crates/bench/src/lib.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/market.rs crates/bench/src/report.rs crates/bench/src/sweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp/mod.rs:
+crates/bench/src/exp/market.rs:
+crates/bench/src/report.rs:
+crates/bench/src/sweeps.rs:

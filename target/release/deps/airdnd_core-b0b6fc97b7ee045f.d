@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/airdnd_core-b0b6fc97b7ee045f.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/executor.rs crates/core/src/node.rs crates/core/src/protocol.rs crates/core/src/selection.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libairdnd_core-b0b6fc97b7ee045f.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/executor.rs crates/core/src/node.rs crates/core/src/protocol.rs crates/core/src/selection.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libairdnd_core-b0b6fc97b7ee045f.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/executor.rs crates/core/src/node.rs crates/core/src/protocol.rs crates/core/src/selection.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/executor.rs:
+crates/core/src/node.rs:
+crates/core/src/protocol.rs:
+crates/core/src/selection.rs:
+crates/core/src/stats.rs:

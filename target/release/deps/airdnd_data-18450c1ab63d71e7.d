@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/airdnd_data-18450c1ab63d71e7.d: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/matching.rs crates/data/src/quality.rs crates/data/src/schema.rs crates/data/src/semantic.rs
+
+/root/repo/target/release/deps/libairdnd_data-18450c1ab63d71e7.rlib: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/matching.rs crates/data/src/quality.rs crates/data/src/schema.rs crates/data/src/semantic.rs
+
+/root/repo/target/release/deps/libairdnd_data-18450c1ab63d71e7.rmeta: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/matching.rs crates/data/src/quality.rs crates/data/src/schema.rs crates/data/src/semantic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/catalog.rs:
+crates/data/src/matching.rs:
+crates/data/src/quality.rs:
+crates/data/src/schema.rs:
+crates/data/src/semantic.rs:

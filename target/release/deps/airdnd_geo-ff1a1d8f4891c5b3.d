@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/airdnd_geo-ff1a1d8f4891c5b3.d: crates/geo/src/lib.rs crates/geo/src/fov.rs crates/geo/src/mobility.rs crates/geo/src/occlusion.rs crates/geo/src/road.rs crates/geo/src/spatial.rs crates/geo/src/vec2.rs
+
+/root/repo/target/release/deps/libairdnd_geo-ff1a1d8f4891c5b3.rlib: crates/geo/src/lib.rs crates/geo/src/fov.rs crates/geo/src/mobility.rs crates/geo/src/occlusion.rs crates/geo/src/road.rs crates/geo/src/spatial.rs crates/geo/src/vec2.rs
+
+/root/repo/target/release/deps/libairdnd_geo-ff1a1d8f4891c5b3.rmeta: crates/geo/src/lib.rs crates/geo/src/fov.rs crates/geo/src/mobility.rs crates/geo/src/occlusion.rs crates/geo/src/road.rs crates/geo/src/spatial.rs crates/geo/src/vec2.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/fov.rs:
+crates/geo/src/mobility.rs:
+crates/geo/src/occlusion.rs:
+crates/geo/src/road.rs:
+crates/geo/src/spatial.rs:
+crates/geo/src/vec2.rs:

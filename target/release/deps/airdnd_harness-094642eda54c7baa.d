@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/airdnd_harness-094642eda54c7baa.d: crates/harness/src/lib.rs crates/harness/src/agg.rs crates/harness/src/exec.rs crates/harness/src/manifest.rs crates/harness/src/report.rs crates/harness/src/spec.rs
+
+/root/repo/target/release/deps/libairdnd_harness-094642eda54c7baa.rlib: crates/harness/src/lib.rs crates/harness/src/agg.rs crates/harness/src/exec.rs crates/harness/src/manifest.rs crates/harness/src/report.rs crates/harness/src/spec.rs
+
+/root/repo/target/release/deps/libairdnd_harness-094642eda54c7baa.rmeta: crates/harness/src/lib.rs crates/harness/src/agg.rs crates/harness/src/exec.rs crates/harness/src/manifest.rs crates/harness/src/report.rs crates/harness/src/spec.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/agg.rs:
+crates/harness/src/exec.rs:
+crates/harness/src/manifest.rs:
+crates/harness/src/report.rs:
+crates/harness/src/spec.rs:

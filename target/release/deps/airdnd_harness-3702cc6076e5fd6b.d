@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/airdnd_harness-3702cc6076e5fd6b.d: crates/harness/src/lib.rs crates/harness/src/agg.rs crates/harness/src/exec.rs crates/harness/src/manifest.rs crates/harness/src/report.rs crates/harness/src/spec.rs
+
+/root/repo/target/release/deps/airdnd_harness-3702cc6076e5fd6b: crates/harness/src/lib.rs crates/harness/src/agg.rs crates/harness/src/exec.rs crates/harness/src/manifest.rs crates/harness/src/report.rs crates/harness/src/spec.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/agg.rs:
+crates/harness/src/exec.rs:
+crates/harness/src/manifest.rs:
+crates/harness/src/report.rs:
+crates/harness/src/spec.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/airdnd_mesh-94d49ca5dc99aee4.d: crates/mesh/src/lib.rs crates/mesh/src/beacon.rs crates/mesh/src/descriptor.rs crates/mesh/src/membership.rs crates/mesh/src/neighbor.rs crates/mesh/src/routing.rs
+
+/root/repo/target/release/deps/libairdnd_mesh-94d49ca5dc99aee4.rlib: crates/mesh/src/lib.rs crates/mesh/src/beacon.rs crates/mesh/src/descriptor.rs crates/mesh/src/membership.rs crates/mesh/src/neighbor.rs crates/mesh/src/routing.rs
+
+/root/repo/target/release/deps/libairdnd_mesh-94d49ca5dc99aee4.rmeta: crates/mesh/src/lib.rs crates/mesh/src/beacon.rs crates/mesh/src/descriptor.rs crates/mesh/src/membership.rs crates/mesh/src/neighbor.rs crates/mesh/src/routing.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/beacon.rs:
+crates/mesh/src/descriptor.rs:
+crates/mesh/src/membership.rs:
+crates/mesh/src/neighbor.rs:
+crates/mesh/src/routing.rs:

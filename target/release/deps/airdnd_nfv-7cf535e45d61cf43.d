@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/airdnd_nfv-7cf535e45d61cf43.d: crates/nfv/src/lib.rs crates/nfv/src/chain.rs crates/nfv/src/manager.rs crates/nfv/src/resources.rs crates/nfv/src/vnf.rs
+
+/root/repo/target/release/deps/libairdnd_nfv-7cf535e45d61cf43.rlib: crates/nfv/src/lib.rs crates/nfv/src/chain.rs crates/nfv/src/manager.rs crates/nfv/src/resources.rs crates/nfv/src/vnf.rs
+
+/root/repo/target/release/deps/libairdnd_nfv-7cf535e45d61cf43.rmeta: crates/nfv/src/lib.rs crates/nfv/src/chain.rs crates/nfv/src/manager.rs crates/nfv/src/resources.rs crates/nfv/src/vnf.rs
+
+crates/nfv/src/lib.rs:
+crates/nfv/src/chain.rs:
+crates/nfv/src/manager.rs:
+crates/nfv/src/resources.rs:
+crates/nfv/src/vnf.rs:

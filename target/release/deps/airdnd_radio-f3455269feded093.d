@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/airdnd_radio-f3455269feded093.d: crates/radio/src/lib.rs crates/radio/src/channel.rs crates/radio/src/mac.rs crates/radio/src/medium.rs crates/radio/src/profiles.rs
+
+/root/repo/target/release/deps/libairdnd_radio-f3455269feded093.rlib: crates/radio/src/lib.rs crates/radio/src/channel.rs crates/radio/src/mac.rs crates/radio/src/medium.rs crates/radio/src/profiles.rs
+
+/root/repo/target/release/deps/libairdnd_radio-f3455269feded093.rmeta: crates/radio/src/lib.rs crates/radio/src/channel.rs crates/radio/src/mac.rs crates/radio/src/medium.rs crates/radio/src/profiles.rs
+
+crates/radio/src/lib.rs:
+crates/radio/src/channel.rs:
+crates/radio/src/mac.rs:
+crates/radio/src/medium.rs:
+crates/radio/src/profiles.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/airdnd_scenario-3f10ad315e18b16a.d: crates/scenario/src/lib.rs crates/scenario/src/fleet.rs crates/scenario/src/perception.rs crates/scenario/src/runner.rs crates/scenario/src/world.rs
+
+/root/repo/target/release/deps/libairdnd_scenario-3f10ad315e18b16a.rlib: crates/scenario/src/lib.rs crates/scenario/src/fleet.rs crates/scenario/src/perception.rs crates/scenario/src/runner.rs crates/scenario/src/world.rs
+
+/root/repo/target/release/deps/libairdnd_scenario-3f10ad315e18b16a.rmeta: crates/scenario/src/lib.rs crates/scenario/src/fleet.rs crates/scenario/src/perception.rs crates/scenario/src/runner.rs crates/scenario/src/world.rs
+
+crates/scenario/src/lib.rs:
+crates/scenario/src/fleet.rs:
+crates/scenario/src/perception.rs:
+crates/scenario/src/runner.rs:
+crates/scenario/src/world.rs:

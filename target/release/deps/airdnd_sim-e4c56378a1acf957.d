@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/airdnd_sim-e4c56378a1acf957.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libairdnd_sim-e4c56378a1acf957.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libairdnd_sim-e4c56378a1acf957.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/airdnd_task-8fe0c2d8d9bf2592.d: crates/task/src/lib.rs crates/task/src/graph.rs crates/task/src/library.rs crates/task/src/spec.rs crates/task/src/vm/mod.rs crates/task/src/vm/asm.rs crates/task/src/vm/exec.rs crates/task/src/vm/isa.rs crates/task/src/vm/verify.rs crates/task/src/wire.rs
+
+/root/repo/target/release/deps/libairdnd_task-8fe0c2d8d9bf2592.rlib: crates/task/src/lib.rs crates/task/src/graph.rs crates/task/src/library.rs crates/task/src/spec.rs crates/task/src/vm/mod.rs crates/task/src/vm/asm.rs crates/task/src/vm/exec.rs crates/task/src/vm/isa.rs crates/task/src/vm/verify.rs crates/task/src/wire.rs
+
+/root/repo/target/release/deps/libairdnd_task-8fe0c2d8d9bf2592.rmeta: crates/task/src/lib.rs crates/task/src/graph.rs crates/task/src/library.rs crates/task/src/spec.rs crates/task/src/vm/mod.rs crates/task/src/vm/asm.rs crates/task/src/vm/exec.rs crates/task/src/vm/isa.rs crates/task/src/vm/verify.rs crates/task/src/wire.rs
+
+crates/task/src/lib.rs:
+crates/task/src/graph.rs:
+crates/task/src/library.rs:
+crates/task/src/spec.rs:
+crates/task/src/vm/mod.rs:
+crates/task/src/vm/asm.rs:
+crates/task/src/vm/exec.rs:
+crates/task/src/vm/isa.rs:
+crates/task/src/vm/verify.rs:
+crates/task/src/wire.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/airdnd_trust-49a6f335fcaaa1a0.d: crates/trust/src/lib.rs crates/trust/src/hash.rs crates/trust/src/privacy.rs crates/trust/src/reputation.rs crates/trust/src/verify.rs
+
+/root/repo/target/release/deps/libairdnd_trust-49a6f335fcaaa1a0.rlib: crates/trust/src/lib.rs crates/trust/src/hash.rs crates/trust/src/privacy.rs crates/trust/src/reputation.rs crates/trust/src/verify.rs
+
+/root/repo/target/release/deps/libairdnd_trust-49a6f335fcaaa1a0.rmeta: crates/trust/src/lib.rs crates/trust/src/hash.rs crates/trust/src/privacy.rs crates/trust/src/reputation.rs crates/trust/src/verify.rs
+
+crates/trust/src/lib.rs:
+crates/trust/src/hash.rs:
+crates/trust/src/privacy.rs:
+crates/trust/src/reputation.rs:
+crates/trust/src/verify.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-f2a200652469a356.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-f2a200652469a356.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-f2a200652469a356.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/harness-d21f6ec0f7da3f52.d: crates/harness/benches/harness.rs
+
+/root/repo/target/release/deps/harness-d21f6ec0f7da3f52: crates/harness/benches/harness.rs
+
+crates/harness/benches/harness.rs:

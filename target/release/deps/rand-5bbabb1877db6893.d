@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-5bbabb1877db6893.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-5bbabb1877db6893.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-5bbabb1877db6893.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_experiments-68e277b44fa143c1.d: crates/bench/src/bin/run_experiments.rs
+
+/root/repo/target/release/deps/run_experiments-68e277b44fa143c1: crates/bench/src/bin/run_experiments.rs
+
+crates/bench/src/bin/run_experiments.rs:

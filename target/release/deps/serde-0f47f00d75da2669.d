@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/serde-0f47f00d75da2669.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-0f47f00d75da2669.rlib: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-0f47f00d75da2669.rmeta: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-25f1d1a583152283.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-25f1d1a583152283: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_tmp-26055a4e21077745.d: examples/probe_tmp.rs
+
+/root/repo/target/release/examples/probe_tmp-26055a4e21077745: examples/probe_tmp.rs
+
+examples/probe_tmp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-7fcd641015bda906.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-7fcd641015bda906: examples/quickstart.rs
+
+examples/quickstart.rs:
