@@ -7,25 +7,25 @@
 //! cargo run -p airdnd-bench --bin run_experiments --release -- --threads 4
 //! ```
 //!
-//! Experiments are farmed across the `airdnd-harness` worker pool and
-//! printed in EXPERIMENTS.md order regardless of completion order, so the
-//! output is identical to a sequential run. The default is `--threads 1`
-//! (one experiment at a time): F10 times `score_candidates` with a
-//! wall-clock, and running it beside other CPU-saturating experiments
-//! would contaminate its µs/decision column — opt into parallelism
-//! (`--threads N` or `--threads 0` for all cores) when that trade-off is
-//! acceptable. Tables print to stdout; JSON lands in
+//! Experiments come from the unified typed registry
+//! (`airdnd_bench::workloads`) and are farmed across the `airdnd-harness`
+//! worker pool, printing in EXPERIMENTS.md order regardless of completion
+//! order, so the output is identical to a sequential run. The default is
+//! `--threads 1` (one experiment at a time): F10 times `score_candidates`
+//! with a wall-clock, and running it beside other CPU-saturating
+//! experiments would contaminate its µs/decision column — opt into
+//! parallelism (`--threads N` or `--threads 0` for all cores) when that
+//! trade-off is acceptable. Tables print to stdout; JSON lands in
 //! `target/experiments/`.
 
-use airdnd_bench::exp;
-use airdnd_harness::{run_sweep, SweepSpec};
+use airdnd_bench::workloads;
+use airdnd_harness::{run_sweep, AnyWorkload, SweepSpec};
 use std::fs;
 
 fn usage_error(msg: &str) -> ! {
-    let names: Vec<&str> = exp::registry().iter().map(|(name, _)| *name).collect();
     eprintln!(
         "error: {msg}\nusage: run_experiments [quick] [--threads N] [names...]\nnames: {}",
-        names.join(", ")
+        workloads::names().join(", ")
     );
     std::process::exit(2);
 }
@@ -34,8 +34,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut threads = 1usize;
-    let mut filter: Vec<&str> = Vec::new();
-    let known: Vec<&str> = exp::registry().iter().map(|(name, _)| *name).collect();
+    let mut filter: Vec<String> = Vec::new();
+    let known = workloads::names();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -50,14 +50,14 @@ fn main() {
                 };
             }
             flag if flag.starts_with('-') => usage_error(&format!("unknown flag `{flag}`")),
-            name if known.contains(&name) => filter.push(name),
+            name if known.contains(&name) => filter.push(name.to_owned()),
             name => usage_error(&format!("unknown experiment `{name}`")),
         }
     }
 
-    let selected: Vec<(&'static str, exp::ExperimentFn)> = exp::registry()
+    let selected: Vec<Box<dyn AnyWorkload>> = workloads::registry()
         .into_iter()
-        .filter(|(name, _)| filter.is_empty() || filter.contains(name))
+        .filter(|w| filter.is_empty() || filter.iter().any(|n| n == w.name()))
         .collect();
 
     let out_dir = std::path::Path::new("target/experiments");
@@ -65,24 +65,25 @@ fn main() {
 
     let started = std::time::Instant::now();
     // One manifest entry per experiment; the harness reassembles results in
-    // registry order no matter which worker finishes first.
+    // registry order no matter which worker finishes first. Each experiment
+    // runs its own grid serially (`threads = 1` inside) so pools never nest.
     let manifest = SweepSpec::new(usize::MAX)
         .axis_labeled(
             "experiment",
             0..selected.len(),
-            |&i| selected[i].0.to_owned(),
+            |&i| selected[i].name().to_owned(),
             |slot, &i| *slot = i,
         )
         .manifest();
     let outcome = run_sweep(&manifest, threads, |plan| {
-        let (name, run) = selected[plan.config];
-        (name, run(quick))
+        let workload = &selected[plan.config];
+        (workload.name(), workload.execute(quick, 1, &mut |_| {}))
     });
 
-    for (name, result) in &outcome.results {
-        println!("{}", result.table.render());
+    for (name, output) in &outcome.results {
+        println!("{}", output.result.table.render());
         let path = out_dir.join(format!("{name}.json"));
-        let json = serde_json::to_string_pretty(&result).expect("results serialize");
+        let json = serde_json::to_string_pretty(&output.result).expect("results serialize");
         fs::write(&path, json).expect("can write experiment JSON");
         println!("  -> {}\n", path.display());
     }

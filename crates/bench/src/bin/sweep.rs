@@ -1,21 +1,30 @@
-//! Declarative, multi-threaded experiment sweeps.
+//! Declarative, multi-threaded, shardable experiment sweeps.
 //!
 //! ```sh
 //! cargo run -p airdnd-bench --bin sweep --release                       # full, all cores
 //! cargo run -p airdnd-bench --bin sweep --release -- --quick f2         # CI-sized F2
 //! cargo run -p airdnd-bench --bin sweep --release -- --threads 8 f2 t9  # explicit pool
 //! cargo run -p airdnd-bench --bin sweep --release -- --bench            # BENCH_harness.json
+//!
+//! # Split one sweep across processes/hosts, then reassemble:
+//! cargo run -p airdnd-bench --bin sweep --release -- --quick --shard 0/2 --out s0 f2
+//! cargo run -p airdnd-bench --bin sweep --release -- --quick --shard 1/2 --out s1 f2
+//! cargo run -p airdnd-bench --bin sweep --release -- --quick --merge s0 --merge s1 --out m f2
 //! ```
 //!
 //! Determinism contract: stdout (the rendered tables) and the JSON/CSV
-//! artifacts are **byte-identical for any `--threads` value** — the
-//! harness farms runs across workers but reassembles results in manifest
-//! order, and seeds derive from `(base_seed, run_index)`, never from
-//! scheduling. Progress streams to stderr, which is exempt.
+//! artifacts are **byte-identical for any `--threads` value and any
+//! `--shard` split** — the harness farms runs across workers but
+//! reassembles results in manifest order, and seeds derive from
+//! `(base_seed, run_index)`, never from scheduling or process placement.
+//! Progress streams to stderr, which is exempt. F10 is the one
+//! deliberate exception: it reports wall-clock µs/decision.
 
-use airdnd_bench::sweeps;
-use airdnd_harness::{run_sweep, write_report};
-use airdnd_scenario::run_scenario;
+use airdnd_bench::workloads;
+use airdnd_harness::{
+    parse_shard, render_shard, shard_artifact_name, write_report, AnyWorkload, Progress, Shard,
+    ShardArtifact,
+};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -25,6 +34,8 @@ struct Args {
     quick: bool,
     bench: bool,
     out: PathBuf,
+    shard: Option<Shard>,
+    merge: Vec<PathBuf>,
     names: Vec<String>,
 }
 
@@ -34,6 +45,8 @@ fn parse_args() -> Args {
         quick: false,
         bench: false,
         out: PathBuf::from("target/experiments/sweep"),
+        shard: None,
+        merge: Vec::new(),
         names: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -52,6 +65,17 @@ fn parse_args() -> Args {
                 Some(path) => args.out = PathBuf::from(path),
                 None => usage_error("--out needs a path"),
             },
+            "--shard" => match it.next() {
+                Some(spec) => match spec.parse::<Shard>() {
+                    Ok(shard) => args.shard = Some(shard),
+                    Err(e) => usage_error(&e),
+                },
+                None => usage_error("--shard needs an `i/n` spec"),
+            },
+            "--merge" => match it.next() {
+                Some(dir) => args.merge.push(PathBuf::from(dir)),
+                None => usage_error("--merge needs a shard-artifact directory"),
+            },
             "--quick" | "quick" => args.quick = true,
             "--bench" => args.bench = true,
             "--help" | "-h" => {
@@ -64,10 +88,13 @@ fn parse_args() -> Args {
             name => args.names.push(name.to_owned()),
         }
     }
-    let known: Vec<&str> = sweeps::registry().iter().map(|e| e.name).collect();
+    if args.shard.is_some() && !args.merge.is_empty() {
+        usage_error("--shard and --merge are mutually exclusive");
+    }
+    let known = workloads::names();
     for name in &args.names {
         if !known.contains(&name.as_str()) {
-            usage_error(&format!("unknown sweep experiment `{name}`"));
+            usage_error(&format!("unknown experiment `{name}`"));
         }
     }
     args
@@ -75,13 +102,12 @@ fn parse_args() -> Args {
 
 fn usage() -> String {
     format!(
-        "usage: sweep [--threads N] [--quick] [--out DIR] [--bench] [names...]\n\
-         names: {}",
-        sweeps::registry()
-            .iter()
-            .map(|e| e.name)
-            .collect::<Vec<_>>()
-            .join(", ")
+        "usage: sweep [--threads N] [--quick] [--out DIR] [--bench]\n\
+         \x20            [--shard I/N] [--merge DIR]... [names...]\n\
+         names: {}\n\
+         --shard runs one slice and writes a mergeable artifact to --out;\n\
+         --merge (repeatable) reassembles artifacts byte-identically",
+        workloads::names().join(", ")
     )
 }
 
@@ -90,58 +116,166 @@ fn usage_error(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+fn selected(names: &[String]) -> Vec<Box<dyn AnyWorkload>> {
+    workloads::registry()
+        .into_iter()
+        .filter(|w| names.is_empty() || names.iter().any(|n| n == w.name()))
+        .collect()
+}
+
+fn stderr_progress(name: &str) -> impl FnMut(Progress) + '_ {
+    move |p: Progress| {
+        eprint!("\r[{name}] {}/{} runs", p.done, p.total);
+        let _ = std::io::stderr().flush();
+    }
+}
+
 fn main() {
     let args = parse_args();
     if args.bench {
         bench_snapshot(args.threads);
         return;
     }
-
     std::fs::create_dir_all(&args.out).expect("can create the output directory");
     let started = Instant::now();
-    for exp in sweeps::registry() {
-        if !args.names.is_empty() && !args.names.iter().any(|n| n == exp.name) {
-            continue;
-        }
-        let (manifest, results, result) = sweeps::execute(&exp, args.quick, args.threads, |p| {
-            eprint!("\r[{}] {}/{} runs", exp.name, p.done, p.total);
-            let _ = std::io::stderr().flush();
-        });
+    let mode = if let Some(shard) = args.shard {
+        run_shards(&args, shard);
+        format!("shard {shard}")
+    } else if !args.merge.is_empty() {
+        run_merge(&args);
+        "merge".to_owned()
+    } else {
+        run_full(&args);
+        "sweep".to_owned()
+    };
+    eprintln!(
+        "{mode} done in {:.1} s ({} mode)",
+        started.elapsed().as_secs_f64(),
+        if args.quick { "quick" } else { "full" }
+    );
+}
+
+/// Default mode: execute each selected workload completely, print its
+/// table and write the aggregate JSON/CSV artifacts.
+fn run_full(args: &Args) {
+    for workload in selected(&args.names) {
+        let output = workload.execute(
+            args.quick,
+            args.threads,
+            &mut stderr_progress(workload.name()),
+        );
         eprintln!();
-        print!("{}", result.table.render());
-        let report = sweeps::aggregate_report(&exp, &manifest, &results);
+        print!("{}", output.result.table.render());
         let (json_path, csv_path) =
-            write_report(&args.out, &report).expect("can write sweep artifacts");
+            write_report(&args.out, &output.aggregate).expect("can write sweep artifacts");
         eprintln!(
             "  -> {}\n  -> {}\n",
             json_path.display(),
             csv_path.display()
         );
     }
-    eprintln!(
-        "sweeps done in {:.1} s ({} mode)",
-        started.elapsed().as_secs_f64(),
-        if args.quick { "quick" } else { "full" }
-    );
+}
+
+/// `--shard i/n`: run only this slice of each selected workload and write
+/// one mergeable artifact per workload. Nothing goes to stdout — tables
+/// only exist once every shard has been merged.
+fn run_shards(args: &Args, shard: Shard) {
+    for workload in selected(&args.names) {
+        let artifact = workload.execute_shard(
+            args.quick,
+            args.threads,
+            shard,
+            &mut stderr_progress(workload.name()),
+        );
+        eprintln!();
+        let path = args.out.join(shard_artifact_name(workload.name(), shard));
+        std::fs::write(&path, render_shard(&artifact)).expect("can write shard artifact");
+        eprintln!(
+            "  -> {} ({} runs)\n",
+            path.display(),
+            artifact.results.len()
+        );
+    }
+}
+
+/// `--merge dir...`: load every selected workload's shard artifacts from
+/// the given directories, reassemble in manifest order, and emit exactly
+/// what an unsharded run would have emitted.
+fn run_merge(args: &Args) {
+    for workload in selected(&args.names) {
+        let artifacts = load_artifacts(workload.name(), &args.merge);
+        if artifacts.is_empty() {
+            eprintln!(
+                "warning: no shard artifacts for `{}`, skipping",
+                workload.name()
+            );
+            continue;
+        }
+        let output = workload
+            .merge_shards(args.quick, &artifacts)
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot merge `{}`: {e}", workload.name());
+                std::process::exit(1);
+            });
+        print!("{}", output.result.table.render());
+        let (json_path, csv_path) =
+            write_report(&args.out, &output.aggregate).expect("can write sweep artifacts");
+        eprintln!(
+            "  -> {}\n  -> {}\n",
+            json_path.display(),
+            csv_path.display()
+        );
+    }
+}
+
+/// All shard artifacts for one workload across the merge directories, in
+/// deterministic (dir, filename) order.
+fn load_artifacts(name: &str, dirs: &[PathBuf]) -> Vec<ShardArtifact> {
+    let prefix = format!("{name}.shard");
+    let mut artifacts = Vec::new();
+    for dir in dirs {
+        let entries = std::fs::read_dir(dir)
+            .unwrap_or_else(|e| panic!("cannot read merge dir {}: {e}", dir.display()));
+        let mut files: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|f| f.to_str())
+                    .is_some_and(|f| f.starts_with(&prefix) && f.ends_with(".json"))
+            })
+            .collect();
+        files.sort();
+        for file in files {
+            let text = std::fs::read_to_string(&file)
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", file.display()));
+            let artifact = parse_shard(&text)
+                .unwrap_or_else(|e| panic!("cannot parse {}: {e}", file.display()));
+            artifacts.push(artifact);
+        }
+    }
+    artifacts
 }
 
 /// Emits `BENCH_harness.json`: sequential vs parallel wall-clock for the
 /// quick F2 sweep, plus pure dispatch overhead on no-op runs.
 fn bench_snapshot(threads: usize) {
-    use airdnd_harness::SweepSpec;
+    use airdnd_harness::{run_sweep, SweepSpec};
     use serde_json::json;
 
-    let f2 = sweeps::find("f2").expect("f2 registered");
-    let manifest = (f2.spec)(true).manifest();
-    eprintln!("timing quick F2 sweep ({} runs) ...", manifest.len());
-    let seq = run_sweep(&manifest, 1, |plan| run_scenario(plan.config));
-    let par = run_sweep(&manifest, threads, |plan| run_scenario(plan.config));
-    let identical = {
-        let table = |results: &[airdnd_scenario::ScenarioReport]| {
-            (f2.tabulate)(&manifest, results).table.render()
-        };
-        table(&seq.results) == table(&par.results)
-    };
+    let f2 = workloads::find("f2").expect("f2 registered");
+    let f2_runs = f2.total_runs(true);
+    eprintln!("timing quick F2 sweep ({f2_runs} runs) ...");
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Mirror the executor's clamp so the snapshot records the worker
+    // count the parallel F2 run actually used.
+    let f2_workers = (if threads == 0 { hw } else { threads }).clamp(1, f2_runs);
+    let start = Instant::now();
+    let seq = f2.execute(true, 1, &mut |_| {});
+    let seq_wall = start.elapsed();
+    let start = Instant::now();
+    let par = f2.execute(true, threads, &mut |_| {});
+    let par_wall = start.elapsed();
+    let identical = seq.result.table.render() == par.result.table.render();
     assert!(
         identical,
         "sequential and parallel F2 tables must be byte-identical"
@@ -152,20 +286,21 @@ fn bench_snapshot(threads: usize) {
     let noop = SweepSpec::new(0u64)
         .axis("run", 0..noop_runs as u64, |cfg, &v| *cfg = v)
         .manifest();
+    let pool = if threads == 0 { hw } else { threads };
     let start = Instant::now();
-    let outcome = run_sweep(&noop, par.threads, |plan| plan.config);
+    let outcome = run_sweep(&noop, pool, |plan| plan.config);
     assert_eq!(outcome.results.len(), noop_runs);
     let noop_elapsed = start.elapsed();
 
     let snapshot = json!({
         "description": "harness overhead + sequential-vs-parallel wall clock for the quick F2 sweep",
-        "hardware_threads": std::thread::available_parallelism().map_or(1, |n| n.get()),
+        "hardware_threads": hw,
         "f2_quick": json!({
-            "runs": manifest.len(),
-            "sequential_ms": seq.wall.as_secs_f64() * 1e3,
-            "parallel_ms": par.wall.as_secs_f64() * 1e3,
-            "parallel_threads": par.threads,
-            "speedup": seq.wall.as_secs_f64() / par.wall.as_secs_f64().max(1e-9),
+            "runs": f2_runs,
+            "sequential_ms": seq_wall.as_secs_f64() * 1e3,
+            "parallel_ms": par_wall.as_secs_f64() * 1e3,
+            "parallel_threads": f2_workers,
+            "speedup": seq_wall.as_secs_f64() / par_wall.as_secs_f64().max(1e-9),
             "outputs_byte_identical": identical,
         }),
         "noop_dispatch": json!({

@@ -1,471 +1,90 @@
-//! One module per experiment in EXPERIMENTS.md.
+//! Legacy per-experiment entry points, one per table/figure in
+//! `EXPERIMENTS.md`.
 //!
-//! Every function takes `quick` (small, CI-sized runs) and returns an
-//! [`ExperimentResult`]. DESIGN.md §4 maps each experiment to the paper
-//! claim it tests.
+//! Every function is a thin delegate into the unified typed registry in
+//! [`crate::workloads`] — the single source of truth for grids, runners,
+//! metrics and tables. Nothing here rolls its own sweep loop; each
+//! experiment is a [`airdnd_harness::Workload`] executed through the
+//! generic harness (worker pool, aggregation, sharding). DESIGN.md §4
+//! maps each experiment to the paper claim it tests.
+//!
+//! Sweep-backed delegates run their grid serially (`threads = 1`):
+//! parallelism belongs to the caller — `run_experiments --threads N`
+//! parallelizes *across* experiments, the `sweep` binary *within* one —
+//! so pools never nest and `--threads` limits stay honest.
 
-mod market;
+use crate::report::ExperimentResult;
+use crate::workloads::run_named;
 
-use crate::report::{fmt_f, ExperimentResult, Table};
-use airdnd_baselines::{
-    Assigner, CodedAssigner, DoubleAuctionAssigner, GreedyComputeAssigner, RandomAssigner,
-    ScoreAssigner, SmartContractAssigner, SyncRoundAssigner,
-};
-use airdnd_core::{score_candidates, OrchestratorConfig, SelectionWeights};
-use airdnd_data::{DataCatalog, DataQuery, DataType, QualityDescriptor};
-use airdnd_geo::Vec2;
-use airdnd_mesh::{MemberDescriptor, MeshDescriptor, NodeAdvert};
-use airdnd_nfv::{
-    NfManager, PlacementStrategy, ResourceCapacity, ServiceChain, VnfDescriptor, VnfKind,
-};
-use airdnd_radio::NodeAddr;
-use airdnd_scenario::{run_scenario, ScenarioConfig, Strategy};
-use airdnd_sim::{SimDuration, SimRng, SimTime};
-use airdnd_task::{Program, ResourceRequirements, TaskId, TaskSpec};
-use airdnd_trust::ReputationTable;
-use serde_json::json;
-
-pub use market::market_sim;
-
-fn base(quick: bool) -> ScenarioConfig {
-    ScenarioConfig {
-        duration: if quick {
-            SimDuration::from_secs(15)
-        } else {
-            SimDuration::from_secs(60)
-        },
-        ..Default::default()
-    }
-}
+pub use crate::workloads::market::{market_sim, MarketStats};
 
 /// F1 — mesh formation & dissolution vs density (Model 1 dynamicity).
-///
-/// Declared as a harness sweep over fleet density (see [`crate::sweeps`]).
-/// Sweep-backed experiments run their grid serially (`threads = 1`):
-/// parallelism belongs to the caller — `run_experiments --threads N`
-/// parallelizes *across* experiments, the `sweep` binary *within* one —
-/// so pools never nest and `--threads` limits stay honest.
 pub fn f1_mesh_dynamics(quick: bool) -> ExperimentResult {
-    crate::sweeps::run_named("f1", quick, 1)
+    run_named("f1", quick, 1)
 }
 
 /// F2 — data transferred per perception view (the minimization claim).
-///
-/// Declared as a harness sweep over fleet size × strategy (see
-/// [`crate::sweeps`]); the `sweep` binary exposes the same grid with
-/// explicit thread control.
 pub fn f2_data_transfer(quick: bool) -> ExperimentResult {
-    crate::sweeps::run_named("f2", quick, 1)
+    run_named("f2", quick, 1)
 }
 
 /// F3 — end-to-end latency CDF: mesh vs cellular cloud.
 pub fn f3_latency_cdf(quick: bool) -> ExperimentResult {
-    let mut table = Table::new(
-        "F3",
-        "task latency: AirDnD mesh vs cellular cloud",
-        &[
-            "strategy", "done %", "mean ms", "p50 ms", "p95 ms", "max ms",
-        ],
-    );
-    let strategies = [
-        Strategy::Airdnd,
-        Strategy::Cloud { fiveg: true },
-        Strategy::Cloud { fiveg: false },
-    ];
-    let mut series = Vec::new();
-    for strategy in strategies {
-        let r = run_scenario(ScenarioConfig {
-            seed: 103,
-            vehicles: 12,
-            strategy,
-            ..base(quick)
-        });
-        table.row(vec![
-            r.strategy.clone(),
-            fmt_f(r.completion_rate * 100.0),
-            fmt_f(r.latency_mean_ms),
-            fmt_f(r.latency_p50_ms),
-            fmt_f(r.latency_p95_ms),
-            fmt_f(r.latency_max_ms),
-        ]);
-        let cdf = airdnd_sim::stats::cdf_points(&r.latencies_ms, 40);
-        series.push(json!({ "strategy": r.strategy, "cdf": cdf }));
-    }
-    ExperimentResult {
-        table,
-        series: json!(series),
-    }
+    run_named("f3", quick, 1)
 }
 
 /// F4 — looking-around-the-corner coverage vs cooperating vehicles.
-///
-/// Declared as a harness sweep over fleet size × strategy (see
-/// [`crate::sweeps`]).
 pub fn f4_coverage(quick: bool) -> ExperimentResult {
-    crate::sweeps::run_named("f4", quick, 1)
+    run_named("f4", quick, 1)
 }
 
-/// T5 — RQ1 ablation: which selection criteria matter.
+/// T5 — RQ1 ablation over a `SelectionWeights` axis.
 pub fn t5_selection_ablation(quick: bool) -> ExperimentResult {
-    let mut table = Table::new(
-        "T5",
-        "node-selection feature ablation (RQ1)",
-        &["weights", "done %", "p95 ms", "failed", "bad results"],
-    );
-    let variants: Vec<(&str, SelectionWeights)> = vec![
-        ("full", SelectionWeights::default()),
-        ("compute-only", SelectionWeights::compute_only()),
-        (
-            "no-link",
-            SelectionWeights {
-                link: 0.0,
-                ..SelectionWeights::default()
-            },
-        ),
-        (
-            "no-trust",
-            SelectionWeights {
-                trust: 0.0,
-                ..SelectionWeights::default()
-            },
-        ),
-        (
-            "no-in-range",
-            SelectionWeights {
-                in_range: 0.0,
-                ..SelectionWeights::default()
-            },
-        ),
-    ];
-    let seeds: &[u64] = if quick {
-        &[105, 205]
-    } else {
-        &[105, 205, 305, 405]
-    };
-    for (name, weights) in variants {
-        let (mut done, mut p95, mut failed, mut bad, mut submitted) = (0.0, 0.0, 0u64, 0u64, 0u64);
-        for &seed in seeds {
-            let mut cfg = ScenarioConfig {
-                seed,
-                vehicles: 14,
-                byzantine_fraction: 0.2,
-                ..base(quick)
-            };
-            cfg.orch.weights = weights;
-            cfg.orch.redundancy = 1;
-            // Spot checks let reputations actually evolve, which is what
-            // the trust weight consumes.
-            cfg.orch.spot_check_probability = 0.25;
-            let r = run_scenario(cfg);
-            done += r.completion_rate;
-            p95 = f64::max(p95, r.latency_p95_ms);
-            failed += r.tasks_failed;
-            bad += r.invalid_results_accepted;
-            submitted += r.tasks_submitted;
-        }
-        let n = seeds.len() as f64;
-        table.row(vec![
-            name.to_owned(),
-            fmt_f(done / n * 100.0),
-            fmt_f(p95),
-            failed.to_string(),
-            format!(
-                "{bad} ({:.1}%)",
-                bad as f64 / submitted.max(1) as f64 * 100.0
-            ),
-        ]);
-    }
-    ExperimentResult::table_only(table)
+    run_named("t5", quick, 1)
 }
 
 /// T6 — allocation-mechanism comparison on an identical synthetic market.
 pub fn t6_allocators(quick: bool) -> ExperimentResult {
-    let mut table = Table::new(
-        "T6",
-        "allocator comparison (identical workload)",
-        &[
-            "mechanism",
-            "alloc %",
-            "mean s",
-            "p95 s",
-            "ctrl msgs/task",
-            "fairness",
-        ],
-    );
-    let tasks = if quick { 300 } else { 2000 };
-    let mut mechanisms: Vec<Box<dyn Assigner>> = vec![
-        Box::new(ScoreAssigner),
-        Box::new(GreedyComputeAssigner),
-        Box::new(RandomAssigner::new(SimRng::seed_from(61))),
-        Box::new(DoubleAuctionAssigner::default()),
-        Box::new(SmartContractAssigner::default()),
-        Box::new(CodedAssigner::new(3, 2)),
-    ];
-    for mechanism in &mut mechanisms {
-        let stats = market_sim(mechanism.as_mut(), 106, 20, tasks);
-        table.row(vec![
-            mechanism.name().to_owned(),
-            fmt_f(stats.allocated_fraction * 100.0),
-            fmt_f(stats.mean_completion_s),
-            fmt_f(stats.p95_completion_s),
-            fmt_f(stats.control_msgs_per_task),
-            fmt_f(stats.fairness),
-        ]);
-    }
-    ExperimentResult::table_only(table)
+    run_named("t6", quick, 1)
 }
 
 /// F7 — churn resilience: completion vs vehicle speed.
-///
-/// Declared as a harness sweep over the speed limit (see [`crate::sweeps`]).
 pub fn f7_churn(quick: bool) -> ExperimentResult {
-    crate::sweeps::run_named("f7", quick, 1)
+    run_named("f7", quick, 1)
 }
 
 /// F8 — excess-resource utilization vs offered load (the Airbnb claim).
 pub fn f8_utilization(quick: bool) -> ExperimentResult {
-    let mut table = Table::new(
-        "F8",
-        "helper-ECU utilization vs offered load",
-        &["task period ms", "done %", "helper util %", "p95 ms"],
-    );
-    let sweep: &[u32] = if quick { &[10, 3] } else { &[20, 10, 5, 3, 2] };
-    for &every in sweep {
-        let r = run_scenario(ScenarioConfig {
-            seed: 108,
-            vehicles: 10,
-            task_every_ticks: every,
-            task_compute_rounds: 600,
-            ..base(quick)
-        });
-        table.row(vec![
-            (every as u64 * 100).to_string(),
-            fmt_f(r.completion_rate * 100.0),
-            fmt_f(r.mean_executor_utilization * 100.0),
-            fmt_f(r.latency_p95_ms),
-        ]);
-    }
-    ExperimentResult::table_only(table)
+    run_named("f8", quick, 1)
 }
 
 /// T9 — RQ3: integrity under byzantine executors.
-///
-/// Declared as a harness sweep over byzantine fraction × redundancy with
-/// seed replicates per cell (see [`crate::sweeps`]).
 pub fn t9_trust(quick: bool) -> ExperimentResult {
-    crate::sweeps::run_named("t9", quick, 1)
-}
-
-fn synthetic_mesh(n: usize, now: SimTime) -> MeshDescriptor {
-    let mut rng = SimRng::seed_from(77);
-    let members = (0..n)
-        .map(|i| {
-            let mut catalog = DataCatalog::new(4);
-            catalog.insert(
-                DataType::OccupancyGrid,
-                800,
-                QualityDescriptor::basic(now, 0.9, 1.0),
-            );
-            MemberDescriptor {
-                addr: NodeAddr::new(i as u64 + 10),
-                pos: Vec2::new(
-                    rng.next_f64() * 400.0 - 200.0,
-                    rng.next_f64() * 400.0 - 200.0,
-                ),
-                velocity: Vec2::new(rng.next_f64() * 20.0 - 10.0, 0.0),
-                link_quality: 0.5 + rng.next_f64() * 0.5,
-                advert: NodeAdvert {
-                    gas_rate: 500_000 + (rng.next_f64() * 3_500_000.0) as u64,
-                    gas_backlog: (rng.next_f64() * 2_000_000.0) as u64,
-                    mem_free_bytes: 1 << 30,
-                    accepting: true,
-                    catalog: catalog.summarize(),
-                },
-                info_age: SimDuration::from_millis(100),
-            }
-        })
-        .collect();
-    MeshDescriptor {
-        generated_at: now,
-        local: NodeAddr::new(1),
-        local_pos: Vec2::ZERO,
-        members,
-        churn_per_sec: 0.5,
-    }
+    run_named("t9", quick, 1)
 }
 
 /// F10 — orchestrator scalability: selection cost vs mesh size.
 pub fn f10_scalability(quick: bool) -> ExperimentResult {
-    let mut table = Table::new(
-        "F10",
-        "node-selection cost vs mesh size (wall clock)",
-        &["members", "µs/decision", "candidates ranked"],
-    );
-    let sweep: &[usize] = if quick {
-        &[10, 100]
-    } else {
-        &[10, 50, 100, 250, 500]
-    };
-    let now = SimTime::from_secs(1);
-    let task = TaskSpec::new(
-        TaskId::new(1),
-        "t",
-        Program::new(vec![airdnd_task::Instr::Halt], 0),
-    )
-    .with_input(DataQuery::of_type(DataType::OccupancyGrid))
-    .with_requirements(ResourceRequirements {
-        gas: 1_000_000,
-        ..Default::default()
-    });
-    let trust = ReputationTable::default();
-    let cfg = OrchestratorConfig::default();
-    for &n in sweep {
-        let mesh = synthetic_mesh(n, now);
-        let iterations = if quick { 200 } else { 1000 };
-        let start = std::time::Instant::now();
-        let mut ranked_total = 0usize;
-        for _ in 0..iterations {
-            let scores = score_candidates(&task, &mesh, Vec2::ZERO, &trust, &cfg, now);
-            ranked_total += scores.len();
-        }
-        let micros = start.elapsed().as_micros() as f64 / iterations as f64;
-        table.row(vec![
-            n.to_string(),
-            fmt_f(micros),
-            fmt_f(ranked_total as f64 / iterations as f64),
-        ]);
-    }
-    ExperimentResult::table_only(table)
+    run_named("f10", quick, 1)
 }
 
 /// T11 — NFV chain survival under node departures.
 pub fn t11_nfv(quick: bool) -> ExperimentResult {
-    let mut table = Table::new(
-        "T11",
-        "VNF migration & chain availability under churn",
-        &[
-            "departure %/round",
-            "migrations ok",
-            "vnfs lost",
-            "availability %",
-        ],
-    );
-    let rounds = if quick { 50 } else { 300 };
-    let sweep: &[f64] = if quick {
-        &[0.05, 0.2]
-    } else {
-        &[0.02, 0.05, 0.1, 0.2, 0.3]
-    };
-    for &p in sweep {
-        let mut rng = SimRng::seed_from(111);
-        let mut manager = NfManager::new(PlacementStrategy::BestFit);
-        let mut next_node = 0u64;
-        for _ in 0..12 {
-            manager.register_node(next_node, ResourceCapacity::new(1_000, 1 << 30, 2_000_000));
-            next_node += 1;
-        }
-        let chain = ServiceChain::new(
-            "perception",
-            vec![
-                VnfDescriptor::of_kind("fw", VnfKind::Firewall),
-                VnfDescriptor::of_kind("agg", VnfKind::Aggregator),
-                VnfDescriptor::of_kind("fuse", VnfKind::PerceptionFuser),
-            ],
-        );
-        let chain_id = manager
-            .deploy_chain(&chain, SimTime::ZERO)
-            .expect("initial placement fits");
-        let mut lost_total = 0usize;
-        for round in 1..=rounds {
-            let now = SimTime::from_secs(round as u64);
-            // Random departures + one arrival to keep density stable.
-            let hosts: Vec<u64> = manager.instances().map(|i| i.host).collect();
-            for host in hosts {
-                if rng.chance(p) {
-                    let orphans = manager.node_departed(host);
-                    let (_, lost) = manager.heal(&orphans, now);
-                    lost_total += lost.len();
-                }
-            }
-            manager.register_node(next_node, ResourceCapacity::new(1_000, 1 << 30, 2_000_000));
-            next_node += 1;
-            manager.refresh_chain_status(now);
-        }
-        let (ok, _failed) = manager.migration_counts();
-        let availability = manager
-            .chain_status(chain_id)
-            .map_or(0.0, |s| s.availability(SimTime::from_secs(rounds as u64)));
-        table.row(vec![
-            fmt_f(p * 100.0),
-            ok.to_string(),
-            lost_total.to_string(),
-            fmt_f(availability * 100.0),
-        ]);
-    }
-    ExperimentResult::table_only(table)
+    run_named("t11", quick, 1)
 }
 
 /// F12 — the asynchrony ablation: async vs synchronous rounds.
 pub fn f12_async_ablation(quick: bool) -> ExperimentResult {
-    let mut table = Table::new(
-        "F12",
-        "asynchronous orchestration vs synchronous rounds",
-        &["mode", "alloc %", "mean s", "p95 s"],
-    );
-    let tasks = if quick { 300 } else { 2000 };
-    let mut modes: Vec<(String, Box<dyn Assigner>)> =
-        vec![("async (airdnd)".to_owned(), Box::new(ScoreAssigner))];
-    let periods: &[u64] = if quick {
-        &[250, 1000]
-    } else {
-        &[100, 250, 500, 1000]
-    };
-    for &ms in periods {
-        modes.push((
-            format!("sync {ms} ms"),
-            Box::new(SyncRoundAssigner::new(SimDuration::from_millis(ms))),
-        ));
-    }
-    for (label, mechanism) in &mut modes {
-        let stats = market_sim(mechanism.as_mut(), 112, 20, tasks);
-        table.row(vec![
-            label.clone(),
-            fmt_f(stats.allocated_fraction * 100.0),
-            fmt_f(stats.mean_completion_s),
-            fmt_f(stats.p95_completion_s),
-        ]);
-    }
-    ExperimentResult::table_only(table)
-}
-
-/// An experiment entry point: `quick` in, rendered result out.
-pub type ExperimentFn = fn(bool) -> ExperimentResult;
-
-/// Every experiment as a named function pointer, in EXPERIMENTS.md order.
-///
-/// `run_experiments` farms these across the harness worker pool; results
-/// print in this order regardless of completion order.
-pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
-    vec![
-        ("f1", f1_mesh_dynamics as ExperimentFn),
-        ("f2", f2_data_transfer),
-        ("f3", f3_latency_cdf),
-        ("f4", f4_coverage),
-        ("t5", t5_selection_ablation),
-        ("t6", t6_allocators),
-        ("f7", f7_churn),
-        ("f8", f8_utilization),
-        ("t9", t9_trust),
-        ("f10", f10_scalability),
-        ("t11", t11_nfv),
-        ("f12", f12_async_ablation),
-    ]
+    run_named("f12", quick, 1)
 }
 
 /// Every experiment, executed sequentially in EXPERIMENTS.md order.
 pub fn all(quick: bool) -> Vec<(&'static str, ExperimentResult)> {
-    registry()
+    crate::workloads::registry()
         .into_iter()
-        .map(|(name, run)| (name, run(quick)))
+        .map(|workload| {
+            let name = workload.name();
+            (name, run_named(name, quick, 1))
+        })
         .collect()
 }

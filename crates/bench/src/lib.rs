@@ -1,8 +1,10 @@
 //! # airdnd-bench — the experiment harness
 //!
-//! One module per table/figure in `EXPERIMENTS.md`; the
-//! `run_experiments` binary executes them all, prints the tables and
-//! writes machine-readable JSON to `target/experiments/`.
+//! One [`airdnd_harness::Workload`] per table/figure in `EXPERIMENTS.md`,
+//! all registered in the unified typed registry ([`workloads::registry`]);
+//! the `run_experiments` binary executes them all, prints the tables and
+//! writes machine-readable JSON to `target/experiments/`, and the `sweep`
+//! binary exposes each grid with `--threads`, `--shard i/n` and `--merge`.
 //!
 //! The paper is a vision paper with no quantitative evaluation of its own,
 //! so each experiment here regenerates a *constructed* figure derived from
@@ -14,7 +16,6 @@
 
 pub mod exp;
 pub mod report;
-pub mod sweeps;
+pub mod workloads;
 
 pub use report::{ExperimentResult, Table};
-pub use sweeps::SweepExperiment;

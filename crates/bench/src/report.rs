@@ -1,107 +1,11 @@
 //! Experiment output: printable tables plus JSON persistence.
+//!
+//! The types themselves ([`Table`], [`ExperimentResult`]) moved into
+//! `airdnd-harness` when the experiment API went generic — every workload
+//! tabulator produces them, so they belong next to the `Workload` trait.
+//! This module re-exports them under the old paths.
 
-use serde::Serialize;
-use std::fmt::Write as _;
-
-/// A printable, serializable experiment table.
-#[derive(Clone, Debug, Serialize)]
-pub struct Table {
-    /// Experiment id, e.g. `"F2"`.
-    pub id: String,
-    /// Human title.
-    pub title: String,
-    /// Column headers.
-    pub columns: Vec<String>,
-    /// Rows of formatted cells.
-    pub rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Creates an empty table.
-    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
-        Table {
-            id: id.to_owned(),
-            title: title.to_owned(),
-            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row.
-    pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(
-            cells.len(),
-            self.columns.len(),
-            "row arity must match header"
-        );
-        self.rows.push(cells);
-    }
-
-    /// Renders the table with aligned columns.
-    pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
-        let header: Vec<String> = self
-            .columns
-            .iter()
-            .enumerate()
-            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
-            .collect();
-        let _ = writeln!(out, "{}", header.join("  "));
-        for row in &self.rows {
-            let cells: Vec<String> = row
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
-                .collect();
-            let _ = writeln!(out, "{}", cells.join("  "));
-        }
-        out
-    }
-}
-
-/// A finished experiment: its table plus any raw series for plotting.
-#[derive(Clone, Debug, Serialize)]
-pub struct ExperimentResult {
-    /// The rendered table.
-    pub table: Table,
-    /// Named raw series (e.g. CDF points) for plotting.
-    pub series: serde_json::Value,
-}
-
-impl ExperimentResult {
-    /// A result with no extra series.
-    pub fn table_only(table: Table) -> Self {
-        ExperimentResult {
-            table,
-            series: serde_json::Value::Null,
-        }
-    }
-}
-
-/// Formats a float with sensible precision for tables.
-pub fn fmt_f(x: f64) -> String {
-    if x == 0.0 {
-        "0".to_owned()
-    } else if x.abs() >= 1000.0 {
-        format!("{x:.0}")
-    } else if x.abs() >= 10.0 {
-        format!("{x:.1}")
-    } else {
-        format!("{x:.3}")
-    }
-}
-
-/// Formats an optional float (`-` when absent).
-pub fn fmt_opt(x: Option<f64>) -> String {
-    x.map_or_else(|| "-".to_owned(), fmt_f)
-}
+pub use airdnd_harness::{fmt_ci, fmt_f, fmt_opt, ExperimentResult, Table};
 
 #[cfg(test)]
 mod tests {

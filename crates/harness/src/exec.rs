@@ -1,7 +1,7 @@
 //! The worker-pool executor: parallelism *between* deterministic runs,
 //! never inside one, with results reassembled in manifest order.
 
-use crate::manifest::Manifest;
+use crate::manifest::{Manifest, Shard};
 use crate::RunPlan;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -56,6 +56,42 @@ pub fn run_sweep_with_progress<C, R, F, P>(
     manifest: &Manifest<C>,
     threads: usize,
     runner: F,
+    progress: P,
+) -> SweepOutcome<R>
+where
+    C: Sync,
+    R: Send,
+    F: Fn(&RunPlan<C>) -> R + Sync,
+    P: FnMut(Progress),
+{
+    run_slice_with_progress(&manifest.runs, threads, runner, progress)
+}
+
+/// Runs one shard's slice of the manifest through the pool. Results come
+/// back in manifest order *within the shard*; merging shards back into a
+/// full result vector is the job of [`crate::workload::merge_shards`].
+pub fn run_shard_with_progress<C, R, F, P>(
+    manifest: &Manifest<C>,
+    shard: Shard,
+    threads: usize,
+    runner: F,
+    progress: P,
+) -> SweepOutcome<R>
+where
+    C: Sync,
+    R: Send,
+    F: Fn(&RunPlan<C>) -> R + Sync,
+    P: FnMut(Progress),
+{
+    run_slice_with_progress(manifest.shard_runs(shard), threads, runner, progress)
+}
+
+/// The pool itself, over any ordered slice of runs: parallelism *between*
+/// deterministic runs, results reassembled in slice order.
+fn run_slice_with_progress<C, R, F, P>(
+    runs: &[RunPlan<C>],
+    threads: usize,
+    runner: F,
     mut progress: P,
 ) -> SweepOutcome<R>
 where
@@ -64,7 +100,7 @@ where
     F: Fn(&RunPlan<C>) -> R + Sync,
     P: FnMut(Progress),
 {
-    let total = manifest.runs.len();
+    let total = runs.len();
     let threads = resolve_threads(threads, total);
     let start = Instant::now();
     let mut slots: Vec<Option<R>> = Vec::with_capacity(total);
@@ -74,7 +110,6 @@ where
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, R)>();
         let runner = &runner;
-        let runs = manifest.runs.as_slice();
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 let tx = tx.clone();

@@ -21,9 +21,17 @@
 //! 3. [`agg`] — per-cell statistics across seed replicates: mean, sample
 //!    stddev, p50/p95, and 95 % confidence intervals (Student-t for small
 //!    samples).
-//! 4. [`report`] — deterministic JSON and CSV writers. Wall-clock and
-//!    thread count are deliberately excluded from report payloads so the
-//!    artifacts themselves are reproducible byte-for-byte.
+//! 4. [`report`] — deterministic JSON and CSV writers, plus the [`Table`]
+//!    renderer experiments print. Wall-clock and thread count are
+//!    deliberately excluded from report payloads so the artifacts
+//!    themselves are reproducible byte-for-byte.
+//! 5. [`workload`] — the generic experiment API: a [`Workload`] is any
+//!    pure `Config → Report` function with typed axes (numeric grids,
+//!    strategy enums, selection-weight variants, market-mechanism
+//!    choices); [`AnyWorkload`] erases the types so heterogeneous figures
+//!    share one registry, and [`Shard`] slicing plus an ordered merge
+//!    ([`AnyWorkload::merge_shards`]) lets one sweep span processes or
+//!    hosts and still reassemble byte-identically.
 //!
 //! ## Example
 //!
@@ -59,9 +67,19 @@ pub mod exec;
 pub mod manifest;
 pub mod report;
 pub mod spec;
+pub mod workload;
 
 pub use agg::{summarize_cells, Aggregate, CellSummary, MetricSummary};
-pub use exec::{run_sweep, run_sweep_with_progress, Progress, SweepOutcome};
-pub use manifest::{derive_seed, Manifest, RunPlan};
-pub use report::{render_csv, render_json, write_report, SweepReport};
+pub use exec::{
+    run_shard_with_progress, run_sweep, run_sweep_with_progress, Progress, SweepOutcome,
+};
+pub use manifest::{derive_seed, Manifest, RunPlan, Shard};
+pub use report::{
+    fmt_ci, fmt_f, fmt_opt, render_csv, render_json, write_report, ExperimentResult, SweepReport,
+    Table,
+};
 pub use spec::{SeedMode, SweepSpec};
+pub use workload::{
+    parse_shard, render_shard, shard_artifact_name, AnyWorkload, FnWorkload, MergeError,
+    ShardArtifact, ShardResult, Workload, WorkloadOutput,
+};

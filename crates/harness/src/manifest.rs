@@ -1,5 +1,9 @@
-//! The flat, ordered run manifest a sweep expands into, and the splittable
-//! per-run seed derivation.
+//! The flat, ordered run manifest a sweep expands into, the splittable
+//! per-run seed derivation, and [`Shard`] slicing for multi-process sweeps.
+
+use std::fmt;
+use std::ops::Range;
+use std::str::FromStr;
 
 const GOLDEN: u64 = 0x9E3779B97F4A7C15;
 
@@ -88,5 +92,80 @@ impl<C> Manifest<C> {
         let lo = cell * self.replicates;
         let hi = (lo + self.cell_runs(cell).len()).min(results.len());
         &results[lo..hi]
+    }
+
+    /// The contiguous `run_index` range owned by one shard.
+    ///
+    /// Runs are split into `shard.count` contiguous, balanced ranges: the
+    /// first `len % count` shards hold one extra run. Because every run's
+    /// seed is a pure function of `(base_seed, index)` — never of which
+    /// process executes it — the union of all shards' results, ordered by
+    /// `run_index`, is byte-identical to a single-process sweep.
+    pub fn shard_range(&self, shard: Shard) -> Range<usize> {
+        let len = self.runs.len();
+        let (index, count) = (shard.index, shard.count);
+        let base = len / count;
+        let extra = len % count;
+        let lo = index * base + index.min(extra);
+        let hi = lo + base + usize::from(index < extra);
+        lo..hi
+    }
+
+    /// The runs owned by one shard, in manifest order.
+    pub fn shard_runs(&self, shard: Shard) -> &[RunPlan<C>] {
+        &self.runs[self.shard_range(shard)]
+    }
+}
+
+/// One slice of a sharded sweep: shard `index` of `count`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shard {
+    /// Zero-based shard index, `< count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl Shard {
+    /// Creates a shard slice, panicking on `index >= count` or `count == 0`.
+    pub fn new(index: usize, count: usize) -> Shard {
+        assert!(count > 0, "a sweep needs at least one shard");
+        assert!(
+            index < count,
+            "shard index {index} out of range for {count} shards"
+        );
+        Shard { index, count }
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl FromStr for Shard {
+    type Err = String;
+
+    /// Parses the CLI spelling `i/n` (e.g. `0/2`), zero-based.
+    fn from_str(s: &str) -> Result<Shard, String> {
+        let (index, count) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard spec `{s}` must look like `i/n`"))?;
+        let index: usize = index
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard index in `{s}`"))?;
+        let count: usize = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard count in `{s}`"))?;
+        if count == 0 {
+            return Err(format!("shard count must be positive in `{s}`"));
+        }
+        if index >= count {
+            return Err(format!("shard index {index} not below count {count}"));
+        }
+        Ok(Shard { index, count })
     }
 }

@@ -82,3 +82,115 @@ pub fn write_report(dir: &Path, report: &SweepReport) -> io::Result<(PathBuf, Pa
     std::fs::write(&csv_path, render_csv(report))?;
     Ok((json_path, csv_path))
 }
+
+/// A printable, serializable experiment table — the `EXPERIMENTS.md`
+/// rendering every workload's tabulator produces.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    /// Experiment id, e.g. `"F2"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of formatted cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Table {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row arity must match header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", cells.join("  "));
+        }
+        out
+    }
+}
+
+/// A finished experiment: its table plus any raw series for plotting.
+#[derive(Clone, Debug, Serialize)]
+pub struct ExperimentResult {
+    /// The rendered table.
+    pub table: Table,
+    /// Named raw series (e.g. CDF points) for plotting.
+    pub series: serde_json::Value,
+}
+
+impl ExperimentResult {
+    /// A result with no extra series.
+    pub fn table_only(table: Table) -> Self {
+        ExperimentResult {
+            table,
+            series: serde_json::Value::Null,
+        }
+    }
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn fmt_f(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_owned()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Formats an optional float (`-` when absent).
+pub fn fmt_opt(x: Option<f64>) -> String {
+    x.map_or_else(|| "-".to_owned(), fmt_f)
+}
+
+/// Formats a `±` confidence half-width column: `-` when the cell had a
+/// single replicate (no interval), the plain magnitude otherwise.
+pub fn fmt_ci(agg: &crate::agg::Aggregate) -> String {
+    if agg.n < 2 {
+        "-".to_owned()
+    } else {
+        fmt_f(agg.ci95)
+    }
+}

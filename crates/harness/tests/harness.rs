@@ -1,10 +1,12 @@
 //! Harness internals: grid expansion, seed derivation, executor
-//! determinism, and aggregate math.
+//! determinism, aggregate math, and workload sharding/merging.
 
 use airdnd_harness::{
-    derive_seed, render_csv, render_json, run_sweep, summarize_cells, Aggregate, SweepReport,
-    SweepSpec,
+    derive_seed, parse_shard, render_csv, render_json, render_shard, run_sweep, summarize_cells,
+    Aggregate, AnyWorkload, ExperimentResult, FnWorkload, Manifest, RunPlan, Shard, SweepReport,
+    SweepSpec, Table,
 };
+use serde::{Deserialize, Serialize};
 
 #[derive(Clone, Debug, PartialEq)]
 struct Cfg {
@@ -204,6 +206,171 @@ fn aggregate_math_on_fixed_sample() {
     let none = Aggregate::from_samples(&[]);
     assert_eq!(none.n, 0);
     assert_eq!(none.mean, 0.0);
+}
+
+// --- Workload API + sharding -------------------------------------------
+
+#[derive(Clone, Copy, Debug, Serialize)]
+struct ToyConfig {
+    size: usize,
+    seed: u64,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct ToyReport {
+    score: f64,
+    echo: String,
+}
+
+/// A small deterministic workload exercising the full generic path:
+/// typed config, typed report, metrics, tabulation.
+fn toy_workload() -> FnWorkload<ToyConfig, ToyReport> {
+    FnWorkload {
+        name: "toy",
+        title: "toy workload",
+        spec: |quick| {
+            let points: &[usize] = if quick { &[1, 2] } else { &[1, 2, 3, 4, 5] };
+            SweepSpec::new(ToyConfig { size: 0, seed: 0 })
+                .axis("size", points.to_vec(), |c, &n| c.size = n)
+                .replicates(3)
+                .base_seed(11)
+                .seed_with(|c, s| c.seed = s)
+        },
+        run: |plan| ToyReport {
+            // Irrational float math: any seed or ordering slip shows up.
+            score: ((plan.config.seed % 997) as f64 / 7.0 + plan.config.size as f64).sin(),
+            echo: format!("{}:{}", plan.config.size, plan.config.seed),
+        },
+        metrics: |r| vec![("score", r.score), ("echo_len", r.echo.len() as f64)],
+        tabulate: |manifest: &Manifest<ToyConfig>, results: &[ToyReport]| {
+            let mut table = Table::new("TOY", "toy", &["size", "score", "echo"]);
+            for (plan, r) in manifest.runs.iter().zip(results) {
+                table.row(vec![
+                    plan.config.size.to_string(),
+                    format!("{:.12}", r.score),
+                    r.echo.clone(),
+                ]);
+            }
+            ExperimentResult::table_only(table)
+        },
+    }
+}
+
+#[test]
+fn shard_ranges_partition_the_manifest() {
+    let manifest = (toy_workload().spec)(false).manifest();
+    let len = manifest.len();
+    for count in 1..=len + 2 {
+        let mut covered = Vec::new();
+        for index in 0..count {
+            let range = manifest.shard_range(Shard::new(index, count));
+            covered.extend(range.clone());
+            // Balanced: no shard more than one run larger than another.
+            assert!(range.len() <= len / count + 1);
+        }
+        assert_eq!(covered, (0..len).collect::<Vec<_>>(), "count {count}");
+    }
+}
+
+#[test]
+fn shard_spec_parses_and_rejects() {
+    assert_eq!("0/2".parse::<Shard>().unwrap(), Shard::new(0, 2));
+    assert_eq!("3/8".parse::<Shard>().unwrap(), Shard::new(3, 8));
+    for bad in ["", "1", "2/2", "5/2", "a/2", "1/0", "1/b"] {
+        assert!(bad.parse::<Shard>().is_err(), "{bad:?} must not parse");
+    }
+}
+
+#[test]
+fn sharded_merge_is_byte_identical_to_unsharded() {
+    let workload = toy_workload();
+    let unsharded = workload.execute(false, 4, &mut |_| {});
+
+    for count in [2usize, 3, 7] {
+        let mut artifacts = Vec::new();
+        for index in 0..count {
+            let artifact = workload.execute_shard(false, 2, Shard::new(index, count), &mut |_| {});
+            // Cross a "process boundary": JSON text out, JSON text in.
+            artifacts.push(parse_shard(&render_shard(&artifact)).expect("round-trips"));
+        }
+        // Merging must not care about arrival order.
+        artifacts.reverse();
+        let merged = workload.merge_shards(false, &artifacts).expect("merges");
+        assert_eq!(
+            unsharded.result.table.render(),
+            merged.result.table.render(),
+            "{count} shards: table"
+        );
+        assert_eq!(
+            render_json(&unsharded.aggregate),
+            render_json(&merged.aggregate),
+            "{count} shards: JSON artifact"
+        );
+        assert_eq!(
+            render_csv(&unsharded.aggregate),
+            render_csv(&merged.aggregate),
+            "{count} shards: CSV artifact"
+        );
+    }
+}
+
+#[test]
+fn merge_rejects_incomplete_or_inconsistent_shards() {
+    let workload = toy_workload();
+    let s0 = workload.execute_shard(true, 1, Shard::new(0, 2), &mut |_| {});
+    let s1 = workload.execute_shard(true, 1, Shard::new(1, 2), &mut |_| {});
+
+    // Missing shard.
+    let err = workload
+        .merge_shards(true, std::slice::from_ref(&s0))
+        .unwrap_err();
+    assert!(err.to_string().contains("missing"), "{err}");
+
+    // Duplicate shard.
+    let err = workload
+        .merge_shards(true, &[s0.clone(), s0.clone(), s1.clone()])
+        .unwrap_err();
+    assert!(err.to_string().contains("two shards"), "{err}");
+
+    // Quick/full mismatch (different manifest size).
+    let err = workload.merge_shards(false, &[s0.clone(), s1]).unwrap_err();
+    assert!(err.to_string().contains("manifest"), "{err}");
+
+    // Foreign artifact.
+    let mut foreign = s0;
+    foreign.workload = "other".to_owned();
+    let err = workload.merge_shards(true, &[foreign]).unwrap_err();
+    assert!(err.to_string().contains("belongs"), "{err}");
+}
+
+#[test]
+fn reports_survive_the_artifact_round_trip_bitwise() {
+    let workload = toy_workload();
+    let artifact = workload.execute_shard(false, 1, Shard::new(0, 1), &mut |_| {});
+    let text = render_shard(&artifact);
+    let back = parse_shard(&text).expect("parses");
+    assert_eq!(render_shard(&back), text, "render∘parse must be identity");
+    // And the typed reports decode to bit-identical floats.
+    let direct = workload.execute(false, 1, &mut |_| {});
+    let merged = workload.merge_shards(false, &[back]).expect("merges");
+    assert_eq!(
+        render_json(&direct.aggregate),
+        render_json(&merged.aggregate)
+    );
+}
+
+/// The shard split itself must never change seeds: a run's seed is a pure
+/// function of `(base_seed, run_index)`, not of the shard that ran it.
+#[test]
+fn shard_slices_preserve_global_run_identity() {
+    let manifest = (toy_workload().spec)(false).manifest();
+    let shard = Shard::new(1, 3);
+    let range = manifest.shard_range(shard);
+    for (offset, plan) in manifest.shard_runs(shard).iter().enumerate() {
+        let global: &RunPlan<ToyConfig> = &manifest.runs[range.start + offset];
+        assert_eq!(plan.run_index, global.run_index);
+        assert_eq!(plan.seed, global.seed);
+    }
 }
 
 #[test]

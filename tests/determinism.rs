@@ -7,9 +7,16 @@
 //! 2. The sweep harness adds parallelism *between* runs only: a sweep
 //!    executed with `threads = 1` and `threads = N` produces byte-identical
 //!    results and artifacts.
+//! 3. Sharding is just another axis of the same contract: a sweep split
+//!    with `--shard i/n`, serialized across a process boundary and merged
+//!    back, is byte-identical to the unsharded run (JSON and CSV reports
+//!    and the rendered table alike).
 
 use airdnd::harness::summarize_cells;
-use airdnd::harness::{render_csv, render_json, run_sweep, SeedMode, SweepReport, SweepSpec};
+use airdnd::harness::{
+    parse_shard, render_csv, render_json, render_shard, run_sweep, AnyWorkload, ExperimentResult,
+    FnWorkload, SeedMode, Shard, SweepReport, SweepSpec, Table,
+};
 use airdnd::scenario::{run_scenario, ScenarioConfig, ScenarioReport, Strategy};
 use airdnd::sim::SimDuration;
 
@@ -90,6 +97,84 @@ fn sweep_single_threaded_equals_parallel_byte_for_byte() {
     assert_eq!(
         render_csv(&report(&seq.results)),
         render_csv(&report(&par.results))
+    );
+}
+
+/// The determinism sweep as a full [`FnWorkload`], so the shard test
+/// exercises the exact code path `sweep --shard i/n` / `--merge` uses.
+fn scenario_workload() -> FnWorkload<ScenarioConfig, ScenarioReport> {
+    FnWorkload {
+        name: "determinism",
+        title: "determinism regression sweep",
+        spec: |_quick| {
+            SweepSpec::new(quick_base())
+                .axis("vehicles", [4usize, 6], |cfg, &n| cfg.vehicles = n)
+                .axis_labeled(
+                    "strategy",
+                    vec![Strategy::Airdnd, Strategy::LocalOnly],
+                    |s| s.label().to_owned(),
+                    |cfg, &s| cfg.strategy = s,
+                )
+                .replicates(2)
+                .seed_mode(SeedMode::PerReplicate)
+                .base_seed(7)
+                .seed_with(|cfg, seed| cfg.seed = seed)
+        },
+        run: |plan| run_scenario(plan.config),
+        metrics: |r| {
+            vec![
+                ("completion_rate", r.completion_rate),
+                ("latency_p95_ms", r.latency_p95_ms),
+                ("mesh_bytes", r.mesh_bytes as f64),
+                ("mean_coverage", r.mean_coverage),
+            ]
+        },
+        tabulate: |manifest, results| {
+            let mut table = Table::new("D", "determinism", &["labels", "done", "p95"]);
+            for (plan, r) in manifest.runs.iter().zip(results) {
+                table.row(vec![
+                    plan.labels.join("/"),
+                    format!("{:.12}", r.completion_rate),
+                    format!("{:.12}", r.latency_p95_ms),
+                ]);
+            }
+            ExperimentResult::table_only(table)
+        },
+    }
+}
+
+#[test]
+fn two_shards_merged_equal_the_unsharded_run_byte_for_byte() {
+    let workload = scenario_workload();
+    let unsharded = workload.execute(true, 2, &mut |_| {});
+
+    let mut artifacts = Vec::new();
+    for index in 0..2 {
+        let artifact = workload.execute_shard(true, 2, Shard::new(index, 2), &mut |_| {});
+        // Cross the process boundary the real `sweep --shard` crosses:
+        // serialize the shard to JSON text and parse it back.
+        artifacts.push(parse_shard(&render_shard(&artifact)).expect("artifact round-trips"));
+    }
+    // Merge order must not matter.
+    artifacts.reverse();
+    let merged = workload
+        .merge_shards(true, &artifacts)
+        .expect("shards merge");
+
+    assert_eq!(
+        unsharded.result.table.render(),
+        merged.result.table.render(),
+        "sharded + merged table must match the unsharded run"
+    );
+    assert_eq!(
+        render_json(&unsharded.aggregate),
+        render_json(&merged.aggregate),
+        "sharded + merged JSON report must be byte-identical"
+    );
+    assert_eq!(
+        render_csv(&unsharded.aggregate),
+        render_csv(&merged.aggregate),
+        "sharded + merged CSV report must be byte-identical"
     );
 }
 

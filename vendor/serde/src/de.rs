@@ -1,0 +1,316 @@
+//! Deserialization for the vendored `serde` stand-in.
+//!
+//! Real `serde` deserializes through a visitor-based `Deserializer`; this
+//! stand-in decodes from the already-parsed [`Value`] tree instead (the
+//! `serde_json` stand-in parses text into a [`Value`], then hands it here).
+//! The trait is named [`DeserializeOwned`] so workspace bounds
+//! (`T: serde::de::DeserializeOwned`) stay source-compatible with the real
+//! crate; `#[derive(Deserialize)]` from the companion `serde_derive`
+//! generates the impl.
+//!
+//! Decoding mirrors the stand-in serializer exactly — externally-tagged
+//! enums, declaration-order objects, transparent newtypes — so any value
+//! produced by [`crate::Serialize`] round-trips losslessly. The one
+//! deliberate exception is IEEE non-finite floats: JSON has no `inf`/`NaN`,
+//! the serializer renders them as `null`, and decoding maps `null` back to
+//! `f64::NAN` (so `inf` does not survive a round trip; re-serializing
+//! yields `null` either way, keeping artifacts byte-stable).
+
+use crate::value::{Number, Value};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// Marker trait satisfied by every type, kept for bound compatibility with
+/// code written against real serde's `Deserialize<'de>`. The working
+/// decode machinery is [`DeserializeOwned`].
+pub trait Deserialize {}
+
+impl<T: ?Sized> Deserialize for T {}
+
+/// A decoding error: what was expected and what was found.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error from any message.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// Standard "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        let kind = match found {
+            Value::Null => "null",
+            Value::Bool(_) => "a bool",
+            Value::Number(_) => "a number",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        };
+        DeError(format!("expected {what}, found {kind}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can rebuild itself from a JSON [`Value`] tree.
+///
+/// Named after real serde's `DeserializeOwned` so trait bounds written
+/// against this stand-in keep compiling against the real crate.
+pub trait DeserializeOwned: Sized {
+    /// Decodes `Self` from a value, or explains why it cannot.
+    fn deserialize_value(value: &Value) -> Result<Self, DeError>;
+
+    /// Decodes `Self` from an *absent* object field. Errors for every
+    /// type except `Option` (which reads as `None`) — this is distinct
+    /// from a field that is present as `null` (e.g. a serialized
+    /// non-finite float), so truncated artifacts fail loudly instead of
+    /// silently decoding as defaults.
+    fn deserialize_absent() -> Result<Self, DeError> {
+        Err(DeError::msg("missing"))
+    }
+}
+
+/// Looks up a named field in a decoded object. Absent fields only decode
+/// for types that opt in via [`DeserializeOwned::deserialize_absent`]
+/// (`Option` → `None`); everything else reports the field as missing.
+pub fn field<T: DeserializeOwned>(entries: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::deserialize_value(v).map_err(|e| DeError(format!("field `{name}`: {e}")))
+        }
+        None => T::deserialize_absent().map_err(|_| DeError(format!("missing field `{name}`"))),
+    }
+}
+
+/// The entries of an object value, or an error naming `what`.
+pub fn object<'v>(value: &'v Value, what: &str) -> Result<&'v [(String, Value)], DeError> {
+    match value {
+        Value::Object(entries) => Ok(entries),
+        other => Err(DeError::expected(what, other)),
+    }
+}
+
+/// The items of an array value of exactly `arity` elements.
+pub fn tuple<'v>(value: &'v Value, arity: usize, what: &str) -> Result<&'v [Value], DeError> {
+    match value {
+        Value::Array(items) if items.len() == arity => Ok(items),
+        Value::Array(items) => Err(DeError(format!(
+            "expected {what} with {arity} elements, found {}",
+            items.len()
+        ))),
+        other => Err(DeError::expected(what, other)),
+    }
+}
+
+macro_rules! impl_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl DeserializeOwned for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Number(Number::PosInt(v)) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::msg(format!(
+                            "{v} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::expected(
+                        concat!("a ", stringify!($t)), other)),
+                }
+            }
+        }
+    )*};
+}
+impl_de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_signed {
+    ($($t:ty),*) => {$(
+        impl DeserializeOwned for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                let wide: i64 = match value {
+                    Value::Number(Number::PosInt(v)) => i64::try_from(*v)
+                        .map_err(|_| DeError::msg(format!("{v} out of i64 range")))?,
+                    Value::Number(Number::NegInt(v)) => *v,
+                    other => {
+                        return Err(DeError::expected(
+                            concat!("an ", stringify!($t)), other))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| DeError::msg(format!(
+                    "{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_de_signed!(i8, i16, i32, i64, isize);
+
+impl DeserializeOwned for f64 {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Number(Number::Float(v)) => Ok(*v),
+            Value::Number(Number::PosInt(v)) => Ok(*v as f64),
+            Value::Number(Number::NegInt(v)) => Ok(*v as f64),
+            // The serializer renders non-finite floats as null.
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("an f64", other)),
+        }
+    }
+}
+
+impl DeserializeOwned for f32 {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        f64::deserialize_value(value).map(|v| v as f32)
+    }
+}
+
+impl DeserializeOwned for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("a bool", other)),
+        }
+    }
+}
+
+impl DeserializeOwned for char {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(DeError::expected("a one-character string", other)),
+        }
+    }
+}
+
+impl DeserializeOwned for String {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("a string", other)),
+        }
+    }
+}
+
+impl DeserializeOwned for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl DeserializeOwned for () {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(DeError::expected("null", other)),
+        }
+    }
+}
+
+impl<T: DeserializeOwned> DeserializeOwned for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+
+    fn deserialize_absent() -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: DeserializeOwned> DeserializeOwned for Box<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        T::deserialize_value(value).map(Box::new)
+    }
+}
+
+fn array_items<'v>(value: &'v Value, what: &str) -> Result<&'v [Value], DeError> {
+    match value {
+        Value::Array(items) => Ok(items),
+        other => Err(DeError::expected(what, other)),
+    }
+}
+
+impl<T: DeserializeOwned> DeserializeOwned for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        array_items(value, "an array")?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<T: DeserializeOwned, const N: usize> DeserializeOwned for [T; N] {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        let items = tuple(value, N, "an array")?;
+        let decoded: Vec<T> = items
+            .iter()
+            .map(T::deserialize_value)
+            .collect::<Result<_, _>>()?;
+        decoded
+            .try_into()
+            .map_err(|_| DeError::msg("array arity mismatch"))
+    }
+}
+
+impl<T: DeserializeOwned + Ord> DeserializeOwned for BTreeSet<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        array_items(value, "an array (set)")?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<T: DeserializeOwned> DeserializeOwned for VecDeque<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        array_items(value, "an array (deque)")?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<K: DeserializeOwned + Ord, V: DeserializeOwned> DeserializeOwned for BTreeMap<K, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        let entries = object(value, "an object (map)")?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((decode_key(k)?, V::deserialize_value(v)?)))
+            .collect()
+    }
+}
+
+/// Decodes a JSON object key back into a typed map key. String-typed keys
+/// are the key text itself; other keys (the serializer renders them via
+/// their compact JSON form, e.g. `"42"` for a numeric newtype) are parsed
+/// as a JSON scalar and decoded from that.
+fn decode_key<K: DeserializeOwned>(key: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::deserialize_value(&Value::String(key.to_owned())) {
+        return Ok(k);
+    }
+    let parsed = crate::value::parse_scalar(key)
+        .ok_or_else(|| DeError::msg(format!("cannot decode map key `{key}`")))?;
+    K::deserialize_value(&parsed).map_err(|e| DeError::msg(format!("map key `{key}`: {e}")))
+}
+
+macro_rules! impl_de_tuple {
+    ($(($arity:literal $($n:tt $t:ident),+))+) => {$(
+        impl<$($t: DeserializeOwned),+> DeserializeOwned for ($($t,)+) {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                let items = tuple(value, $arity, "a tuple")?;
+                Ok(($($t::deserialize_value(&items[$n])?,)+))
+            }
+        }
+    )+};
+}
+impl_de_tuple! {
+    (1 0 A)
+    (2 0 A, 1 B)
+    (3 0 A, 1 B, 2 C)
+    (4 0 A, 1 B, 2 C, 3 D)
+    (5 0 A, 1 B, 2 C, 3 D, 4 E)
+}

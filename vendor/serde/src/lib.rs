@@ -7,9 +7,10 @@
 //! * [`Serialize`] — a single-method trait producing the JSON-shaped
 //!   [`value::Value`] tree that `serde_json` renders. Object keys keep
 //!   declaration order, so output is fully deterministic.
-//! * [`Deserialize`] — the workspace never deserializes anything, so this is
-//!   a blanket-implemented marker trait and `#[derive(Deserialize)]`
-//!   expands to nothing.
+//! * [`DeserializeOwned`] — the working decode trait: rebuilds a value from
+//!   a parsed JSON [`value::Value`] tree ([`de`]). `#[derive(Deserialize)]`
+//!   generates the impl; the blanket [`Deserialize`] marker is kept so
+//!   bounds written against real serde's `Deserialize<'de>` still compile.
 //! * `#[derive(Serialize)]` / `#[derive(Deserialize)]` re-exported from the
 //!   companion `serde_derive` proc-macro crate.
 
@@ -190,16 +191,8 @@ pub mod ser {
     }
 }
 
-/// Deserialization marker. The workspace only ever serializes, so this is a
-/// blanket-implemented marker trait; `#[derive(Deserialize)]` is accepted
-/// and expands to nothing.
-pub mod de {
-    /// Marker trait satisfied by every type.
-    pub trait Deserialize {}
+pub mod de;
 
-    impl<T: ?Sized> Deserialize for T {}
-}
-
-pub use de::Deserialize;
+pub use de::{Deserialize, DeserializeOwned};
 pub use ser::Serialize;
 pub use serde_derive::{Deserialize, Serialize};

@@ -154,6 +154,235 @@ fn write_number(out: &mut String, n: &Number) {
     }
 }
 
+impl Value {
+    /// Parses JSON text into a [`Value`] tree.
+    ///
+    /// A strict recursive-descent parser over the grammar the writer above
+    /// emits (which is standard JSON): any artifact this workspace writes
+    /// parses back losslessly. Returns `None` on malformed input or
+    /// trailing garbage.
+    pub fn parse(text: &str) -> Option<Value> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos == bytes.len() {
+            Some(value)
+        } else {
+            None
+        }
+    }
+}
+
+/// Parses a bare JSON scalar (used for typed map keys, which the writer
+/// renders in compact form inside the object-key string).
+pub fn parse_scalar(text: &str) -> Option<Value> {
+    match Value::parse(text) {
+        Some(v @ (Value::Null | Value::Bool(_) | Value::Number(_) | Value::String(_))) => Some(v),
+        _ => None,
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b' ' | b'\t' | b'\n' | b'\r') = bytes.get(*pos) {
+        *pos += 1;
+    }
+}
+
+fn eat(bytes: &[u8], pos: &mut usize, expected: u8) -> Option<()> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&expected) {
+        *pos += 1;
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos)? {
+        b'n' => parse_literal(bytes, pos, b"null", Value::Null),
+        b't' => parse_literal(bytes, pos, b"true", Value::Bool(true)),
+        b'f' => parse_literal(bytes, pos, b"false", Value::Bool(false)),
+        b'"' => parse_string(bytes, pos).map(Value::String),
+        b'[' => parse_array(bytes, pos),
+        b'{' => parse_object(bytes, pos),
+        b'-' | b'0'..=b'9' => parse_number(bytes, pos),
+        _ => None,
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &[u8], value: Value) -> Option<Value> {
+    if bytes[*pos..].starts_with(word) {
+        *pos += word.len();
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+    eat(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Some(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b']' => {
+                *pos += 1;
+                return Some(Value::Array(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+    eat(bytes, pos, b'{')?;
+    let mut entries = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Some(Value::Object(entries));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        eat(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        entries.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b'}' => {
+                *pos += 1;
+                return Some(Value::Object(entries));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return None;
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000C}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes.get(*pos + 1..*pos + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        // Surrogate pairs never appear in this workspace's
+                        // artifacts (the writer only \u-escapes controls),
+                        // but accept lone BMP scalars.
+                        out.push(char::from_u32(code)?);
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            &first => {
+                // Consume one UTF-8 scalar (1–4 bytes).
+                let width = match first {
+                    0x00..=0x7F => 1,
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    0xF0..=0xF7 => 4,
+                    _ => return None,
+                };
+                let chunk = bytes.get(*pos..*pos + width)?;
+                out.push_str(std::str::from_utf8(chunk).ok()?);
+                *pos += width;
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while let Some(b'0'..=b'9') = bytes.get(*pos) {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    if bytes.get(*pos) == Some(&b'.') {
+        is_float = true;
+        *pos += 1;
+        while let Some(b'0'..=b'9') = bytes.get(*pos) {
+            *pos += 1;
+        }
+    }
+    if let Some(b'e' | b'E') = bytes.get(*pos) {
+        is_float = true;
+        *pos += 1;
+        if let Some(b'+' | b'-') = bytes.get(*pos) {
+            *pos += 1;
+        }
+        while let Some(b'0'..=b'9') = bytes.get(*pos) {
+            *pos += 1;
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).ok()?;
+    if is_float {
+        // `str::parse::<f64>` is the exact inverse of the shortest
+        // round-trip formatting the writer uses, so floats survive a
+        // text round trip bit-for-bit.
+        return text
+            .parse::<f64>()
+            .ok()
+            .map(|f| Value::Number(Number::Float(f)));
+    }
+    // Integer-looking literals beyond 64-bit range fall back to f64: the
+    // writer renders huge whole floats (|x| ≥ 2^64, e.g. 1e300) as bare
+    // digit runs — Rust's `Display` never uses exponent form — and
+    // `str::parse::<f64>` recovers the exact value (shortest-round-trip
+    // output parses back bit-for-bit).
+    let float_fallback = |t: &str| {
+        t.parse::<f64>()
+            .ok()
+            .filter(|f| f.is_finite())
+            .map(|f| Value::Number(Number::Float(f)))
+    };
+    if text.starts_with('-') {
+        text.parse::<i64>()
+            .ok()
+            .map(|v| Value::Number(Number::NegInt(v)))
+            .or_else(|| float_fallback(text))
+    } else {
+        text.parse::<u64>()
+            .ok()
+            .map(|v| Value::Number(Number::PosInt(v)))
+            .or_else(|| float_fallback(text))
+    }
+}
+
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {

@@ -1,19 +1,19 @@
 //! Minimal stand-in for `serde_derive`, written against the raw
 //! `proc_macro` API (no `syn`/`quote` — the build container is offline).
 //!
-//! `#[derive(Serialize)]` supports exactly the item shapes this workspace
-//! declares:
+//! Both derives support exactly the item shapes this workspace declares:
 //!
 //! * structs with named fields (including simple type generics such as
-//!   `struct P<K: Ord> { .. }` — each parameter gains a `Serialize` bound),
-//! * tuple structs (single-field newtypes serialize transparently, wider
-//!   tuples as arrays) and unit structs,
+//!   `struct P<K: Ord> { .. }` — each parameter gains the trait bound),
+//! * tuple structs (single-field newtypes are transparent, wider tuples
+//!   are arrays) and unit structs,
 //! * enums with any mix of unit, newtype, tuple and struct variants, using
 //!   serde's externally-tagged representation.
 //!
-//! `#[derive(Deserialize)]` expands to nothing: the workspace never
-//! deserializes, and the vendored `serde::Deserialize` is a
-//! blanket-implemented marker trait.
+//! `#[derive(Serialize)]` generates the vendored `serde::ser::Serialize`
+//! (declaration order, deterministic); `#[derive(Deserialize)]` generates
+//! the vendored `serde::de::DeserializeOwned`, the exact inverse, so every
+//! derived type round-trips through JSON text.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -21,7 +21,24 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 /// order, deterministic).
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    match expand(input) {
+    expand_or_error(input, Mode::Serialize)
+}
+
+/// Derives the vendored `serde::de::DeserializeOwned`, decoding the shape
+/// `#[derive(Serialize)]` writes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand_or_error(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand_or_error(input: TokenStream, mode: Mode) -> TokenStream {
+    match expand(input, mode) {
         Ok(code) => code.parse().expect("serde_derive generated invalid Rust"),
         Err(msg) => format!("compile_error!({msg:?});")
             .parse()
@@ -29,21 +46,21 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     }
 }
 
-/// Accepted for manifest compatibility; expands to nothing because the
-/// vendored `serde::Deserialize` is blanket-implemented.
-#[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
-}
-
 struct Generics {
-    /// `<K: Ord + ::serde::ser::Serialize>`-style impl parameter list, or empty.
+    /// `<K: Ord + Bound>`-style impl parameter list, or empty.
     impl_params: String,
     /// `<K>`-style argument list, or empty.
     args: String,
 }
 
-fn expand(input: TokenStream) -> Result<String, String> {
+enum ItemShape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<(String, VariantShape)>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> Result<String, String> {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
 
@@ -75,47 +92,65 @@ fn expand(input: TokenStream) -> Result<String, String> {
     };
     i += 1;
 
-    let generics = parse_generics(&tokens, &mut i)?;
+    let bound = match mode {
+        Mode::Serialize => "::serde::ser::Serialize",
+        Mode::Deserialize => "::serde::de::DeserializeOwned",
+    };
+    let generics = parse_generics(&tokens, &mut i, bound)?;
 
-    let body = if is_struct {
+    let shape = if is_struct {
         match tokens.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                let fields = named_fields(g.stream())?;
-                struct_named_body(&name, &fields)
+                ItemShape::NamedStruct(named_fields(g.stream())?)
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                let arity = tuple_arity(g.stream());
-                struct_tuple_body(arity)
+                ItemShape::TupleStruct(tuple_arity(g.stream()))
             }
-            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
-                "::serde::ser::Value::Null".to_string()
-            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemShape::UnitStruct,
             _ => return Err(format!("unsupported struct body for `{name}`")),
         }
     } else {
         match tokens.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                enum_body(&name, g.stream())?
+                ItemShape::Enum(enum_variants(g.stream())?)
             }
             _ => return Err(format!("expected enum body for `{name}`")),
         }
     };
 
-    Ok(format!(
-        "impl{params} ::serde::ser::Serialize for {name}{args} {{\n\
-         \tfn to_json_value(&self) -> ::serde::ser::Value {{\n\
-         \t\t{body}\n\
-         \t}}\n\
-         }}\n",
-        params = generics.impl_params,
-        args = generics.args,
-    ))
+    Ok(match mode {
+        Mode::Serialize => {
+            let body = ser_body(&name, &shape);
+            format!(
+                "impl{params} ::serde::ser::Serialize for {name}{args} {{\n\
+                 \tfn to_json_value(&self) -> ::serde::ser::Value {{\n\
+                 \t\t{body}\n\
+                 \t}}\n\
+                 }}\n",
+                params = generics.impl_params,
+                args = generics.args,
+            )
+        }
+        Mode::Deserialize => {
+            let body = de_body(&name, &shape);
+            format!(
+                "impl{params} ::serde::de::DeserializeOwned for {name}{args} {{\n\
+                 \tfn deserialize_value(__value: &::serde::value::Value) \
+                 -> ::std::result::Result<Self, ::serde::de::DeError> {{\n\
+                 \t\t{body}\n\
+                 \t}}\n\
+                 }}\n",
+                params = generics.impl_params,
+                args = generics.args,
+            )
+        }
+    })
 }
 
 /// Parses an optional `<...>` generic parameter list starting at `tokens[*i]`.
 /// Only plain type parameters with optional trait bounds are supported (the
 /// workspace never derives on lifetimes or const generics).
-fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Result<Generics, String> {
+fn parse_generics(tokens: &[TokenTree], i: &mut usize, bound: &str) -> Result<Generics, String> {
     match tokens.get(*i) {
         Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
         _ => {
@@ -180,8 +215,8 @@ fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Result<Generics, Strin
             .map(|t| t.to_string())
             .collect::<Vec<_>>()
             .join(" ");
-        let bound = if param.len() == 1 { ":" } else { "+" };
-        impl_params.push(format!("{spelled} {bound} ::serde::ser::Serialize"));
+        let join = if param.len() == 1 { ":" } else { "+" };
+        impl_params.push(format!("{spelled} {join} {bound}"));
         args.push(name);
     }
     Ok(Generics {
@@ -264,43 +299,13 @@ fn tuple_arity(stream: TokenStream) -> usize {
     arity
 }
 
-fn struct_named_body(_name: &str, fields: &[String]) -> String {
-    let mut pushes = String::new();
-    for f in fields {
-        pushes.push_str(&format!(
-            "__fields.push((::std::string::String::from({f:?}), \
-             ::serde::ser::Serialize::to_json_value(&self.{f})));\n\t\t"
-        ));
-    }
-    format!(
-        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::ser::Value)> = \
-         ::std::vec::Vec::new();\n\t\t{pushes}::serde::ser::Value::Object(__fields)"
-    )
-}
-
-fn struct_tuple_body(arity: usize) -> String {
-    match arity {
-        0 => "::serde::ser::Value::Null".to_string(),
-        1 => "::serde::ser::Serialize::to_json_value(&self.0)".to_string(),
-        n => {
-            let items: Vec<String> = (0..n)
-                .map(|i| format!("::serde::ser::Serialize::to_json_value(&self.{i})"))
-                .collect();
-            format!(
-                "::serde::ser::Value::Array(::std::vec![{}])",
-                items.join(", ")
-            )
-        }
-    }
-}
-
 enum VariantShape {
     Unit,
     Tuple(usize),
     Struct(Vec<String>),
 }
 
-fn enum_body(name: &str, stream: TokenStream) -> Result<String, String> {
+fn enum_variants(stream: TokenStream) -> Result<Vec<(String, VariantShape)>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut variants: Vec<(String, VariantShape)> = Vec::new();
     let mut i = 0;
@@ -336,9 +341,53 @@ fn enum_body(name: &str, stream: TokenStream) -> Result<String, String> {
             other => return Err(format!("unexpected token in enum body: {other}")),
         }
     }
+    Ok(variants)
+}
 
+// --- Serialize codegen -------------------------------------------------
+
+fn ser_body(name: &str, shape: &ItemShape) -> String {
+    match shape {
+        ItemShape::NamedStruct(fields) => struct_named_ser(fields),
+        ItemShape::TupleStruct(arity) => struct_tuple_ser(*arity),
+        ItemShape::UnitStruct => "::serde::ser::Value::Null".to_string(),
+        ItemShape::Enum(variants) => enum_ser(name, variants),
+    }
+}
+
+fn struct_named_ser(fields: &[String]) -> String {
+    let mut pushes = String::new();
+    for f in fields {
+        pushes.push_str(&format!(
+            "__fields.push((::std::string::String::from({f:?}), \
+             ::serde::ser::Serialize::to_json_value(&self.{f})));\n\t\t"
+        ));
+    }
+    format!(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::ser::Value)> = \
+         ::std::vec::Vec::new();\n\t\t{pushes}::serde::ser::Value::Object(__fields)"
+    )
+}
+
+fn struct_tuple_ser(arity: usize) -> String {
+    match arity {
+        0 => "::serde::ser::Value::Null".to_string(),
+        1 => "::serde::ser::Serialize::to_json_value(&self.0)".to_string(),
+        n => {
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::ser::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::ser::Value::Array(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+    }
+}
+
+fn enum_ser(name: &str, variants: &[(String, VariantShape)]) -> String {
     let mut arms = String::new();
-    for (vname, shape) in &variants {
+    for (vname, shape) in variants {
         let arm = match shape {
             VariantShape::Unit => format!(
                 "{name}::{vname} => \
@@ -387,5 +436,103 @@ fn enum_body(name: &str, stream: TokenStream) -> Result<String, String> {
         arms.push_str(&arm);
         arms.push_str("\n\t\t\t");
     }
-    Ok(format!("match self {{\n\t\t\t{arms}\n\t\t}}"))
+    format!("match self {{\n\t\t\t{arms}\n\t\t}}")
+}
+
+// --- Deserialize codegen -----------------------------------------------
+
+const DE: &str = "::serde::de::DeserializeOwned::deserialize_value";
+
+fn de_body(name: &str, shape: &ItemShape) -> String {
+    match shape {
+        ItemShape::NamedStruct(fields) => struct_named_de(name, fields),
+        ItemShape::TupleStruct(arity) => struct_tuple_de(name, *arity),
+        ItemShape::UnitStruct => format!(
+            "match __value {{ ::serde::value::Value::Null => ::std::result::Result::Ok({name}), \
+             __other => ::std::result::Result::Err(\
+             ::serde::de::DeError::expected(\"unit struct {name}\", __other)) }}"
+        ),
+        ItemShape::Enum(variants) => enum_de(name, variants),
+    }
+}
+
+fn struct_named_de(name: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::de::field(__entries, {f:?})?"))
+        .collect();
+    format!(
+        "let __entries = ::serde::de::object(__value, \"struct {name}\")?;\n\t\t\
+         ::std::result::Result::Ok({name} {{ {} }})",
+        inits.join(", ")
+    )
+}
+
+fn struct_tuple_de(name: &str, arity: usize) -> String {
+    match arity {
+        0 => format!("{DE}(__value).map(|()| {name}())"),
+        1 => format!("::std::result::Result::Ok({name}({DE}(__value)?))"),
+        n => {
+            let items: Vec<String> = (0..n).map(|k| format!("{DE}(&__items[{k}])?")).collect();
+            format!(
+                "let __items = ::serde::de::tuple(__value, {n}, \"tuple struct {name}\")?;\n\t\t\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+    }
+}
+
+fn enum_de(name: &str, variants: &[(String, VariantShape)]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for (vname, shape) in variants {
+        match shape {
+            VariantShape::Unit => {
+                unit_arms.push_str(&format!(
+                    "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n\t\t\t\t"
+                ));
+            }
+            VariantShape::Tuple(1) => {
+                tagged_arms.push_str(&format!(
+                    "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                     {DE}(__payload)?)),\n\t\t\t\t"
+                ));
+            }
+            VariantShape::Tuple(n) => {
+                let items: Vec<String> = (0..*n).map(|k| format!("{DE}(&__items[{k}])?")).collect();
+                tagged_arms.push_str(&format!(
+                    "{vname:?} => {{ let __items = ::serde::de::tuple(\
+                     __payload, {n}, \"variant {name}::{vname}\")?; \
+                     ::std::result::Result::Ok({name}::{vname}({items})) }}\n\t\t\t\t",
+                    items = items.join(", "),
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::de::field(__fields, {f:?})?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "{vname:?} => {{ let __fields = ::serde::de::object(\
+                     __payload, \"variant {name}::{vname}\")?; \
+                     ::std::result::Result::Ok({name}::{vname} {{ {inits} }}) }}\n\t\t\t\t",
+                    inits = inits.join(", "),
+                ));
+            }
+        }
+    }
+    format!(
+        "match __value {{\n\t\t\t\
+         ::serde::value::Value::String(__s) => match __s.as_str() {{\n\t\t\t\t\
+         {unit_arms}__other => ::std::result::Result::Err(::serde::de::DeError::msg(\
+         ::std::format!(\"unknown unit variant `{{__other}}` of {name}\"))),\n\t\t\t}},\n\t\t\t\
+         ::serde::value::Value::Object(__entries) if __entries.len() == 1 => {{\n\t\t\t\t\
+         let (__tag, __payload) = &__entries[0];\n\t\t\t\t\
+         match __tag.as_str() {{\n\t\t\t\t\
+         {tagged_arms}__other => ::std::result::Result::Err(::serde::de::DeError::msg(\
+         ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\t\t\t\t}}\n\t\t\t}}\n\t\t\t\
+         __other => ::std::result::Result::Err(\
+         ::serde::de::DeError::expected(\"enum {name}\", __other)),\n\t\t}}"
+    )
 }

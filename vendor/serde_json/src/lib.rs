@@ -1,25 +1,29 @@
 //! Minimal, API-compatible stand-in for the parts of `serde_json` this
 //! workspace uses (vendored: the build container is offline).
 //!
-//! Provides [`Value`], [`json!`], [`to_value`], [`to_string`] and
-//! [`to_string_pretty`]. Serialization is infallible here (the writer is a
-//! `String`), but the `Result` signatures are kept so call sites match the
-//! real crate. Output is deterministic: object keys keep insertion order
-//! and floats use Rust's shortest-round-trip formatting.
+//! Provides [`Value`], [`json!`], [`to_value`], [`to_string`],
+//! [`to_string_pretty`], and — for the sharded-sweep merge path —
+//! [`from_str`] / [`from_value`], which parse JSON text back into any
+//! [`serde::de::DeserializeOwned`] type. Serialization is infallible here
+//! (the writer is a `String`), but the `Result` signatures are kept so
+//! call sites match the real crate. Output is deterministic: object keys
+//! keep insertion order and floats use Rust's shortest-round-trip
+//! formatting, so values round-trip through text bit-for-bit.
 
 #![forbid(unsafe_code)]
 
+use serde::de::DeserializeOwned;
 use serde::Serialize;
 
 pub use serde::value::{Number, Value};
 
-/// Serialization error. Kept for signature compatibility; never produced.
+/// Serialization or deserialization error.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("JSON serialization error")
+        f.write_str(&self.0)
     }
 }
 
@@ -38,6 +42,17 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
 /// Renders a serializable value as pretty JSON (two-space indent).
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(value.to_json_value().to_pretty_string())
+}
+
+/// Parses JSON text into any decodable type.
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T, Error> {
+    let value = Value::parse(text).ok_or_else(|| Error("malformed JSON".to_owned()))?;
+    T::deserialize_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+/// Decodes a [`Value`] tree into any decodable type.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, Error> {
+    T::deserialize_value(&value).map_err(|e| Error(e.to_string()))
 }
 
 /// Builds a [`Value`] from a JSON-ish literal.
@@ -88,5 +103,87 @@ mod tests {
         assert_eq!(to_string(&-3i64).unwrap(), "-3");
         assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
         assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn parse_round_trips_compact_and_pretty() {
+        let v = Value::Object(vec![
+            ("s".into(), Value::String("a\"b\\c\nd".into())),
+            (
+                "xs".into(),
+                Value::Array(vec![
+                    Value::Number(Number::PosInt(7)),
+                    Value::Number(Number::NegInt(-2)),
+                    Value::Number(Number::Float(0.1 + 0.2)),
+                    Value::Null,
+                    Value::Bool(true),
+                ]),
+            ),
+            ("empty".into(), Value::Array(vec![])),
+            ("obj".into(), Value::Object(vec![])),
+        ]);
+        assert_eq!(Value::parse(&v.to_compact_string()), Some(v.clone()));
+        assert_eq!(Value::parse(&v.to_pretty_string()), Some(v));
+    }
+
+    #[test]
+    fn floats_survive_text_round_trip_bit_for_bit() {
+        for &x in &[
+            0.1f64,
+            1.0 / 3.0,
+            1e-300,
+            2.5e17,
+            123_456_789.123_456_78,
+            -0.0,
+        ] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn typed_from_str_decodes() {
+        let xs: Vec<(u64, String)> = from_str(r#"[[1,"a"],[2,"b"]]"#).unwrap();
+        assert_eq!(xs, vec![(1, "a".into()), (2, "b".into())]);
+        let opt: Option<f64> = from_str("null").unwrap();
+        assert_eq!(opt, None);
+        assert!(from_str::<u64>("\"nope\"").is_err());
+        assert!(from_str::<Vec<u64>>("[1, 2").is_err(), "truncated input");
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        for bad in ["{", "[1,]", "{\"a\":}", "tru", "1 2", "\"\\q\"", ""] {
+            assert!(Value::parse(bad).is_none(), "{bad:?} must not parse");
+        }
+    }
+
+    /// Whole floats beyond 64-bit integer range render as bare digit runs
+    /// (Rust `Display` never uses exponent form); the parser must fall
+    /// back to f64 instead of failing on integer overflow.
+    #[test]
+    fn huge_whole_floats_round_trip_via_integer_fallback() {
+        for &x in &[1e300f64, 2f64.powi(64), -1e300, 1.8e19] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{text}");
+        }
+    }
+
+    /// Absent fields are an error for non-`Option` types; `Option` fields
+    /// read as `None`. A field *present* as `null` still decodes (that is
+    /// how serialized non-finite floats come back, as NaN).
+    #[test]
+    fn missing_fields_fail_loudly_except_option() {
+        use serde::de::field;
+        let entries = vec![("present".to_owned(), Value::Null)];
+        let err = field::<f64>(&entries, "gone").unwrap_err();
+        assert!(err.to_string().contains("missing field `gone`"), "{err}");
+        assert!(field::<String>(&entries, "gone").is_err());
+        assert_eq!(field::<Option<f64>>(&entries, "gone").unwrap(), None);
+        // Present-as-null keeps the serializer's non-finite contract.
+        assert!(field::<f64>(&entries, "present").unwrap().is_nan());
+        assert_eq!(field::<Option<f64>>(&entries, "present").unwrap(), None);
     }
 }
