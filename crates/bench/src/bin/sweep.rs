@@ -1,4 +1,4 @@
-//! Declarative, multi-threaded, shardable experiment sweeps.
+//! Declarative, multi-threaded, shardable, distributable experiment sweeps.
 //!
 //! ```sh
 //! cargo run -p airdnd-bench --bin sweep --release                       # full, all cores
@@ -10,23 +10,44 @@
 //! cargo run -p airdnd-bench --bin sweep --release -- --quick --shard 0/2 --out s0 f2
 //! cargo run -p airdnd-bench --bin sweep --release -- --quick --shard 1/2 --out s1 f2
 //! cargo run -p airdnd-bench --bin sweep --release -- --quick --merge s0 --merge s1 --out m f2
+//!
+//! # Or let the driver distribute, retry and merge in one invocation:
+//! cargo run -p airdnd-bench --bin sweep --release -- drive --shards 4 --jobs 2 --quick f2
 //! ```
 //!
+//! `drive` spawns `--shards` subprocesses of this same binary (at most
+//! `--jobs` at a time), each running `--shard i/n`, retries failures up to
+//! `--retries` times, tracks status in `<out>/drive-state.json`, and
+//! merges on completion. Shard artifacts are written atomically and
+//! stamped with a manifest fingerprint, so re-running `drive` *resumes*:
+//! fingerprint-valid completed shards are skipped, torn or stale ones are
+//! discarded and re-run.
+//!
 //! Determinism contract: stdout (the rendered tables) and the JSON/CSV
-//! artifacts are **byte-identical for any `--threads` value and any
-//! `--shard` split** — the harness farms runs across workers but
-//! reassembles results in manifest order, and seeds derive from
-//! `(base_seed, run_index)`, never from scheduling or process placement.
-//! Progress streams to stderr, which is exempt. F10 is the one
+//! artifacts are **byte-identical for any `--threads` value, any
+//! `--shard` split, and any `drive` schedule** — including drives that
+//! lost shards to crashes and resumed. The harness farms runs across
+//! workers/processes but reassembles results in manifest order, and seeds
+//! derive from `(base_seed, run_index)`, never from scheduling or process
+//! placement. Progress streams to stderr, which is exempt. F10 is the one
 //! deliberate exception: it reports wall-clock µs/decision.
+//!
+//! Fault injection (tests/CI only): `--fail-after K` makes a shard
+//! process exit mid-sweep after K runs; `--torn` makes it leave a
+//! truncated artifact behind. `drive --inject-fail I:K` / `--inject-torn
+//! I` forward those to shard I's *first* attempt only, so a retried drive
+//! must recover and still produce byte-identical output. The `
+//! AIRDND_SWEEP_FAIL_AFTER` / `AIRDND_SWEEP_TORN` environment variables
+//! are equivalent to the flags.
 
 use airdnd_bench::workloads;
 use airdnd_harness::{
-    parse_shard, render_shard, shard_artifact_name, write_report, AnyWorkload, Progress, Shard,
-    ShardArtifact,
+    drive, parse_shard, render_shard, shard_artifact_name, shard_bounds, write_atomic,
+    write_report, AnyWorkload, DriveOptions, Progress, Shard, ShardArtifact,
 };
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::process::{Command, Stdio};
 use std::time::Instant;
 
 struct Args {
@@ -36,6 +57,14 @@ struct Args {
     out: PathBuf,
     shard: Option<Shard>,
     merge: Vec<PathBuf>,
+    drive: bool,
+    shards: usize,
+    jobs: usize,
+    retries: usize,
+    inject_fail: Vec<(usize, usize)>,
+    inject_torn: Vec<usize>,
+    fail_after: Option<usize>,
+    torn: bool,
     names: Vec<String>,
 }
 
@@ -47,20 +76,22 @@ fn parse_args() -> Args {
         out: PathBuf::from("target/experiments/sweep"),
         shard: None,
         merge: Vec::new(),
+        drive: false,
+        shards: 2,
+        jobs: 0,
+        retries: 1,
+        inject_fail: Vec::new(),
+        inject_torn: Vec::new(),
+        fail_after: std::env::var("AIRDND_SWEEP_FAIL_AFTER")
+            .ok()
+            .and_then(|v| v.parse().ok()),
+        torn: std::env::var("AIRDND_SWEEP_TORN").is_ok(),
         names: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--threads" => {
-                args.threads = match it.next().map(|v| (v.parse(), v)) {
-                    Some((Ok(n), _)) => n,
-                    Some((Err(_), v)) => {
-                        usage_error(&format!("--threads takes a number, got `{v}`"))
-                    }
-                    None => usage_error("--threads needs a value"),
-                };
-            }
+            "--threads" => args.threads = numeric_value(&mut it, "--threads"),
             "--out" => match it.next() {
                 Some(path) => args.out = PathBuf::from(path),
                 None => usage_error("--out needs a path"),
@@ -76,6 +107,23 @@ fn parse_args() -> Args {
                 Some(dir) => args.merge.push(PathBuf::from(dir)),
                 None => usage_error("--merge needs a shard-artifact directory"),
             },
+            "drive" => args.drive = true,
+            "--shards" => args.shards = numeric_value(&mut it, "--shards"),
+            "--jobs" => args.jobs = numeric_value(&mut it, "--jobs"),
+            "--retries" => args.retries = numeric_value(&mut it, "--retries"),
+            "--inject-fail" => match it.next().and_then(|v| {
+                let (i, k) = v.split_once(':')?;
+                Some((i.parse().ok()?, k.parse().ok()?))
+            }) {
+                Some(pair) => args.inject_fail.push(pair),
+                None => usage_error("--inject-fail needs an `INDEX:RUNS` spec"),
+            },
+            "--inject-torn" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(index) => args.inject_torn.push(index),
+                None => usage_error("--inject-torn needs a shard index"),
+            },
+            "--fail-after" => args.fail_after = Some(numeric_value(&mut it, "--fail-after")),
+            "--torn" => args.torn = true,
             "--quick" | "quick" => args.quick = true,
             "--bench" => args.bench = true,
             "--help" | "-h" => {
@@ -91,6 +139,12 @@ fn parse_args() -> Args {
     if args.shard.is_some() && !args.merge.is_empty() {
         usage_error("--shard and --merge are mutually exclusive");
     }
+    if args.drive && (args.shard.is_some() || !args.merge.is_empty()) {
+        usage_error("drive already shards and merges; drop --shard/--merge");
+    }
+    if args.drive && args.shards == 0 {
+        usage_error("drive needs --shards >= 1");
+    }
     let known = workloads::names();
     for name in &args.names {
         if !known.contains(&name.as_str()) {
@@ -100,13 +154,28 @@ fn parse_args() -> Args {
     args
 }
 
+fn numeric_value(it: &mut impl Iterator<Item = String>, flag: &str) -> usize {
+    match it.next().map(|v| (v.parse(), v)) {
+        Some((Ok(n), _)) => n,
+        Some((Err(_), v)) => usage_error(&format!("{flag} takes a number, got `{v}`")),
+        None => usage_error(&format!("{flag} needs a value")),
+    }
+}
+
 fn usage() -> String {
     format!(
         "usage: sweep [--threads N] [--quick] [--out DIR] [--bench]\n\
          \x20            [--shard I/N] [--merge DIR]... [names...]\n\
+         \x20      sweep drive --shards N [--jobs J] [--retries R] [--quick]\n\
+         \x20            [--out DIR] [names...]\n\
          names: {}\n\
          --shard runs one slice and writes a mergeable artifact to --out;\n\
-         --merge (repeatable) reassembles artifacts byte-identically",
+         --merge (repeatable) reassembles artifacts byte-identically;\n\
+         drive spawns the shards as subprocesses (bounded by --jobs),\n\
+         retries failures, resumes completed shards, and merges — output\n\
+         byte-identical to a single-process run.\n\
+         Fault injection (tests): --fail-after K, --torn,\n\
+         drive --inject-fail I:K, drive --inject-torn I",
         workloads::names().join(", ")
     )
 }
@@ -138,11 +207,14 @@ fn main() {
     }
     std::fs::create_dir_all(&args.out).expect("can create the output directory");
     let started = Instant::now();
-    let mode = if let Some(shard) = args.shard {
+    let mode = if args.drive {
+        run_drive(&args);
+        format!("drive ({} shards)", args.shards)
+    } else if let Some(shard) = args.shard {
         run_shards(&args, shard);
         format!("shard {shard}")
     } else if !args.merge.is_empty() {
-        run_merge(&args);
+        run_merge(&args, &args.merge);
         "merge".to_owned()
     } else {
         run_full(&args);
@@ -177,19 +249,39 @@ fn run_full(args: &Args) {
 }
 
 /// `--shard i/n`: run only this slice of each selected workload and write
-/// one mergeable artifact per workload. Nothing goes to stdout — tables
-/// only exist once every shard has been merged.
+/// one mergeable artifact per workload (atomically: tmp + rename, so a
+/// crash mid-write never leaves a torn artifact). Nothing goes to stdout —
+/// tables only exist once every shard has been merged.
+///
+/// Fault injection (tests only): `--fail-after K` kills the process after
+/// K runs complete, before the current workload's artifact is written;
+/// `--torn` bypasses the atomic write for the first workload, leaves a
+/// truncated artifact, and exits nonzero — simulating a non-atomic writer
+/// dying mid-write.
 fn run_shards(args: &Args, shard: Shard) {
+    let mut runs_before = 0usize;
     for workload in selected(&args.names) {
-        let artifact = workload.execute_shard(
-            args.quick,
-            args.threads,
-            shard,
-            &mut stderr_progress(workload.name()),
-        );
+        let mut progress = stderr_progress(workload.name());
+        let artifact = workload.execute_shard(args.quick, args.threads, shard, &mut |p| {
+            progress(p);
+            if let Some(limit) = args.fail_after {
+                if runs_before + p.done >= limit {
+                    eprintln!("\ninjected failure: exiting after {limit} run(s)");
+                    std::process::exit(3);
+                }
+            }
+        });
+        runs_before += artifact.results.len();
         eprintln!();
         let path = args.out.join(shard_artifact_name(workload.name(), shard));
-        std::fs::write(&path, render_shard(&artifact)).expect("can write shard artifact");
+        let text = render_shard(&artifact);
+        if args.torn {
+            std::fs::write(&path, &text.as_bytes()[..text.len() / 2])
+                .expect("can write torn artifact");
+            eprintln!("injected torn artifact: {} truncated", path.display());
+            std::process::exit(4);
+        }
+        write_atomic(&path, &text).expect("can write shard artifact");
         eprintln!(
             "  -> {} ({} runs)\n",
             path.display(),
@@ -198,12 +290,13 @@ fn run_shards(args: &Args, shard: Shard) {
     }
 }
 
-/// `--merge dir...`: load every selected workload's shard artifacts from
-/// the given directories, reassemble in manifest order, and emit exactly
-/// what an unsharded run would have emitted.
-fn run_merge(args: &Args) {
+/// `--merge dir...` (and the tail of `drive`): load every selected
+/// workload's shard artifacts from the given directories, reassemble in
+/// manifest order, and emit exactly what an unsharded run would have
+/// emitted.
+fn run_merge(args: &Args, dirs: &[PathBuf]) {
     for workload in selected(&args.names) {
-        let artifacts = load_artifacts(workload.name(), &args.merge);
+        let artifacts = load_artifacts(workload.name(), dirs);
         if artifacts.is_empty() {
             eprintln!(
                 "warning: no shard artifacts for `{}`, skipping",
@@ -254,6 +347,177 @@ fn load_artifacts(name: &str, dirs: &[PathBuf]) -> Vec<ShardArtifact> {
         }
     }
     artifacts
+}
+
+/// Deletes `<name>.shard<i>of<n>.json` artifacts whose `n` is not this
+/// drive's shard count: they belong to an abandoned split and the final
+/// merge (which globs every `<name>.shard*.json` in the out dir) must
+/// never see them.
+fn purge_foreign_splits(dir: &std::path::Path, name: &str, shard_count: usize) {
+    let prefix = format!("{name}.shard");
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let file = entry.file_name();
+        let Some(file) = file.to_str() else { continue };
+        let Some(middle) = file
+            .strip_prefix(&prefix)
+            .and_then(|rest| rest.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        let count = middle
+            .split_once("of")
+            .and_then(|(_, n)| n.parse::<usize>().ok());
+        if count != Some(shard_count) {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// `drive`: the distributed sweep driver. Spawns `--shards` subprocesses
+/// of this binary (each `--shard i/n`, at most `--jobs` at a time),
+/// validates artifacts against the manifest fingerprint (resume skips
+/// valid completed shards, torn/stale ones are deleted and re-run),
+/// retries failures up to `--retries`, tracks per-shard status in
+/// `<out>/drive-state.json`, and merges — producing stdout and report
+/// artifacts byte-identical to a single-process run.
+fn run_drive(args: &Args) {
+    let workloads = selected(&args.names);
+    let shard_count = args.shards;
+    let jobs = if args.jobs == 0 {
+        std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(shard_count)
+    } else {
+        args.jobs
+    };
+    let expectations: Vec<(String, String, usize)> = workloads
+        .iter()
+        .map(|w| {
+            (
+                w.name().to_owned(),
+                airdnd_harness::fingerprint_hex(w.fingerprint(args.quick)),
+                w.total_runs(args.quick),
+            )
+        })
+        .collect();
+    let fingerprints: Vec<String> = expectations.iter().map(|(_, fp, _)| fp.clone()).collect();
+    // Artifacts left by a drive with a *different* shard count can never
+    // merge with this split (and would trip the merge glob); purge them so
+    // changing --shards over the same --out dir just re-runs cleanly.
+    for (name, _, _) in &expectations {
+        purge_foreign_splits(&args.out, name, shard_count);
+    }
+    let logs_dir = args.out.join("drive-logs");
+    std::fs::create_dir_all(&logs_dir).expect("can create the drive log directory");
+
+    // A shard is complete iff every selected workload's artifact exists,
+    // parses, matches the current grid fingerprint, and covers exactly its
+    // slice of run indices. Anything less is deleted so a re-run starts
+    // clean — a torn (truncated) artifact is indistinguishable from a
+    // missing one by design.
+    let out = args.out.clone();
+    let validate = move |shard: Shard| -> Result<(), String> {
+        for (name, fingerprint, total_runs) in &expectations {
+            let path = out.join(shard_artifact_name(name, shard));
+            let text = std::fs::read_to_string(&path)
+                .map_err(|_| format!("artifact {} missing", path.display()))?;
+            let discard = |reason: String| {
+                let _ = std::fs::remove_file(&path);
+                reason
+            };
+            let artifact = parse_shard(&text)
+                .map_err(|e| discard(format!("torn artifact {}: {e}", path.display())))?;
+            if artifact.workload != *name
+                || artifact.shard_index != shard.index
+                || artifact.shard_count != shard.count
+                || artifact.total_runs != *total_runs
+                || artifact.fingerprint != *fingerprint
+            {
+                return Err(discard(format!(
+                    "stale artifact {} (grid or split changed)",
+                    path.display()
+                )));
+            }
+            let expected: Vec<usize> = shard_bounds(*total_runs, shard).collect();
+            let got: Vec<usize> = artifact.results.iter().map(|r| r.run_index).collect();
+            if got != expected {
+                return Err(discard(format!(
+                    "incomplete artifact {} ({} of {} runs)",
+                    path.display(),
+                    got.len(),
+                    expected.len()
+                )));
+            }
+        }
+        Ok(())
+    };
+
+    // The child-process protocol: re-invoke this binary in `--shard i/n`
+    // mode with the same grids pinned (explicit workload names, quick flag,
+    // thread count). Children keep stdout silent; stderr goes to a
+    // per-attempt log under drive-logs/.
+    let exe = std::env::current_exe().expect("can locate the sweep binary");
+    let names: Vec<String> = workloads.iter().map(|w| w.name().to_owned()).collect();
+    let command = |shard: Shard, attempt: usize| -> Command {
+        let mut cmd = Command::new(&exe);
+        if args.quick {
+            cmd.arg("--quick");
+        }
+        cmd.arg("--shard").arg(shard.to_string());
+        cmd.arg("--out").arg(&args.out);
+        // Process-level parallelism is the drive's own: each child gets one
+        // worker thread unless the caller asked for more.
+        cmd.arg("--threads")
+            .arg(args.threads.max(1).to_string())
+            .args(&names);
+        if attempt == 0 {
+            // First-attempt-only fault injection, so retries recover.
+            if let Some(&(_, k)) = args.inject_fail.iter().find(|(i, _)| *i == shard.index) {
+                cmd.arg("--fail-after").arg(k.to_string());
+            }
+            if args.inject_torn.contains(&shard.index) {
+                cmd.arg("--torn");
+            }
+        }
+        let log = std::fs::File::create(logs_dir.join(format!(
+            "shard{}of{}.attempt{attempt}.log",
+            shard.index, shard.count
+        )))
+        .expect("can create a shard log file");
+        cmd.stdout(Stdio::null()).stderr(log);
+        cmd
+    };
+
+    let opts = DriveOptions {
+        shard_count,
+        jobs,
+        retries: args.retries,
+        state_path: args.out.join("drive-state.json"),
+        workloads: names.clone(),
+        fingerprints,
+        quick: args.quick,
+    };
+    match drive(&opts, command, validate, |msg| eprintln!("[drive] {msg}")) {
+        Ok(report) => {
+            eprintln!(
+                "[drive] all {} shards done ({} resumed, {} subprocess launches)",
+                shard_count,
+                report.resumed(),
+                report.launches()
+            );
+        }
+        Err(e) => {
+            eprintln!(
+                "[drive] error: {e}\n[drive] state: {}",
+                opts.state_path.display()
+            );
+            std::process::exit(1);
+        }
+    }
+    run_merge(args, std::slice::from_ref(&args.out));
 }
 
 /// Emits `BENCH_harness.json`: sequential vs parallel wall-clock for the

@@ -19,7 +19,8 @@ use airdnd_baselines::{
     RandomAssigner, ScoreAssigner, SmartContractAssigner, SyncRoundAssigner,
 };
 use airdnd_harness::{
-    fmt_f, ExperimentResult, FnWorkload, Manifest, RunPlan, SeedMode, SweepSpec, Table,
+    fmt_ci, fmt_f, Aggregate, ExperimentResult, FnWorkload, Manifest, RunPlan, SeedMode, SweepSpec,
+    Table,
 };
 use airdnd_radio::NodeAddr;
 use airdnd_sim::{SimDuration, SimRng, SimTime};
@@ -241,6 +242,8 @@ fn market_base(quick: bool, seed: u64) -> MarketConfig {
     }
 }
 
+use super::full_mode_replicates as replicates;
+
 // --- T6: allocation-mechanism comparison on an identical market ---
 
 /// T6 — allocator comparison over the mechanism axis.
@@ -276,6 +279,7 @@ fn t6_spec(quick: bool) -> SweepSpec<MarketConfig> {
             MechanismKind::label,
             |cfg, &kind| cfg.mechanism = kind,
         )
+        .replicates(replicates(quick))
         .seed_mode(SeedMode::PerReplicate)
         .base_seed(106)
         .seed_with(|cfg, seed| cfg.seed = seed)
@@ -289,19 +293,24 @@ fn t6_tabulate(manifest: &Manifest<MarketConfig>, results: &[MarketStats]) -> Ex
             "mechanism",
             "alloc %",
             "mean s",
+            "±95",
             "p95 s",
             "ctrl msgs/task",
             "fairness",
         ],
     );
-    for (plan, stats) in manifest.runs.iter().zip(results) {
+    for cell in 0..manifest.cell_count {
+        let plans = manifest.cell_runs(cell);
+        let rs = manifest.cell_results(results, cell);
+        let mean_s = Aggregate::of(rs, |r| r.mean_completion_s);
         table.row(vec![
-            plan.labels[0].clone(),
-            fmt_f(stats.allocated_fraction * 100.0),
-            fmt_f(stats.mean_completion_s),
-            fmt_f(stats.p95_completion_s),
-            fmt_f(stats.control_msgs_per_task),
-            fmt_f(stats.fairness),
+            plans[0].labels[0].clone(),
+            fmt_f(Aggregate::of(rs, |r| r.allocated_fraction * 100.0).mean),
+            fmt_f(mean_s.mean),
+            fmt_ci(&mean_s),
+            fmt_f(Aggregate::of(rs, |r| r.p95_completion_s).mean),
+            fmt_f(Aggregate::of(rs, |r| r.control_msgs_per_task).mean),
+            fmt_f(Aggregate::of(rs, |r| r.fairness).mean),
         ]);
     }
     ExperimentResult::table_only(table)
@@ -344,6 +353,7 @@ fn f12_spec(quick: bool) -> SweepSpec<MarketConfig> {
             },
             |cfg, &kind| cfg.mechanism = kind,
         )
+        .replicates(replicates(quick))
         .seed_mode(SeedMode::PerReplicate)
         .base_seed(112)
         .seed_with(|cfg, seed| cfg.seed = seed)
@@ -353,14 +363,18 @@ fn f12_tabulate(manifest: &Manifest<MarketConfig>, results: &[MarketStats]) -> E
     let mut table = Table::new(
         "F12",
         "asynchronous orchestration vs synchronous rounds",
-        &["mode", "alloc %", "mean s", "p95 s"],
+        &["mode", "alloc %", "mean s", "±95", "p95 s"],
     );
-    for (plan, stats) in manifest.runs.iter().zip(results) {
+    for cell in 0..manifest.cell_count {
+        let plans = manifest.cell_runs(cell);
+        let rs = manifest.cell_results(results, cell);
+        let mean_s = Aggregate::of(rs, |r| r.mean_completion_s);
         table.row(vec![
-            plan.labels[0].clone(),
-            fmt_f(stats.allocated_fraction * 100.0),
-            fmt_f(stats.mean_completion_s),
-            fmt_f(stats.p95_completion_s),
+            plans[0].labels[0].clone(),
+            fmt_f(Aggregate::of(rs, |r| r.allocated_fraction * 100.0).mean),
+            fmt_f(mean_s.mean),
+            fmt_ci(&mean_s),
+            fmt_f(Aggregate::of(rs, |r| r.p95_completion_s).mean),
         ]);
     }
     ExperimentResult::table_only(table)
@@ -413,5 +427,54 @@ mod tests {
             seeds.windows(2).all(|w| w[0] == w[1]),
             "mechanism rows must share the market seed"
         );
+    }
+
+    /// Full-mode T6/F12 run seed replicates per mechanism cell (the
+    /// ROADMAP "extend replicate CIs to the market axis" item); replicate
+    /// *k* still shares one seed across cells (common random numbers).
+    #[test]
+    fn full_mode_market_grids_carry_replicates() {
+        let t6 = t6_spec(false).manifest();
+        assert_eq!(t6.len(), 6 * super::super::scenario::FULL_REPLICATES);
+        assert_eq!(t6.replicates, super::super::scenario::FULL_REPLICATES);
+        let f12 = f12_spec(false).manifest();
+        assert_eq!(f12.len(), 5 * super::super::scenario::FULL_REPLICATES);
+        // CRN across cells, per replicate.
+        for cell in 1..t6.cell_count {
+            for rep in 0..t6.replicates {
+                assert_eq!(t6.cell_runs(cell)[rep].seed, t6.cell_runs(0)[rep].seed);
+            }
+        }
+        assert_ne!(t6.cell_runs(0)[0].seed, t6.cell_runs(0)[1].seed);
+        // Quick mode stays single-shot so CI finishes in seconds.
+        assert_eq!(t6_spec(true).manifest().replicates, 1);
+        assert_eq!(f12_spec(true).manifest().replicates, 1);
+    }
+
+    /// The T6/F12 tables carry a `±95` confidence column like F1/F2/F4/F7:
+    /// present in the header, populated (not `-`) in full mode where every
+    /// cell has ≥ 2 replicates, and deterministic across renders.
+    #[test]
+    fn market_tables_render_replicate_cis() {
+        let run_all = |manifest: &Manifest<MarketConfig>| -> Vec<MarketStats> {
+            manifest.runs.iter().map(run).collect()
+        };
+        let t6_manifest = t6_spec(false).manifest();
+        let t6_results = run_all(&t6_manifest);
+        let rendered = t6_tabulate(&t6_manifest, &t6_results).table;
+        assert!(rendered.columns.contains(&"±95".to_owned()));
+        assert_eq!(rendered.rows.len(), t6_manifest.cell_count);
+        let ci_col = rendered.columns.iter().position(|c| c == "±95").unwrap();
+        for row in &rendered.rows {
+            assert_ne!(row[ci_col], "-", "full-mode cells must show an interval");
+        }
+        // Deterministic: re-running the whole pipeline reproduces the bytes.
+        let again = t6_tabulate(&t6_manifest, &run_all(&t6_manifest)).table;
+        assert_eq!(rendered.render(), again.render());
+
+        let f12_manifest = f12_spec(false).manifest();
+        let f12_table = f12_tabulate(&f12_manifest, &run_all(&f12_manifest)).table;
+        assert!(f12_table.columns.contains(&"±95".to_owned()));
+        assert_eq!(f12_table.rows.len(), f12_manifest.cell_count);
     }
 }

@@ -23,6 +23,18 @@ pub mod selection;
 
 use airdnd_harness::{AnyWorkload, ExperimentResult, Progress};
 
+/// Seed replicates per cell for the CI-replicated figures (F1/F2/F4/F7
+/// and the T6/F12 market rows): full mode runs
+/// [`scenario::FULL_REPLICATES`]; quick stays single-shot so CI finishes
+/// in seconds.
+pub(crate) fn full_mode_replicates(quick: bool) -> usize {
+    if quick {
+        1
+    } else {
+        scenario::FULL_REPLICATES
+    }
+}
+
 /// Every experiment as a type-erased workload, in EXPERIMENTS.md order.
 pub fn registry() -> Vec<Box<dyn AnyWorkload>> {
     vec![

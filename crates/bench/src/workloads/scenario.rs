@@ -35,13 +35,7 @@ fn base(quick: bool) -> ScenarioConfig {
     }
 }
 
-fn replicates(quick: bool) -> usize {
-    if quick {
-        1
-    } else {
-        FULL_REPLICATES
-    }
-}
+use super::full_mode_replicates as replicates;
 
 /// The scenario metrics aggregated per grid cell in sweep reports.
 pub fn scenario_metrics(r: &ScenarioReport) -> Vec<(&'static str, f64)> {
@@ -65,12 +59,6 @@ pub fn scenario_metrics(r: &ScenarioReport) -> Vec<(&'static str, f64)> {
 
 fn run(plan: &airdnd_harness::RunPlan<ScenarioConfig>) -> ScenarioReport {
     run_scenario(plan.config)
-}
-
-/// Mean over the per-run values of one cell.
-fn cell_agg(results: &[ScenarioReport], f: impl Fn(&ScenarioReport) -> f64) -> Aggregate {
-    let samples: Vec<f64> = results.iter().map(f).collect();
-    Aggregate::from_samples(&samples)
 }
 
 /// Mean over the present values of an optional per-run metric (`None`
@@ -131,15 +119,15 @@ fn f1_tabulate(
     for cell in 0..manifest.cell_count {
         let plans = manifest.cell_runs(cell);
         let rs = manifest.cell_results(results, cell);
-        let members = cell_agg(rs, |r| r.mean_members);
+        let members = Aggregate::of(rs, |r| r.mean_members);
         let per_min = |n: u64, r: &ScenarioReport| n as f64 / (r.duration_s / 60.0);
         table.row(vec![
             plans[0].config.vehicles.to_string(),
             fmt_opt(mean_opt(rs, |r| r.mesh_formation_s)),
             fmt_f(members.mean),
             fmt_ci(&members),
-            fmt_f(cell_agg(rs, |r| per_min(r.joins, r)).mean),
-            fmt_f(cell_agg(rs, |r| per_min(r.leaves, r)).mean),
+            fmt_f(Aggregate::of(rs, |r| per_min(r.joins, r)).mean),
+            fmt_f(Aggregate::of(rs, |r| per_min(r.leaves, r)).mean),
         ]);
     }
     ExperimentResult::table_only(table)
@@ -194,14 +182,14 @@ fn f2_tabulate(
     for cell in 0..manifest.cell_count {
         let plans = manifest.cell_runs(cell);
         let rs = manifest.cell_results(results, cell);
-        let kb_per_view = cell_agg(rs, |r| r.bytes_per_task / 1_000.0);
+        let kb_per_view = Aggregate::of(rs, |r| r.bytes_per_task / 1_000.0);
         table.row(vec![
             plans[0].config.vehicles.to_string(),
             plans[0].labels[1].clone(),
             fmt_f(kb_per_view.mean),
             fmt_ci(&kb_per_view),
-            fmt_f(cell_agg(rs, |r| (r.mesh_bytes + r.cellular_bytes) as f64 / 1e6).mean),
-            fmt_f(cell_agg(rs, |r| r.completion_rate * 100.0).mean),
+            fmt_f(Aggregate::of(rs, |r| (r.mesh_bytes + r.cellular_bytes) as f64 / 1e6).mean),
+            fmt_f(Aggregate::of(rs, |r| r.completion_rate * 100.0).mean),
         ]);
         series.push(json!({
             "vehicles": plans[0].config.vehicles,
@@ -333,13 +321,13 @@ fn f4_tabulate(
     for cell in 0..manifest.cell_count {
         let plans = manifest.cell_runs(cell);
         let rs = manifest.cell_results(results, cell);
-        let coverage = cell_agg(rs, |r| r.mean_coverage * 100.0);
+        let coverage = Aggregate::of(rs, |r| r.mean_coverage * 100.0);
         table.row(vec![
             plans[0].config.vehicles.to_string(),
             plans[0].labels[1].clone(),
             fmt_f(coverage.mean),
             fmt_ci(&coverage),
-            fmt_f(cell_agg(rs, |r| r.ego_only_coverage * 100.0).mean),
+            fmt_f(Aggregate::of(rs, |r| r.ego_only_coverage * 100.0).mean),
             fmt_opt(mean_opt(rs, |r| r.time_to_detect_s)),
         ]);
     }
@@ -431,7 +419,7 @@ fn t5_tabulate(
     for cell in 0..manifest.cell_count {
         let plans = manifest.cell_runs(cell);
         let rs = manifest.cell_results(results, cell);
-        let done = cell_agg(rs, |r| r.completion_rate * 100.0);
+        let done = Aggregate::of(rs, |r| r.completion_rate * 100.0);
         let p95 = rs.iter().map(|r| r.latency_p95_ms).fold(0.0, f64::max);
         let failed: u64 = rs.iter().map(|r| r.tasks_failed).sum();
         let bad: u64 = rs.iter().map(|r| r.invalid_results_accepted).sum();
@@ -503,15 +491,15 @@ fn f7_tabulate(
     for cell in 0..manifest.cell_count {
         let plans = manifest.cell_runs(cell);
         let rs = manifest.cell_results(results, cell);
-        let done = cell_agg(rs, |r| r.completion_rate * 100.0);
+        let done = Aggregate::of(rs, |r| r.completion_rate * 100.0);
         table.row(vec![
             fmt_f(plans[0].config.speed_limit),
-            fmt_f(cell_agg(rs, |r| (r.joins + r.leaves) as f64 / (r.duration_s / 60.0)).mean),
+            fmt_f(Aggregate::of(rs, |r| (r.joins + r.leaves) as f64 / (r.duration_s / 60.0)).mean),
             fmt_f(done.mean),
             fmt_ci(&done),
-            fmt_f(cell_agg(rs, |r| r.latency_p95_ms).mean),
+            fmt_f(Aggregate::of(rs, |r| r.latency_p95_ms).mean),
             fmt_f(
-                cell_agg(rs, |r| {
+                Aggregate::of(rs, |r| {
                     r.offers_sent as f64 / r.tasks_submitted.max(1) as f64
                 })
                 .mean,

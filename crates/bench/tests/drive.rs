@@ -1,0 +1,303 @@
+//! End-to-end tests of `sweep drive`: the distributed driver must produce
+//! output **byte-identical** to a single-process `--threads 1` run — the
+//! tables on stdout and the JSON/CSV report artifacts alike — through
+//! shard crashes (`--inject-fail`), torn half-written artifacts, stale
+//! fingerprints, and resume. These spawn the real `sweep` binary, so the
+//! whole child-process protocol is under test.
+
+use airdnd_harness::{DriveState, ShardStatus};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn sweep() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sweep"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("airdnd-drive-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("can create temp dir");
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let output = cmd.output().expect("sweep binary runs");
+    assert!(
+        output.status.success(),
+        "sweep failed: {}\nstderr:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output
+}
+
+/// Single-process reference run: `--threads 1` into `dir`, returns stdout.
+fn single_process(dir: &Path, names: &[&str]) -> Vec<u8> {
+    let mut cmd = sweep();
+    cmd.args(["--quick", "--threads", "1", "--out"])
+        .arg(dir)
+        .args(names);
+    run_ok(&mut cmd).stdout
+}
+
+fn drive_cmd(dir: &Path, shards: usize, names: &[&str]) -> Command {
+    let mut cmd = sweep();
+    cmd.arg("drive")
+        .args([
+            "--shards",
+            &shards.to_string(),
+            "--jobs",
+            "2",
+            "--quick",
+            "--out",
+        ])
+        .arg(dir)
+        .args(names);
+    cmd
+}
+
+fn read(dir: &Path, file: &str) -> String {
+    std::fs::read_to_string(dir.join(file))
+        .unwrap_or_else(|e| panic!("cannot read {file} in {}: {e}", dir.display()))
+}
+
+fn state(dir: &Path) -> DriveState {
+    DriveState::parse(&read(dir, "drive-state.json")).expect("drive state parses")
+}
+
+fn assert_reports_match(un: &Path, drv: &Path, names: &[&str]) {
+    for name in names {
+        assert_eq!(
+            read(un, &format!("{name}.json")),
+            read(drv, &format!("{name}.json")),
+            "{name}.json must be byte-identical"
+        );
+        assert_eq!(
+            read(un, &format!("{name}.csv")),
+            read(drv, &format!("{name}.csv")),
+            "{name}.csv must be byte-identical"
+        );
+    }
+}
+
+/// The acceptance-criteria scenario: `drive --jobs 2` over 3 shards, with
+/// one shard killed mid-run on its first attempt, retried, and merged —
+/// byte-identical to the unsharded single-threaded run, for a scenario
+/// workload (f2) and a market workload (t6) in the same drive.
+#[test]
+fn drive_with_injected_crash_matches_single_process_byte_for_byte() {
+    let names = &["f2", "t6"];
+    let un = temp_dir("crash-un");
+    let drv = temp_dir("crash-drv");
+    let expected_stdout = single_process(&un, names);
+
+    let out = run_ok(drive_cmd(&drv, 3, names).args(["--retries", "2", "--inject-fail", "1:1"]));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&expected_stdout),
+        "driven stdout must match the single-process run"
+    );
+    assert_reports_match(&un, &drv, names);
+
+    // The injected crash really happened: shard 1 needed a retry.
+    let st = state(&drv);
+    assert_eq!(st.shard_count, 3);
+    assert_eq!(st.shards[1].status, ShardStatus::Done { attempts: 2 });
+    assert_eq!(st.shards[0].status, ShardStatus::Done { attempts: 1 });
+    // And the crash left a log trail behind.
+    assert!(drv
+        .join("drive-logs")
+        .join("shard1of3.attempt0.log")
+        .exists());
+
+    let _ = std::fs::remove_dir_all(&un);
+    let _ = std::fs::remove_dir_all(&drv);
+}
+
+/// Resume: re-running a completed drive relaunches nothing. Proven by
+/// injecting a first-attempt crash into *every* shard with a zero retry
+/// budget — the drive can only succeed if all shards are skipped.
+#[test]
+fn resumed_drive_skips_all_completed_shards() {
+    let names = &["t6"];
+    let un = temp_dir("resume-un");
+    let drv = temp_dir("resume-drv");
+    let expected_stdout = single_process(&un, names);
+    run_ok(&mut drive_cmd(&drv, 3, names));
+
+    let out = run_ok(drive_cmd(&drv, 3, names).args([
+        "--retries",
+        "0",
+        "--inject-fail",
+        "0:0",
+        "--inject-fail",
+        "1:0",
+        "--inject-fail",
+        "2:0",
+    ]));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&expected_stdout),
+        "resumed drive must re-emit the identical merge"
+    );
+    let st = state(&drv);
+    for entry in &st.shards {
+        assert_eq!(
+            entry.status,
+            ShardStatus::Done { attempts: 0 },
+            "shard {} must be resumed, not re-run",
+            entry.index
+        );
+    }
+    assert_reports_match(&un, &drv, names);
+    let _ = std::fs::remove_dir_all(&un);
+    let _ = std::fs::remove_dir_all(&drv);
+}
+
+/// A torn, half-written artifact (here: a shard that died mid-write via
+/// `--inject-torn`, leaving truncated JSON) must be detected, discarded
+/// and re-run — never merged.
+#[test]
+fn torn_artifact_is_detected_and_rerun() {
+    let names = &["t6"];
+    let un = temp_dir("torn-un");
+    let drv = temp_dir("torn-drv");
+    let expected_stdout = single_process(&un, names);
+
+    // Shard 2's first attempt leaves a truncated artifact and exits
+    // nonzero; the drive must discard it and retry.
+    let out = run_ok(drive_cmd(&drv, 3, names).args(["--retries", "1", "--inject-torn", "2"]));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&expected_stdout)
+    );
+    assert_eq!(
+        state(&drv).shards[2].status,
+        ShardStatus::Done { attempts: 2 }
+    );
+    assert_reports_match(&un, &drv, names);
+
+    // Second flavour: corruption at rest. Truncate a finished artifact to
+    // half its bytes and resume — only that shard may re-run.
+    let artifact = drv.join("t6.shard1of3.json");
+    let text = std::fs::read_to_string(&artifact).expect("artifact exists");
+    std::fs::write(&artifact, &text.as_bytes()[..text.len() / 2]).expect("can truncate");
+    let out = run_ok(&mut drive_cmd(&drv, 3, names));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&expected_stdout)
+    );
+    let st = state(&drv);
+    assert_eq!(st.shards[0].status, ShardStatus::Done { attempts: 0 });
+    assert_eq!(
+        st.shards[1].status,
+        ShardStatus::Done { attempts: 1 },
+        "the torn shard must have been re-run"
+    );
+    assert_eq!(st.shards[2].status, ShardStatus::Done { attempts: 0 });
+    assert_reports_match(&un, &drv, names);
+
+    let _ = std::fs::remove_dir_all(&un);
+    let _ = std::fs::remove_dir_all(&drv);
+}
+
+/// An artifact whose fingerprint no longer matches the grid — the sweep
+/// definition changed since the shard ran — is stale: resume must discard
+/// and re-run it rather than merge it.
+#[test]
+fn stale_fingerprint_invalidates_a_completed_shard() {
+    let names = &["t6"];
+    let un = temp_dir("stale-un");
+    let drv = temp_dir("stale-drv");
+    let expected_stdout = single_process(&un, names);
+    run_ok(&mut drive_cmd(&drv, 3, names));
+
+    // Rewrite shard 0's fingerprint in place: valid JSON, wrong grid stamp.
+    let artifact = drv.join("t6.shard0of3.json");
+    let text = std::fs::read_to_string(&artifact).expect("artifact exists");
+    let fp = state(&drv).fingerprints[0].clone();
+    assert!(
+        text.contains(&fp),
+        "artifact must carry the grid fingerprint"
+    );
+    std::fs::write(&artifact, text.replace(&fp, "00000000deadbeef")).expect("can tamper");
+
+    let out = run_ok(&mut drive_cmd(&drv, 3, names));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&expected_stdout)
+    );
+    let st = state(&drv);
+    assert_eq!(
+        st.shards[0].status,
+        ShardStatus::Done { attempts: 1 },
+        "the stale shard must have been re-run"
+    );
+    assert_eq!(st.shards[1].status, ShardStatus::Done { attempts: 0 });
+    assert_reports_match(&un, &drv, names);
+
+    let _ = std::fs::remove_dir_all(&un);
+    let _ = std::fs::remove_dir_all(&drv);
+}
+
+/// Changing `--shards` over the same output directory must not poison the
+/// merge: artifacts from the abandoned split are purged, the new split
+/// runs from scratch, and the result is still byte-identical.
+#[test]
+fn changing_the_shard_count_over_the_same_dir_reruns_cleanly() {
+    let names = &["t6"];
+    let un = temp_dir("resplit-un");
+    let drv = temp_dir("resplit-drv");
+    let expected_stdout = single_process(&un, names);
+    run_ok(&mut drive_cmd(&drv, 4, names));
+    assert!(drv.join("t6.shard3of4.json").exists());
+
+    let out = run_ok(&mut drive_cmd(&drv, 3, names));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&expected_stdout),
+        "the re-split drive must still match the single-process run"
+    );
+    assert!(
+        !drv.join("t6.shard3of4.json").exists(),
+        "artifacts from the abandoned 4-way split must be purged"
+    );
+    let st = state(&drv);
+    assert_eq!(st.shard_count, 3);
+    assert!(st
+        .shards
+        .iter()
+        .all(|s| s.status == ShardStatus::Done { attempts: 1 }));
+    assert_reports_match(&un, &drv, names);
+    let _ = std::fs::remove_dir_all(&un);
+    let _ = std::fs::remove_dir_all(&drv);
+}
+
+/// A shard that keeps dying past its retry budget fails the whole drive
+/// with a nonzero exit, a Failed entry in the state manifest, and no
+/// merged report.
+#[test]
+fn exhausted_retries_fail_the_drive() {
+    let names = &["t6"];
+    let drv = temp_dir("exhaust");
+    let output = drive_cmd(&drv, 3, names)
+        .args(["--retries", "0", "--inject-fail", "0:0", "--jobs", "1"])
+        .env("AIRDND_SWEEP_FAIL_AFTER", "0") // env spelling: every attempt dies
+        .output()
+        .expect("sweep binary runs");
+    assert!(
+        !output.status.success(),
+        "a permanently failed shard must fail the drive"
+    );
+    let st = state(&drv);
+    assert!(
+        matches!(st.shards[0].status, ShardStatus::Failed { attempts: 1, .. }),
+        "{:?}",
+        st.shards[0].status
+    );
+    assert!(
+        !drv.join("t6.json").exists(),
+        "no merged report may exist after a failed drive"
+    );
+    let _ = std::fs::remove_dir_all(&drv);
+}

@@ -1,0 +1,72 @@
+//! Golden-file conformance tests for sweep artifacts: the quick-mode
+//! JSON + CSV reports (and rendered table) of one scenario workload (F2)
+//! and one market workload (T6) are committed under `tests/golden/` and
+//! diffed against regenerated output. Any accidental format drift in
+//! `harness::report` — field order, float formatting, CSV quoting, table
+//! alignment — fails loudly here instead of silently invalidating every
+//! downstream consumer of the artifacts.
+//!
+//! Deliberate format changes are blessed by re-recording:
+//!
+//! ```sh
+//! GOLDEN_REGEN=1 cargo test -p airdnd-bench --test golden
+//! ```
+
+use airdnd_bench::workloads;
+use airdnd_harness::{render_csv, render_json};
+use std::path::PathBuf;
+
+fn golden_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(file)
+}
+
+fn check(file: &str, actual: &str) {
+    let path = golden_path(file);
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("can create");
+        std::fs::write(&path, actual).expect("can record golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {} ({e}); record it with \
+             GOLDEN_REGEN=1 cargo test -p airdnd-bench --test golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{file} drifted from the committed golden copy — if the change is \
+         deliberate, re-record with GOLDEN_REGEN=1"
+    );
+}
+
+fn check_workload(name: &str) {
+    let workload = workloads::find(name).expect("workload registered");
+    let output = workload.execute(true, 0, &mut |_| {});
+    check(
+        &format!("{name}.quick.json"),
+        &render_json(&output.aggregate),
+    );
+    check(&format!("{name}.quick.csv"), &render_csv(&output.aggregate));
+    check(
+        &format!("{name}.quick.table.txt"),
+        &output.result.table.render(),
+    );
+}
+
+/// F2, the scenario-workload representative: bytes/view grid over
+/// strategies, including JSON plot series aggregation.
+#[test]
+fn f2_quick_artifacts_match_golden() {
+    check_workload("f2");
+}
+
+/// T6, the market-workload representative: the mechanism axis through
+/// `market_sim`, including the new ±95 replicate-CI table column.
+#[test]
+fn t6_quick_artifacts_match_golden() {
+    check_workload("t6");
+}

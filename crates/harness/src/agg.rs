@@ -68,6 +68,13 @@ impl Aggregate {
             ci95,
         }
     }
+
+    /// Aggregates one extracted metric across a slice of reports — the
+    /// per-cell helper every replicated table column uses.
+    pub fn of<R>(results: &[R], metric: impl Fn(&R) -> f64) -> Aggregate {
+        let samples: Vec<f64> = results.iter().map(metric).collect();
+        Aggregate::from_samples(&samples)
+    }
 }
 
 /// Percentile by linear interpolation over a pre-sorted sample.

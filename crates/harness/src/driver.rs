@@ -1,0 +1,373 @@
+//! The distributed sweep driver: multi-process shard orchestration with
+//! bounded parallelism, retries, resume, and a deterministic state manifest.
+//!
+//! [`drive`] turns the "a human could distribute this" sharding story into
+//! one the harness executes itself. Given a shard count, it:
+//!
+//! 1. **Resumes** — validates each shard's existing artifacts first (the
+//!    caller's validator checks existence, parseability, and the manifest
+//!    [fingerprint](crate::manifest::Manifest::fingerprint)); valid shards
+//!    are skipped, torn or stale ones are discarded and re-run.
+//! 2. **Spawns** — launches up to `jobs` shard subprocesses at a time (the
+//!    caller builds each [`Command`], typically re-invoking the current
+//!    executable with `--shard i/n`).
+//! 3. **Retries** — a shard whose process exits nonzero, dies mid-run, or
+//!    leaves an invalid artifact behind is re-queued up to `retries` times.
+//! 4. **Records** — per-shard status lands in a [`DriveState`] manifest
+//!    (`drive-state.json`), written atomically after every transition. The
+//!    final file is a pure function of what happened, never of wall-clock
+//!    or scheduling: no timestamps, shards always in index order.
+//!
+//! The driver is workload-agnostic: it never parses artifacts itself. The
+//! caller supplies the command builder and the validator, which is what
+//! lets `sweep drive` reuse it for every registered workload at once.
+//!
+//! [`write_atomic`] is the shared tmp-file + rename primitive: a reader
+//! (or a resumed driver) can never observe a half-written artifact from a
+//! writer that died mid-`write` — it sees either the old file, no file, or
+//! the complete new one.
+
+use crate::manifest::Shard;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::Duration;
+
+/// Writes `bytes` to `path` atomically: the content lands in
+/// `<path>.tmp` first and is renamed into place only once fully written,
+/// so concurrent readers (and resumed drivers) never see a torn file.
+pub fn write_atomic(path: &Path, bytes: impl AsRef<[u8]>) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    std::fs::write(&tmp, bytes.as_ref())?;
+    std::fs::rename(&tmp, path)
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map_or_else(|| "out".into(), |n| n.to_os_string());
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// The lifecycle of one shard as the driver sees it.
+///
+/// `attempts` counts subprocess launches: a shard resumed from a valid
+/// artifact finishes with `attempts: 0`, a clean first run with `1`, one
+/// retry with `2`, and so on.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardStatus {
+    /// Not yet started (only ever observed in mid-run state files).
+    Pending,
+    /// A subprocess is currently running this shard.
+    Running,
+    /// The shard's artifacts are complete and valid.
+    Done {
+        /// Subprocess launches this drive needed (0 = resumed).
+        attempts: usize,
+    },
+    /// The shard failed its final permitted attempt.
+    Failed {
+        /// Subprocess launches consumed.
+        attempts: usize,
+        /// Exit code of the last attempt (absent when killed by a signal).
+        exit_code: Option<i32>,
+    },
+}
+
+/// One shard's row in the [`DriveState`] manifest.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShardEntry {
+    /// Zero-based shard index.
+    pub index: usize,
+    /// Current lifecycle state.
+    pub status: ShardStatus,
+}
+
+/// The `drive-state.json` manifest: what a drive was asked to do and where
+/// every shard stands. Deterministic by construction — shards in index
+/// order, no timestamps, no host- or scheduling-dependent fields — so two
+/// identical drives leave byte-identical final state files.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DriveState {
+    /// Total shards in the split.
+    pub shard_count: usize,
+    /// Workload ids the drive covers, in registry order.
+    pub workloads: Vec<String>,
+    /// Per-workload manifest fingerprints (canonical hex), aligned with
+    /// `workloads`. Artifacts stamped differently are stale.
+    pub fingerprints: Vec<String>,
+    /// Whether the drive ran the quick (CI-sized) grids.
+    pub quick: bool,
+    /// One entry per shard, in index order.
+    pub shards: Vec<ShardEntry>,
+}
+
+impl DriveState {
+    /// Renders the state as pretty JSON (trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = serde_json::to_string_pretty(self).expect("state serializes");
+        out.push('\n');
+        out
+    }
+
+    /// Parses a state file back from JSON text.
+    pub fn parse(text: &str) -> Result<DriveState, String> {
+        serde_json::from_str(text).map_err(|e| format!("bad drive state: {e}"))
+    }
+}
+
+/// What a drive was asked to do: the split, the parallelism bound, the
+/// retry budget, and where the state manifest lives.
+pub struct DriveOptions {
+    /// Number of shards to split each sweep into.
+    pub shard_count: usize,
+    /// Maximum shard subprocesses running at once.
+    pub jobs: usize,
+    /// Re-launches permitted per shard after its first attempt fails.
+    pub retries: usize,
+    /// Path of the `drive-state.json` manifest.
+    pub state_path: PathBuf,
+    /// Workload ids, recorded in the state manifest.
+    pub workloads: Vec<String>,
+    /// Per-workload manifest fingerprints (canonical hex).
+    pub fingerprints: Vec<String>,
+    /// Quick vs full mode, recorded in the state manifest.
+    pub quick: bool,
+}
+
+/// How one shard reached `Done`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardReport {
+    /// The shard.
+    pub shard: Shard,
+    /// Subprocess launches used (0 = resumed from a valid artifact).
+    pub attempts: usize,
+}
+
+/// A successful drive: every shard done, with its attempt count.
+#[derive(Clone, Debug)]
+pub struct DriveReport {
+    /// Per-shard outcomes, in index order.
+    pub shards: Vec<ShardReport>,
+}
+
+impl DriveReport {
+    /// Shards that were skipped because their artifacts were already valid.
+    pub fn resumed(&self) -> usize {
+        self.shards.iter().filter(|s| s.attempts == 0).count()
+    }
+
+    /// Total subprocess launches across all shards.
+    pub fn launches(&self) -> usize {
+        self.shards.iter().map(|s| s.attempts).sum()
+    }
+}
+
+/// A drive that could not complete: some shard exhausted its retry budget
+/// (or a subprocess could not even be spawned).
+#[derive(Debug)]
+pub struct DriveError {
+    /// `(shard index, reason)` for every permanently failed shard.
+    pub failed: Vec<(usize, String)>,
+}
+
+impl fmt::Display for DriveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} shard(s) failed permanently:", self.failed.len())?;
+        for (index, reason) in &self.failed {
+            write!(f, "\n  shard {index}: {reason}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DriveError {}
+
+/// Internal per-shard bookkeeping.
+struct Slot {
+    status: ShardStatus,
+    attempts: usize,
+    reason: Option<String>,
+}
+
+/// Orchestrates a multi-process sharded sweep; see the [module docs](self).
+///
+/// * `command(shard, attempt)` builds the subprocess for one attempt of
+///   one shard (attempt numbering starts at 0, letting callers inject
+///   first-attempt-only faults for testing).
+/// * `validate(shard)` decides whether the shard's artifacts on disk are
+///   complete and current. It runs *before* any spawn (resume: `Ok` skips
+///   the shard) and *after* each attempt (a zero exit with a bad artifact
+///   is still a failure). On `Err` the validator is expected to have
+///   removed whatever invalid artifacts it found, so a re-run starts
+///   clean; the driver itself never touches artifact files.
+/// * `log(message)` receives human-readable progress lines.
+pub fn drive(
+    opts: &DriveOptions,
+    mut command: impl FnMut(Shard, usize) -> Command,
+    mut validate: impl FnMut(Shard) -> Result<(), String>,
+    mut log: impl FnMut(&str),
+) -> Result<DriveReport, DriveError> {
+    assert!(opts.shard_count > 0, "a drive needs at least one shard");
+    assert!(opts.jobs > 0, "a drive needs at least one job slot");
+    let count = opts.shard_count;
+
+    let mut slots: Vec<Slot> = (0..count)
+        .map(|_| Slot {
+            status: ShardStatus::Pending,
+            attempts: 0,
+            reason: None,
+        })
+        .collect();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+
+    // Resume pass: skip every shard whose artifacts are already valid.
+    for (index, slot) in slots.iter_mut().enumerate() {
+        let shard = Shard::new(index, count);
+        match validate(shard) {
+            Ok(()) => {
+                slot.status = ShardStatus::Done { attempts: 0 };
+                log(&format!("shard {shard}: resumed (artifacts valid)"));
+            }
+            Err(reason) => {
+                log(&format!("shard {shard}: will run ({reason})"));
+                queue.push_back(index);
+            }
+        }
+    }
+    write_state(opts, &slots);
+
+    let mut running: Vec<(usize, Child)> = Vec::new();
+    while !queue.is_empty() || !running.is_empty() {
+        // Fill free job slots.
+        while running.len() < opts.jobs {
+            let Some(index) = queue.pop_front() else {
+                break;
+            };
+            let shard = Shard::new(index, count);
+            let attempt = slots[index].attempts;
+            match command(shard, attempt).spawn() {
+                Ok(child) => {
+                    slots[index].status = ShardStatus::Running;
+                    slots[index].attempts += 1;
+                    log(&format!("shard {shard}: attempt {} started", attempt + 1));
+                    running.push((index, child));
+                }
+                Err(e) => {
+                    // Spawn failure is environmental, not a flaky shard:
+                    // retrying the other shards can't fix a missing binary.
+                    slots[index].status = ShardStatus::Failed {
+                        attempts: slots[index].attempts,
+                        exit_code: None,
+                    };
+                    slots[index].reason = Some(format!("cannot spawn shard process: {e}"));
+                }
+            }
+            write_state(opts, &slots);
+        }
+        if running.is_empty() {
+            break;
+        }
+
+        // Reap any finished child; sleep briefly when none is done yet.
+        let mut reaped = false;
+        let mut still_running = Vec::with_capacity(running.len());
+        for (index, mut child) in running {
+            match child.try_wait() {
+                Ok(Some(exit)) => {
+                    reaped = true;
+                    let shard = Shard::new(index, count);
+                    let outcome = if exit.success() {
+                        validate(shard)
+                    } else {
+                        Err(format!("process exited with {exit}"))
+                    };
+                    match outcome {
+                        Ok(()) => {
+                            let attempts = slots[index].attempts;
+                            slots[index].status = ShardStatus::Done { attempts };
+                            log(&format!("shard {shard}: done (attempt {attempts})"));
+                        }
+                        Err(reason) if slots[index].attempts <= opts.retries => {
+                            log(&format!("shard {shard}: retrying — {reason}"));
+                            slots[index].status = ShardStatus::Pending;
+                            queue.push_back(index);
+                        }
+                        Err(reason) => {
+                            log(&format!("shard {shard}: giving up — {reason}"));
+                            slots[index].status = ShardStatus::Failed {
+                                attempts: slots[index].attempts,
+                                exit_code: exit.code(),
+                            };
+                            slots[index].reason = Some(reason);
+                        }
+                    }
+                    write_state(opts, &slots);
+                }
+                Ok(None) => still_running.push((index, child)),
+                Err(e) => {
+                    reaped = true;
+                    slots[index].status = ShardStatus::Failed {
+                        attempts: slots[index].attempts,
+                        exit_code: None,
+                    };
+                    slots[index].reason = Some(format!("cannot wait on shard process: {e}"));
+                    write_state(opts, &slots);
+                }
+            }
+        }
+        running = still_running;
+        if !reaped && !running.is_empty() {
+            std::thread::sleep(Duration::from_millis(15));
+        }
+    }
+
+    let failed: Vec<(usize, String)> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s.status, ShardStatus::Failed { .. }))
+        .map(|(i, s)| {
+            let reason = s.reason.clone().unwrap_or_else(|| "unknown".to_owned());
+            (i, reason)
+        })
+        .collect();
+    if !failed.is_empty() {
+        return Err(DriveError { failed });
+    }
+    Ok(DriveReport {
+        shards: slots
+            .iter()
+            .enumerate()
+            .map(|(index, s)| ShardReport {
+                shard: Shard::new(index, count),
+                attempts: s.attempts,
+            })
+            .collect(),
+    })
+}
+
+/// Writes the current state manifest atomically.
+fn write_state(opts: &DriveOptions, slots: &[Slot]) {
+    let state = DriveState {
+        shard_count: opts.shard_count,
+        workloads: opts.workloads.clone(),
+        fingerprints: opts.fingerprints.clone(),
+        quick: opts.quick,
+        shards: slots
+            .iter()
+            .enumerate()
+            .map(|(index, s)| ShardEntry {
+                index,
+                status: s.status.clone(),
+            })
+            .collect(),
+    };
+    if let Some(dir) = opts.state_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    write_atomic(&opts.state_path, state.render()).expect("can write drive state");
+}

@@ -32,6 +32,13 @@
 //!    share one registry, and [`Shard`] slicing plus an ordered merge
 //!    ([`AnyWorkload::merge_shards`]) lets one sweep span processes or
 //!    hosts and still reassemble byte-identically.
+//! 6. [`driver`] — the distributed sweep driver: [`drive`] fans shard
+//!    subprocesses out under a `jobs` bound, validates artifacts against
+//!    the manifest [fingerprint](Manifest::fingerprint) (resume skips
+//!    valid completed shards; torn or stale ones are discarded and
+//!    re-run), retries failures, and records per-shard status in a
+//!    deterministic `drive-state.json`. [`write_atomic`] (tmp + rename)
+//!    is what makes artifacts all-or-nothing on disk.
 //!
 //! ## Example
 //!
@@ -63,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub mod agg;
+pub mod driver;
 pub mod exec;
 pub mod manifest;
 pub mod report;
@@ -70,10 +78,14 @@ pub mod spec;
 pub mod workload;
 
 pub use agg::{summarize_cells, Aggregate, CellSummary, MetricSummary};
+pub use driver::{
+    drive, write_atomic, DriveError, DriveOptions, DriveReport, DriveState, ShardEntry,
+    ShardReport, ShardStatus,
+};
 pub use exec::{
     run_shard_with_progress, run_sweep, run_sweep_with_progress, Progress, SweepOutcome,
 };
-pub use manifest::{derive_seed, Manifest, RunPlan, Shard};
+pub use manifest::{derive_seed, fingerprint_hex, shard_bounds, Manifest, RunPlan, Shard};
 pub use report::{
     fmt_ci, fmt_f, fmt_opt, render_csv, render_json, write_report, ExperimentResult, SweepReport,
     Table,

@@ -1,6 +1,8 @@
 //! The flat, ordered run manifest a sweep expands into, the splittable
-//! per-run seed derivation, and [`Shard`] slicing for multi-process sweeps.
+//! per-run seed derivation, [`Shard`] slicing for multi-process sweeps, and
+//! the manifest fingerprint that stamps shard artifacts.
 
+use serde::Serialize;
 use std::fmt;
 use std::ops::Range;
 use std::str::FromStr;
@@ -102,18 +104,100 @@ impl<C> Manifest<C> {
     /// process executes it — the union of all shards' results, ordered by
     /// `run_index`, is byte-identical to a single-process sweep.
     pub fn shard_range(&self, shard: Shard) -> Range<usize> {
-        let len = self.runs.len();
-        let (index, count) = (shard.index, shard.count);
-        let base = len / count;
-        let extra = len % count;
-        let lo = index * base + index.min(extra);
-        let hi = lo + base + usize::from(index < extra);
-        lo..hi
+        shard_bounds(self.runs.len(), shard)
     }
 
     /// The runs owned by one shard, in manifest order.
     pub fn shard_runs(&self, shard: Shard) -> &[RunPlan<C>] {
         &self.runs[self.shard_range(shard)]
+    }
+}
+
+impl<C: Serialize> Manifest<C> {
+    /// A stable 64-bit fingerprint of the expanded grid: axis names, base
+    /// seed, replicate count, and every run's `(run_index, seed, labels,
+    /// serialized config)`.
+    ///
+    /// Shard artifacts are stamped with it so a driver resuming a sweep can
+    /// tell a valid completed shard from a stale one — any change to the
+    /// grid (an added axis value, a different base seed, a config-shape
+    /// edit, quick vs full mode) changes the fingerprint and invalidates
+    /// old artifacts. The hash (FNV-1a over the canonical serialization) is
+    /// a pure function of the manifest, identical across processes and
+    /// hosts.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        for name in &self.axis_names {
+            h.write_str(name);
+        }
+        h.write_u64(self.base_seed);
+        h.write_u64(self.cell_count as u64);
+        h.write_u64(self.replicates as u64);
+        h.write_u64(self.runs.len() as u64);
+        for run in &self.runs {
+            h.write_u64(run.run_index as u64);
+            h.write_u64(run.seed);
+            for label in &run.labels {
+                h.write_str(label);
+            }
+            let config = serde_json::to_string(&run.config).expect("config serializes");
+            h.write_str(&config);
+        }
+        h.finish()
+    }
+}
+
+/// Renders a fingerprint in its canonical artifact spelling (zero-padded
+/// lowercase hex), the form stored in shard artifacts and drive state.
+pub fn fingerprint_hex(fingerprint: u64) -> String {
+    format!("{fingerprint:016x}")
+}
+
+/// The contiguous index range shard `shard` owns out of `total_runs` items:
+/// `count` contiguous, balanced pieces (the first `total_runs % count`
+/// shards hold one extra item), covering `0..total_runs` exactly once.
+pub fn shard_bounds(total_runs: usize, shard: Shard) -> Range<usize> {
+    let (index, count) = (shard.index, shard.count);
+    let base = total_runs / count;
+    let extra = total_runs % count;
+    let lo = index * base + index.min(extra);
+    let hi = lo + base + usize::from(index < extra);
+    lo..hi
+}
+
+/// FNV-1a, 64-bit: a tiny stable hasher for manifest fingerprints. The
+/// std `DefaultHasher` is deliberately avoided — its output may change
+/// between releases and is randomized per `RandomState`, while fingerprints
+/// must agree across processes, hosts and toolchain updates.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xCBF29CE484222325;
+    const PRIME: u64 = 0x100000001B3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+        // Length-delimit so ("ab","c") and ("a","bc") hash differently.
+        self.write_bytes(&(s.len() as u64).to_le_bytes());
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 

@@ -73,13 +73,14 @@ fn csv_field(s: &str) -> String {
 }
 
 /// Writes `<dir>/<name>.json` and `<dir>/<name>.csv`, creating `dir` if
-/// needed; returns both paths.
+/// needed; returns both paths. Writes are atomic (tmp + rename), so a
+/// concurrent reader — or a resumed drive — never sees a torn report.
 pub fn write_report(dir: &Path, report: &SweepReport) -> io::Result<(PathBuf, PathBuf)> {
     std::fs::create_dir_all(dir)?;
     let json_path = dir.join(format!("{}.json", report.name));
     let csv_path = dir.join(format!("{}.csv", report.name));
-    std::fs::write(&json_path, render_json(report))?;
-    std::fs::write(&csv_path, render_csv(report))?;
+    crate::driver::write_atomic(&json_path, render_json(report))?;
+    crate::driver::write_atomic(&csv_path, render_csv(report))?;
     Ok((json_path, csv_path))
 }
 

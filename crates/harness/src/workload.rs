@@ -158,6 +158,11 @@ pub struct ShardArtifact {
     pub shard_count: usize,
     /// Total runs in the *full* manifest (consistency check at merge).
     pub total_runs: usize,
+    /// Fingerprint of the manifest the shard was cut from, in canonical
+    /// hex ([`crate::manifest::fingerprint_hex`]). A resuming driver (and
+    /// [`AnyWorkload::merge_shards`]) rejects artifacts whose fingerprint
+    /// no longer matches the current grid — the stale-artifact guard.
+    pub fingerprint: String,
     /// This shard's results, in manifest order.
     pub results: Vec<ShardResult>,
 }
@@ -191,6 +196,11 @@ pub trait AnyWorkload: Send + Sync {
 
     /// Runs in the full (quick|full) manifest.
     fn total_runs(&self, quick: bool) -> usize;
+
+    /// Fingerprint of the expanded manifest (see
+    /// [`crate::manifest::Manifest::fingerprint`]): the stamp shard
+    /// artifacts carry so stale ones are detected on resume and merge.
+    fn fingerprint(&self, quick: bool) -> u64;
 
     /// Expands the grid, executes every run across `threads` workers
     /// (`0` = all cores) and renders table + aggregate report.
@@ -235,6 +245,10 @@ impl<W: Workload> AnyWorkload for W {
         self.spec(quick).manifest().len()
     }
 
+    fn fingerprint(&self, quick: bool) -> u64 {
+        self.spec(quick).manifest().fingerprint()
+    }
+
     fn execute(
         &self,
         quick: bool,
@@ -262,6 +276,7 @@ impl<W: Workload> AnyWorkload for W {
             shard_index: shard.index,
             shard_count: shard.count,
             total_runs: manifest.len(),
+            fingerprint: crate::manifest::fingerprint_hex(manifest.fingerprint()),
             results: indices
                 .zip(&outcome.results)
                 .map(|(run_index, report)| ShardResult {
@@ -279,6 +294,7 @@ impl<W: Workload> AnyWorkload for W {
     ) -> Result<WorkloadOutput, MergeError> {
         let manifest = self.spec(quick).manifest();
         let total = manifest.len();
+        let fingerprint = crate::manifest::fingerprint_hex(manifest.fingerprint());
         let mut slots: Vec<Option<W::Report>> = Vec::with_capacity(total);
         slots.resize_with(total, || None);
         let counts: Vec<usize> = artifacts.iter().map(|a| a.shard_count).collect();
@@ -295,6 +311,14 @@ impl<W: Workload> AnyWorkload for W {
                     "artifact was sharded from a {}-run manifest, expected {total} \
                      (quick/full mismatch?)",
                     artifact.total_runs
+                )));
+            }
+            if artifact.fingerprint != fingerprint {
+                return Err(MergeError::msg(format!(
+                    "artifact is stale: fingerprint {} does not match the \
+                     current grid's {fingerprint} (the sweep changed since \
+                     the shard ran)",
+                    artifact.fingerprint
                 )));
             }
             if counts.iter().any(|&c| c != artifact.shard_count) {

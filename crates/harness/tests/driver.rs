@@ -1,0 +1,229 @@
+//! Driver-level tests: resume, retry, permanent failure, atomic writes,
+//! and the deterministic drive-state manifest — exercised with stub shard
+//! "processes" (`sh -c` scripts) so the shard lifecycle is tested without
+//! dragging in a real workload.
+
+use airdnd_harness::{drive, write_atomic, DriveOptions, DriveState, Shard, ShardStatus};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("airdnd-driver-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("can create temp dir");
+    dir
+}
+
+fn opts(dir: &Path, count: usize, retries: usize) -> DriveOptions {
+    DriveOptions {
+        shard_count: count,
+        jobs: 2,
+        retries,
+        state_path: dir.join("drive-state.json"),
+        workloads: vec!["stub".to_owned()],
+        fingerprints: vec!["00000000deadbeef".to_owned()],
+        quick: true,
+    }
+}
+
+/// A stub shard process: touches `shard<i>.ok` in `dir` and exits 0.
+fn touch_command(dir: &Path, shard: Shard) -> Command {
+    let mut cmd = Command::new("sh");
+    cmd.arg("-c")
+        .arg(format!("touch {}/shard{}.ok", dir.display(), shard.index))
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    cmd
+}
+
+fn marker_validate(dir: &Path) -> impl FnMut(Shard) -> Result<(), String> + '_ {
+    move |shard: Shard| {
+        let path = dir.join(format!("shard{}.ok", shard.index));
+        if path.exists() {
+            Ok(())
+        } else {
+            Err(format!("marker {} missing", path.display()))
+        }
+    }
+}
+
+#[test]
+fn drive_runs_every_shard_and_records_done() {
+    let dir = temp_dir("basic");
+    let report = drive(
+        &opts(&dir, 3, 0),
+        |shard, _attempt| touch_command(&dir, shard),
+        marker_validate(&dir),
+        |_| {},
+    )
+    .expect("drive succeeds");
+    assert_eq!(report.shards.len(), 3);
+    assert!(report.shards.iter().all(|s| s.attempts == 1));
+    assert_eq!(report.resumed(), 0);
+    assert_eq!(report.launches(), 3);
+
+    let state = DriveState::parse(
+        &std::fs::read_to_string(dir.join("drive-state.json")).expect("state exists"),
+    )
+    .expect("state parses");
+    assert_eq!(state.shard_count, 3);
+    assert_eq!(state.workloads, vec!["stub".to_owned()]);
+    assert!(state
+        .shards
+        .iter()
+        .all(|s| s.status == ShardStatus::Done { attempts: 1 }));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drive_resumes_shards_whose_artifacts_are_already_valid() {
+    let dir = temp_dir("resume");
+    // Shard 1's marker already exists: the driver must not launch it.
+    std::fs::write(dir.join("shard1.ok"), b"").expect("can seed marker");
+    let report = drive(
+        &opts(&dir, 3, 0),
+        |shard, _attempt| {
+            assert_ne!(shard.index, 1, "completed shard must be skipped");
+            touch_command(&dir, shard)
+        },
+        marker_validate(&dir),
+        |_| {},
+    )
+    .expect("drive succeeds");
+    assert_eq!(report.resumed(), 1);
+    assert_eq!(report.launches(), 2);
+    assert_eq!(report.shards[1].attempts, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drive_retries_a_failing_shard_until_it_succeeds() {
+    let dir = temp_dir("retry");
+    let report = drive(
+        &opts(&dir, 3, 2),
+        |shard, attempt| {
+            // Shard 2 dies on its first attempt, succeeds on the second.
+            if shard.index == 2 && attempt == 0 {
+                let mut cmd = Command::new("sh");
+                cmd.arg("-c").arg("exit 7").stdout(Stdio::null());
+                cmd
+            } else {
+                touch_command(&dir, shard)
+            }
+        },
+        marker_validate(&dir),
+        |_| {},
+    )
+    .expect("drive recovers");
+    assert_eq!(report.shards[2].attempts, 2, "one failure, one retry");
+    assert_eq!(report.shards[0].attempts, 1);
+    assert_eq!(report.launches(), 4);
+
+    let state = DriveState::parse(
+        &std::fs::read_to_string(dir.join("drive-state.json")).expect("state exists"),
+    )
+    .expect("state parses");
+    assert_eq!(state.shards[2].status, ShardStatus::Done { attempts: 2 });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drive_gives_up_after_the_retry_budget_and_reports_the_shard() {
+    let dir = temp_dir("give-up");
+    let err = drive(
+        &opts(&dir, 2, 1),
+        |shard, _attempt| {
+            if shard.index == 0 {
+                let mut cmd = Command::new("sh");
+                cmd.arg("-c").arg("exit 9").stdout(Stdio::null());
+                cmd
+            } else {
+                touch_command(&dir, shard)
+            }
+        },
+        marker_validate(&dir),
+        |_| {},
+    )
+    .expect_err("shard 0 must fail permanently");
+    assert_eq!(err.failed.len(), 1);
+    assert_eq!(err.failed[0].0, 0);
+
+    let state = DriveState::parse(
+        &std::fs::read_to_string(dir.join("drive-state.json")).expect("state exists"),
+    )
+    .expect("state parses");
+    // 1 initial attempt + 1 retry, exit code preserved; shard 1 unaffected.
+    assert_eq!(
+        state.shards[0].status,
+        ShardStatus::Failed {
+            attempts: 2,
+            exit_code: Some(9)
+        }
+    );
+    assert_eq!(state.shards[1].status, ShardStatus::Done { attempts: 1 });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn zero_exit_with_invalid_artifact_still_counts_as_failure() {
+    let dir = temp_dir("lying-exit");
+    // Every process exits 0 but only writes its marker from attempt 1 on:
+    // the driver must trust the validator, not the exit code.
+    let err = drive(
+        &opts(&dir, 1, 0),
+        |_shard, _attempt| {
+            let mut cmd = Command::new("sh");
+            cmd.arg("-c").arg("exit 0").stdout(Stdio::null());
+            cmd
+        },
+        marker_validate(&dir),
+        |_| {},
+    )
+    .expect_err("no artifact, no success");
+    assert_eq!(err.failed.len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn write_atomic_replaces_content_and_leaves_no_tmp_behind() {
+    let dir = temp_dir("atomic");
+    let path = dir.join("artifact.json");
+    write_atomic(&path, "first").expect("writes");
+    assert_eq!(std::fs::read_to_string(&path).expect("reads"), "first");
+    write_atomic(&path, "second").expect("overwrites");
+    assert_eq!(std::fs::read_to_string(&path).expect("reads"), "second");
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .expect("lists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "tmp files must be renamed away");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drive_state_round_trips_and_is_deterministic() {
+    let dir = temp_dir("state-rt");
+    let run = || {
+        // Start each drive from the same blank slate.
+        for index in 0..2 {
+            let _ = std::fs::remove_file(dir.join(format!("shard{index}.ok")));
+        }
+        drive(
+            &opts(&dir, 2, 0),
+            |shard, _| touch_command(&dir, shard),
+            marker_validate(&dir),
+            |_| {},
+        )
+        .expect("succeeds")
+    };
+    // Two identical drives must leave byte-identical final state files.
+    run();
+    let first = std::fs::read_to_string(dir.join("drive-state.json")).expect("state");
+    run();
+    let second = std::fs::read_to_string(dir.join("drive-state.json")).expect("state");
+    assert_eq!(first, second, "final drive state must be deterministic");
+    let parsed = DriveState::parse(&first).expect("parses");
+    assert_eq!(parsed.render(), first, "render∘parse must be identity");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -343,6 +343,30 @@ fn merge_rejects_incomplete_or_inconsistent_shards() {
     assert!(err.to_string().contains("belongs"), "{err}");
 }
 
+/// Shard artifacts are stamped with the manifest fingerprint; a merge must
+/// reject artifacts cut from a grid that has since changed, even when the
+/// run count happens to match — the driver's resume path leans on this.
+#[test]
+fn merge_rejects_stale_fingerprints() {
+    let workload = toy_workload();
+    let fresh = workload.fingerprint(true);
+    assert_eq!(fresh, workload.fingerprint(true), "fingerprint is stable");
+    assert_ne!(
+        fresh,
+        workload.fingerprint(false),
+        "quick and full grids must fingerprint differently"
+    );
+
+    let s0 = workload.execute_shard(true, 1, Shard::new(0, 2), &mut |_| {});
+    let s1 = workload.execute_shard(true, 1, Shard::new(1, 2), &mut |_| {});
+    assert_eq!(s0.fingerprint, airdnd_harness::fingerprint_hex(fresh));
+
+    let mut stale = s0;
+    stale.fingerprint = "00000000deadbeef".to_owned();
+    let err = workload.merge_shards(true, &[stale, s1]).unwrap_err();
+    assert!(err.to_string().contains("stale"), "{err}");
+}
+
 #[test]
 fn reports_survive_the_artifact_round_trip_bitwise() {
     let workload = toy_workload();

@@ -1,0 +1,104 @@
+//! Property-based tests for the shard partition: for *any* manifest size
+//! and shard count, the `shard_range` pieces must be contiguous, balanced
+//! within one run, non-overlapping, and cover every `run_index` exactly
+//! once — the invariants the distributed driver's resume/merge correctness
+//! rests on.
+
+use airdnd_harness::{shard_bounds, Manifest, Shard, SweepSpec};
+use proptest::prelude::*;
+
+/// A manifest with exactly `cells × replicates` runs.
+fn manifest_of(cells: usize, replicates: usize) -> Manifest<u64> {
+    SweepSpec::new(0u64)
+        .axis("cell", 0..cells.max(1) as u64, |cfg, &v| *cfg = v)
+        .replicates(replicates.max(1))
+        .base_seed(7)
+        .manifest()
+}
+
+proptest! {
+    /// The pure split: shards partition `0..total` into contiguous,
+    /// in-order, balanced pieces.
+    #[test]
+    fn shard_bounds_partition_any_total(
+        total in 0usize..500,
+        count in 1usize..16,
+    ) {
+        let mut covered = Vec::new();
+        let mut sizes = Vec::new();
+        for index in 0..count {
+            let range = shard_bounds(total, Shard::new(index, count));
+            // Contiguous and in order: each range starts where the
+            // previous one ended.
+            prop_assert_eq!(range.start, covered.len());
+            sizes.push(range.len());
+            covered.extend(range);
+        }
+        // Every index exactly once, in order.
+        prop_assert_eq!(covered, (0..total).collect::<Vec<_>>());
+        // Balanced: sizes within one run of each other, larger shards first.
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        let min = sizes.iter().copied().min().unwrap_or(0);
+        prop_assert!(max - min <= 1, "unbalanced split: {:?}", sizes);
+        prop_assert!(
+            sizes.windows(2).all(|w| w[0] >= w[1]),
+            "extra runs must go to the leading shards: {:?}",
+            sizes
+        );
+    }
+
+    /// The same invariants through a real expanded manifest: every run
+    /// (and its seed and run_index) lands in exactly one shard, unchanged.
+    #[test]
+    fn manifest_shards_cover_every_run_exactly_once(
+        cells in 1usize..20,
+        replicates in 1usize..5,
+        count in 1usize..12,
+    ) {
+        let manifest = manifest_of(cells, replicates);
+        let mut seen = vec![0usize; manifest.len()];
+        for index in 0..count {
+            let shard = Shard::new(index, count);
+            prop_assert_eq!(
+                manifest.shard_range(shard),
+                shard_bounds(manifest.len(), shard)
+            );
+            for (offset, plan) in manifest.shard_runs(shard).iter().enumerate() {
+                let global = manifest.shard_range(shard).start + offset;
+                // Slicing preserves global identity: index and seed.
+                prop_assert_eq!(plan.run_index, global);
+                prop_assert_eq!(plan.seed, manifest.runs[global].seed);
+                seen[global] += 1;
+            }
+        }
+        prop_assert!(
+            seen.iter().all(|&n| n == 1),
+            "every run exactly once, got {:?}",
+            seen
+        );
+    }
+
+    /// Fingerprints are stable under re-expansion and change whenever the
+    /// grid meaningfully changes (size, base seed) — the property the
+    /// driver's stale-artifact detection depends on.
+    #[test]
+    fn fingerprints_track_the_grid(
+        cells in 1usize..20,
+        replicates in 1usize..5,
+    ) {
+        let manifest = manifest_of(cells, replicates);
+        prop_assert_eq!(
+            manifest.fingerprint(),
+            manifest_of(cells, replicates).fingerprint(),
+            "same grid, same fingerprint"
+        );
+        let grown = manifest_of(cells + 1, replicates);
+        prop_assert_ne!(manifest.fingerprint(), grown.fingerprint());
+        let reseeded = SweepSpec::new(0u64)
+            .axis("cell", 0..cells as u64, |cfg, &v| *cfg = v)
+            .replicates(replicates)
+            .base_seed(8)
+            .manifest();
+        prop_assert_ne!(manifest.fingerprint(), reseeded.fingerprint());
+    }
+}
