@@ -1,0 +1,25 @@
+//! World-generation benchmarks: the per-run cost generated workloads add
+//! on top of the scenario itself (map synthesis + occlusion derivation +
+//! placement). Generation happens inside every G1/G2 run, so this is the
+//! overhead the harness pays per manifest entry.
+
+use airdnd_scenario::ScenarioConfig;
+use airdnd_worldgen::{families, FleetProfile};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_worldgen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worldgen");
+    let cfg = ScenarioConfig::default().seeded(42);
+    let profile = FleetProfile::dense();
+    for family in families() {
+        group.bench_with_input(
+            BenchmarkId::new("instantiate", family.name),
+            &family.kind,
+            |b, kind| b.iter(|| black_box(kind.instantiate(black_box(&cfg), &profile))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_worldgen);
+criterion_main!(benches);

@@ -65,6 +65,7 @@ struct Args {
     inject_torn: Vec<usize>,
     fail_after: Option<usize>,
     torn: bool,
+    trace: Option<usize>,
     names: Vec<String>,
 }
 
@@ -86,6 +87,7 @@ fn parse_args() -> Args {
             .ok()
             .and_then(|v| v.parse().ok()),
         torn: std::env::var("AIRDND_SWEEP_TORN").is_ok(),
+        trace: None,
         names: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -123,6 +125,7 @@ fn parse_args() -> Args {
                 None => usage_error("--inject-torn needs a shard index"),
             },
             "--fail-after" => args.fail_after = Some(numeric_value(&mut it, "--fail-after")),
+            "--trace" => args.trace = Some(numeric_value(&mut it, "--trace")),
             "--torn" => args.torn = true,
             "--quick" | "quick" => args.quick = true,
             "--bench" => args.bench = true,
@@ -141,6 +144,14 @@ fn parse_args() -> Args {
     }
     if args.drive && (args.shard.is_some() || !args.merge.is_empty()) {
         usage_error("drive already shards and merges; drop --shard/--merge");
+    }
+    if args.trace.is_some()
+        && (args.drive || args.bench || args.shard.is_some() || !args.merge.is_empty())
+    {
+        usage_error("--trace is a single-run debug mode; drop drive/--bench/--shard/--merge");
+    }
+    if args.trace == Some(0) {
+        usage_error("--trace needs a positive entry capacity");
     }
     if args.drive && args.shards == 0 {
         usage_error("drive needs --shards >= 1");
@@ -165,10 +176,12 @@ fn numeric_value(it: &mut impl Iterator<Item = String>, flag: &str) -> usize {
 fn usage() -> String {
     format!(
         "usage: sweep [--threads N] [--quick] [--out DIR] [--bench]\n\
-         \x20            [--shard I/N] [--merge DIR]... [names...]\n\
+         \x20            [--shard I/N] [--merge DIR]... [--trace N] [names...]\n\
          \x20      sweep drive --shards N [--jobs J] [--retries R] [--quick]\n\
          \x20            [--out DIR] [names...]\n\
          names: {}\n\
+         --trace N runs each named workload's first run with a bounded\n\
+         event trace (N entries) and dumps it to stderr;\n\
          --shard runs one slice and writes a mergeable artifact to --out;\n\
          --merge (repeatable) reassembles artifacts byte-identically;\n\
          drive spawns the shards as subprocesses (bounded by --jobs),\n\
@@ -207,7 +220,10 @@ fn main() {
     }
     std::fs::create_dir_all(&args.out).expect("can create the output directory");
     let started = Instant::now();
-    let mode = if args.drive {
+    let mode = if let Some(capacity) = args.trace {
+        run_trace(&args, capacity);
+        format!("trace ({capacity} entries)")
+    } else if args.drive {
         run_drive(&args);
         format!("drive ({} shards)", args.shards)
     } else if let Some(shard) = args.shard {
@@ -225,6 +241,26 @@ fn main() {
         started.elapsed().as_secs_f64(),
         if args.quick { "quick" } else { "full" }
     );
+}
+
+/// `--trace N`: the debug lens. Executes only the *first* manifest run of
+/// each selected workload with the engine's bounded trace enabled and
+/// dumps the recorded protocol events to stderr — generated worlds are
+/// hard to eyeball, so this is how you watch one run happen. Writes no
+/// artifacts and prints nothing to stdout.
+fn run_trace(args: &Args, capacity: usize) {
+    for workload in selected(&args.names) {
+        match workload.trace_first_run(args.quick, capacity) {
+            Some(trace) => {
+                eprintln!(
+                    "[{}] trace of run 0 ({capacity} entry cap):",
+                    workload.name()
+                );
+                eprint!("{trace}");
+            }
+            None => eprintln!("[{}] workload has no trace support", workload.name()),
+        }
+    }
 }
 
 /// Default mode: execute each selected workload completely, print its
@@ -579,5 +615,52 @@ fn bench_snapshot(threads: usize) {
         serde_json::to_string_pretty(&snapshot).expect("serializes") + "\n",
     )
     .expect("can write BENCH_harness.json");
+    println!("wrote {path}");
+    worldgen_snapshot();
+}
+
+/// Emits `BENCH_worldgen.json`: the per-run world-generation overhead the
+/// generated workloads (G1/G2) pay — map synthesis, occlusion derivation
+/// and placement per family — plus one quick G1 sweep for scale.
+fn worldgen_snapshot() {
+    use airdnd_scenario::ScenarioConfig;
+    use airdnd_worldgen::{families, FleetProfile};
+    use serde_json::json;
+
+    let cfg = ScenarioConfig::default().seeded(42);
+    let profile = FleetProfile::dense();
+    let mut per_family = Vec::new();
+    for family in families() {
+        // Warm up once, then time a fixed batch.
+        let _ = family.kind.instantiate(&cfg, &profile);
+        let iters = 200u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(family.kind.instantiate(&cfg, &profile));
+        }
+        let elapsed = start.elapsed();
+        per_family.push(json!({
+            "family": family.name,
+            "instantiate_us": elapsed.as_secs_f64() * 1e6 / f64::from(iters),
+        }));
+    }
+    let g1 = workloads::find("g1").expect("g1 registered");
+    let start = Instant::now();
+    let _ = g1.execute(true, 1, &mut |_| {});
+    let g1_wall = start.elapsed();
+    let snapshot = json!({
+        "description": "world-generation overhead per family (map synthesis + occlusion derivation + placement) and quick G1 wall clock",
+        "instantiate": per_family,
+        "g1_quick": json!({
+            "runs": g1.total_runs(true),
+            "sequential_ms": g1_wall.as_secs_f64() * 1e3,
+        }),
+    });
+    let path = "BENCH_worldgen.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&snapshot).expect("serializes") + "\n",
+    )
+    .expect("can write BENCH_worldgen.json");
     println!("wrote {path}");
 }

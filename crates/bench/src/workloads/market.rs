@@ -255,6 +255,7 @@ pub fn t6() -> MarketWorkload {
         run,
         metrics: market_metrics,
         tabulate: t6_tabulate,
+        trace: None,
     }
 }
 
@@ -327,6 +328,7 @@ pub fn f12() -> MarketWorkload {
         run,
         metrics: market_metrics,
         tabulate: f12_tabulate,
+        trace: None,
     }
 }
 

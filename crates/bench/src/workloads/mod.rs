@@ -20,6 +20,7 @@ pub mod market;
 pub mod nfv;
 pub mod scenario;
 pub mod selection;
+pub mod worldgen;
 
 use airdnd_harness::{AnyWorkload, ExperimentResult, Progress};
 
@@ -50,6 +51,8 @@ pub fn registry() -> Vec<Box<dyn AnyWorkload>> {
         Box::new(selection::f10()),
         Box::new(nfv::t11()),
         Box::new(market::f12()),
+        Box::new(worldgen::g1()),
+        Box::new(worldgen::g2()),
     ]
 }
 
@@ -81,7 +84,10 @@ mod tests {
         let names = names();
         assert_eq!(
             names,
-            ["f1", "f2", "f3", "f4", "t5", "t6", "f7", "f8", "t9", "f10", "t11", "f12"]
+            [
+                "f1", "f2", "f3", "f4", "t5", "t6", "f7", "f8", "t9", "f10", "t11", "f12", "g1",
+                "g2"
+            ]
         );
         for name in &names {
             assert!(find(name).is_some());

@@ -50,6 +50,7 @@ pub fn t11() -> NfvWorkload {
         run,
         metrics: t11_metrics,
         tabulate: t11_tabulate,
+        trace: None,
     }
 }
 

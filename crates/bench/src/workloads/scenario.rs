@@ -61,6 +61,12 @@ fn run(plan: &airdnd_harness::RunPlan<ScenarioConfig>) -> ScenarioReport {
     run_scenario(plan.config)
 }
 
+/// The `sweep --trace N` hook shared by every scenario-backed workload:
+/// one run with the engine's bounded trace enabled.
+fn trace_scenario(plan: &airdnd_harness::RunPlan<ScenarioConfig>, capacity: usize) -> String {
+    airdnd_scenario::run_scenario_traced(plan.config, capacity).1
+}
+
 /// Mean over the present values of an optional per-run metric (`None`
 /// when no replicate observed it).
 fn mean_opt(results: &[ScenarioReport], f: impl Fn(&ScenarioReport) -> Option<f64>) -> Option<f64> {
@@ -83,6 +89,7 @@ pub fn f1() -> ScenarioWorkload {
         run,
         metrics: scenario_metrics,
         tabulate: f1_tabulate,
+        trace: Some(trace_scenario),
     }
 }
 
@@ -144,6 +151,7 @@ pub fn f2() -> ScenarioWorkload {
         run,
         metrics: scenario_metrics,
         tabulate: f2_tabulate,
+        trace: Some(trace_scenario),
     }
 }
 
@@ -215,6 +223,7 @@ pub fn f3() -> ScenarioWorkload {
         run,
         metrics: scenario_metrics,
         tabulate: f3_tabulate,
+        trace: Some(trace_scenario),
     }
 }
 
@@ -279,6 +288,7 @@ pub fn f4() -> ScenarioWorkload {
         run,
         metrics: scenario_metrics,
         tabulate: f4_tabulate,
+        trace: Some(trace_scenario),
     }
 }
 
@@ -345,6 +355,7 @@ pub fn t5() -> ScenarioWorkload {
         run,
         metrics: scenario_metrics,
         tabulate: t5_tabulate,
+        trace: Some(trace_scenario),
     }
 }
 
@@ -450,6 +461,7 @@ pub fn f7() -> ScenarioWorkload {
         run,
         metrics: scenario_metrics,
         tabulate: f7_tabulate,
+        trace: Some(trace_scenario),
     }
 }
 
@@ -520,6 +532,7 @@ pub fn f8() -> ScenarioWorkload {
         run,
         metrics: scenario_metrics,
         tabulate: f8_tabulate,
+        trace: Some(trace_scenario),
     }
 }
 
@@ -569,6 +582,7 @@ pub fn t9() -> ScenarioWorkload {
         run,
         metrics: scenario_metrics,
         tabulate: t9_tabulate,
+        trace: Some(trace_scenario),
     }
 }
 

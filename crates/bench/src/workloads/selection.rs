@@ -53,6 +53,7 @@ pub fn f10() -> SelectionWorkload {
         run,
         metrics: f10_metrics,
         tabulate: f10_tabulate,
+        trace: None,
     }
 }
 

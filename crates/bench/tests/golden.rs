@@ -70,3 +70,17 @@ fn f2_quick_artifacts_match_golden() {
 fn t6_quick_artifacts_match_golden() {
     check_workload("t6");
 }
+
+/// G1, the generated-world representative: strategy × family × density
+/// over procedurally generated maps with derived occlusion grids.
+#[test]
+fn g1_quick_artifacts_match_golden() {
+    check_workload("g1");
+}
+
+/// G2, the churn × demand representative: generated grid with parked
+/// anchors under varying query patterns.
+#[test]
+fn g2_quick_artifacts_match_golden() {
+    check_workload("g2");
+}

@@ -1,0 +1,63 @@
+//! Determinism of the generated-world workloads through the harness: the
+//! same-seed generated world must yield byte-identical artifacts across
+//! thread counts and shard splits — world generation happens *inside*
+//! each run, so scheduling and process placement must not leak into it.
+
+use airdnd_bench::workloads;
+use airdnd_harness::{parse_shard, render_csv, render_json, render_shard, Shard};
+
+/// `threads = 1` and `threads = 4` produce byte-identical tables and
+/// JSON/CSV artifacts for both generated workloads.
+#[test]
+fn generated_sweeps_are_thread_count_invariant() {
+    for name in ["g1", "g2"] {
+        let workload = workloads::find(name).expect("registered");
+        let seq = workload.execute(true, 1, &mut |_| {});
+        let par = workload.execute(true, 4, &mut |_| {});
+        assert_eq!(
+            seq.result.table.render(),
+            par.result.table.render(),
+            "{name}: table differs across thread counts"
+        );
+        assert_eq!(
+            render_json(&seq.aggregate),
+            render_json(&par.aggregate),
+            "{name}: JSON artifact differs across thread counts"
+        );
+        assert_eq!(
+            render_csv(&seq.aggregate),
+            render_csv(&par.aggregate),
+            "{name}: CSV artifact differs across thread counts"
+        );
+    }
+}
+
+/// A 2-way shard split of G1, serialized through the JSON artifact
+/// boundary and merged in reverse order, reproduces the unsharded run
+/// byte for byte — generated worlds survive process hops.
+#[test]
+fn generated_sweep_shards_merge_byte_identically() {
+    let workload = workloads::find("g1").expect("registered");
+    let unsharded = workload.execute(true, 2, &mut |_| {});
+    let mut artifacts = Vec::new();
+    for index in 0..2 {
+        let artifact = workload.execute_shard(true, 2, Shard::new(index, 2), &mut |_| {});
+        artifacts.push(parse_shard(&render_shard(&artifact)).expect("artifact round-trips"));
+    }
+    artifacts.reverse();
+    let merged = workload
+        .merge_shards(true, &artifacts)
+        .expect("shards merge");
+    assert_eq!(
+        unsharded.result.table.render(),
+        merged.result.table.render()
+    );
+    assert_eq!(
+        render_json(&unsharded.aggregate),
+        render_json(&merged.aggregate)
+    );
+    assert_eq!(
+        render_csv(&unsharded.aggregate),
+        render_csv(&merged.aggregate)
+    );
+}

@@ -216,6 +216,54 @@ impl RoadNetwork {
         net
     }
 
+    /// Designates `arms` as this network's portal nodes (the spawn/goal
+    /// endpoints [`RoadNetwork::approach_node`] / [`RoadNetwork::exit_node`]
+    /// hand out). Generators call this after wiring their lanes; the
+    /// canonical constructors set their own arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id does not belong to this network.
+    pub fn set_arms(&mut self, arms: Vec<NodeId>) {
+        for &arm in &arms {
+            assert!(arm.index() < self.positions.len(), "unknown arm {arm}");
+        }
+        self.arms = arms;
+    }
+
+    /// Every directed lane as `(from, to, length, speed_limit)`, in
+    /// adjacency order — the raw edge list generators and invariant tests
+    /// iterate.
+    pub fn lanes(&self) -> impl Iterator<Item = (NodeId, NodeId, f64, f64)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(from, lanes)| {
+            lanes
+                .iter()
+                .map(move |lane| (NodeId(from as u32), lane.to, lane.length, lane.speed_limit))
+        })
+    }
+
+    /// The lanes leaving `id` as `(to, length, speed_limit)`, in insertion
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this network.
+    pub fn lanes_from(&self, id: NodeId) -> impl Iterator<Item = (NodeId, f64, f64)> + '_ {
+        self.adjacency[id.index()]
+            .iter()
+            .map(|lane| (lane.to, lane.length, lane.speed_limit))
+    }
+
+    /// Number of lanes leaving `id` (the node's out-degree); nodes with
+    /// three or more are junctions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this network.
+    pub fn out_degree(&self, id: NodeId) -> usize {
+        self.adjacency[id.index()].len()
+    }
+
     /// The entry endpoint of intersection arm `i` (see
     /// [`RoadNetwork::four_way_intersection`] for arm numbering).
     ///
@@ -241,16 +289,23 @@ impl RoadNetwork {
         self.arms.len()
     }
 
-    /// Shortest route (by free-flow travel time) from `from` to `to`, or
-    /// `None` if unreachable or either id is unknown.
-    pub fn route(&self, from: NodeId, to: NodeId) -> Option<Route> {
+    /// The node sequence of the shortest route (by free-flow travel time)
+    /// from `from` to `to`, or `None` if unreachable or either id is
+    /// unknown. The occlusion-derivation pass walks this to find the
+    /// junctions an ego traverses.
+    pub fn node_path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
         let n = self.positions.len();
         if from.index() >= n || to.index() >= n {
             return None;
         }
         if from == to {
-            return Some(Route::from_points(vec![self.position(from)], vec![]));
+            return Some(vec![from]);
         }
+        self.dijkstra_ids(from, to)
+    }
+
+    fn dijkstra_ids(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        let n = self.positions.len();
         let mut dist = vec![f64::INFINITY; n];
         let mut prev: Vec<Option<NodeId>> = vec![None; n];
         let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
@@ -283,6 +338,20 @@ impl RoadNetwork {
             }
         }
         ids.reverse();
+        Some(ids)
+    }
+
+    /// Shortest route (by free-flow travel time) from `from` to `to`, or
+    /// `None` if unreachable or either id is unknown.
+    pub fn route(&self, from: NodeId, to: NodeId) -> Option<Route> {
+        let n = self.positions.len();
+        if from.index() >= n || to.index() >= n {
+            return None;
+        }
+        if from == to {
+            return Some(Route::from_points(vec![self.position(from)], vec![]));
+        }
+        let ids = self.dijkstra_ids(from, to)?;
         let points: Vec<Vec2> = ids.iter().map(|&id| self.position(id)).collect();
         let speeds: Vec<f64> = ids
             .windows(2)

@@ -70,6 +70,15 @@ pub trait Workload: Send + Sync {
         manifest: &Manifest<Self::Config>,
         results: &[Self::Report],
     ) -> ExperimentResult;
+
+    /// Debug lens: executes one run with a bounded event trace enabled and
+    /// returns the formatted trace, or `None` when the workload has no
+    /// trace support (the default). Used by `sweep --trace N`; never part
+    /// of the deterministic artifact path.
+    fn trace_run(&self, plan: &RunPlan<Self::Config>, capacity: usize) -> Option<String> {
+        let _ = (plan, capacity);
+        None
+    }
 }
 
 /// A [`Workload`] assembled from plain function pointers — the common
@@ -88,6 +97,8 @@ pub struct FnWorkload<C, R> {
     pub metrics: fn(&R) -> Vec<(&'static str, f64)>,
     /// Renders the table and plot series.
     pub tabulate: fn(&Manifest<C>, &[R]) -> ExperimentResult,
+    /// Optional debug hook: one traced run (see [`Workload::trace_run`]).
+    pub trace: Option<fn(&RunPlan<C>, usize) -> String>,
 }
 
 impl<C, R> Workload for FnWorkload<C, R>
@@ -120,6 +131,10 @@ where
 
     fn tabulate(&self, manifest: &Manifest<C>, results: &[R]) -> ExperimentResult {
         (self.tabulate)(manifest, results)
+    }
+
+    fn trace_run(&self, plan: &RunPlan<C>, capacity: usize) -> Option<String> {
+        self.trace.map(|trace| trace(plan, capacity))
     }
 }
 
@@ -230,6 +245,11 @@ pub trait AnyWorkload: Send + Sync {
         quick: bool,
         artifacts: &[ShardArtifact],
     ) -> Result<WorkloadOutput, MergeError>;
+
+    /// Executes the manifest's first run with a bounded event trace and
+    /// returns the formatted entries, or `None` when the workload has no
+    /// trace support (see [`Workload::trace_run`]).
+    fn trace_first_run(&self, quick: bool, capacity: usize) -> Option<String>;
 }
 
 impl<W: Workload> AnyWorkload for W {
@@ -355,6 +375,12 @@ impl<W: Workload> AnyWorkload for W {
             }
         }
         Ok(finish(self, &manifest, &results))
+    }
+
+    fn trace_first_run(&self, quick: bool, capacity: usize) -> Option<String> {
+        let manifest = self.spec(quick).manifest();
+        let plan = manifest.runs.first()?;
+        self.trace_run(plan, capacity)
     }
 }
 

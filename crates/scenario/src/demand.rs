@@ -1,0 +1,181 @@
+//! Spatially and temporally varying perception-demand patterns.
+//!
+//! The canonical scenario issues a perception task on a fixed period
+//! ([`DemandProfile::Steady`]). Generated scenarios stress the
+//! orchestration layer with non-uniform demand: rush-hour ramps (the
+//! period tightens inside a peak window), bursty query trains, and a
+//! spatial hotspot (the ego queries densely only near a location of
+//! interest). All profiles are pure functions of `(tick, config,
+//! position)` — no RNG — so they preserve the determinism contract.
+
+use airdnd_geo::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// When the ego issues perception tasks.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DemandProfile {
+    /// One task every `task_every_ticks` ticks — the canonical pattern.
+    Steady,
+    /// Rush hour: inside the peak window (fractions of the simulated
+    /// duration) the period divides by `peak_divisor`.
+    RushHour {
+        /// Peak start as a fraction of the run, in `[0, 1]`.
+        peak_start: f64,
+        /// Peak end as a fraction of the run, in `[0, 1]`.
+        peak_end: f64,
+        /// Period divisor inside the peak (≥ 1).
+        peak_divisor: u32,
+    },
+    /// Query trains: every tick for `burst_ticks`, then silence for
+    /// `idle_ticks`.
+    Bursty {
+        /// Ticks of back-to-back queries per cycle.
+        burst_ticks: u32,
+        /// Quiet ticks per cycle.
+        idle_ticks: u32,
+    },
+    /// Spatial hotspot: the base period applies within `radius` metres of
+    /// `(x, y)`; elsewhere it stretches by `cold_multiplier`.
+    Hotspot {
+        /// Hotspot centre x, metres.
+        x: f64,
+        /// Hotspot centre y, metres.
+        y: f64,
+        /// Hotspot radius, metres.
+        radius: f64,
+        /// Period multiplier outside the hotspot (≥ 1).
+        cold_multiplier: u32,
+    },
+}
+
+impl DemandProfile {
+    /// Table label for sweep axes.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DemandProfile::Steady => "steady",
+            DemandProfile::RushHour { .. } => "rush-hour",
+            DemandProfile::Bursty { .. } => "bursty",
+            DemandProfile::Hotspot { .. } => "hotspot",
+        }
+    }
+
+    /// Whether a task is due at `tick`. `every` is the configured base
+    /// period in ticks, `progress` the fraction of the run elapsed, and
+    /// `ego_pos` the ego's position. The first 10 ticks are always a
+    /// warm-up (mesh formation), matching the historical behaviour.
+    pub fn due(&self, tick: u64, every: u32, progress: f64, ego_pos: Vec2) -> bool {
+        if tick <= 10 {
+            return false;
+        }
+        let every = u64::from(every.max(1));
+        match *self {
+            DemandProfile::Steady => tick.is_multiple_of(every),
+            DemandProfile::RushHour {
+                peak_start,
+                peak_end,
+                peak_divisor,
+            } => {
+                let period = if progress >= peak_start && progress < peak_end {
+                    (every / u64::from(peak_divisor.max(1))).max(1)
+                } else {
+                    every
+                };
+                tick.is_multiple_of(period)
+            }
+            DemandProfile::Bursty {
+                burst_ticks,
+                idle_ticks,
+            } => {
+                let cycle = u64::from(burst_ticks.max(1)) + u64::from(idle_ticks);
+                tick % cycle < u64::from(burst_ticks.max(1))
+            }
+            DemandProfile::Hotspot {
+                x,
+                y,
+                radius,
+                cold_multiplier,
+            } => {
+                let period = if ego_pos.distance(Vec2::new(x, y)) <= radius {
+                    every
+                } else {
+                    every * u64::from(cold_multiplier.max(1))
+                };
+                tick.is_multiple_of(period)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_matches_the_historical_pattern() {
+        let d = DemandProfile::Steady;
+        for tick in 0..200u64 {
+            let legacy = tick % 5 == 0 && tick > 10;
+            assert_eq!(d.due(tick, 5, 0.0, Vec2::ZERO), legacy, "tick {tick}");
+        }
+    }
+
+    #[test]
+    fn rush_hour_tightens_inside_the_peak() {
+        let d = DemandProfile::RushHour {
+            peak_start: 0.4,
+            peak_end: 0.6,
+            peak_divisor: 5,
+        };
+        // Off-peak: base period 10.
+        assert!(!d.due(15, 10, 0.1, Vec2::ZERO));
+        assert!(d.due(20, 10, 0.1, Vec2::ZERO));
+        // Peak: every 2 ticks.
+        assert!(d.due(50, 10, 0.5, Vec2::ZERO));
+        assert!(d.due(52, 10, 0.5, Vec2::ZERO));
+        assert!(!d.due(51, 10, 0.5, Vec2::ZERO));
+    }
+
+    #[test]
+    fn bursts_alternate_with_silence() {
+        let d = DemandProfile::Bursty {
+            burst_ticks: 3,
+            idle_ticks: 7,
+        };
+        // Cycle of 10: ticks 20..23 fire, 23..30 silent.
+        assert!(d.due(20, 5, 0.0, Vec2::ZERO));
+        assert!(d.due(22, 5, 0.0, Vec2::ZERO));
+        assert!(!d.due(23, 5, 0.0, Vec2::ZERO));
+        assert!(!d.due(29, 5, 0.0, Vec2::ZERO));
+        assert!(d.due(30, 5, 0.0, Vec2::ZERO));
+    }
+
+    #[test]
+    fn hotspot_stretches_the_cold_period() {
+        let d = DemandProfile::Hotspot {
+            x: 0.0,
+            y: 0.0,
+            radius: 50.0,
+            cold_multiplier: 4,
+        };
+        let near = Vec2::new(10.0, 0.0);
+        let far = Vec2::new(500.0, 0.0);
+        assert!(d.due(15, 5, 0.0, near));
+        assert!(!d.due(15, 5, 0.0, far));
+        assert!(d.due(20, 5, 0.0, far));
+    }
+
+    #[test]
+    fn warmup_always_quiet() {
+        for profile in [
+            DemandProfile::Steady,
+            DemandProfile::Bursty {
+                burst_ticks: 5,
+                idle_ticks: 0,
+            },
+        ] {
+            for tick in 0..=10 {
+                assert!(!profile.due(tick, 1, 0.0, Vec2::ZERO));
+            }
+        }
+    }
+}

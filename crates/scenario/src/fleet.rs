@@ -23,6 +23,30 @@ pub struct Vehicle {
     fixed_arm: Option<usize>,
 }
 
+/// Placement the generated worlds layer on top of the mobile fleet:
+/// which portal the ego enters from, parked/RSU helper positions, and how
+/// widely spawn times scatter along the approach.
+#[derive(Clone, Debug)]
+pub struct FleetLayout {
+    /// Arm/portal index the ego enters (and re-enters) from.
+    pub ego_arm: usize,
+    /// Fixed helper positions (parked cars / roadside units). Appended
+    /// after the mobile fleet, so an empty list leaves spawning untouched.
+    pub parked: Vec<Vec2>,
+    /// Spawn-scatter window, seconds of warmup drawn per vehicle.
+    pub arrival_window_s: f64,
+}
+
+impl Default for FleetLayout {
+    fn default() -> Self {
+        FleetLayout {
+            ego_arm: 0,
+            parked: Vec::new(),
+            arrival_window_s: 20.0,
+        }
+    }
+}
+
 impl Vehicle {
     fn fresh_route(world: &ScenarioWorld, rng: &mut SimRng, from_arm: usize) -> (Mobility, usize) {
         let arms = world.net.arm_count();
@@ -51,11 +75,12 @@ impl Vehicle {
         sensor_range: f64,
         orch: OrchestratorConfig,
         mesh: MeshConfig,
+        arrival_window_s: f64,
         mut rng: SimRng,
     ) -> Self {
         let (mut mobility, exit) = Self::fresh_route(world, &mut rng, arm);
         // Scatter along the approach so the fleet is not bunched at spawn.
-        let warmup = rng.gen_range(0.0..20.0);
+        let warmup = rng.gen_range(0.0..arrival_window_s.max(1e-9));
         mobility.step(warmup);
         let node_rng = rng.fork(addr.raw());
         let node = OrchestratorNode::new(addr, orch, mesh, gas_rate, 1 << 30, node_rng);
@@ -65,6 +90,30 @@ impl Vehicle {
             sensor_range,
             rng,
             current_exit: exit,
+            fixed_arm: None,
+        }
+    }
+
+    /// Creates a parked vehicle / roadside unit: a full orchestrator node
+    /// that never moves. Parked helpers give generated scenarios stable
+    /// mesh anchors near the occluded corridor.
+    pub fn parked(
+        pos: Vec2,
+        addr: NodeAddr,
+        gas_rate: u64,
+        sensor_range: f64,
+        orch: OrchestratorConfig,
+        mesh: MeshConfig,
+        rng: SimRng,
+    ) -> Self {
+        let node_rng = rng.fork(addr.raw());
+        let node = OrchestratorNode::new(addr, orch, mesh, gas_rate, 1 << 30, node_rng);
+        Vehicle {
+            node,
+            mobility: Mobility::fixed(pos),
+            sensor_range,
+            rng,
+            current_exit: 0,
             fixed_arm: None,
         }
     }
@@ -106,9 +155,12 @@ pub struct Fleet {
 }
 
 impl Fleet {
-    /// Spawns `count` vehicles with heterogeneous ECUs drawn from
-    /// `gas_rate_range`; a `byzantine_fraction` of helpers corrupt
-    /// results.
+    /// Spawns `count` mobile vehicles with heterogeneous ECUs drawn from
+    /// `gas_rate_range`, plus the layout's parked helpers; a
+    /// `byzantine_fraction` of mobile helpers corrupt results. The ego
+    /// (index 0) enters from `layout.ego_arm`; parked units are appended
+    /// after the mobile fleet so the default layout reproduces the
+    /// historical spawn byte for byte.
     #[allow(clippy::too_many_arguments)] // one knob per ScenarioConfig field
     pub fn spawn(
         world: &ScenarioWorld,
@@ -118,17 +170,25 @@ impl Fleet {
         byzantine_fraction: f64,
         orch: OrchestratorConfig,
         mesh: MeshConfig,
+        layout: &FleetLayout,
         rng: &mut SimRng,
     ) -> Self {
         assert!(count >= 1, "need at least the ego vehicle");
-        let mut vehicles = Vec::with_capacity(count);
-        for i in 0..count {
-            let arm = if i == 0 { 0 } else { i % world.net.arm_count() };
-            let gas_rate = if gas_rate_range.1 > gas_rate_range.0 {
+        let draw_gas = |rng: &mut SimRng| {
+            if gas_rate_range.1 > gas_rate_range.0 {
                 rng.gen_range(gas_rate_range.0..=gas_rate_range.1)
             } else {
                 gas_rate_range.0
+            }
+        };
+        let mut vehicles = Vec::with_capacity(count + layout.parked.len());
+        for i in 0..count {
+            let arm = if i == 0 {
+                layout.ego_arm
+            } else {
+                i % world.net.arm_count()
             };
+            let gas_rate = draw_gas(rng);
             let addr = NodeAddr::new(i as u64 + 1);
             let mut vehicle = Vehicle::spawn(
                 world,
@@ -138,14 +198,28 @@ impl Fleet {
                 sensor_range,
                 orch,
                 mesh,
+                layout.arrival_window_s,
                 rng.fork(1000 + i as u64),
             );
             if i == 0 {
-                vehicle.pin_entry_arm(0);
+                vehicle.pin_entry_arm(layout.ego_arm);
             } else if rng.next_f64() < byzantine_fraction {
                 vehicle.node.executor_mut().set_byzantine(true);
             }
             vehicles.push(vehicle);
+        }
+        for (k, &pos) in layout.parked.iter().enumerate() {
+            let gas_rate = draw_gas(rng);
+            let addr = NodeAddr::new((count + k) as u64 + 1);
+            vehicles.push(Vehicle::parked(
+                pos,
+                addr,
+                gas_rate,
+                sensor_range,
+                orch,
+                mesh,
+                rng.fork(2000 + k as u64),
+            ));
         }
         Fleet { vehicles }
     }
@@ -189,6 +263,7 @@ mod tests {
             0.0,
             OrchestratorConfig::default(),
             MeshConfig::default(),
+            &FleetLayout::default(),
             &mut rng,
         );
         assert_eq!(fleet.len(), 10);
@@ -213,6 +288,7 @@ mod tests {
             0.0,
             OrchestratorConfig::default(),
             MeshConfig::default(),
+            &FleetLayout::default(),
             &mut rng,
         );
         let start: Vec<Vec2> = fleet.vehicles.iter().map(Vehicle::pos).collect();
@@ -241,6 +317,7 @@ mod tests {
             1.0, // every helper byzantine
             OrchestratorConfig::default(),
             MeshConfig::default(),
+            &FleetLayout::default(),
             &mut rng,
         );
         assert!(
@@ -252,6 +329,74 @@ mod tests {
             .filter(|v| v.node.executor().is_byzantine())
             .count();
         assert_eq!(byz, 19);
+    }
+
+    #[test]
+    fn parked_helpers_append_after_the_mobile_fleet() {
+        let world = stage();
+        let mut rng = SimRng::seed_from(5);
+        let layout = FleetLayout {
+            parked: vec![Vec2::new(60.0, 10.0), Vec2::new(90.0, -10.0)],
+            ..FleetLayout::default()
+        };
+        let mut fleet = Fleet::spawn(
+            &world,
+            4,
+            (1_000_000, 1_000_000),
+            120.0,
+            0.0,
+            OrchestratorConfig::default(),
+            MeshConfig::default(),
+            &layout,
+            &mut rng,
+        );
+        assert_eq!(fleet.len(), 6);
+        // Addresses stay dense, so index_of still works for parked units.
+        for (i, v) in fleet.vehicles.iter().enumerate() {
+            assert_eq!(fleet.index_of(v.node.addr()), Some(i));
+        }
+        // Parked units never move, even across many steps.
+        for _ in 0..100 {
+            for v in &mut fleet.vehicles {
+                v.step(&world, 0.1);
+            }
+        }
+        assert_eq!(fleet.vehicles[4].pos(), Vec2::new(60.0, 10.0));
+        assert_eq!(fleet.vehicles[5].pos(), Vec2::new(90.0, -10.0));
+        assert_eq!(fleet.vehicles[5].velocity(), Vec2::ZERO);
+    }
+
+    /// An empty layout must not perturb the historical spawn: the mobile
+    /// fleet draws the same randomness whether or not the layout exists.
+    #[test]
+    fn default_layout_reproduces_the_plain_spawn() {
+        let world = stage();
+        let spawn = |layout: &FleetLayout| {
+            let mut rng = SimRng::seed_from(11);
+            Fleet::spawn(
+                &world,
+                6,
+                (500_000, 2_000_000),
+                120.0,
+                0.0,
+                OrchestratorConfig::default(),
+                MeshConfig::default(),
+                layout,
+                &mut rng,
+            )
+            .vehicles
+            .iter()
+            .map(|v| (v.pos(), v.node.executor().gas_rate()))
+            .collect::<Vec<_>>()
+        };
+        let with_parked = FleetLayout {
+            parked: vec![Vec2::new(50.0, 0.0)],
+            ..FleetLayout::default()
+        };
+        let plain = spawn(&FleetLayout::default());
+        let parked = spawn(&with_parked);
+        assert_eq!(plain[..], parked[..plain.len()], "mobile prefix identical");
+        assert_eq!(parked.len(), plain.len() + 1);
     }
 
     #[test]
@@ -267,6 +412,7 @@ mod tests {
                 0.0,
                 OrchestratorConfig::default(),
                 MeshConfig::default(),
+                &FleetLayout::default(),
                 &mut rng,
             );
             fleet

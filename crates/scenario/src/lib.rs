@@ -24,12 +24,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod demand;
 pub mod fleet;
 pub mod perception;
 pub mod runner;
 pub mod world;
 
-pub use fleet::{Fleet, Vehicle};
+pub use demand::DemandProfile;
+pub use fleet::{Fleet, FleetLayout, Vehicle};
 pub use perception::{fuse_max, observed_fraction, occupied_cells};
-pub use runner::{run_scenario, ScenarioConfig, ScenarioReport, Strategy};
-pub use world::ScenarioWorld;
+pub use runner::{
+    run_scenario, run_scenario_in, run_scenario_in_traced, run_scenario_traced, ScenarioConfig,
+    ScenarioReport, Strategy, WorldInstance,
+};
+pub use world::{OcclusionParams, ScenarioWorld};

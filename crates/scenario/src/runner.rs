@@ -18,7 +18,8 @@
 //! T9 tabulate: latency, bytes by medium, coverage vs ground truth,
 //! detection time, mesh dynamics and executor utilization.
 
-use crate::fleet::Fleet;
+use crate::demand::DemandProfile;
+use crate::fleet::{Fleet, FleetLayout};
 use crate::perception::{fuse_max, is_valid_grid, observed_fraction};
 use crate::world::ScenarioWorld;
 use airdnd_baselines::{CloudOffload, LocalOnly};
@@ -105,6 +106,9 @@ pub struct ScenarioConfig {
     pub mesh: MeshConfig,
     /// Cooperation strategy.
     pub strategy: Strategy,
+    /// When the ego issues perception tasks ([`DemandProfile::Steady`]
+    /// reproduces the historical fixed period).
+    pub demand: DemandProfile,
 }
 
 // The sweep harness farms `run_scenario` calls across worker threads; the
@@ -162,6 +166,12 @@ impl ScenarioConfig {
         self.byzantine_fraction = fraction;
         self
     }
+
+    /// Sets the perception-demand profile.
+    pub fn with_demand(mut self, demand: DemandProfile) -> Self {
+        self.demand = demand;
+        self
+    }
 }
 
 impl Default for ScenarioConfig {
@@ -185,6 +195,52 @@ impl Default for ScenarioConfig {
             orch: OrchestratorConfig::default(),
             mesh: MeshConfig::default(),
             strategy: Strategy::Airdnd,
+            demand: DemandProfile::Steady,
+        }
+    }
+}
+
+/// A fully instantiated stage: the world geometry plus everything the
+/// driver needs that is *derived from* the geometry rather than the
+/// scenario knobs — which portal the ego uses, where ground-truth agents
+/// hide, and where parked/RSU helpers sit. [`run_scenario`] builds the
+/// canonical corner instance; `airdnd-worldgen` families build generated
+/// ones and feed them through [`run_scenario_in`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorldInstance {
+    /// The stage with its derived occlusion grid.
+    pub stage: ScenarioWorld,
+    /// Portal/arm the ego enters (and re-enters) from.
+    pub ego_arm: usize,
+    /// Ground-truth agents hidden in the occluded corridor.
+    pub hidden_agents: Vec<Vec2>,
+    /// Parked/RSU helper positions.
+    pub parked: Vec<Vec2>,
+    /// Spawn-scatter window, seconds (the fleet's arrival process).
+    pub arrival_window_s: f64,
+}
+
+impl WorldInstance {
+    /// The canonical "looking around the corner" stage: four-way
+    /// intersection, corner buildings, ego from the south, agents parked
+    /// in the occluded corridor — exactly the world the paper evaluates.
+    pub fn canonical(cfg: &ScenarioConfig) -> Self {
+        let stage = ScenarioWorld::build(
+            cfg.arm_length,
+            cfg.speed_limit,
+            cfg.building_setback,
+            cfg.building_size,
+        );
+        // Hidden ground-truth agents parked in the occluded corridor.
+        let hidden_agents: Vec<Vec2> = (0..cfg.hidden_agents)
+            .map(|i| Vec2::new(55.0 + 15.0 * i as f64, 2.0))
+            .collect();
+        WorldInstance {
+            stage,
+            ego_arm: 0,
+            hidden_agents,
+            parked: Vec::new(),
+            arrival_window_s: 20.0,
         }
     }
 }
@@ -422,9 +478,21 @@ impl WorldActor {
                     match outcome {
                         TaskOutcome::Completed { outputs, .. } => {
                             state.record_view(now, submitted, &outputs);
+                            drop(state);
+                            if ctx.trace_enabled() {
+                                ctx.trace(format!(
+                                    "task: #{} completed after {} ms",
+                                    task.raw(),
+                                    now.saturating_since(submitted).as_millis_f64()
+                                ));
+                            }
                         }
                         TaskOutcome::Failed { .. } => {
                             state.failed += 1;
+                            drop(state);
+                            if ctx.trace_enabled() {
+                                ctx.trace(format!("task: #{} failed", task.raw()));
+                            }
                         }
                     }
                 }
@@ -435,9 +503,16 @@ impl WorldActor {
                     {
                         state.mesh_formation = Some(now);
                     }
+                    drop(state);
+                    if ctx.trace_enabled() {
+                        ctx.trace(format!("mesh: node#{} joined", src.raw()));
+                    }
                 }
                 NodeAction::MeshLeft(_) => {
                     self.state.borrow_mut().leaves += 1;
+                    if ctx.trace_enabled() {
+                        ctx.trace(format!("mesh: node#{} left", src.raw()));
+                    }
                 }
             }
         }
@@ -501,10 +576,15 @@ impl WorldActor {
             self.process_actions(ctx, addr, actions);
         }
 
-        // Ego perception workload.
+        // Ego perception workload, paced by the demand profile.
         let task_due = {
             let state = self.state.borrow();
-            tick_count % state.cfg.task_every_ticks as u64 == 0 && tick_count > 10
+            let progress = now.as_secs_f64() / state.cfg.duration.as_secs_f64().max(1e-9);
+            let ego_pos = state.fleet.vehicles[0].pos();
+            state
+                .cfg
+                .demand
+                .due(tick_count, state.cfg.task_every_ticks, progress, ego_pos)
         };
         if task_due {
             self.submit_perception(ctx);
@@ -526,6 +606,15 @@ impl WorldActor {
     fn submit_perception(&self, ctx: &mut Context<'_, ScenMsg>) {
         let now = ctx.now();
         let strategy = self.state.borrow().cfg.strategy;
+        if ctx.trace_enabled() {
+            let state = self.state.borrow();
+            ctx.trace(format!(
+                "demand: task {} due ({}) at ego {:?}",
+                state.submitted + 1,
+                strategy.label(),
+                state.fleet.vehicles[0].pos()
+            ));
+        }
         match strategy {
             Strategy::Airdnd => {
                 let (addr, actions) = {
@@ -656,6 +745,14 @@ impl Actor<ScenMsg> for WorldActor {
         match msg {
             ScenMsg::Tick => self.tick(ctx),
             ScenMsg::Deliver { from, to, msg } => {
+                if ctx.trace_enabled() {
+                    ctx.trace(format!(
+                        "wire: node#{} -> node#{} ({} B)",
+                        from.raw(),
+                        to.raw(),
+                        msg.wire_size_bytes()
+                    ));
+                }
                 let result = {
                     let mut state = self.state.borrow_mut();
                     state.fleet.index_of(to).map(|idx| {
@@ -692,15 +789,54 @@ impl Actor<ScenMsg> for WorldActor {
     }
 }
 
-/// Runs one scenario to completion and reports.
+/// Runs one scenario to completion on the canonical corner stage.
 pub fn run_scenario(cfg: ScenarioConfig) -> ScenarioReport {
+    run_core(WorldInstance::canonical(&cfg), cfg, None).0
+}
+
+/// [`run_scenario`] with the engine's bounded trace enabled: returns the
+/// report plus up to `capacity` formatted protocol events — the debug lens
+/// `sweep --trace N` exposes.
+pub fn run_scenario_traced(cfg: ScenarioConfig, capacity: usize) -> (ScenarioReport, String) {
+    let (report, trace) = run_core(WorldInstance::canonical(&cfg), cfg, Some(capacity));
+    (report, trace.unwrap_or_default())
+}
+
+/// Runs one scenario on an arbitrary instantiated world (a generated map
+/// with its derived occlusion grid). The canonical [`run_scenario`] is the
+/// special case `run_scenario_in(WorldInstance::canonical(&cfg), cfg)`.
+pub fn run_scenario_in(world: WorldInstance, cfg: ScenarioConfig) -> ScenarioReport {
+    run_core(world, cfg, None).0
+}
+
+/// [`run_scenario_in`] with the engine's bounded trace enabled.
+pub fn run_scenario_in_traced(
+    world: WorldInstance,
+    cfg: ScenarioConfig,
+    capacity: usize,
+) -> (ScenarioReport, String) {
+    let (report, trace) = run_core(world, cfg, Some(capacity));
+    (report, trace.unwrap_or_default())
+}
+
+fn run_core(
+    world: WorldInstance,
+    cfg: ScenarioConfig,
+    trace_capacity: Option<usize>,
+) -> (ScenarioReport, Option<String>) {
+    let WorldInstance {
+        stage,
+        ego_arm,
+        hidden_agents,
+        parked,
+        arrival_window_s,
+    } = world;
     let mut rng = SimRng::seed_from(cfg.seed);
-    let stage = ScenarioWorld::build(
-        cfg.arm_length,
-        cfg.speed_limit,
-        cfg.building_setback,
-        cfg.building_size,
-    );
+    let layout = FleetLayout {
+        ego_arm,
+        parked,
+        arrival_window_s,
+    };
     let fleet = Fleet::spawn(
         &stage,
         cfg.vehicles,
@@ -709,6 +845,7 @@ pub fn run_scenario(cfg: ScenarioConfig) -> ScenarioReport {
         cfg.byzantine_fraction,
         cfg.orch,
         cfg.mesh,
+        &layout,
         &mut rng,
     );
     let mut medium = RadioMedium::v2v(stage.world.clone(), rng.fork(0xC0DE));
@@ -720,10 +857,6 @@ pub fn run_scenario(cfg: ScenarioConfig) -> ScenarioReport {
         Strategy::Cloud { fiveg: false } => Some(CloudOffload::lte()),
         _ => None,
     };
-    // Hidden ground-truth agents parked in the occluded corridor.
-    let hidden_agents: Vec<Vec2> = (0..cfg.hidden_agents)
-        .map(|i| Vec2::new(55.0 + 15.0 * i as f64, 2.0))
-        .collect();
     let ego_gas = fleet.vehicles[0].node.executor().gas_rate();
     // Exact kernel cost on a representative grid, plus 25 % headroom.
     let task_gas_budget = {
@@ -759,10 +892,14 @@ pub fn run_scenario(cfg: ScenarioConfig) -> ScenarioReport {
     }));
 
     let mut engine: Engine<ScenMsg> = Engine::new(cfg.seed ^ 0x5EED);
+    if let Some(capacity) = trace_capacity {
+        engine.enable_trace(capacity);
+    }
     engine.spawn(WorldActor {
         state: Rc::clone(&state),
     });
     engine.run_until(SimTime::ZERO + cfg.duration + SimDuration::from_secs(3));
+    let trace = trace_capacity.map(|_| engine.trace().to_string());
 
     let state = state.borrow();
     let duration_s = cfg.duration.as_secs_f64();
@@ -779,10 +916,10 @@ pub fn run_scenario(cfg: ScenarioConfig) -> ScenarioReport {
     let cellular_bytes = state.cloud.as_ref().map_or(0, CloudOffload::bytes_total);
     let mesh_bytes = state.medium.bytes_on_air_total();
     let completed = state.completed;
-    ScenarioReport {
+    let report = ScenarioReport {
         strategy: cfg.strategy.label().to_owned(),
         duration_s,
-        vehicles: cfg.vehicles,
+        vehicles: state.fleet.len(),
         tasks_submitted: state.submitted,
         tasks_completed: completed,
         tasks_failed: state.failed,
@@ -818,7 +955,8 @@ pub fn run_scenario(cfg: ScenarioConfig) -> ScenarioReport {
         offers_sent: fleet_stats.offers_sent,
         results_returned: fleet_stats.results_returned,
         latencies_ms: lat.clone(),
-    }
+    };
+    (report, trace)
 }
 
 fn mean(xs: &[f64]) -> f64 {

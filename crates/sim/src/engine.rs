@@ -206,6 +206,12 @@ impl<'a, M> Context<'a, M> {
         &mut self.shared.metrics
     }
 
+    /// `true` when the engine records trace entries — check before paying
+    /// for a `format!`ed label on a hot path.
+    pub fn trace_enabled(&self) -> bool {
+        self.shared.trace.is_enabled()
+    }
+
     /// Records a trace entry attributed to this actor (no-op unless tracing
     /// is enabled on the engine).
     pub fn trace(&mut self, label: impl Into<String>) {

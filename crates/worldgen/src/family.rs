@@ -1,0 +1,226 @@
+//! The scenario-family registry: named, typed recipes that turn a
+//! [`ScenarioConfig`] into a fully instantiated [`WorldInstance`].
+//!
+//! A [`FamilyKind`] is pure data (it serializes into sweep configs and
+//! shard artifacts); [`FamilyKind::instantiate`] is the deterministic
+//! generation pass: fork a stage RNG from the scenario seed, generate the
+//! map, derive the occlusion grid from the generated geometry
+//! ([`ScenarioWorld::derive`]), hide the ground-truth agents inside the
+//! derived corridor, and place the profile's parked helpers along it.
+//! `airdnd-scenario::run_scenario_in` consumes the result unchanged — the
+//! canonical corner stage is just the [`FamilyKind::Corner`] entry of the
+//! same registry.
+
+use crate::fleets::{parked_positions, FleetProfile};
+use crate::maps::{grid, highway, radial, GeneratedMap, GridParams, HighwayParams, RadialParams};
+use airdnd_geo::Vec2;
+use airdnd_scenario::{OcclusionParams, ScenarioConfig, ScenarioWorld, WorldInstance};
+use airdnd_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// RNG fork tag separating stage generation from everything else the
+/// scenario seed drives.
+const STAGE_TAG: u64 = 0x57A6_E5EE;
+
+/// One scenario family: a map recipe with its parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FamilyKind {
+    /// The canonical hand-built corner stage (the paper's evaluation).
+    Corner,
+    /// Manhattan grid with speed tiers.
+    Grid(GridParams),
+    /// Radial arterials with ring roads.
+    Radial(RadialParams),
+    /// Highway corridor with on-ramps.
+    Highway(HighwayParams),
+}
+
+impl FamilyKind {
+    /// Axis/table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FamilyKind::Corner => "corner",
+            FamilyKind::Grid(_) => "grid",
+            FamilyKind::Radial(_) => "radial",
+            FamilyKind::Highway(_) => "highway",
+        }
+    }
+
+    /// Instantiates the family for one scenario run: generates the map
+    /// from `cfg.seed`, derives the occlusion grid, and places hidden
+    /// agents and the profile's parked helpers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated geometry fails to induce an occluded
+    /// corridor — a family-parameter bug, not a runtime condition (the
+    /// registry families are regression-tested to derive on every seed).
+    pub fn instantiate(&self, cfg: &ScenarioConfig, profile: &FleetProfile) -> WorldInstance {
+        let map = match self {
+            FamilyKind::Corner => {
+                let mut instance = WorldInstance::canonical(cfg);
+                instance.parked = parked_positions(&instance.stage, profile.parked);
+                instance.arrival_window_s = profile.arrival_window_s;
+                return instance;
+            }
+            FamilyKind::Grid(p) => grid(p, &mut stage_rng(cfg.seed)),
+            FamilyKind::Radial(p) => radial(p, &mut stage_rng(cfg.seed)),
+            FamilyKind::Highway(p) => highway(p, &mut stage_rng(cfg.seed)),
+        };
+        let GeneratedMap {
+            net,
+            world,
+            ego_arm,
+            goal_arm,
+        } = map;
+        let ego_entry = net.approach_node(ego_arm);
+        let goal = net.exit_node(goal_arm);
+        let stage = ScenarioWorld::derive(net, world, ego_entry, goal, &OcclusionParams::default())
+            .unwrap_or_else(|| {
+                panic!("family `{}` must induce an occluded corridor", self.label())
+            });
+        let hidden_agents = corridor_agents(&stage, cfg.hidden_agents);
+        let parked = parked_positions(&stage, profile.parked);
+        WorldInstance {
+            stage,
+            ego_arm,
+            hidden_agents,
+            parked,
+            arrival_window_s: profile.arrival_window_s,
+        }
+    }
+}
+
+fn stage_rng(seed: u64) -> SimRng {
+    SimRng::seed_from(seed).fork(STAGE_TAG)
+}
+
+/// Hides `count` ground-truth agents along the derived corridor's long
+/// axis, slightly off the centreline — the generated analogue of the
+/// canonical stage's parked agents. Shares the obstacle-skipping
+/// placement walk with [`parked_positions`].
+fn corridor_agents(stage: &ScenarioWorld, count: usize) -> Vec<Vec2> {
+    crate::fleets::corridor_slots(stage, count, 2.0, false)
+}
+
+/// A registry entry: a family name bound to its default parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioFamily {
+    /// Registry name (also the sweep-axis label).
+    pub name: &'static str,
+    /// The family recipe with its default parameters.
+    pub kind: FamilyKind,
+}
+
+/// The registered families, canonical stage first.
+pub fn families() -> Vec<ScenarioFamily> {
+    vec![
+        ScenarioFamily {
+            name: "corner",
+            kind: FamilyKind::Corner,
+        },
+        ScenarioFamily {
+            name: "grid",
+            kind: FamilyKind::Grid(GridParams::default()),
+        },
+        ScenarioFamily {
+            name: "radial",
+            kind: FamilyKind::Radial(RadialParams::default()),
+        },
+        ScenarioFamily {
+            name: "highway",
+            kind: FamilyKind::Highway(HighwayParams::default()),
+        },
+    ]
+}
+
+/// Looks up one family by name.
+pub fn find(name: &str) -> Option<ScenarioFamily> {
+    families().into_iter().find(|f| f.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(seed: u64) -> ScenarioConfig {
+        ScenarioConfig::default().seeded(seed)
+    }
+
+    /// Every registered family derives an occluded corridor with a real
+    /// grid, hides its agents inside it, and keeps them out of buildings.
+    #[test]
+    fn every_family_instantiates_with_a_derived_corridor() {
+        for family in families() {
+            for seed in [1u64, 42, 1234] {
+                let instance = family
+                    .kind
+                    .instantiate(&quick_cfg(seed), &FleetProfile::default());
+                assert!(
+                    instance.stage.cell_count() >= 4,
+                    "{}: corridor grid too small",
+                    family.name
+                );
+                for agent in &instance.hidden_agents {
+                    assert!(
+                        instance.stage.cell_of(*agent).is_some(),
+                        "{}: agent {agent:?} outside the grid",
+                        family.name
+                    );
+                    assert!(!instance.stage.world.is_inside_obstacle(*agent));
+                }
+            }
+        }
+    }
+
+    /// The corner family is byte-identical to the canonical instance the
+    /// plain `run_scenario` builds.
+    #[test]
+    fn corner_family_is_the_canonical_instance() {
+        let cfg = quick_cfg(7);
+        let family = FamilyKind::Corner.instantiate(&cfg, &FleetProfile::default());
+        let canonical = WorldInstance::canonical(&cfg);
+        assert_eq!(
+            serde_json::to_string(&family).expect("serializes"),
+            serde_json::to_string(&canonical).expect("serializes"),
+        );
+    }
+
+    /// Same seed ⇒ byte-identical generated world; different seed ⇒ the
+    /// building jitter actually varies.
+    #[test]
+    fn generation_is_seed_deterministic() {
+        for family in families() {
+            let one = family
+                .kind
+                .instantiate(&quick_cfg(9), &FleetProfile::dense());
+            let two = family
+                .kind
+                .instantiate(&quick_cfg(9), &FleetProfile::dense());
+            assert_eq!(
+                serde_json::to_string(&one).expect("serializes"),
+                serde_json::to_string(&two).expect("serializes"),
+                "{}: same seed must regenerate identically",
+                family.name
+            );
+        }
+        let a = FamilyKind::Grid(GridParams::default())
+            .instantiate(&quick_cfg(1), &FleetProfile::default());
+        let b = FamilyKind::Grid(GridParams::default())
+            .instantiate(&quick_cfg(2), &FleetProfile::default());
+        assert_ne!(
+            serde_json::to_string(&a.stage.world).expect("serializes"),
+            serde_json::to_string(&b.stage.world).expect("serializes"),
+            "different seeds must jitter the buildings"
+        );
+    }
+
+    #[test]
+    fn registry_lookup() {
+        assert_eq!(families().len(), 4);
+        assert!(find("grid").is_some());
+        assert!(find("nope").is_none());
+        let labels: Vec<&str> = families().iter().map(|f| f.kind.label()).collect();
+        assert_eq!(labels, ["corner", "grid", "radial", "highway"]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Fleet density/churn profiles for generated worlds.
+//!
+//! The scenario's mobile fleet already models churn (vehicles traverse the
+//! map and respawn at portals); a [`FleetProfile`] layers the density
+//! knobs on top: how many mobile vehicles circulate, how many parked/RSU
+//! helpers anchor the mesh near the occluded corridor, and how widely
+//! spawn times scatter. [`parked_positions`] places the fixed helpers
+//! deterministically along the hidden corridor — parked cars on the
+//! occluded street are exactly the "excess resources" the paper wants to
+//! rent out.
+
+use airdnd_geo::Vec2;
+use airdnd_scenario::ScenarioWorld;
+use serde::{Deserialize, Serialize};
+
+/// Density/churn profile of a generated fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetProfile {
+    /// Mobile vehicles, including the ego.
+    pub vehicles: usize,
+    /// Parked/RSU helpers anchored near the hidden corridor.
+    pub parked: usize,
+    /// Spawn-scatter window, seconds (the arrival process: vehicles enter
+    /// their approach spread over this much warmup).
+    pub arrival_window_s: f64,
+}
+
+impl Default for FleetProfile {
+    fn default() -> Self {
+        FleetProfile {
+            vehicles: 12,
+            parked: 0,
+            arrival_window_s: 20.0,
+        }
+    }
+}
+
+impl FleetProfile {
+    /// A sparse fleet.
+    pub fn sparse() -> Self {
+        FleetProfile {
+            vehicles: 6,
+            ..Self::default()
+        }
+    }
+
+    /// A dense fleet with parked helpers.
+    pub fn dense() -> Self {
+        FleetProfile {
+            vehicles: 24,
+            parked: 4,
+            ..Self::default()
+        }
+    }
+}
+
+/// Fraction-spaced positions along the hidden corridor's long axis at a
+/// lateral offset from the centreline — the shared placement pass for
+/// parked helpers and hidden ground-truth agents. `alternate` flips the
+/// offset side slot by slot (kerb-side parking); slots inside obstacles
+/// are skipped (the walk continues past them), so the result may be
+/// shorter than `count` on exotic geometry.
+pub fn corridor_slots(
+    stage: &ScenarioWorld,
+    count: usize,
+    lateral: f64,
+    alternate: bool,
+) -> Vec<Vec2> {
+    let region = stage.hidden_region;
+    let along_x = region.width() >= region.height();
+    let center = region.center();
+    let mut out = Vec::with_capacity(count);
+    let slots = count * 2; // headroom for skipped slots
+    for i in 0..slots {
+        if out.len() == count {
+            break;
+        }
+        let frac = (i + 1) as f64 / (slots + 1) as f64;
+        let side = if alternate && i % 2 == 1 { -1.0 } else { 1.0 };
+        let pos = if along_x {
+            Vec2::new(
+                region.min().x + frac * region.width(),
+                center.y + side * lateral,
+            )
+        } else {
+            Vec2::new(
+                center.x + side * lateral,
+                region.min().y + frac * region.height(),
+            )
+        };
+        if !stage.world.is_inside_obstacle(pos) {
+            out.push(pos);
+        }
+    }
+    out
+}
+
+/// Places `count` parked helpers deterministically along the hidden
+/// corridor, offset from the centreline like kerb-side parking.
+pub fn parked_positions(stage: &ScenarioWorld, count: usize) -> Vec<Vec2> {
+    corridor_slots(stage, count, 3.0, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parked_positions_sit_in_the_corridor() {
+        let stage = ScenarioWorld::build(250.0, 13.9, 12.0, 40.0);
+        let parked = parked_positions(&stage, 4);
+        assert_eq!(parked.len(), 4);
+        for p in &parked {
+            assert!(stage.hidden_region.contains(*p), "{p:?} outside corridor");
+            assert!(!stage.world.is_inside_obstacle(*p));
+        }
+        // Deterministic.
+        assert_eq!(parked, parked_positions(&stage, 4));
+    }
+}

@@ -1,0 +1,428 @@
+//! Procedural map generators: parameterized urban fabrics built on
+//! [`RoadNetwork`], with building/occluder placement that induces hidden
+//! regions automatically.
+//!
+//! Three families cover the geometry space the related deployment studies
+//! sweep:
+//!
+//! * [`GridParams`] — Manhattan grids with variable block size and speed
+//!   tiers (every *k*-th street is an arterial), one building per block,
+//! * [`RadialParams`] — radial arterials crossed by ring roads, buildings
+//!   hugging the central intersection,
+//! * [`HighwayParams`] — a fast corridor with slow on-ramps, sound
+//!   walls/warehouses occluding the merge areas.
+//!
+//! Every generator is a pure function of its parameters and the provided
+//! [`SimRng`] (which jitters building footprints), so the same seed always
+//! yields a byte-identical map. Portals — the spawn/goal endpoints the
+//! fleet uses — are designated via [`RoadNetwork::set_arms`]; each
+//! generated map also nominates the ego's entry portal and a goal portal
+//! whose connecting path passes the occluded junction the scenario's
+//! hidden region derives from.
+
+use airdnd_geo::{Aabb, NodeId, Obstacle, RoadNetwork, Vec2, World};
+use airdnd_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A generated map: the road graph, its occluders, and the ego/goal
+/// portals the occlusion derivation walks between.
+#[derive(Clone, Debug)]
+pub struct GeneratedMap {
+    /// The road graph with portal arms designated.
+    pub net: RoadNetwork,
+    /// Buildings / sound walls.
+    pub world: World,
+    /// Portal index the ego enters from.
+    pub ego_arm: usize,
+    /// Portal index whose path from the ego passes the occluded junction.
+    pub goal_arm: usize,
+}
+
+/// Manhattan grid with speed tiers.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GridParams {
+    /// Junction columns (≥ 2).
+    pub cols: usize,
+    /// Junction rows (≥ 2).
+    pub rows: usize,
+    /// Block size: metres between junctions.
+    pub block: f64,
+    /// Side-street speed limit, m/s.
+    pub street_speed: f64,
+    /// Arterial speed limit, m/s.
+    pub arterial_speed: f64,
+    /// Every `k`-th grid line is an arterial (0 disables arterials).
+    pub arterial_every: usize,
+    /// Building setback from road centrelines, metres.
+    pub setback: f64,
+    /// Building side as a fraction of the open block interior, `(0, 1]`;
+    /// the per-block jitter shrinks footprints down to this fraction.
+    pub min_fill: f64,
+}
+
+impl Default for GridParams {
+    fn default() -> Self {
+        GridParams {
+            cols: 4,
+            rows: 4,
+            block: 90.0,
+            street_speed: 8.3,    // 30 km/h side streets
+            arterial_speed: 13.9, // 50 km/h arterials
+            arterial_every: 2,
+            setback: 10.0,
+            min_fill: 0.8,
+        }
+    }
+}
+
+/// Radial arterials crossed by ring roads.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RadialParams {
+    /// Number of radial arterials (≥ 3).
+    pub arms: usize,
+    /// Number of ring roads (≥ 1).
+    pub rings: usize,
+    /// Metres between rings (and from the centre to the first ring).
+    pub ring_spacing: f64,
+    /// Arterial (radial) speed limit, m/s.
+    pub arterial_speed: f64,
+    /// Ring-road speed limit, m/s.
+    pub ring_speed: f64,
+    /// Building setback from the central junction's road centrelines.
+    pub setback: f64,
+    /// Nominal building side, metres (jittered per sector).
+    pub building: f64,
+}
+
+impl Default for RadialParams {
+    fn default() -> Self {
+        RadialParams {
+            arms: 4,
+            rings: 2,
+            ring_spacing: 90.0,
+            arterial_speed: 13.9,
+            ring_speed: 11.1,
+            setback: 12.0,
+            building: 40.0,
+        }
+    }
+}
+
+/// A highway corridor with on-ramps.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HighwayParams {
+    /// Mainline segments (≥ 2; `segments + 1` mainline nodes).
+    pub segments: usize,
+    /// Segment length, metres.
+    pub seg_len: f64,
+    /// Mainline speed limit, m/s.
+    pub mainline_speed: f64,
+    /// Ramp speed limit, m/s.
+    pub ramp_speed: f64,
+    /// An on-ramp joins every `k`-th interior mainline node (≥ 1).
+    pub ramp_every: usize,
+    /// Ramp length, metres.
+    pub ramp_len: f64,
+    /// Sound-wall / warehouse depth, metres.
+    pub wall_depth: f64,
+    /// Wall setback from road centrelines, metres.
+    pub setback: f64,
+}
+
+impl Default for HighwayParams {
+    fn default() -> Self {
+        HighwayParams {
+            segments: 6,
+            seg_len: 150.0,
+            mainline_speed: 27.8, // 100 km/h
+            ramp_speed: 11.1,
+            ramp_every: 2,
+            ramp_len: 80.0,
+            wall_depth: 14.0,
+            setback: 12.0,
+        }
+    }
+}
+
+/// Generates a Manhattan grid (see [`GridParams`]).
+///
+/// The ego enters mid-south-edge heading north; the first junction's
+/// east/west crossings are occluded by the adjacent block buildings.
+///
+/// # Panics
+///
+/// Panics on degenerate parameters (fewer than 2 rows/columns, a 2×2
+/// grid — which has no junction and therefore nothing to occlude — or a
+/// block not larger than twice the setback).
+pub fn grid(p: &GridParams, rng: &mut SimRng) -> GeneratedMap {
+    assert!(
+        p.cols >= 2 && p.rows >= 2,
+        "grid needs at least 2x2 junctions"
+    );
+    assert!(
+        p.cols >= 3 || p.rows >= 3,
+        "a 2x2 grid has no 3-way junction to hide a corridor behind"
+    );
+    assert!(
+        p.block > 2.0 * p.setback,
+        "blocks must be wider than the setbacks"
+    );
+    let mut net = RoadNetwork::new();
+    let mut ids = Vec::with_capacity(p.cols * p.rows);
+    for r in 0..p.rows {
+        for c in 0..p.cols {
+            ids.push(net.add_node(Vec2::new(c as f64 * p.block, r as f64 * p.block)));
+        }
+    }
+    let tier = |line: usize| {
+        if p.arterial_every > 0 && line.is_multiple_of(p.arterial_every) {
+            p.arterial_speed
+        } else {
+            p.street_speed
+        }
+    };
+    for r in 0..p.rows {
+        for c in 0..p.cols {
+            let here = ids[r * p.cols + c];
+            if c + 1 < p.cols {
+                net.add_road(here, ids[r * p.cols + c + 1], tier(r))
+                    .expect("valid grid nodes");
+            }
+            if r + 1 < p.rows {
+                net.add_road(here, ids[(r + 1) * p.cols + c], tier(c))
+                    .expect("valid grid nodes");
+            }
+        }
+    }
+    // One jittered building per block, centred in the block interior.
+    let mut world = World::new();
+    for r in 0..p.rows - 1 {
+        for c in 0..p.cols - 1 {
+            let interior = p.block - 2.0 * p.setback;
+            let fill = p.min_fill + (1.0 - p.min_fill) * rng.next_f64();
+            let side = interior * fill;
+            let center = Vec2::new((c as f64 + 0.5) * p.block, (r as f64 + 0.5) * p.block);
+            world.add_obstacle(Obstacle::Rect(Aabb::from_center_size(center, side, side)));
+        }
+    }
+    world.set_bounds(Aabb::new(
+        Vec2::ZERO,
+        Vec2::new((p.cols - 1) as f64 * p.block, (p.rows - 1) as f64 * p.block),
+    ));
+    // Portals: the boundary nodes, south edge first (the ego's entry is
+    // mid-south), then north edge, then the west/east interiors.
+    let mut arms: Vec<NodeId> = ids[..p.cols].to_vec();
+    arms.extend_from_slice(&ids[(p.rows - 1) * p.cols..]);
+    for r in 1..p.rows - 1 {
+        arms.push(ids[r * p.cols]);
+        arms.push(ids[r * p.cols + p.cols - 1]);
+    }
+    let ego_arm = p.cols / 2;
+    let goal_arm = p.cols + p.cols / 2; // same column, north edge
+    net.set_arms(arms);
+    GeneratedMap {
+        net,
+        world,
+        ego_arm,
+        goal_arm,
+    }
+}
+
+/// Generates radial arterials with ring roads (see [`RadialParams`]).
+///
+/// Arm 0 points south (the ego's canonical approach); buildings hug the
+/// central junction in every sector, so the crossing arms are occluded
+/// exactly like the canonical corner.
+///
+/// # Panics
+///
+/// Panics on degenerate parameters (fewer than 3 arms, no rings).
+pub fn radial(p: &RadialParams, rng: &mut SimRng) -> GeneratedMap {
+    assert!(p.arms >= 3, "a radial city needs at least 3 arms");
+    assert!(p.rings >= 1, "a radial city needs at least one ring");
+    let mut net = RoadNetwork::new();
+    let center = net.add_node(Vec2::ZERO);
+    // Arm 0 south, then counter-clockwise.
+    let dir = |k: usize| {
+        let angle = -std::f64::consts::FRAC_PI_2 + k as f64 * std::f64::consts::TAU / p.arms as f64;
+        Vec2::from_angle(angle)
+    };
+    let outer_radius = p.ring_spacing * (p.rings + 1) as f64;
+    let mut ring_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(p.arms);
+    let mut ends = Vec::with_capacity(p.arms);
+    for k in 0..p.arms {
+        let d = dir(k);
+        let mut along_arm = Vec::with_capacity(p.rings);
+        let mut prev = center;
+        for i in 1..=p.rings {
+            let node = net.add_node(d * (p.ring_spacing * i as f64));
+            net.add_road(prev, node, p.arterial_speed)
+                .expect("valid radial nodes");
+            along_arm.push(node);
+            prev = node;
+        }
+        let end = net.add_node(d * outer_radius);
+        net.add_road(prev, end, p.arterial_speed)
+            .expect("valid radial nodes");
+        ring_nodes.push(along_arm);
+        ends.push(end);
+    }
+    // Chord roads: each ring connects consecutive arms, wrapping around.
+    for ring in 0..p.rings {
+        let on_ring: Vec<NodeId> = ring_nodes.iter().map(|arm| arm[ring]).collect();
+        for (k, &node) in on_ring.iter().enumerate() {
+            net.add_road(node, on_ring[(k + 1) % p.arms], p.ring_speed)
+                .expect("valid ring nodes");
+        }
+    }
+    // One jittered building per sector, hugging the central junction on
+    // the sector bisector.
+    let mut world = World::new();
+    for k in 0..p.arms {
+        let angle =
+            -std::f64::consts::FRAC_PI_2 + (k as f64 + 0.5) * std::f64::consts::TAU / p.arms as f64;
+        let side = p.building * (0.85 + 0.15 * rng.next_f64());
+        let dist = p.setback + side / 2.0;
+        // The bisector at 45° for 4 arms puts the box corner `setback`
+        // from both road centrelines, exactly like the canonical corner.
+        let center_pos = Vec2::from_angle(angle) * (dist * std::f64::consts::SQRT_2);
+        world.add_obstacle(Obstacle::Rect(Aabb::from_center_size(
+            center_pos, side, side,
+        )));
+    }
+    world.set_bounds(Aabb::from_center_size(
+        Vec2::ZERO,
+        2.0 * outer_radius,
+        2.0 * outer_radius,
+    ));
+    net.set_arms(ends);
+    GeneratedMap {
+        net,
+        world,
+        ego_arm: 0,
+        goal_arm: p.arms / 2,
+    }
+}
+
+/// Generates a highway corridor with on-ramps (see [`HighwayParams`]).
+///
+/// The ego enters from an on-ramp; sound walls along the south side
+/// occlude the mainline from the ramp approach, hiding the merge area.
+///
+/// # Panics
+///
+/// Panics on degenerate parameters (fewer than 2 segments, or a ramp
+/// cadence that leaves no interior ramp).
+pub fn highway(p: &HighwayParams, rng: &mut SimRng) -> GeneratedMap {
+    assert!(p.segments >= 2, "a corridor needs at least 2 segments");
+    assert!(p.ramp_every >= 1, "ramp cadence must be at least 1");
+    let mut net = RoadNetwork::new();
+    let mainline: Vec<_> = (0..=p.segments)
+        .map(|i| net.add_node(Vec2::new(i as f64 * p.seg_len, 0.0)))
+        .collect();
+    for w in mainline.windows(2) {
+        net.add_road(w[0], w[1], p.mainline_speed)
+            .expect("valid mainline nodes");
+    }
+    let mut ramps = Vec::new();
+    let mut ramp_xs = vec![0.0];
+    for i in (p.ramp_every..p.segments).step_by(p.ramp_every) {
+        let x = i as f64 * p.seg_len;
+        let ramp = net.add_node(Vec2::new(x, -p.ramp_len));
+        net.add_road(ramp, mainline[i], p.ramp_speed)
+            .expect("valid ramp nodes");
+        ramps.push(ramp);
+        ramp_xs.push(x);
+    }
+    assert!(!ramps.is_empty(), "ramp cadence leaves no interior ramp");
+    ramp_xs.push(p.segments as f64 * p.seg_len);
+    // Sound walls / warehouses between consecutive ramp roads, south side.
+    let mut world = World::new();
+    for w in ramp_xs.windows(2) {
+        let (lo, hi) = (w[0] + p.setback, w[1] - p.setback);
+        if hi <= lo {
+            continue;
+        }
+        let depth = p.wall_depth * (0.8 + 0.2 * rng.next_f64());
+        world.add_obstacle(Obstacle::Rect(Aabb::new(
+            Vec2::new(lo, -p.setback - depth),
+            Vec2::new(hi, -p.setback),
+        )));
+    }
+    world.set_bounds(Aabb::new(
+        Vec2::new(0.0, -p.ramp_len),
+        Vec2::new(p.segments as f64 * p.seg_len, p.setback),
+    ));
+    // Portals: both mainline ends, then the ramps; the ego climbs the
+    // first ramp, the goal is the far (east) end of the mainline.
+    let mut arms = vec![mainline[0], mainline[p.segments]];
+    arms.extend(&ramps);
+    net.set_arms(arms);
+    GeneratedMap {
+        net,
+        world,
+        ego_arm: 2,
+        goal_arm: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_speed_tiers_and_buildings() {
+        let p = GridParams::default();
+        let map = grid(&p, &mut SimRng::seed_from(1));
+        assert_eq!(map.net.node_count(), 16);
+        assert_eq!(map.world.obstacle_count(), 9);
+        let speeds: std::collections::BTreeSet<u64> = map
+            .net
+            .lanes()
+            .map(|(_, _, _, speed)| speed.to_bits())
+            .collect();
+        assert_eq!(speeds.len(), 2, "two speed tiers");
+        // Portals are boundary nodes only.
+        assert_eq!(map.net.arm_count(), 2 * 4 + 2 * 2);
+    }
+
+    #[test]
+    fn radial_connects_rings_and_arms() {
+        let p = RadialParams::default();
+        let map = radial(&p, &mut SimRng::seed_from(2));
+        // centre + arms * (rings + 1 end)
+        assert_eq!(map.net.node_count(), 1 + 4 * 3);
+        assert_eq!(map.world.obstacle_count(), 4);
+        assert_eq!(map.net.arm_count(), 4);
+        // Every portal pair is routable.
+        for a in 0..4 {
+            for b in 0..4 {
+                assert!(map
+                    .net
+                    .route(map.net.approach_node(a), map.net.exit_node(b))
+                    .is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn highway_ramps_join_the_mainline() {
+        let p = HighwayParams::default();
+        let map = highway(&p, &mut SimRng::seed_from(3));
+        assert_eq!(map.net.node_count(), 7 + 2); // mainline + 2 ramps
+        assert!(map.world.obstacle_count() >= 2);
+        let ego = map.net.approach_node(map.ego_arm);
+        let goal = map.net.exit_node(map.goal_arm);
+        assert!(map.net.route(ego, goal).is_some());
+    }
+
+    #[test]
+    fn same_seed_same_map() {
+        let a = grid(&GridParams::default(), &mut SimRng::seed_from(7));
+        let b = grid(&GridParams::default(), &mut SimRng::seed_from(7));
+        let c = grid(&GridParams::default(), &mut SimRng::seed_from(8));
+        let world_json = |m: &GeneratedMap| serde_json::to_string(&m.world).expect("serializes");
+        assert_eq!(world_json(&a), world_json(&b));
+        assert_ne!(world_json(&a), world_json(&c), "seed drives the jitter");
+    }
+}

@@ -23,6 +23,7 @@
 //! | [`core`] | `airdnd-core` | the orchestrator itself (RQ1–RQ3) |
 //! | [`baselines`] | `airdnd-baselines` | auctions, cloud, local baselines |
 //! | [`scenario`] | `airdnd-scenario` | "looking around the corner" |
+//! | [`worldgen`] | `airdnd-worldgen` | procedural scenario generation |
 //! | [`harness`] | `airdnd-harness` | parallel deterministic sweep orchestration |
 //!
 //! ## Quickstart
@@ -55,3 +56,4 @@ pub use airdnd_scenario as scenario;
 pub use airdnd_sim as sim;
 pub use airdnd_task as task;
 pub use airdnd_trust as trust;
+pub use airdnd_worldgen as worldgen;

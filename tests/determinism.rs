@@ -140,6 +140,7 @@ fn scenario_workload() -> FnWorkload<ScenarioConfig, ScenarioReport> {
             }
             ExperimentResult::table_only(table)
         },
+        trace: None,
     }
 }
 
