@@ -178,7 +178,7 @@ impl Assigner for GreedyComputeAssigner {
     }
 }
 
-/// Smart-contract allocation (Xu et al. [8]): a greedy match whose
+/// Smart-contract allocation (Xu et al. \[8\]): a greedy match whose
 /// decision is only final after a consensus round, modelled as the chain's
 /// block interval plus per-candidate transaction gossip.
 #[derive(Clone, Copy, Debug)]
@@ -216,7 +216,7 @@ impl Assigner for SmartContractAssigner {
     }
 }
 
-/// `(k, m)` coded offloading (Ng et al. [9]): send to `k` executors,
+/// `(k, m)` coded offloading (Ng et al. \[9\]): send to `k` executors,
 /// complete on any `m` results — trades radio and compute for tail
 /// latency and stragglers.
 #[derive(Clone, Copy, Debug)]

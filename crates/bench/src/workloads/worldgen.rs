@@ -45,7 +45,7 @@ pub struct GenConfig {
 }
 
 impl GenConfig {
-    fn quick_or(quick: bool, full_secs: u64) -> ScenarioConfig {
+    pub(crate) fn quick_or(quick: bool, full_secs: u64) -> ScenarioConfig {
         ScenarioConfig {
             duration: if quick {
                 SimDuration::from_secs(12)
@@ -61,7 +61,7 @@ impl GenConfig {
 /// the scenario's vehicle count (the profile is the density knob), the
 /// world generates from the config's seed, and the demand recipe
 /// resolves against the derived corridor.
-fn materialize(cfg: &GenConfig) -> (airdnd_scenario::WorldInstance, ScenarioConfig) {
+pub(crate) fn materialize(cfg: &GenConfig) -> (airdnd_scenario::WorldInstance, ScenarioConfig) {
     let scenario = cfg.scenario.with_vehicles(cfg.profile.vehicles);
     let world = cfg.family.instantiate(&scenario, &cfg.profile);
     let scenario = scenario.with_demand(cfg.demand.resolve(&world.stage));
@@ -302,9 +302,11 @@ mod tests {
     #[test]
     fn grid_shapes() {
         assert_eq!(g1_spec(true).manifest().len(), 2 * 2);
+        // Full mode sweeps every registered generated family (5 now that
+        // roundabout and bridge exist) × 3 densities × 3 strategies.
         assert_eq!(
             g1_spec(false).manifest().len(),
-            3 * 3 * 3 * super::super::scenario::FULL_REPLICATES
+            5 * 3 * 3 * super::super::scenario::FULL_REPLICATES
         );
         assert_eq!(g2_spec(true).manifest().len(), 2 * 2);
         assert_eq!(

@@ -84,3 +84,18 @@ fn g1_quick_artifacts_match_golden() {
 fn g2_quick_artifacts_match_golden() {
     check_workload("g2");
 }
+
+/// G3, the lifecycle representative: seed-driven spawn/despawn schedules
+/// applied through the engine at tick boundaries (including the
+/// radio-partitioning bridge family).
+#[test]
+fn g3_quick_artifacts_match_golden() {
+    check_workload("g3");
+}
+
+/// G4, the multi-ego representative: concurrent query origins with
+/// per-ego derived hidden-region grids.
+#[test]
+fn g4_quick_artifacts_match_golden() {
+    check_workload("g4");
+}

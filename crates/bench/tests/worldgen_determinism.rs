@@ -10,7 +10,7 @@ use airdnd_harness::{parse_shard, render_csv, render_json, render_shard, Shard};
 /// JSON/CSV artifacts for both generated workloads.
 #[test]
 fn generated_sweeps_are_thread_count_invariant() {
-    for name in ["g1", "g2"] {
+    for name in ["g1", "g2", "g3", "g4"] {
         let workload = workloads::find(name).expect("registered");
         let seq = workload.execute(true, 1, &mut |_| {});
         let par = workload.execute(true, 4, &mut |_| {});
@@ -32,32 +32,39 @@ fn generated_sweeps_are_thread_count_invariant() {
     }
 }
 
-/// A 2-way shard split of G1, serialized through the JSON artifact
-/// boundary and merged in reverse order, reproduces the unsharded run
-/// byte for byte — generated worlds survive process hops.
+/// A 2-way shard split, serialized through the JSON artifact boundary and
+/// merged in reverse order, reproduces the unsharded run byte for byte —
+/// generated worlds (G1), churn schedules (G3) and extra-ego assignments
+/// (G4) all survive process hops because they are generated *inside* each
+/// run from the config seed.
 #[test]
 fn generated_sweep_shards_merge_byte_identically() {
-    let workload = workloads::find("g1").expect("registered");
-    let unsharded = workload.execute(true, 2, &mut |_| {});
-    let mut artifacts = Vec::new();
-    for index in 0..2 {
-        let artifact = workload.execute_shard(true, 2, Shard::new(index, 2), &mut |_| {});
-        artifacts.push(parse_shard(&render_shard(&artifact)).expect("artifact round-trips"));
+    for name in ["g1", "g3", "g4"] {
+        let workload = workloads::find(name).expect("registered");
+        let unsharded = workload.execute(true, 2, &mut |_| {});
+        let mut artifacts = Vec::new();
+        for index in 0..2 {
+            let artifact = workload.execute_shard(true, 2, Shard::new(index, 2), &mut |_| {});
+            artifacts.push(parse_shard(&render_shard(&artifact)).expect("artifact round-trips"));
+        }
+        artifacts.reverse();
+        let merged = workload
+            .merge_shards(true, &artifacts)
+            .expect("shards merge");
+        assert_eq!(
+            unsharded.result.table.render(),
+            merged.result.table.render(),
+            "{name}: table differs across the shard boundary"
+        );
+        assert_eq!(
+            render_json(&unsharded.aggregate),
+            render_json(&merged.aggregate),
+            "{name}: JSON artifact differs across the shard boundary"
+        );
+        assert_eq!(
+            render_csv(&unsharded.aggregate),
+            render_csv(&merged.aggregate),
+            "{name}: CSV artifact differs across the shard boundary"
+        );
     }
-    artifacts.reverse();
-    let merged = workload
-        .merge_shards(true, &artifacts)
-        .expect("shards merge");
-    assert_eq!(
-        unsharded.result.table.render(),
-        merged.result.table.render()
-    );
-    assert_eq!(
-        render_json(&unsharded.aggregate),
-        render_json(&merged.aggregate)
-    );
-    assert_eq!(
-        render_csv(&unsharded.aggregate),
-        render_csv(&merged.aggregate)
-    );
 }

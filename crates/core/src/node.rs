@@ -307,6 +307,18 @@ impl OrchestratorNode {
         out
     }
 
+    /// Gracefully departs the mesh: tells every member goodbye
+    /// ([`airdnd_mesh::MeshNode::leave_all`]) and returns the resulting
+    /// wire/notification actions. The driver calls this right before
+    /// removing the node from the simulation; an abrupt departure skips it
+    /// and peers only notice through lease expiry.
+    pub fn leave(&mut self, now: SimTime) -> Vec<NodeAction> {
+        let actions = self.mesh.leave_all(now);
+        let mut out = Vec::new();
+        self.map_mesh_actions(actions, &mut out);
+        out
+    }
+
     /// Feeds one event into the node.
     pub fn handle(&mut self, now: SimTime, event: NodeEvent) -> Vec<NodeAction> {
         let mut out = Vec::new();

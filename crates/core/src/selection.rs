@@ -4,7 +4,7 @@
 //! gates (accepting work, trusted enough, data plausibly available, memory
 //! fits, compute exists) and is then scored on five soft criteria —
 //! compute headroom, link quality, data quality, trust and predicted
-//! in-range time — blended by [`SelectionWeights`]. The output is a
+//! in-range time — blended by [`SelectionWeights`](crate::config::SelectionWeights). The output is a
 //! deterministic ranking; the offload protocol walks it.
 
 use crate::config::OrchestratorConfig;

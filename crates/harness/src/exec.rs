@@ -69,7 +69,7 @@ where
 
 /// Runs one shard's slice of the manifest through the pool. Results come
 /// back in manifest order *within the shard*; merging shards back into a
-/// full result vector is the job of [`crate::workload::merge_shards`].
+/// full result vector is the job of [`crate::workload::AnyWorkload::merge_shards`].
 pub fn run_shard_with_progress<C, R, F, P>(
     manifest: &Manifest<C>,
     shard: Shard,

@@ -3,7 +3,7 @@
 //! A [`MeshDescriptor`] is what the orchestrator actually reasons over —
 //! members with their positions, velocities, adverts, link qualities and
 //! information age, plus a churn estimate for the whole view. It is built
-//! from a [`MeshNode`](crate::MeshNode) at decision time and can be
+//! from a [`MeshNode`] at decision time and can be
 //! serialized for diagnostics or cross-node exchange.
 
 use crate::beacon::NodeAdvert;

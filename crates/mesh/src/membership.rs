@@ -205,7 +205,7 @@ impl MeshNode {
     }
 
     /// Estimated membership churn: join+leave events per second over the
-    /// last [`CHURN_WINDOW`].
+    /// last `CHURN_WINDOW` (10 s).
     pub fn churn_per_sec(&self, now: SimTime) -> f64 {
         let cutoff = now - CHURN_WINDOW;
         let recent = self.churn_events.iter().filter(|&&t| t >= cutoff).count();

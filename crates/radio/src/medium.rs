@@ -181,6 +181,14 @@ impl RadioMedium {
         &self.mac
     }
 
+    /// Overrides the channel's through-obstacle penetration loss, dB.
+    /// Worlds whose occluders are radio-opaque structures (tunnel shells,
+    /// bridge decks) raise this far above the urban-building default so
+    /// the obstacle genuinely partitions the mesh.
+    pub fn set_obstacle_loss_db(&mut self, loss_db: f64) {
+        self.channel.obstacle_loss_db = loss_db;
+    }
+
     /// Registers or moves a node.
     pub fn set_position(&mut self, addr: NodeAddr, pos: Vec2) {
         assert!(

@@ -123,6 +123,21 @@ impl Vehicle {
         self.fixed_arm = Some(arm);
     }
 
+    /// Re-draws this vehicle's route to start from `arm` *now* and pins
+    /// respawns there — how extra query origins are moved onto their own
+    /// approach after the plain spawn.
+    pub fn reroute_from(&mut self, world: &ScenarioWorld, arm: usize) {
+        let (mobility, exit) = Self::fresh_route(world, &mut self.rng, arm);
+        self.mobility = mobility;
+        self.current_exit = exit;
+        self.pin_entry_arm(arm);
+    }
+
+    /// `true` for parked/RSU anchors (they never move and never despawn).
+    pub fn is_parked(&self) -> bool {
+        matches!(self.mobility, Mobility::Fixed(_))
+    }
+
     /// Advances the vehicle by `dt` seconds, re-entering from its exit arm
     /// (or its pinned arm) when the route completes, so fleet density
     /// stays constant.
@@ -149,9 +164,19 @@ impl Vehicle {
 }
 
 /// The whole fleet; index 0 is the ego vehicle (southern approach).
+///
+/// Membership is dynamic: [`Fleet::push_mobile`] admits a new vehicle
+/// mid-run and [`Fleet::remove`] retires one, so the lifecycle layer can
+/// change the mesh population while the simulation runs. Addresses are
+/// assigned once and never reused.
 pub struct Fleet {
     /// Vehicles, ego first.
     pub vehicles: Vec<Vehicle>,
+    /// Next address to hand out to a mid-run spawn.
+    next_addr: u64,
+    /// While `true`, address `i + 1` lives at index `i` (spawns preserve
+    /// this; the first removal punches a hole and clears it).
+    dense: bool,
 }
 
 impl Fleet {
@@ -221,7 +246,52 @@ impl Fleet {
                 rng.fork(2000 + k as u64),
             ));
         }
-        Fleet { vehicles }
+        let next_addr = (count + layout.parked.len()) as u64 + 1;
+        Fleet {
+            vehicles,
+            next_addr,
+            dense: true,
+        }
+    }
+
+    /// Admits a new mobile vehicle entering from `arm` mid-run, assigning
+    /// it the next unused address. Returns the new vehicle's address.
+    #[allow(clippy::too_many_arguments)] // one knob per ScenarioConfig field
+    pub fn push_mobile(
+        &mut self,
+        world: &ScenarioWorld,
+        arm: usize,
+        gas_rate: u64,
+        sensor_range: f64,
+        orch: OrchestratorConfig,
+        mesh: MeshConfig,
+        rng: SimRng,
+    ) -> NodeAddr {
+        let addr = NodeAddr::new(self.next_addr);
+        self.next_addr += 1;
+        // Zero arrival window: a mid-run spawn enters at the portal now.
+        let vehicle = Vehicle::spawn(
+            world,
+            addr,
+            arm,
+            gas_rate,
+            sensor_range,
+            orch,
+            mesh,
+            0.0,
+            rng,
+        );
+        self.vehicles.push(vehicle);
+        addr
+    }
+
+    /// Retires the vehicle with address `addr`, returning it (its node
+    /// state, executor totals and in-flight work leave the simulation with
+    /// it). Later vehicles shift down; addresses are never reassigned.
+    pub fn remove(&mut self, addr: NodeAddr) -> Option<Vehicle> {
+        let idx = self.index_of(addr)?;
+        self.dense = false;
+        Some(self.vehicles.remove(idx))
     }
 
     /// Number of vehicles.
@@ -234,11 +304,17 @@ impl Fleet {
         self.vehicles.is_empty()
     }
 
-    /// Index of the vehicle with address `addr`, if any.
+    /// Index of the vehicle with address `addr`, if any. While no
+    /// despawn has punched a hole, addresses are dense (`addr = i + 1`,
+    /// spawns included) and this is O(1) — the path every static-fleet
+    /// run takes on each radio delivery; after the first removal it
+    /// falls back to a scan.
     pub fn index_of(&self, addr: NodeAddr) -> Option<usize> {
-        // Addresses are assigned densely as index + 1.
-        let idx = addr.raw().checked_sub(1)? as usize;
-        (idx < self.vehicles.len()).then_some(idx)
+        if self.dense {
+            let idx = addr.raw().checked_sub(1)? as usize;
+            return (idx < self.vehicles.len()).then_some(idx);
+        }
+        self.vehicles.iter().position(|v| v.node.addr() == addr)
     }
 }
 
@@ -397,6 +473,79 @@ mod tests {
         let parked = spawn(&with_parked);
         assert_eq!(plain[..], parked[..plain.len()], "mobile prefix identical");
         assert_eq!(parked.len(), plain.len() + 1);
+    }
+
+    /// Mid-run spawns get fresh dense addresses; removal punches a hole
+    /// that `index_of` handles and never reuses.
+    #[test]
+    fn push_and_remove_keep_addresses_unique() {
+        let world = stage();
+        let mut rng = SimRng::seed_from(21);
+        let mut fleet = Fleet::spawn(
+            &world,
+            4,
+            (1_000_000, 1_000_000),
+            120.0,
+            0.0,
+            OrchestratorConfig::default(),
+            MeshConfig::default(),
+            &FleetLayout::default(),
+            &mut rng,
+        );
+        let a = fleet.push_mobile(
+            &world,
+            1,
+            1_000_000,
+            120.0,
+            OrchestratorConfig::default(),
+            MeshConfig::default(),
+            rng.fork(1),
+        );
+        assert_eq!(a.raw(), 5);
+        assert_eq!(fleet.len(), 5);
+        // Remove a mid-fleet vehicle: later ones shift but stay findable.
+        let victim = fleet.vehicles[2].node.addr();
+        assert!(fleet.remove(victim).is_some());
+        assert_eq!(fleet.index_of(victim), None);
+        assert_eq!(fleet.remove(victim).map(|_| ()), None);
+        for (i, v) in fleet.vehicles.iter().enumerate() {
+            assert_eq!(fleet.index_of(v.node.addr()), Some(i));
+        }
+        // The freed address is never handed out again.
+        let b = fleet.push_mobile(
+            &world,
+            0,
+            1_000_000,
+            120.0,
+            OrchestratorConfig::default(),
+            MeshConfig::default(),
+            rng.fork(2),
+        );
+        assert_eq!(b.raw(), 6);
+        assert!(!fleet.vehicles.last().unwrap().is_parked());
+    }
+
+    #[test]
+    fn reroute_moves_a_vehicle_to_its_arm() {
+        let world = stage();
+        let mut rng = SimRng::seed_from(23);
+        let mut fleet = Fleet::spawn(
+            &world,
+            3,
+            (1_000_000, 1_000_000),
+            120.0,
+            0.0,
+            OrchestratorConfig::default(),
+            MeshConfig::default(),
+            &FleetLayout::default(),
+            &mut rng,
+        );
+        fleet.vehicles[1].reroute_from(&world, 2);
+        let entry = world.net.position(world.net.approach_node(2));
+        assert!(
+            fleet.vehicles[1].pos().distance(entry) < 1.0,
+            "rerouted vehicle must restart at its portal"
+        );
     }
 
     #[test]

@@ -26,15 +26,17 @@
 
 pub mod demand;
 pub mod fleet;
+pub mod lifecycle;
 pub mod perception;
 pub mod runner;
 pub mod world;
 
 pub use demand::DemandProfile;
 pub use fleet::{Fleet, FleetLayout, Vehicle};
+pub use lifecycle::{FleetAction, FleetEvent, FleetSchedule};
 pub use perception::{fuse_max, observed_fraction, occupied_cells};
 pub use runner::{
-    run_scenario, run_scenario_in, run_scenario_in_traced, run_scenario_traced, ScenarioConfig,
-    ScenarioReport, Strategy, WorldInstance,
+    run_scenario, run_scenario_in, run_scenario_in_traced, run_scenario_traced, EgoRoute,
+    ScenarioConfig, ScenarioReport, Strategy, WorldInstance,
 };
 pub use world::{OcclusionParams, ScenarioWorld};

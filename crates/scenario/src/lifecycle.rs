@@ -1,0 +1,143 @@
+//! The dynamic fleet lifecycle: scheduled mid-run membership change.
+//!
+//! AirDnD's geographical mesh is *dynamic*: vehicles drive into radio
+//! range, serve tasks for a while, and drive out again. A
+//! [`FleetSchedule`] makes that churn real instead of simulated-by-sweep:
+//! it is a deterministic, pre-computed list of [`FleetEvent`]s — spawn a
+//! new vehicle at a portal, or despawn an existing one (gracefully, with a
+//! mesh `Leave`, or abruptly, dropping every in-flight frame and task
+//! result) — that the scenario driver applies at tick boundaries.
+//!
+//! The schedule is pure data (it rides inside
+//! [`WorldInstance`](crate::WorldInstance) and serializes into sweep
+//! configs), so generated workloads with churn shard and merge through the
+//! harness unchanged. An empty schedule is the static-fleet special case:
+//! the driver touches nothing, byte for byte.
+
+use serde::{Deserialize, Serialize};
+
+/// What a [`FleetEvent`] does to the fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FleetAction {
+    /// A new mobile vehicle enters the map from the given portal arm
+    /// (wrapped modulo the map's arm count at apply time).
+    Spawn {
+        /// Portal arm the vehicle enters from.
+        arm: usize,
+    },
+    /// The oldest eligible mobile vehicle (never the ego, never a parked
+    /// anchor, never an extra query origin) leaves the map.
+    Despawn {
+        /// `true` sends a mesh `Leave` to every member first; `false` is
+        /// an abrupt drop — in-flight frames and task results are lost
+        /// and peers only notice via lease expiry.
+        graceful: bool,
+    },
+}
+
+/// One scheduled fleet-membership change.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetEvent {
+    /// When the event fires, seconds of simulated time. The driver applies
+    /// it at the first tick boundary at or after this instant.
+    pub at_s: f64,
+    /// What happens.
+    pub action: FleetAction,
+}
+
+/// A time-sorted list of [`FleetEvent`]s. The default (empty) schedule
+/// reproduces the static fleet exactly.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetSchedule {
+    /// The events, sorted by [`FleetEvent::at_s`].
+    pub events: Vec<FleetEvent>,
+}
+
+impl FleetSchedule {
+    /// Builds a schedule, sorting the events by time (stable, so
+    /// same-instant events keep their construction order).
+    pub fn new(mut events: Vec<FleetEvent>) -> Self {
+        events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        FleetSchedule { events }
+    }
+
+    /// `true` when the schedule holds no events (the static-fleet case).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Count of spawn events.
+    pub fn spawn_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.action, FleetAction::Spawn { .. }))
+            .count()
+    }
+
+    /// Count of despawn events.
+    pub fn despawn_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.action, FleetAction::Despawn { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sorts_by_time() {
+        let schedule = FleetSchedule::new(vec![
+            FleetEvent {
+                at_s: 9.0,
+                action: FleetAction::Despawn { graceful: true },
+            },
+            FleetEvent {
+                at_s: 3.0,
+                action: FleetAction::Spawn { arm: 1 },
+            },
+            FleetEvent {
+                at_s: 6.0,
+                action: FleetAction::Spawn { arm: 0 },
+            },
+        ]);
+        let times: Vec<f64> = schedule.events.iter().map(|e| e.at_s).collect();
+        assert_eq!(times, [3.0, 6.0, 9.0]);
+        assert_eq!(schedule.spawn_count(), 2);
+        assert_eq!(schedule.despawn_count(), 1);
+        assert_eq!(schedule.len(), 3);
+        assert!(!schedule.is_empty());
+    }
+
+    #[test]
+    fn default_is_the_static_fleet() {
+        let schedule = FleetSchedule::default();
+        assert!(schedule.is_empty());
+        assert_eq!(schedule.spawn_count(), 0);
+        assert_eq!(schedule.despawn_count(), 0);
+    }
+
+    #[test]
+    fn schedule_round_trips_through_json() {
+        let schedule = FleetSchedule::new(vec![
+            FleetEvent {
+                at_s: 2.5,
+                action: FleetAction::Spawn { arm: 2 },
+            },
+            FleetEvent {
+                at_s: 7.25,
+                action: FleetAction::Despawn { graceful: false },
+            },
+        ]);
+        let json = serde_json::to_string(&schedule).expect("serializes");
+        let back: FleetSchedule = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, schedule);
+    }
+}

@@ -20,8 +20,9 @@
 
 use crate::demand::DemandProfile;
 use crate::fleet::{Fleet, FleetLayout};
+use crate::lifecycle::{FleetAction, FleetSchedule};
 use crate::perception::{fuse_max, is_valid_grid, observed_fraction};
-use crate::world::ScenarioWorld;
+use crate::world::{OcclusionParams, ScenarioWorld};
 use airdnd_baselines::{CloudOffload, LocalOnly};
 use airdnd_core::{
     NodeAction, NodeEvent, OrchestratorConfig, OrchestratorStats, TaskOutcome, WireMsg,
@@ -33,6 +34,7 @@ use airdnd_radio::{DeliveryOutcome, NodeAddr, RadioMedium};
 use airdnd_sim::{percentile, Actor, Context, Engine, SimDuration, SimRng, SimTime};
 use airdnd_task::{library, ResourceRequirements, TaskId, TaskSpec};
 use airdnd_trust::PrivacyLevel;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -218,6 +220,27 @@ pub struct WorldInstance {
     pub parked: Vec<Vec2>,
     /// Spawn-scatter window, seconds (the fleet's arrival process).
     pub arrival_window_s: f64,
+    /// Mid-run vehicle arrivals/departures the driver applies at tick
+    /// boundaries. Empty (the default) is the static fleet, byte for byte.
+    pub schedule: FleetSchedule,
+    /// Extra concurrent query origins beyond the primary ego. Each gets
+    /// its own hidden-region grid, derived from its own approach path.
+    pub extra_egos: Vec<EgoRoute>,
+    /// Through-obstacle radio penetration loss override, dB (`None` keeps
+    /// the medium's profile default). Tunnel/bridge worlds raise it so
+    /// the structure genuinely partitions the mesh.
+    pub obstacle_loss_db: Option<f64>,
+}
+
+/// One extra query origin: the portal it enters from and the goal whose
+/// approach path its personal occlusion grid is derived along (via
+/// [`ScenarioWorld::derive`], exactly like the primary ego's).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EgoRoute {
+    /// Portal arm this ego enters (and re-enters) from.
+    pub arm: usize,
+    /// Goal portal whose path from `arm` the occlusion derivation walks.
+    pub goal_arm: usize,
 }
 
 impl WorldInstance {
@@ -241,6 +264,9 @@ impl WorldInstance {
             hidden_agents,
             parked: Vec::new(),
             arrival_window_s: 20.0,
+            schedule: FleetSchedule::default(),
+            extra_egos: Vec::new(),
+            obstacle_loss_db: None,
         }
     }
 }
@@ -300,6 +326,12 @@ pub struct ScenarioReport {
     pub results_returned: u64,
     /// Full latency sample list, ms (for CDF plots).
     pub latencies_ms: Vec<f64>,
+    /// Concurrent query origins (the primary ego plus extras).
+    pub egos: usize,
+    /// Mid-run vehicle arrivals applied from the fleet schedule.
+    pub lifecycle_spawns: u64,
+    /// Mid-run vehicle departures applied from the fleet schedule.
+    pub lifecycle_despawns: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -316,13 +348,52 @@ enum ScenMsg {
         msg: WireMsg,
     },
     CloudView {
+        ego: usize,
         submitted: SimTime,
         grid: Vec<i64>,
     },
     RawView {
+        ego: usize,
         submitted: SimTime,
         grid: Vec<i64>,
     },
+}
+
+/// One query origin's private view of the run: its own derived occlusion
+/// grid, its own local-compute fallback, and its own bookkeeping. Index 0
+/// is the primary ego; extras come from [`WorldInstance::extra_egos`].
+struct EgoState {
+    addr: NodeAddr,
+    stage: ScenarioWorld,
+    local: LocalOnly,
+    task_gas_budget: u64,
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    invalid_accepted: u64,
+    latencies_ms: Vec<f64>,
+    coverage: Vec<f64>,
+    ego_only: Vec<f64>,
+    detect_time: Option<SimTime>,
+}
+
+impl EgoState {
+    fn new(addr: NodeAddr, stage: ScenarioWorld, task_gas_budget: u64, local: LocalOnly) -> Self {
+        EgoState {
+            addr,
+            stage,
+            local,
+            task_gas_budget,
+            submitted: 0,
+            completed: 0,
+            failed: 0,
+            invalid_accepted: 0,
+            latencies_ms: Vec::new(),
+            coverage: Vec::new(),
+            ego_only: Vec::new(),
+            detect_time: None,
+        }
+    }
 }
 
 struct WorldState {
@@ -331,79 +402,87 @@ struct WorldState {
     fleet: Fleet,
     medium: RadioMedium,
     cloud: Option<CloudOffload>,
-    local: LocalOnly,
-    task_gas_budget: u64,
+    egos: Vec<EgoState>,
+    /// Distinct per-ego grids every vehicle's sensor refresh rasterizes
+    /// (deduplicated, so a single ego keeps the historical single insert).
+    sensor_stages: Vec<ScenarioWorld>,
     hidden_agents: Vec<Vec2>,
+    schedule: FleetSchedule,
+    schedule_cursor: usize,
+    lifecycle_rng: SimRng,
+    spawns: u64,
+    despawns: u64,
     tick_count: u64,
     next_task: u64,
-    task_submit_times: std::collections::BTreeMap<u64, SimTime>,
-    latencies_ms: Vec<f64>,
-    submitted: u64,
-    completed: u64,
-    failed: u64,
-    invalid_accepted: u64,
-    coverage: Vec<f64>,
-    ego_only: Vec<f64>,
+    /// task id → (submitting ego index, submit time).
+    task_submit_times: std::collections::BTreeMap<u64, (usize, SimTime)>,
     member_samples: Vec<f64>,
     mesh_formation: Option<SimTime>,
-    detect_time: Option<SimTime>,
     joins: u64,
     leaves: u64,
 }
 
 impl WorldState {
-    fn grid_cells(&self) -> u32 {
-        self.stage.cell_count() as u32
+    /// Position of the vehicle hosting ego `ego`.
+    fn ego_pos(&self, ego: usize) -> Vec2 {
+        let idx = self
+            .fleet
+            .index_of(self.egos[ego].addr)
+            .expect("ego vehicles never despawn");
+        self.fleet.vehicles[idx].pos()
     }
 
-    fn ego_grid(&self) -> Vec<i64> {
-        let pos = self.fleet.vehicles[0].pos();
-        self.stage
+    fn ego_grid(&self, ego: usize) -> Vec<i64> {
+        let pos = self.ego_pos(ego);
+        self.egos[ego]
+            .stage
             .rasterize(pos, self.cfg.sensor_range, &self.hidden_agents)
     }
 
-    fn record_view(&mut self, now: SimTime, submitted: SimTime, remote: &[i64]) {
-        let mut fused = self.ego_grid();
+    fn record_view(&mut self, now: SimTime, submitted: SimTime, remote: &[i64], ego: usize) {
+        let mut fused = self.ego_grid(ego);
         let valid = remote.len() == fused.len() && is_valid_grid(remote);
         if valid {
             fuse_max(&mut fused, remote);
         } else {
-            self.invalid_accepted += 1;
+            self.egos[ego].invalid_accepted += 1;
         }
-        self.completed += 1;
-        self.latencies_ms
-            .push(now.saturating_since(submitted).as_millis_f64());
-        self.coverage.push(observed_fraction(&fused));
-        self.ego_only.push(observed_fraction(&self.ego_grid()));
-        if self.detect_time.is_none() {
-            let hit = self
-                .hidden_agents
+        let own = observed_fraction(&self.ego_grid(ego));
+        let hit = self.egos[ego].detect_time.is_none() && {
+            let stage = &self.egos[ego].stage;
+            self.hidden_agents
                 .iter()
-                .filter_map(|&a| self.stage.cell_of(a))
-                .any(|idx| fused.get(idx) == Some(&1));
-            if hit {
-                self.detect_time = Some(now);
-            }
+                .filter_map(|&a| stage.cell_of(a))
+                .any(|idx| fused.get(idx) == Some(&1))
+        };
+        let state = &mut self.egos[ego];
+        state.completed += 1;
+        state
+            .latencies_ms
+            .push(now.saturating_since(submitted).as_millis_f64());
+        state.coverage.push(observed_fraction(&fused));
+        state.ego_only.push(own);
+        if hit {
+            state.detect_time = Some(now);
         }
     }
 
-    /// Gas budget of one perception kernel under the current config
-    /// (measured once at startup — execution is deterministic — plus
-    /// headroom).
-    fn task_gas(&self) -> u64 {
-        self.task_gas_budget
+    /// Gas budget of one perception kernel on ego `ego`'s grid (measured
+    /// once at startup — execution is deterministic — plus headroom).
+    fn task_gas(&self, ego: usize) -> u64 {
+        self.egos[ego].task_gas_budget
     }
 
-    fn perception_task(&mut self, now: SimTime) -> TaskSpec {
-        let cells = self.grid_cells();
+    fn perception_task(&mut self, now: SimTime, ego: usize) -> TaskSpec {
+        let cells = self.egos[ego].stage.cell_count() as u32;
         self.next_task += 1;
         let id = TaskId::new(self.next_task);
-        self.task_submit_times.insert(id.raw(), now);
+        self.task_submit_times.insert(id.raw(), (ego, now));
         let query = DataQuery {
             data_type: DataType::OccupancyGrid,
             requirement: QualityRequirement {
                 max_age: SimDuration::from_secs(1),
-                required_region: Some(self.stage.hidden_region),
+                required_region: Some(self.egos[ego].stage.hidden_region),
                 min_coverage_fraction: 0.3,
                 ..Default::default()
             },
@@ -415,7 +494,7 @@ impl WorldState {
         )
         .with_input(query)
         .with_requirements(ResourceRequirements {
-            gas: self.task_gas(),
+            gas: self.task_gas(ego),
             memory_bytes: 1 << 16,
             input_bytes: 512,
             output_bytes: cells as u64 * 8,
@@ -474,10 +553,13 @@ impl WorldActor {
                 }
                 NodeAction::Outcome { task, outcome } => {
                     let mut state = self.state.borrow_mut();
-                    let submitted = state.task_submit_times.remove(&task.raw()).unwrap_or(now);
+                    let (ego, submitted) = state
+                        .task_submit_times
+                        .remove(&task.raw())
+                        .unwrap_or((0, now));
                     match outcome {
                         TaskOutcome::Completed { outputs, .. } => {
-                            state.record_view(now, submitted, &outputs);
+                            state.record_view(now, submitted, &outputs, ego);
                             drop(state);
                             if ctx.trace_enabled() {
                                 ctx.trace(format!(
@@ -488,7 +570,7 @@ impl WorldActor {
                             }
                         }
                         TaskOutcome::Failed { .. } => {
-                            state.failed += 1;
+                            state.egos[ego].failed += 1;
                             drop(state);
                             if ctx.trace_enabled() {
                                 ctx.trace(format!("task: #{} failed", task.raw()));
@@ -518,9 +600,115 @@ impl WorldActor {
         }
     }
 
+    /// Applies every fleet event due at this tick boundary: spawns join
+    /// the mesh population, despawns leave it (gracefully or abruptly).
+    fn apply_lifecycle(&self, ctx: &mut Context<'_, ScenMsg>) {
+        let now = ctx.now();
+        loop {
+            let event = {
+                let mut state = self.state.borrow_mut();
+                match state.schedule.events.get(state.schedule_cursor) {
+                    Some(&event) if event.at_s <= now.as_secs_f64() => {
+                        state.schedule_cursor += 1;
+                        event
+                    }
+                    _ => break,
+                }
+            };
+            match event.action {
+                FleetAction::Spawn { arm } => {
+                    let addr = {
+                        let mut state = self.state.borrow_mut();
+                        let arm = arm % state.stage.net.arm_count();
+                        let (lo, hi) = state.cfg.gas_rate_range;
+                        let gas_rate = if hi > lo {
+                            state.lifecycle_rng.gen_range(lo..=hi)
+                        } else {
+                            lo
+                        };
+                        // Arrivals are helpers, so they draw the same
+                        // byzantine lottery the initial fleet did —
+                        // churn must not dilute the corrupt population.
+                        let byzantine = {
+                            let fraction = state.cfg.byzantine_fraction;
+                            state.lifecycle_rng.chance(fraction)
+                        };
+                        // Fork tag = how many spawns have been applied,
+                        // so each arrival gets its own stream.
+                        let rng = state.lifecycle_rng.fork(state.spawns);
+                        let (sensor_range, orch, mesh) =
+                            (state.cfg.sensor_range, state.cfg.orch, state.cfg.mesh);
+                        let WorldState {
+                            fleet,
+                            stage,
+                            medium,
+                            ..
+                        } = &mut *state;
+                        let addr =
+                            fleet.push_mobile(stage, arm, gas_rate, sensor_range, orch, mesh, rng);
+                        let vehicle = fleet.vehicles.last_mut().expect("just pushed");
+                        if byzantine {
+                            vehicle.node.executor_mut().set_byzantine(true);
+                        }
+                        let pos = vehicle.pos();
+                        medium.set_position(addr, pos);
+                        state.spawns += 1;
+                        addr
+                    };
+                    if ctx.trace_enabled() {
+                        ctx.trace(format!("lifecycle: node#{} spawned", addr.raw()));
+                    }
+                }
+                FleetAction::Despawn { graceful } => {
+                    // Oldest eligible vehicle: mobile, not a query origin.
+                    let victim = {
+                        let state = self.state.borrow();
+                        state
+                            .fleet
+                            .vehicles
+                            .iter()
+                            .find(|v| {
+                                !v.is_parked()
+                                    && !state.egos.iter().any(|e| e.addr == v.node.addr())
+                            })
+                            .map(|v| v.node.addr())
+                    };
+                    let Some(addr) = victim else {
+                        if ctx.trace_enabled() {
+                            ctx.trace("lifecycle: despawn skipped (no eligible vehicle)");
+                        }
+                        continue;
+                    };
+                    if graceful {
+                        let actions = {
+                            let mut state = self.state.borrow_mut();
+                            let idx = state.fleet.index_of(addr).expect("victim present");
+                            state.fleet.vehicles[idx].node.leave(now)
+                        };
+                        self.process_actions(ctx, addr, actions);
+                    }
+                    {
+                        let mut state = self.state.borrow_mut();
+                        state.fleet.remove(addr);
+                        state.medium.remove_node(addr);
+                        state.despawns += 1;
+                    }
+                    if ctx.trace_enabled() {
+                        ctx.trace(format!(
+                            "lifecycle: node#{} despawned ({})",
+                            addr.raw(),
+                            if graceful { "graceful" } else { "abrupt" }
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
     fn tick(&self, ctx: &mut Context<'_, ScenMsg>) {
         let now = ctx.now();
-        let (tick_count, vehicle_count) = {
+        self.apply_lifecycle(ctx);
+        let (tick_count, vehicle_count, ego_count) = {
             let mut state = self.state.borrow_mut();
             state.tick_count += 1;
             let dt = state.cfg.tick.as_secs_f64();
@@ -535,35 +723,45 @@ impl WorldActor {
                 state.medium.set_position(addr, pos);
                 state.fleet.vehicles[i].node.set_kinematics(pos, vel);
             }
-            // Sensor refresh: every vehicle snapshots the hidden region.
+            // Sensor refresh: every vehicle snapshots each ego's hidden
+            // region (one catalog item per distinct grid).
             if state
                 .tick_count
                 .is_multiple_of(state.cfg.sensor_every_ticks as u64)
             {
-                let agents = state.hidden_agents.clone();
-                let range = state.cfg.sensor_range;
-                let coverage = state.stage.hidden_region;
-                let resolution = 1.0 / state.stage.cell_size;
-                for i in 0..state.fleet.vehicles.len() {
-                    let pos = state.fleet.vehicles[i].pos();
-                    let grid = state.stage.rasterize(pos, range, &agents);
-                    state.fleet.vehicles[i].node.insert_data(
-                        DataType::OccupancyGrid,
-                        grid,
-                        QualityDescriptor {
-                            produced_at: now,
-                            confidence: 0.9,
-                            resolution,
-                            coverage: Some(coverage),
-                            noise_sigma: 0.0,
-                        },
-                    );
+                let WorldState {
+                    fleet,
+                    sensor_stages,
+                    hidden_agents,
+                    cfg,
+                    ..
+                } = &mut *state;
+                for vehicle in fleet.vehicles.iter_mut() {
+                    let pos = vehicle.pos();
+                    for sensed in sensor_stages.iter() {
+                        let grid = sensed.rasterize(pos, cfg.sensor_range, hidden_agents);
+                        vehicle.node.insert_data(
+                            DataType::OccupancyGrid,
+                            grid,
+                            QualityDescriptor {
+                                produced_at: now,
+                                confidence: 0.9,
+                                resolution: 1.0 / sensed.cell_size,
+                                coverage: Some(sensed.hidden_region),
+                                noise_sigma: 0.0,
+                            },
+                        );
+                    }
                 }
             }
             // Ego mesh-size sample.
             let members = state.fleet.vehicles[0].node.mesh().member_count();
             state.member_samples.push(members as f64);
-            (state.tick_count, state.fleet.vehicles.len())
+            (
+                state.tick_count,
+                state.fleet.vehicles.len(),
+                state.egos.len(),
+            )
         };
 
         // Node timers (mesh beacons, protocol timeouts).
@@ -576,18 +774,20 @@ impl WorldActor {
             self.process_actions(ctx, addr, actions);
         }
 
-        // Ego perception workload, paced by the demand profile.
-        let task_due = {
-            let state = self.state.borrow();
-            let progress = now.as_secs_f64() / state.cfg.duration.as_secs_f64().max(1e-9);
-            let ego_pos = state.fleet.vehicles[0].pos();
-            state
-                .cfg
-                .demand
-                .due(tick_count, state.cfg.task_every_ticks, progress, ego_pos)
-        };
-        if task_due {
-            self.submit_perception(ctx);
+        // Perception workload per query origin, paced by the demand profile.
+        for ego in 0..ego_count {
+            let task_due = {
+                let state = self.state.borrow();
+                let progress = now.as_secs_f64() / state.cfg.duration.as_secs_f64().max(1e-9);
+                let ego_pos = state.ego_pos(ego);
+                state
+                    .cfg
+                    .demand
+                    .due(tick_count, state.cfg.task_every_ticks, progress, ego_pos)
+            };
+            if task_due {
+                self.submit_perception(ctx, ego);
+            }
         }
 
         // Next tick.
@@ -603,49 +803,60 @@ impl WorldActor {
         }
     }
 
-    fn submit_perception(&self, ctx: &mut Context<'_, ScenMsg>) {
+    fn submit_perception(&self, ctx: &mut Context<'_, ScenMsg>, ego: usize) {
         let now = ctx.now();
         let strategy = self.state.borrow().cfg.strategy;
         if ctx.trace_enabled() {
             let state = self.state.borrow();
             ctx.trace(format!(
-                "demand: task {} due ({}) at ego {:?}",
-                state.submitted + 1,
+                "demand: task {} due ({}) at ego#{} {:?}",
+                state.egos[ego].submitted + 1,
                 strategy.label(),
-                state.fleet.vehicles[0].pos()
+                ego,
+                state.ego_pos(ego)
             ));
         }
         match strategy {
             Strategy::Airdnd => {
                 let (addr, actions) = {
                     let mut state = self.state.borrow_mut();
-                    state.submitted += 1;
-                    let spec = state.perception_task(now);
-                    let ego = &mut state.fleet.vehicles[0];
-                    let addr = ego.node.addr();
-                    let actions = ego.node.submit_task(now, spec, PrivacyLevel::Derived);
+                    state.egos[ego].submitted += 1;
+                    let spec = state.perception_task(now, ego);
+                    let addr = state.egos[ego].addr;
+                    let idx = state.fleet.index_of(addr).expect("ego vehicles persist");
+                    let actions = state.fleet.vehicles[idx].node.submit_task(
+                        now,
+                        spec,
+                        PrivacyLevel::Derived,
+                    );
                     (addr, actions)
                 };
                 self.process_actions(ctx, addr, actions);
             }
             Strategy::Cloud { .. } => {
                 let mut state = self.state.borrow_mut();
-                state.submitted += 1;
+                state.egos[ego].submitted += 1;
                 // Every vehicle uploads its raw frame; the cloud fuses all
                 // views; the ego downloads the result.
-                let agents = state.hidden_agents.clone();
-                let range = state.cfg.sensor_range;
-                let mut fused = vec![-1i64; state.stage.cell_count()];
                 let raw =
                     DataType::RawFrame(airdnd_data::SensorModality::Camera).typical_size_bytes();
-                let gas = state.task_gas();
-                let result_bytes = state.stage.cell_count() as u64 * 8;
+                let gas = state.task_gas(ego);
                 let mut last_done = now;
-                for i in 0..state.fleet.vehicles.len() {
-                    let pos = state.fleet.vehicles[i].pos();
-                    let grid = state.stage.rasterize(pos, range, &agents);
+                let WorldState {
+                    egos,
+                    fleet,
+                    cloud,
+                    hidden_agents,
+                    cfg,
+                    ..
+                } = &mut *state;
+                let stage = &egos[ego].stage;
+                let result_bytes = stage.cell_count() as u64 * 8;
+                let mut fused = vec![-1i64; stage.cell_count()];
+                for vehicle in &fleet.vehicles {
+                    let grid = stage.rasterize(vehicle.pos(), cfg.sensor_range, hidden_agents);
                     fuse_max(&mut fused, &grid);
-                    let cloud = state.cloud.as_mut().expect("cloud strategy has a link");
+                    let cloud = cloud.as_mut().expect("cloud strategy has a link");
                     let (done, _) = cloud.offload(now, raw, gas, result_bytes);
                     last_done = last_done.max(done);
                 }
@@ -653,6 +864,7 @@ impl WorldActor {
                 ctx.send_self(
                     last_done.saturating_since(now),
                     ScenMsg::CloudView {
+                        ego,
                         submitted: now,
                         grid: fused,
                     },
@@ -660,10 +872,14 @@ impl WorldActor {
             }
             Strategy::RawSharing => {
                 let mut state = self.state.borrow_mut();
-                state.submitted += 1;
+                state.egos[ego].submitted += 1;
                 // Pick the freshest-linked mesh member and pull its frame.
-                let descriptor = state.fleet.vehicles[0].node.descriptor(now);
-                let ego_addr = state.fleet.vehicles[0].node.addr();
+                let ego_addr = state.egos[ego].addr;
+                let ego_idx = state
+                    .fleet
+                    .index_of(ego_addr)
+                    .expect("ego vehicles persist");
+                let descriptor = state.fleet.vehicles[ego_idx].node.descriptor(now);
                 let best = descriptor
                     .members
                     .iter()
@@ -675,25 +891,26 @@ impl WorldActor {
                     })
                     .map(|m| m.addr);
                 let Some(helper_addr) = best else {
-                    state.failed += 1;
+                    state.egos[ego].failed += 1;
                     return;
                 };
                 let Some(helper_idx) = state.fleet.index_of(helper_addr) else {
-                    state.failed += 1;
+                    state.egos[ego].failed += 1;
                     return;
                 };
                 let raw =
                     DataType::RawFrame(airdnd_data::SensorModality::Camera).typical_size_bytes();
-                let gas = state.task_gas();
+                let gas = state.task_gas(ego);
                 let agents = state.hidden_agents.clone();
                 let helper_pos = state.fleet.vehicles[helper_idx].pos();
-                let grid = state
-                    .stage
-                    .rasterize(helper_pos, state.cfg.sensor_range, &agents);
-                let WorldState { medium, local, .. } = &mut *state;
+                let grid =
+                    state.egos[ego]
+                        .stage
+                        .rasterize(helper_pos, state.cfg.sensor_range, &agents);
+                let WorldState { medium, egos, .. } = &mut *state;
                 let outcome = airdnd_baselines::raw_sharing_completion(
                     medium,
-                    local,
+                    &mut egos[ego].local,
                     now,
                     ego_addr,
                     helper_addr,
@@ -707,26 +924,28 @@ impl WorldActor {
                         ctx.send_self(
                             done.saturating_since(now),
                             ScenMsg::RawView {
+                                ego,
                                 submitted: now,
                                 grid,
                             },
                         );
                     }
                     None => {
-                        self.state.borrow_mut().failed += 1;
+                        self.state.borrow_mut().egos[ego].failed += 1;
                     }
                 }
             }
             Strategy::LocalOnly => {
                 let mut state = self.state.borrow_mut();
-                state.submitted += 1;
-                let gas = state.task_gas();
-                let done = state.local.run(now, gas);
-                let grid = state.ego_grid();
+                state.egos[ego].submitted += 1;
+                let gas = state.task_gas(ego);
+                let done = state.egos[ego].local.run(now, gas);
+                let grid = state.ego_grid(ego);
                 drop(state);
                 ctx.send_self(
                     done.saturating_since(now),
                     ScenMsg::RawView {
+                        ego,
                         submitted: now,
                         grid,
                     },
@@ -781,9 +1000,20 @@ impl Actor<ScenMsg> for WorldActor {
                     );
                 }
             }
-            ScenMsg::CloudView { submitted, grid } | ScenMsg::RawView { submitted, grid } => {
+            ScenMsg::CloudView {
+                ego,
+                submitted,
+                grid,
+            }
+            | ScenMsg::RawView {
+                ego,
+                submitted,
+                grid,
+            } => {
                 let now = ctx.now();
-                self.state.borrow_mut().record_view(now, submitted, &grid);
+                self.state
+                    .borrow_mut()
+                    .record_view(now, submitted, &grid, ego);
             }
         }
     }
@@ -830,6 +1060,9 @@ fn run_core(
         hidden_agents,
         parked,
         arrival_window_s,
+        schedule,
+        extra_egos,
+        obstacle_loss_db,
     } = world;
     let mut rng = SimRng::seed_from(cfg.seed);
     let layout = FleetLayout {
@@ -837,7 +1070,7 @@ fn run_core(
         parked,
         arrival_window_s,
     };
-    let fleet = Fleet::spawn(
+    let mut fleet = Fleet::spawn(
         &stage,
         cfg.vehicles,
         cfg.gas_rate_range,
@@ -848,7 +1081,61 @@ fn run_core(
         &layout,
         &mut rng,
     );
+    // Query origins: the primary ego plus one vehicle per extra route,
+    // each with its own occlusion grid derived along its own path.
+    let kernel = library::burn_and_echo(cfg.task_compute_rounds);
+    let gas_budget_for = |cells: usize| {
+        // Exact kernel cost on this grid, plus 25 % headroom.
+        let measured = library::measure_gas(&kernel, &vec![0i64; cells]);
+        measured + measured / 4 + 10_000
+    };
+    let ego_gas = fleet.vehicles[0].node.executor().gas_rate();
+    let mut egos = vec![EgoState::new(
+        fleet.vehicles[0].node.addr(),
+        stage.clone(),
+        gas_budget_for(stage.cell_count()),
+        LocalOnly::new(ego_gas),
+    )];
+    let arms = stage.net.arm_count();
+    for (k, route) in extra_egos.iter().enumerate() {
+        // Extra egos ride the first mobile helpers; a profile too small to
+        // host them simply fields fewer query origins.
+        let idx = 1 + k;
+        if idx >= cfg.vehicles.min(fleet.vehicles.len()) {
+            break;
+        }
+        let arm = route.arm % arms;
+        fleet.vehicles[idx].reroute_from(&stage, arm);
+        let ego_stage = ScenarioWorld::derive(
+            stage.net.clone(),
+            stage.world.clone(),
+            stage.net.approach_node(arm),
+            stage.net.exit_node(route.goal_arm % arms),
+            &OcclusionParams::default(),
+        )
+        .unwrap_or_else(|| stage.clone());
+        let gas_rate = fleet.vehicles[idx].node.executor().gas_rate();
+        egos.push(EgoState::new(
+            fleet.vehicles[idx].node.addr(),
+            ego_stage.clone(),
+            gas_budget_for(ego_stage.cell_count()),
+            LocalOnly::new(gas_rate),
+        ));
+    }
+    // Distinct grids the fleet's sensors must cover each refresh.
+    let mut sensor_stages: Vec<ScenarioWorld> = Vec::new();
+    for ego in &egos {
+        if !sensor_stages
+            .iter()
+            .any(|s| s.hidden_region == ego.stage.hidden_region)
+        {
+            sensor_stages.push(ego.stage.clone());
+        }
+    }
     let mut medium = RadioMedium::v2v(stage.world.clone(), rng.fork(0xC0DE));
+    if let Some(loss_db) = obstacle_loss_db {
+        medium.set_obstacle_loss_db(loss_db);
+    }
     for v in &fleet.vehicles {
         medium.set_position(v.node.addr(), v.pos());
     }
@@ -857,36 +1144,26 @@ fn run_core(
         Strategy::Cloud { fiveg: false } => Some(CloudOffload::lte()),
         _ => None,
     };
-    let ego_gas = fleet.vehicles[0].node.executor().gas_rate();
-    // Exact kernel cost on a representative grid, plus 25 % headroom.
-    let task_gas_budget = {
-        let cells = stage.cell_count();
-        let kernel = library::burn_and_echo(cfg.task_compute_rounds);
-        let measured = library::measure_gas(&kernel, &vec![0i64; cells]);
-        measured + measured / 4 + 10_000
-    };
+    let lifecycle_rng = rng.fork(0x11FE_C7C1);
     let state = Rc::new(RefCell::new(WorldState {
         cfg,
         stage,
         fleet,
         medium,
         cloud,
-        local: LocalOnly::new(ego_gas),
-        task_gas_budget,
+        egos,
+        sensor_stages,
         hidden_agents,
+        schedule,
+        schedule_cursor: 0,
+        lifecycle_rng,
+        spawns: 0,
+        despawns: 0,
         tick_count: 0,
         next_task: 0,
         task_submit_times: std::collections::BTreeMap::new(),
-        latencies_ms: Vec::new(),
-        submitted: 0,
-        completed: 0,
-        failed: 0,
-        invalid_accepted: 0,
-        coverage: Vec::new(),
-        ego_only: Vec::new(),
         member_samples: Vec::new(),
         mesh_formation: None,
-        detect_time: None,
         joins: 0,
         leaves: 0,
     }));
@@ -912,21 +1189,43 @@ fn run_core(
         let (_, gas) = v.node.executor().totals();
         utilizations.push(gas as f64 / v.node.executor().gas_rate() as f64 / duration_s);
     }
-    let lat = &state.latencies_ms;
+    // Fold the per-ego books into the fleet-level report (sample lists
+    // concatenate in ego order; a single ego reproduces the historical
+    // aggregation exactly).
+    let submitted: u64 = state.egos.iter().map(|e| e.submitted).sum();
+    let completed: u64 = state.egos.iter().map(|e| e.completed).sum();
+    let failed: u64 = state.egos.iter().map(|e| e.failed).sum();
+    let invalid_accepted: u64 = state.egos.iter().map(|e| e.invalid_accepted).sum();
+    let latencies: Vec<f64> = state
+        .egos
+        .iter()
+        .flat_map(|e| e.latencies_ms.iter().copied())
+        .collect();
+    let coverage: Vec<f64> = state
+        .egos
+        .iter()
+        .flat_map(|e| e.coverage.iter().copied())
+        .collect();
+    let ego_only: Vec<f64> = state
+        .egos
+        .iter()
+        .flat_map(|e| e.ego_only.iter().copied())
+        .collect();
+    let detect_time = state.egos.iter().filter_map(|e| e.detect_time).min();
+    let lat = &latencies;
     let cellular_bytes = state.cloud.as_ref().map_or(0, CloudOffload::bytes_total);
     let mesh_bytes = state.medium.bytes_on_air_total();
-    let completed = state.completed;
     let report = ScenarioReport {
         strategy: cfg.strategy.label().to_owned(),
         duration_s,
         vehicles: state.fleet.len(),
-        tasks_submitted: state.submitted,
+        tasks_submitted: submitted,
         tasks_completed: completed,
-        tasks_failed: state.failed,
-        completion_rate: if state.submitted == 0 {
+        tasks_failed: failed,
+        completion_rate: if submitted == 0 {
             1.0
         } else {
-            completed as f64 / state.submitted as f64
+            completed as f64 / submitted as f64
         },
         latency_mean_ms: if lat.is_empty() {
             0.0
@@ -943,18 +1242,21 @@ fn run_core(
         } else {
             (mesh_bytes + cellular_bytes) as f64 / completed as f64
         },
-        mean_coverage: mean(&state.coverage),
-        ego_only_coverage: mean(&state.ego_only),
-        time_to_detect_s: state.detect_time.map(|t| t.as_secs_f64()),
+        mean_coverage: mean(&coverage),
+        ego_only_coverage: mean(&ego_only),
+        time_to_detect_s: detect_time.map(|t| t.as_secs_f64()),
         mesh_formation_s: state.mesh_formation.map(|t| t.as_secs_f64()),
         mean_members: mean(&state.member_samples),
         joins: state.joins,
         leaves: state.leaves,
         mean_executor_utilization: mean(&utilizations),
-        invalid_results_accepted: state.invalid_accepted,
+        invalid_results_accepted: invalid_accepted,
         offers_sent: fleet_stats.offers_sent,
         results_returned: fleet_stats.results_returned,
         latencies_ms: lat.clone(),
+        egos: state.egos.len(),
+        lifecycle_spawns: state.spawns,
+        lifecycle_despawns: state.despawns,
     };
     (report, trace)
 }

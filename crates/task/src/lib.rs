@@ -6,7 +6,7 @@
 //! makes offloading *real*: tasks are programs for **TaskVM**, a small
 //! verified, gas-metered stack machine. A receiving node can
 //!
-//! 1. statically [`verify`](vm::verify) the program (type/stack safety,
+//! 1. statically [`verify`](vm::verify()) the program (type/stack safety,
 //!    bounded memory, valid jumps) — the feasibility half of RQ3,
 //! 2. bound its cost via the declared [`ResourceRequirements`] and the gas
 //!    meter, and

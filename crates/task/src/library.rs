@@ -14,7 +14,7 @@
 //!   for compute-vs-transfer trade-off experiments,
 //! * [`checksum`] — FNV-1a over the inputs, used by integrity spot checks.
 //!
-//! All constructors return already-[verified](crate::vm::verify) programs;
+//! All constructors return already-[verified](crate::vm::verify()) programs;
 //! [`measure_gas`] reports the exact gas a kernel uses on given inputs
 //! (execution is deterministic, so one measurement is authoritative).
 

@@ -153,7 +153,7 @@ pub const fn gas_cost(instr: Instr) -> u64 {
 
 /// An unverified TaskVM program: code plus a declared memory size.
 ///
-/// Run [`crate::vm::verify`] to obtain a [`crate::vm::VerifiedProgram`]
+/// Run [`crate::vm::verify`](crate::vm::verify()) to obtain a [`crate::vm::VerifiedProgram`]
 /// before execution.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Program {

@@ -2,13 +2,13 @@
 //!
 //! TaskVM is a stack machine over `i64` words with a bounded word-addressed
 //! memory, explicit inputs/outputs and deterministic gas metering. Programs
-//! are [verified](verify) before execution — verification proves stack
+//! are [verified](verify()) before execution — verification proves stack
 //! safety and jump validity once, so the interpreter's per-step work stays
 //! small and a malicious task cannot corrupt the host.
 //!
 //! The module split mirrors the lifecycle:
 //! [`isa`] (what programs are) → [`asm`] (how they are written) →
-//! [`verify`] (what a receiving node checks) → [`exec`] (how they run).
+//! [`verify`](verify()) (what a receiving node checks) → [`exec`] (how they run).
 
 pub mod asm;
 pub mod exec;

@@ -12,9 +12,14 @@
 //! same registry.
 
 use crate::fleets::{parked_positions, FleetProfile};
-use crate::maps::{grid, highway, radial, GeneratedMap, GridParams, HighwayParams, RadialParams};
+use crate::maps::{
+    bridge, grid, highway, radial, roundabout, BridgeParams, GeneratedMap, GridParams,
+    HighwayParams, RadialParams, RoundaboutParams,
+};
 use airdnd_geo::Vec2;
-use airdnd_scenario::{OcclusionParams, ScenarioConfig, ScenarioWorld, WorldInstance};
+use airdnd_scenario::{
+    FleetSchedule, OcclusionParams, ScenarioConfig, ScenarioWorld, WorldInstance,
+};
 use airdnd_sim::SimRng;
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +38,10 @@ pub enum FamilyKind {
     Radial(RadialParams),
     /// Highway corridor with on-ramps.
     Highway(HighwayParams),
+    /// Roundabout whose central island hides the far side of the circle.
+    Roundabout(RoundaboutParams),
+    /// Mainline over a tunnel/bridge span that radio-partitions the mesh.
+    Bridge(BridgeParams),
 }
 
 impl FamilyKind {
@@ -43,6 +52,8 @@ impl FamilyKind {
             FamilyKind::Grid(_) => "grid",
             FamilyKind::Radial(_) => "radial",
             FamilyKind::Highway(_) => "highway",
+            FamilyKind::Roundabout(_) => "roundabout",
+            FamilyKind::Bridge(_) => "bridge",
         }
     }
 
@@ -66,6 +77,13 @@ impl FamilyKind {
             FamilyKind::Grid(p) => grid(p, &mut stage_rng(cfg.seed)),
             FamilyKind::Radial(p) => radial(p, &mut stage_rng(cfg.seed)),
             FamilyKind::Highway(p) => highway(p, &mut stage_rng(cfg.seed)),
+            FamilyKind::Roundabout(p) => roundabout(p, &mut stage_rng(cfg.seed)),
+            FamilyKind::Bridge(p) => bridge(p, &mut stage_rng(cfg.seed)),
+        };
+        // A tunnel shell is radio-opaque, not just visually occluding.
+        let obstacle_loss_db = match self {
+            FamilyKind::Bridge(p) => Some(p.shell_loss_db),
+            _ => None,
         };
         let GeneratedMap {
             net,
@@ -87,6 +105,9 @@ impl FamilyKind {
             hidden_agents,
             parked,
             arrival_window_s: profile.arrival_window_s,
+            schedule: FleetSchedule::default(),
+            extra_egos: Vec::new(),
+            obstacle_loss_db,
         }
     }
 }
@@ -131,7 +152,57 @@ pub fn families() -> Vec<ScenarioFamily> {
             name: "highway",
             kind: FamilyKind::Highway(HighwayParams::default()),
         },
+        ScenarioFamily {
+            name: "roundabout",
+            kind: FamilyKind::Roundabout(RoundaboutParams::default()),
+        },
+        ScenarioFamily {
+            name: "bridge",
+            kind: FamilyKind::Bridge(BridgeParams::default()),
+        },
     ]
+}
+
+/// Assigns up to `count` extra query origins to `instance`: each rides a
+/// distinct portal arm (never the primary ego's), aiming at the farthest
+/// portal so its approach path crosses the map, and the runner derives its
+/// personal occlusion grid along that path ([`ScenarioWorld::derive`]).
+/// Ground-truth agents are hidden in every extra corridor that derives, so
+/// per-ego detection is measurable. Arms that derive no corridor of their
+/// own still field an ego (it falls back to the shared grid at run time).
+pub fn assign_extra_egos(instance: &mut WorldInstance, count: usize, hidden_per_ego: usize) {
+    let arms = instance.stage.net.arm_count();
+    let mut routes = Vec::new();
+    for k in 0..arms {
+        if routes.len() == count {
+            break;
+        }
+        let arm = (instance.ego_arm + 1 + k) % arms;
+        if arm == instance.ego_arm {
+            continue;
+        }
+        let goal_arm = (arm + arms / 2) % arms;
+        let goal_arm = if goal_arm == arm {
+            (arm + 1) % arms
+        } else {
+            goal_arm
+        };
+        routes.push(airdnd_scenario::EgoRoute { arm, goal_arm });
+        // Hide agents in this ego's own corridor when one derives.
+        let net = instance.stage.net.clone();
+        let world = instance.stage.world.clone();
+        if let Some(stage) = ScenarioWorld::derive(
+            net.clone(),
+            world,
+            net.approach_node(arm),
+            net.exit_node(goal_arm),
+            &OcclusionParams::default(),
+        ) {
+            let agents = crate::fleets::corridor_slots(&stage, hidden_per_ego, 2.0, false);
+            instance.hidden_agents.extend(agents);
+        }
+    }
+    instance.extra_egos = routes;
 }
 
 /// Looks up one family by name.
@@ -217,10 +288,100 @@ mod tests {
 
     #[test]
     fn registry_lookup() {
-        assert_eq!(families().len(), 4);
+        assert_eq!(families().len(), 6);
         assert!(find("grid").is_some());
         assert!(find("nope").is_none());
         let labels: Vec<&str> = families().iter().map(|f| f.kind.label()).collect();
-        assert_eq!(labels, ["corner", "grid", "radial", "highway"]);
+        assert_eq!(
+            labels,
+            [
+                "corner",
+                "grid",
+                "radial",
+                "highway",
+                "roundabout",
+                "bridge"
+            ]
+        );
+    }
+
+    /// The bridge family threads its shell loss into the instance so the
+    /// runner hardens the radio medium; other families leave it alone.
+    #[test]
+    fn bridge_world_is_radio_opaque() {
+        let cfg = quick_cfg(3);
+        let bridge = find("bridge").unwrap().kind;
+        let instance = bridge.instantiate(&cfg, &FleetProfile::default());
+        assert_eq!(instance.obstacle_loss_db, Some(60.0));
+        let grid = find("grid").unwrap().kind;
+        assert_eq!(
+            grid.instantiate(&cfg, &FleetProfile::default())
+                .obstacle_loss_db,
+            None
+        );
+    }
+
+    /// The agent-placement derivation in `assign_extra_egos` and the
+    /// per-ego grid derivation the runner performs share one contract:
+    /// same `(arm, goal_arm, OcclusionParams::default())` inputs. Pin it:
+    /// every agent this function hides must land inside the grid the
+    /// runner will derive for its ego.
+    #[test]
+    fn extra_ego_agents_land_in_the_runner_derived_grid() {
+        let cfg = quick_cfg(9);
+        let kind = find("grid").unwrap().kind;
+        let mut instance = kind.instantiate(&cfg, &FleetProfile::default());
+        let base_agents = instance.hidden_agents.len();
+        assign_extra_egos(&mut instance, 2, 2);
+        let extra_agents = &instance.hidden_agents[base_agents..];
+        assert!(!extra_agents.is_empty(), "grid arms must derive corridors");
+        let mut placed = 0;
+        for route in &instance.extra_egos {
+            let net = instance.stage.net.clone();
+            // The very derivation run_core performs for this ego.
+            let Some(stage) = ScenarioWorld::derive(
+                net.clone(),
+                instance.stage.world.clone(),
+                net.approach_node(route.arm),
+                net.exit_node(route.goal_arm),
+                &OcclusionParams::default(),
+            ) else {
+                continue;
+            };
+            placed += extra_agents
+                .iter()
+                .filter(|&&a| stage.cell_of(a).is_some())
+                .count();
+        }
+        assert_eq!(
+            placed,
+            extra_agents.len(),
+            "every placed agent must be visible to the ego that owns it"
+        );
+    }
+
+    /// Extra query origins land on distinct non-primary arms and bring
+    /// their own hidden agents when their path derives a corridor.
+    #[test]
+    fn extra_egos_ride_distinct_arms() {
+        let cfg = quick_cfg(5);
+        for name in ["corner", "grid", "roundabout"] {
+            let kind = find(name).unwrap().kind;
+            let mut instance = kind.instantiate(&cfg, &FleetProfile::default());
+            let base_agents = instance.hidden_agents.len();
+            assign_extra_egos(&mut instance, 2, 1);
+            assert_eq!(instance.extra_egos.len(), 2, "{name}");
+            let mut arms: Vec<usize> = instance.extra_egos.iter().map(|r| r.arm).collect();
+            assert!(
+                !arms.contains(&instance.ego_arm),
+                "{name}: extras must avoid the primary arm"
+            );
+            arms.dedup();
+            assert_eq!(arms.len(), 2, "{name}: extras must ride distinct arms");
+            assert!(
+                instance.hidden_agents.len() >= base_agents,
+                "{name}: agents never disappear"
+            );
+        }
     }
 }

@@ -45,11 +45,11 @@
 //! let world = grid.kind.instantiate(&cfg, &FleetProfile::default());
 //! let report = run_scenario_in(world, cfg);
 //! assert_eq!(report.strategy, "airdnd");
-//! assert_eq!(families().len(), 4);
+//! assert_eq!(families().len(), 6);
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod demand;
 pub mod family;
@@ -57,6 +57,8 @@ pub mod fleets;
 pub mod maps;
 
 pub use demand::DemandKind;
-pub use family::{families, find, FamilyKind, ScenarioFamily};
-pub use fleets::{parked_positions, FleetProfile};
-pub use maps::{GeneratedMap, GridParams, HighwayParams, RadialParams};
+pub use family::{assign_extra_egos, families, find, FamilyKind, ScenarioFamily};
+pub use fleets::{parked_positions, ChurnProcess, FleetProfile};
+pub use maps::{
+    BridgeParams, GeneratedMap, GridParams, HighwayParams, RadialParams, RoundaboutParams,
+};

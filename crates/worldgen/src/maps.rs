@@ -10,7 +10,13 @@
 //! * [`RadialParams`] — radial arterials crossed by ring roads, buildings
 //!   hugging the central intersection,
 //! * [`HighwayParams`] — a fast corridor with slow on-ramps, sound
-//!   walls/warehouses occluding the merge areas.
+//!   walls/warehouses occluding the merge areas,
+//! * [`RoundaboutParams`] — approach arms feeding a ring of chords around
+//!   a landscaped central island that hides the far side of the circle,
+//! * [`BridgeParams`] — a mainline crossing a tunnel/bridge span whose
+//!   shell is a *radio* obstacle: vehicles traversing it black out and the
+//!   mesh hard-partitions until they emerge; a corner building past the
+//!   east mouth occludes the crossing street.
 //!
 //! Every generator is a pure function of its parameters and the provided
 //! [`SimRng`] (which jitters building footprints), so the same seed always
@@ -140,6 +146,86 @@ impl Default for HighwayParams {
             ramp_len: 80.0,
             wall_depth: 14.0,
             setback: 12.0,
+        }
+    }
+}
+
+/// A roundabout: approach arms feeding a ring around a central island.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RoundaboutParams {
+    /// Approach arms (≥ 3).
+    pub arms: usize,
+    /// Ring radius, metres.
+    pub radius: f64,
+    /// Approach length from each portal to its ring node, metres.
+    pub approach_len: f64,
+    /// Ring (chord) speed limit, m/s.
+    pub ring_speed: f64,
+    /// Approach speed limit, m/s.
+    pub approach_speed: f64,
+    /// Central-island side as a fraction of the ring radius, `(0, 1)` —
+    /// the island is the occluder hiding the far side of the circle.
+    pub island_frac: f64,
+    /// Sector-building setback from the ring, metres.
+    pub setback: f64,
+    /// Nominal sector-building side, metres (jittered per sector).
+    pub building: f64,
+}
+
+impl Default for RoundaboutParams {
+    fn default() -> Self {
+        RoundaboutParams {
+            arms: 4,
+            radius: 30.0,
+            approach_len: 150.0,
+            ring_speed: 8.3,      // 30 km/h on the circle
+            approach_speed: 13.9, // 50 km/h approaches
+            island_frac: 0.7,
+            setback: 10.0,
+            building: 35.0,
+        }
+    }
+}
+
+/// A mainline crossing a tunnel/bridge span.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BridgeParams {
+    /// Portal-to-mouth approach length on each side, metres.
+    pub approach_len: f64,
+    /// Tunnel/bridge span length, metres.
+    pub span: f64,
+    /// Distance from the east mouth to the crossing junction, metres.
+    pub clearance: f64,
+    /// Crossing-street arm length at the east junction, metres.
+    pub arm: f64,
+    /// Mainline speed limit, m/s.
+    pub mainline_speed: f64,
+    /// Span speed limit, m/s (tunnels post lower limits).
+    pub span_speed: f64,
+    /// Corner-building setback at the east junction, metres.
+    pub setback: f64,
+    /// Corner-building size, metres (jittered).
+    pub building: f64,
+    /// Tunnel-shell half-height across the road, metres.
+    pub shell_half: f64,
+    /// Through-shell radio penetration loss, dB (threaded into the radio
+    /// medium; tunnels black out, unlike urban brick).
+    pub shell_loss_db: f64,
+}
+
+impl Default for BridgeParams {
+    fn default() -> Self {
+        BridgeParams {
+            approach_len: 150.0,
+            span: 140.0,
+            clearance: 60.0,
+            arm: 120.0,
+            mainline_speed: 16.7, // 60 km/h
+            span_speed: 13.9,
+            setback: 12.0,
+            building: 40.0,
+            shell_half: 6.0,
+            shell_loss_db: 60.0,
         }
     }
 }
@@ -366,6 +452,155 @@ pub fn highway(p: &HighwayParams, rng: &mut SimRng) -> GeneratedMap {
     }
 }
 
+/// Generates a roundabout (see [`RoundaboutParams`]).
+///
+/// Arm 0 points south (the ego's canonical approach). The ring is a
+/// polygon of chords; the central island is the occluder: entering
+/// traffic cannot see the far side of the circle, so the corridor derives
+/// along a far chord. Sector buildings between the approaches add urban
+/// clutter near the junctions.
+///
+/// # Panics
+///
+/// Panics on degenerate parameters (fewer than 3 arms, a non-positive
+/// radius/approach, or an island fraction outside `(0, 1)`).
+pub fn roundabout(p: &RoundaboutParams, rng: &mut SimRng) -> GeneratedMap {
+    assert!(p.arms >= 3, "a roundabout needs at least 3 arms");
+    assert!(
+        p.radius > 0.0 && p.approach_len > 0.0,
+        "radius and approach must be positive"
+    );
+    assert!(
+        p.island_frac > 0.0 && p.island_frac < 1.0,
+        "island must fit inside the ring"
+    );
+    let mut net = RoadNetwork::new();
+    // Arm 0 south, then counter-clockwise.
+    let dir = |k: usize| {
+        let angle = -std::f64::consts::FRAC_PI_2 + k as f64 * std::f64::consts::TAU / p.arms as f64;
+        Vec2::from_angle(angle)
+    };
+    let ring: Vec<NodeId> = (0..p.arms)
+        .map(|k| net.add_node(dir(k) * p.radius))
+        .collect();
+    let portals: Vec<NodeId> = (0..p.arms)
+        .map(|k| net.add_node(dir(k) * (p.radius + p.approach_len)))
+        .collect();
+    for k in 0..p.arms {
+        net.add_road(portals[k], ring[k], p.approach_speed)
+            .expect("valid approach nodes");
+        net.add_road(ring[k], ring[(k + 1) % p.arms], p.ring_speed)
+            .expect("valid ring nodes");
+    }
+    let mut world = World::new();
+    // The landscaped central island, jittered per seed.
+    let island = p.radius * p.island_frac * (0.95 + 0.05 * rng.next_f64());
+    world.add_obstacle(Obstacle::Rect(Aabb::from_center_size(
+        Vec2::ZERO,
+        island,
+        island,
+    )));
+    // One jittered building per sector, outside the ring on the bisector.
+    for k in 0..p.arms {
+        let angle =
+            -std::f64::consts::FRAC_PI_2 + (k as f64 + 0.5) * std::f64::consts::TAU / p.arms as f64;
+        let side = p.building * (0.85 + 0.15 * rng.next_f64());
+        let dist = p.radius + p.setback + side / 2.0;
+        world.add_obstacle(Obstacle::Rect(Aabb::from_center_size(
+            Vec2::from_angle(angle) * dist,
+            side,
+            side,
+        )));
+    }
+    let extent = p.radius + p.approach_len;
+    world.set_bounds(Aabb::from_center_size(
+        Vec2::ZERO,
+        2.0 * extent,
+        2.0 * extent,
+    ));
+    net.set_arms(portals);
+    GeneratedMap {
+        net,
+        world,
+        ego_arm: 0,
+        goal_arm: p.arms / 2,
+    }
+}
+
+/// Generates a mainline over a tunnel/bridge span (see [`BridgeParams`]).
+///
+/// West to east: portal → approach → the span (its shell straddles the
+/// road, so radio in and out of the span is blocked and the mesh
+/// hard-partitions while vehicles traverse it) → a four-way junction
+/// whose crossing street is occluded by a corner building — the corridor
+/// the emerging ego must look around.
+///
+/// # Panics
+///
+/// Panics on degenerate parameters (non-positive lengths, or a clearance
+/// too small to fit the corner building between mouth and junction).
+pub fn bridge(p: &BridgeParams, rng: &mut SimRng) -> GeneratedMap {
+    assert!(
+        p.approach_len > 0.0 && p.span > 0.0 && p.arm > 0.0,
+        "lengths must be positive"
+    );
+    assert!(
+        p.clearance > p.setback,
+        "the junction must clear the corner building's setback"
+    );
+    let mut net = RoadNetwork::new();
+    let y0 = 0.0;
+    let west = net.add_node(Vec2::new(0.0, y0));
+    let mouth_w = net.add_node(Vec2::new(p.approach_len, y0));
+    let mouth_e = net.add_node(Vec2::new(p.approach_len + p.span, y0));
+    let jx = p.approach_len + p.span + p.clearance;
+    let junction = net.add_node(Vec2::new(jx, y0));
+    let north = net.add_node(Vec2::new(jx, p.arm));
+    let south = net.add_node(Vec2::new(jx, -p.arm));
+    let east = net.add_node(Vec2::new(jx + p.approach_len, y0));
+    net.add_road(west, mouth_w, p.mainline_speed)
+        .expect("valid mainline nodes");
+    net.add_road(mouth_w, mouth_e, p.span_speed)
+        .expect("valid span nodes");
+    net.add_road(mouth_e, junction, p.mainline_speed)
+        .expect("valid mainline nodes");
+    net.add_road(junction, north, p.mainline_speed * 0.6)
+        .expect("valid crossing nodes");
+    net.add_road(junction, south, p.mainline_speed * 0.6)
+        .expect("valid crossing nodes");
+    net.add_road(junction, east, p.mainline_speed)
+        .expect("valid mainline nodes");
+    let mut world = World::new();
+    // Corner building NW of the junction: the visual occluder the ego
+    // must look around after emerging from the span. Added first so the
+    // derivation finds it before the shell.
+    let size = p.building * (0.85 + 0.15 * rng.next_f64());
+    world.add_obstacle(Obstacle::Rect(Aabb::new(
+        Vec2::new(jx - p.setback - size, p.setback),
+        Vec2::new(jx - p.setback, p.setback + size),
+    )));
+    // The tunnel/bridge shell: one rect straddling the span. Any sight
+    // line into, out of, or through the span crosses it — the radio
+    // partition. Inset from the mouths so surface vehicles at the mouth
+    // nodes stay outside.
+    let depth = p.shell_half * (0.9 + 0.1 * rng.next_f64());
+    world.add_obstacle(Obstacle::Rect(Aabb::new(
+        Vec2::new(p.approach_len + 2.0, -depth),
+        Vec2::new(p.approach_len + p.span - 2.0, depth),
+    )));
+    world.set_bounds(Aabb::new(
+        Vec2::new(0.0, -p.arm),
+        Vec2::new(jx + p.approach_len, p.arm),
+    ));
+    net.set_arms(vec![west, east, north, south]);
+    GeneratedMap {
+        net,
+        world,
+        ego_arm: 0,
+        goal_arm: 1,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +649,57 @@ mod tests {
         let ego = map.net.approach_node(map.ego_arm);
         let goal = map.net.exit_node(map.goal_arm);
         assert!(map.net.route(ego, goal).is_some());
+    }
+
+    #[test]
+    fn roundabout_ring_routes_and_island_occludes() {
+        let p = RoundaboutParams::default();
+        let map = roundabout(&p, &mut SimRng::seed_from(4));
+        assert_eq!(map.net.node_count(), 2 * 4); // ring + portals
+        assert_eq!(map.net.arm_count(), 4);
+        assert_eq!(map.world.obstacle_count(), 1 + 4); // island + sectors
+        for a in 0..4 {
+            for b in 0..4 {
+                assert!(map
+                    .net
+                    .route(map.net.approach_node(a), map.net.exit_node(b))
+                    .is_some());
+            }
+        }
+        // The island hides the far side of the circle from an entering
+        // vehicle: south ring node cannot see the north ring node.
+        let south = Vec2::new(0.0, -p.radius);
+        let north = Vec2::new(0.0, p.radius);
+        assert!(
+            !map.world.line_of_sight(south, north),
+            "the island must hide the far side"
+        );
+    }
+
+    #[test]
+    fn bridge_span_blocks_radio_across_the_shell() {
+        let p = BridgeParams::default();
+        let map = bridge(&p, &mut SimRng::seed_from(5));
+        assert_eq!(map.net.arm_count(), 4);
+        let ego = map.net.approach_node(map.ego_arm);
+        let goal = map.net.exit_node(map.goal_arm);
+        assert!(map.net.route(ego, goal).is_some());
+        // A vehicle inside the span is radio-dark to the outside world —
+        // and even to another vehicle inside (total blackout).
+        let inside = Vec2::new(p.approach_len + p.span / 2.0, 0.0);
+        let outside_w = Vec2::new(p.approach_len - 20.0, 0.0);
+        let outside_e = Vec2::new(p.approach_len + p.span + 20.0, 0.0);
+        assert!(!map.world.line_of_sight(inside, outside_w));
+        assert!(!map.world.line_of_sight(inside, outside_e));
+        assert!(
+            !map.world.line_of_sight(outside_w, outside_e),
+            "the shell must partition west from east along the axis"
+        );
+        // Off the span, the surface streets see each other fine.
+        let jx = p.approach_len + p.span + p.clearance;
+        assert!(map
+            .world
+            .line_of_sight(Vec2::new(jx, -30.0), Vec2::new(jx, 30.0)));
     }
 
     #[test]

@@ -6,7 +6,10 @@
 
 use airdnd_geo::{IdmParams, Mobility};
 use airdnd_scenario::ScenarioConfig;
-use airdnd_worldgen::{FamilyKind, FleetProfile, GridParams, HighwayParams, RadialParams};
+use airdnd_worldgen::{
+    BridgeParams, ChurnProcess, FamilyKind, FleetProfile, GridParams, HighwayParams, RadialParams,
+    RoundaboutParams,
+};
 use proptest::prelude::*;
 
 /// Family recipes over the supported parameter ranges.
@@ -32,6 +35,20 @@ fn arb_family() -> impl Strategy<Value = FamilyKind> {
                 segments: segments.max(ramp_every + 1),
                 ramp_every,
                 ..HighwayParams::default()
+            })
+        }),
+        (4usize..7, 24.0f64..36.0).prop_map(|(arms, radius)| {
+            FamilyKind::Roundabout(RoundaboutParams {
+                arms,
+                radius,
+                ..RoundaboutParams::default()
+            })
+        }),
+        (80.0f64..200.0, 60.0f64..200.0).prop_map(|(approach_len, span)| {
+            FamilyKind::Bridge(BridgeParams {
+                approach_len,
+                span,
+                ..BridgeParams::default()
             })
         }),
     ]
@@ -136,6 +153,40 @@ proptest! {
         let other = serde_json::to_string(&instance_of(kind, seed ^ 0xFFFF_FFFF))
             .expect("instance serializes");
         prop_assert_ne!(other, reference, "seed must drive the jitter");
+    }
+    /// The churn schedule is a pure function of `(process, duration, arms,
+    /// seed)`: byte-identical when compiled concurrently on many threads,
+    /// distinct across seeds whenever it is non-empty.
+    #[test]
+    fn churn_schedule_is_thread_invariant_and_seed_sensitive(
+        arrivals in 0.0f64..30.0,
+        departures in 0.0f64..30.0,
+        abrupt in 0.0f64..1.0,
+        seed in 0u64..1_000,
+    ) {
+        let churn = ChurnProcess {
+            arrivals_per_min: arrivals,
+            departures_per_min: departures,
+            abrupt_fraction: abrupt,
+        };
+        let reference = serde_json::to_string(&churn.schedule(60.0, 4, seed))
+            .expect("schedule serializes");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    serde_json::to_string(&churn.schedule(60.0, 4, seed))
+                        .expect("schedule serializes")
+                })
+            })
+            .collect();
+        for handle in handles {
+            prop_assert_eq!(handle.join().expect("schedule thread"), reference.clone());
+        }
+        if arrivals > 1.0 || departures > 1.0 {
+            let other = serde_json::to_string(&churn.schedule(60.0, 4, seed ^ 0xABCD_EF01))
+                .expect("schedule serializes");
+            prop_assert_ne!(other, reference, "seed must drive the event times");
+        }
     }
 }
 

@@ -2,8 +2,8 @@
 //! workspace uses (vendored: the build container is offline).
 //!
 //! Measurement model: a short warm-up sizes the batch so one timed batch
-//! lasts roughly [`TARGET_BATCH`]; the reported figure is the best
-//! nanoseconds-per-iteration over [`BATCHES`] batches (minimum-of-batches
+//! lasts roughly `TARGET_BATCH`; the reported figure is the best
+//! nanoseconds-per-iteration over `BATCHES` batches (minimum-of-batches
 //! is robust against scheduler noise, which matters in single-core CI
 //! containers). Results print one line per benchmark:
 //! `bench: <group>/<name> ... <ns> ns/iter`.
