@@ -66,6 +66,9 @@ struct Args {
     fail_after: Option<usize>,
     torn: bool,
     trace: Option<usize>,
+    trace_out: Option<PathBuf>,
+    validate_trace: Option<PathBuf>,
+    bench_engine: bool,
     names: Vec<String>,
 }
 
@@ -88,6 +91,9 @@ fn parse_args() -> Args {
             .and_then(|v| v.parse().ok()),
         torn: std::env::var("AIRDND_SWEEP_TORN").is_ok(),
         trace: None,
+        trace_out: None,
+        validate_trace: None,
+        bench_engine: false,
         names: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -126,6 +132,15 @@ fn parse_args() -> Args {
             },
             "--fail-after" => args.fail_after = Some(numeric_value(&mut it, "--fail-after")),
             "--trace" => args.trace = Some(numeric_value(&mut it, "--trace")),
+            "--trace-out" => match it.next() {
+                Some(path) => args.trace_out = Some(PathBuf::from(path)),
+                None => usage_error("--trace-out needs a file path"),
+            },
+            "--validate-trace" => match it.next() {
+                Some(path) => args.validate_trace = Some(PathBuf::from(path)),
+                None => usage_error("--validate-trace needs a file path"),
+            },
+            "--bench-engine" => args.bench_engine = true,
             "--torn" => args.torn = true,
             "--quick" | "quick" => args.quick = true,
             "--bench" => args.bench = true,
@@ -153,6 +168,14 @@ fn parse_args() -> Args {
     if args.trace == Some(0) {
         usage_error("--trace needs a positive entry capacity");
     }
+    if args.trace_out.is_some()
+        && (args.drive || args.bench || args.shard.is_some() || !args.merge.is_empty())
+    {
+        usage_error("--trace-out is a single-run export mode; drop drive/--bench/--shard/--merge");
+    }
+    if args.trace_out.is_some() && args.names.len() != 1 {
+        usage_error("--trace-out exports one workload's first run; name exactly one workload");
+    }
     if args.drive && args.shards == 0 {
         usage_error("drive needs --shards >= 1");
     }
@@ -175,13 +198,18 @@ fn numeric_value(it: &mut impl Iterator<Item = String>, flag: &str) -> usize {
 
 fn usage() -> String {
     format!(
-        "usage: sweep [--threads N] [--quick] [--out DIR] [--bench]\n\
-         \x20            [--shard I/N] [--merge DIR]... [--trace N] [names...]\n\
+        "usage: sweep [--threads N] [--quick] [--out DIR] [--bench] [--bench-engine]\n\
+         \x20            [--shard I/N] [--merge DIR]... [--trace N]\n\
+         \x20            [--trace-out FILE] [--validate-trace FILE] [names...]\n\
          \x20      sweep drive --shards N [--jobs J] [--retries R] [--quick]\n\
          \x20            [--out DIR] [names...]\n\
          names: {}\n\
          --trace N runs each named workload's first run with a bounded\n\
          event trace (N entries) and dumps it to stderr;\n\
+         --trace-out FILE exports one workload's first run as a JSONL\n\
+         event log (FILE) plus a Perfetto timeline (FILE.trace.json);\n\
+         --validate-trace FILE checks an exported JSONL event log;\n\
+         --bench-engine profiles engine phases into BENCH_engine.json;\n\
          --shard runs one slice and writes a mergeable artifact to --out;\n\
          --merge (repeatable) reassembles artifacts byte-identically;\n\
          drive spawns the shards as subprocesses (bounded by --jobs),\n\
@@ -214,13 +242,24 @@ fn stderr_progress(name: &str) -> impl FnMut(Progress) + '_ {
 
 fn main() {
     let args = parse_args();
+    if let Some(path) = &args.validate_trace {
+        validate_trace_file(path);
+        return;
+    }
+    if args.bench_engine {
+        engine_snapshot(args.quick);
+        return;
+    }
     if args.bench {
         bench_snapshot(args.threads);
         return;
     }
     std::fs::create_dir_all(&args.out).expect("can create the output directory");
     let started = Instant::now();
-    let mode = if let Some(capacity) = args.trace {
+    let mode = if let Some(path) = &args.trace_out {
+        run_trace_out(&args, path);
+        format!("trace-out ({})", path.display())
+    } else if let Some(capacity) = args.trace {
         run_trace(&args, capacity);
         format!("trace ({capacity} entries)")
     } else if args.drive {
@@ -261,6 +300,124 @@ fn run_trace(args: &Args, capacity: usize) {
             None => eprintln!("[{}] workload has no trace support", workload.name()),
         }
     }
+}
+
+/// `--trace-out FILE`: executes the named workload's *first* manifest run
+/// with the typed event log enabled and exports it twice — the JSONL
+/// event log at FILE (validated after writing: parse, byte-exact
+/// re-serialization, strictly increasing sequence) and a
+/// Chrome-trace/Perfetto timeline at FILE.trace.json. Both exporters are
+/// pure functions of the virtual-time event log, so re-running emits
+/// byte-identical files.
+fn run_trace_out(args: &Args, path: &std::path::Path) {
+    use airdnd_telemetry::{export, TelemetryOptions};
+    let workloads = selected(&args.names);
+    let workload = workloads.first().expect("one workload name validated");
+    let opts = TelemetryOptions::events(TelemetryOptions::DEFAULT_EVENT_CAPACITY);
+    let Some(telemetry) = workload.observe_first_run(args.quick, opts) else {
+        eprintln!("[{}] workload has no telemetry support", workload.name());
+        std::process::exit(1);
+    };
+    let events = telemetry.events.events();
+    let jsonl = export::to_jsonl(&events);
+    let count = match export::validate_jsonl(&jsonl) {
+        Ok(count) => count,
+        Err(e) => {
+            eprintln!("error: exporter produced an invalid event log: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("can create the trace directory");
+        }
+    }
+    std::fs::write(path, &jsonl).expect("can write the JSONL event log");
+    let timeline = export::to_chrome_trace(&events, workload.name());
+    let mut timeline_path = path.as_os_str().to_owned();
+    timeline_path.push(".trace.json");
+    let timeline_path = PathBuf::from(timeline_path);
+    std::fs::write(
+        &timeline_path,
+        serde_json::to_string_pretty(&timeline).expect("serializes") + "\n",
+    )
+    .expect("can write the timeline");
+    eprintln!(
+        "[{}] {count} events -> {} (validated), timeline -> {}, {} evicted by ring bounds",
+        workload.name(),
+        path.display(),
+        timeline_path.display(),
+        telemetry.events.dropped_total(),
+    );
+}
+
+/// `--validate-trace FILE`: validates an existing JSONL event log — every
+/// line parses as a `Recorded` event, re-serializes byte-identically, and
+/// the global sequence strictly increases. Exits nonzero on the first
+/// violation.
+fn validate_trace_file(path: &std::path::Path) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    match airdnd_telemetry::export::validate_jsonl(&text) {
+        Ok(count) => println!("{}: {count} events, valid", path.display()),
+        Err(e) => {
+            eprintln!("{}: invalid event log: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--bench-engine`: emits `BENCH_engine.json` — wall-clock attributed to
+/// engine phases (lifecycle, movement, sensor, mesh, tasks, radio) for
+/// one profiled run of each scenario-backed workload kind: the canonical
+/// F2 grid, G3's churned generated world and G4's multi-ego world. The
+/// attribution is the baseline the planned engine optimizations are
+/// measured against. Wall-clock only — never byte-diffed.
+fn engine_snapshot(quick: bool) {
+    use airdnd_telemetry::TelemetryOptions;
+    use serde_json::json;
+
+    let opts = TelemetryOptions {
+        events: None,
+        profile: true,
+    };
+    let mut profiles = Vec::new();
+    for name in ["f2", "g3", "g4"] {
+        let workload = workloads::find(name).expect("registered workload");
+        eprintln!("profiling first {name} run ...");
+        let start = Instant::now();
+        let telemetry = workload
+            .observe_first_run(quick, opts)
+            .expect("scenario workloads support telemetry");
+        let wall = start.elapsed();
+        let attributed_ms = telemetry.phases.total_nanos() as f64 / 1.0e6;
+        profiles.push((
+            name,
+            json!({
+                "wall_ms": wall.as_secs_f64() * 1e3,
+                "attributed_ms": attributed_ms,
+                "phases": telemetry.phases.report(),
+            }),
+        ));
+    }
+    let entries: Vec<(String, serde_json::Value)> = profiles
+        .into_iter()
+        .map(|(name, profile)| (name.to_owned(), profile))
+        .collect();
+    let snapshot = json!({
+        "description": "wall-clock attribution to engine phases (first manifest run of each workload, profiling hooks enabled)",
+        "mode": if quick { "quick" } else { "full" },
+        "workloads": serde_json::Value::Object(entries),
+    });
+    let path = "BENCH_engine.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&snapshot).expect("serializes") + "\n",
+    )
+    .expect("can write BENCH_engine.json");
+    println!("wrote {path}");
 }
 
 /// Default mode: execute each selected workload completely, print its

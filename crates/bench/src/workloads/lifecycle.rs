@@ -84,6 +84,14 @@ fn trace_lifecycle(plan: &RunPlan<LifecycleConfig>, capacity: usize) -> String {
     run_scenario_in_traced(world, scenario, capacity).1
 }
 
+fn observe_lifecycle(
+    plan: &RunPlan<LifecycleConfig>,
+    opts: airdnd_scenario::TelemetryOptions,
+) -> airdnd_scenario::RunTelemetry {
+    let (world, scenario) = build_lifecycle(&plan.config);
+    airdnd_scenario::run_scenario_in_observed(world, scenario, opts).1
+}
+
 fn run_multi_ego(plan: &RunPlan<MultiEgoConfig>) -> ScenarioReport {
     let (world, scenario) = build_multi_ego(&plan.config);
     run_scenario_in(world, scenario)
@@ -92,6 +100,14 @@ fn run_multi_ego(plan: &RunPlan<MultiEgoConfig>) -> ScenarioReport {
 fn trace_multi_ego(plan: &RunPlan<MultiEgoConfig>, capacity: usize) -> String {
     let (world, scenario) = build_multi_ego(&plan.config);
     run_scenario_in_traced(world, scenario, capacity).1
+}
+
+fn observe_multi_ego(
+    plan: &RunPlan<MultiEgoConfig>,
+    opts: airdnd_scenario::TelemetryOptions,
+) -> airdnd_scenario::RunTelemetry {
+    let (world, scenario) = build_multi_ego(&plan.config);
+    airdnd_scenario::run_scenario_in_observed(world, scenario, opts).1
 }
 
 /// Scenario metrics plus the lifecycle counters the churn study tracks.
@@ -104,10 +120,16 @@ fn lifecycle_metrics(r: &ScenarioReport) -> Vec<(&'static str, f64)> {
     metrics
 }
 
-/// Scenario metrics plus the query-origin count.
+/// Scenario metrics plus the query-origin count and the per-ego fairness
+/// aggregates the telemetry registry computes: the worst-served ego's
+/// completion rate and latency quantiles, and the completion spread.
 fn multi_ego_metrics(r: &ScenarioReport) -> Vec<(&'static str, f64)> {
     let mut metrics = scenario_metrics(r);
     metrics.push(("egos", r.egos as f64));
+    metrics.push(("ego_completion_min", r.ego_completion_min));
+    metrics.push(("ego_completion_spread", r.ego_completion_spread));
+    metrics.push(("ego_p50_worst_ms", r.ego_p50_worst_ms));
+    metrics.push(("ego_p95_worst_ms", r.ego_p95_worst_ms));
     metrics
 }
 
@@ -123,6 +145,7 @@ pub fn g3() -> FnWorkload<LifecycleConfig, ScenarioReport> {
         metrics: lifecycle_metrics,
         tabulate: g3_tabulate,
         trace: Some(trace_lifecycle),
+        observe: Some(observe_lifecycle),
     }
 }
 
@@ -231,6 +254,7 @@ pub fn g4() -> FnWorkload<MultiEgoConfig, ScenarioReport> {
         metrics: multi_ego_metrics,
         tabulate: g4_tabulate,
         trace: Some(trace_multi_ego),
+        observe: Some(observe_multi_ego),
     }
 }
 
@@ -286,8 +310,11 @@ fn g4_tabulate(
             "tasks",
             "done %",
             "±95",
+            "worst ego %",
+            "spread",
+            "worst p50 ms",
+            "worst p95 ms",
             "coverage %",
-            "p95 ms",
             "kB/view",
         ],
     );
@@ -301,8 +328,11 @@ fn g4_tabulate(
             fmt_f(Aggregate::of(rs, |r| r.tasks_submitted as f64).mean),
             fmt_f(done.mean),
             fmt_ci(&done),
+            fmt_f(Aggregate::of(rs, |r| r.ego_completion_min * 100.0).mean),
+            fmt_f(Aggregate::of(rs, |r| r.ego_completion_spread * 100.0).mean),
+            fmt_f(Aggregate::of(rs, |r| r.ego_p50_worst_ms).mean),
+            fmt_f(Aggregate::of(rs, |r| r.ego_p95_worst_ms).mean),
             fmt_f(Aggregate::of(rs, |r| r.mean_coverage * 100.0).mean),
-            fmt_f(Aggregate::of(rs, |r| r.latency_p95_ms).mean),
             fmt_f(Aggregate::of(rs, |r| r.bytes_per_task / 1_000.0).mean),
         ]);
     }

@@ -23,6 +23,7 @@ use airdnd_harness::{
     Table,
 };
 use airdnd_radio::NodeAddr;
+use airdnd_scenario::{EventKind, RunTelemetry, Scope, TelemetryOptions};
 use airdnd_sim::{SimDuration, SimRng, SimTime};
 use airdnd_task::{Program, ResourceRequirements, TaskId, TaskSpec};
 use serde::{Deserialize, Serialize};
@@ -121,6 +122,27 @@ pub fn market_sim(
     n_candidates: usize,
     n_tasks: usize,
 ) -> MarketStats {
+    market_sim_observed(
+        mechanism,
+        seed,
+        n_candidates,
+        n_tasks,
+        &mut RunTelemetry::disabled(),
+    )
+}
+
+/// [`market_sim`] recording the task stream into `telemetry`: demand
+/// fires, submissions, per-executor offloads, completions and the
+/// unallocated tasks as expiries (ego 0 is the market's single origin).
+/// Telemetry never feeds back, so the returned stats are byte-identical
+/// to [`market_sim`]'s.
+pub fn market_sim_observed(
+    mechanism: &mut dyn Assigner,
+    seed: u64,
+    n_candidates: usize,
+    n_tasks: usize,
+    telemetry: &mut RunTelemetry,
+) -> MarketStats {
     let mut rng = SimRng::seed_from(seed);
     // Heterogeneous executor pool.
     let mut gas_rates = BTreeMap::new();
@@ -148,6 +170,24 @@ pub fn market_sim(
     for t in 0..n_tasks {
         let dt = rng.exp(0.2); // mean 200 ms between arrivals
         now_s += dt;
+        let now = SimTime::from_secs_f64(now_s);
+        telemetry.event(
+            now,
+            0,
+            EventKind::DemandFire {
+                ego: 0,
+                task: t as u64,
+            },
+        );
+        telemetry.event(
+            now,
+            0,
+            EventKind::TaskSubmit {
+                task: t as u64,
+                ego: 0,
+            },
+        );
+        telemetry.metrics.inc("tasks_submitted", Scope::Ego(0));
         // Backlogs drain while time passes.
         for (id, backlog) in backlogs.iter_mut() {
             *backlog = (*backlog - gas_rates[id] * dt).max(0.0);
@@ -174,8 +214,16 @@ pub fn market_sim(
                 trust: trusts[&id],
             })
             .collect();
-        let Some(assignment) = mechanism.assign(&task, &candidates, SimTime::from_secs_f64(now_s))
-        else {
+        let Some(assignment) = mechanism.assign(&task, &candidates, now) else {
+            telemetry.event(
+                now,
+                0,
+                EventKind::TaskExpire {
+                    task: t as u64,
+                    ego: 0,
+                },
+            );
+            telemetry.metrics.inc("tasks_failed", Scope::Ego(0));
             continue;
         };
         allocated += 1;
@@ -195,9 +243,35 @@ pub fn market_sim(
                 decision_s + *backlog / rate
             })
             .collect();
+        for addr in &assignment.executors {
+            telemetry.event(
+                now,
+                0,
+                EventKind::TaskOffload {
+                    task: t as u64,
+                    executor: addr.raw() as u32,
+                },
+            );
+        }
         finishes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let k = assignment.min_results.clamp(1, finishes.len());
-        completions.push(finishes[k - 1]);
+        let completion_s = finishes[k - 1];
+        telemetry.event(
+            SimTime::from_secs_f64(now_s + completion_s),
+            0,
+            EventKind::TaskComplete {
+                task: t as u64,
+                ego: 0,
+                latency_us: (completion_s * 1.0e6) as u64,
+            },
+        );
+        telemetry.metrics.inc("tasks_completed", Scope::Ego(0));
+        telemetry.metrics.observe_us(
+            "task_latency_us",
+            Scope::Ego(0),
+            (completion_s * 1.0e6) as u64,
+        );
+        completions.push(completion_s);
     }
     let fairness_input: Vec<f64> = assigned_gas.values().copied().collect();
     MarketStats {
@@ -220,6 +294,20 @@ fn run(plan: &RunPlan<MarketConfig>) -> MarketStats {
     let cfg = &plan.config;
     let mut mechanism = cfg.mechanism.build();
     market_sim(mechanism.as_mut(), cfg.seed, cfg.candidates, cfg.tasks)
+}
+
+fn observe_market(plan: &RunPlan<MarketConfig>, opts: TelemetryOptions) -> RunTelemetry {
+    let cfg = &plan.config;
+    let mut mechanism = cfg.mechanism.build();
+    let mut telemetry = RunTelemetry::with(opts);
+    market_sim_observed(
+        mechanism.as_mut(),
+        cfg.seed,
+        cfg.candidates,
+        cfg.tasks,
+        &mut telemetry,
+    );
+    telemetry
 }
 
 /// The market metrics aggregated per grid cell in sweep reports.
@@ -256,6 +344,7 @@ pub fn t6() -> MarketWorkload {
         metrics: market_metrics,
         tabulate: t6_tabulate,
         trace: None,
+        observe: Some(observe_market),
     }
 }
 
@@ -329,6 +418,7 @@ pub fn f12() -> MarketWorkload {
         metrics: market_metrics,
         tabulate: f12_tabulate,
         trace: None,
+        observe: Some(observe_market),
     }
 }
 

@@ -51,6 +51,7 @@ pub fn t11() -> NfvWorkload {
         metrics: t11_metrics,
         tabulate: t11_tabulate,
         trace: None,
+        observe: None,
     }
 }
 

@@ -67,6 +67,15 @@ fn trace_scenario(plan: &airdnd_harness::RunPlan<ScenarioConfig>, capacity: usiz
     airdnd_scenario::run_scenario_traced(plan.config, capacity).1
 }
 
+/// The `sweep --trace-out` / `--bench-engine` hook shared by every
+/// scenario-backed workload: one run returning the full telemetry.
+fn observe_scenario(
+    plan: &airdnd_harness::RunPlan<ScenarioConfig>,
+    opts: airdnd_scenario::TelemetryOptions,
+) -> airdnd_scenario::RunTelemetry {
+    airdnd_scenario::run_scenario_observed(plan.config, opts).1
+}
+
 /// Mean over the present values of an optional per-run metric (`None`
 /// when no replicate observed it).
 fn mean_opt(results: &[ScenarioReport], f: impl Fn(&ScenarioReport) -> Option<f64>) -> Option<f64> {
@@ -90,6 +99,7 @@ pub fn f1() -> ScenarioWorkload {
         metrics: scenario_metrics,
         tabulate: f1_tabulate,
         trace: Some(trace_scenario),
+        observe: Some(observe_scenario),
     }
 }
 
@@ -152,6 +162,7 @@ pub fn f2() -> ScenarioWorkload {
         metrics: scenario_metrics,
         tabulate: f2_tabulate,
         trace: Some(trace_scenario),
+        observe: Some(observe_scenario),
     }
 }
 
@@ -224,6 +235,7 @@ pub fn f3() -> ScenarioWorkload {
         metrics: scenario_metrics,
         tabulate: f3_tabulate,
         trace: Some(trace_scenario),
+        observe: Some(observe_scenario),
     }
 }
 
@@ -289,6 +301,7 @@ pub fn f4() -> ScenarioWorkload {
         metrics: scenario_metrics,
         tabulate: f4_tabulate,
         trace: Some(trace_scenario),
+        observe: Some(observe_scenario),
     }
 }
 
@@ -356,6 +369,7 @@ pub fn t5() -> ScenarioWorkload {
         metrics: scenario_metrics,
         tabulate: t5_tabulate,
         trace: Some(trace_scenario),
+        observe: Some(observe_scenario),
     }
 }
 
@@ -462,6 +476,7 @@ pub fn f7() -> ScenarioWorkload {
         metrics: scenario_metrics,
         tabulate: f7_tabulate,
         trace: Some(trace_scenario),
+        observe: Some(observe_scenario),
     }
 }
 
@@ -533,6 +548,7 @@ pub fn f8() -> ScenarioWorkload {
         metrics: scenario_metrics,
         tabulate: f8_tabulate,
         trace: Some(trace_scenario),
+        observe: Some(observe_scenario),
     }
 }
 
@@ -583,6 +599,7 @@ pub fn t9() -> ScenarioWorkload {
         metrics: scenario_metrics,
         tabulate: t9_tabulate,
         trace: Some(trace_scenario),
+        observe: Some(observe_scenario),
     }
 }
 

@@ -54,6 +54,7 @@ pub fn f10() -> SelectionWorkload {
         metrics: f10_metrics,
         tabulate: f10_tabulate,
         trace: None,
+        observe: None,
     }
 }
 

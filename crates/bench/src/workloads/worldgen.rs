@@ -78,6 +78,14 @@ fn trace_generated(plan: &RunPlan<GenConfig>, capacity: usize) -> String {
     run_scenario_in_traced(world, scenario, capacity).1
 }
 
+fn observe_generated(
+    plan: &RunPlan<GenConfig>,
+    opts: airdnd_scenario::TelemetryOptions,
+) -> airdnd_scenario::RunTelemetry {
+    let (world, scenario) = materialize(&plan.config);
+    airdnd_scenario::run_scenario_in_observed(world, scenario, opts).1
+}
+
 /// The family axis both workloads draw from.
 fn family_axis(quick: bool) -> Vec<FamilyKind> {
     let all: Vec<FamilyKind> = airdnd_worldgen::families()
@@ -104,6 +112,7 @@ pub fn g1() -> FnWorkload<GenConfig, ScenarioReport> {
         metrics: scenario_metrics,
         tabulate: g1_tabulate,
         trace: Some(trace_generated),
+        observe: Some(observe_generated),
     }
 }
 
@@ -208,6 +217,7 @@ pub fn g2() -> FnWorkload<GenConfig, ScenarioReport> {
         metrics: scenario_metrics,
         tabulate: g2_tabulate,
         trace: Some(trace_generated),
+        observe: Some(observe_generated),
     }
 }
 

@@ -1,0 +1,100 @@
+//! Non-perturbation pins: telemetry must be free-floating observation,
+//! never an input. Running a workload with full telemetry (bounded event
+//! rings *and* phase profiling) must produce a report byte-identical to
+//! the plain run — otherwise "debug it with tracing on" and "reproduce
+//! the artifact" silently diverge. F2 pins the scenario-engine path and
+//! T6 the market path; together they cover both `run_scenario` and
+//! `market_sim` instrumentation.
+
+use airdnd_bench::workloads::market::{market_sim, market_sim_observed, t6};
+use airdnd_bench::workloads::scenario::f2;
+use airdnd_scenario::{
+    run_scenario, run_scenario_observed, EventCategory, RunTelemetry, TelemetryOptions,
+};
+
+/// Events bounded tight enough that rings demonstrably overflow in quick
+/// runs — eviction must be as invisible to the report as recording is.
+const TIGHT: usize = 64;
+
+fn full() -> TelemetryOptions {
+    TelemetryOptions {
+        events: Some(65_536),
+        profile: true,
+    }
+}
+
+#[test]
+fn f2_reports_are_byte_identical_with_telemetry_on() {
+    let manifest = (f2().spec)(true).manifest();
+    let mut saw_events = false;
+    for plan in &manifest.runs {
+        let plain = serde_json::to_string(&run_scenario(plan.config)).expect("serializes");
+        let (report, telemetry) = run_scenario_observed(plan.config, full());
+        let observed = serde_json::to_string(&report).expect("serializes");
+        assert_eq!(
+            plain, observed,
+            "telemetry must not perturb {}: labels {:?}",
+            plan.run_index, plan.labels
+        );
+        saw_events |= !telemetry.events.events().is_empty();
+    }
+    assert!(saw_events, "the observed runs must actually record events");
+}
+
+#[test]
+fn f2_reports_survive_ring_overflow_unchanged() {
+    let manifest = (f2().spec)(true).manifest();
+    let plan = &manifest.runs[0];
+    let plain = serde_json::to_string(&run_scenario(plan.config)).expect("serializes");
+    let (report, telemetry) = run_scenario_observed(plan.config, TelemetryOptions::events(TIGHT));
+    assert!(
+        telemetry.events.dropped_total() > 0,
+        "a {TIGHT}-entry ring must overflow on a quick run"
+    );
+    assert_eq!(
+        plain,
+        serde_json::to_string(&report).expect("serializes"),
+        "ring eviction must not perturb the report"
+    );
+}
+
+#[test]
+fn t6_reports_are_byte_identical_with_telemetry_on() {
+    let manifest = (t6().spec)(true).manifest();
+    let mut saw_events = false;
+    for plan in &manifest.runs {
+        let cfg = &plan.config;
+        let mut plain_mech = cfg.mechanism.build();
+        let plain = serde_json::to_string(&market_sim(
+            plain_mech.as_mut(),
+            cfg.seed,
+            cfg.candidates,
+            cfg.tasks,
+        ))
+        .expect("serializes");
+        let mut observed_mech = cfg.mechanism.build();
+        let mut telemetry = RunTelemetry::with(full());
+        let observed = serde_json::to_string(&market_sim_observed(
+            observed_mech.as_mut(),
+            cfg.seed,
+            cfg.candidates,
+            cfg.tasks,
+            &mut telemetry,
+        ))
+        .expect("serializes");
+        assert_eq!(
+            plain, observed,
+            "telemetry must not perturb t6: labels {:?}",
+            plan.labels
+        );
+        saw_events |= telemetry
+            .events
+            .query()
+            .category(EventCategory::Task)
+            .exists();
+    }
+    assert!(
+        saw_events,
+        "the observed market runs must record task events"
+    );
+}

@@ -30,6 +30,7 @@ use crate::exec::{run_shard_with_progress, run_sweep_with_progress, Progress};
 use crate::manifest::{Manifest, RunPlan, Shard};
 use crate::report::{ExperimentResult, SweepReport};
 use crate::spec::SweepSpec;
+use airdnd_telemetry::{RunTelemetry, TelemetryOptions};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -79,6 +80,20 @@ pub trait Workload: Send + Sync {
         let _ = (plan, capacity);
         None
     }
+
+    /// Observability lens: executes one run with the given telemetry
+    /// options and returns the full [`RunTelemetry`] (typed events,
+    /// metrics registry, phase profile), or `None` when the workload has
+    /// no telemetry support (the default). Used by `sweep --trace-out` and
+    /// `--bench-engine`; never part of the deterministic artifact path.
+    fn observe_run(
+        &self,
+        plan: &RunPlan<Self::Config>,
+        opts: TelemetryOptions,
+    ) -> Option<RunTelemetry> {
+        let _ = (plan, opts);
+        None
+    }
 }
 
 /// A [`Workload`] assembled from plain function pointers — the common
@@ -99,6 +114,9 @@ pub struct FnWorkload<C, R> {
     pub tabulate: fn(&Manifest<C>, &[R]) -> ExperimentResult,
     /// Optional debug hook: one traced run (see [`Workload::trace_run`]).
     pub trace: Option<fn(&RunPlan<C>, usize) -> String>,
+    /// Optional observability hook: one run with full telemetry (see
+    /// [`Workload::observe_run`]).
+    pub observe: Option<fn(&RunPlan<C>, TelemetryOptions) -> RunTelemetry>,
 }
 
 impl<C, R> Workload for FnWorkload<C, R>
@@ -135,6 +153,10 @@ where
 
     fn trace_run(&self, plan: &RunPlan<C>, capacity: usize) -> Option<String> {
         self.trace.map(|trace| trace(plan, capacity))
+    }
+
+    fn observe_run(&self, plan: &RunPlan<C>, opts: TelemetryOptions) -> Option<RunTelemetry> {
+        self.observe.map(|observe| observe(plan, opts))
     }
 }
 
@@ -250,6 +272,11 @@ pub trait AnyWorkload: Send + Sync {
     /// returns the formatted entries, or `None` when the workload has no
     /// trace support (see [`Workload::trace_run`]).
     fn trace_first_run(&self, quick: bool, capacity: usize) -> Option<String>;
+
+    /// Executes the manifest's first run with full telemetry and returns
+    /// the [`RunTelemetry`], or `None` when the workload has no telemetry
+    /// support (see [`Workload::observe_run`]).
+    fn observe_first_run(&self, quick: bool, opts: TelemetryOptions) -> Option<RunTelemetry>;
 }
 
 impl<W: Workload> AnyWorkload for W {
@@ -381,6 +408,12 @@ impl<W: Workload> AnyWorkload for W {
         let manifest = self.spec(quick).manifest();
         let plan = manifest.runs.first()?;
         self.trace_run(plan, capacity)
+    }
+
+    fn observe_first_run(&self, quick: bool, opts: TelemetryOptions) -> Option<RunTelemetry> {
+        let manifest = self.spec(quick).manifest();
+        let plan = manifest.runs.first()?;
+        self.observe_run(plan, opts)
     }
 }
 

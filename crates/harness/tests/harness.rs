@@ -254,6 +254,7 @@ fn toy_workload() -> FnWorkload<ToyConfig, ToyReport> {
             ExperimentResult::table_only(table)
         },
         trace: None,
+        observe: None,
     }
 }
 

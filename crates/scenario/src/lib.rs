@@ -36,7 +36,14 @@ pub use fleet::{Fleet, FleetLayout, Vehicle};
 pub use lifecycle::{FleetAction, FleetEvent, FleetSchedule};
 pub use perception::{fuse_max, observed_fraction, occupied_cells};
 pub use runner::{
-    run_scenario, run_scenario_in, run_scenario_in_traced, run_scenario_traced, EgoRoute,
-    ScenarioConfig, ScenarioReport, Strategy, WorldInstance,
+    run_scenario, run_scenario_in, run_scenario_in_observed, run_scenario_in_traced,
+    run_scenario_observed, run_scenario_traced, EgoRoute, ScenarioConfig, ScenarioReport, Strategy,
+    WorldInstance,
 };
 pub use world::{OcclusionParams, ScenarioWorld};
+
+// Observability surface: re-exported so downstream crates (bench, sweep)
+// query runs without naming the telemetry crate directly.
+pub use airdnd_telemetry::{
+    EventCategory, EventKind, Phase, RunTelemetry, Scope, TelemetryOptions, TraceQuery,
+};

@@ -25,7 +25,7 @@ use crate::perception::{fuse_max, is_valid_grid, observed_fraction};
 use crate::world::{OcclusionParams, ScenarioWorld};
 use airdnd_baselines::{CloudOffload, LocalOnly};
 use airdnd_core::{
-    NodeAction, NodeEvent, OrchestratorConfig, OrchestratorStats, TaskOutcome, WireMsg,
+    NodeAction, NodeEvent, OffloadMsg, OrchestratorConfig, OrchestratorStats, TaskOutcome, WireMsg,
 };
 use airdnd_data::{DataQuery, DataType, QualityDescriptor, QualityRequirement};
 use airdnd_geo::Vec2;
@@ -33,11 +33,13 @@ use airdnd_mesh::MeshConfig;
 use airdnd_radio::{DeliveryOutcome, NodeAddr, RadioMedium};
 use airdnd_sim::{percentile, Actor, Context, Engine, SimDuration, SimRng, SimTime};
 use airdnd_task::{library, ResourceRequirements, TaskId, TaskSpec};
+use airdnd_telemetry::{EventKind, Phase, RunTelemetry, Scope, TelemetryOptions};
 use airdnd_trust::PrivacyLevel;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::time::Instant;
 
 /// How the ego procures remote perception.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -226,6 +228,12 @@ pub struct WorldInstance {
     /// Extra concurrent query origins beyond the primary ego. Each gets
     /// its own hidden-region grid, derived from its own approach path.
     pub extra_egos: Vec<EgoRoute>,
+    /// The derived occlusion stage carried for each extra ego, parallel
+    /// to `extra_egos`. [`WorldInstance::ensure_ego_stages`] fills any
+    /// missing tail via [`WorldInstance::derive_ego_stage`], so this one
+    /// derivation is authoritative — worldgen and the runner no longer
+    /// each derive their own copy.
+    pub extra_ego_stages: Vec<ScenarioWorld>,
     /// Through-obstacle radio penetration loss override, dB (`None` keeps
     /// the medium's profile default). Tunnel/bridge worlds raise it so
     /// the structure genuinely partitions the mesh.
@@ -266,7 +274,37 @@ impl WorldInstance {
             arrival_window_s: 20.0,
             schedule: FleetSchedule::default(),
             extra_egos: Vec::new(),
+            extra_ego_stages: Vec::new(),
             obstacle_loss_db: None,
+        }
+    }
+
+    /// The one authoritative per-ego occlusion derivation: walks `route`'s
+    /// approach path through this instance's geometry with the default
+    /// occlusion parameters (arms taken modulo the map's arm count).
+    /// Returns `None` when the path induces no occluded corridor.
+    pub fn derive_ego_stage(&self, route: EgoRoute) -> Option<ScenarioWorld> {
+        let arms = self.stage.net.arm_count();
+        ScenarioWorld::derive(
+            self.stage.net.clone(),
+            self.stage.world.clone(),
+            self.stage.net.approach_node(route.arm % arms),
+            self.stage.net.exit_node(route.goal_arm % arms),
+            &OcclusionParams::default(),
+        )
+    }
+
+    /// Fills `extra_ego_stages` so every route in `extra_egos` carries its
+    /// derived stage (falling back to the shared primary stage when the
+    /// route derives no corridor of its own). Idempotent; stages already
+    /// carried — e.g. by `worldgen::assign_extra_egos` — are kept.
+    pub fn ensure_ego_stages(&mut self) {
+        for k in self.extra_ego_stages.len()..self.extra_egos.len() {
+            let route = self.extra_egos[k];
+            let stage = self
+                .derive_ego_stage(route)
+                .unwrap_or_else(|| self.stage.clone());
+            self.extra_ego_stages.push(stage);
         }
     }
 }
@@ -332,6 +370,16 @@ pub struct ScenarioReport {
     pub lifecycle_spawns: u64,
     /// Mid-run vehicle departures applied from the fleet schedule.
     pub lifecycle_despawns: u64,
+    /// Lowest per-ego completion rate (1.0 for an ego that submitted
+    /// nothing) — the fairness floor across concurrent query origins.
+    pub ego_completion_min: f64,
+    /// Highest minus lowest per-ego completion rate.
+    pub ego_completion_spread: f64,
+    /// Worst per-ego median latency, ms (deterministic histogram bucket
+    /// upper bound from the telemetry registry).
+    pub ego_p50_worst_ms: f64,
+    /// Worst per-ego 95th-percentile latency, ms (bucket upper bound).
+    pub ego_p95_worst_ms: f64,
 }
 
 #[derive(Clone, Debug)]
@@ -349,11 +397,13 @@ enum ScenMsg {
     },
     CloudView {
         ego: usize,
+        task: u64,
         submitted: SimTime,
         grid: Vec<i64>,
     },
     RawView {
         ego: usize,
+        task: u64,
         submitted: SimTime,
         grid: Vec<i64>,
     },
@@ -420,6 +470,12 @@ struct WorldState {
     mesh_formation: Option<SimTime>,
     joins: u64,
     leaves: u64,
+    /// Typed events, deterministic metrics and phase attribution. The
+    /// registry inside is always populated (fairness fields read from
+    /// it); event/profile recording obeys the run's `TelemetryOptions`.
+    /// Nothing here feeds back into simulation state, RNG streams or
+    /// scheduling — telemetry on vs off is byte-identical in the report.
+    telemetry: RunTelemetry,
 }
 
 impl WorldState {
@@ -439,13 +495,23 @@ impl WorldState {
             .rasterize(pos, self.cfg.sensor_range, &self.hidden_agents)
     }
 
-    fn record_view(&mut self, now: SimTime, submitted: SimTime, remote: &[i64], ego: usize) {
+    fn record_view(
+        &mut self,
+        now: SimTime,
+        submitted: SimTime,
+        remote: &[i64],
+        ego: usize,
+        task: u64,
+    ) {
         let mut fused = self.ego_grid(ego);
         let valid = remote.len() == fused.len() && is_valid_grid(remote);
         if valid {
             fuse_max(&mut fused, remote);
         } else {
             self.egos[ego].invalid_accepted += 1;
+            self.telemetry
+                .metrics
+                .inc("invalid_results_accepted", Scope::Ego(ego as u32));
         }
         let own = observed_fraction(&self.ego_grid(ego));
         let hit = self.egos[ego].detect_time.is_none() && {
@@ -455,16 +521,51 @@ impl WorldState {
                 .filter_map(|&a| stage.cell_of(a))
                 .any(|idx| fused.get(idx) == Some(&1))
         };
+        let latency = now.saturating_since(submitted);
         let state = &mut self.egos[ego];
         state.completed += 1;
-        state
-            .latencies_ms
-            .push(now.saturating_since(submitted).as_millis_f64());
+        state.latencies_ms.push(latency.as_millis_f64());
         state.coverage.push(observed_fraction(&fused));
         state.ego_only.push(own);
         if hit {
             state.detect_time = Some(now);
         }
+        let actor = self.egos[ego].addr.raw() as u32;
+        let latency_us = latency.as_nanos() / 1_000;
+        self.telemetry
+            .metrics
+            .inc("tasks_completed", Scope::Ego(ego as u32));
+        self.telemetry
+            .metrics
+            .observe_us("task_latency_us", Scope::Ego(ego as u32), latency_us);
+        self.telemetry.event(
+            now,
+            actor,
+            EventKind::TaskComplete {
+                task,
+                ego: ego as u32,
+                latency_us,
+            },
+        );
+    }
+
+    /// Books one failed/expired task for `ego` — counters, registry and
+    /// (when enabled) the typed event, in one place so every failure path
+    /// stays consistent.
+    fn record_failure(&mut self, now: SimTime, ego: usize, task: u64) {
+        self.egos[ego].failed += 1;
+        self.telemetry
+            .metrics
+            .inc("tasks_failed", Scope::Ego(ego as u32));
+        let actor = self.egos[ego].addr.raw() as u32;
+        self.telemetry.event(
+            now,
+            actor,
+            EventKind::TaskExpire {
+                task,
+                ego: ego as u32,
+            },
+        );
     }
 
     /// Gas budget of one perception kernel on ego `ego`'s grid (measured
@@ -508,6 +609,24 @@ struct WorldActor {
 }
 
 impl WorldActor {
+    /// Whether this run attributes wall-clock to phases (checked once per
+    /// dispatch so the disabled path costs a single borrow + branch).
+    fn profiling(&self) -> bool {
+        self.state.borrow().telemetry.phases.is_enabled()
+    }
+
+    /// Deposits `start`'s elapsed wall-clock under `phase`. `start` is
+    /// `None` when profiling is off, making this a no-op.
+    fn profile(&self, start: Option<Instant>, phase: Phase) {
+        if let Some(start) = start {
+            self.state
+                .borrow_mut()
+                .telemetry
+                .phases
+                .record_nanos(phase, start.elapsed().as_nanos());
+        }
+    }
+
     fn process_actions(
         &self,
         ctx: &mut Context<'_, ScenMsg>,
@@ -521,6 +640,15 @@ impl WorldActor {
                     let mut state = self.state.borrow_mut();
                     let size = msg.wire_size_bytes();
                     let (deliveries, _) = state.medium.broadcast(now, src, size);
+                    state.telemetry.event(
+                        now,
+                        src.raw() as u32,
+                        EventKind::FrameTx {
+                            from: src.raw() as u32,
+                            to: None,
+                            bytes: size,
+                        },
+                    );
                     drop(state);
                     for d in deliveries {
                         ctx.send_self(
@@ -537,6 +665,36 @@ impl WorldActor {
                     let mut state = self.state.borrow_mut();
                     let size = msg.wire_size_bytes();
                     let (outcome, _) = state.medium.unicast(now, src, to, size);
+                    if let WireMsg::Offload(OffloadMsg::Offer { task, .. }) = &msg {
+                        state.telemetry.event(
+                            now,
+                            src.raw() as u32,
+                            EventKind::TaskOffload {
+                                task: task.id.raw(),
+                                executor: to.raw() as u32,
+                            },
+                        );
+                    }
+                    state.telemetry.event(
+                        now,
+                        src.raw() as u32,
+                        EventKind::FrameTx {
+                            from: src.raw() as u32,
+                            to: Some(to.raw() as u32),
+                            bytes: size,
+                        },
+                    );
+                    if !matches!(outcome, DeliveryOutcome::Delivered { .. }) {
+                        state.telemetry.event(
+                            now,
+                            src.raw() as u32,
+                            EventKind::FrameDrop {
+                                from: src.raw() as u32,
+                                to: to.raw() as u32,
+                                bytes: size,
+                            },
+                        );
+                    }
                     drop(state);
                     if let DeliveryOutcome::Delivered { at, .. } = outcome {
                         ctx.send_self(
@@ -559,22 +717,10 @@ impl WorldActor {
                         .unwrap_or((0, now));
                     match outcome {
                         TaskOutcome::Completed { outputs, .. } => {
-                            state.record_view(now, submitted, &outputs, ego);
-                            drop(state);
-                            if ctx.trace_enabled() {
-                                ctx.trace(format!(
-                                    "task: #{} completed after {} ms",
-                                    task.raw(),
-                                    now.saturating_since(submitted).as_millis_f64()
-                                ));
-                            }
+                            state.record_view(now, submitted, &outputs, ego, task.raw());
                         }
                         TaskOutcome::Failed { .. } => {
-                            state.egos[ego].failed += 1;
-                            drop(state);
-                            if ctx.trace_enabled() {
-                                ctx.trace(format!("task: #{} failed", task.raw()));
-                            }
+                            state.record_failure(now, ego, task.raw());
                         }
                     }
                 }
@@ -585,16 +731,34 @@ impl WorldActor {
                     {
                         state.mesh_formation = Some(now);
                     }
-                    drop(state);
-                    if ctx.trace_enabled() {
-                        ctx.trace(format!("mesh: node#{} joined", src.raw()));
-                    }
+                    state
+                        .telemetry
+                        .metrics
+                        .inc("mesh_joins", Scope::Node(src.raw() as u32));
+                    state.telemetry.metrics.inc("mesh_joins", Scope::Global);
+                    state.telemetry.event(
+                        now,
+                        src.raw() as u32,
+                        EventKind::MeshJoin {
+                            node: src.raw() as u32,
+                        },
+                    );
                 }
                 NodeAction::MeshLeft(_) => {
-                    self.state.borrow_mut().leaves += 1;
-                    if ctx.trace_enabled() {
-                        ctx.trace(format!("mesh: node#{} left", src.raw()));
-                    }
+                    let mut state = self.state.borrow_mut();
+                    state.leaves += 1;
+                    state
+                        .telemetry
+                        .metrics
+                        .inc("mesh_leaves", Scope::Node(src.raw() as u32));
+                    state.telemetry.metrics.inc("mesh_leaves", Scope::Global);
+                    state.telemetry.event(
+                        now,
+                        src.raw() as u32,
+                        EventKind::MeshLeave {
+                            node: src.raw() as u32,
+                        },
+                    );
                 }
             }
         }
@@ -617,7 +781,7 @@ impl WorldActor {
             };
             match event.action {
                 FleetAction::Spawn { arm } => {
-                    let addr = {
+                    {
                         let mut state = self.state.borrow_mut();
                         let arm = arm % state.stage.net.arm_count();
                         let (lo, hi) = state.cfg.gas_rate_range;
@@ -653,10 +817,13 @@ impl WorldActor {
                         let pos = vehicle.pos();
                         medium.set_position(addr, pos);
                         state.spawns += 1;
-                        addr
-                    };
-                    if ctx.trace_enabled() {
-                        ctx.trace(format!("lifecycle: node#{} spawned", addr.raw()));
+                        state.telemetry.event(
+                            now,
+                            addr.raw() as u32,
+                            EventKind::LifecycleSpawn {
+                                node: addr.raw() as u32,
+                            },
+                        );
                     }
                 }
                 FleetAction::Despawn { graceful } => {
@@ -674,9 +841,6 @@ impl WorldActor {
                             .map(|v| v.node.addr())
                     };
                     let Some(addr) = victim else {
-                        if ctx.trace_enabled() {
-                            ctx.trace("lifecycle: despawn skipped (no eligible vehicle)");
-                        }
                         continue;
                     };
                     if graceful {
@@ -692,13 +856,14 @@ impl WorldActor {
                         state.fleet.remove(addr);
                         state.medium.remove_node(addr);
                         state.despawns += 1;
-                    }
-                    if ctx.trace_enabled() {
-                        ctx.trace(format!(
-                            "lifecycle: node#{} despawned ({})",
-                            addr.raw(),
-                            if graceful { "graceful" } else { "abrupt" }
-                        ));
+                        state.telemetry.event(
+                            now,
+                            addr.raw() as u32,
+                            EventKind::LifecycleDespawn {
+                                node: addr.raw() as u32,
+                                graceful,
+                            },
+                        );
                     }
                 }
             }
@@ -707,9 +872,13 @@ impl WorldActor {
 
     fn tick(&self, ctx: &mut Context<'_, ScenMsg>) {
         let now = ctx.now();
+        let profiling = self.profiling();
+        let started = profiling.then(Instant::now);
         self.apply_lifecycle(ctx);
+        self.profile(started, Phase::Lifecycle);
         let (tick_count, vehicle_count, ego_count) = {
             let mut state = self.state.borrow_mut();
+            let started = profiling.then(Instant::now);
             state.tick_count += 1;
             let dt = state.cfg.tick.as_secs_f64();
             let stage = state.stage.clone();
@@ -723,8 +892,15 @@ impl WorldActor {
                 state.medium.set_position(addr, pos);
                 state.fleet.vehicles[i].node.set_kinematics(pos, vel);
             }
+            if let Some(started) = started {
+                state
+                    .telemetry
+                    .phases
+                    .record_nanos(Phase::Movement, started.elapsed().as_nanos());
+            }
             // Sensor refresh: every vehicle snapshots each ego's hidden
             // region (one catalog item per distinct grid).
+            let started = profiling.then(Instant::now);
             if state
                 .tick_count
                 .is_multiple_of(state.cfg.sensor_every_ticks as u64)
@@ -754,6 +930,12 @@ impl WorldActor {
                     }
                 }
             }
+            if let Some(started) = started {
+                state
+                    .telemetry
+                    .phases
+                    .record_nanos(Phase::Sensor, started.elapsed().as_nanos());
+            }
             // Ego mesh-size sample.
             let members = state.fleet.vehicles[0].node.mesh().member_count();
             state.member_samples.push(members as f64);
@@ -765,6 +947,7 @@ impl WorldActor {
         };
 
         // Node timers (mesh beacons, protocol timeouts).
+        let started = profiling.then(Instant::now);
         for i in 0..vehicle_count {
             let (addr, actions) = {
                 let mut state = self.state.borrow_mut();
@@ -773,8 +956,10 @@ impl WorldActor {
             };
             self.process_actions(ctx, addr, actions);
         }
+        self.profile(started, Phase::Mesh);
 
         // Perception workload per query origin, paced by the demand profile.
+        let started = profiling.then(Instant::now);
         for ego in 0..ego_count {
             let task_due = {
                 let state = self.state.borrow();
@@ -789,6 +974,7 @@ impl WorldActor {
                 self.submit_perception(ctx, ego);
             }
         }
+        self.profile(started, Phase::Tasks);
 
         // Next tick.
         let (tick, done) = {
@@ -805,17 +991,23 @@ impl WorldActor {
 
     fn submit_perception(&self, ctx: &mut Context<'_, ScenMsg>, ego: usize) {
         let now = ctx.now();
-        let strategy = self.state.borrow().cfg.strategy;
-        if ctx.trace_enabled() {
-            let state = self.state.borrow();
-            ctx.trace(format!(
-                "demand: task {} due ({}) at ego#{} {:?}",
-                state.egos[ego].submitted + 1,
-                strategy.label(),
-                ego,
-                state.ego_pos(ego)
-            ));
-        }
+        let strategy = {
+            let mut state = self.state.borrow_mut();
+            let ordinal = state.egos[ego].submitted + 1;
+            state.telemetry.event(
+                now,
+                ego as u32,
+                EventKind::DemandFire {
+                    ego: ego as u32,
+                    task: ordinal,
+                },
+            );
+            state
+                .telemetry
+                .metrics
+                .inc("tasks_submitted", Scope::Ego(ego as u32));
+            state.cfg.strategy
+        };
         match strategy {
             Strategy::Airdnd => {
                 let (addr, actions) = {
@@ -823,6 +1015,14 @@ impl WorldActor {
                     state.egos[ego].submitted += 1;
                     let spec = state.perception_task(now, ego);
                     let addr = state.egos[ego].addr;
+                    state.telemetry.event(
+                        now,
+                        addr.raw() as u32,
+                        EventKind::TaskSubmit {
+                            task: spec.id.raw(),
+                            ego: ego as u32,
+                        },
+                    );
                     let idx = state.fleet.index_of(addr).expect("ego vehicles persist");
                     let actions = state.fleet.vehicles[idx].node.submit_task(
                         now,
@@ -836,6 +1036,17 @@ impl WorldActor {
             Strategy::Cloud { .. } => {
                 let mut state = self.state.borrow_mut();
                 state.egos[ego].submitted += 1;
+                state.next_task += 1;
+                let task = state.next_task;
+                let submit_actor = state.egos[ego].addr.raw() as u32;
+                state.telemetry.event(
+                    now,
+                    submit_actor,
+                    EventKind::TaskSubmit {
+                        task,
+                        ego: ego as u32,
+                    },
+                );
                 // Every vehicle uploads its raw frame; the cloud fuses all
                 // views; the ego downloads the result.
                 let raw =
@@ -865,6 +1076,7 @@ impl WorldActor {
                     last_done.saturating_since(now),
                     ScenMsg::CloudView {
                         ego,
+                        task,
                         submitted: now,
                         grid: fused,
                     },
@@ -873,6 +1085,17 @@ impl WorldActor {
             Strategy::RawSharing => {
                 let mut state = self.state.borrow_mut();
                 state.egos[ego].submitted += 1;
+                state.next_task += 1;
+                let task = state.next_task;
+                let submit_actor = state.egos[ego].addr.raw() as u32;
+                state.telemetry.event(
+                    now,
+                    submit_actor,
+                    EventKind::TaskSubmit {
+                        task,
+                        ego: ego as u32,
+                    },
+                );
                 // Pick the freshest-linked mesh member and pull its frame.
                 let ego_addr = state.egos[ego].addr;
                 let ego_idx = state
@@ -891,11 +1114,11 @@ impl WorldActor {
                     })
                     .map(|m| m.addr);
                 let Some(helper_addr) = best else {
-                    state.egos[ego].failed += 1;
+                    state.record_failure(now, ego, task);
                     return;
                 };
                 let Some(helper_idx) = state.fleet.index_of(helper_addr) else {
-                    state.egos[ego].failed += 1;
+                    state.record_failure(now, ego, task);
                     return;
                 };
                 let raw =
@@ -925,19 +1148,31 @@ impl WorldActor {
                             done.saturating_since(now),
                             ScenMsg::RawView {
                                 ego,
+                                task,
                                 submitted: now,
                                 grid,
                             },
                         );
                     }
                     None => {
-                        self.state.borrow_mut().egos[ego].failed += 1;
+                        self.state.borrow_mut().record_failure(now, ego, task);
                     }
                 }
             }
             Strategy::LocalOnly => {
                 let mut state = self.state.borrow_mut();
                 state.egos[ego].submitted += 1;
+                state.next_task += 1;
+                let task = state.next_task;
+                let submit_actor = state.egos[ego].addr.raw() as u32;
+                state.telemetry.event(
+                    now,
+                    submit_actor,
+                    EventKind::TaskSubmit {
+                        task,
+                        ego: ego as u32,
+                    },
+                );
                 let gas = state.task_gas(ego);
                 let done = state.egos[ego].local.run(now, gas);
                 let grid = state.ego_grid(ego);
@@ -946,6 +1181,7 @@ impl WorldActor {
                     done.saturating_since(now),
                     ScenMsg::RawView {
                         ego,
+                        task,
                         submitted: now,
                         grid,
                     },
@@ -964,16 +1200,19 @@ impl Actor<ScenMsg> for WorldActor {
         match msg {
             ScenMsg::Tick => self.tick(ctx),
             ScenMsg::Deliver { from, to, msg } => {
-                if ctx.trace_enabled() {
-                    ctx.trace(format!(
-                        "wire: node#{} -> node#{} ({} B)",
-                        from.raw(),
-                        to.raw(),
-                        msg.wire_size_bytes()
-                    ));
-                }
+                let profiling = self.profiling();
+                let started = profiling.then(Instant::now);
                 let result = {
                     let mut state = self.state.borrow_mut();
+                    state.telemetry.event(
+                        ctx.now(),
+                        to.raw() as u32,
+                        EventKind::FrameRx {
+                            from: from.raw() as u32,
+                            to: to.raw() as u32,
+                            bytes: msg.wire_size_bytes(),
+                        },
+                    );
                     state.fleet.index_of(to).map(|idx| {
                         let v = &mut state.fleet.vehicles[idx];
                         (
@@ -985,13 +1224,45 @@ impl Actor<ScenMsg> for WorldActor {
                 if let Some((addr, actions)) = result {
                     self.process_actions(ctx, addr, actions);
                 }
+                self.profile(started, Phase::Radio);
             }
             ScenMsg::TransmitAt { src, to, msg } => {
                 let now = ctx.now();
                 let outcome = {
                     let mut state = self.state.borrow_mut();
                     let size = msg.wire_size_bytes();
-                    state.medium.unicast(now, src, to, size).0
+                    let outcome = state.medium.unicast(now, src, to, size).0;
+                    if let WireMsg::Offload(OffloadMsg::Offer { task, .. }) = &msg {
+                        state.telemetry.event(
+                            now,
+                            src.raw() as u32,
+                            EventKind::TaskOffload {
+                                task: task.id.raw(),
+                                executor: to.raw() as u32,
+                            },
+                        );
+                    }
+                    state.telemetry.event(
+                        now,
+                        src.raw() as u32,
+                        EventKind::FrameTx {
+                            from: src.raw() as u32,
+                            to: Some(to.raw() as u32),
+                            bytes: size,
+                        },
+                    );
+                    if !matches!(outcome, DeliveryOutcome::Delivered { .. }) {
+                        state.telemetry.event(
+                            now,
+                            src.raw() as u32,
+                            EventKind::FrameDrop {
+                                from: src.raw() as u32,
+                                to: to.raw() as u32,
+                                bytes: size,
+                            },
+                        );
+                    }
+                    outcome
                 };
                 if let DeliveryOutcome::Delivered { at, .. } = outcome {
                     ctx.send_self(
@@ -1002,58 +1273,92 @@ impl Actor<ScenMsg> for WorldActor {
             }
             ScenMsg::CloudView {
                 ego,
+                task,
                 submitted,
                 grid,
             }
             | ScenMsg::RawView {
                 ego,
+                task,
                 submitted,
                 grid,
             } => {
                 let now = ctx.now();
                 self.state
                     .borrow_mut()
-                    .record_view(now, submitted, &grid, ego);
+                    .record_view(now, submitted, &grid, ego, task);
             }
         }
     }
 }
 
 /// Runs one scenario to completion on the canonical corner stage.
+///
+/// Telemetry obeys the `AIRDND_TELEMETRY` environment variable, which is
+/// how CI diffs telemetry-on vs telemetry-off artifacts without a
+/// dedicated code path.
 pub fn run_scenario(cfg: ScenarioConfig) -> ScenarioReport {
-    run_core(WorldInstance::canonical(&cfg), cfg, None).0
+    run_core(
+        WorldInstance::canonical(&cfg),
+        cfg,
+        TelemetryOptions::from_env(),
+    )
+    .0
 }
 
-/// [`run_scenario`] with the engine's bounded trace enabled: returns the
-/// report plus up to `capacity` formatted protocol events — the debug lens
-/// `sweep --trace N` exposes.
+/// [`run_scenario`] with the event log enabled: returns the report plus up
+/// to `capacity` events per category rendered in the legacy trace format —
+/// the debug lens `sweep --trace N` exposes.
 pub fn run_scenario_traced(cfg: ScenarioConfig, capacity: usize) -> (ScenarioReport, String) {
-    let (report, trace) = run_core(WorldInstance::canonical(&cfg), cfg, Some(capacity));
-    (report, trace.unwrap_or_default())
+    let (report, telemetry) = run_core(
+        WorldInstance::canonical(&cfg),
+        cfg,
+        TelemetryOptions::events(capacity),
+    );
+    (report, telemetry.events.render())
+}
+
+/// [`run_scenario`] returning the full [`RunTelemetry`] — typed events,
+/// the metrics registry, and (when requested) phase profiling.
+pub fn run_scenario_observed(
+    cfg: ScenarioConfig,
+    opts: TelemetryOptions,
+) -> (ScenarioReport, RunTelemetry) {
+    run_core(WorldInstance::canonical(&cfg), cfg, opts)
 }
 
 /// Runs one scenario on an arbitrary instantiated world (a generated map
 /// with its derived occlusion grid). The canonical [`run_scenario`] is the
 /// special case `run_scenario_in(WorldInstance::canonical(&cfg), cfg)`.
 pub fn run_scenario_in(world: WorldInstance, cfg: ScenarioConfig) -> ScenarioReport {
-    run_core(world, cfg, None).0
+    run_core(world, cfg, TelemetryOptions::from_env()).0
 }
 
-/// [`run_scenario_in`] with the engine's bounded trace enabled.
+/// [`run_scenario_in`] with the event log enabled.
 pub fn run_scenario_in_traced(
     world: WorldInstance,
     cfg: ScenarioConfig,
     capacity: usize,
 ) -> (ScenarioReport, String) {
-    let (report, trace) = run_core(world, cfg, Some(capacity));
-    (report, trace.unwrap_or_default())
+    let (report, telemetry) = run_core(world, cfg, TelemetryOptions::events(capacity));
+    (report, telemetry.events.render())
+}
+
+/// [`run_scenario_in`] returning the full [`RunTelemetry`].
+pub fn run_scenario_in_observed(
+    world: WorldInstance,
+    cfg: ScenarioConfig,
+    opts: TelemetryOptions,
+) -> (ScenarioReport, RunTelemetry) {
+    run_core(world, cfg, opts)
 }
 
 fn run_core(
-    world: WorldInstance,
+    mut world: WorldInstance,
     cfg: ScenarioConfig,
-    trace_capacity: Option<usize>,
-) -> (ScenarioReport, Option<String>) {
+    opts: TelemetryOptions,
+) -> (ScenarioReport, RunTelemetry) {
+    world.ensure_ego_stages();
     let WorldInstance {
         stage,
         ego_arm,
@@ -1062,6 +1367,7 @@ fn run_core(
         arrival_window_s,
         schedule,
         extra_egos,
+        extra_ego_stages,
         obstacle_loss_db,
     } = world;
     let mut rng = SimRng::seed_from(cfg.seed);
@@ -1106,14 +1412,9 @@ fn run_core(
         }
         let arm = route.arm % arms;
         fleet.vehicles[idx].reroute_from(&stage, arm);
-        let ego_stage = ScenarioWorld::derive(
-            stage.net.clone(),
-            stage.world.clone(),
-            stage.net.approach_node(arm),
-            stage.net.exit_node(route.goal_arm % arms),
-            &OcclusionParams::default(),
-        )
-        .unwrap_or_else(|| stage.clone());
+        // The instance carries the authoritative derived stage for each
+        // extra route (ensure_ego_stages filled any gap above).
+        let ego_stage = extra_ego_stages[k].clone();
         let gas_rate = fleet.vehicles[idx].node.executor().gas_rate();
         egos.push(EgoState::new(
             fleet.vehicles[idx].node.addr(),
@@ -1166,17 +1467,15 @@ fn run_core(
         mesh_formation: None,
         joins: 0,
         leaves: 0,
+        telemetry: RunTelemetry::with(opts),
     }));
 
     let mut engine: Engine<ScenMsg> = Engine::new(cfg.seed ^ 0x5EED);
-    if let Some(capacity) = trace_capacity {
-        engine.enable_trace(capacity);
-    }
     engine.spawn(WorldActor {
         state: Rc::clone(&state),
     });
     engine.run_until(SimTime::ZERO + cfg.duration + SimDuration::from_secs(3));
-    let trace = trace_capacity.map(|_| engine.trace().to_string());
+    let telemetry = std::mem::take(&mut state.borrow_mut().telemetry);
 
     let state = state.borrow();
     let duration_s = cfg.duration.as_secs_f64();
@@ -1215,6 +1514,35 @@ fn run_core(
     let lat = &latencies;
     let cellular_bytes = state.cloud.as_ref().map_or(0, CloudOffload::bytes_total);
     let mesh_bytes = state.medium.bytes_on_air_total();
+    // Per-ego fairness, straight from the deterministic metrics registry:
+    // the worst-served ego's completion rate and latency quantiles, plus
+    // the completion-rate spread across egos. Integer counters in, so the
+    // values are identical whether event logging is on or off.
+    let ego_rates: Vec<f64> = (0..state.egos.len())
+        .map(|e| {
+            let scope = Scope::Ego(e as u32);
+            let sub = telemetry.metrics.counter("tasks_submitted", scope);
+            let done = telemetry.metrics.counter("tasks_completed", scope);
+            if sub == 0 {
+                1.0
+            } else {
+                done as f64 / sub as f64
+            }
+        })
+        .collect();
+    let ego_completion_min = ego_rates.iter().copied().fold(1.0, f64::min);
+    let ego_completion_spread = ego_rates.iter().copied().fold(0.0, f64::max) - ego_completion_min;
+    let worst_quantile_ms = |q: f64| {
+        (0..state.egos.len())
+            .filter_map(|e| {
+                telemetry
+                    .metrics
+                    .histogram("task_latency_us", Scope::Ego(e as u32))
+                    .and_then(|h| h.quantile_us(q))
+            })
+            .max()
+            .map_or(0.0, |us| us as f64 / 1_000.0)
+    };
     let report = ScenarioReport {
         strategy: cfg.strategy.label().to_owned(),
         duration_s,
@@ -1257,8 +1585,12 @@ fn run_core(
         egos: state.egos.len(),
         lifecycle_spawns: state.spawns,
         lifecycle_despawns: state.despawns,
+        ego_completion_min,
+        ego_completion_spread,
+        ego_p50_worst_ms: worst_quantile_ms(0.5),
+        ego_p95_worst_ms: worst_quantile_ms(0.95),
     };
-    (report, trace)
+    (report, telemetry)
 }
 
 fn mean(xs: &[f64]) -> f64 {

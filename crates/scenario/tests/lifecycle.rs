@@ -6,8 +6,8 @@
 //! must issue their own task streams over their own derived grids.
 
 use airdnd_scenario::{
-    run_scenario, run_scenario_in, run_scenario_in_traced, EgoRoute, FleetAction, FleetEvent,
-    FleetSchedule, ScenarioConfig, Strategy, WorldInstance,
+    run_scenario, run_scenario_in, run_scenario_in_observed, EgoRoute, EventKind, FleetAction,
+    FleetEvent, FleetSchedule, ScenarioConfig, Strategy, TelemetryOptions, WorldInstance,
 };
 use airdnd_sim::SimDuration;
 
@@ -64,22 +64,109 @@ fn churn_applies_every_event_and_keeps_serving() {
     assert!(report.leaves > 0, "departures must be observed as leaves");
 }
 
-/// Despawning a task-holding vehicle is trace-visible and safe: the trace
-/// records the lifecycle events between first and last tick.
+/// Despawning a task-holding vehicle is trace-visible and safe: the event
+/// log records every lifecycle flavour as a typed event, matchable without
+/// string grepping.
 #[test]
 fn churn_is_trace_visible() {
     let cfg = quick_cfg(13);
     let mut world = WorldInstance::canonical(&cfg);
     world.schedule = busy_schedule();
-    let (report, trace) = run_scenario_in_traced(world, cfg, 4_000);
+    let (report, telemetry) = run_scenario_in_observed(world, cfg, TelemetryOptions::events(4_000));
     assert!(report.lifecycle_despawns > 0);
+    let log = &telemetry.events;
     assert!(
-        trace.contains("lifecycle:") && trace.contains("spawned"),
+        log.query()
+            .matching(|r| matches!(r.event.kind, EventKind::LifecycleSpawn { .. }))
+            .exists(),
         "spawns must be trace-visible"
     );
     assert!(
-        trace.contains("despawned (graceful)") && trace.contains("despawned (abrupt)"),
+        log.query()
+            .matching(|r| matches!(
+                r.event.kind,
+                EventKind::LifecycleDespawn { graceful: true, .. }
+            ))
+            .exists()
+            && log
+                .query()
+                .matching(|r| matches!(
+                    r.event.kind,
+                    EventKind::LifecycleDespawn {
+                        graceful: false,
+                        ..
+                    }
+                ))
+                .exists(),
         "both departure flavours must be trace-visible"
+    );
+    // The typed log agrees with the report's aggregate counters.
+    assert_eq!(
+        log.query()
+            .matching(|r| matches!(r.event.kind, EventKind::LifecycleDespawn { .. }))
+            .count(),
+        report.lifecycle_despawns as usize
+    );
+}
+
+/// Causal ordering the mesh protocol guarantees: no task can be offered
+/// to an executor before any node has joined the mesh. The matcher pins
+/// it over the global record sequence instead of eyeballing a trace dump.
+#[test]
+fn first_join_precedes_first_offload() {
+    let cfg = quick_cfg(13);
+    let (report, telemetry) =
+        airdnd_scenario::run_scenario_observed(cfg, TelemetryOptions::events(65_536));
+    assert!(report.tasks_completed > 0);
+    let log = &telemetry.events;
+    let joins = log
+        .query()
+        .matching(|r| matches!(r.event.kind, EventKind::MeshJoin { .. }));
+    let offloads = log
+        .query()
+        .matching(|r| matches!(r.event.kind, EventKind::TaskOffload { .. }));
+    assert!(joins.exists(), "a mesh must form");
+    assert!(offloads.exists(), "tasks must be offered");
+    assert!(
+        joins.precedes(&offloads),
+        "the mesh must form before the first task is offered"
+    );
+}
+
+/// An abrupt departure never announces itself: the mesh only finds out
+/// when the departed node's lease expires, so a mesh leave must be
+/// recorded at or after the despawn — never before the first one.
+#[test]
+fn abrupt_despawn_surfaces_as_lease_expiry_leave() {
+    let cfg = quick_cfg(13);
+    let mut world = WorldInstance::canonical(&cfg);
+    world.schedule = busy_schedule();
+    let (report, telemetry) =
+        run_scenario_in_observed(world, cfg, TelemetryOptions::events(65_536));
+    assert!(report.leaves > 0, "departures must be observed as leaves");
+    let log = &telemetry.events;
+    let abrupt = log.query().matching(|r| {
+        matches!(
+            r.event.kind,
+            EventKind::LifecycleDespawn {
+                graceful: false,
+                ..
+            }
+        )
+    });
+    assert!(abrupt.exists(), "the schedule mixes in abrupt departures");
+    let at = abrupt.first().expect("exists").event.time;
+    let leaves_after = log
+        .query()
+        .since(at)
+        .matching(|r| matches!(r.event.kind, EventKind::MeshLeave { .. }));
+    assert!(
+        leaves_after.exists(),
+        "an abrupt departure must surface as a lease-expiry mesh leave"
+    );
+    assert!(
+        abrupt.precedes(&leaves_after),
+        "the despawn is the cause; the observed leave follows it"
     );
 }
 

@@ -1,0 +1,241 @@
+//! Deterministic exporters: JSONL event logs and Chrome-trace timelines.
+//!
+//! Both exporters are pure functions of the recorded events — sim time
+//! only, stable ordering, no wall clock — so the same seed always
+//! produces the same bytes. The JSONL format round-trips byte-exactly
+//! (serialize → parse → serialize is the identity), which
+//! [`validate_jsonl`] checks line by line; CI uses it to validate
+//! `sweep --trace-out` output against the schema.
+
+use crate::event::EventKind;
+use crate::log::Recorded;
+use serde_json::{json, Value};
+use std::fmt::Write as _;
+
+/// Renders recorded events as JSONL: one JSON object per line, in
+/// recording order, trailing newline included.
+pub fn to_jsonl(events: &[Recorded]) -> String {
+    let mut out = String::new();
+    for recorded in events {
+        let line = serde_json::to_string(recorded).expect("events always serialize");
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Parses a JSONL event log back into recorded events.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Recorded>, String> {
+    let mut events = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let recorded: Recorded =
+            serde_json::from_str(line).map_err(|err| format!("line {}: {err}", idx + 1))?;
+        events.push(recorded);
+    }
+    Ok(events)
+}
+
+/// Validates a JSONL event log: every line must parse as a [`Recorded`]
+/// event AND re-serialize to the exact same bytes (schema conformance
+/// plus canonical formatting). Returns the number of valid events.
+pub fn validate_jsonl(text: &str) -> Result<usize, String> {
+    let mut count = 0usize;
+    let mut last_seq: Option<u64> = None;
+    for (idx, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let recorded: Recorded =
+            serde_json::from_str(line).map_err(|err| format!("line {lineno}: {err}"))?;
+        let reserialized =
+            serde_json::to_string(&recorded).map_err(|err| format!("line {lineno}: {err}"))?;
+        if reserialized != line {
+            return Err(format!(
+                "line {lineno}: not canonical — parsed event re-serializes differently"
+            ));
+        }
+        if let Some(prev) = last_seq {
+            if recorded.seq <= prev {
+                return Err(format!(
+                    "line {lineno}: seq {} out of order (previous {prev})",
+                    recorded.seq
+                ));
+            }
+        }
+        last_seq = Some(recorded.seq);
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Renders recorded events as a Chrome-trace / Perfetto JSON document.
+///
+/// Every event becomes an instant (`ph:"i"`) on its actor's track; task
+/// submit→complete/expire pairs additionally become duration spans
+/// (`ph:"X"`) on a per-ego task track, so offload latency is visible as
+/// bar length. Timestamps are integer microseconds of *sim* time.
+pub fn to_chrome_trace(events: &[Recorded], process_name: &str) -> Value {
+    let mut trace_events = Vec::new();
+    trace_events.push(json!({
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1u32,
+        "tid": 0u32,
+        "args": json!({"name": process_name}),
+    }));
+
+    // Instants: one per recorded event, tid = actor.
+    for recorded in events {
+        let event = &recorded.event;
+        trace_events.push(json!({
+            "name": event.kind.to_string(),
+            "cat": event.kind.category().to_string(),
+            "ph": "i",
+            "s": "t",
+            "ts": event.time.as_nanos() / 1_000,
+            "pid": 1u32,
+            "tid": event.actor,
+            "args": json!({"seq": recorded.seq}),
+        }));
+    }
+
+    // Spans: submit → complete/expire per task id.
+    let mut open: Vec<(u64, u32, u64)> = Vec::new(); // (task, ego, start_us)
+    for recorded in events {
+        let ts_us = recorded.event.time.as_nanos() / 1_000;
+        match recorded.event.kind {
+            EventKind::TaskSubmit { task, ego } => open.push((task, ego, ts_us)),
+            EventKind::TaskComplete { task, ego, .. } | EventKind::TaskExpire { task, ego } => {
+                if let Some(pos) = open.iter().position(|&(t, _, _)| t == task) {
+                    let (_, _, start_us) = open.remove(pos);
+                    let done = matches!(recorded.event.kind, EventKind::TaskComplete { .. });
+                    let outcome = if done { "complete" } else { "expire" };
+                    trace_events.push(json!({
+                        "name": format!("task#{task}"),
+                        "cat": "task-span",
+                        "ph": "X",
+                        "ts": start_us,
+                        "dur": ts_us.saturating_sub(start_us),
+                        "pid": 1u32,
+                        "tid": 100_000u64 + ego as u64,
+                        "args": json!({"outcome": outcome}),
+                    }));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    json!({
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::log::EventLog;
+    use airdnd_sim::SimTime;
+
+    fn sample() -> Vec<Recorded> {
+        let mut log = EventLog::bounded(16);
+        log.record(SimTime::from_millis(1), 2, EventKind::MeshJoin { node: 2 });
+        log.record(
+            SimTime::from_millis(2),
+            0,
+            EventKind::TaskSubmit { task: 1, ego: 0 },
+        );
+        log.record(
+            SimTime::from_millis(9),
+            0,
+            EventKind::TaskComplete {
+                task: 1,
+                ego: 0,
+                latency_us: 7_000,
+            },
+        );
+        log.record(
+            SimTime::from_millis(10),
+            0,
+            EventKind::FrameTx {
+                from: 0,
+                to: None,
+                bytes: 48,
+            },
+        );
+        log.events()
+    }
+
+    #[test]
+    fn jsonl_round_trips_byte_exactly() {
+        let events = sample();
+        let jsonl = to_jsonl(&events);
+        let parsed = parse_jsonl(&jsonl).unwrap();
+        assert_eq!(parsed, events);
+        assert_eq!(to_jsonl(&parsed), jsonl);
+        assert_eq!(validate_jsonl(&jsonl).unwrap(), events.len());
+    }
+
+    #[test]
+    fn validate_rejects_garbage_and_disorder() {
+        assert!(validate_jsonl("not json\n").is_err());
+        // Re-ordered lines violate the seq monotonicity check.
+        let events = sample();
+        let jsonl = to_jsonl(&events);
+        let mut lines: Vec<&str> = jsonl.lines().collect();
+        lines.swap(0, 1);
+        assert!(validate_jsonl(&lines.join("\n")).is_err());
+    }
+
+    /// Pulls `field` out of a JSON object `Value` (the vendored `Value`
+    /// has no `Index` impl).
+    fn field<'v>(value: &'v Value, name: &str) -> &'v Value {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("field {name} missing")),
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_instants_and_task_spans() {
+        let events = sample();
+        let doc = to_chrome_trace(&events, "g3 quick");
+        let entries = match field(&doc, "traceEvents") {
+            Value::Array(items) => items.clone(),
+            other => panic!("traceEvents not an array: {other:?}"),
+        };
+        // 1 metadata + 4 instants + 1 task span.
+        assert_eq!(entries.len(), 6);
+        let span = entries
+            .iter()
+            .find(|e| *field(e, "ph") == json!("X"))
+            .expect("task span present");
+        assert_eq!(*field(span, "ts"), json!(2_000u64));
+        assert_eq!(*field(span, "dur"), json!(7_000u64));
+        assert_eq!(*field(field(span, "args"), "outcome"), json!("complete"));
+        let instants = entries
+            .iter()
+            .filter(|e| *field(e, "ph") == json!("i"))
+            .count();
+        assert_eq!(instants, 4);
+    }
+
+    #[test]
+    fn exporters_are_deterministic() {
+        let events = sample();
+        assert_eq!(to_jsonl(&events), to_jsonl(&events));
+        assert_eq!(
+            serde_json::to_string(&to_chrome_trace(&events, "x")).unwrap(),
+            serde_json::to_string(&to_chrome_trace(&events, "x")).unwrap()
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! # airdnd-telemetry — structured observability for the simulation
+//!
+//! The paper's claims are about *dynamics* — asynchronous joins and
+//! leaves, in-range handoffs, task offload under churn — so the window
+//! into a run must be richer than a free-form string trace. This crate is
+//! that window, in five pieces:
+//!
+//! * [`Event`]/[`EventKind`] — a typed schema for everything the driver
+//!   used to describe with `"area: detail"` labels: mesh join/leave,
+//!   frame tx/rx/drop, task submit/offload/complete/expire, lifecycle
+//!   spawn/despawn, demand fire.
+//! * [`EventLog`] — a bounded per-category ring the events are recorded
+//!   into. Recording is a no-op when the log is disabled, and recording
+//!   never touches simulation state, RNG streams or scheduling, so a run
+//!   with telemetry on reports **byte-identical** results to one with
+//!   telemetry off.
+//! * [`Registry`] — a deterministic metrics registry: integer counters
+//!   and fixed-bucket histograms keyed per node and per ego. No wall
+//!   clock, no floats on the recording path — the registry is part of
+//!   the deterministic output surface (per-ego fairness in G4 reads from
+//!   it).
+//! * [`export`] — a JSONL event log (one object per line, byte-exact
+//!   round-trip) and a Chrome-trace/Perfetto-compatible timeline, both
+//!   pure functions of the event log (sim time only, stable ordering).
+//! * [`TraceQuery`] — a matcher API over the recorded events (filter by
+//!   kind/category/actor/time window, assert ordering), so tests stop
+//!   grepping substrings out of rendered traces.
+//!
+//! [`PhaseProfiler`] is the one deliberate exception to determinism: it
+//! attributes *wall-clock* to engine phases (movement, radio, mesh,
+//! tasks) for `BENCH_engine.json`. It never feeds an artifact that is
+//! diffed for byte identity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod log;
+pub mod metrics;
+pub mod profile;
+pub mod query;
+
+pub use event::{Event, EventCategory, EventKind};
+pub use log::{EventLog, Recorded};
+pub use metrics::{FixedHistogram, Registry, Scope};
+pub use profile::{Phase, PhaseProfiler};
+pub use query::TraceQuery;
+
+use airdnd_sim::SimTime;
+
+/// What a run should capture, beyond the always-on metrics registry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TelemetryOptions {
+    /// Record typed events into a per-category ring of this capacity
+    /// (`None` keeps the event log disabled — the zero-cost default).
+    pub events: Option<usize>,
+    /// Attribute wall-clock to engine phases (see [`PhaseProfiler`]).
+    /// Wall-clock only; never part of a deterministic artifact.
+    pub profile: bool,
+}
+
+impl TelemetryOptions {
+    /// Default per-category ring capacity used by [`Self::from_env`] and
+    /// the CLI exporters when no explicit capacity is given.
+    pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+    /// Options with event recording enabled at `capacity` entries per
+    /// category.
+    pub fn events(capacity: usize) -> Self {
+        TelemetryOptions {
+            events: Some(capacity),
+            profile: false,
+        }
+    }
+
+    /// Reads the `AIRDND_TELEMETRY` environment variable: unset means
+    /// disabled, a number is a per-category ring capacity, any other
+    /// non-empty value enables the default capacity. CI uses this to
+    /// prove non-perturbation by diffing artifacts produced with the
+    /// variable set against artifacts produced without it.
+    pub fn from_env() -> Self {
+        match std::env::var("AIRDND_TELEMETRY") {
+            Err(_) => TelemetryOptions::default(),
+            Ok(value) if value.is_empty() || value == "0" => TelemetryOptions::default(),
+            Ok(value) => TelemetryOptions {
+                events: Some(
+                    value
+                        .parse::<usize>()
+                        .unwrap_or(Self::DEFAULT_EVENT_CAPACITY),
+                ),
+                profile: false,
+            },
+        }
+    }
+}
+
+/// Everything one observed run captures: the typed event log, the
+/// deterministic metrics registry and the (wall-clock) phase profile.
+///
+/// The registry is always populated — it is deterministic integer state
+/// and some report fields derive from it — while the event log and the
+/// profiler obey [`TelemetryOptions`].
+#[derive(Clone, Debug)]
+pub struct RunTelemetry {
+    /// Typed events, recorded when enabled.
+    pub events: EventLog,
+    /// Deterministic counters and histograms (always on).
+    pub metrics: Registry,
+    /// Wall-clock phase attribution, recorded when enabled.
+    pub phases: PhaseProfiler,
+}
+
+impl RunTelemetry {
+    /// Telemetry with everything but the metrics registry off.
+    pub fn disabled() -> Self {
+        RunTelemetry {
+            events: EventLog::disabled(),
+            metrics: Registry::new(),
+            phases: PhaseProfiler::disabled(),
+        }
+    }
+
+    /// Telemetry configured by `opts` (the registry is always on).
+    pub fn with(opts: TelemetryOptions) -> Self {
+        RunTelemetry {
+            events: match opts.events {
+                Some(capacity) => EventLog::bounded(capacity),
+                None => EventLog::disabled(),
+            },
+            metrics: Registry::new(),
+            phases: if opts.profile {
+                PhaseProfiler::enabled()
+            } else {
+                PhaseProfiler::disabled()
+            },
+        }
+    }
+
+    /// Records one typed event (no-op when the event log is disabled).
+    pub fn event(&mut self, time: SimTime, actor: u32, kind: EventKind) {
+        self.events.record(time, actor, kind);
+    }
+}
+
+impl Default for RunTelemetry {
+    fn default() -> Self {
+        RunTelemetry::disabled()
+    }
+}

@@ -1,0 +1,209 @@
+//! A matcher API over recorded events.
+//!
+//! Tests used to grep substrings out of a rendered trace (`"lifecycle:"`,
+//! `"despawned (graceful)"`), which breaks silently when a label changes
+//! and cannot express ordering. [`TraceQuery`] filters typed events by
+//! category, actor, time window, or an arbitrary predicate, and
+//! [`TraceQuery::precedes`] asserts that one set of events happens before
+//! another using the global record sequence.
+
+use crate::event::EventCategory;
+use crate::log::Recorded;
+use airdnd_sim::SimTime;
+
+/// Type of the boxed event predicate used by [`TraceQuery::matching`].
+pub type EventPredicate<'a> = Box<dyn Fn(&Recorded) -> bool + 'a>;
+
+/// A filtered view over a list of recorded events.
+///
+/// Queries are cheap value types built from an owned snapshot of the
+/// log; every combinator narrows the view and returns `self`, so
+/// assertions chain: `log.query().category(Mesh).actor(3).exists()`.
+pub struct TraceQuery<'a> {
+    events: Vec<Recorded>,
+    predicates: Vec<EventPredicate<'a>>,
+}
+
+impl<'a> TraceQuery<'a> {
+    /// A query over a snapshot of recorded events (recording order).
+    pub fn over(events: Vec<Recorded>) -> Self {
+        TraceQuery {
+            events,
+            predicates: Vec::new(),
+        }
+    }
+
+    /// Keeps only events of `category`.
+    pub fn category(mut self, category: EventCategory) -> Self {
+        self.predicates
+            .push(Box::new(move |r| r.event.kind.category() == category));
+        self
+    }
+
+    /// Keeps only events attributed to `actor`.
+    pub fn actor(mut self, actor: u32) -> Self {
+        self.predicates
+            .push(Box::new(move |r| r.event.actor == actor));
+        self
+    }
+
+    /// Keeps only events at or after `time`.
+    pub fn since(mut self, time: SimTime) -> Self {
+        self.predicates
+            .push(Box::new(move |r| r.event.time >= time));
+        self
+    }
+
+    /// Keeps only events strictly before `time`.
+    pub fn until(mut self, time: SimTime) -> Self {
+        self.predicates.push(Box::new(move |r| r.event.time < time));
+        self
+    }
+
+    /// Keeps only events matching an arbitrary predicate (typically a
+    /// `matches!` over [`crate::EventKind`]).
+    pub fn matching(mut self, pred: impl Fn(&Recorded) -> bool + 'a) -> Self {
+        self.predicates.push(Box::new(pred));
+        self
+    }
+
+    fn keeps(&self, recorded: &Recorded) -> bool {
+        self.predicates.iter().all(|p| p(recorded))
+    }
+
+    /// All matching events, in recording order.
+    pub fn all(&self) -> Vec<Recorded> {
+        self.events
+            .iter()
+            .filter(|r| self.keeps(r))
+            .copied()
+            .collect()
+    }
+
+    /// Number of matching events.
+    pub fn count(&self) -> usize {
+        self.events.iter().filter(|r| self.keeps(r)).count()
+    }
+
+    /// Whether at least one event matches.
+    pub fn exists(&self) -> bool {
+        self.events.iter().any(|r| self.keeps(r))
+    }
+
+    /// The earliest matching event, if any.
+    pub fn first(&self) -> Option<Recorded> {
+        self.events.iter().find(|r| self.keeps(r)).copied()
+    }
+
+    /// The latest matching event, if any.
+    pub fn last(&self) -> Option<Recorded> {
+        self.events.iter().rev().find(|r| self.keeps(r)).copied()
+    }
+
+    /// Whether this query's *first* match was recorded before `other`'s
+    /// first match. Returns `false` if either side has no match — an
+    /// ordering claim over absent events is vacuous and tests should
+    /// assert existence separately first.
+    pub fn precedes(&self, other: &TraceQuery) -> bool {
+        match (self.first(), other.first()) {
+            (Some(a), Some(b)) => a.seq < b.seq,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::log::EventLog;
+
+    fn sample_log() -> EventLog {
+        let mut log = EventLog::bounded(16);
+        log.record(SimTime::from_millis(5), 1, EventKind::MeshJoin { node: 1 });
+        log.record(
+            SimTime::from_millis(7),
+            0,
+            EventKind::FrameTx {
+                from: 0,
+                to: Some(1),
+                bytes: 120,
+            },
+        );
+        log.record(
+            SimTime::from_millis(8),
+            1,
+            EventKind::FrameRx {
+                from: 0,
+                to: 1,
+                bytes: 120,
+            },
+        );
+        log.record(
+            SimTime::from_millis(20),
+            1,
+            EventKind::MeshLeave { node: 1 },
+        );
+        log
+    }
+
+    #[test]
+    fn filters_compose() {
+        let log = sample_log();
+        assert_eq!(log.query().category(EventCategory::Frame).count(), 2);
+        assert_eq!(
+            log.query().category(EventCategory::Frame).actor(1).count(),
+            1
+        );
+        assert_eq!(
+            log.query().since(SimTime::from_millis(8)).count(),
+            2,
+            "since is inclusive"
+        );
+        assert_eq!(
+            log.query().until(SimTime::from_millis(8)).count(),
+            2,
+            "until is exclusive"
+        );
+    }
+
+    #[test]
+    fn matching_takes_kind_patterns() {
+        let log = sample_log();
+        assert!(log
+            .query()
+            .matching(|r| matches!(r.event.kind, EventKind::MeshLeave { node: 1 }))
+            .exists());
+        assert!(!log
+            .query()
+            .matching(|r| matches!(r.event.kind, EventKind::MeshLeave { node: 2 }))
+            .exists());
+    }
+
+    #[test]
+    fn precedes_orders_first_matches() {
+        let log = sample_log();
+        let join = log
+            .query()
+            .matching(|r| matches!(r.event.kind, EventKind::MeshJoin { .. }));
+        let rx = log
+            .query()
+            .matching(|r| matches!(r.event.kind, EventKind::FrameRx { .. }));
+        assert!(join.precedes(&rx));
+        assert!(!rx.precedes(&join));
+        // Vacuous over an absent side.
+        let none = log
+            .query()
+            .matching(|r| matches!(r.event.kind, EventKind::TaskSubmit { .. }));
+        assert!(!none.precedes(&rx));
+        assert!(!rx.precedes(&none));
+    }
+
+    #[test]
+    fn first_and_last_bracket_the_run() {
+        let log = sample_log();
+        let q = log.query().actor(1);
+        assert_eq!(q.first().unwrap().event.time, SimTime::from_millis(5));
+        assert_eq!(q.last().unwrap().event.time, SimTime::from_millis(20));
+    }
+}

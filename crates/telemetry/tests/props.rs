@@ -1,0 +1,84 @@
+//! Property tests: every `Event` kind round-trips through the JSONL
+//! exporter byte-exactly.
+
+use airdnd_sim::SimTime;
+use airdnd_telemetry::export::{parse_jsonl, to_jsonl, validate_jsonl};
+use airdnd_telemetry::{EventKind, EventLog};
+use proptest::prelude::*;
+
+/// A strategy covering every `EventKind` variant with arbitrary payloads.
+fn any_kind() -> impl Strategy<Value = EventKind> {
+    prop_oneof![
+        any::<u32>().prop_map(|node| EventKind::MeshJoin { node }),
+        any::<u32>().prop_map(|node| EventKind::MeshLeave { node }),
+        (any::<u32>(), any::<bool>(), any::<u32>(), any::<u64>()).prop_map(
+            |(from, unicast, to, bytes)| EventKind::FrameTx {
+                from,
+                to: unicast.then_some(to),
+                bytes,
+            }
+        ),
+        (any::<u32>(), any::<u32>(), any::<u64>())
+            .prop_map(|(from, to, bytes)| EventKind::FrameRx { from, to, bytes }),
+        (any::<u32>(), any::<u32>(), any::<u64>())
+            .prop_map(|(from, to, bytes)| EventKind::FrameDrop { from, to, bytes }),
+        (any::<u64>(), any::<u32>()).prop_map(|(task, ego)| EventKind::TaskSubmit { task, ego }),
+        (any::<u64>(), any::<u32>())
+            .prop_map(|(task, executor)| EventKind::TaskOffload { task, executor }),
+        (any::<u64>(), any::<u32>(), any::<u64>()).prop_map(|(task, ego, latency_us)| {
+            EventKind::TaskComplete {
+                task,
+                ego,
+                latency_us,
+            }
+        }),
+        (any::<u64>(), any::<u32>()).prop_map(|(task, ego)| EventKind::TaskExpire { task, ego }),
+        any::<u32>().prop_map(|node| EventKind::LifecycleSpawn { node }),
+        (any::<u32>(), any::<bool>())
+            .prop_map(|(node, graceful)| EventKind::LifecycleDespawn { node, graceful }),
+        (any::<u32>(), any::<u64>()).prop_map(|(ego, task)| EventKind::DemandFire { ego, task }),
+    ]
+}
+
+proptest! {
+    /// serialize → parse → serialize is the identity on the JSONL bytes,
+    /// for any mix of event kinds, times and actors.
+    #[test]
+    fn jsonl_round_trips_byte_exactly(
+        entries in proptest::collection::vec(
+            (0u64..1_000_000_000_000, any::<u32>(), any_kind()),
+            0..32,
+        ),
+    ) {
+        let mut log = EventLog::bounded(64);
+        for &(nanos, actor, kind) in &entries {
+            log.record(SimTime::from_nanos(nanos), actor, kind);
+        }
+        let events = log.events();
+        let jsonl = to_jsonl(&events);
+        let parsed = parse_jsonl(&jsonl).expect("exporter output parses");
+        prop_assert_eq!(&parsed, &events);
+        prop_assert_eq!(to_jsonl(&parsed), jsonl.clone());
+        prop_assert_eq!(validate_jsonl(&jsonl).expect("exporter output validates"), events.len());
+    }
+
+    /// The merged event view is always sorted by global sequence, and the
+    /// per-category drop accounting matches what the rings evicted.
+    #[test]
+    fn log_accounting_is_consistent(
+        capacity in 1usize..8,
+        entries in proptest::collection::vec((0u64..1_000_000, any::<u32>(), any_kind()), 0..64),
+    ) {
+        let mut log = EventLog::bounded(capacity);
+        for &(nanos, actor, kind) in &entries {
+            log.record(SimTime::from_nanos(nanos), actor, kind);
+        }
+        let events = log.events();
+        prop_assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        prop_assert_eq!(
+            events.len() as u64 + log.dropped_total(),
+            log.recorded_total()
+        );
+        prop_assert_eq!(log.recorded_total(), entries.len() as u64);
+    }
+}

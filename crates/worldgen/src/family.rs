@@ -107,6 +107,7 @@ impl FamilyKind {
             arrival_window_s: profile.arrival_window_s,
             schedule: FleetSchedule::default(),
             extra_egos: Vec::new(),
+            extra_ego_stages: Vec::new(),
             obstacle_loss_db,
         }
     }
@@ -165,16 +166,17 @@ pub fn families() -> Vec<ScenarioFamily> {
 
 /// Assigns up to `count` extra query origins to `instance`: each rides a
 /// distinct portal arm (never the primary ego's), aiming at the farthest
-/// portal so its approach path crosses the map, and the runner derives its
-/// personal occlusion grid along that path ([`ScenarioWorld::derive`]).
-/// Ground-truth agents are hidden in every extra corridor that derives, so
-/// per-ego detection is measurable. Arms that derive no corridor of their
-/// own still field an ego (it falls back to the shared grid at run time).
+/// portal so its approach path crosses the map. The per-route occlusion
+/// grid is derived *once* here — via the instance's own
+/// [`WorldInstance::derive_ego_stage`] — and carried on the instance, so
+/// the runner consumes exactly the stage this generator saw. Ground-truth
+/// agents are hidden in every extra corridor that derives, so per-ego
+/// detection is measurable. Arms that derive no corridor of their own
+/// still field an ego (their carried stage is the shared grid).
 pub fn assign_extra_egos(instance: &mut WorldInstance, count: usize, hidden_per_ego: usize) {
     let arms = instance.stage.net.arm_count();
-    let mut routes = Vec::new();
     for k in 0..arms {
-        if routes.len() == count {
+        if instance.extra_egos.len() == count {
             break;
         }
         let arm = (instance.ego_arm + 1 + k) % arms;
@@ -187,22 +189,18 @@ pub fn assign_extra_egos(instance: &mut WorldInstance, count: usize, hidden_per_
         } else {
             goal_arm
         };
-        routes.push(airdnd_scenario::EgoRoute { arm, goal_arm });
+        let route = airdnd_scenario::EgoRoute { arm, goal_arm };
+        let derived = instance.derive_ego_stage(route);
         // Hide agents in this ego's own corridor when one derives.
-        let net = instance.stage.net.clone();
-        let world = instance.stage.world.clone();
-        if let Some(stage) = ScenarioWorld::derive(
-            net.clone(),
-            world,
-            net.approach_node(arm),
-            net.exit_node(goal_arm),
-            &OcclusionParams::default(),
-        ) {
-            let agents = crate::fleets::corridor_slots(&stage, hidden_per_ego, 2.0, false);
+        if let Some(stage) = &derived {
+            let agents = crate::fleets::corridor_slots(stage, hidden_per_ego, 2.0, false);
             instance.hidden_agents.extend(agents);
         }
+        instance.extra_egos.push(route);
+        instance
+            .extra_ego_stages
+            .push(derived.unwrap_or_else(|| instance.stage.clone()));
     }
-    instance.extra_egos = routes;
 }
 
 /// Looks up one family by name.
@@ -321,36 +319,35 @@ mod tests {
         );
     }
 
-    /// The agent-placement derivation in `assign_extra_egos` and the
-    /// per-ego grid derivation the runner performs share one contract:
-    /// same `(arm, goal_arm, OcclusionParams::default())` inputs. Pin it:
-    /// every agent this function hides must land inside the grid the
-    /// runner will derive for its ego.
+    /// The stage carried on the instance IS the grid the runner uses for
+    /// each extra ego — one derivation, performed here and consumed
+    /// there. Pin both halves of that contract: the carried stage is
+    /// byte-identical to a fresh `derive_ego_stage`, and every agent this
+    /// function hides lands inside its ego's carried grid.
     #[test]
-    fn extra_ego_agents_land_in_the_runner_derived_grid() {
+    fn extra_ego_agents_land_in_the_carried_grid() {
         let cfg = quick_cfg(9);
         let kind = find("grid").unwrap().kind;
         let mut instance = kind.instantiate(&cfg, &FleetProfile::default());
         let base_agents = instance.hidden_agents.len();
         assign_extra_egos(&mut instance, 2, 2);
+        assert_eq!(instance.extra_ego_stages.len(), instance.extra_egos.len());
         let extra_agents = &instance.hidden_agents[base_agents..];
         assert!(!extra_agents.is_empty(), "grid arms must derive corridors");
         let mut placed = 0;
-        for route in &instance.extra_egos {
-            let net = instance.stage.net.clone();
-            // The very derivation run_core performs for this ego.
-            let Some(stage) = ScenarioWorld::derive(
-                net.clone(),
-                instance.stage.world.clone(),
-                net.approach_node(route.arm),
-                net.exit_node(route.goal_arm),
-                &OcclusionParams::default(),
-            ) else {
-                continue;
-            };
+        for (k, route) in instance.extra_egos.iter().enumerate() {
+            let derived = instance
+                .derive_ego_stage(*route)
+                .expect("grid arms must derive corridors");
+            let carried = &instance.extra_ego_stages[k];
+            assert_eq!(
+                serde_json::to_string(carried).unwrap(),
+                serde_json::to_string(&derived).unwrap(),
+                "carried stage must be the authoritative derivation"
+            );
             placed += extra_agents
                 .iter()
-                .filter(|&&a| stage.cell_of(a).is_some())
+                .filter(|&&a| carried.cell_of(a).is_some())
                 .count();
         }
         assert_eq!(

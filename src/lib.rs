@@ -25,6 +25,7 @@
 //! | [`scenario`] | `airdnd-scenario` | "looking around the corner" |
 //! | [`worldgen`] | `airdnd-worldgen` | procedural scenario generation |
 //! | [`harness`] | `airdnd-harness` | parallel deterministic sweep orchestration |
+//! | [`telemetry`] | `airdnd-telemetry` | typed events, metrics, timelines, profiling |
 //!
 //! ## Quickstart
 //!
@@ -55,5 +56,6 @@ pub use airdnd_radio as radio;
 pub use airdnd_scenario as scenario;
 pub use airdnd_sim as sim;
 pub use airdnd_task as task;
+pub use airdnd_telemetry as telemetry;
 pub use airdnd_trust as trust;
 pub use airdnd_worldgen as worldgen;

@@ -141,6 +141,7 @@ fn scenario_workload() -> FnWorkload<ScenarioConfig, ScenarioReport> {
             ExperimentResult::table_only(table)
         },
         trace: None,
+        observe: None,
     }
 }
 
