@@ -68,6 +68,7 @@ struct Args {
     trace: Option<usize>,
     trace_out: Option<PathBuf>,
     validate_trace: Option<PathBuf>,
+    validate_profile: Option<PathBuf>,
     bench_engine: bool,
     names: Vec<String>,
 }
@@ -93,6 +94,7 @@ fn parse_args() -> Args {
         trace: None,
         trace_out: None,
         validate_trace: None,
+        validate_profile: None,
         bench_engine: false,
         names: Vec::new(),
     };
@@ -139,6 +141,10 @@ fn parse_args() -> Args {
             "--validate-trace" => match it.next() {
                 Some(path) => args.validate_trace = Some(PathBuf::from(path)),
                 None => usage_error("--validate-trace needs a file path"),
+            },
+            "--validate-profile" => match it.next() {
+                Some(path) => args.validate_profile = Some(PathBuf::from(path)),
+                None => usage_error("--validate-profile needs a file path"),
             },
             "--bench-engine" => args.bench_engine = true,
             "--torn" => args.torn = true,
@@ -210,6 +216,9 @@ fn usage() -> String {
          event log (FILE) plus a Perfetto timeline (FILE.trace.json);\n\
          --validate-trace FILE checks an exported JSONL event log;\n\
          --bench-engine profiles engine phases into BENCH_engine.json;\n\
+         --validate-profile FILE checks a BENCH_engine.json-shaped\n\
+         profile: every workload must attribute wall-clock to all six\n\
+         engine phases;\n\
          --shard runs one slice and writes a mergeable artifact to --out;\n\
          --merge (repeatable) reassembles artifacts byte-identically;\n\
          drive spawns the shards as subprocesses (bounded by --jobs),\n\
@@ -244,6 +253,10 @@ fn main() {
     let args = parse_args();
     if let Some(path) = &args.validate_trace {
         validate_trace_file(path);
+        return;
+    }
+    if let Some(path) = &args.validate_profile {
+        validate_profile_file(path);
         return;
     }
     if args.bench_engine {
@@ -367,6 +380,85 @@ fn validate_trace_file(path: &std::path::Path) {
             std::process::exit(1);
         }
     }
+}
+
+/// `--validate-profile FILE`: validates a `BENCH_engine.json`-shaped phase
+/// profile — the schema contract the CI smoke job holds `--bench-engine`
+/// to. The file must carry a non-empty `workloads` map, and every workload
+/// must have numeric `wall_ms`/`attributed_ms` plus a `phases.phases`
+/// table attributing to **all six** engine phases (lifecycle, movement,
+/// sensor, mesh, tasks, radio), each with numeric `ms`/`share`/`entries`.
+/// Exits nonzero naming the first violation.
+fn validate_profile_file(path: &std::path::Path) {
+    use serde_json::{Number, Value};
+
+    const PHASES: [&str; 6] = ["lifecycle", "movement", "sensor", "mesh", "tasks", "radio"];
+    let fail = |msg: String| -> ! {
+        eprintln!("{}: invalid profile: {msg}", path.display());
+        std::process::exit(1);
+    };
+    fn entries(v: &Value) -> Option<&[(String, Value)]> {
+        match v {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+    fn field<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+        entries(v)?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+    fn numeric(v: &Value) -> bool {
+        matches!(
+            v,
+            Value::Number(Number::PosInt(_) | Number::NegInt(_) | Number::Float(_))
+        )
+    }
+
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    let root = Value::parse(&text).unwrap_or_else(|| fail("not valid JSON".into()));
+    match field(&root, "mode") {
+        Some(Value::String(mode)) if mode == "quick" || mode == "full" => {}
+        _ => fail("`mode` must be \"quick\" or \"full\"".into()),
+    }
+    let workloads = field(&root, "workloads")
+        .and_then(entries)
+        .unwrap_or_else(|| fail("missing `workloads` object".into()));
+    if workloads.is_empty() {
+        fail("`workloads` is empty".into());
+    }
+    let mut checked = 0usize;
+    for (name, workload) in workloads {
+        for key in ["wall_ms", "attributed_ms"] {
+            if !field(workload, key).is_some_and(numeric) {
+                fail(format!("workload `{name}`: missing numeric `{key}`"));
+            }
+        }
+        let phases = field(workload, "phases")
+            .and_then(|report| field(report, "phases"))
+            .and_then(entries)
+            .unwrap_or_else(|| fail(format!("workload `{name}`: missing `phases.phases` table")));
+        for phase in PHASES {
+            let entry = phases
+                .iter()
+                .find(|(k, _)| k == phase)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| fail(format!("workload `{name}`: phase `{phase}` missing")));
+            for key in ["ms", "share", "entries"] {
+                if !field(entry, key).is_some_and(numeric) {
+                    fail(format!(
+                        "workload `{name}`: phase `{phase}` missing numeric `{key}`"
+                    ));
+                }
+            }
+        }
+        checked += 1;
+    }
+    println!(
+        "{}: {checked} workload profile(s), all six phases attributed, valid",
+        path.display()
+    );
 }
 
 /// `--bench-engine`: emits `BENCH_engine.json` — wall-clock attributed to

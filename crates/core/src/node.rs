@@ -19,7 +19,7 @@ use crate::executor::{gather_inputs, DeclineReason, ExecutorSim};
 use crate::protocol::{OffloadMsg, RequesterBook, RequesterDirective, TaskOutcome};
 use crate::selection::score_candidates;
 use crate::stats::OrchestratorStats;
-use airdnd_data::{DataCatalog, DataType, QualityDescriptor};
+use airdnd_data::{CatalogSummary, DataCatalog, DataType, QualityDescriptor};
 use airdnd_geo::Vec2;
 use airdnd_mesh::{MeshAction, MeshConfig, MeshDescriptor, MeshMsg, MeshNode, NodeAdvert};
 use airdnd_radio::NodeAddr;
@@ -111,6 +111,9 @@ pub struct OrchestratorNode {
     rng: SimRng,
     /// Output privacy level per in-flight local task.
     task_levels: BTreeMap<TaskId, PrivacyLevel>,
+    /// Beacon summary cached against [`DataCatalog::version`]: adverts
+    /// refresh every tick, the catalog changes far less often.
+    advert_summary: Option<(u64, CatalogSummary)>,
 }
 
 impl OrchestratorNode {
@@ -140,6 +143,7 @@ impl OrchestratorNode {
             velocity: Vec2::ZERO,
             rng,
             task_levels: BTreeMap::new(),
+            advert_summary: None,
         }
     }
 
@@ -212,12 +216,20 @@ impl OrchestratorNode {
             let secs = eta.saturating_since(now).as_secs_f64();
             (secs * self.executor.gas_rate() as f64) as u64
         };
+        let catalog = match &self.advert_summary {
+            Some((version, summary)) if *version == self.catalog.version() => summary.clone(),
+            _ => {
+                let summary = self.catalog.summarize();
+                self.advert_summary = Some((self.catalog.version(), summary.clone()));
+                summary
+            }
+        };
         self.mesh.set_advert(NodeAdvert {
             gas_rate: self.executor.gas_rate(),
             gas_backlog: self.executor.backlog_gas() + backlog_from_busy,
             mem_free_bytes: self.executor.mem_bytes(),
             accepting: self.executor.is_accepting(),
-            catalog: self.catalog.summarize(),
+            catalog,
         });
     }
 

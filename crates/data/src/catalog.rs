@@ -122,6 +122,8 @@ pub struct DataCatalog {
     items: Vec<DataItem>,
     capacity: usize,
     next_id: u64,
+    /// Monotone mutation counter (see [`DataCatalog::version`]).
+    version: u64,
 }
 
 impl DataCatalog {
@@ -136,7 +138,16 @@ impl DataCatalog {
             items: Vec::new(),
             capacity,
             next_id: 0,
+            version: 0,
         }
+    }
+
+    /// Monotone change counter: bumps whenever the item set changes, so
+    /// callers can cache derived views (e.g. the beacon-sized
+    /// [`CatalogSummary`]) keyed on it and skip recomputation while the
+    /// catalog is quiet.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of items currently held.
@@ -168,6 +179,7 @@ impl DataCatalog {
         }
         let id = DataItemId(self.next_id);
         self.next_id += 1;
+        self.version += 1;
         self.items.push(DataItem {
             id,
             data_type,
@@ -185,6 +197,7 @@ impl DataCatalog {
     /// Removes an item by id; returns it if present.
     pub fn remove(&mut self, id: DataItemId) -> Option<DataItem> {
         let idx = self.items.iter().position(|item| item.id == id)?;
+        self.version += 1;
         Some(self.items.swap_remove(idx))
     }
 
@@ -193,7 +206,11 @@ impl DataCatalog {
     pub fn expire(&mut self, now: SimTime, max_age: airdnd_sim::SimDuration) -> usize {
         let before = self.items.len();
         self.items.retain(|item| item.quality.age(now) <= max_age);
-        before - self.items.len()
+        let dropped = before - self.items.len();
+        if dropped > 0 {
+            self.version += 1;
+        }
+        dropped
     }
 
     /// All items satisfying `query` at `now`, best match-score first.

@@ -1,0 +1,242 @@
+//! Structure-of-arrays fleet storage behind a stable address map.
+//!
+//! The scenario fleet hands out monotonically increasing node addresses
+//! and never reuses one, which makes the address the perfect stable key:
+//! [`AddrIndex`] is a flat `addr → slot` table (a `Vec` indexed by raw
+//! address) giving O(1) lookup where the fleet previously fell back to a
+//! linear scan after the first despawn. [`SoaFleet`] keeps the hot
+//! kinematics — positions, velocities, kinds — in parallel vectors in
+//! slot order, so the per-tick movement pass streams through contiguous
+//! memory instead of hopping across fat per-vehicle structs.
+
+use airdnd_geo::Vec2;
+
+/// Sentinel slot meaning "address not present".
+const NONE: u32 = u32::MAX;
+
+/// A stable `addr → slot` map for monotone, never-reused addresses.
+///
+/// Backed by a flat `Vec<u32>` indexed by raw address — lookups are one
+/// bounds check and one load. Ordered removals (the fleet keeps its
+/// vehicles address-sorted) are repaired by [`AddrIndex::reindex_from`],
+/// which walks only the shifted tail.
+#[derive(Clone, Debug, Default)]
+pub struct AddrIndex {
+    slots: Vec<u32>,
+}
+
+impl AddrIndex {
+    /// An empty map.
+    pub fn new() -> Self {
+        AddrIndex::default()
+    }
+
+    /// Records `addr → slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` does not fit in the sentinel-reserved `u32` range.
+    pub fn set(&mut self, addr: u64, slot: usize) {
+        let slot = u32::try_from(slot).expect("fleet slot fits u32");
+        assert!(slot != NONE, "slot range exhausted");
+        let i = usize::try_from(addr).expect("addr fits usize");
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, NONE);
+        }
+        self.slots[i] = slot;
+    }
+
+    /// The slot for `addr`, if present.
+    pub fn get(&self, addr: u64) -> Option<usize> {
+        let i = usize::try_from(addr).ok()?;
+        match self.slots.get(i) {
+            Some(&s) if s != NONE => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    /// Forgets `addr`, returning its former slot.
+    pub fn remove(&mut self, addr: u64) -> Option<usize> {
+        let i = usize::try_from(addr).ok()?;
+        let s = self.slots.get_mut(i)?;
+        if *s == NONE {
+            return None;
+        }
+        let old = *s as usize;
+        *s = NONE;
+        Some(old)
+    }
+
+    /// Re-records `addrs[i] → i` for every `i >= from` — the repair pass
+    /// after an ordered removal shifts the tail down by one.
+    pub fn reindex_from(&mut self, addrs: &[u64], from: usize) {
+        for (i, &addr) in addrs.iter().enumerate().skip(from) {
+            self.set(addr, i);
+        }
+    }
+}
+
+/// Parallel kinematics vectors in fleet-slot order.
+///
+/// The `K` parameter carries whatever per-entry kind/flag payload the
+/// caller wants co-located with the kinematics (the scenario fleet stores
+/// a mobility kind). Slots track the owning fleet's vehicle order:
+/// [`SoaFleet::push`] appends, [`SoaFleet::remove_at`] does an ordered
+/// remove and repairs the address map for the shifted tail.
+#[derive(Clone, Debug, Default)]
+pub struct SoaFleet<K> {
+    addrs: Vec<u64>,
+    positions: Vec<Vec2>,
+    velocities: Vec<Vec2>,
+    kinds: Vec<K>,
+    index: AddrIndex,
+}
+
+impl<K> SoaFleet<K> {
+    /// Empty storage.
+    pub fn new() -> Self {
+        SoaFleet {
+            addrs: Vec::new(),
+            positions: Vec::new(),
+            velocities: Vec::new(),
+            kinds: Vec::new(),
+            index: AddrIndex::new(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// `true` when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Appends an entry, returning its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is already present (addresses are never reused).
+    pub fn push(&mut self, addr: u64, pos: Vec2, vel: Vec2, kind: K) -> usize {
+        assert!(self.index.get(addr).is_none(), "address {addr} reused");
+        let slot = self.addrs.len();
+        self.addrs.push(addr);
+        self.positions.push(pos);
+        self.velocities.push(vel);
+        self.kinds.push(kind);
+        self.index.set(addr, slot);
+        slot
+    }
+
+    /// Ordered removal of the entry at `slot`; later slots shift down and
+    /// the address map is repaired for the shifted tail. Returns the
+    /// removed `(addr, kind)`.
+    pub fn remove_at(&mut self, slot: usize) -> (u64, K) {
+        let addr = self.addrs.remove(slot);
+        self.positions.remove(slot);
+        self.velocities.remove(slot);
+        let kind = self.kinds.remove(slot);
+        self.index.remove(addr);
+        self.index.reindex_from(&self.addrs, slot);
+        (addr, kind)
+    }
+
+    /// O(1) slot lookup by address.
+    pub fn slot_of(&self, addr: u64) -> Option<usize> {
+        self.index.get(addr)
+    }
+
+    /// Address stored at `slot`.
+    pub fn addr_at(&self, slot: usize) -> u64 {
+        self.addrs[slot]
+    }
+
+    /// Overwrites the kinematics at `slot`.
+    pub fn set_kinematics(&mut self, slot: usize, pos: Vec2, vel: Vec2) {
+        self.positions[slot] = pos;
+        self.velocities[slot] = vel;
+    }
+
+    /// Position at `slot`.
+    pub fn position(&self, slot: usize) -> Vec2 {
+        self.positions[slot]
+    }
+
+    /// Velocity at `slot`.
+    pub fn velocity(&self, slot: usize) -> Vec2 {
+        self.velocities[slot]
+    }
+
+    /// Kind payload at `slot`.
+    pub fn kind(&self, slot: usize) -> &K {
+        &self.kinds[slot]
+    }
+
+    /// All positions, slot order.
+    pub fn positions(&self) -> &[Vec2] {
+        &self.positions
+    }
+
+    /// All velocities, slot order.
+    pub fn velocities(&self) -> &[Vec2] {
+        &self.velocities
+    }
+
+    /// All addresses, slot order.
+    pub fn addrs(&self) -> &[u64] {
+        &self.addrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_index_roundtrip_and_reindex() {
+        let mut idx = AddrIndex::new();
+        idx.set(5, 0);
+        idx.set(9, 1);
+        idx.set(12, 2);
+        assert_eq!(idx.get(5), Some(0));
+        assert_eq!(idx.get(9), Some(1));
+        assert_eq!(idx.get(7), None);
+        assert_eq!(idx.get(u64::MAX), None);
+        assert_eq!(idx.remove(9), Some(1));
+        assert_eq!(idx.get(9), None);
+        // After removing slot 1, addr 12 shifts to slot 1.
+        idx.reindex_from(&[5, 12], 1);
+        assert_eq!(idx.get(12), Some(1));
+        assert_eq!(idx.remove(9), None);
+    }
+
+    #[test]
+    fn soa_push_remove_keeps_slots_consistent() {
+        let mut f = SoaFleet::new();
+        for a in 1u64..=5 {
+            f.push(a, Vec2::new(a as f64, 0.0), Vec2::ZERO, a as u8);
+        }
+        assert_eq!(f.slot_of(3), Some(2));
+        let (addr, kind) = f.remove_at(1); // remove addr 2
+        assert_eq!((addr, kind), (2, 2));
+        assert_eq!(f.len(), 4);
+        // Tail shifted: every surviving address still resolves to the slot
+        // holding its data.
+        for a in [1u64, 3, 4, 5] {
+            let s = f.slot_of(a).unwrap();
+            assert_eq!(f.addr_at(s), a);
+            assert_eq!(f.position(s), Vec2::new(a as f64, 0.0));
+        }
+        assert_eq!(f.slot_of(2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "reused")]
+    fn soa_rejects_address_reuse() {
+        let mut f = SoaFleet::new();
+        f.push(1, Vec2::ZERO, Vec2::ZERO, ());
+        f.push(1, Vec2::ZERO, Vec2::ZERO, ());
+    }
+}

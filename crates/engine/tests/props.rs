@@ -1,0 +1,142 @@
+//! Property tests for the engine primitives.
+//!
+//! The [`SpatialGrid`] is only an accelerator: every range query must
+//! return exactly what a brute-force scan over the same fleet returns,
+//! including positions sitting exactly on cell boundaries. The
+//! [`Timeline`] must impose a deterministic total order on same-timestamp
+//! collisions — schedule order, independent of payload.
+
+use airdnd_engine::{SpatialGrid, Timeline};
+use airdnd_geo::Vec2;
+use proptest::prelude::*;
+
+const CELL: f64 = 50.0;
+
+/// Arbitrary positions, biased toward cell edges: half the samples land on
+/// exact multiples of half a cell, where bucketing bugs live.
+fn position() -> impl Strategy<Value = Vec2> {
+    let continuous = (-400.0f64..400.0, -400.0f64..400.0).prop_map(|(x, y)| Vec2::new(x, y));
+    let lattice = (-16i32..16, -16i32..16)
+        .prop_map(|(i, j)| Vec2::new(f64::from(i) * CELL / 2.0, f64::from(j) * CELL / 2.0));
+    prop_oneof![continuous, lattice]
+}
+
+fn brute_force(fleet: &[(u64, Vec2)], center: Vec2, radius: f64) -> Vec<u64> {
+    let mut hits: Vec<u64> = fleet
+        .iter()
+        .filter(|(_, p)| p.distance(center) <= radius)
+        .map(|(k, _)| *k)
+        .collect();
+    hits.sort_unstable();
+    hits
+}
+
+/// Collapses a generated `(key, pos)` list to one entry per key, keeping
+/// the last occurrence — the same semantics as repeated `insert`.
+fn dedupe_last(pairs: Vec<(u64, Vec2)>) -> Vec<(u64, Vec2)> {
+    let mut out: Vec<(u64, Vec2)> = Vec::new();
+    for (k, p) in pairs {
+        match out.iter_mut().find(|(ok, _)| *ok == k) {
+            Some(slot) => slot.1 = p,
+            None => out.push((k, p)),
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Grid range queries agree with brute force over random fleets, for
+    /// radii from sub-cell to grid-spanning and centers on or off lattice.
+    #[test]
+    fn grid_query_matches_brute_force(
+        pairs in prop::collection::vec((0u64..64, position()), 0..40),
+        center in position(),
+        radius in prop_oneof![Just(0.0f64), 0.0f64..20.0, 20.0f64..800.0],
+    ) {
+        let fleet = dedupe_last(pairs);
+        let mut grid = SpatialGrid::new(CELL);
+        for &(k, p) in &fleet {
+            grid.insert(k, p);
+        }
+        let hits: Vec<u64> = grid
+            .query_within(center, radius)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        prop_assert_eq!(hits, brute_force(&fleet, center, radius));
+    }
+
+    /// Queries stay exact across interleaved moves and removals — the
+    /// incremental index never leaks stale positions.
+    #[test]
+    fn grid_query_survives_moves_and_removals(
+        pairs in prop::collection::vec((0u64..32, position()), 1..24),
+        moves in prop::collection::vec((0u64..32, position()), 0..48),
+        removals in prop::collection::vec(0u64..32, 0..16),
+        center in position(),
+        radius in 0.0f64..800.0,
+    ) {
+        let mut reference = dedupe_last(pairs);
+        let mut grid = SpatialGrid::new(CELL);
+        for &(k, p) in &reference {
+            grid.insert(k, p);
+        }
+        for &(k, p) in &moves {
+            grid.insert(k, p);
+            match reference.iter_mut().find(|(rk, _)| *rk == k) {
+                Some(slot) => slot.1 = p,
+                None => reference.push((k, p)),
+            }
+        }
+        for &k in &removals {
+            let removed = grid.remove(k);
+            let before = reference.len();
+            reference.retain(|(rk, _)| *rk != k);
+            prop_assert_eq!(removed.is_some(), reference.len() < before);
+        }
+        prop_assert_eq!(grid.len(), reference.len());
+        let hits: Vec<u64> = grid
+            .query_within(center, radius)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        prop_assert_eq!(hits, brute_force(&reference, center, radius));
+    }
+
+    /// Popping replays events in `(time, seq)` order: nondecreasing time,
+    /// and same-timestamp collisions resolve in schedule order no matter
+    /// how the times interleave.
+    #[test]
+    fn timeline_pop_order_is_a_deterministic_total_order(
+        times in prop::collection::vec(0u64..50, 1..64),
+    ) {
+        let mut tl: Timeline<(usize, u64)> = Timeline::new();
+        for (i, &t) in times.iter().enumerate() {
+            tl.schedule_at(airdnd_sim::SimTime::from_secs(t), (i, t));
+        }
+        let horizon = airdnd_sim::SimTime::from_secs(60);
+        let mut popped = Vec::new();
+        while let Some((at, (i, t))) = tl.pop_before(horizon) {
+            prop_assert_eq!(at, airdnd_sim::SimTime::from_secs(t));
+            popped.push((at, i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        // Total order: (time, schedule index) strictly increasing.
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "same-instant events must pop in schedule order");
+            }
+        }
+        // And the whole replay is reproducible.
+        let mut again: Timeline<(usize, u64)> = Timeline::new();
+        for (i, &t) in times.iter().enumerate() {
+            again.schedule_at(airdnd_sim::SimTime::from_secs(t), (i, t));
+        }
+        let mut popped_again = Vec::new();
+        while let Some((at, (i, _))) = again.pop_before(horizon) {
+            popped_again.push((at, i));
+        }
+        prop_assert_eq!(popped, popped_again);
+    }
+}

@@ -22,6 +22,7 @@
 
 use crate::channel::ChannelModel;
 use crate::mac::MacParams;
+use airdnd_engine::SpatialGrid;
 use airdnd_geo::{Vec2, World};
 use airdnd_sim::{SimDuration, SimRng, SimTime};
 use rand::RngCore;
@@ -122,7 +123,10 @@ pub struct RadioMedium {
     mac: MacParams,
     world: World,
     cs_range: f64,
-    positions: BTreeMap<NodeAddr, Vec2>,
+    /// Node positions in a uniform-grid index (cells of `cs_range`), so
+    /// broadcast candidate scans touch only nearby cells instead of the
+    /// whole registry.
+    positions: SpatialGrid<NodeAddr>,
     busy: BTreeMap<(i64, i64), SimTime>,
     rng: SimRng,
     total_bytes_on_air: u64,
@@ -157,7 +161,7 @@ impl RadioMedium {
             mac,
             world,
             cs_range,
-            positions: BTreeMap::new(),
+            positions: SpatialGrid::new(cs_range),
             busy: BTreeMap::new(),
             rng,
             total_bytes_on_air: 0,
@@ -200,12 +204,12 @@ impl RadioMedium {
 
     /// Deregisters a node (frames to it become [`DeliveryOutcome::Unreachable`]).
     pub fn remove_node(&mut self, addr: NodeAddr) {
-        self.positions.remove(&addr);
+        self.positions.remove(addr);
     }
 
     /// Position of a node, if registered.
     pub fn position(&self, addr: NodeAddr) -> Option<Vec2> {
-        self.positions.get(&addr).copied()
+        self.positions.position(addr)
     }
 
     /// Number of registered nodes.
@@ -213,14 +217,20 @@ impl RadioMedium {
         self.positions.len()
     }
 
-    /// Registered nodes within `radius` of `center` (excluding none).
+    /// Registered nodes within `radius` of `center` (excluding none),
+    /// in address order.
     pub fn nodes_in_range(&self, center: Vec2, radius: f64) -> Vec<NodeAddr> {
         let r2 = radius * radius;
+        let mut candidates = Vec::new();
         self.positions
-            .iter()
+            .candidates_into(center, radius, &mut candidates);
+        let mut out: Vec<NodeAddr> = candidates
+            .into_iter()
             .filter(|(_, p)| p.distance_sq(center) <= r2)
-            .map(|(&a, _)| a)
-            .collect()
+            .map(|(a, _)| a)
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// Total bytes ever put on the air.
@@ -307,7 +317,8 @@ impl RadioMedium {
         dst: NodeAddr,
         payload_bytes: u64,
     ) -> (DeliveryOutcome, TxReport) {
-        let (Some(&src_pos), Some(&dst_pos)) = (self.positions.get(&src), self.positions.get(&dst))
+        let (Some(src_pos), Some(dst_pos)) =
+            (self.positions.position(src), self.positions.position(dst))
         else {
             return (DeliveryOutcome::Unreachable, TxReport::default());
         };
@@ -350,7 +361,7 @@ impl RadioMedium {
         src: NodeAddr,
         payload_bytes: u64,
     ) -> (Vec<BroadcastDelivery>, TxReport) {
-        let Some(&src_pos) = self.positions.get(&src) else {
+        let Some(src_pos) = self.positions.position(src) else {
             return (Vec::new(), TxReport::default());
         };
         let airtime_before = self.total_airtime;
@@ -372,12 +383,15 @@ impl RadioMedium {
 
         let horizon = 2.0 * self.channel.nominal_range(true);
         let bits = (payload_bytes + self.mac.header_bytes) * 8;
-        let candidates: Vec<(NodeAddr, Vec2)> = self
-            .positions
-            .iter()
-            .filter(|(&a, p)| a != src && p.distance(src_pos) <= horizon)
-            .map(|(&a, &p)| (a, p))
-            .collect();
+        // Grid cells overlapping the horizon circle, then the exact
+        // historical predicate and address order — candidates, and
+        // therefore every per-candidate RNG draw below, match the old
+        // full-registry scan bit for bit.
+        let mut candidates: Vec<(NodeAddr, Vec2)> = Vec::new();
+        self.positions
+            .candidates_into(src_pos, horizon, &mut candidates);
+        candidates.retain(|&(a, p)| a != src && p.distance(src_pos) <= horizon);
+        candidates.sort_unstable_by_key(|&(a, _)| a);
         let mut deliveries = Vec::new();
         for (addr, pos) in candidates {
             let distance = src_pos.distance(pos);

@@ -2,11 +2,21 @@
 
 use crate::world::ScenarioWorld;
 use airdnd_core::{OrchestratorConfig, OrchestratorNode};
+use airdnd_engine::SoaFleet;
 use airdnd_geo::{IdmParams, Mobility, Vec2};
 use airdnd_mesh::MeshConfig;
 use airdnd_radio::NodeAddr;
 use airdnd_sim::SimRng;
 use rand::Rng;
+
+/// Coarse mobility class carried in the SoA kind lane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VehicleKind {
+    /// Circulating vehicle (steps every tick, can despawn).
+    Mobile,
+    /// Parked/RSU anchor (never moves, never despawns).
+    Parked,
+}
 
 /// One simulated vehicle.
 pub struct Vehicle {
@@ -174,9 +184,11 @@ pub struct Fleet {
     pub vehicles: Vec<Vehicle>,
     /// Next address to hand out to a mid-run spawn.
     next_addr: u64,
-    /// While `true`, address `i + 1` lives at index `i` (spawns preserve
-    /// this; the first removal punches a hole and clears it).
-    dense: bool,
+    /// SoA mirror of the hot per-vehicle state: positions, velocities and
+    /// kinds in parallel vectors behind a stable `addr → slot` map, kept
+    /// in lockstep with `vehicles` (same order). `index_of` resolves
+    /// through it in O(1) regardless of despawn history.
+    kin: SoaFleet<VehicleKind>,
 }
 
 impl Fleet {
@@ -247,10 +259,19 @@ impl Fleet {
             ));
         }
         let next_addr = (count + layout.parked.len()) as u64 + 1;
+        let mut kin = SoaFleet::new();
+        for v in &vehicles {
+            let kind = if v.is_parked() {
+                VehicleKind::Parked
+            } else {
+                VehicleKind::Mobile
+            };
+            kin.push(v.node.addr().raw(), v.pos(), v.velocity(), kind);
+        }
         Fleet {
             vehicles,
             next_addr,
-            dense: true,
+            kin,
         }
     }
 
@@ -281,6 +302,12 @@ impl Fleet {
             0.0,
             rng,
         );
+        self.kin.push(
+            addr.raw(),
+            vehicle.pos(),
+            vehicle.velocity(),
+            VehicleKind::Mobile,
+        );
         self.vehicles.push(vehicle);
         addr
     }
@@ -290,7 +317,7 @@ impl Fleet {
     /// it). Later vehicles shift down; addresses are never reassigned.
     pub fn remove(&mut self, addr: NodeAddr) -> Option<Vehicle> {
         let idx = self.index_of(addr)?;
-        self.dense = false;
+        self.kin.remove_at(idx);
         Some(self.vehicles.remove(idx))
     }
 
@@ -304,17 +331,27 @@ impl Fleet {
         self.vehicles.is_empty()
     }
 
-    /// Index of the vehicle with address `addr`, if any. While no
-    /// despawn has punched a hole, addresses are dense (`addr = i + 1`,
-    /// spawns included) and this is O(1) — the path every static-fleet
-    /// run takes on each radio delivery; after the first removal it
-    /// falls back to a scan.
+    /// Index of the vehicle with address `addr`, if any — one load through
+    /// the stable `addr → slot` map, O(1) on every path (the previous
+    /// implementation fell back to a linear scan after the first despawn,
+    /// which every radio delivery then paid for the rest of the run).
     pub fn index_of(&self, addr: NodeAddr) -> Option<usize> {
-        if self.dense {
-            let idx = addr.raw().checked_sub(1)? as usize;
-            return (idx < self.vehicles.len()).then_some(idx);
+        self.kin.slot_of(addr.raw())
+    }
+
+    /// The SoA kinematics lanes (positions/velocities/kinds in vehicle
+    /// order), refreshed by [`Fleet::step_all`].
+    pub fn kinematics(&self) -> &SoaFleet<VehicleKind> {
+        &self.kin
+    }
+
+    /// Advances every vehicle by `dt` seconds and refreshes the SoA
+    /// kinematics lanes — the per-tick movement pass.
+    pub fn step_all(&mut self, world: &ScenarioWorld, dt: f64) {
+        for (i, v) in self.vehicles.iter_mut().enumerate() {
+            v.step(world, dt);
+            self.kin.set_kinematics(i, v.pos(), v.velocity());
         }
-        self.vehicles.iter().position(|v| v.node.addr() == addr)
     }
 }
 
@@ -523,6 +560,60 @@ mod tests {
         );
         assert_eq!(b.raw(), 6);
         assert!(!fleet.vehicles.last().unwrap().is_parked());
+    }
+
+    /// Satellite regression for the old linear-scan fallback: the stable
+    /// address map must answer every lookup correctly through heavy
+    /// interleaved spawn/despawn churn, and the SoA lanes must track the
+    /// surviving vehicles slot for slot.
+    #[test]
+    fn index_of_survives_spawn_despawn_churn() {
+        let world = stage();
+        let mut rng = SimRng::seed_from(31);
+        let mut fleet = Fleet::spawn(
+            &world,
+            6,
+            (1_000_000, 1_000_000),
+            120.0,
+            0.0,
+            OrchestratorConfig::default(),
+            MeshConfig::default(),
+            &FleetLayout::default(),
+            &mut rng,
+        );
+        let mut retired = Vec::new();
+        for round in 0..40u64 {
+            // Alternate bursts of arrivals and departures, always removing
+            // from the middle so the tail shifts.
+            if round % 3 != 2 {
+                fleet.push_mobile(
+                    &world,
+                    (round % 4) as usize,
+                    1_000_000,
+                    120.0,
+                    OrchestratorConfig::default(),
+                    MeshConfig::default(),
+                    rng.fork(round),
+                );
+            }
+            if round % 2 == 1 && fleet.len() > 3 {
+                let victim = fleet.vehicles[fleet.len() / 2].node.addr();
+                assert!(fleet.remove(victim).is_some());
+                retired.push(victim);
+            }
+            // Every survivor resolves to the slot that actually holds it…
+            for (i, v) in fleet.vehicles.iter().enumerate() {
+                let addr = v.node.addr();
+                assert_eq!(fleet.index_of(addr), Some(i), "round {round}");
+                assert_eq!(fleet.kinematics().addr_at(i), addr.raw());
+                assert_eq!(fleet.kinematics().position(i), v.pos());
+            }
+            // …and every retired address resolves to nothing, forever.
+            for &gone in &retired {
+                assert_eq!(fleet.index_of(gone), None);
+            }
+        }
+        assert!(!retired.is_empty());
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod runner;
 pub mod world;
 
 pub use demand::DemandProfile;
-pub use fleet::{Fleet, FleetLayout, Vehicle};
+pub use fleet::{Fleet, FleetLayout, Vehicle, VehicleKind};
 pub use lifecycle::{FleetAction, FleetEvent, FleetSchedule};
 pub use perception::{fuse_max, observed_fraction, occupied_cells};
 pub use runner::{

@@ -1,8 +1,10 @@
 //! The closed-loop simulation driver and strategy comparison.
 //!
 //! [`run_scenario`] wires the fleet, the radio medium and the chosen
-//! [`Strategy`] into the deterministic event engine and runs the
-//! looking-around-the-corner workload: the ego vehicle periodically wants
+//! [`Strategy`] into an event-scheduled core — a deterministic
+//! [`Timeline`] of typed scenario events keyed by `(timestamp, seq)` —
+//! and runs the looking-around-the-corner workload: the ego vehicle
+//! periodically wants
 //! an up-to-date view of the occluded corridor, and each strategy procures
 //! it differently —
 //!
@@ -28,16 +30,16 @@ use airdnd_core::{
     NodeAction, NodeEvent, OffloadMsg, OrchestratorConfig, OrchestratorStats, TaskOutcome, WireMsg,
 };
 use airdnd_data::{DataQuery, DataType, QualityDescriptor, QualityRequirement};
+use airdnd_engine::Timeline;
 use airdnd_geo::Vec2;
 use airdnd_mesh::MeshConfig;
 use airdnd_radio::{DeliveryOutcome, NodeAddr, RadioMedium};
-use airdnd_sim::{percentile, Actor, Context, Engine, SimDuration, SimRng, SimTime};
+use airdnd_sim::{percentile, SimDuration, SimRng, SimTime};
 use airdnd_task::{library, ResourceRequirements, TaskId, TaskSpec};
 use airdnd_telemetry::{EventKind, Phase, RunTelemetry, Scope, TelemetryOptions};
 use airdnd_trust::PrivacyLevel;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Instant;
 
@@ -118,7 +120,8 @@ pub struct ScenarioConfig {
 // The sweep harness farms `run_scenario` calls across worker threads; the
 // contract that makes this sound is enforced here at compile time: configs
 // move into workers, reports move back, and `run_scenario` itself is a pure
-// function of its config (all `Rc`/`RefCell` state is created per-call).
+// function of its config (the world state and its event timeline are
+// created per-call and never escape it).
 const _: () = {
     const fn assert_send_sync<T: Send + Sync + 'static>() {}
     assert_send_sync::<ScenarioConfig>();
@@ -382,18 +385,22 @@ pub struct ScenarioReport {
     pub ego_p95_worst_ms: f64,
 }
 
+/// One scheduled scenario event. Wire payloads ride behind an `Rc` so a
+/// broadcast's N deliveries share one heap copy until each receiver takes
+/// (or, for the last one, steals) its own — and so the queue's elements
+/// stay small for cheap heap sifts.
 #[derive(Clone, Debug)]
 enum ScenMsg {
     Tick,
     Deliver {
         from: NodeAddr,
         to: NodeAddr,
-        msg: WireMsg,
+        msg: Rc<WireMsg>,
     },
     TransmitAt {
         src: NodeAddr,
         to: NodeAddr,
-        msg: WireMsg,
+        msg: Rc<WireMsg>,
     },
     CloudView {
         ego: usize,
@@ -604,43 +611,33 @@ impl WorldState {
     }
 }
 
-struct WorldActor {
-    state: Rc<RefCell<WorldState>>,
-}
-
-impl WorldActor {
-    /// Whether this run attributes wall-clock to phases (checked once per
-    /// dispatch so the disabled path costs a single borrow + branch).
-    fn profiling(&self) -> bool {
-        self.state.borrow().telemetry.phases.is_enabled()
-    }
-
+/// The event handlers: each popped timeline event is dispatched straight
+/// into these `&mut self` methods — no actor mailbox, no `Rc<RefCell<..>>`
+/// round-trips, no dynamic dispatch.
+impl WorldState {
     /// Deposits `start`'s elapsed wall-clock under `phase`. `start` is
     /// `None` when profiling is off, making this a no-op.
-    fn profile(&self, start: Option<Instant>, phase: Phase) {
+    fn profile(&mut self, start: Option<Instant>, phase: Phase) {
         if let Some(start) = start {
-            self.state
-                .borrow_mut()
-                .telemetry
+            self.telemetry
                 .phases
                 .record_nanos(phase, start.elapsed().as_nanos());
         }
     }
 
     fn process_actions(
-        &self,
-        ctx: &mut Context<'_, ScenMsg>,
+        &mut self,
+        tl: &mut Timeline<ScenMsg>,
+        now: SimTime,
         src: NodeAddr,
         actions: Vec<NodeAction>,
     ) {
-        let now = ctx.now();
         for action in actions {
             match action {
                 NodeAction::Broadcast(msg) => {
-                    let mut state = self.state.borrow_mut();
                     let size = msg.wire_size_bytes();
-                    let (deliveries, _) = state.medium.broadcast(now, src, size);
-                    state.telemetry.event(
+                    let (deliveries, _) = self.medium.broadcast(now, src, size);
+                    self.telemetry.event(
                         now,
                         src.raw() as u32,
                         EventKind::FrameTx {
@@ -649,24 +646,23 @@ impl WorldActor {
                             bytes: size,
                         },
                     );
-                    drop(state);
+                    let msg = Rc::new(msg);
                     for d in deliveries {
-                        ctx.send_self(
-                            d.at.saturating_since(now),
+                        tl.schedule_at(
+                            now + d.at.saturating_since(now),
                             ScenMsg::Deliver {
                                 from: src,
                                 to: d.to,
-                                msg: msg.clone(),
+                                msg: Rc::clone(&msg),
                             },
                         );
                     }
                 }
                 NodeAction::Send { to, msg } => {
-                    let mut state = self.state.borrow_mut();
                     let size = msg.wire_size_bytes();
-                    let (outcome, _) = state.medium.unicast(now, src, to, size);
+                    let (outcome, _) = self.medium.unicast(now, src, to, size);
                     if let WireMsg::Offload(OffloadMsg::Offer { task, .. }) = &msg {
-                        state.telemetry.event(
+                        self.telemetry.event(
                             now,
                             src.raw() as u32,
                             EventKind::TaskOffload {
@@ -675,7 +671,7 @@ impl WorldActor {
                             },
                         );
                     }
-                    state.telemetry.event(
+                    self.telemetry.event(
                         now,
                         src.raw() as u32,
                         EventKind::FrameTx {
@@ -685,7 +681,7 @@ impl WorldActor {
                         },
                     );
                     if !matches!(outcome, DeliveryOutcome::Delivered { .. }) {
-                        state.telemetry.event(
+                        self.telemetry.event(
                             now,
                             src.raw() as u32,
                             EventKind::FrameDrop {
@@ -695,48 +691,51 @@ impl WorldActor {
                             },
                         );
                     }
-                    drop(state);
                     if let DeliveryOutcome::Delivered { at, .. } = outcome {
-                        ctx.send_self(
-                            at.saturating_since(now),
-                            ScenMsg::Deliver { from: src, to, msg },
+                        tl.schedule_at(
+                            now + at.saturating_since(now),
+                            ScenMsg::Deliver {
+                                from: src,
+                                to,
+                                msg: Rc::new(msg),
+                            },
                         );
                     }
                 }
                 NodeAction::SendAt { to, at, msg } => {
-                    ctx.send_self(
-                        at.saturating_since(now),
-                        ScenMsg::TransmitAt { src, to, msg },
+                    tl.schedule_at(
+                        now + at.saturating_since(now),
+                        ScenMsg::TransmitAt {
+                            src,
+                            to,
+                            msg: Rc::new(msg),
+                        },
                     );
                 }
                 NodeAction::Outcome { task, outcome } => {
-                    let mut state = self.state.borrow_mut();
-                    let (ego, submitted) = state
+                    let (ego, submitted) = self
                         .task_submit_times
                         .remove(&task.raw())
                         .unwrap_or((0, now));
                     match outcome {
                         TaskOutcome::Completed { outputs, .. } => {
-                            state.record_view(now, submitted, &outputs, ego, task.raw());
+                            self.record_view(now, submitted, &outputs, ego, task.raw());
                         }
                         TaskOutcome::Failed { .. } => {
-                            state.record_failure(now, ego, task.raw());
+                            self.record_failure(now, ego, task.raw());
                         }
                     }
                 }
                 NodeAction::MeshJoined(_) => {
-                    let mut state = self.state.borrow_mut();
-                    state.joins += 1;
-                    if src == state.fleet.vehicles[0].node.addr() && state.mesh_formation.is_none()
-                    {
-                        state.mesh_formation = Some(now);
+                    self.joins += 1;
+                    if src == self.fleet.vehicles[0].node.addr() && self.mesh_formation.is_none() {
+                        self.mesh_formation = Some(now);
                     }
-                    state
-                        .telemetry
+                    self.telemetry
                         .metrics
                         .inc("mesh_joins", Scope::Node(src.raw() as u32));
-                    state.telemetry.metrics.inc("mesh_joins", Scope::Global);
-                    state.telemetry.event(
+                    self.telemetry.metrics.inc("mesh_joins", Scope::Global);
+                    self.telemetry.event(
                         now,
                         src.raw() as u32,
                         EventKind::MeshJoin {
@@ -745,14 +744,12 @@ impl WorldActor {
                     );
                 }
                 NodeAction::MeshLeft(_) => {
-                    let mut state = self.state.borrow_mut();
-                    state.leaves += 1;
-                    state
-                        .telemetry
+                    self.leaves += 1;
+                    self.telemetry
                         .metrics
                         .inc("mesh_leaves", Scope::Node(src.raw() as u32));
-                    state.telemetry.metrics.inc("mesh_leaves", Scope::Global);
-                    state.telemetry.event(
+                    self.telemetry.metrics.inc("mesh_leaves", Scope::Global);
+                    self.telemetry.event(
                         now,
                         src.raw() as u32,
                         EventKind::MeshLeave {
@@ -766,280 +763,230 @@ impl WorldActor {
 
     /// Applies every fleet event due at this tick boundary: spawns join
     /// the mesh population, despawns leave it (gracefully or abruptly).
-    fn apply_lifecycle(&self, ctx: &mut Context<'_, ScenMsg>) {
-        let now = ctx.now();
+    fn apply_lifecycle(&mut self, tl: &mut Timeline<ScenMsg>, now: SimTime) {
         loop {
-            let event = {
-                let mut state = self.state.borrow_mut();
-                match state.schedule.events.get(state.schedule_cursor) {
-                    Some(&event) if event.at_s <= now.as_secs_f64() => {
-                        state.schedule_cursor += 1;
-                        event
-                    }
-                    _ => break,
+            let event = match self.schedule.events.get(self.schedule_cursor) {
+                Some(&event) if event.at_s <= now.as_secs_f64() => {
+                    self.schedule_cursor += 1;
+                    event
                 }
+                _ => break,
             };
             match event.action {
                 FleetAction::Spawn { arm } => {
-                    {
-                        let mut state = self.state.borrow_mut();
-                        let arm = arm % state.stage.net.arm_count();
-                        let (lo, hi) = state.cfg.gas_rate_range;
-                        let gas_rate = if hi > lo {
-                            state.lifecycle_rng.gen_range(lo..=hi)
-                        } else {
-                            lo
-                        };
-                        // Arrivals are helpers, so they draw the same
-                        // byzantine lottery the initial fleet did —
-                        // churn must not dilute the corrupt population.
-                        let byzantine = {
-                            let fraction = state.cfg.byzantine_fraction;
-                            state.lifecycle_rng.chance(fraction)
-                        };
-                        // Fork tag = how many spawns have been applied,
-                        // so each arrival gets its own stream.
-                        let rng = state.lifecycle_rng.fork(state.spawns);
-                        let (sensor_range, orch, mesh) =
-                            (state.cfg.sensor_range, state.cfg.orch, state.cfg.mesh);
-                        let WorldState {
-                            fleet,
-                            stage,
-                            medium,
-                            ..
-                        } = &mut *state;
-                        let addr =
-                            fleet.push_mobile(stage, arm, gas_rate, sensor_range, orch, mesh, rng);
-                        let vehicle = fleet.vehicles.last_mut().expect("just pushed");
-                        if byzantine {
-                            vehicle.node.executor_mut().set_byzantine(true);
-                        }
-                        let pos = vehicle.pos();
-                        medium.set_position(addr, pos);
-                        state.spawns += 1;
-                        state.telemetry.event(
-                            now,
-                            addr.raw() as u32,
-                            EventKind::LifecycleSpawn {
-                                node: addr.raw() as u32,
-                            },
-                        );
+                    let arm = arm % self.stage.net.arm_count();
+                    let (lo, hi) = self.cfg.gas_rate_range;
+                    let gas_rate = if hi > lo {
+                        self.lifecycle_rng.gen_range(lo..=hi)
+                    } else {
+                        lo
+                    };
+                    // Arrivals are helpers, so they draw the same
+                    // byzantine lottery the initial fleet did —
+                    // churn must not dilute the corrupt population.
+                    let byzantine = self.lifecycle_rng.chance(self.cfg.byzantine_fraction);
+                    // Fork tag = how many spawns have been applied,
+                    // so each arrival gets its own stream.
+                    let rng = self.lifecycle_rng.fork(self.spawns);
+                    let (sensor_range, orch, mesh) =
+                        (self.cfg.sensor_range, self.cfg.orch, self.cfg.mesh);
+                    let WorldState {
+                        fleet,
+                        stage,
+                        medium,
+                        ..
+                    } = self;
+                    let addr =
+                        fleet.push_mobile(stage, arm, gas_rate, sensor_range, orch, mesh, rng);
+                    let vehicle = fleet.vehicles.last_mut().expect("just pushed");
+                    if byzantine {
+                        vehicle.node.executor_mut().set_byzantine(true);
                     }
+                    let pos = vehicle.pos();
+                    medium.set_position(addr, pos);
+                    self.spawns += 1;
+                    self.telemetry.event(
+                        now,
+                        addr.raw() as u32,
+                        EventKind::LifecycleSpawn {
+                            node: addr.raw() as u32,
+                        },
+                    );
                 }
                 FleetAction::Despawn { graceful } => {
                     // Oldest eligible vehicle: mobile, not a query origin.
-                    let victim = {
-                        let state = self.state.borrow();
-                        state
-                            .fleet
-                            .vehicles
-                            .iter()
-                            .find(|v| {
-                                !v.is_parked()
-                                    && !state.egos.iter().any(|e| e.addr == v.node.addr())
-                            })
-                            .map(|v| v.node.addr())
-                    };
+                    let victim = self
+                        .fleet
+                        .vehicles
+                        .iter()
+                        .find(|v| {
+                            !v.is_parked() && !self.egos.iter().any(|e| e.addr == v.node.addr())
+                        })
+                        .map(|v| v.node.addr());
                     let Some(addr) = victim else {
                         continue;
                     };
                     if graceful {
-                        let actions = {
-                            let mut state = self.state.borrow_mut();
-                            let idx = state.fleet.index_of(addr).expect("victim present");
-                            state.fleet.vehicles[idx].node.leave(now)
-                        };
-                        self.process_actions(ctx, addr, actions);
+                        let idx = self.fleet.index_of(addr).expect("victim present");
+                        let actions = self.fleet.vehicles[idx].node.leave(now);
+                        self.process_actions(tl, now, addr, actions);
                     }
-                    {
-                        let mut state = self.state.borrow_mut();
-                        state.fleet.remove(addr);
-                        state.medium.remove_node(addr);
-                        state.despawns += 1;
-                        state.telemetry.event(
-                            now,
-                            addr.raw() as u32,
-                            EventKind::LifecycleDespawn {
-                                node: addr.raw() as u32,
-                                graceful,
-                            },
-                        );
-                    }
+                    self.fleet.remove(addr);
+                    self.medium.remove_node(addr);
+                    self.despawns += 1;
+                    self.telemetry.event(
+                        now,
+                        addr.raw() as u32,
+                        EventKind::LifecycleDespawn {
+                            node: addr.raw() as u32,
+                            graceful,
+                        },
+                    );
                 }
             }
         }
     }
 
-    fn tick(&self, ctx: &mut Context<'_, ScenMsg>) {
-        let now = ctx.now();
-        let profiling = self.profiling();
+    fn tick(&mut self, tl: &mut Timeline<ScenMsg>, now: SimTime) {
+        let profiling = self.telemetry.phases.is_enabled();
         let started = profiling.then(Instant::now);
-        self.apply_lifecycle(ctx);
+        self.apply_lifecycle(tl, now);
         self.profile(started, Phase::Lifecycle);
-        let (tick_count, vehicle_count, ego_count) = {
-            let mut state = self.state.borrow_mut();
-            let started = profiling.then(Instant::now);
-            state.tick_count += 1;
-            let dt = state.cfg.tick.as_secs_f64();
-            let stage = state.stage.clone();
-            for v in &mut state.fleet.vehicles {
-                v.step(&stage, dt);
+
+        let started = profiling.then(Instant::now);
+        self.tick_count += 1;
+        let dt = self.cfg.tick.as_secs_f64();
+        {
+            // Split borrow: mobility reads the stage while mutating the
+            // fleet, so destructure instead of cloning the world per tick.
+            let WorldState {
+                fleet,
+                stage,
+                medium,
+                ..
+            } = self;
+            fleet.step_all(stage, dt);
+            for i in 0..fleet.vehicles.len() {
+                let pos = fleet.kinematics().positions()[i];
+                let vel = fleet.kinematics().velocities()[i];
+                let addr = fleet.vehicles[i].node.addr();
+                medium.set_position(addr, pos);
+                fleet.vehicles[i].node.set_kinematics(pos, vel);
             }
-            for i in 0..state.fleet.vehicles.len() {
-                let pos = state.fleet.vehicles[i].pos();
-                let vel = state.fleet.vehicles[i].velocity();
-                let addr = state.fleet.vehicles[i].node.addr();
-                state.medium.set_position(addr, pos);
-                state.fleet.vehicles[i].node.set_kinematics(pos, vel);
-            }
-            if let Some(started) = started {
-                state
-                    .telemetry
-                    .phases
-                    .record_nanos(Phase::Movement, started.elapsed().as_nanos());
-            }
-            // Sensor refresh: every vehicle snapshots each ego's hidden
-            // region (one catalog item per distinct grid).
-            let started = profiling.then(Instant::now);
-            if state
-                .tick_count
-                .is_multiple_of(state.cfg.sensor_every_ticks as u64)
-            {
-                let WorldState {
-                    fleet,
-                    sensor_stages,
-                    hidden_agents,
-                    cfg,
-                    ..
-                } = &mut *state;
-                for vehicle in fleet.vehicles.iter_mut() {
-                    let pos = vehicle.pos();
-                    for sensed in sensor_stages.iter() {
-                        let grid = sensed.rasterize(pos, cfg.sensor_range, hidden_agents);
-                        vehicle.node.insert_data(
-                            DataType::OccupancyGrid,
-                            grid,
-                            QualityDescriptor {
-                                produced_at: now,
-                                confidence: 0.9,
-                                resolution: 1.0 / sensed.cell_size,
-                                coverage: Some(sensed.hidden_region),
-                                noise_sigma: 0.0,
-                            },
-                        );
-                    }
+        }
+        self.profile(started, Phase::Movement);
+
+        // Sensor refresh: every vehicle snapshots each ego's hidden
+        // region (one catalog item per distinct grid).
+        let started = profiling.then(Instant::now);
+        if self
+            .tick_count
+            .is_multiple_of(self.cfg.sensor_every_ticks as u64)
+        {
+            let WorldState {
+                fleet,
+                sensor_stages,
+                hidden_agents,
+                cfg,
+                ..
+            } = self;
+            for vehicle in fleet.vehicles.iter_mut() {
+                let pos = vehicle.pos();
+                for sensed in sensor_stages.iter() {
+                    let grid = sensed.rasterize(pos, cfg.sensor_range, hidden_agents);
+                    vehicle.node.insert_data(
+                        DataType::OccupancyGrid,
+                        grid,
+                        QualityDescriptor {
+                            produced_at: now,
+                            confidence: 0.9,
+                            resolution: 1.0 / sensed.cell_size,
+                            coverage: Some(sensed.hidden_region),
+                            noise_sigma: 0.0,
+                        },
+                    );
                 }
             }
-            if let Some(started) = started {
-                state
-                    .telemetry
-                    .phases
-                    .record_nanos(Phase::Sensor, started.elapsed().as_nanos());
-            }
-            // Ego mesh-size sample.
-            let members = state.fleet.vehicles[0].node.mesh().member_count();
-            state.member_samples.push(members as f64);
-            (
-                state.tick_count,
-                state.fleet.vehicles.len(),
-                state.egos.len(),
-            )
-        };
+        }
+        self.profile(started, Phase::Sensor);
+
+        // Ego mesh-size sample.
+        let members = self.fleet.vehicles[0].node.mesh().member_count();
+        self.member_samples.push(members as f64);
+        let tick_count = self.tick_count;
+        let vehicle_count = self.fleet.vehicles.len();
+        let ego_count = self.egos.len();
 
         // Node timers (mesh beacons, protocol timeouts).
         let started = profiling.then(Instant::now);
         for i in 0..vehicle_count {
-            let (addr, actions) = {
-                let mut state = self.state.borrow_mut();
-                let v = &mut state.fleet.vehicles[i];
-                (v.node.addr(), v.node.handle(now, NodeEvent::Tick))
-            };
-            self.process_actions(ctx, addr, actions);
+            let v = &mut self.fleet.vehicles[i];
+            let addr = v.node.addr();
+            let actions = v.node.handle(now, NodeEvent::Tick);
+            self.process_actions(tl, now, addr, actions);
         }
         self.profile(started, Phase::Mesh);
 
         // Perception workload per query origin, paced by the demand profile.
         let started = profiling.then(Instant::now);
         for ego in 0..ego_count {
-            let task_due = {
-                let state = self.state.borrow();
-                let progress = now.as_secs_f64() / state.cfg.duration.as_secs_f64().max(1e-9);
-                let ego_pos = state.ego_pos(ego);
-                state
-                    .cfg
+            let progress = now.as_secs_f64() / self.cfg.duration.as_secs_f64().max(1e-9);
+            let ego_pos = self.ego_pos(ego);
+            let task_due =
+                self.cfg
                     .demand
-                    .due(tick_count, state.cfg.task_every_ticks, progress, ego_pos)
-            };
+                    .due(tick_count, self.cfg.task_every_ticks, progress, ego_pos);
             if task_due {
-                self.submit_perception(ctx, ego);
+                self.submit_perception(tl, now, ego);
             }
         }
         self.profile(started, Phase::Tasks);
 
         // Next tick.
-        let (tick, done) = {
-            let state = self.state.borrow();
-            (
-                state.cfg.tick,
-                now + state.cfg.tick > SimTime::ZERO + state.cfg.duration,
-            )
-        };
-        if !done {
-            ctx.send_self(tick, ScenMsg::Tick);
+        if now + self.cfg.tick <= SimTime::ZERO + self.cfg.duration {
+            tl.schedule_at(now + self.cfg.tick, ScenMsg::Tick);
         }
     }
 
-    fn submit_perception(&self, ctx: &mut Context<'_, ScenMsg>, ego: usize) {
-        let now = ctx.now();
-        let strategy = {
-            let mut state = self.state.borrow_mut();
-            let ordinal = state.egos[ego].submitted + 1;
-            state.telemetry.event(
-                now,
-                ego as u32,
-                EventKind::DemandFire {
-                    ego: ego as u32,
-                    task: ordinal,
-                },
-            );
-            state
-                .telemetry
-                .metrics
-                .inc("tasks_submitted", Scope::Ego(ego as u32));
-            state.cfg.strategy
-        };
-        match strategy {
+    fn submit_perception(&mut self, tl: &mut Timeline<ScenMsg>, now: SimTime, ego: usize) {
+        let ordinal = self.egos[ego].submitted + 1;
+        self.telemetry.event(
+            now,
+            ego as u32,
+            EventKind::DemandFire {
+                ego: ego as u32,
+                task: ordinal,
+            },
+        );
+        self.telemetry
+            .metrics
+            .inc("tasks_submitted", Scope::Ego(ego as u32));
+        match self.cfg.strategy {
             Strategy::Airdnd => {
-                let (addr, actions) = {
-                    let mut state = self.state.borrow_mut();
-                    state.egos[ego].submitted += 1;
-                    let spec = state.perception_task(now, ego);
-                    let addr = state.egos[ego].addr;
-                    state.telemetry.event(
-                        now,
-                        addr.raw() as u32,
-                        EventKind::TaskSubmit {
-                            task: spec.id.raw(),
-                            ego: ego as u32,
-                        },
-                    );
-                    let idx = state.fleet.index_of(addr).expect("ego vehicles persist");
-                    let actions = state.fleet.vehicles[idx].node.submit_task(
-                        now,
-                        spec,
-                        PrivacyLevel::Derived,
-                    );
-                    (addr, actions)
-                };
-                self.process_actions(ctx, addr, actions);
+                self.egos[ego].submitted += 1;
+                let spec = self.perception_task(now, ego);
+                let addr = self.egos[ego].addr;
+                self.telemetry.event(
+                    now,
+                    addr.raw() as u32,
+                    EventKind::TaskSubmit {
+                        task: spec.id.raw(),
+                        ego: ego as u32,
+                    },
+                );
+                let idx = self.fleet.index_of(addr).expect("ego vehicles persist");
+                let actions =
+                    self.fleet.vehicles[idx]
+                        .node
+                        .submit_task(now, spec, PrivacyLevel::Derived);
+                self.process_actions(tl, now, addr, actions);
             }
             Strategy::Cloud { .. } => {
-                let mut state = self.state.borrow_mut();
-                state.egos[ego].submitted += 1;
-                state.next_task += 1;
-                let task = state.next_task;
-                let submit_actor = state.egos[ego].addr.raw() as u32;
-                state.telemetry.event(
+                self.egos[ego].submitted += 1;
+                self.next_task += 1;
+                let task = self.next_task;
+                let submit_actor = self.egos[ego].addr.raw() as u32;
+                self.telemetry.event(
                     now,
                     submit_actor,
                     EventKind::TaskSubmit {
@@ -1051,7 +998,7 @@ impl WorldActor {
                 // views; the ego downloads the result.
                 let raw =
                     DataType::RawFrame(airdnd_data::SensorModality::Camera).typical_size_bytes();
-                let gas = state.task_gas(ego);
+                let gas = self.task_gas(ego);
                 let mut last_done = now;
                 let WorldState {
                     egos,
@@ -1060,7 +1007,7 @@ impl WorldActor {
                     hidden_agents,
                     cfg,
                     ..
-                } = &mut *state;
+                } = self;
                 let stage = &egos[ego].stage;
                 let result_bytes = stage.cell_count() as u64 * 8;
                 let mut fused = vec![-1i64; stage.cell_count()];
@@ -1071,9 +1018,8 @@ impl WorldActor {
                     let (done, _) = cloud.offload(now, raw, gas, result_bytes);
                     last_done = last_done.max(done);
                 }
-                drop(state);
-                ctx.send_self(
-                    last_done.saturating_since(now),
+                tl.schedule_at(
+                    now + last_done.saturating_since(now),
                     ScenMsg::CloudView {
                         ego,
                         task,
@@ -1083,12 +1029,11 @@ impl WorldActor {
                 );
             }
             Strategy::RawSharing => {
-                let mut state = self.state.borrow_mut();
-                state.egos[ego].submitted += 1;
-                state.next_task += 1;
-                let task = state.next_task;
-                let submit_actor = state.egos[ego].addr.raw() as u32;
-                state.telemetry.event(
+                self.egos[ego].submitted += 1;
+                self.next_task += 1;
+                let task = self.next_task;
+                let submit_actor = self.egos[ego].addr.raw() as u32;
+                self.telemetry.event(
                     now,
                     submit_actor,
                     EventKind::TaskSubmit {
@@ -1097,12 +1042,9 @@ impl WorldActor {
                     },
                 );
                 // Pick the freshest-linked mesh member and pull its frame.
-                let ego_addr = state.egos[ego].addr;
-                let ego_idx = state
-                    .fleet
-                    .index_of(ego_addr)
-                    .expect("ego vehicles persist");
-                let descriptor = state.fleet.vehicles[ego_idx].node.descriptor(now);
+                let ego_addr = self.egos[ego].addr;
+                let ego_idx = self.fleet.index_of(ego_addr).expect("ego vehicles persist");
+                let descriptor = self.fleet.vehicles[ego_idx].node.descriptor(now);
                 let best = descriptor
                     .members
                     .iter()
@@ -1114,23 +1056,23 @@ impl WorldActor {
                     })
                     .map(|m| m.addr);
                 let Some(helper_addr) = best else {
-                    state.record_failure(now, ego, task);
+                    self.record_failure(now, ego, task);
                     return;
                 };
-                let Some(helper_idx) = state.fleet.index_of(helper_addr) else {
-                    state.record_failure(now, ego, task);
+                let Some(helper_idx) = self.fleet.index_of(helper_addr) else {
+                    self.record_failure(now, ego, task);
                     return;
                 };
                 let raw =
                     DataType::RawFrame(airdnd_data::SensorModality::Camera).typical_size_bytes();
-                let gas = state.task_gas(ego);
-                let agents = state.hidden_agents.clone();
-                let helper_pos = state.fleet.vehicles[helper_idx].pos();
+                let gas = self.task_gas(ego);
+                let agents = self.hidden_agents.clone();
+                let helper_pos = self.fleet.vehicles[helper_idx].pos();
                 let grid =
-                    state.egos[ego]
+                    self.egos[ego]
                         .stage
-                        .rasterize(helper_pos, state.cfg.sensor_range, &agents);
-                let WorldState { medium, egos, .. } = &mut *state;
+                        .rasterize(helper_pos, self.cfg.sensor_range, &agents);
+                let WorldState { medium, egos, .. } = self;
                 let outcome = airdnd_baselines::raw_sharing_completion(
                     medium,
                     &mut egos[ego].local,
@@ -1141,11 +1083,10 @@ impl WorldActor {
                     1_400,
                     gas,
                 );
-                drop(state);
                 match outcome {
                     Some((done, _bytes)) => {
-                        ctx.send_self(
-                            done.saturating_since(now),
+                        tl.schedule_at(
+                            now + done.saturating_since(now),
                             ScenMsg::RawView {
                                 ego,
                                 task,
@@ -1155,17 +1096,16 @@ impl WorldActor {
                         );
                     }
                     None => {
-                        self.state.borrow_mut().record_failure(now, ego, task);
+                        self.record_failure(now, ego, task);
                     }
                 }
             }
             Strategy::LocalOnly => {
-                let mut state = self.state.borrow_mut();
-                state.egos[ego].submitted += 1;
-                state.next_task += 1;
-                let task = state.next_task;
-                let submit_actor = state.egos[ego].addr.raw() as u32;
-                state.telemetry.event(
+                self.egos[ego].submitted += 1;
+                self.next_task += 1;
+                let task = self.next_task;
+                let submit_actor = self.egos[ego].addr.raw() as u32;
+                self.telemetry.event(
                     now,
                     submit_actor,
                     EventKind::TaskSubmit {
@@ -1173,12 +1113,11 @@ impl WorldActor {
                         ego: ego as u32,
                     },
                 );
-                let gas = state.task_gas(ego);
-                let done = state.egos[ego].local.run(now, gas);
-                let grid = state.ego_grid(ego);
-                drop(state);
-                ctx.send_self(
-                    done.saturating_since(now),
+                let gas = self.task_gas(ego);
+                let done = self.egos[ego].local.run(now, gas);
+                let grid = self.ego_grid(ego);
+                tl.schedule_at(
+                    now + done.saturating_since(now),
                     ScenMsg::RawView {
                         ego,
                         task,
@@ -1191,21 +1130,25 @@ impl WorldActor {
     }
 }
 
-impl Actor<ScenMsg> for WorldActor {
-    fn on_start(&mut self, ctx: &mut Context<'_, ScenMsg>) {
-        ctx.send_self(SimDuration::ZERO, ScenMsg::Tick);
-    }
-
-    fn on_message(&mut self, ctx: &mut Context<'_, ScenMsg>, msg: ScenMsg) {
+/// The timeline dispatcher: one popped event in, state mutations and
+/// (possibly) freshly scheduled events out.
+impl WorldState {
+    fn handle(&mut self, tl: &mut Timeline<ScenMsg>, now: SimTime, msg: ScenMsg) {
         match msg {
-            ScenMsg::Tick => self.tick(ctx),
+            ScenMsg::Tick => self.tick(tl, now),
             ScenMsg::Deliver { from, to, msg } => {
-                let profiling = self.profiling();
-                let started = profiling.then(Instant::now);
-                let result = {
-                    let mut state = self.state.borrow_mut();
-                    state.telemetry.event(
-                        ctx.now(),
+                let started = self.telemetry.phases.is_enabled().then(Instant::now);
+                // Offer deliveries run the offloaded kernel synchronously on
+                // the helper's TaskVM — that wall-clock is task execution,
+                // not medium/protocol work, so it books under `tasks`.
+                let phase = if matches!(&*msg, WireMsg::Offload(OffloadMsg::Offer { .. })) {
+                    Phase::Tasks
+                } else {
+                    Phase::Radio
+                };
+                if self.telemetry.events.is_enabled() {
+                    self.telemetry.event(
+                        now,
                         to.raw() as u32,
                         EventKind::FrameRx {
                             from: from.raw() as u32,
@@ -1213,60 +1156,54 @@ impl Actor<ScenMsg> for WorldActor {
                             bytes: msg.wire_size_bytes(),
                         },
                     );
-                    state.fleet.index_of(to).map(|idx| {
-                        let v = &mut state.fleet.vehicles[idx];
-                        (
-                            v.node.addr(),
-                            v.node.handle(ctx.now(), NodeEvent::Wire { from, msg }),
-                        )
-                    })
-                };
-                if let Some((addr, actions)) = result {
-                    self.process_actions(ctx, addr, actions);
                 }
-                self.profile(started, Phase::Radio);
+                if let Some(idx) = self.fleet.index_of(to) {
+                    // Last delivery of a broadcast steals the payload;
+                    // earlier ones (and racing unicasts) clone it.
+                    let msg = Rc::try_unwrap(msg).unwrap_or_else(|rc| (*rc).clone());
+                    let v = &mut self.fleet.vehicles[idx];
+                    let addr = v.node.addr();
+                    let actions = v.node.handle(now, NodeEvent::Wire { from, msg });
+                    self.process_actions(tl, now, addr, actions);
+                }
+                self.profile(started, phase);
             }
             ScenMsg::TransmitAt { src, to, msg } => {
-                let now = ctx.now();
-                let outcome = {
-                    let mut state = self.state.borrow_mut();
-                    let size = msg.wire_size_bytes();
-                    let outcome = state.medium.unicast(now, src, to, size).0;
-                    if let WireMsg::Offload(OffloadMsg::Offer { task, .. }) = &msg {
-                        state.telemetry.event(
-                            now,
-                            src.raw() as u32,
-                            EventKind::TaskOffload {
-                                task: task.id.raw(),
-                                executor: to.raw() as u32,
-                            },
-                        );
-                    }
-                    state.telemetry.event(
+                let size = msg.wire_size_bytes();
+                let outcome = self.medium.unicast(now, src, to, size).0;
+                if let WireMsg::Offload(OffloadMsg::Offer { task, .. }) = &*msg {
+                    self.telemetry.event(
                         now,
                         src.raw() as u32,
-                        EventKind::FrameTx {
+                        EventKind::TaskOffload {
+                            task: task.id.raw(),
+                            executor: to.raw() as u32,
+                        },
+                    );
+                }
+                self.telemetry.event(
+                    now,
+                    src.raw() as u32,
+                    EventKind::FrameTx {
+                        from: src.raw() as u32,
+                        to: Some(to.raw() as u32),
+                        bytes: size,
+                    },
+                );
+                if !matches!(outcome, DeliveryOutcome::Delivered { .. }) {
+                    self.telemetry.event(
+                        now,
+                        src.raw() as u32,
+                        EventKind::FrameDrop {
                             from: src.raw() as u32,
-                            to: Some(to.raw() as u32),
+                            to: to.raw() as u32,
                             bytes: size,
                         },
                     );
-                    if !matches!(outcome, DeliveryOutcome::Delivered { .. }) {
-                        state.telemetry.event(
-                            now,
-                            src.raw() as u32,
-                            EventKind::FrameDrop {
-                                from: src.raw() as u32,
-                                to: to.raw() as u32,
-                                bytes: size,
-                            },
-                        );
-                    }
-                    outcome
-                };
+                }
                 if let DeliveryOutcome::Delivered { at, .. } = outcome {
-                    ctx.send_self(
-                        at.saturating_since(now),
+                    tl.schedule_at(
+                        now + at.saturating_since(now),
                         ScenMsg::Deliver { from: src, to, msg },
                     );
                 }
@@ -1283,10 +1220,7 @@ impl Actor<ScenMsg> for WorldActor {
                 submitted,
                 grid,
             } => {
-                let now = ctx.now();
-                self.state
-                    .borrow_mut()
-                    .record_view(now, submitted, &grid, ego, task);
+                self.record_view(now, submitted, &grid, ego, task);
             }
         }
     }
@@ -1446,7 +1380,7 @@ fn run_core(
         _ => None,
     };
     let lifecycle_rng = rng.fork(0x11FE_C7C1);
-    let state = Rc::new(RefCell::new(WorldState {
+    let mut state = WorldState {
         cfg,
         stage,
         fleet,
@@ -1468,16 +1402,18 @@ fn run_core(
         joins: 0,
         leaves: 0,
         telemetry: RunTelemetry::with(opts),
-    }));
+    };
 
-    let mut engine: Engine<ScenMsg> = Engine::new(cfg.seed ^ 0x5EED);
-    engine.spawn(WorldActor {
-        state: Rc::clone(&state),
-    });
-    engine.run_until(SimTime::ZERO + cfg.duration + SimDuration::from_secs(3));
-    let telemetry = std::mem::take(&mut state.borrow_mut().telemetry);
+    // The event loop proper: pop-in-(time, seq)-order until the horizon —
+    // the configured duration plus a drain window for in-flight frames.
+    let mut timeline: Timeline<ScenMsg> = Timeline::new();
+    timeline.schedule_at(SimTime::ZERO, ScenMsg::Tick);
+    let horizon = SimTime::ZERO + cfg.duration + SimDuration::from_secs(3);
+    while let Some((now, msg)) = timeline.pop_before(horizon) {
+        state.handle(&mut timeline, now, msg);
+    }
+    let telemetry = std::mem::take(&mut state.telemetry);
 
-    let state = state.borrow();
     let duration_s = cfg.duration.as_secs_f64();
     let mut fleet_stats = OrchestratorStats::default();
     for v in &state.fleet.vehicles {

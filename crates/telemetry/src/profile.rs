@@ -22,9 +22,13 @@ pub enum Phase {
     Sensor,
     /// Mesh membership: beacons, joins, leases.
     Mesh,
-    /// Task generation, offload decisions and completion bookkeeping.
+    /// Task generation, offload decisions, completion bookkeeping — and
+    /// kernel execution: an `Offer` delivery runs the offloaded TaskVM
+    /// program synchronously on the helper, so that wall-clock belongs
+    /// here, not to the medium.
     Tasks,
-    /// Radio frame scheduling and delivery.
+    /// Radio frame scheduling and medium/protocol delivery work only
+    /// (task execution triggered by a delivery books under [`Phase::Tasks`]).
     Radio,
 }
 

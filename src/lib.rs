@@ -14,6 +14,7 @@
 //! |---|---|---|
 //! | [`sim`] | `airdnd-sim` | deterministic discrete-event substrate |
 //! | [`geo`] | `airdnd-geo` | roads, mobility, occlusion, spatial index |
+//! | [`engine`] | `airdnd-engine` | event timeline, uniform spatial grid, SoA fleet storage |
 //! | [`radio`] | `airdnd-radio` | V2V channel/MAC + cellular profiles |
 //! | [`data`] | `airdnd-data` | **Model 3** — data descriptions |
 //! | [`task`] | `airdnd-task` | **Model 2** — TaskVM task descriptions |
@@ -48,6 +49,7 @@
 pub use airdnd_baselines as baselines;
 pub use airdnd_core as core;
 pub use airdnd_data as data;
+pub use airdnd_engine as engine;
 pub use airdnd_geo as geo;
 pub use airdnd_harness as harness;
 pub use airdnd_mesh as mesh;
