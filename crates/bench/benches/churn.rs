@@ -1,0 +1,70 @@
+//! Fleet-churn benchmarks: the per-despawn cost of the SoA storage.
+//!
+//! `SoaFleet::remove_at` used to do four ordered `Vec::remove` shifts
+//! plus a tail reindex — O(fleet) per despawn, quadratic over a
+//! heavy-churn run. With tombstoned removal and count-triggered
+//! compaction the steady-state churn cost must be flat across fleet
+//! sizes: the `churn/spawn_despawn` numbers for 1k, 4k and 16k vehicles
+//! should agree to within noise, where the shifting implementation grew
+//! linearly.
+
+use airdnd_engine::SoaFleet;
+use airdnd_geo::Vec2;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// One steady-state churn step: admit one vehicle, retire the oldest,
+/// compact under the same deterministic policy the scenario fleet uses
+/// (dead ≥ 32 and dead ≥ half the slots).
+fn churn_step(fleet: &mut SoaFleet<u8>, next_addr: &mut u64, next_victim: &mut u64) {
+    fleet.push(*next_addr, Vec2::new(*next_addr as f64, 0.0), Vec2::ZERO, 0);
+    *next_addr += 1;
+    let slot = fleet.slot_of(*next_victim).expect("victim live");
+    fleet.remove_at(slot);
+    *next_victim += 1;
+    let dead = fleet.dead_count();
+    if dead >= 32 && dead * 2 >= fleet.slot_count() {
+        fleet.compact();
+    }
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn");
+    for n in [1_000u64, 4_000, 16_000] {
+        // Steady state: N live entries, one arrival + one departure per
+        // step. Amortized per-step cost must not scale with N.
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("spawn_despawn", n), &n, |b, &n| {
+            let mut fleet: SoaFleet<u8> = SoaFleet::new();
+            for addr in 0..n {
+                fleet.push(addr, Vec2::new(addr as f64, 0.0), Vec2::ZERO, 0);
+            }
+            let mut next_addr = n;
+            let mut next_victim = 0u64;
+            b.iter(|| churn_step(&mut fleet, &mut next_addr, &mut next_victim));
+        });
+        // Contrast case: compacting after every removal reproduces the
+        // old eager-shift cost — this one *should* grow linearly with N,
+        // making the flat amortized numbers above legible as a fix rather
+        // than as measurement noise.
+        group.bench_with_input(BenchmarkId::new("compact_every_remove", n), &n, |b, &n| {
+            let mut fleet: SoaFleet<u8> = SoaFleet::new();
+            for addr in 0..n {
+                fleet.push(addr, Vec2::new(addr as f64, 0.0), Vec2::ZERO, 0);
+            }
+            let mut next_addr = n;
+            let mut next_victim = 0u64;
+            b.iter(|| {
+                fleet.push(next_addr, Vec2::new(next_addr as f64, 0.0), Vec2::ZERO, 0);
+                next_addr += 1;
+                let slot = fleet.slot_of(next_victim).expect("victim live");
+                fleet.remove_at(slot);
+                next_victim += 1;
+                fleet.compact();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn);
+criterion_main!(benches);

@@ -464,9 +464,10 @@ fn validate_profile_file(path: &std::path::Path) {
 /// `--bench-engine`: emits `BENCH_engine.json` — wall-clock attributed to
 /// engine phases (lifecycle, movement, sensor, mesh, tasks, radio) for
 /// one profiled run of each scenario-backed workload kind: the canonical
-/// F2 grid, G3's churned generated world and G4's multi-ego world. The
-/// attribution is the baseline the planned engine optimizations are
-/// measured against. Wall-clock only — never byte-diffed.
+/// F2 grid, G3's churned generated world, G4's multi-ego world and G5's
+/// composite city. The attribution is the baseline the planned engine
+/// optimizations are measured against. Wall-clock only — never
+/// byte-diffed.
 fn engine_snapshot(quick: bool) {
     use airdnd_telemetry::TelemetryOptions;
     use serde_json::json;
@@ -476,7 +477,7 @@ fn engine_snapshot(quick: bool) {
         profile: true,
     };
     let mut profiles = Vec::new();
-    for name in ["f2", "g3", "g4"] {
+    for name in ["f2", "g3", "g4", "g5"] {
         let workload = workloads::find(name).expect("registered workload");
         eprintln!("profiling first {name} run ...");
         let start = Instant::now();

@@ -63,8 +63,11 @@ fn build_lifecycle(cfg: &LifecycleConfig) -> (airdnd_scenario::WorldInstance, Sc
     (world, scenario)
 }
 
-/// The single materialization path for G4 (see [`build_lifecycle`]).
-fn build_multi_ego(cfg: &MultiEgoConfig) -> (airdnd_scenario::WorldInstance, ScenarioConfig) {
+/// The single materialization path for G4 and G5 (see
+/// [`build_lifecycle`]).
+pub(crate) fn build_multi_ego(
+    cfg: &MultiEgoConfig,
+) -> (airdnd_scenario::WorldInstance, ScenarioConfig) {
     let (mut world, scenario) = super::worldgen::materialize(&cfg.gen);
     assign_extra_egos(
         &mut world,
@@ -92,17 +95,17 @@ fn observe_lifecycle(
     airdnd_scenario::run_scenario_in_observed(world, scenario, opts).1
 }
 
-fn run_multi_ego(plan: &RunPlan<MultiEgoConfig>) -> ScenarioReport {
+pub(crate) fn run_multi_ego(plan: &RunPlan<MultiEgoConfig>) -> ScenarioReport {
     let (world, scenario) = build_multi_ego(&plan.config);
     run_scenario_in(world, scenario)
 }
 
-fn trace_multi_ego(plan: &RunPlan<MultiEgoConfig>, capacity: usize) -> String {
+pub(crate) fn trace_multi_ego(plan: &RunPlan<MultiEgoConfig>, capacity: usize) -> String {
     let (world, scenario) = build_multi_ego(&plan.config);
     run_scenario_in_traced(world, scenario, capacity).1
 }
 
-fn observe_multi_ego(
+pub(crate) fn observe_multi_ego(
     plan: &RunPlan<MultiEgoConfig>,
     opts: airdnd_scenario::TelemetryOptions,
 ) -> airdnd_scenario::RunTelemetry {
@@ -123,7 +126,7 @@ fn lifecycle_metrics(r: &ScenarioReport) -> Vec<(&'static str, f64)> {
 /// Scenario metrics plus the query-origin count and the per-ego fairness
 /// aggregates the telemetry registry computes: the worst-served ego's
 /// completion rate and latency quantiles, and the completion spread.
-fn multi_ego_metrics(r: &ScenarioReport) -> Vec<(&'static str, f64)> {
+pub(crate) fn multi_ego_metrics(r: &ScenarioReport) -> Vec<(&'static str, f64)> {
     let mut metrics = scenario_metrics(r);
     metrics.push(("egos", r.egos as f64));
     metrics.push(("ego_completion_min", r.ego_completion_min));

@@ -16,6 +16,7 @@
 //! counts and shard splits. F10 measures wall-clock selection cost and is
 //! the one deliberate exception (documented on [`selection`]).
 
+pub mod city;
 pub mod lifecycle;
 pub mod market;
 pub mod nfv;
@@ -56,6 +57,7 @@ pub fn registry() -> Vec<Box<dyn AnyWorkload>> {
         Box::new(worldgen::g2()),
         Box::new(lifecycle::g3()),
         Box::new(lifecycle::g4()),
+        Box::new(city::g5()),
     ]
 }
 
@@ -89,7 +91,7 @@ mod tests {
             names,
             [
                 "f1", "f2", "f3", "f4", "t5", "t6", "f7", "f8", "t9", "f10", "t11", "f12", "g1",
-                "g2", "g3", "g4"
+                "g2", "g3", "g4", "g5"
             ]
         );
         for name in &names {

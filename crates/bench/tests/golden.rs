@@ -99,3 +99,10 @@ fn g3_quick_artifacts_match_golden() {
 fn g4_quick_artifacts_match_golden() {
     check_workload("g4");
 }
+
+/// G5, the city-scale representative: the composite city family with
+/// fleet size and ego count scaling together.
+#[test]
+fn g5_quick_artifacts_match_golden() {
+    check_workload("g5");
+}

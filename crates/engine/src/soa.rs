@@ -2,27 +2,64 @@
 //!
 //! The scenario fleet hands out monotonically increasing node addresses
 //! and never reuses one, which makes the address the perfect stable key:
-//! [`AddrIndex`] is a flat `addr → slot` table (a `Vec` indexed by raw
-//! address) giving O(1) lookup where the fleet previously fell back to a
-//! linear scan after the first despawn. [`SoaFleet`] keeps the hot
-//! kinematics — positions, velocities, kinds — in parallel vectors in
-//! slot order, so the per-tick movement pass streams through contiguous
-//! memory instead of hopping across fat per-vehicle structs.
+//! [`AddrIndex`] is a paged `addr → slot` table giving O(1) lookup where
+//! the fleet previously fell back to a linear scan after the first
+//! despawn, while retiring fully-dead pages so a long soak run with churn
+//! holds memory proportional to the *live* address range, not to every
+//! address ever issued. [`SoaFleet`] keeps the hot kinematics —
+//! positions, velocities, kinds — in parallel vectors in slot order, so
+//! the per-tick movement pass streams through contiguous memory instead
+//! of hopping across fat per-vehicle structs.
+//!
+//! Removal is tombstoned: [`SoaFleet::remove_at`] marks the slot dead in
+//! O(1) (plus an O(log pages) index erase) instead of shifting the whole
+//! tail, so a heavy-churn run is no longer quadratic in fleet size. Live
+//! slots keep their relative order forever; [`SoaFleet::compact`]
+//! reclaims tombstones in one deterministic order-preserving pass, and
+//! callers that mirror slot order (the scenario fleet keeps a parallel
+//! vehicle vector) trigger it under their own deterministic policy so
+//! both sides stay in lockstep.
 
 use airdnd_geo::Vec2;
+use std::collections::BTreeMap;
 
 /// Sentinel slot meaning "address not present".
 const NONE: u32 = u32::MAX;
 
+/// Addresses per [`AddrIndex`] page (`2^10`).
+const PAGE_BITS: u32 = 10;
+/// Entries in one page.
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// One fixed-size page of the address map, with a live-entry count so the
+/// page can be dropped the moment its last address is forgotten.
+#[derive(Clone, Debug)]
+struct Page {
+    slots: Box<[u32; PAGE_SIZE]>,
+    live: u32,
+}
+
+impl Page {
+    fn empty() -> Self {
+        Page {
+            slots: Box::new([NONE; PAGE_SIZE]),
+            live: 0,
+        }
+    }
+}
+
 /// A stable `addr → slot` map for monotone, never-reused addresses.
 ///
-/// Backed by a flat `Vec<u32>` indexed by raw address — lookups are one
-/// bounds check and one load. Ordered removals (the fleet keeps its
-/// vehicles address-sorted) are repaired by [`AddrIndex::reindex_from`],
-/// which walks only the shifted tail.
+/// Backed by fixed-size pages keyed by `addr >> PAGE_BITS`: lookups are
+/// one ordered-map probe and one load, and a page whose addresses have
+/// all been removed is freed, so memory is bounded by the live address
+/// range instead of growing monotonically with every address ever issued
+/// (the previous flat `Vec<u32>` leaked one word per historical address
+/// for the lifetime of the run). Ordered removals are repaired by
+/// [`AddrIndex::reindex_from`], which re-records only the given tail.
 #[derive(Clone, Debug, Default)]
 pub struct AddrIndex {
-    slots: Vec<u32>,
+    pages: BTreeMap<u64, Page>,
 }
 
 impl AddrIndex {
@@ -39,56 +76,79 @@ impl AddrIndex {
     pub fn set(&mut self, addr: u64, slot: usize) {
         let slot = u32::try_from(slot).expect("fleet slot fits u32");
         assert!(slot != NONE, "slot range exhausted");
-        let i = usize::try_from(addr).expect("addr fits usize");
-        if i >= self.slots.len() {
-            self.slots.resize(i + 1, NONE);
+        let page = self
+            .pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(Page::empty);
+        let cell = &mut page.slots[(addr & (PAGE_SIZE as u64 - 1)) as usize];
+        if *cell == NONE {
+            page.live += 1;
         }
-        self.slots[i] = slot;
+        *cell = slot;
     }
 
     /// The slot for `addr`, if present.
     pub fn get(&self, addr: u64) -> Option<usize> {
-        let i = usize::try_from(addr).ok()?;
-        match self.slots.get(i) {
-            Some(&s) if s != NONE => Some(s as usize),
-            _ => None,
+        let page = self.pages.get(&(addr >> PAGE_BITS))?;
+        match page.slots[(addr & (PAGE_SIZE as u64 - 1)) as usize] {
+            NONE => None,
+            s => Some(s as usize),
         }
     }
 
-    /// Forgets `addr`, returning its former slot.
+    /// Forgets `addr`, returning its former slot. The containing page is
+    /// freed when this was its last live address.
     pub fn remove(&mut self, addr: u64) -> Option<usize> {
-        let i = usize::try_from(addr).ok()?;
-        let s = self.slots.get_mut(i)?;
-        if *s == NONE {
+        let key = addr >> PAGE_BITS;
+        let page = self.pages.get_mut(&key)?;
+        let cell = &mut page.slots[(addr & (PAGE_SIZE as u64 - 1)) as usize];
+        if *cell == NONE {
             return None;
         }
-        let old = *s as usize;
-        *s = NONE;
+        let old = *cell as usize;
+        *cell = NONE;
+        page.live -= 1;
+        if page.live == 0 {
+            self.pages.remove(&key);
+        }
         Some(old)
     }
 
     /// Re-records `addrs[i] → i` for every `i >= from` — the repair pass
-    /// after an ordered removal shifts the tail down by one.
+    /// after an ordered removal or compaction renumbers the tail.
     pub fn reindex_from(&mut self, addrs: &[u64], from: usize) {
         for (i, &addr) in addrs.iter().enumerate().skip(from) {
             self.set(addr, i);
         }
     }
+
+    /// Number of resident pages — the memory footprint in `PAGE_SIZE`
+    /// units. Bounded by the live address range, not by history.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
 }
 
-/// Parallel kinematics vectors in fleet-slot order.
+/// Parallel kinematics vectors in fleet-slot order, with tombstoned
+/// removal.
 ///
 /// The `K` parameter carries whatever per-entry kind/flag payload the
 /// caller wants co-located with the kinematics (the scenario fleet stores
 /// a mobility kind). Slots track the owning fleet's vehicle order:
-/// [`SoaFleet::push`] appends, [`SoaFleet::remove_at`] does an ordered
-/// remove and repairs the address map for the shifted tail.
+/// [`SoaFleet::push`] appends, [`SoaFleet::remove_at`] marks the slot
+/// dead in place (amortized O(1) — no tail shift), and
+/// [`SoaFleet::compact`] drops the tombstones in one order-preserving
+/// pass. Between compactions, dead slots keep their last kinematics but
+/// are unreachable through the address map; callers iterating raw slots
+/// must consult [`SoaFleet::is_live`].
 #[derive(Clone, Debug, Default)]
 pub struct SoaFleet<K> {
     addrs: Vec<u64>,
     positions: Vec<Vec2>,
     velocities: Vec<Vec2>,
     kinds: Vec<K>,
+    live: Vec<bool>,
+    dead: usize,
     index: AddrIndex,
 }
 
@@ -100,25 +160,42 @@ impl<K> SoaFleet<K> {
             positions: Vec::new(),
             velocities: Vec::new(),
             kinds: Vec::new(),
+            live: Vec::new(),
+            dead: 0,
             index: AddrIndex::new(),
         }
     }
 
-    /// Number of entries.
+    /// Number of live entries.
     pub fn len(&self) -> usize {
+        self.addrs.len() - self.dead
+    }
+
+    /// `true` when no live entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total slots including tombstones — the bound for raw slot loops.
+    pub fn slot_count(&self) -> usize {
         self.addrs.len()
     }
 
-    /// `true` when no entries are stored.
-    pub fn is_empty(&self) -> bool {
-        self.addrs.is_empty()
+    /// Number of tombstoned slots awaiting [`SoaFleet::compact`].
+    pub fn dead_count(&self) -> usize {
+        self.dead
+    }
+
+    /// `true` when `slot` holds a live entry.
+    pub fn is_live(&self, slot: usize) -> bool {
+        self.live[slot]
     }
 
     /// Appends an entry, returning its slot.
     ///
     /// # Panics
     ///
-    /// Panics if `addr` is already present (addresses are never reused).
+    /// Panics if `addr` is already live (addresses are never reused).
     pub fn push(&mut self, addr: u64, pos: Vec2, vel: Vec2, kind: K) -> usize {
         assert!(self.index.get(addr).is_none(), "address {addr} reused");
         let slot = self.addrs.len();
@@ -126,24 +203,61 @@ impl<K> SoaFleet<K> {
         self.positions.push(pos);
         self.velocities.push(vel);
         self.kinds.push(kind);
+        self.live.push(true);
         self.index.set(addr, slot);
         slot
     }
 
-    /// Ordered removal of the entry at `slot`; later slots shift down and
-    /// the address map is repaired for the shifted tail. Returns the
-    /// removed `(addr, kind)`.
-    pub fn remove_at(&mut self, slot: usize) -> (u64, K) {
-        let addr = self.addrs.remove(slot);
-        self.positions.remove(slot);
-        self.velocities.remove(slot);
-        let kind = self.kinds.remove(slot);
+    /// Tombstones the entry at `slot`: the address is forgotten and the
+    /// slot skipped by live iteration, but no tail shifts — amortized
+    /// O(1) where the previous implementation paid four `Vec::remove`
+    /// shifts plus a tail reindex (O(fleet) per despawn, quadratic under
+    /// heavy churn). Returns the removed `(addr, kind)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is already dead.
+    pub fn remove_at(&mut self, slot: usize) -> (u64, K)
+    where
+        K: Clone,
+    {
+        assert!(self.live[slot], "slot {slot} already removed");
+        self.live[slot] = false;
+        self.dead += 1;
+        let addr = self.addrs[slot];
         self.index.remove(addr);
-        self.index.reindex_from(&self.addrs, slot);
-        (addr, kind)
+        (addr, self.kinds[slot].clone())
     }
 
-    /// O(1) slot lookup by address.
+    /// Reclaims tombstoned slots in one order-preserving pass and repairs
+    /// the address map. Live entries keep their relative order, so any
+    /// caller mirroring slot order can compact its own storage with the
+    /// same retain and stay in lockstep. Returns `true` when anything
+    /// moved.
+    pub fn compact(&mut self) -> bool {
+        if self.dead == 0 {
+            return false;
+        }
+        let live = std::mem::take(&mut self.live);
+        let mut keep = live.iter().copied();
+        self.addrs
+            .retain(|_| keep.next().expect("lane in lockstep"));
+        let mut keep = live.iter().copied();
+        self.positions
+            .retain(|_| keep.next().expect("lane in lockstep"));
+        let mut keep = live.iter().copied();
+        self.velocities
+            .retain(|_| keep.next().expect("lane in lockstep"));
+        let mut keep = live.iter().copied();
+        self.kinds
+            .retain(|_| keep.next().expect("lane in lockstep"));
+        self.live = vec![true; self.addrs.len()];
+        self.dead = 0;
+        self.index.reindex_from(&self.addrs, 0);
+        true
+    }
+
+    /// O(1) slot lookup by address (live entries only).
     pub fn slot_of(&self, addr: u64) -> Option<usize> {
         self.index.get(addr)
     }
@@ -174,19 +288,27 @@ impl<K> SoaFleet<K> {
         &self.kinds[slot]
     }
 
-    /// All positions, slot order.
+    /// All positions, slot order (dead slots keep their last value; check
+    /// [`SoaFleet::is_live`] when tombstones may be present).
     pub fn positions(&self) -> &[Vec2] {
         &self.positions
     }
 
-    /// All velocities, slot order.
+    /// All velocities, slot order (same tombstone caveat as
+    /// [`SoaFleet::positions`]).
     pub fn velocities(&self) -> &[Vec2] {
         &self.velocities
     }
 
-    /// All addresses, slot order.
+    /// All addresses, slot order (same tombstone caveat as
+    /// [`SoaFleet::positions`]).
     pub fn addrs(&self) -> &[u64] {
         &self.addrs
+    }
+
+    /// Number of resident address-map pages (memory-bound diagnostics).
+    pub fn index_pages(&self) -> usize {
+        self.index.page_count()
     }
 }
 
@@ -212,22 +334,66 @@ mod tests {
         assert_eq!(idx.remove(9), None);
     }
 
+    /// The paged map frees a page once its last address is removed, so a
+    /// monotone address stream with churn holds O(live range) pages, not
+    /// O(addresses ever issued).
     #[test]
-    fn soa_push_remove_keeps_slots_consistent() {
+    fn addr_index_memory_is_bounded_by_live_range() {
+        let mut idx = AddrIndex::new();
+        // Issue 64 pages worth of addresses, retiring each address almost
+        // immediately: at most two pages are ever resident.
+        let window = 8u64;
+        for addr in 0..(64 * PAGE_SIZE as u64) {
+            idx.set(addr, (addr % 1000) as usize);
+            if addr >= window {
+                assert_eq!(
+                    idx.remove(addr - window),
+                    Some(((addr - window) % 1000) as usize)
+                );
+            }
+            assert!(
+                idx.page_count() <= 2,
+                "resident pages must track the live window, got {} at addr {addr}",
+                idx.page_count()
+            );
+        }
+        // Draining the tail frees everything.
+        for addr in (64 * PAGE_SIZE as u64 - window)..(64 * PAGE_SIZE as u64) {
+            idx.remove(addr);
+        }
+        assert_eq!(idx.page_count(), 0);
+    }
+
+    #[test]
+    fn soa_remove_tombstones_then_compact_shifts() {
         let mut f = SoaFleet::new();
         for a in 1u64..=5 {
             f.push(a, Vec2::new(a as f64, 0.0), Vec2::ZERO, a as u8);
         }
         assert_eq!(f.slot_of(3), Some(2));
-        let (addr, kind) = f.remove_at(1); // remove addr 2
+        let (addr, kind) = f.remove_at(1); // tombstone addr 2
         assert_eq!((addr, kind), (2, 2));
         assert_eq!(f.len(), 4);
-        // Tail shifted: every surviving address still resolves to the slot
-        // holding its data.
-        for a in [1u64, 3, 4, 5] {
-            let s = f.slot_of(a).unwrap();
-            assert_eq!(f.addr_at(s), a);
-            assert_eq!(f.position(s), Vec2::new(a as f64, 0.0));
+        assert_eq!(f.slot_count(), 5);
+        assert_eq!(f.dead_count(), 1);
+        assert!(!f.is_live(1));
+        // No shift yet: survivors keep their original slots, and every
+        // surviving address still resolves to the slot holding its data.
+        for (a, slot) in [(1u64, 0usize), (3, 2), (4, 3), (5, 4)] {
+            assert_eq!(f.slot_of(a), Some(slot));
+            assert_eq!(f.addr_at(slot), a);
+            assert_eq!(f.position(slot), Vec2::new(a as f64, 0.0));
+        }
+        assert_eq!(f.slot_of(2), None);
+        // Compaction drops the tombstone, preserving live order.
+        assert!(f.compact());
+        assert!(!f.compact(), "second compact is a no-op");
+        assert_eq!(f.slot_count(), 4);
+        assert_eq!(f.dead_count(), 0);
+        for (i, a) in [1u64, 3, 4, 5].into_iter().enumerate() {
+            assert_eq!(f.slot_of(a), Some(i));
+            assert_eq!(f.addr_at(i), a);
+            assert_eq!(f.position(i), Vec2::new(a as f64, 0.0));
         }
         assert_eq!(f.slot_of(2), None);
     }
@@ -238,5 +404,14 @@ mod tests {
         let mut f = SoaFleet::new();
         f.push(1, Vec2::ZERO, Vec2::ZERO, ());
         f.push(1, Vec2::ZERO, Vec2::ZERO, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "already removed")]
+    fn soa_rejects_double_remove() {
+        let mut f = SoaFleet::new();
+        f.push(1, Vec2::ZERO, Vec2::ZERO, ());
+        f.remove_at(0);
+        f.remove_at(0);
     }
 }

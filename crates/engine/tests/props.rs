@@ -21,6 +21,19 @@ fn position() -> impl Strategy<Value = Vec2> {
     prop_oneof![continuous, lattice]
 }
 
+/// City-scale positions: a district offset far from the origin (including
+/// negative quadrants, where `f64` floor-vs-truncate bucketing bugs live)
+/// plus a local position inside the district. Half the local samples land
+/// on exact half-cell multiples so district corners sit on cell edges.
+fn city_position() -> impl Strategy<Value = Vec2> {
+    let district = (-40i32..=40, -40i32..=40)
+        .prop_map(|(i, j)| Vec2::new(f64::from(i) * 1_250.0, f64::from(j) * 1_250.0));
+    let continuous = (-400.0f64..400.0, -400.0f64..400.0).prop_map(|(x, y)| Vec2::new(x, y));
+    let lattice = (-16i32..16, -16i32..16)
+        .prop_map(|(i, j)| Vec2::new(f64::from(i) * CELL / 2.0, f64::from(j) * CELL / 2.0));
+    (district, prop_oneof![continuous, lattice]).prop_map(|(d, local)| d + local)
+}
+
 fn brute_force(fleet: &[(u64, Vec2)], center: Vec2, radius: f64) -> Vec<u64> {
     let mut hits: Vec<u64> = fleet
         .iter()
@@ -103,6 +116,30 @@ proptest! {
         prop_assert_eq!(hits, brute_force(&reference, center, radius));
     }
 
+    /// Grid ≡ brute force at city-scale coordinates: fleets scattered
+    /// across districts tens of kilometres from the origin, in all four
+    /// quadrants. Far-from-origin cells stress `cell_of`'s f64 floor
+    /// (negative coordinates must round toward −∞, and a 50 m cell at
+    /// x ≈ 50 km leaves well under a metre of mantissa slack).
+    #[test]
+    fn grid_query_matches_brute_force_at_city_offsets(
+        pairs in prop::collection::vec((0u64..64, city_position()), 0..40),
+        center in city_position(),
+        radius in prop_oneof![Just(0.0f64), 0.0f64..200.0, 200.0f64..120_000.0],
+    ) {
+        let fleet = dedupe_last(pairs);
+        let mut grid = SpatialGrid::new(CELL);
+        for &(k, p) in &fleet {
+            grid.insert(k, p);
+        }
+        let hits: Vec<u64> = grid
+            .query_within(center, radius)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        prop_assert_eq!(hits, brute_force(&fleet, center, radius));
+    }
+
     /// Popping replays events in `(time, seq)` order: nondecreasing time,
     /// and same-timestamp collisions resolve in schedule order no matter
     /// how the times interleave.
@@ -138,5 +175,70 @@ proptest! {
             popped_again.push((at, i));
         }
         prop_assert_eq!(popped, popped_again);
+    }
+}
+
+/// Deterministic city-scale soak: a 10k-entry grid spread over a 100 km
+/// square (all four quadrants) stays exact under interleaved moves and
+/// removals — the incremental index neither leaks stale positions nor
+/// loses live ones at fleet sizes two orders of magnitude past the other
+/// tests here.
+#[test]
+fn grid_stays_exact_with_ten_thousand_entries_under_churn() {
+    let mut rng = airdnd_sim::SimRng::seed_from(0x0C17);
+    let draw = |rng: &mut airdnd_sim::SimRng| {
+        Vec2::new(
+            rng.next_f64() * 100_000.0 - 50_000.0,
+            rng.next_f64() * 100_000.0 - 50_000.0,
+        )
+    };
+    let mut grid = SpatialGrid::new(CELL);
+    let mut reference: Vec<(u64, Vec2)> = Vec::new();
+    for k in 0..10_000u64 {
+        let p = draw(&mut rng);
+        grid.insert(k, p);
+        reference.push((k, p));
+    }
+    let mut next_key = 10_000u64;
+    for round in 0..8 {
+        // Move a slice of survivors, remove a few hundred, admit a few
+        // hundred more — the same shape as lifecycle churn at city scale.
+        for _ in 0..500 {
+            let i = rng.index(reference.len()).expect("non-empty");
+            let (k, _) = reference[i];
+            let p = draw(&mut rng);
+            grid.insert(k, p);
+            reference[i].1 = p;
+        }
+        for _ in 0..300 {
+            let i = rng.index(reference.len()).expect("non-empty");
+            let (k, _) = reference.swap_remove(i);
+            assert!(grid.remove(k).is_some(), "live key must be present");
+            assert!(grid.remove(k).is_none(), "double-remove must miss");
+        }
+        for _ in 0..300 {
+            let p = draw(&mut rng);
+            grid.insert(next_key, p);
+            reference.push((next_key, p));
+            next_key += 1;
+        }
+        assert_eq!(grid.len(), reference.len());
+        // Radii from sub-cell to city-spanning, centered on a live
+        // vehicle, on a fresh point, and on the origin seam.
+        let on_vehicle = reference[rng.index(reference.len()).expect("non-empty")].1;
+        for center in [on_vehicle, draw(&mut rng), Vec2::ZERO] {
+            for radius in [10.0, 400.0, 30_000.0] {
+                let hits: Vec<u64> = grid
+                    .query_within(center, radius)
+                    .into_iter()
+                    .map(|(k, _)| k)
+                    .collect();
+                assert_eq!(
+                    hits,
+                    brute_force(&reference, center, radius),
+                    "round {round}, center {center:?}, radius {radius}"
+                );
+            }
+        }
     }
 }

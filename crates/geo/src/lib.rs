@@ -45,7 +45,7 @@ pub mod vec2;
 
 pub use fov::SensorFov;
 pub use mobility::{IdmParams, Mobility, VehicleState};
-pub use occlusion::{Aabb, Obstacle, World};
+pub use occlusion::{Aabb, Obstacle, ObstacleIndex, World};
 pub use road::{NodeId, RoadNetwork, Route};
 pub use spatial::SpatialIndex;
 pub use vec2::Vec2;

@@ -25,6 +25,14 @@ pub struct MacParams {
     pub max_attempts: u32,
     /// PHY + MAC header overhead added to every frame, bytes.
     pub header_bytes: u64,
+    /// Maximum time a frame may wait for its local airspace to clear
+    /// before the MAC drops it unsent; `None` defers indefinitely.
+    /// Real CSMA stacks bound their transmit queue — a beacon held past
+    /// its useful life is superseded by the next one — whereas unbounded
+    /// deferral under sustained overload grows the backlog (and every
+    /// queued frame's latency) without limit. Dense scenarios opt in;
+    /// the default keeps the historical always-defer behaviour.
+    pub max_queue_delay: Option<SimDuration>,
 }
 
 impl Default for MacParams {
@@ -67,6 +75,7 @@ mod tests {
             cw_max: 1023,
             max_attempts: 4,
             header_bytes: 36,
+            max_queue_delay: None,
         }
     }
 

@@ -23,7 +23,7 @@
 use crate::channel::ChannelModel;
 use crate::mac::MacParams;
 use airdnd_engine::SpatialGrid;
-use airdnd_geo::{Vec2, World};
+use airdnd_geo::{ObstacleIndex, Vec2, World};
 use airdnd_sim::{SimDuration, SimRng, SimTime};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -121,7 +121,12 @@ pub struct BroadcastDelivery {
 pub struct RadioMedium {
     channel: ChannelModel,
     mac: MacParams,
-    world: World,
+    /// Line-of-sight accelerator over the construction world's obstacles:
+    /// the medium answers one LOS query per broadcast candidate per
+    /// beacon, so on city-scale worlds this must be O(nearby obstacles),
+    /// not O(all obstacles). The world's geometry is fixed for the
+    /// medium's lifetime, so the index fully replaces it.
+    los: ObstacleIndex,
     cs_range: f64,
     /// Node positions in a uniform-grid index (cells of `cs_range`), so
     /// broadcast candidate scans touch only nearby cells instead of the
@@ -131,6 +136,7 @@ pub struct RadioMedium {
     rng: SimRng,
     total_bytes_on_air: u64,
     total_airtime: SimDuration,
+    queue_drops: u64,
 }
 
 /// Speed of light, m/s (propagation delay).
@@ -159,13 +165,14 @@ impl RadioMedium {
         RadioMedium {
             channel,
             mac,
-            world,
+            los: ObstacleIndex::new(&world),
             cs_range,
             positions: SpatialGrid::new(cs_range),
             busy: BTreeMap::new(),
             rng,
             total_bytes_on_air: 0,
             total_airtime: SimDuration::ZERO,
+            queue_drops: 0,
         }
     }
 
@@ -183,6 +190,20 @@ impl RadioMedium {
     /// The MAC parameters in use.
     pub fn mac(&self) -> &MacParams {
         &self.mac
+    }
+
+    /// Frames dropped at the MAC because the airspace was booked out past
+    /// [`MacParams::max_queue_delay`] — the congestion-collapse signal.
+    pub fn queue_drops(&self) -> u64 {
+        self.queue_drops
+    }
+
+    /// Bounds (or unbounds, with `None`) the MAC transmit queue — see
+    /// [`MacParams::max_queue_delay`]. Dense scenarios cap this near the
+    /// beacon interval so overload sheds frames instead of accumulating
+    /// an ever-later delivery backlog.
+    pub fn set_max_queue_delay(&mut self, cap: Option<SimDuration>) {
+        self.mac.max_queue_delay = cap;
     }
 
     /// Overrides the channel's through-obstacle penetration loss, dB.
@@ -322,8 +343,18 @@ impl RadioMedium {
         else {
             return (DeliveryOutcome::Unreachable, TxReport::default());
         };
+        // Bounded transmit queue (opt-in): saturated airspace drops the
+        // frame at the MAC (before any RNG draw, so capless and
+        // uncongested runs are bit-for-bit unchanged) instead of
+        // deferring without limit.
+        if let Some(cap) = self.mac.max_queue_delay {
+            if self.airspace_free_at(src_pos).saturating_since(now) > cap {
+                self.queue_drops += 1;
+                return (DeliveryOutcome::Lost { attempts: 0 }, TxReport::default());
+            }
+        }
         let distance = src_pos.distance(dst_pos);
-        let los = self.world.line_of_sight(src_pos, dst_pos);
+        let los = self.los.line_of_sight(src_pos, dst_pos);
         let airtime_before = self.total_airtime;
         let bytes_before = self.total_bytes_on_air;
         let mut cursor = now;
@@ -364,6 +395,20 @@ impl RadioMedium {
         let Some(src_pos) = self.positions.position(src) else {
             return (Vec::new(), TxReport::default());
         };
+        // Bounded transmit queue (opt-in): a beacon that cannot reach
+        // the air within `max_queue_delay` is superseded by the next
+        // one, so the MAC drops it. Under sustained overload this caps
+        // both the airspace backlog and every surviving frame's latency
+        // — with unbounded deferral, both grow linearly for the rest of
+        // the run and every delivered advert goes irreparably stale.
+        // The check precedes all RNG draws: capless and uncongested
+        // runs are bit-for-bit unchanged.
+        if let Some(cap) = self.mac.max_queue_delay {
+            if self.airspace_free_at(src_pos).saturating_since(now) > cap {
+                self.queue_drops += 1;
+                return (Vec::new(), TxReport::default());
+            }
+        }
         let airtime_before = self.total_airtime;
         let bytes_before = self.total_bytes_on_air;
         // Single transmission, no retries: pay access + airtime once.
@@ -395,7 +440,7 @@ impl RadioMedium {
         let mut deliveries = Vec::new();
         for (addr, pos) in candidates {
             let distance = src_pos.distance(pos);
-            let los = self.world.line_of_sight(src_pos, pos);
+            let los = self.los.line_of_sight(src_pos, pos);
             let shadow = self.rng.normal(0.0, self.channel.shadowing_sigma_db);
             let per = self.channel.per_at(distance, los, shadow, bits);
             if !self.rng.chance(per) {
@@ -420,6 +465,52 @@ mod tests {
 
     fn medium() -> RadioMedium {
         RadioMedium::v2v(World::new(), SimRng::seed_from(7))
+    }
+
+    /// Saturating the airspace must cap the backlog: once the local cell
+    /// is booked out past `max_queue_delay`, further frames drop instead
+    /// of queueing, so delivery latency stays bounded.
+    #[test]
+    fn saturated_airspace_drops_instead_of_deferring() {
+        let mut m = medium();
+        let cap = SimDuration::from_millis(100);
+        m.set_max_queue_delay(Some(cap));
+        let a = NodeAddr::new(1);
+        let b = NodeAddr::new(2);
+        m.set_position(a, Vec2::ZERO);
+        m.set_position(b, Vec2::new(20.0, 0.0));
+        let airtime = m.mac().tx_time(10_000);
+        let mut delivered_latest = SimTime::ZERO;
+        let mut dropped = 0;
+        // Offer far more airtime than one queue-delay's worth at t=0.
+        for _ in 0..200 {
+            let (deliveries, report) = m.broadcast(SimTime::ZERO, a, 10_000);
+            if report.bytes_on_air == 0 {
+                dropped += 1;
+                assert!(deliveries.is_empty());
+            }
+            for d in deliveries {
+                delivered_latest = delivered_latest.max(d.at);
+            }
+        }
+        assert!(dropped > 0, "200 x {airtime} of load must exceed {cap}");
+        assert_eq!(m.queue_drops(), dropped);
+        // Every frame that did fly left within the queue bound (plus its
+        // own access + airtime and a generous backoff allowance).
+        let bound = SimTime::ZERO + cap + airtime + SimDuration::from_millis(15);
+        assert!(
+            delivered_latest <= bound,
+            "latest delivery {delivered_latest} exceeds {bound}"
+        );
+        // Unicast obeys the same bound: with the airspace saturated at
+        // t=0, a fresh unicast is dropped before any attempt.
+        let (outcome, report) = m.unicast(SimTime::ZERO, a, b, 500);
+        assert_eq!(outcome, DeliveryOutcome::Lost { attempts: 0 });
+        assert_eq!(report.bytes_on_air, 0);
+        // Once time passes the backlog, frames flow again.
+        let later = SimTime::ZERO + cap + SimDuration::from_secs(1);
+        let (outcome, _) = m.unicast(later, a, b, 500);
+        assert!(outcome.delivered_at().is_some(), "{outcome:?}");
     }
 
     #[test]

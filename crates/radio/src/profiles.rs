@@ -31,6 +31,11 @@ pub fn dsrc() -> (ChannelModel, MacParams) {
             cw_max: 1023,
             max_attempts: 4,
             header_bytes: 36,
+            // Defer indefinitely by default (the historical model, and
+            // the right call for bulk unicast with seconds of airtime);
+            // saturation-prone scenarios cap this to a CAM-style frame
+            // lifetime via `RadioMedium::set_max_queue_delay`.
+            max_queue_delay: None,
         },
     )
 }

@@ -173,22 +173,37 @@ impl Vehicle {
     }
 }
 
-/// The whole fleet; index 0 is the ego vehicle (southern approach).
+/// The whole fleet; slot 0 is the ego vehicle (southern approach).
 ///
 /// Membership is dynamic: [`Fleet::push_mobile`] admits a new vehicle
 /// mid-run and [`Fleet::remove`] retires one, so the lifecycle layer can
 /// change the mesh population while the simulation runs. Addresses are
 /// assigned once and never reused.
+///
+/// Removal tombstones the slot (amortized O(1)) instead of shifting the
+/// vehicle vector — at city scale a heavy-churn run was quadratic in
+/// fleet size. Live vehicles keep their relative (address) order
+/// forever; a deterministic count-triggered compaction reclaims
+/// tombstones in lockstep with the SoA kinematics lanes. Raw slot
+/// indices from [`Fleet::index_of`] stay valid until the next removal.
 pub struct Fleet {
-    /// Vehicles, ego first.
-    pub vehicles: Vec<Vehicle>,
+    /// Vehicle slots, ego first; `None` marks a tombstoned despawn.
+    slots: Vec<Option<Vehicle>>,
+    /// Live vehicle count.
+    live: usize,
     /// Next address to hand out to a mid-run spawn.
     next_addr: u64,
     /// SoA mirror of the hot per-vehicle state: positions, velocities and
     /// kinds in parallel vectors behind a stable `addr → slot` map, kept
-    /// in lockstep with `vehicles` (same order). `index_of` resolves
-    /// through it in O(1) regardless of despawn history.
+    /// in lockstep with `slots` (same order, same tombstones). `index_of`
+    /// resolves through it in O(1) regardless of despawn history.
     kin: SoaFleet<VehicleKind>,
+    /// Mobile, non-protected addresses ordered for despawn victim
+    /// selection: the smallest address is the oldest eligible vehicle,
+    /// which is exactly what the historical head-of-fleet linear scan
+    /// picked (vehicles are always address-sorted). Egos are removed via
+    /// [`Fleet::protect`]; parked anchors never enter.
+    eligible: std::collections::BTreeSet<u64>,
 }
 
 impl Fleet {
@@ -260,6 +275,7 @@ impl Fleet {
         }
         let next_addr = (count + layout.parked.len()) as u64 + 1;
         let mut kin = SoaFleet::new();
+        let mut eligible = std::collections::BTreeSet::new();
         for v in &vehicles {
             let kind = if v.is_parked() {
                 VehicleKind::Parked
@@ -267,11 +283,16 @@ impl Fleet {
                 VehicleKind::Mobile
             };
             kin.push(v.node.addr().raw(), v.pos(), v.velocity(), kind);
+            if kind == VehicleKind::Mobile {
+                eligible.insert(v.node.addr().raw());
+            }
         }
         Fleet {
-            vehicles,
+            live: vehicles.len(),
+            slots: vehicles.into_iter().map(Some).collect(),
             next_addr,
             kin,
+            eligible,
         }
     }
 
@@ -308,27 +329,100 @@ impl Fleet {
             vehicle.velocity(),
             VehicleKind::Mobile,
         );
-        self.vehicles.push(vehicle);
+        self.slots.push(Some(vehicle));
+        self.live += 1;
+        self.eligible.insert(addr.raw());
         addr
     }
 
     /// Retires the vehicle with address `addr`, returning it (its node
     /// state, executor totals and in-flight work leave the simulation with
-    /// it). Later vehicles shift down; addresses are never reassigned.
+    /// it). The slot is tombstoned — amortized O(1) instead of shifting
+    /// the whole tail — and reclaimed by the next deterministic
+    /// compaction; addresses are never reassigned.
     pub fn remove(&mut self, addr: NodeAddr) -> Option<Vehicle> {
         let idx = self.index_of(addr)?;
         self.kin.remove_at(idx);
-        Some(self.vehicles.remove(idx))
+        let vehicle = self.slots[idx].take();
+        debug_assert!(vehicle.is_some(), "kin index and slots in lockstep");
+        self.live -= 1;
+        self.eligible.remove(&addr.raw());
+        self.maybe_compact();
+        vehicle
     }
 
-    /// Number of vehicles.
+    /// Deterministic compaction policy: reclaim tombstones once they are
+    /// at least half the slots (and enough of them to amortize the pass).
+    /// Both the vehicle slots and the SoA lanes retain live entries in
+    /// order, so slot numbering stays identical on both sides.
+    fn maybe_compact(&mut self) {
+        let dead = self.kin.dead_count();
+        if dead >= 32 && dead * 2 >= self.kin.slot_count() {
+            self.kin.compact();
+            self.slots.retain(Option::is_some);
+        }
+    }
+
+    /// Oldest despawn-eligible vehicle: the smallest mobile address that
+    /// is not protected (not an ego). O(log n) where the historical
+    /// implementation linearly scanned the fleet against the ego list per
+    /// despawn event; the pick is byte-identical because vehicles are
+    /// stored in address order, so "first non-parked non-ego in fleet
+    /// order" and "smallest eligible address" are the same vehicle.
+    pub fn despawn_candidate(&self) -> Option<NodeAddr> {
+        self.eligible.iter().next().map(|&a| NodeAddr::new(a))
+    }
+
+    /// Permanently excludes `addr` from despawn victim selection (used
+    /// for the ego query origins, which must survive the whole run).
+    pub fn protect(&mut self, addr: NodeAddr) {
+        self.eligible.remove(&addr.raw());
+    }
+
+    /// Number of live vehicles.
     pub fn len(&self) -> usize {
-        self.vehicles.len()
+        self.live
     }
 
     /// `true` if the fleet is empty (cannot happen via [`Fleet::spawn`]).
     pub fn is_empty(&self) -> bool {
-        self.vehicles.is_empty()
+        self.live == 0
+    }
+
+    /// Total slots including tombstones — the bound for raw slot loops
+    /// ([`Fleet::get`] returns `None` on dead slots).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The vehicle at `slot`, if live.
+    pub fn get(&self, slot: usize) -> Option<&Vehicle> {
+        self.slots.get(slot).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the vehicle at `slot`, if live.
+    pub fn get_mut(&mut self, slot: usize) -> Option<&mut Vehicle> {
+        self.slots.get_mut(slot).and_then(Option::as_mut)
+    }
+
+    /// The ego vehicle (slot 0, never despawned).
+    pub fn ego(&self) -> &Vehicle {
+        self.slots[0].as_ref().expect("ego never despawns")
+    }
+
+    /// Mutable access to the ego vehicle.
+    pub fn ego_mut(&mut self) -> &mut Vehicle {
+        self.slots[0].as_mut().expect("ego never despawns")
+    }
+
+    /// Live vehicles in slot (= address) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Vehicle> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    /// Mutable iteration over live vehicles in slot order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Vehicle> {
+        self.slots.iter_mut().filter_map(Option::as_mut)
     }
 
     /// Index of the vehicle with address `addr`, if any — one load through
@@ -345,12 +439,14 @@ impl Fleet {
         &self.kin
     }
 
-    /// Advances every vehicle by `dt` seconds and refreshes the SoA
+    /// Advances every live vehicle by `dt` seconds and refreshes the SoA
     /// kinematics lanes — the per-tick movement pass.
     pub fn step_all(&mut self, world: &ScenarioWorld, dt: f64) {
-        for (i, v) in self.vehicles.iter_mut().enumerate() {
-            v.step(world, dt);
-            self.kin.set_kinematics(i, v.pos(), v.velocity());
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(v) = slot {
+                v.step(world, dt);
+                self.kin.set_kinematics(i, v.pos(), v.velocity());
+            }
         }
     }
 }
@@ -380,11 +476,11 @@ mod tests {
             &mut rng,
         );
         assert_eq!(fleet.len(), 10);
-        let mut addrs: Vec<u64> = fleet.vehicles.iter().map(|v| v.node.addr().raw()).collect();
+        let mut addrs: Vec<u64> = fleet.iter().map(|v| v.node.addr().raw()).collect();
         addrs.sort_unstable();
         addrs.dedup();
         assert_eq!(addrs.len(), 10);
-        for (i, v) in fleet.vehicles.iter().enumerate() {
+        for (i, v) in fleet.iter().enumerate() {
             assert_eq!(fleet.index_of(v.node.addr()), Some(i));
         }
     }
@@ -404,15 +500,15 @@ mod tests {
             &FleetLayout::default(),
             &mut rng,
         );
-        let start: Vec<Vec2> = fleet.vehicles.iter().map(Vehicle::pos).collect();
+        let start: Vec<Vec2> = fleet.iter().map(Vehicle::pos).collect();
         // Two simulated minutes: every vehicle must complete ≥1 route and
         // respawn without panicking.
         for _ in 0..1200 {
-            for v in &mut fleet.vehicles {
+            for v in fleet.iter_mut() {
                 v.step(&world, 0.1);
             }
         }
-        for (i, v) in fleet.vehicles.iter().enumerate() {
+        for (i, v) in fleet.iter().enumerate() {
             assert!(v.pos().is_finite());
             assert_ne!(v.pos(), start[i], "vehicle {i} never moved");
         }
@@ -434,11 +530,12 @@ mod tests {
             &mut rng,
         );
         assert!(
-            !fleet.vehicles[0].node.executor().is_byzantine(),
+            !fleet.ego().node.executor().is_byzantine(),
             "ego stays honest"
         );
-        let byz = fleet.vehicles[1..]
+        let byz = fleet
             .iter()
+            .skip(1)
             .filter(|v| v.node.executor().is_byzantine())
             .count();
         assert_eq!(byz, 19);
@@ -465,18 +562,23 @@ mod tests {
         );
         assert_eq!(fleet.len(), 6);
         // Addresses stay dense, so index_of still works for parked units.
-        for (i, v) in fleet.vehicles.iter().enumerate() {
+        for (i, v) in fleet.iter().enumerate() {
             assert_eq!(fleet.index_of(v.node.addr()), Some(i));
         }
         // Parked units never move, even across many steps.
         for _ in 0..100 {
-            for v in &mut fleet.vehicles {
+            for v in fleet.iter_mut() {
                 v.step(&world, 0.1);
             }
         }
-        assert_eq!(fleet.vehicles[4].pos(), Vec2::new(60.0, 10.0));
-        assert_eq!(fleet.vehicles[5].pos(), Vec2::new(90.0, -10.0));
-        assert_eq!(fleet.vehicles[5].velocity(), Vec2::ZERO);
+        assert_eq!(fleet.get(4).unwrap().pos(), Vec2::new(60.0, 10.0));
+        assert_eq!(fleet.get(5).unwrap().pos(), Vec2::new(90.0, -10.0));
+        assert_eq!(fleet.get(5).unwrap().velocity(), Vec2::ZERO);
+        // Parked anchors are never despawn victims: the candidate is the
+        // oldest mobile helper (the ego until it is protected).
+        assert_eq!(fleet.despawn_candidate().map(NodeAddr::raw), Some(1));
+        fleet.protect(NodeAddr::new(1));
+        assert_eq!(fleet.despawn_candidate().map(NodeAddr::raw), Some(2));
     }
 
     /// An empty layout must not perturb the historical spawn: the mobile
@@ -497,7 +599,6 @@ mod tests {
                 layout,
                 &mut rng,
             )
-            .vehicles
             .iter()
             .map(|v| (v.pos(), v.node.executor().gas_rate()))
             .collect::<Vec<_>>()
@@ -540,13 +641,16 @@ mod tests {
         );
         assert_eq!(a.raw(), 5);
         assert_eq!(fleet.len(), 5);
-        // Remove a mid-fleet vehicle: later ones shift but stay findable.
-        let victim = fleet.vehicles[2].node.addr();
+        // Remove a mid-fleet vehicle: the slot tombstones but every
+        // survivor stays findable at the slot that holds it.
+        let victim = fleet.get(2).unwrap().node.addr();
         assert!(fleet.remove(victim).is_some());
         assert_eq!(fleet.index_of(victim), None);
         assert_eq!(fleet.remove(victim).map(|_| ()), None);
-        for (i, v) in fleet.vehicles.iter().enumerate() {
-            assert_eq!(fleet.index_of(v.node.addr()), Some(i));
+        for i in 0..fleet.slot_count() {
+            if let Some(v) = fleet.get(i) {
+                assert_eq!(fleet.index_of(v.node.addr()), Some(i));
+            }
         }
         // The freed address is never handed out again.
         let b = fleet.push_mobile(
@@ -559,7 +663,7 @@ mod tests {
             rng.fork(2),
         );
         assert_eq!(b.raw(), 6);
-        assert!(!fleet.vehicles.last().unwrap().is_parked());
+        assert!(!fleet.get(fleet.slot_count() - 1).unwrap().is_parked());
     }
 
     /// Satellite regression for the old linear-scan fallback: the stable
@@ -597,17 +701,25 @@ mod tests {
                 );
             }
             if round % 2 == 1 && fleet.len() > 3 {
-                let victim = fleet.vehicles[fleet.len() / 2].node.addr();
+                let victim = fleet
+                    .iter()
+                    .nth(fleet.len() / 2)
+                    .map(|v| v.node.addr())
+                    .unwrap();
                 assert!(fleet.remove(victim).is_some());
                 retired.push(victim);
             }
             // Every survivor resolves to the slot that actually holds it…
-            for (i, v) in fleet.vehicles.iter().enumerate() {
+            for i in 0..fleet.slot_count() {
+                let Some(v) = fleet.get(i) else { continue };
                 let addr = v.node.addr();
                 assert_eq!(fleet.index_of(addr), Some(i), "round {round}");
                 assert_eq!(fleet.kinematics().addr_at(i), addr.raw());
                 assert_eq!(fleet.kinematics().position(i), v.pos());
+                assert!(fleet.kinematics().is_live(i));
             }
+            assert_eq!(fleet.iter().count(), fleet.len());
+            assert_eq!(fleet.kinematics().len(), fleet.len());
             // …and every retired address resolves to nothing, forever.
             for &gone in &retired {
                 assert_eq!(fleet.index_of(gone), None);
@@ -631,10 +743,10 @@ mod tests {
             &FleetLayout::default(),
             &mut rng,
         );
-        fleet.vehicles[1].reroute_from(&world, 2);
+        fleet.get_mut(1).unwrap().reroute_from(&world, 2);
         let entry = world.net.position(world.net.approach_node(2));
         assert!(
-            fleet.vehicles[1].pos().distance(entry) < 1.0,
+            fleet.get(1).unwrap().pos().distance(entry) < 1.0,
             "rerouted vehicle must restart at its portal"
         );
     }
@@ -656,7 +768,6 @@ mod tests {
                 &mut rng,
             );
             fleet
-                .vehicles
                 .iter()
                 .map(|v| (v.pos(), v.node.executor().gas_rate()))
                 .collect::<Vec<_>>()

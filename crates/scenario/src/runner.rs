@@ -110,6 +110,13 @@ pub struct ScenarioConfig {
     pub orch: OrchestratorConfig,
     /// Mesh tuning.
     pub mesh: MeshConfig,
+    /// MAC transmit-queue bound: a frame that cannot reach the air within
+    /// this delay is dropped instead of deferred (`None` = defer forever,
+    /// the historical model). Dense fleets set this near the beacon
+    /// interval so radio overload sheds beacons — keeping the surviving
+    /// adverts fresh and the airspace backlog bounded — rather than
+    /// ratcheting every delivery later and later for the rest of the run.
+    pub radio_queue_cap: Option<SimDuration>,
     /// Cooperation strategy.
     pub strategy: Strategy,
     /// When the ego issues perception tasks ([`DemandProfile::Steady`]
@@ -201,6 +208,7 @@ impl Default for ScenarioConfig {
             hidden_agents: 1,
             orch: OrchestratorConfig::default(),
             mesh: MeshConfig::default(),
+            radio_queue_cap: None,
             strategy: Strategy::Airdnd,
             demand: DemandProfile::Steady,
         }
@@ -463,6 +471,10 @@ struct WorldState {
     /// Distinct per-ego grids every vehicle's sensor refresh rasterizes
     /// (deduplicated, so a single ego keeps the historical single insert).
     sensor_stages: Vec<ScenarioWorld>,
+    /// One prebuilt line-of-sight index per sensor stage, in stage order:
+    /// the refresh loop is vehicles × stages × cells, so its LOS tests
+    /// must not rescan every obstacle on city-scale worlds.
+    sensor_los: Vec<airdnd_geo::ObstacleIndex>,
     hidden_agents: Vec<Vec2>,
     schedule: FleetSchedule,
     schedule_cursor: usize,
@@ -492,7 +504,7 @@ impl WorldState {
             .fleet
             .index_of(self.egos[ego].addr)
             .expect("ego vehicles never despawn");
-        self.fleet.vehicles[idx].pos()
+        self.fleet.get(idx).expect("ego slot live").pos()
     }
 
     fn ego_grid(&self, ego: usize) -> Vec<i64> {
@@ -728,7 +740,7 @@ impl WorldState {
                 }
                 NodeAction::MeshJoined(_) => {
                     self.joins += 1;
-                    if src == self.fleet.vehicles[0].node.addr() && self.mesh_formation.is_none() {
+                    if src == self.fleet.ego().node.addr() && self.mesh_formation.is_none() {
                         self.mesh_formation = Some(now);
                     }
                     self.telemetry
@@ -798,7 +810,8 @@ impl WorldState {
                     } = self;
                     let addr =
                         fleet.push_mobile(stage, arm, gas_rate, sensor_range, orch, mesh, rng);
-                    let vehicle = fleet.vehicles.last_mut().expect("just pushed");
+                    let slot = fleet.index_of(addr).expect("just pushed");
+                    let vehicle = fleet.get_mut(slot).expect("just pushed");
                     if byzantine {
                         vehicle.node.executor_mut().set_byzantine(true);
                     }
@@ -815,20 +828,22 @@ impl WorldState {
                 }
                 FleetAction::Despawn { graceful } => {
                     // Oldest eligible vehicle: mobile, not a query origin.
-                    let victim = self
-                        .fleet
-                        .vehicles
-                        .iter()
-                        .find(|v| {
-                            !v.is_parked() && !self.egos.iter().any(|e| e.addr == v.node.addr())
-                        })
-                        .map(|v| v.node.addr());
-                    let Some(addr) = victim else {
+                    // The fleet keeps the candidates in an ordered set, so
+                    // this is O(log n) per despawn where it used to be an
+                    // O(fleet × egos) scan — the pick itself is unchanged
+                    // (smallest eligible address == first eligible vehicle
+                    // in fleet order).
+                    let Some(addr) = self.fleet.despawn_candidate() else {
                         continue;
                     };
                     if graceful {
                         let idx = self.fleet.index_of(addr).expect("victim present");
-                        let actions = self.fleet.vehicles[idx].node.leave(now);
+                        let actions = self
+                            .fleet
+                            .get_mut(idx)
+                            .expect("victim live")
+                            .node
+                            .leave(now);
                         self.process_actions(tl, now, addr, actions);
                     }
                     self.fleet.remove(addr);
@@ -866,12 +881,16 @@ impl WorldState {
                 ..
             } = self;
             fleet.step_all(stage, dt);
-            for i in 0..fleet.vehicles.len() {
+            for i in 0..fleet.slot_count() {
+                if !fleet.kinematics().is_live(i) {
+                    continue;
+                }
                 let pos = fleet.kinematics().positions()[i];
                 let vel = fleet.kinematics().velocities()[i];
-                let addr = fleet.vehicles[i].node.addr();
+                let vehicle = fleet.get_mut(i).expect("live slot");
+                let addr = vehicle.node.addr();
                 medium.set_position(addr, pos);
-                fleet.vehicles[i].node.set_kinematics(pos, vel);
+                vehicle.node.set_kinematics(pos, vel);
             }
         }
         self.profile(started, Phase::Movement);
@@ -886,14 +905,15 @@ impl WorldState {
             let WorldState {
                 fleet,
                 sensor_stages,
+                sensor_los,
                 hidden_agents,
                 cfg,
                 ..
             } = self;
-            for vehicle in fleet.vehicles.iter_mut() {
+            for vehicle in fleet.iter_mut() {
                 let pos = vehicle.pos();
-                for sensed in sensor_stages.iter() {
-                    let grid = sensed.rasterize(pos, cfg.sensor_range, hidden_agents);
+                for (sensed, los) in sensor_stages.iter().zip(sensor_los.iter()) {
+                    let grid = sensed.rasterize_with(los, pos, cfg.sensor_range, hidden_agents);
                     vehicle.node.insert_data(
                         DataType::OccupancyGrid,
                         grid,
@@ -911,16 +931,23 @@ impl WorldState {
         self.profile(started, Phase::Sensor);
 
         // Ego mesh-size sample.
-        let members = self.fleet.vehicles[0].node.mesh().member_count();
+        let members = self.fleet.ego().node.mesh().member_count();
         self.member_samples.push(members as f64);
         let tick_count = self.tick_count;
-        let vehicle_count = self.fleet.vehicles.len();
+        let slot_count = self.fleet.slot_count();
         let ego_count = self.egos.len();
 
-        // Node timers (mesh beacons, protocol timeouts).
+        // Node timers (mesh beacons, protocol timeouts). Raw slot loop:
+        // `process_actions` may despawn vehicles mid-pass, so consult
+        // liveness per slot rather than holding an iterator. Slots only
+        // compact between passes (removal never reorders live slots), and
+        // any slot appended mid-pass belongs to a spawn that never ticked
+        // before this instant anyway.
         let started = profiling.then(Instant::now);
-        for i in 0..vehicle_count {
-            let v = &mut self.fleet.vehicles[i];
+        for i in 0..slot_count {
+            let Some(v) = self.fleet.get_mut(i) else {
+                continue;
+            };
             let addr = v.node.addr();
             let actions = v.node.handle(now, NodeEvent::Tick);
             self.process_actions(tl, now, addr, actions);
@@ -975,10 +1002,12 @@ impl WorldState {
                     },
                 );
                 let idx = self.fleet.index_of(addr).expect("ego vehicles persist");
-                let actions =
-                    self.fleet.vehicles[idx]
-                        .node
-                        .submit_task(now, spec, PrivacyLevel::Derived);
+                let actions = self
+                    .fleet
+                    .get_mut(idx)
+                    .expect("ego slot live")
+                    .node
+                    .submit_task(now, spec, PrivacyLevel::Derived);
                 self.process_actions(tl, now, addr, actions);
             }
             Strategy::Cloud { .. } => {
@@ -1011,7 +1040,7 @@ impl WorldState {
                 let stage = &egos[ego].stage;
                 let result_bytes = stage.cell_count() as u64 * 8;
                 let mut fused = vec![-1i64; stage.cell_count()];
-                for vehicle in &fleet.vehicles {
+                for vehicle in fleet.iter() {
                     let grid = stage.rasterize(vehicle.pos(), cfg.sensor_range, hidden_agents);
                     fuse_max(&mut fused, &grid);
                     let cloud = cloud.as_mut().expect("cloud strategy has a link");
@@ -1044,7 +1073,12 @@ impl WorldState {
                 // Pick the freshest-linked mesh member and pull its frame.
                 let ego_addr = self.egos[ego].addr;
                 let ego_idx = self.fleet.index_of(ego_addr).expect("ego vehicles persist");
-                let descriptor = self.fleet.vehicles[ego_idx].node.descriptor(now);
+                let descriptor = self
+                    .fleet
+                    .get(ego_idx)
+                    .expect("ego slot live")
+                    .node
+                    .descriptor(now);
                 let best = descriptor
                     .members
                     .iter()
@@ -1067,7 +1101,7 @@ impl WorldState {
                     DataType::RawFrame(airdnd_data::SensorModality::Camera).typical_size_bytes();
                 let gas = self.task_gas(ego);
                 let agents = self.hidden_agents.clone();
-                let helper_pos = self.fleet.vehicles[helper_idx].pos();
+                let helper_pos = self.fleet.get(helper_idx).expect("helper slot live").pos();
                 let grid =
                     self.egos[ego]
                         .stage
@@ -1161,7 +1195,7 @@ impl WorldState {
                     // Last delivery of a broadcast steals the payload;
                     // earlier ones (and racing unicasts) clone it.
                     let msg = Rc::try_unwrap(msg).unwrap_or_else(|rc| (*rc).clone());
-                    let v = &mut self.fleet.vehicles[idx];
+                    let v = self.fleet.get_mut(idx).expect("indexed slot live");
                     let addr = v.node.addr();
                     let actions = v.node.handle(now, NodeEvent::Wire { from, msg });
                     self.process_actions(tl, now, addr, actions);
@@ -1329,9 +1363,9 @@ fn run_core(
         let measured = library::measure_gas(&kernel, &vec![0i64; cells]);
         measured + measured / 4 + 10_000
     };
-    let ego_gas = fleet.vehicles[0].node.executor().gas_rate();
+    let ego_gas = fleet.ego().node.executor().gas_rate();
     let mut egos = vec![EgoState::new(
-        fleet.vehicles[0].node.addr(),
+        fleet.ego().node.addr(),
         stage.clone(),
         gas_budget_for(stage.cell_count()),
         LocalOnly::new(ego_gas),
@@ -1341,21 +1375,28 @@ fn run_core(
         // Extra egos ride the first mobile helpers; a profile too small to
         // host them simply fields fewer query origins.
         let idx = 1 + k;
-        if idx >= cfg.vehicles.min(fleet.vehicles.len()) {
+        if idx >= cfg.vehicles.min(fleet.len()) {
             break;
         }
         let arm = route.arm % arms;
-        fleet.vehicles[idx].reroute_from(&stage, arm);
+        let vehicle = fleet.get_mut(idx).expect("initial fleet is dense");
+        vehicle.reroute_from(&stage, arm);
         // The instance carries the authoritative derived stage for each
         // extra route (ensure_ego_stages filled any gap above).
         let ego_stage = extra_ego_stages[k].clone();
-        let gas_rate = fleet.vehicles[idx].node.executor().gas_rate();
+        let gas_rate = vehicle.node.executor().gas_rate();
         egos.push(EgoState::new(
-            fleet.vehicles[idx].node.addr(),
+            vehicle.node.addr(),
             ego_stage.clone(),
             gas_budget_for(ego_stage.cell_count()),
             LocalOnly::new(gas_rate),
         ));
+    }
+    // Query origins must survive the whole run: take them out of the
+    // despawn-victim set once, instead of re-checking the ego list on
+    // every despawn event.
+    for ego in &egos {
+        fleet.protect(ego.addr);
     }
     // Distinct grids the fleet's sensors must cover each refresh.
     let mut sensor_stages: Vec<ScenarioWorld> = Vec::new();
@@ -1367,11 +1408,14 @@ fn run_core(
             sensor_stages.push(ego.stage.clone());
         }
     }
+    let sensor_los: Vec<airdnd_geo::ObstacleIndex> =
+        sensor_stages.iter().map(ScenarioWorld::los_index).collect();
     let mut medium = RadioMedium::v2v(stage.world.clone(), rng.fork(0xC0DE));
     if let Some(loss_db) = obstacle_loss_db {
         medium.set_obstacle_loss_db(loss_db);
     }
-    for v in &fleet.vehicles {
+    medium.set_max_queue_delay(cfg.radio_queue_cap);
+    for v in fleet.iter() {
         medium.set_position(v.node.addr(), v.pos());
     }
     let cloud = match cfg.strategy {
@@ -1388,6 +1432,7 @@ fn run_core(
         cloud,
         egos,
         sensor_stages,
+        sensor_los,
         hidden_agents,
         schedule,
         schedule_cursor: 0,
@@ -1416,11 +1461,11 @@ fn run_core(
 
     let duration_s = cfg.duration.as_secs_f64();
     let mut fleet_stats = OrchestratorStats::default();
-    for v in &state.fleet.vehicles {
+    for v in state.fleet.iter() {
         fleet_stats.merge(v.node.stats());
     }
     let mut utilizations = Vec::new();
-    for v in state.fleet.vehicles.iter().skip(1) {
+    for v in state.fleet.iter().skip(1) {
         let (_, gas) = v.node.executor().totals();
         utilizations.push(gas as f64 / v.node.executor().gas_rate() as f64 / duration_s);
     }

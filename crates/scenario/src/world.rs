@@ -10,7 +10,7 @@
 //! byte (regression-tested below), while procedurally generated worlds
 //! (`airdnd-worldgen`) get their occlusion grids for free.
 
-use airdnd_geo::{Aabb, NodeId, RoadNetwork, Vec2, World};
+use airdnd_geo::{Aabb, NodeId, ObstacleIndex, RoadNetwork, Vec2, World};
 use serde::{Deserialize, Serialize};
 
 /// Knobs of the occlusion derivation. The defaults reproduce the canonical
@@ -220,6 +220,14 @@ impl ScenarioWorld {
         Some(row * self.cols + col)
     }
 
+    /// A line-of-sight index over this stage's world, for callers that
+    /// rasterize in a loop (the runner's sensor refresh touches every
+    /// vehicle × every stage, so the per-cell LOS tests inside must be
+    /// O(nearby obstacles), not O(all obstacles)).
+    pub fn los_index(&self) -> ObstacleIndex {
+        ObstacleIndex::new(&self.world)
+    }
+
     /// Rasterizes one vehicle's view of the hidden region.
     ///
     /// Cell values: `-1` = unobserved, `0` = observed and free, `1` =
@@ -227,7 +235,35 @@ impl ScenarioWorld {
     /// is observed when its centre is within `sensor_range` of `pos` and
     /// line of sight is clear.
     pub fn rasterize(&self, pos: Vec2, sensor_range: f64, agents: &[Vec2]) -> Vec<i64> {
+        self.rasterize_with(&self.los_index(), pos, sensor_range, agents)
+    }
+
+    /// [`Self::rasterize`] with a prebuilt line-of-sight index (see
+    /// [`Self::los_index`]); answers are identical — the index is exact.
+    pub fn rasterize_with(
+        &self,
+        los: &ObstacleIndex,
+        pos: Vec2,
+        sensor_range: f64,
+        agents: &[Vec2],
+    ) -> Vec<i64> {
         let mut grid = vec![-1i64; self.cell_count()];
+        // City-scale early-out: every cell centre lies inside the grid's
+        // extent box, so the clamped-point distance from `pos` to that
+        // box lower-bounds every centre distance. When even the box is
+        // out of sensor range, no per-cell test can pass — the all
+        // `-1` grid is byte-identical to running them. On a map with
+        // many ego corridors this makes far vehicles O(cells) writes
+        // instead of O(cells) distance + line-of-sight tests.
+        let min = self.hidden_region.min();
+        let max = Vec2::new(
+            min.x + self.cols as f64 * self.cell_size,
+            min.y + self.rows as f64 * self.cell_size,
+        );
+        let nearest = Vec2::new(pos.x.clamp(min.x, max.x), pos.y.clamp(min.y, max.y));
+        if nearest.distance(pos) > sensor_range {
+            return grid;
+        }
         let agent_cells: Vec<usize> = agents.iter().filter_map(|&a| self.cell_of(a)).collect();
         for row in 0..self.rows {
             for col in 0..self.cols {
@@ -235,7 +271,7 @@ impl ScenarioWorld {
                 if center.distance(pos) > sensor_range {
                     continue;
                 }
-                if !self.world.line_of_sight(pos, center) {
+                if !los.line_of_sight(pos, center) {
                     continue;
                 }
                 let idx = row * self.cols + col;

@@ -13,8 +13,8 @@
 
 use crate::fleets::{parked_positions, FleetProfile};
 use crate::maps::{
-    bridge, grid, highway, radial, roundabout, BridgeParams, GeneratedMap, GridParams,
-    HighwayParams, RadialParams, RoundaboutParams,
+    bridge, city, grid, highway, radial, roundabout, BridgeParams, CityParams, GeneratedMap,
+    GridParams, HighwayParams, RadialParams, RoundaboutParams,
 };
 use airdnd_geo::Vec2;
 use airdnd_scenario::{
@@ -42,6 +42,8 @@ pub enum FamilyKind {
     Roundabout(RoundaboutParams),
     /// Mainline over a tunnel/bridge span that radio-partitions the mesh.
     Bridge(BridgeParams),
+    /// Macro-grid of grid/radial/highway districts joined by arterials.
+    City(CityParams),
 }
 
 impl FamilyKind {
@@ -54,6 +56,7 @@ impl FamilyKind {
             FamilyKind::Highway(_) => "highway",
             FamilyKind::Roundabout(_) => "roundabout",
             FamilyKind::Bridge(_) => "bridge",
+            FamilyKind::City(_) => "city",
         }
     }
 
@@ -79,6 +82,7 @@ impl FamilyKind {
             FamilyKind::Highway(p) => highway(p, &mut stage_rng(cfg.seed)),
             FamilyKind::Roundabout(p) => roundabout(p, &mut stage_rng(cfg.seed)),
             FamilyKind::Bridge(p) => bridge(p, &mut stage_rng(cfg.seed)),
+            FamilyKind::City(p) => city(p, &mut stage_rng(cfg.seed)),
         };
         // A tunnel shell is radio-opaque, not just visually occluding.
         let obstacle_loss_db = match self {
@@ -161,13 +165,21 @@ pub fn families() -> Vec<ScenarioFamily> {
             name: "bridge",
             kind: FamilyKind::Bridge(BridgeParams::default()),
         },
+        ScenarioFamily {
+            name: "city",
+            kind: FamilyKind::City(CityParams::default()),
+        },
     ]
 }
 
-/// Assigns up to `count` extra query origins to `instance`: each rides a
-/// distinct portal arm (never the primary ego's), aiming at the farthest
-/// portal so its approach path crosses the map. The per-route occlusion
-/// grid is derived *once* here — via the instance's own
+/// Assigns `count` extra query origins to `instance`: each rides a
+/// portal arm (never the primary ego's), aiming at the farthest portal
+/// so its approach path crosses the map. Arms are dealt round-robin
+/// starting past the primary's — the first cycle covers every other arm
+/// exactly once (so small demands, like G4's, get distinct arms), then
+/// the deal wraps, stacking multiple egos per arm for city-scale demands
+/// of hundreds of origins. The per-route occlusion grid is derived
+/// *once* here — via the instance's own
 /// [`WorldInstance::derive_ego_stage`] — and carried on the instance, so
 /// the runner consumes exactly the stage this generator saw. Ground-truth
 /// agents are hidden in every extra corridor that derives, so per-ego
@@ -175,11 +187,13 @@ pub fn families() -> Vec<ScenarioFamily> {
 /// still field an ego (their carried stage is the shared grid).
 pub fn assign_extra_egos(instance: &mut WorldInstance, count: usize, hidden_per_ego: usize) {
     let arms = instance.stage.net.arm_count();
-    for k in 0..arms {
-        if instance.extra_egos.len() == count {
-            break;
-        }
+    if arms <= 1 {
+        return; // only the primary's arm exists: nowhere to put extras
+    }
+    let mut k = 0;
+    while instance.extra_egos.len() < count {
         let arm = (instance.ego_arm + 1 + k) % arms;
+        k += 1;
         if arm == instance.ego_arm {
             continue;
         }
@@ -286,7 +300,7 @@ mod tests {
 
     #[test]
     fn registry_lookup() {
-        assert_eq!(families().len(), 6);
+        assert_eq!(families().len(), 7);
         assert!(find("grid").is_some());
         assert!(find("nope").is_none());
         let labels: Vec<&str> = families().iter().map(|f| f.kind.label()).collect();
@@ -298,7 +312,8 @@ mod tests {
                 "radial",
                 "highway",
                 "roundabout",
-                "bridge"
+                "bridge",
+                "city"
             ]
         );
     }
@@ -355,6 +370,37 @@ mod tests {
             extra_agents.len(),
             "every placed agent must be visible to the ego that owns it"
         );
+    }
+
+    /// Past one full cycle of arms the deal wraps: a city fields
+    /// hundreds of query origins by stacking egos per portal, still
+    /// never on the primary's arm, each carrying a stage.
+    #[test]
+    fn extra_egos_wrap_past_the_arm_count() {
+        let cfg = quick_cfg(11);
+        let kind = find("city").unwrap().kind;
+        let mut instance = kind.instantiate(&cfg, &FleetProfile::default());
+        let arms = instance.stage.net.arm_count();
+        let count = 2 * arms + 5; // forces two full wraps
+        assign_extra_egos(&mut instance, count, 1);
+        assert_eq!(instance.extra_egos.len(), count);
+        assert_eq!(instance.extra_ego_stages.len(), count);
+        assert!(instance
+            .extra_egos
+            .iter()
+            .all(|r| r.arm != instance.ego_arm));
+        // The first cycle still deals every non-primary arm exactly once
+        // (the pre-wrap contract G4 pins).
+        let first_cycle: Vec<usize> = instance.extra_egos[..arms - 1]
+            .iter()
+            .map(|r| r.arm)
+            .collect();
+        let mut deduped = first_cycle.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), arms - 1);
+        // And the wrap repeats the same deal.
+        assert_eq!(instance.extra_egos[arms - 1].arm, first_cycle[0]);
     }
 
     /// Extra query origins land on distinct non-primary arms and bring

@@ -45,7 +45,7 @@
 //! let world = grid.kind.instantiate(&cfg, &FleetProfile::default());
 //! let report = run_scenario_in(world, cfg);
 //! assert_eq!(report.strategy, "airdnd");
-//! assert_eq!(families().len(), 6);
+//! assert_eq!(families().len(), 7);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -60,5 +60,6 @@ pub use demand::DemandKind;
 pub use family::{assign_extra_egos, families, find, FamilyKind, ScenarioFamily};
 pub use fleets::{parked_positions, ChurnProcess, FleetProfile};
 pub use maps::{
-    BridgeParams, GeneratedMap, GridParams, HighwayParams, RadialParams, RoundaboutParams,
+    BridgeParams, CityParams, GeneratedMap, GridParams, HighwayParams, RadialParams,
+    RoundaboutParams,
 };

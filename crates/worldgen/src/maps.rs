@@ -187,6 +187,64 @@ impl Default for RoundaboutParams {
     }
 }
 
+/// A composite city: a macro-grid of districts — each one a grid, radial
+/// or highway tile — joined by inter-district arterials.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CityParams {
+    /// Districts along x (macro-grid columns, ≥ 1).
+    pub districts_x: usize,
+    /// Districts along y (macro-grid rows, ≥ 1; `x × y` must be ≥ 2).
+    pub districts_y: usize,
+    /// Macro-grid spacing between district centres, metres. Must exceed
+    /// the widest tile so districts never overlap.
+    pub pitch: f64,
+    /// Inter-district arterial speed limit, m/s.
+    pub arterial_speed: f64,
+    /// The grid-district recipe (district 0 — the ego's home — is always
+    /// a grid, so the derived corridor is the canonical occluded corner).
+    pub grid: GridParams,
+    /// The radial-district recipe.
+    pub radial: RadialParams,
+    /// The highway-district recipe.
+    pub highway: HighwayParams,
+}
+
+impl Default for CityParams {
+    fn default() -> Self {
+        CityParams {
+            districts_x: 3,
+            districts_y: 3,
+            pitch: 800.0,
+            arterial_speed: 22.2, // 80 km/h between districts
+            grid: GridParams::default(),
+            // Sub-tile recipes shrunk so every tile fits well inside the
+            // default pitch: one ring (±180 m) and a 3-segment corridor
+            // (450 m wide) against the grid's 270 m square.
+            radial: RadialParams {
+                rings: 1,
+                ..RadialParams::default()
+            },
+            highway: HighwayParams {
+                segments: 3,
+                ramp_every: 1,
+                ..HighwayParams::default()
+            },
+        }
+    }
+}
+
+impl CityParams {
+    /// A default-recipe city with `dx × dy` districts — the size knob the
+    /// scaling workloads turn with fleet size so density stays constant.
+    pub fn with_districts(dx: usize, dy: usize) -> Self {
+        CityParams {
+            districts_x: dx,
+            districts_y: dy,
+            ..CityParams::default()
+        }
+    }
+}
+
 /// A mainline crossing a tunnel/bridge span.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct BridgeParams {
@@ -601,6 +659,131 @@ pub fn bridge(p: &BridgeParams, rng: &mut SimRng) -> GeneratedMap {
     }
 }
 
+/// The arm node with the largest `key` (first wins on ties, so the pick
+/// is deterministic under byte-identical generation).
+fn extreme_arm(net: &RoadNetwork, nodes: &[NodeId], key: impl Fn(Vec2) -> f64) -> NodeId {
+    let mut best = nodes[0];
+    let mut best_key = key(net.position(best));
+    for &n in &nodes[1..] {
+        let k = key(net.position(n));
+        if k > best_key {
+            best = n;
+            best_key = k;
+        }
+    }
+    best
+}
+
+/// Generates a composite city (see [`CityParams`]): districts stamped on
+/// a macro grid, cycling through the grid/radial/highway recipes, joined
+/// by inter-district arterials.
+///
+/// Each district is generated by its tile recipe (consuming the shared
+/// RNG in district order, so the same seed yields the same city), centred
+/// on its macro-grid cell, and stamped node-for-node and lane-for-lane
+/// into the composite network. Arterials connect each district to its
+/// east and north neighbours between their facing-most portal nodes, so
+/// every portal pair in the city is routable.
+///
+/// The composite portal list is every district's portals in district
+/// (row-major) order — tens of arms, enough to field hundreds of
+/// concurrent egos and five-digit fleets. District 0 (south-west) is
+/// always a grid tile and contributes the ego's entry portal; the goal is
+/// the last (north-east) district's goal portal, so the ego's approach
+/// crosses its home grid — deriving the canonical occluded junction —
+/// before heading across the city.
+///
+/// # Panics
+///
+/// Panics on degenerate parameters (fewer than 2 districts, or a pitch
+/// that cannot separate the tiles).
+pub fn city(p: &CityParams, rng: &mut SimRng) -> GeneratedMap {
+    assert!(
+        p.districts_x >= 1 && p.districts_y >= 1 && p.districts_x * p.districts_y >= 2,
+        "a city needs at least 2 districts"
+    );
+    assert!(p.pitch > 0.0, "district pitch must be positive");
+    let mut net = RoadNetwork::new();
+    let mut world = World::new();
+    let mut arms: Vec<NodeId> = Vec::new();
+    let mut district_arms: Vec<Vec<NodeId>> = Vec::new();
+    let mut bounds: Option<Aabb> = None;
+    let mut ego_arm = 0;
+    let mut goal_arm = 0;
+    for j in 0..p.districts_y {
+        for i in 0..p.districts_x {
+            let idx = j * p.districts_x + i;
+            let tile = match idx % 3 {
+                0 => grid(&p.grid, rng),
+                1 => radial(&p.radial, rng),
+                _ => highway(&p.highway, rng),
+            };
+            let tile_bounds = tile.world.bounds().expect("generators set bounds");
+            let center = Vec2::new(i as f64 * p.pitch, j as f64 * p.pitch);
+            let offset = center - tile_bounds.center();
+            // Stamp the tile: node insertion order is preserved, so tile
+            // NodeId indices map 1:1 onto the composite ids.
+            let map_node: Vec<NodeId> = tile
+                .net
+                .node_ids()
+                .map(|id| net.add_node(tile.net.position(id) + offset))
+                .collect();
+            for (from, to, _len, speed) in tile.net.lanes() {
+                net.add_lane(map_node[from.index()], map_node[to.index()], speed)
+                    .expect("stamped lanes mirror a valid tile");
+            }
+            for ob in tile.world.obstacles() {
+                let Obstacle::Rect(r) = ob;
+                world.add_obstacle(Obstacle::Rect(Aabb::new(
+                    r.min() + offset,
+                    r.max() + offset,
+                )));
+            }
+            let shifted = Aabb::new(tile_bounds.min() + offset, tile_bounds.max() + offset);
+            bounds = Some(match bounds {
+                Some(b) => Aabb::new(b.min().min(shifted.min()), b.max().max(shifted.max())),
+                None => shifted,
+            });
+            if idx == 0 {
+                ego_arm = arms.len() + tile.ego_arm;
+            }
+            goal_arm = arms.len() + tile.goal_arm; // last district wins
+            let tile_arms: Vec<NodeId> = (0..tile.net.arm_count())
+                .map(|a| map_node[tile.net.approach_node(a).index()])
+                .collect();
+            arms.extend(&tile_arms);
+            district_arms.push(tile_arms);
+        }
+    }
+    // Inter-district arterials: each district links to its east and north
+    // neighbours between their mutually facing-most portals.
+    for j in 0..p.districts_y {
+        for i in 0..p.districts_x {
+            let idx = j * p.districts_x + i;
+            if i + 1 < p.districts_x {
+                let a = extreme_arm(&net, &district_arms[idx], |v| v.x);
+                let b = extreme_arm(&net, &district_arms[idx + 1], |v| -v.x);
+                net.add_road(a, b, p.arterial_speed)
+                    .expect("district portals are distinct");
+            }
+            if j + 1 < p.districts_y {
+                let a = extreme_arm(&net, &district_arms[idx], |v| v.y);
+                let b = extreme_arm(&net, &district_arms[idx + p.districts_x], |v| -v.y);
+                net.add_road(a, b, p.arterial_speed)
+                    .expect("district portals are distinct");
+            }
+        }
+    }
+    world.set_bounds(bounds.expect("at least one district"));
+    net.set_arms(arms);
+    GeneratedMap {
+        net,
+        world,
+        ego_arm,
+        goal_arm,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -700,6 +883,54 @@ mod tests {
         assert!(map
             .world
             .line_of_sight(Vec2::new(jx, -30.0), Vec2::new(jx, 30.0)));
+    }
+
+    #[test]
+    fn city_composes_districts_joined_by_arterials() {
+        let p = CityParams::default();
+        let map = city(&p, &mut SimRng::seed_from(6));
+        // 9 districts cycling grid/radial/highway (3 of each): the
+        // composite is exactly the sum of its tiles plus the arterials.
+        assert_eq!(map.net.node_count(), 3 * 16 + 3 * 9 + 3 * 6);
+        assert_eq!(map.net.arm_count(), 3 * 12 + 3 * 4 + 3 * 4);
+        assert_eq!(map.world.obstacle_count(), 3 * 9 + 3 * 4 + 3 * 3);
+        // The ego enters its home grid mid-south-edge; the goal sits in
+        // the far north-east district.
+        assert_eq!(map.ego_arm, 2);
+        assert_eq!(map.goal_arm, map.net.arm_count() - 3);
+        let ego = map.net.approach_node(map.ego_arm);
+        let goal = map.net.exit_node(map.goal_arm);
+        assert!(
+            map.net.position(goal).distance(map.net.position(ego)) > 1_500.0,
+            "the goal must sit districts away from the ego's entry"
+        );
+        // The arterials make every portal routable from the ego's entry,
+        // and every portal can reach the goal — the whole city is one
+        // strongly connected fabric.
+        for a in 0..map.net.arm_count() {
+            assert!(map.net.route(ego, map.net.exit_node(a)).is_some(), "{a}");
+            assert!(
+                map.net.route(map.net.approach_node(a), goal).is_some(),
+                "{a}"
+            );
+        }
+        // Same seed, same city.
+        let again = city(&p, &mut SimRng::seed_from(6));
+        assert_eq!(
+            serde_json::to_string(&map.world).expect("serializes"),
+            serde_json::to_string(&again.world).expect("serializes"),
+        );
+    }
+
+    #[test]
+    fn city_scales_with_district_count() {
+        let small = city(&CityParams::with_districts(2, 1), &mut SimRng::seed_from(6));
+        let large = city(&CityParams::with_districts(4, 4), &mut SimRng::seed_from(6));
+        assert!(large.net.node_count() > 3 * small.net.node_count());
+        assert!(large.net.arm_count() > 3 * small.net.arm_count());
+        let ego = large.net.approach_node(large.ego_arm);
+        let goal = large.net.exit_node(large.goal_arm);
+        assert!(large.net.route(ego, goal).is_some());
     }
 
     #[test]
