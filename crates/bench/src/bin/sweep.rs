@@ -70,6 +70,10 @@ struct Args {
     validate_trace: Option<PathBuf>,
     validate_profile: Option<PathBuf>,
     bench_engine: bool,
+    explain: bool,
+    query: Option<u64>,
+    bench_compare: Option<(PathBuf, PathBuf)>,
+    max_regress: f64,
     names: Vec<String>,
 }
 
@@ -96,6 +100,10 @@ fn parse_args() -> Args {
         validate_trace: None,
         validate_profile: None,
         bench_engine: false,
+        explain: false,
+        query: None,
+        bench_compare: None,
+        max_regress: 10.0,
         names: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -147,6 +155,15 @@ fn parse_args() -> Args {
                 None => usage_error("--validate-profile needs a file path"),
             },
             "--bench-engine" => args.bench_engine = true,
+            "explain" => args.explain = true,
+            "--query" => args.query = Some(numeric_value(&mut it, "--query") as u64),
+            "--bench-compare" => match (it.next(), it.next()) {
+                (Some(old), Some(new)) => {
+                    args.bench_compare = Some((PathBuf::from(old), PathBuf::from(new)));
+                }
+                _ => usage_error("--bench-compare needs OLD.json and NEW.json paths"),
+            },
+            "--max-regress" => args.max_regress = float_value(&mut it, "--max-regress"),
             "--torn" => args.torn = true,
             "--quick" | "quick" => args.quick = true,
             "--bench" => args.bench = true,
@@ -185,6 +202,19 @@ fn parse_args() -> Args {
     if args.drive && args.shards == 0 {
         usage_error("drive needs --shards >= 1");
     }
+    if args.explain && args.names.len() != 1 {
+        usage_error("explain decomposes one workload's first run; name exactly one workload");
+    }
+    if args.explain && (args.drive || args.bench || args.shard.is_some() || !args.merge.is_empty())
+    {
+        usage_error("explain is a single-run debug mode; drop drive/--bench/--shard/--merge");
+    }
+    if args.query.is_some() && !args.explain {
+        usage_error("--query only applies to `explain`");
+    }
+    if args.bench_compare.is_some() && args.explain {
+        usage_error("--bench-compare and explain are separate modes");
+    }
     let known = workloads::names();
     for name in &args.names {
         if !known.contains(&name.as_str()) {
@@ -202,6 +232,16 @@ fn numeric_value(it: &mut impl Iterator<Item = String>, flag: &str) -> usize {
     }
 }
 
+fn float_value(it: &mut impl Iterator<Item = String>, flag: &str) -> f64 {
+    match it.next().map(|v| (v.parse::<f64>(), v)) {
+        Some((Ok(n), _)) if n.is_finite() && n >= 0.0 => n,
+        Some((_, v)) => usage_error(&format!(
+            "{flag} takes a non-negative percentage, got `{v}`"
+        )),
+        None => usage_error(&format!("{flag} needs a value")),
+    }
+}
+
 fn usage() -> String {
     format!(
         "usage: sweep [--threads N] [--quick] [--out DIR] [--bench] [--bench-engine]\n\
@@ -209,12 +249,22 @@ fn usage() -> String {
          \x20            [--trace-out FILE] [--validate-trace FILE] [names...]\n\
          \x20      sweep drive --shards N [--jobs J] [--retries R] [--quick]\n\
          \x20            [--out DIR] [names...]\n\
+         \x20      sweep explain WORKLOAD [--query K] [--quick]\n\
+         \x20      sweep --bench-compare OLD.json NEW.json [--max-regress PCT]\n\
          names: {}\n\
          --trace N runs each named workload's first run with a bounded\n\
          event trace (N entries) and dumps it to stderr;\n\
          --trace-out FILE exports one workload's first run as a JSONL\n\
-         event log (FILE) plus a Perfetto timeline (FILE.trace.json);\n\
-         --validate-trace FILE checks an exported JSONL event log;\n\
+         event log (FILE), a causal span log (FILE.spans.jsonl) and a\n\
+         Perfetto timeline with flow arrows (FILE.trace.json);\n\
+         --validate-trace FILE checks an exported JSONL event log and,\n\
+         when FILE.spans.jsonl exists, span well-formedness;\n\
+         explain WORKLOAD [--query K] prints one query's span tree and\n\
+         its critical-path stage budget (K = task id; default: first\n\
+         completed query);\n\
+         --bench-compare OLD.json NEW.json diffs two engine-bench\n\
+         profiles and exits nonzero on any phase slower than\n\
+         --max-regress percent (default 10);\n\
          --bench-engine profiles engine phases into BENCH_engine.json;\n\
          --validate-profile FILE checks a BENCH_engine.json-shaped\n\
          profile: every workload must attribute wall-clock to all six\n\
@@ -257,6 +307,14 @@ fn main() {
     }
     if let Some(path) = &args.validate_profile {
         validate_profile_file(path);
+        return;
+    }
+    if let Some((old, new)) = &args.bench_compare {
+        bench_compare(old, new, args.max_regress);
+        return;
+    }
+    if args.explain {
+        run_explain(&args);
         return;
     }
     if args.bench_engine {
@@ -326,7 +384,7 @@ fn run_trace_out(args: &Args, path: &std::path::Path) {
     use airdnd_telemetry::{export, TelemetryOptions};
     let workloads = selected(&args.names);
     let workload = workloads.first().expect("one workload name validated");
-    let opts = TelemetryOptions::events(TelemetryOptions::DEFAULT_EVENT_CAPACITY);
+    let opts = TelemetryOptions::events(TelemetryOptions::DEFAULT_EVENT_CAPACITY).with_spans();
     let Some(telemetry) = workload.observe_first_run(args.quick, opts) else {
         eprintln!("[{}] workload has no telemetry support", workload.name());
         std::process::exit(1);
@@ -340,34 +398,55 @@ fn run_trace_out(args: &Args, path: &std::path::Path) {
             std::process::exit(1);
         }
     };
+    let spans = telemetry.spans.spans();
+    let spans_jsonl = export::spans_to_jsonl(spans);
+    let span_count = match export::validate_spans_jsonl(&spans_jsonl) {
+        Ok(count) => count,
+        Err(e) => {
+            eprintln!("error: exporter produced an invalid span log: {e}");
+            std::process::exit(1);
+        }
+    };
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent).expect("can create the trace directory");
         }
     }
     std::fs::write(path, &jsonl).expect("can write the JSONL event log");
-    let timeline = export::to_chrome_trace(&events, workload.name());
-    let mut timeline_path = path.as_os_str().to_owned();
-    timeline_path.push(".trace.json");
-    let timeline_path = PathBuf::from(timeline_path);
+    let spans_path = sibling_path(path, ".spans.jsonl");
+    std::fs::write(&spans_path, &spans_jsonl).expect("can write the span log");
+    let timeline = export::to_chrome_trace_full(&events, spans, workload.name());
+    let timeline_path = sibling_path(path, ".trace.json");
     std::fs::write(
         &timeline_path,
         serde_json::to_string_pretty(&timeline).expect("serializes") + "\n",
     )
     .expect("can write the timeline");
     eprintln!(
-        "[{}] {count} events -> {} (validated), timeline -> {}, {} evicted by ring bounds",
+        "[{}] {count} events -> {} (validated), {span_count} spans -> {} (validated),\n\
+         \x20 timeline -> {}, {} evicted by ring bounds",
         workload.name(),
         path.display(),
+        spans_path.display(),
         timeline_path.display(),
         telemetry.events.dropped_total(),
     );
 }
 
+/// `FILE` + suffix (e.g. `events.jsonl` -> `events.jsonl.spans.jsonl`).
+fn sibling_path(path: &std::path::Path, suffix: &str) -> PathBuf {
+    let mut s = path.as_os_str().to_owned();
+    s.push(suffix);
+    PathBuf::from(s)
+}
+
 /// `--validate-trace FILE`: validates an existing JSONL event log — every
 /// line parses as a `Recorded` event, re-serializes byte-identically, and
-/// the global sequence strictly increases. Exits nonzero on the first
-/// violation.
+/// the global sequence strictly increases. When a sibling
+/// `FILE.spans.jsonl` exists (written by `--trace-out`), additionally
+/// validates span well-formedness: every span closed or expired, every
+/// `parent`/`follows_from` reference present, causal order respected, no
+/// cycles. Exits nonzero naming the first violation.
 fn validate_trace_file(path: &std::path::Path) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("error: cannot read {}: {e}", path.display());
@@ -378,6 +457,20 @@ fn validate_trace_file(path: &std::path::Path) {
         Err(e) => {
             eprintln!("{}: invalid event log: {e}", path.display());
             std::process::exit(1);
+        }
+    }
+    let spans_path = sibling_path(path, ".spans.jsonl");
+    if spans_path.exists() {
+        let spans_text = std::fs::read_to_string(&spans_path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {}: {e}", spans_path.display());
+            std::process::exit(1);
+        });
+        match airdnd_telemetry::export::validate_spans_jsonl(&spans_text) {
+            Ok(count) => println!("{}: {count} spans, well-formed", spans_path.display()),
+            Err(e) => {
+                eprintln!("{}: invalid span log: {e}", spans_path.display());
+                std::process::exit(1);
+            }
         }
     }
 }
@@ -461,6 +554,164 @@ fn validate_profile_file(path: &std::path::Path) {
     );
 }
 
+/// `explain WORKLOAD [--query K]`: executes the workload's first manifest
+/// run with span recording enabled, picks one query (task id `K`, or the
+/// first completed query when `--query` is omitted), prints its causal
+/// span tree, and decomposes its end-to-end latency into the five
+/// critical-path stages — which sum exactly to the total by construction.
+fn run_explain(args: &Args) {
+    use airdnd_telemetry::{extract, Span, SpanKind, SpanStatus, Stage, TelemetryOptions};
+
+    let workloads = selected(&args.names);
+    let workload = workloads.first().expect("one workload name validated");
+    let opts = TelemetryOptions::default().with_spans();
+    let Some(telemetry) = workload.observe_first_run(args.quick, opts) else {
+        eprintln!("[{}] workload has no telemetry support", workload.name());
+        std::process::exit(1);
+    };
+    let spans = telemetry.spans.spans();
+    if let Err(e) = airdnd_telemetry::validate_spans(spans) {
+        eprintln!("error: recorded span log is malformed: {e}");
+        std::process::exit(1);
+    }
+    let completed: Vec<u64> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Query && s.status == SpanStatus::Closed)
+        .map(|s| s.task)
+        .collect();
+    let task = match args.query {
+        Some(k) => k,
+        None => match completed.first() {
+            Some(&task) => task,
+            None => {
+                eprintln!(
+                    "[{}] first run recorded no completed query to explain",
+                    workload.name()
+                );
+                std::process::exit(1);
+            }
+        },
+    };
+    let query: Vec<&Span> = spans.iter().filter(|s| s.task == task).collect();
+    if query.is_empty() {
+        eprintln!(
+            "[{}] no spans for task {task}; completed queries: {completed:?}",
+            workload.name()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "[{}] query task#{task} — {} span(s):",
+        workload.name(),
+        query.len()
+    );
+    print_span_tree(&query);
+    match extract(spans, task) {
+        Some(budget) => {
+            println!("critical-path stage budget:");
+            for stage in Stage::ALL {
+                let us = budget.stage_us(stage);
+                let share = if budget.total_us == 0 {
+                    0.0
+                } else {
+                    us as f64 / budget.total_us as f64 * 100.0
+                };
+                println!(
+                    "  {:<9} {:>12.3} ms  ({share:>5.1} %)",
+                    stage.name(),
+                    us as f64 / 1e3
+                );
+            }
+            println!(
+                "  {:<9} {:>12.3} ms  (stages sum exactly to the total)",
+                "total",
+                budget.total_us as f64 / 1e3
+            );
+            assert_eq!(budget.stages_total_us(), budget.total_us);
+        }
+        None => println!(
+            "task {task} never completed — no stage budget (spans above show how far it got)"
+        ),
+    }
+}
+
+/// Prints one query's spans as a tree (children under their `parent`,
+/// recording order within a level), annotating cross-node causality.
+fn print_span_tree(query: &[&airdnd_telemetry::Span]) {
+    fn print_node(query: &[&airdnd_telemetry::Span], id: u64, depth: usize) {
+        let Some(span) = query.iter().find(|s| s.id == id) else {
+            return;
+        };
+        let ms = |t: airdnd_sim::SimTime| t.as_nanos() as f64 / 1e6;
+        let status = match span.status {
+            airdnd_telemetry::SpanStatus::Open => "open",
+            airdnd_telemetry::SpanStatus::Closed => "closed",
+            airdnd_telemetry::SpanStatus::Expired => "expired",
+        };
+        let follows = span
+            .follows_from
+            .map(|f| format!(", follows #{f}"))
+            .unwrap_or_default();
+        println!(
+            "  {:indent$}{:<13} #{:<3} node#{:<4} [{:>10.3} ms .. {:>10.3} ms]  {:>9.3} ms  {status}{follows}",
+            "",
+            span.kind.label(),
+            span.id,
+            span.actor,
+            ms(span.start),
+            span.end.map(ms).unwrap_or(f64::NAN),
+            span.duration_us() as f64 / 1e3,
+            indent = depth * 2,
+        );
+        for child in query.iter().filter(|s| s.parent == Some(id)) {
+            print_node(query, child.id, depth + 1);
+        }
+    }
+    for root in query.iter().filter(|s| s.parent.is_none()) {
+        print_node(query, root.id, 0);
+    }
+}
+
+/// `--bench-compare OLD.json NEW.json`: diffs two engine-bench profiles
+/// per `(workload, phase)` and exits nonzero when any phase regressed
+/// beyond `--max-regress` percent (and a 1 ms absolute floor). The table
+/// goes to stdout; regressions are repeated on stderr.
+fn bench_compare(old: &std::path::Path, new: &std::path::Path, max_regress_pct: f64) {
+    let read = |path: &std::path::Path| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        })
+    };
+    let comparison =
+        airdnd_bench::compare::compare_profiles(&read(old), &read(new), max_regress_pct)
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+    println!(
+        "bench-compare {} -> {} (tolerance {max_regress_pct} %):",
+        old.display(),
+        new.display()
+    );
+    for delta in &comparison.deltas {
+        println!("  {delta}");
+    }
+    let regressions = comparison.regressions();
+    if regressions.is_empty() {
+        println!("no regressions beyond {max_regress_pct} %");
+    } else {
+        eprintln!(
+            "error: {} phase(s) regressed beyond {max_regress_pct} %:",
+            regressions.len()
+        );
+        for delta in regressions {
+            eprintln!("  {delta}");
+        }
+        std::process::exit(1);
+    }
+}
+
 /// `--bench-engine`: emits `BENCH_engine.json` — wall-clock attributed to
 /// engine phases (lifecycle, movement, sensor, mesh, tasks, radio) for
 /// one profiled run of each scenario-backed workload kind: the canonical
@@ -475,6 +726,7 @@ fn engine_snapshot(quick: bool) {
     let opts = TelemetryOptions {
         events: None,
         profile: true,
+        spans: false,
     };
     let mut profiles = Vec::new();
     for name in ["f2", "g3", "g4", "g5"] {

@@ -1,0 +1,238 @@
+//! `sweep --bench-compare` — the perf-trajectory regression gate.
+//!
+//! Compares two `BENCH_engine.json`-style profiles (the artifact
+//! `sweep --bench-engine` records: per-workload wall-clock plus its
+//! attribution to engine phases) and flags phases that got slower than a
+//! tolerance. CI runs it advisory against the committed baseline; the
+//! CLI exits nonzero on regression so a threshold can gate a branch.
+//!
+//! Comparison is per `(workload, phase)` on the attributed milliseconds,
+//! plus each workload's `wall_ms`. A regression is a new value exceeding
+//! the old by more than `max_regress_pct` **and** by more than an
+//! absolute 1 ms floor — phases that cost microseconds jitter by large
+//! percentages without meaning anything.
+
+use serde_json::{Number, Value};
+use std::fmt;
+
+/// Absolute floor below which a delta is noise, whatever its
+/// percentage (wall-clock entries this small jitter freely).
+const ABS_FLOOR_MS: f64 = 1.0;
+
+/// One compared `(workload, phase)` cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseDelta {
+    /// Workload name (`f2`, `g3`, ...).
+    pub workload: String,
+    /// Phase name, or `"wall"` for the workload's total wall-clock.
+    pub phase: String,
+    /// Milliseconds in the old profile.
+    pub old_ms: f64,
+    /// Milliseconds in the new profile.
+    pub new_ms: f64,
+    /// `true` when the delta exceeds both the percentage tolerance and
+    /// the absolute floor.
+    pub regressed: bool,
+}
+
+impl PhaseDelta {
+    /// Percent change from old to new (0 when the old value is 0).
+    pub fn pct(&self) -> f64 {
+        if self.old_ms <= 0.0 {
+            0.0
+        } else {
+            (self.new_ms - self.old_ms) / self.old_ms * 100.0
+        }
+    }
+}
+
+impl fmt::Display for PhaseDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<6} {:<10} {:>10.3} ms -> {:>10.3} ms  ({:+.1}%){}",
+            self.workload,
+            self.phase,
+            self.old_ms,
+            self.new_ms,
+            self.pct(),
+            if self.regressed { "  REGRESSED" } else { "" }
+        )
+    }
+}
+
+/// The full comparison: every `(workload, phase)` present in both
+/// profiles, in profile order.
+#[derive(Clone, Debug, Default)]
+pub struct Comparison {
+    /// Per-cell deltas (wall-clock rows included as phase `"wall"`).
+    pub deltas: Vec<PhaseDelta>,
+}
+
+impl Comparison {
+    /// The cells that regressed beyond tolerance.
+    pub fn regressions(&self) -> Vec<&PhaseDelta> {
+        self.deltas.iter().filter(|d| d.regressed).collect()
+    }
+}
+
+/// Looks up `name` in a JSON object (the vendored `Value` has no
+/// `Index` impl).
+fn field<'v>(value: &'v Value, name: &str) -> Option<&'v Value> {
+    match value {
+        Value::Object(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// A JSON number as f64 (integers included).
+fn numeric(value: &Value) -> Option<f64> {
+    match value {
+        Value::Number(Number::PosInt(n)) => Some(*n as f64),
+        Value::Number(Number::NegInt(n)) => Some(*n as f64),
+        Value::Number(Number::Float(f)) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Every `(workload, phase, ms)` cell of one engine-bench profile, in
+/// document order, with each workload's wall-clock as phase `"wall"`.
+fn cells(profile: &Value) -> Result<Vec<(String, String, f64)>, String> {
+    let workloads = field(profile, "workloads").ok_or("profile has no `workloads` object")?;
+    let Value::Object(entries) = workloads else {
+        return Err("`workloads` is not an object".into());
+    };
+    let mut out = Vec::new();
+    for (name, workload) in entries {
+        if let Some(wall) = field(workload, "wall_ms").and_then(numeric) {
+            out.push((name.clone(), "wall".to_string(), wall));
+        }
+        let phases = field(workload, "phases")
+            .and_then(|p| field(p, "phases"))
+            .ok_or_else(|| format!("workload `{name}` has no phases object"))?;
+        let Value::Object(phase_entries) = phases else {
+            return Err(format!("workload `{name}` phases is not an object"));
+        };
+        for (phase, detail) in phase_entries {
+            let ms = field(detail, "ms")
+                .and_then(numeric)
+                .ok_or_else(|| format!("phase `{name}/{phase}` has no numeric `ms`"))?;
+            out.push((name.clone(), phase.clone(), ms));
+        }
+    }
+    Ok(out)
+}
+
+/// Compares two engine-bench profiles: every `(workload, phase)` present
+/// in both becomes a [`PhaseDelta`], flagged as regressed when the new
+/// time exceeds the old by more than `max_regress_pct` percent *and*
+/// more than an absolute 1 ms floor. Cells present on only one side are
+/// skipped (workload sets may legitimately change across commits).
+pub fn compare_profiles(
+    old_text: &str,
+    new_text: &str,
+    max_regress_pct: f64,
+) -> Result<Comparison, String> {
+    let old = Value::parse(old_text).ok_or("old profile: not valid JSON")?;
+    let new = Value::parse(new_text).ok_or("new profile: not valid JSON")?;
+    let old_cells = cells(&old).map_err(|e| format!("old profile: {e}"))?;
+    let new_cells = cells(&new).map_err(|e| format!("new profile: {e}"))?;
+    let mut deltas = Vec::new();
+    for (workload, phase, old_ms) in &old_cells {
+        let Some((_, _, new_ms)) = new_cells
+            .iter()
+            .find(|(w, p, _)| w == workload && p == phase)
+        else {
+            continue;
+        };
+        let regressed =
+            *new_ms > old_ms * (1.0 + max_regress_pct / 100.0) && new_ms - old_ms > ABS_FLOOR_MS;
+        deltas.push(PhaseDelta {
+            workload: workload.clone(),
+            phase: phase.clone(),
+            old_ms: *old_ms,
+            new_ms: *new_ms,
+            regressed,
+        });
+    }
+    Ok(Comparison { deltas })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(f2_tasks_ms: f64, f2_wall_ms: f64) -> String {
+        format!(
+            r#"{{
+  "description": "test profile",
+  "mode": "quick",
+  "workloads": {{
+    "f2": {{
+      "wall_ms": {f2_wall_ms},
+      "attributed_ms": {f2_tasks_ms},
+      "phases": {{
+        "total_ms": {f2_tasks_ms},
+        "phases": {{
+          "tasks": {{ "ms": {f2_tasks_ms}, "share": 0.9, "entries": 100 }},
+          "radio": {{ "ms": 0.4, "share": 0.1, "entries": 100 }}
+        }}
+      }}
+    }}
+  }}
+}}"#
+        )
+    }
+
+    #[test]
+    fn identical_profiles_have_no_regressions() {
+        let p = profile(30.0, 40.0);
+        let cmp = compare_profiles(&p, &p, 10.0).unwrap();
+        assert!(cmp.regressions().is_empty());
+        assert_eq!(cmp.deltas.len(), 3); // wall + tasks + radio
+    }
+
+    #[test]
+    fn injected_regression_beyond_threshold_is_flagged() {
+        let old = profile(30.0, 40.0);
+        let new = profile(45.0, 56.0); // +50 % on tasks and wall
+        let cmp = compare_profiles(&old, &new, 10.0).unwrap();
+        let regressed: Vec<String> = cmp
+            .regressions()
+            .iter()
+            .map(|d| format!("{}/{}", d.workload, d.phase))
+            .collect();
+        assert_eq!(regressed, ["f2/wall", "f2/tasks"]);
+        let tasks = cmp
+            .deltas
+            .iter()
+            .find(|d| d.phase == "tasks")
+            .expect("tasks compared");
+        assert!((tasks.pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_absolute_deltas_are_noise_even_at_high_percentages() {
+        // radio goes 0.4 ms -> 0.9 ms: +125 %, but under the 1 ms floor.
+        let old = profile(30.0, 40.0);
+        let new = old.replace(r#""radio": { "ms": 0.4"#, r#""radio": { "ms": 0.9"#);
+        let cmp = compare_profiles(&old, &new, 10.0).unwrap();
+        assert!(cmp.regressions().is_empty());
+    }
+
+    #[test]
+    fn improvements_never_flag() {
+        let old = profile(30.0, 40.0);
+        let new = profile(10.0, 15.0);
+        let cmp = compare_profiles(&old, &new, 10.0).unwrap();
+        assert!(cmp.regressions().is_empty());
+    }
+
+    #[test]
+    fn malformed_profiles_name_the_problem() {
+        assert!(compare_profiles("{}", "{}", 10.0)
+            .unwrap_err()
+            .contains("workloads"));
+        assert!(compare_profiles("not json", "{}", 10.0).is_err());
+    }
+}

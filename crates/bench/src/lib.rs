@@ -14,6 +14,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod compare;
 pub mod exp;
 pub mod report;
 pub mod workloads;

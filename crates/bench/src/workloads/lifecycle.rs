@@ -27,7 +27,7 @@ use airdnd_worldgen::{
 use serde::{Deserialize, Serialize};
 
 use super::full_mode_replicates as replicates;
-use super::scenario::scenario_metrics;
+use super::scenario::scenario_metrics_with_stages;
 use super::worldgen::GenConfig;
 
 /// One lifecycle-churn run: a generated world plus the churn process that
@@ -115,7 +115,7 @@ pub(crate) fn observe_multi_ego(
 
 /// Scenario metrics plus the lifecycle counters the churn study tracks.
 fn lifecycle_metrics(r: &ScenarioReport) -> Vec<(&'static str, f64)> {
-    let mut metrics = scenario_metrics(r);
+    let mut metrics = scenario_metrics_with_stages(r);
     metrics.push(("lifecycle_spawns", r.lifecycle_spawns as f64));
     metrics.push(("lifecycle_despawns", r.lifecycle_despawns as f64));
     metrics.push(("joins", r.joins as f64));
@@ -127,7 +127,7 @@ fn lifecycle_metrics(r: &ScenarioReport) -> Vec<(&'static str, f64)> {
 /// aggregates the telemetry registry computes: the worst-served ego's
 /// completion rate and latency quantiles, and the completion spread.
 pub(crate) fn multi_ego_metrics(r: &ScenarioReport) -> Vec<(&'static str, f64)> {
-    let mut metrics = scenario_metrics(r);
+    let mut metrics = scenario_metrics_with_stages(r);
     metrics.push(("egos", r.egos as f64));
     metrics.push(("ego_completion_min", r.ego_completion_min));
     metrics.push(("ego_completion_spread", r.ego_completion_spread));

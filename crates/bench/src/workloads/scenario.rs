@@ -57,6 +57,34 @@ pub fn scenario_metrics(r: &ScenarioReport) -> Vec<(&'static str, f64)> {
     ]
 }
 
+/// The ten critical-path latency-decomposition columns
+/// (`telemetry::critical_path`): per-stage p50/p95 over completed
+/// queries. Deterministic — the always-on tracer book feeds them, so the
+/// values are identical with span recording on or off.
+pub fn stage_metrics(r: &ScenarioReport) -> Vec<(&'static str, f64)> {
+    vec![
+        ("lat_discover_p50_ms", r.lat_discover_p50_ms),
+        ("lat_discover_p95_ms", r.lat_discover_p95_ms),
+        ("lat_select_p50_ms", r.lat_select_p50_ms),
+        ("lat_select_p95_ms", r.lat_select_p95_ms),
+        ("lat_radio_p50_ms", r.lat_radio_p50_ms),
+        ("lat_radio_p95_ms", r.lat_radio_p95_ms),
+        ("lat_exec_p50_ms", r.lat_exec_p50_ms),
+        ("lat_exec_p95_ms", r.lat_exec_p95_ms),
+        ("lat_return_p50_ms", r.lat_return_p50_ms),
+        ("lat_return_p95_ms", r.lat_return_p95_ms),
+    ]
+}
+
+/// [`scenario_metrics`] plus the latency-decomposition columns — the
+/// extractor for the G-series workloads. The F/T figures keep the plain
+/// list so their pinned goldens stay byte-identical.
+pub fn scenario_metrics_with_stages(r: &ScenarioReport) -> Vec<(&'static str, f64)> {
+    let mut metrics = scenario_metrics(r);
+    metrics.extend(stage_metrics(r));
+    metrics
+}
+
 fn run(plan: &airdnd_harness::RunPlan<ScenarioConfig>) -> ScenarioReport {
     run_scenario(plan.config)
 }

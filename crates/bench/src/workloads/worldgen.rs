@@ -28,7 +28,7 @@ use serde::{Deserialize, Serialize};
 use serde_json::json;
 
 use super::full_mode_replicates as replicates;
-use super::scenario::scenario_metrics;
+use super::scenario::scenario_metrics_with_stages;
 
 /// One generated-world run: family recipe + fleet profile + scenario
 /// knobs + demand recipe.
@@ -111,7 +111,7 @@ pub fn g1() -> FnWorkload<GenConfig, ScenarioReport> {
         title: "strategies across generated map families and densities",
         spec: g1_spec,
         run: run_generated,
-        metrics: scenario_metrics,
+        metrics: scenario_metrics_with_stages,
         tabulate: g1_tabulate,
         trace: Some(trace_generated),
         observe: Some(observe_generated),
@@ -216,7 +216,7 @@ pub fn g2() -> FnWorkload<GenConfig, ScenarioReport> {
         title: "mesh dynamics under churn and demand patterns (generated grid)",
         spec: g2_spec,
         run: run_generated,
-        metrics: scenario_metrics,
+        metrics: scenario_metrics_with_stages,
         tabulate: g2_tabulate,
         trace: Some(trace_generated),
         observe: Some(observe_generated),

@@ -45,5 +45,6 @@ pub use world::{OcclusionParams, ScenarioWorld};
 // Observability surface: re-exported so downstream crates (bench, sweep)
 // query runs without naming the telemetry crate directly.
 pub use airdnd_telemetry::{
-    EventCategory, EventKind, Phase, RunTelemetry, Scope, TelemetryOptions, TraceQuery,
+    extract, validate_spans, DropReason, EventCategory, EventKind, Phase, RunTelemetry, Scope,
+    Span, SpanKind, SpanLog, SpanStatus, Stage, StageBudget, TelemetryOptions, TraceQuery,
 };

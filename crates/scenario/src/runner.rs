@@ -36,7 +36,9 @@ use airdnd_mesh::MeshConfig;
 use airdnd_radio::{DeliveryOutcome, NodeAddr, RadioMedium};
 use airdnd_sim::{percentile, SimDuration, SimRng, SimTime};
 use airdnd_task::{library, ResourceRequirements, TaskId, TaskSpec};
-use airdnd_telemetry::{EventKind, Phase, RunTelemetry, Scope, TelemetryOptions};
+use airdnd_telemetry::{
+    DropReason, EventKind, Phase, QueryTracer, RunTelemetry, Scope, StageBudget, TelemetryOptions,
+};
 use airdnd_trust::PrivacyLevel;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -391,6 +393,31 @@ pub struct ScenarioReport {
     pub ego_p50_worst_ms: f64,
     /// Worst per-ego 95th-percentile latency, ms (bucket upper bound).
     pub ego_p95_worst_ms: f64,
+    /// Median submit→first-offer time across completed queries, ms — the
+    /// discovery stage of the critical path. Strategies that never use
+    /// the offload protocol book their whole latency under `exec`. All
+    /// ten stage columns come from the always-on [`QueryTracer`] book,
+    /// so they are identical whether span recording is on or off.
+    pub lat_discover_p50_ms: f64,
+    /// 95th-percentile discovery time, ms.
+    pub lat_discover_p95_ms: f64,
+    /// Median first-offer→winning-offer time (helper selection), ms.
+    pub lat_select_p50_ms: f64,
+    /// 95th-percentile selection time, ms.
+    pub lat_select_p95_ms: f64,
+    /// Median winning-offer radio flight time (MAC queue + contention +
+    /// airtime + propagation), ms.
+    pub lat_radio_p50_ms: f64,
+    /// 95th-percentile radio flight time, ms.
+    pub lat_radio_p95_ms: f64,
+    /// Median remote-execution time (offer delivery → result ready), ms.
+    pub lat_exec_p50_ms: f64,
+    /// 95th-percentile remote-execution time, ms.
+    pub lat_exec_p95_ms: f64,
+    /// Median result-return time (result ready → completion), ms.
+    pub lat_return_p50_ms: f64,
+    /// 95th-percentile result-return time, ms.
+    pub lat_return_p95_ms: f64,
 }
 
 /// One scheduled scenario event. Wire payloads ride behind an `Rc` so a
@@ -495,6 +522,11 @@ struct WorldState {
     /// Nothing here feeds back into simulation state, RNG streams or
     /// scheduling — telemetry on vs off is byte-identical in the report.
     telemetry: RunTelemetry,
+    /// Always-on critical-path book (and, when spans are enabled, the
+    /// per-query span-tree recorder). Deterministic integer bookkeeping
+    /// only — the stage columns it feeds are part of the report whether
+    /// span recording is on or off.
+    tracer: QueryTracer,
 }
 
 impl WorldState {
@@ -551,6 +583,14 @@ impl WorldState {
         }
         let actor = self.egos[ego].addr.raw() as u32;
         let latency_us = latency.as_nanos() / 1_000;
+        // Close the query's span tree and book its critical-path stage
+        // budget. Tasks the tracer never saw submitted (cloud / raw /
+        // local strategies) attribute their whole latency to execution.
+        let budget = self
+            .tracer
+            .complete(&mut self.telemetry.spans, task, now)
+            .unwrap_or_else(|| StageBudget::all_exec(task, latency_us));
+        self.tracer.push_sample(budget);
         self.telemetry
             .metrics
             .inc("tasks_completed", Scope::Ego(ego as u32));
@@ -568,10 +608,40 @@ impl WorldState {
         );
     }
 
+    /// Books one dropped frame: the typed event plus the always-on
+    /// registry counters (`frame_drops`, and `frame_drops_queue_cap` for
+    /// bounded-MAC sheds — the G5 saturation signal).
+    fn record_frame_drop(
+        &mut self,
+        now: SimTime,
+        from: NodeAddr,
+        to: Option<NodeAddr>,
+        bytes: u64,
+        reason: DropReason,
+    ) {
+        self.telemetry.metrics.inc("frame_drops", Scope::Global);
+        if reason == DropReason::QueueCap {
+            self.telemetry
+                .metrics
+                .inc("frame_drops_queue_cap", Scope::Global);
+        }
+        self.telemetry.event(
+            now,
+            from.raw() as u32,
+            EventKind::FrameDrop {
+                from: from.raw() as u32,
+                to: to.map(|t| t.raw() as u32),
+                bytes,
+                reason,
+            },
+        );
+    }
+
     /// Books one failed/expired task for `ego` — counters, registry and
     /// (when enabled) the typed event, in one place so every failure path
     /// stays consistent.
     fn record_failure(&mut self, now: SimTime, ego: usize, task: u64) {
+        self.tracer.fail(&mut self.telemetry.spans, task, now);
         self.egos[ego].failed += 1;
         self.telemetry
             .metrics
@@ -648,6 +718,7 @@ impl WorldState {
             match action {
                 NodeAction::Broadcast(msg) => {
                     let size = msg.wire_size_bytes();
+                    let drops_before = self.medium.queue_drops();
                     let (deliveries, _) = self.medium.broadcast(now, src, size);
                     self.telemetry.event(
                         now,
@@ -658,6 +729,12 @@ impl WorldState {
                             bytes: size,
                         },
                     );
+                    // A broadcast shed by the bounded MAC queue returns no
+                    // deliveries and bumps the medium's drop counter — make
+                    // that saturation visible as a typed event.
+                    if self.medium.queue_drops() > drops_before {
+                        self.record_frame_drop(now, src, None, size, DropReason::QueueCap);
+                    }
                     let msg = Rc::new(msg);
                     for d in deliveries {
                         tl.schedule_at(
@@ -674,6 +751,13 @@ impl WorldState {
                     let size = msg.wire_size_bytes();
                     let (outcome, _) = self.medium.unicast(now, src, to, size);
                     if let WireMsg::Offload(OffloadMsg::Offer { task, .. }) = &msg {
+                        self.tracer.offer_sent(
+                            &mut self.telemetry.spans,
+                            task.id.raw(),
+                            to.raw() as u32,
+                            now,
+                            outcome.delivered_at(),
+                        );
                         self.telemetry.event(
                             now,
                             src.raw() as u32,
@@ -693,15 +777,7 @@ impl WorldState {
                         },
                     );
                     if !matches!(outcome, DeliveryOutcome::Delivered { .. }) {
-                        self.telemetry.event(
-                            now,
-                            src.raw() as u32,
-                            EventKind::FrameDrop {
-                                from: src.raw() as u32,
-                                to: to.raw() as u32,
-                                bytes: size,
-                            },
-                        );
+                        self.record_frame_drop(now, src, Some(to), size, drop_reason(&outcome));
                     }
                     if let DeliveryOutcome::Delivered { at, .. } = outcome {
                         tl.schedule_at(
@@ -715,6 +791,18 @@ impl WorldState {
                     }
                 }
                 NodeAction::SendAt { to, at, msg } => {
+                    // A deferred Result frame is the helper finishing the
+                    // offloaded kernel: execution started when the offer
+                    // arrived (now) and the result is ready at `at`.
+                    if let WireMsg::Offload(OffloadMsg::Result { task, .. }) = &msg {
+                        self.tracer.result_ready(
+                            &mut self.telemetry.spans,
+                            task.raw(),
+                            src.raw() as u32,
+                            now,
+                            now + at.saturating_since(now),
+                        );
+                    }
                     tl.schedule_at(
                         now + at.saturating_since(now),
                         ScenMsg::TransmitAt {
@@ -993,6 +1081,12 @@ impl WorldState {
                 self.egos[ego].submitted += 1;
                 let spec = self.perception_task(now, ego);
                 let addr = self.egos[ego].addr;
+                self.tracer.submit(
+                    &mut self.telemetry.spans,
+                    spec.id.raw(),
+                    addr.raw() as u32,
+                    now,
+                );
                 self.telemetry.event(
                     now,
                     addr.raw() as u32,
@@ -1205,15 +1299,34 @@ impl WorldState {
             ScenMsg::TransmitAt { src, to, msg } => {
                 let size = msg.wire_size_bytes();
                 let outcome = self.medium.unicast(now, src, to, size).0;
-                if let WireMsg::Offload(OffloadMsg::Offer { task, .. }) = &*msg {
-                    self.telemetry.event(
-                        now,
-                        src.raw() as u32,
-                        EventKind::TaskOffload {
-                            task: task.id.raw(),
-                            executor: to.raw() as u32,
-                        },
-                    );
+                match &*msg {
+                    WireMsg::Offload(OffloadMsg::Offer { task, .. }) => {
+                        self.tracer.offer_sent(
+                            &mut self.telemetry.spans,
+                            task.id.raw(),
+                            to.raw() as u32,
+                            now,
+                            outcome.delivered_at(),
+                        );
+                        self.telemetry.event(
+                            now,
+                            src.raw() as u32,
+                            EventKind::TaskOffload {
+                                task: task.id.raw(),
+                                executor: to.raw() as u32,
+                            },
+                        );
+                    }
+                    WireMsg::Offload(OffloadMsg::Result { task, .. }) => {
+                        self.tracer.result_sent(
+                            &mut self.telemetry.spans,
+                            task.raw(),
+                            src.raw() as u32,
+                            now,
+                            outcome.delivered_at(),
+                        );
+                    }
+                    _ => {}
                 }
                 self.telemetry.event(
                     now,
@@ -1225,15 +1338,7 @@ impl WorldState {
                     },
                 );
                 if !matches!(outcome, DeliveryOutcome::Delivered { .. }) {
-                    self.telemetry.event(
-                        now,
-                        src.raw() as u32,
-                        EventKind::FrameDrop {
-                            from: src.raw() as u32,
-                            to: to.raw() as u32,
-                            bytes: size,
-                        },
-                    );
+                    self.record_frame_drop(now, src, Some(to), size, drop_reason(&outcome));
                 }
                 if let DeliveryOutcome::Delivered { at, .. } = outcome {
                     tl.schedule_at(
@@ -1447,6 +1552,7 @@ fn run_core(
         joins: 0,
         leaves: 0,
         telemetry: RunTelemetry::with(opts),
+        tracer: QueryTracer::new(),
     };
 
     // The event loop proper: pop-in-(time, seq)-order until the horizon —
@@ -1457,6 +1563,9 @@ fn run_core(
     while let Some((now, msg)) = timeline.pop_before(horizon) {
         state.handle(&mut timeline, now, msg);
     }
+    // Queries still in flight at the horizon expire their spans there so
+    // the recorded tree is well-formed (every span closed or expired).
+    state.tracer.finish(&mut state.telemetry.spans, horizon);
     let telemetry = std::mem::take(&mut state.telemetry);
 
     let duration_s = cfg.duration.as_secs_f64();
@@ -1524,6 +1633,18 @@ fn run_core(
             .max()
             .map_or(0.0, |us| us as f64 / 1_000.0)
     };
+    // Critical-path stage decomposition from the always-on tracer book:
+    // one sample per completed query, in completion order, each stage a
+    // clamped partition of that query's end-to-end latency.
+    let stage_quantile_ms = |stage_us: fn(&StageBudget) -> u64, q: f64| {
+        let samples: Vec<f64> = state
+            .tracer
+            .samples()
+            .iter()
+            .map(|b| stage_us(b) as f64 / 1_000.0)
+            .collect();
+        percentile(&samples, q).unwrap_or(0.0)
+    };
     let report = ScenarioReport {
         strategy: cfg.strategy.label().to_owned(),
         duration_s,
@@ -1570,8 +1691,29 @@ fn run_core(
         ego_completion_spread,
         ego_p50_worst_ms: worst_quantile_ms(0.5),
         ego_p95_worst_ms: worst_quantile_ms(0.95),
+        lat_discover_p50_ms: stage_quantile_ms(|b| b.discover_us, 0.5),
+        lat_discover_p95_ms: stage_quantile_ms(|b| b.discover_us, 0.95),
+        lat_select_p50_ms: stage_quantile_ms(|b| b.select_us, 0.5),
+        lat_select_p95_ms: stage_quantile_ms(|b| b.select_us, 0.95),
+        lat_radio_p50_ms: stage_quantile_ms(|b| b.radio_us, 0.5),
+        lat_radio_p95_ms: stage_quantile_ms(|b| b.radio_us, 0.95),
+        lat_exec_p50_ms: stage_quantile_ms(|b| b.exec_us, 0.5),
+        lat_exec_p95_ms: stage_quantile_ms(|b| b.exec_us, 0.95),
+        lat_return_p50_ms: stage_quantile_ms(|b| b.return_us, 0.5),
+        lat_return_p95_ms: stage_quantile_ms(|b| b.return_us, 0.95),
     };
     (report, telemetry)
+}
+
+/// Why a unicast never arrived. The bounded-MAC queue-cap path is the
+/// only one that reports `Lost` without a single transmission attempt
+/// (channel losses burn their full retry budget first).
+fn drop_reason(outcome: &DeliveryOutcome) -> DropReason {
+    match outcome {
+        DeliveryOutcome::Unreachable => DropReason::Unreachable,
+        DeliveryOutcome::Lost { attempts: 0 } => DropReason::QueueCap,
+        _ => DropReason::Channel,
+    }
 }
 
 fn mean(xs: &[f64]) -> f64 {

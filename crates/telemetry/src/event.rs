@@ -72,6 +72,35 @@ impl fmt::Display for EventCategory {
     }
 }
 
+/// Why a frame never reached its destination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DropReason {
+    /// Lost on the channel (range, obstacle shadowing, retry budget).
+    Channel,
+    /// Shed by the bounded MAC transmit queue
+    /// (`ScenarioConfig::radio_queue_cap`) before ever going on air.
+    QueueCap,
+    /// The destination address does not exist (stale advert).
+    Unreachable,
+}
+
+impl DropReason {
+    /// Lower-case label used in rendered traces and exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::Channel => "channel",
+            DropReason::QueueCap => "queue-cap",
+            DropReason::Unreachable => "unreachable",
+        }
+    }
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// One typed simulation event.
 ///
 /// All payloads are plain integers: node addresses (`u32`), task ids and
@@ -107,14 +136,17 @@ pub enum EventKind {
         /// On-air payload size.
         bytes: u64,
     },
-    /// A unicast frame was lost on the channel.
+    /// A frame was dropped before reaching its destination (`to: None`
+    /// for a broadcast shed by the MAC queue).
     FrameDrop {
         /// Transmitting node.
         from: u32,
-        /// Intended destination.
-        to: u32,
+        /// Intended destination, or `None` for a broadcast.
+        to: Option<u32>,
         /// On-air payload size.
         bytes: u64,
+        /// Why the frame never arrived.
+        reason: DropReason,
     },
     /// A query origin submitted a perception task to the orchestrator.
     TaskSubmit {
@@ -207,8 +239,27 @@ impl fmt::Display for EventKind {
             EventKind::FrameRx { from, to, bytes } => {
                 write!(f, "wire: node#{from} -> node#{to} ({bytes} B)")
             }
-            EventKind::FrameDrop { from, to, bytes } => {
-                write!(f, "wire: node#{from} -> node#{to} dropped ({bytes} B)")
+            EventKind::FrameDrop {
+                from,
+                to: Some(to),
+                bytes,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "wire: node#{from} -> node#{to} dropped ({bytes} B, {reason})"
+                )
+            }
+            EventKind::FrameDrop {
+                from,
+                to: None,
+                bytes,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "wire: node#{from} broadcast dropped ({bytes} B, {reason})"
+                )
             }
             EventKind::TaskSubmit { task, ego } => {
                 write!(f, "task: #{task} submitted by ego#{ego}")
@@ -275,8 +326,9 @@ mod tests {
         assert_eq!(
             EventKind::FrameDrop {
                 from: 1,
-                to: 2,
-                bytes: 3
+                to: Some(2),
+                bytes: 3,
+                reason: DropReason::QueueCap
             }
             .category(),
             EventCategory::Frame

@@ -34,18 +34,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod critical_path;
 pub mod event;
 pub mod export;
 pub mod log;
 pub mod metrics;
 pub mod profile;
 pub mod query;
+pub mod span;
 
-pub use event::{Event, EventCategory, EventKind};
+pub use critical_path::{extract, QueryTracer, Stage, StageBudget};
+pub use event::{DropReason, Event, EventCategory, EventKind};
 pub use log::{EventLog, Recorded};
 pub use metrics::{FixedHistogram, Registry, Scope};
 pub use profile::{Phase, PhaseProfiler};
 pub use query::TraceQuery;
+pub use span::{validate_spans, Span, SpanId, SpanKind, SpanLog, SpanStatus};
 
 use airdnd_sim::SimTime;
 
@@ -58,6 +62,10 @@ pub struct TelemetryOptions {
     /// Attribute wall-clock to engine phases (see [`PhaseProfiler`]).
     /// Wall-clock only; never part of a deterministic artifact.
     pub profile: bool,
+    /// Record per-query causal span trees (see [`SpanLog`]). Like the
+    /// event log, span recording never perturbs the run — reports are
+    /// byte-identical with spans on or off.
+    pub spans: bool,
 }
 
 impl TelemetryOptions {
@@ -71,16 +79,31 @@ impl TelemetryOptions {
         TelemetryOptions {
             events: Some(capacity),
             profile: false,
+            spans: false,
+        }
+    }
+
+    /// The same options with span recording switched on.
+    pub fn with_spans(self) -> Self {
+        TelemetryOptions {
+            spans: true,
+            ..self
         }
     }
 
     /// Reads the `AIRDND_TELEMETRY` environment variable: unset means
     /// disabled, a number is a per-category ring capacity, any other
-    /// non-empty value enables the default capacity. CI uses this to
-    /// prove non-perturbation by diffing artifacts produced with the
-    /// variable set against artifacts produced without it.
+    /// non-empty value enables the default capacity. The companion
+    /// `AIRDND_TELEMETRY_SPANS` variable (any non-empty value other than
+    /// `0`) additionally turns on span recording. CI uses these to prove
+    /// non-perturbation by diffing artifacts produced with the variables
+    /// set against artifacts produced without them.
     pub fn from_env() -> Self {
-        match std::env::var("AIRDND_TELEMETRY") {
+        let spans = match std::env::var("AIRDND_TELEMETRY_SPANS") {
+            Err(_) => false,
+            Ok(value) => !(value.is_empty() || value == "0"),
+        };
+        let base = match std::env::var("AIRDND_TELEMETRY") {
             Err(_) => TelemetryOptions::default(),
             Ok(value) if value.is_empty() || value == "0" => TelemetryOptions::default(),
             Ok(value) => TelemetryOptions {
@@ -90,8 +113,10 @@ impl TelemetryOptions {
                         .unwrap_or(Self::DEFAULT_EVENT_CAPACITY),
                 ),
                 profile: false,
+                spans: false,
             },
-        }
+        };
+        TelemetryOptions { spans, ..base }
     }
 }
 
@@ -109,6 +134,8 @@ pub struct RunTelemetry {
     pub metrics: Registry,
     /// Wall-clock phase attribution, recorded when enabled.
     pub phases: PhaseProfiler,
+    /// Per-query causal span trees, recorded when enabled.
+    pub spans: SpanLog,
 }
 
 impl RunTelemetry {
@@ -118,6 +145,7 @@ impl RunTelemetry {
             events: EventLog::disabled(),
             metrics: Registry::new(),
             phases: PhaseProfiler::disabled(),
+            spans: SpanLog::disabled(),
         }
     }
 
@@ -133,6 +161,11 @@ impl RunTelemetry {
                 PhaseProfiler::enabled()
             } else {
                 PhaseProfiler::disabled()
+            },
+            spans: if opts.spans {
+                SpanLog::enabled()
+            } else {
+                SpanLog::disabled()
             },
         }
     }

@@ -3,7 +3,7 @@
 
 use airdnd_sim::SimTime;
 use airdnd_telemetry::export::{parse_jsonl, to_jsonl, validate_jsonl};
-use airdnd_telemetry::{EventKind, EventLog};
+use airdnd_telemetry::{DropReason, EventKind, EventLog};
 use proptest::prelude::*;
 
 /// A strategy covering every `EventKind` variant with arbitrary payloads.
@@ -20,8 +20,23 @@ fn any_kind() -> impl Strategy<Value = EventKind> {
         ),
         (any::<u32>(), any::<u32>(), any::<u64>())
             .prop_map(|(from, to, bytes)| EventKind::FrameRx { from, to, bytes }),
-        (any::<u32>(), any::<u32>(), any::<u64>())
-            .prop_map(|(from, to, bytes)| EventKind::FrameDrop { from, to, bytes }),
+        (
+            (any::<u32>(), any::<bool>(), any::<u32>()),
+            any::<u64>(),
+            prop_oneof![
+                Just(DropReason::Channel),
+                Just(DropReason::QueueCap),
+                Just(DropReason::Unreachable),
+            ]
+        )
+            .prop_map(
+                |((from, unicast, to), bytes, reason)| EventKind::FrameDrop {
+                    from,
+                    to: unicast.then_some(to),
+                    bytes,
+                    reason,
+                }
+            ),
         (any::<u64>(), any::<u32>()).prop_map(|(task, ego)| EventKind::TaskSubmit { task, ego }),
         (any::<u64>(), any::<u32>())
             .prop_map(|(task, executor)| EventKind::TaskOffload { task, executor }),
