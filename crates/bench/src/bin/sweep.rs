@@ -16,12 +16,24 @@
 //! ```
 //!
 //! `drive` spawns `--shards` subprocesses of this same binary (at most
-//! `--jobs` at a time), each running `--shard i/n`, retries failures up to
-//! `--retries` times, tracks status in `<out>/drive-state.json`, and
-//! merges on completion. Shard artifacts are written atomically and
-//! stamped with a manifest fingerprint, so re-running `drive` *resumes*:
-//! fingerprint-valid completed shards are skipped, torn or stale ones are
-//! discarded and re-run.
+//! `--jobs` at a time per host), each running `--shard i/n`, retries
+//! failures up to `--retries` times, tracks status and host assignments
+//! in `<out>/drive-state.json`, and merges on completion. Shard artifacts
+//! are written atomically and stamped with a manifest fingerprint, so
+//! re-running `drive` *resumes*: fingerprint-valid completed shards are
+//! skipped, torn or stale ones are discarded and re-run.
+//!
+//! `drive --hosts H` (H ≥ 2) runs the same drive on a simulated
+//! multi-host transport (`SimHostTransport`): shard jobs execute
+//! in-process on a deterministic virtual-time host pool, write artifacts
+//! into per-host staging directories, and only reach `--out` via an
+//! explicit artifact fetch. Host faults are injectable —
+//! `--inject-lost-host H` kills a host mid-run, `--inject-partition I:J`
+//! cuts hosts I and J off from the coordinator right as the first
+//! artifact fetch would happen (healing later), `--inject-spawn-death H`
+//! kills a host between validate and spawn — and the drive recovers by
+//! fencing and reassigning shards to surviving hosts, still producing
+//! byte-identical merged output.
 //!
 //! Determinism contract: stdout (the rendered tables) and the JSON/CSV
 //! artifacts are **byte-identical for any `--threads` value, any
@@ -42,12 +54,12 @@
 
 use airdnd_bench::workloads;
 use airdnd_harness::{
-    drive, parse_shard, render_shard, shard_artifact_name, shard_bounds, write_atomic,
-    write_report, AnyWorkload, DriveOptions, Progress, Shard, ShardArtifact,
+    drive, drive_with, parse_shard, render_shard, shard_artifact_name, shard_bounds, write_atomic,
+    write_report, AnyWorkload, CommandSpec, DriveOptions, DriveTuning, Progress, Shard,
+    ShardArtifact, SimFaults, SimHostTransport, SimJob, SpawnCtx, Validation,
 };
 use std::io::Write as _;
 use std::path::PathBuf;
-use std::process::{Command, Stdio};
 use std::time::Instant;
 
 struct Args {
@@ -61,10 +73,16 @@ struct Args {
     shards: usize,
     jobs: usize,
     retries: usize,
+    hosts: usize,
     inject_fail: Vec<(usize, usize)>,
     inject_torn: Vec<usize>,
+    inject_skip: Vec<usize>,
+    inject_lost_host: Vec<usize>,
+    inject_partition: Vec<(usize, usize)>,
+    inject_spawn_death: Vec<usize>,
     fail_after: Option<usize>,
     torn: bool,
+    skip_write: bool,
     trace: Option<usize>,
     trace_out: Option<PathBuf>,
     validate_trace: Option<PathBuf>,
@@ -89,12 +107,18 @@ fn parse_args() -> Args {
         shards: 2,
         jobs: 0,
         retries: 1,
+        hosts: 1,
         inject_fail: Vec::new(),
         inject_torn: Vec::new(),
+        inject_skip: Vec::new(),
+        inject_lost_host: Vec::new(),
+        inject_partition: Vec::new(),
+        inject_spawn_death: Vec::new(),
         fail_after: std::env::var("AIRDND_SWEEP_FAIL_AFTER")
             .ok()
             .and_then(|v| v.parse().ok()),
         torn: std::env::var("AIRDND_SWEEP_TORN").is_ok(),
+        skip_write: std::env::var("AIRDND_SWEEP_SKIP_WRITE").is_ok(),
         trace: None,
         trace_out: None,
         validate_trace: None,
@@ -140,6 +164,28 @@ fn parse_args() -> Args {
                 Some(index) => args.inject_torn.push(index),
                 None => usage_error("--inject-torn needs a shard index"),
             },
+            "--inject-skip" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(index) => args.inject_skip.push(index),
+                None => usage_error("--inject-skip needs a shard index"),
+            },
+            "--hosts" => args.hosts = numeric_value(&mut it, "--hosts"),
+            "--inject-lost-host" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(host) => args.inject_lost_host.push(host),
+                None => usage_error("--inject-lost-host needs a host index"),
+            },
+            "--inject-partition" => match it.next().and_then(|v| {
+                let (i, j) = v.split_once(':')?;
+                Some((i.parse().ok()?, j.parse().ok()?))
+            }) {
+                Some((i, j)) if i != j => args.inject_partition.push((i, j)),
+                Some(_) => usage_error("--inject-partition needs two distinct hosts"),
+                None => usage_error("--inject-partition needs an `I:J` host pair"),
+            },
+            "--inject-spawn-death" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(host) => args.inject_spawn_death.push(host),
+                None => usage_error("--inject-spawn-death needs a host index"),
+            },
+            "--skip-write" => args.skip_write = true,
             "--fail-after" => args.fail_after = Some(numeric_value(&mut it, "--fail-after")),
             "--trace" => args.trace = Some(numeric_value(&mut it, "--trace")),
             "--trace-out" => match it.next() {
@@ -202,6 +248,31 @@ fn parse_args() -> Args {
     if args.drive && args.shards == 0 {
         usage_error("drive needs --shards >= 1");
     }
+    if args.hosts == 0 {
+        usage_error("--hosts needs at least one host");
+    }
+    if args.hosts > 1 && !args.drive {
+        usage_error("--hosts only applies to `drive`");
+    }
+    let host_faults = !args.inject_lost_host.is_empty()
+        || !args.inject_partition.is_empty()
+        || !args.inject_spawn_death.is_empty();
+    if host_faults && args.hosts < 2 {
+        usage_error("host fault injection needs drive --hosts >= 2");
+    }
+    for host in args
+        .inject_lost_host
+        .iter()
+        .chain(args.inject_spawn_death.iter())
+        .chain(args.inject_partition.iter().flat_map(|(i, j)| [i, j]))
+    {
+        if *host >= args.hosts {
+            usage_error(&format!(
+                "host {host} out of range (have --hosts {})",
+                args.hosts
+            ));
+        }
+    }
     if args.explain && args.names.len() != 1 {
         usage_error("explain decomposes one workload's first run; name exactly one workload");
     }
@@ -247,8 +318,8 @@ fn usage() -> String {
         "usage: sweep [--threads N] [--quick] [--out DIR] [--bench] [--bench-engine]\n\
          \x20            [--shard I/N] [--merge DIR]... [--trace N]\n\
          \x20            [--trace-out FILE] [--validate-trace FILE] [names...]\n\
-         \x20      sweep drive --shards N [--jobs J] [--retries R] [--quick]\n\
-         \x20            [--out DIR] [names...]\n\
+         \x20      sweep drive --shards N [--jobs J] [--retries R] [--hosts H]\n\
+         \x20            [--quick] [--out DIR] [names...]\n\
          \x20      sweep explain WORKLOAD [--query K] [--quick]\n\
          \x20      sweep --bench-compare OLD.json NEW.json [--max-regress PCT]\n\
          names: {}\n\
@@ -271,11 +342,16 @@ fn usage() -> String {
          engine phases;\n\
          --shard runs one slice and writes a mergeable artifact to --out;\n\
          --merge (repeatable) reassembles artifacts byte-identically;\n\
-         drive spawns the shards as subprocesses (bounded by --jobs),\n\
-         retries failures, resumes completed shards, and merges — output\n\
-         byte-identical to a single-process run.\n\
-         Fault injection (tests): --fail-after K, --torn,\n\
-         drive --inject-fail I:K, drive --inject-torn I",
+         drive spawns the shards as subprocesses (bounded by --jobs per\n\
+         host), retries failures, resumes completed shards, and merges —\n\
+         output byte-identical to a single-process run;\n\
+         drive --hosts H (H >= 2) runs the shards on a simulated\n\
+         multi-host transport with per-host staging, lost-host detection\n\
+         and shard reassignment — still byte-identical.\n\
+         Fault injection (tests): --fail-after K, --torn, --skip-write,\n\
+         drive --inject-fail I:K, --inject-torn I, --inject-skip I;\n\
+         host faults (need --hosts >= 2): --inject-lost-host H,\n\
+         --inject-partition I:J, --inject-spawn-death H",
         workloads::names().join(", ")
     )
 }
@@ -811,6 +887,12 @@ fn run_shards(args: &Args, shard: Shard) {
         });
         runs_before += artifact.results.len();
         eprintln!();
+        if args.skip_write {
+            // The lying-exit fault: claim success while delivering nothing.
+            // The driver must trust the validator, not this exit code.
+            eprintln!("injected skip: exiting 0 without writing artifacts");
+            std::process::exit(0);
+        }
         let path = args.out.join(shard_artifact_name(workload.name(), shard));
         let text = render_shard(&artifact);
         if args.torn {
@@ -957,76 +1039,92 @@ fn run_drive(args: &Args) {
     // clean — a torn (truncated) artifact is indistinguishable from a
     // missing one by design.
     let out = args.out.clone();
-    let validate = move |shard: Shard| -> Result<(), String> {
+    let validate = move |shard: Shard| -> Validation {
         for (name, fingerprint, total_runs) in &expectations {
             let path = out.join(shard_artifact_name(name, shard));
-            let text = std::fs::read_to_string(&path)
-                .map_err(|_| format!("artifact {} missing", path.display()))?;
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                return Validation::Missing(format!("artifact {} missing", path.display()));
+            };
             let discard = |reason: String| {
                 let _ = std::fs::remove_file(&path);
-                reason
+                Validation::Invalid(reason)
             };
-            let artifact = parse_shard(&text)
-                .map_err(|e| discard(format!("torn artifact {}: {e}", path.display())))?;
+            let artifact = match parse_shard(&text) {
+                Ok(artifact) => artifact,
+                Err(e) => return discard(format!("torn artifact {}: {e}", path.display())),
+            };
             if artifact.workload != *name
                 || artifact.shard_index != shard.index
                 || artifact.shard_count != shard.count
                 || artifact.total_runs != *total_runs
                 || artifact.fingerprint != *fingerprint
             {
-                return Err(discard(format!(
+                return discard(format!(
                     "stale artifact {} (grid or split changed)",
                     path.display()
-                )));
+                ));
             }
             let expected: Vec<usize> = shard_bounds(*total_runs, shard).collect();
             let got: Vec<usize> = artifact.results.iter().map(|r| r.run_index).collect();
             if got != expected {
-                return Err(discard(format!(
+                return discard(format!(
                     "incomplete artifact {} ({} of {} runs)",
                     path.display(),
                     got.len(),
                     expected.len()
-                )));
+                ));
             }
         }
-        Ok(())
+        Validation::Valid
     };
 
-    // The child-process protocol: re-invoke this binary in `--shard i/n`
-    // mode with the same grids pinned (explicit workload names, quick flag,
-    // thread count). Children keep stdout silent; stderr goes to a
-    // per-attempt log under drive-logs/.
+    // The child protocol: re-invoke this binary in `--shard i/n` mode with
+    // the same grids pinned (explicit workload names, quick flag, thread
+    // count). Children keep stdout silent; stderr goes to a per-attempt
+    // log under drive-logs/. On a staging transport the child's --out is
+    // its host's staging directory — artifacts only reach the real out
+    // dir via a successful fetch.
     let exe = std::env::current_exe().expect("can locate the sweep binary");
     let names: Vec<String> = workloads.iter().map(|w| w.name().to_owned()).collect();
-    let command = |shard: Shard, attempt: usize| -> Command {
-        let mut cmd = Command::new(&exe);
+    let command = |ctx: &SpawnCtx<'_>| -> CommandSpec {
+        let shard = ctx.shard;
+        let child_out = ctx
+            .staging
+            .map_or_else(|| args.out.clone(), std::path::Path::to_path_buf);
+        let mut spec = CommandSpec::new(exe.to_string_lossy());
         if args.quick {
-            cmd.arg("--quick");
+            spec = spec.arg("--quick");
         }
-        cmd.arg("--shard").arg(shard.to_string());
-        cmd.arg("--out").arg(&args.out);
-        // Process-level parallelism is the drive's own: each child gets one
-        // worker thread unless the caller asked for more.
-        cmd.arg("--threads")
+        spec = spec
+            .arg("--shard")
+            .arg(shard.to_string())
+            .arg("--out")
+            .arg(child_out.to_string_lossy())
+            // Process-level parallelism is the drive's own: each child
+            // gets one worker thread unless the caller asked for more.
+            .arg("--threads")
             .arg(args.threads.max(1).to_string())
-            .args(&names);
-        if attempt == 0 {
+            .args(names.iter().cloned());
+        if ctx.attempt == 0 {
             // First-attempt-only fault injection, so retries recover.
             if let Some(&(_, k)) = args.inject_fail.iter().find(|(i, _)| *i == shard.index) {
-                cmd.arg("--fail-after").arg(k.to_string());
+                spec = spec.arg("--fail-after").arg(k.to_string());
             }
             if args.inject_torn.contains(&shard.index) {
-                cmd.arg("--torn");
+                spec = spec.arg("--torn");
+            }
+            if args.inject_skip.contains(&shard.index) {
+                spec = spec.arg("--skip-write");
             }
         }
-        let log = std::fs::File::create(logs_dir.join(format!(
-            "shard{}of{}.attempt{attempt}.log",
-            shard.index, shard.count
-        )))
-        .expect("can create a shard log file");
-        cmd.stdout(Stdio::null()).stderr(log);
-        cmd
+        spec.stderr_log(
+            logs_dir
+                .join(format!(
+                    "shard{}of{}.attempt{}.log",
+                    shard.index, shard.count, ctx.attempt
+                ))
+                .to_string_lossy(),
+        )
     };
 
     let opts = DriveOptions {
@@ -1037,8 +1135,64 @@ fn run_drive(args: &Args) {
         workloads: names.clone(),
         fingerprints,
         quick: args.quick,
+        tuning: DriveTuning::default(),
     };
-    match drive(&opts, command, validate, |msg| eprintln!("[drive] {msg}")) {
+    let log = |msg: &str| eprintln!("[drive] {msg}");
+    let result = if args.hosts > 1 {
+        // Simulated multi-host mode: shard jobs execute in-process on a
+        // deterministic virtual-time host pool, write artifacts into
+        // per-host staging, and only reach --out via a successful fetch.
+        // Host faults come from the --inject-lost-host / --inject-partition
+        // / --inject-spawn-death schedule; shard-level faults
+        // (--inject-fail / --inject-torn / --inject-skip) apply to the
+        // first attempt exactly as on the local path.
+        let faults = SimFaults {
+            lost_hosts: args.inject_lost_host.clone(),
+            dead_at_spawn: args.inject_spawn_death.clone(),
+            partitions: args.inject_partition.clone(),
+            ..SimFaults::default()
+        };
+        let staging_root = args.out.join("drive-staging");
+        let _ = std::fs::remove_dir_all(&staging_root);
+        let runner = |job: SimJob<'_>| -> bool {
+            if job.attempt == 0 {
+                if args.inject_fail.iter().any(|(i, _)| *i == job.shard.index) {
+                    return false; // the crash: nonzero exit, nothing written
+                }
+                if args.inject_skip.contains(&job.shard.index) {
+                    return true; // the lying exit: zero exit, nothing written
+                }
+            }
+            for workload in &workloads {
+                let artifact =
+                    workload.execute_shard(args.quick, args.threads.max(1), job.shard, &mut |_| {});
+                let path = job
+                    .staging
+                    .join(shard_artifact_name(workload.name(), job.shard));
+                let text = render_shard(&artifact);
+                if job.attempt == 0 && args.inject_torn.contains(&job.shard.index) {
+                    let _ = std::fs::write(&path, &text.as_bytes()[..text.len() / 2]);
+                    return false; // died mid-write: torn artifact left behind
+                }
+                if write_atomic(&path, &text).is_err() {
+                    return false;
+                }
+            }
+            true
+        };
+        let mut sim = SimHostTransport::new(
+            args.hosts,
+            shard_count,
+            args.out.clone(),
+            staging_root,
+            faults,
+            runner,
+        );
+        drive_with(&mut sim, &opts, command, validate, log)
+    } else {
+        drive(&opts, command, validate, log)
+    };
+    match result {
         Ok(report) => {
             eprintln!(
                 "[drive] all {} shards done ({} resumed, {} subprocess launches)",

@@ -1,0 +1,350 @@
+//! End-to-end tests of `sweep drive --hosts N`: the multi-host transport
+//! under injected host faults — a host lost mid-shard, a network
+//! partition cutting the coordinator off right at artifact-fetch time, a
+//! host dying between validate and spawn — must recover by fencing and
+//! reassigning shards to surviving hosts, and the merged report must stay
+//! **byte-identical** to the single-process `--threads 1` run. Also pins
+//! the unified "artifact absent = artifact invalid" validator outcome
+//! (a zero-exit shard that wrote nothing is a failure, not Done) and
+//! resume-after-a-killed-drive over the recorded host assignments.
+
+use airdnd_harness::{DriveState, ShardStatus};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn sweep() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sweep"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "airdnd-drive-transport-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("can create temp dir");
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let output = cmd.output().expect("sweep binary runs");
+    assert!(
+        output.status.success(),
+        "sweep failed: {}\nstderr:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output
+}
+
+/// Single-process reference run: `--threads 1` into `dir`, returns stdout.
+fn single_process(dir: &Path, names: &[&str]) -> Vec<u8> {
+    let mut cmd = sweep();
+    cmd.args(["--quick", "--threads", "1", "--out"])
+        .arg(dir)
+        .args(names);
+    run_ok(&mut cmd).stdout
+}
+
+fn drive_cmd(dir: &Path, shards: usize, hosts: usize, names: &[&str]) -> Command {
+    let mut cmd = sweep();
+    cmd.arg("drive")
+        .args([
+            "--shards",
+            &shards.to_string(),
+            "--hosts",
+            &hosts.to_string(),
+            "--jobs",
+            "2",
+            "--quick",
+            "--out",
+        ])
+        .arg(dir)
+        .args(names);
+    cmd
+}
+
+fn read(dir: &Path, file: &str) -> String {
+    std::fs::read_to_string(dir.join(file))
+        .unwrap_or_else(|e| panic!("cannot read {file} in {}: {e}", dir.display()))
+}
+
+fn state(dir: &Path) -> DriveState {
+    DriveState::parse(&read(dir, "drive-state.json")).expect("drive state parses")
+}
+
+fn assert_reports_match(un: &Path, drv: &Path, names: &[&str]) {
+    for name in names {
+        assert_eq!(
+            read(un, &format!("{name}.json")),
+            read(drv, &format!("{name}.json")),
+            "{name}.json must be byte-identical"
+        );
+        assert_eq!(
+            read(un, &format!("{name}.csv")),
+            read(drv, &format!("{name}.csv")),
+            "{name}.csv must be byte-identical"
+        );
+    }
+}
+
+/// A host dying mid-shard: its shard is fenced and reassigned to a
+/// surviving host, the host is recorded lost, and the merge is
+/// byte-identical to the single-process run.
+#[test]
+fn lost_host_mid_shard_reassigns_and_merges_identically() {
+    let names = &["t6"];
+    let un = temp_dir("lost-un");
+    let drv = temp_dir("lost-drv");
+    let expected_stdout = single_process(&un, names);
+
+    let out = run_ok(drive_cmd(&drv, 3, 3, names).args(["--inject-lost-host", "1"]));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&expected_stdout),
+        "faulted multi-host stdout must match the single-process run"
+    );
+    assert_reports_match(&un, &drv, names);
+
+    let st = state(&drv);
+    assert_eq!(st.hosts.len(), 3);
+    assert!(st.hosts[1].lost, "host 1 must be recorded lost");
+    assert!(!st.hosts[0].lost);
+    assert!(st
+        .shards
+        .iter()
+        .all(|s| matches!(s.status, ShardStatus::Done { .. })));
+    // The shard stranded on host 1 was reassigned: its assignment history
+    // starts on host 1 and ends on a survivor.
+    let stranded: Vec<_> = st
+        .shards
+        .iter()
+        .filter(|s| s.assignments.first() == Some(&1))
+        .collect();
+    assert!(
+        !stranded.is_empty(),
+        "some shard must have started on host 1"
+    );
+    for shard in &stranded {
+        assert_ne!(
+            shard.assignments.last(),
+            Some(&1),
+            "shard {} must have finished on a surviving host ({:?})",
+            shard.index,
+            shard.assignments
+        );
+    }
+    assert!(
+        st.events.iter().any(|e| e == "host 1 lost"),
+        "the host loss must be in the event history: {:?}",
+        st.events
+    );
+    let _ = std::fs::remove_dir_all(&un);
+    let _ = std::fs::remove_dir_all(&drv);
+}
+
+/// A partition isolating two hosts from the coordinator exactly when the
+/// first artifact fetch would happen: executions on both hosts are fenced
+/// after the heartbeat deadline, reassigned, the partition heals, and the
+/// merge is still byte-identical.
+#[test]
+fn partition_during_artifact_fetch_recovers_byte_identically() {
+    let names = &["t6"];
+    let un = temp_dir("part-un");
+    let drv = temp_dir("part-drv");
+    let expected_stdout = single_process(&un, names);
+
+    let out = run_ok(drive_cmd(&drv, 3, 3, names).args(["--inject-partition", "0:2"]));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&expected_stdout)
+    );
+    assert_reports_match(&un, &drv, names);
+
+    let st = state(&drv);
+    // A partition is not a death: both hosts must end the drive alive.
+    assert!(st.hosts.iter().all(|h| !h.lost));
+    assert!(
+        st.events.iter().any(|e| e.contains("unreachable")),
+        "the partition must be in the event history: {:?}",
+        st.events
+    );
+    assert!(
+        st.events.iter().any(|e| e.contains("reassigned")),
+        "the deadline must have forced a reassignment: {:?}",
+        st.events
+    );
+    let _ = std::fs::remove_dir_all(&un);
+    let _ = std::fs::remove_dir_all(&drv);
+}
+
+/// A host dead *between validate and spawn*: the spawn is refused, the
+/// host is marked lost without consuming the shard's retry budget, and
+/// the shard runs elsewhere.
+#[test]
+fn host_death_between_validate_and_spawn_reroutes_the_shard() {
+    let names = &["t6"];
+    let un = temp_dir("spawn-death-un");
+    let drv = temp_dir("spawn-death-drv");
+    let expected_stdout = single_process(&un, names);
+
+    // --retries 0: only host-fault handling (which has its own budget)
+    // can save the shard that hits the dead host.
+    let out =
+        run_ok(drive_cmd(&drv, 3, 3, names).args(["--retries", "0", "--inject-spawn-death", "2"]));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&expected_stdout)
+    );
+    assert_reports_match(&un, &drv, names);
+
+    let st = state(&drv);
+    assert!(st.hosts[2].lost, "host 2 must be recorded lost");
+    assert!(
+        st.shards.iter().all(|s| !s.assignments.contains(&2)),
+        "a refused spawn is not an assignment: {:?}",
+        st.shards.iter().map(|s| &s.assignments).collect::<Vec<_>>()
+    );
+    assert!(st
+        .shards
+        .iter()
+        .all(|s| matches!(s.status, ShardStatus::Done { .. })));
+    let _ = std::fs::remove_dir_all(&un);
+    let _ = std::fs::remove_dir_all(&drv);
+}
+
+/// The CI scenario: lost host *and* partition in one drive, two workloads
+/// (a scenario sweep and a market sweep) — all three hosts faulted in
+/// some way, still byte-identical.
+#[test]
+fn combined_lost_host_and_partition_still_merge_byte_identically() {
+    let names = &["f2", "t6"];
+    let un = temp_dir("combined-un");
+    let drv = temp_dir("combined-drv");
+    let expected_stdout = single_process(&un, names);
+
+    let out = run_ok(drive_cmd(&drv, 4, 3, names).args([
+        "--inject-lost-host",
+        "1",
+        "--inject-partition",
+        "0:2",
+    ]));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&expected_stdout)
+    );
+    assert_reports_match(&un, &drv, names);
+    let st = state(&drv);
+    assert!(st.hosts[1].lost);
+    assert!(!st.hosts[0].lost && !st.hosts[2].lost);
+    let _ = std::fs::remove_dir_all(&un);
+    let _ = std::fs::remove_dir_all(&drv);
+}
+
+/// Regression for the unified validator outcome: a shard child that exits
+/// 0 without writing any artifact (`--inject-skip`) must count as a
+/// failed attempt — retried when budget remains, never merged as Done.
+#[test]
+fn zero_exit_without_artifact_is_a_failure_not_done() {
+    let names = &["t6"];
+    let un = temp_dir("skip-un");
+    let drv = temp_dir("skip-drv");
+    let expected_stdout = single_process(&un, names);
+
+    // With a retry budget the drive recovers: attempt 1 lies, attempt 2
+    // delivers.
+    let out = run_ok(drive_cmd(&drv, 3, 1, names).args(["--retries", "1", "--inject-skip", "1"]));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&expected_stdout)
+    );
+    assert_reports_match(&un, &drv, names);
+    let st = state(&drv);
+    assert_eq!(
+        st.shards[1].status,
+        ShardStatus::Done { attempts: 2 },
+        "the lying first attempt must have been caught and retried"
+    );
+
+    // Without a retry budget the drive must FAIL — under the old
+    // conflated validator a zero exit with nothing on disk could slip
+    // through as Done.
+    let drv2 = temp_dir("skip-fail-drv");
+    let output = drive_cmd(&drv2, 3, 1, names)
+        .args(["--retries", "0", "--inject-skip", "1"])
+        .output()
+        .expect("sweep binary runs");
+    assert!(
+        !output.status.success(),
+        "a zero-exit shard with no artifact must fail the drive"
+    );
+    let st = state(&drv2);
+    assert!(
+        matches!(st.shards[1].status, ShardStatus::Failed { attempts: 1, .. }),
+        "{:?}",
+        st.shards[1].status
+    );
+    assert!(
+        !drv2.join("t6.json").exists(),
+        "no merged report may exist after a failed drive"
+    );
+    let _ = std::fs::remove_dir_all(&un);
+    let _ = std::fs::remove_dir_all(&drv);
+    let _ = std::fs::remove_dir_all(&drv2);
+}
+
+/// Killing a whole multi-host drive partway (a shard fails permanently →
+/// nonzero exit) leaves a state file with the host assignments; a clean
+/// re-drive picks it up, resumes every completed shard (attempts 0), and
+/// re-runs only the failed one — byte-identical in the end.
+#[test]
+fn killed_multi_host_drive_resumes_from_recorded_assignments() {
+    let names = &["t6"];
+    let un = temp_dir("kill-resume-un");
+    let drv = temp_dir("kill-resume-drv");
+    let expected_stdout = single_process(&un, names);
+
+    // First drive: shard 0's only attempt crashes, no retry budget — the
+    // drive dies with shard 0 Failed and the others Done.
+    let output = drive_cmd(&drv, 3, 3, names)
+        .args(["--retries", "0", "--inject-fail", "0:0"])
+        .output()
+        .expect("sweep binary runs");
+    assert!(!output.status.success(), "the first drive must fail");
+    let st = state(&drv);
+    assert!(matches!(st.shards[0].status, ShardStatus::Failed { .. }));
+    assert_eq!(st.hosts.len(), 3);
+    for shard in &st.shards {
+        assert!(
+            !shard.assignments.is_empty(),
+            "every shard's host assignments must be recorded for resume"
+        );
+    }
+    let done_before: Vec<usize> = st
+        .shards
+        .iter()
+        .filter(|s| matches!(s.status, ShardStatus::Done { .. }))
+        .map(|s| s.index)
+        .collect();
+    assert!(!done_before.is_empty(), "some shards must have completed");
+
+    // Clean re-drive over the same out dir: completed shards resume with
+    // zero launches, only the failed shard re-runs.
+    let out = run_ok(&mut drive_cmd(&drv, 3, 3, names));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&expected_stdout)
+    );
+    assert_reports_match(&un, &drv, names);
+    let st = state(&drv);
+    for index in done_before {
+        assert_eq!(
+            st.shards[index].status,
+            ShardStatus::Done { attempts: 0 },
+            "shard {index} was complete and must resume, not re-run"
+        );
+    }
+    assert_eq!(st.shards[0].status, ShardStatus::Done { attempts: 1 });
+    let _ = std::fs::remove_dir_all(&un);
+    let _ = std::fs::remove_dir_all(&drv);
+}

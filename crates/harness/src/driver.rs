@@ -1,5 +1,5 @@
-//! The distributed sweep driver: multi-process shard orchestration with
-//! bounded parallelism, retries, resume, and a deterministic state manifest.
+//! The distributed sweep driver: shard orchestration with bounded
+//! parallelism, retries, resume, and a deterministic state manifest.
 //!
 //! [`drive`] turns the "a human could distribute this" sharding story into
 //! one the harness executes itself. Given a shard count, it:
@@ -8,33 +8,46 @@
 //!    caller's validator checks existence, parseability, and the manifest
 //!    [fingerprint](crate::manifest::Manifest::fingerprint)); valid shards
 //!    are skipped, torn or stale ones are discarded and re-run.
-//! 2. **Spawns** — launches up to `jobs` shard subprocesses at a time (the
-//!    caller builds each [`Command`], typically re-invoking the current
-//!    executable with `--shard i/n`).
+//! 2. **Spawns** — launches up to `jobs` shard executions per host at a
+//!    time (the caller builds each [`CommandSpec`], typically re-invoking
+//!    the current executable with `--shard i/n`).
 //! 3. **Retries** — a shard whose process exits nonzero, dies mid-run, or
-//!    leaves an invalid artifact behind is re-queued up to `retries` times.
-//! 4. **Records** — per-shard status lands in a [`DriveState`] manifest
-//!    (`drive-state.json`), written atomically after every transition. The
-//!    final file is a pure function of what happened, never of wall-clock
-//!    or scheduling: no timestamps, shards always in index order.
+//!    leaves an absent/invalid artifact behind is re-queued up to
+//!    `retries` times, with deterministically seeded capped exponential
+//!    backoff; a shard stranded by a *host* failure is fenced and
+//!    reassigned to a surviving host without consuming the retry budget.
+//! 4. **Records** — per-shard status, host assignment history, and host
+//!    health events land in a [`DriveState`] manifest
+//!    (`drive-state.json`), written atomically after every transition.
+//!    The final file is a pure function of what happened, never of
+//!    wall-clock: no timestamps, shards always in index order.
 //!
 //! The driver is workload-agnostic: it never parses artifacts itself. The
 //! caller supplies the command builder and the validator, which is what
 //! lets `sweep drive` reuse it for every registered workload at once.
 //!
+//! Since the transport split, [`drive`] is a thin wrapper: it constructs a
+//! [`LocalTransport`] (one implicit
+//! host, `std::process::Command` execution, artifacts written in place)
+//! and delegates to [`drive_with`], the
+//! transport-generic scheduler. Multi-host callers build a different
+//! [`Transport`](crate::transport::Transport) and call `drive_with`
+//! directly.
+//!
 //! [`write_atomic`] is the shared tmp-file + rename primitive: a reader
 //! (or a resumed driver) can never observe a half-written artifact from a
 //! writer that died mid-`write` — it sees either the old file, no file, or
 //! the complete new one.
+//!
+//! [`CommandSpec`]: crate::transport::CommandSpec
 
 use crate::manifest::Shard;
+use crate::scheduler::{drive_with, SpawnCtx, Validation};
+use crate::transport::{CommandSpec, LocalTransport};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::process::{Child, Command};
-use std::time::Duration;
 
 /// Writes `bytes` to `path` atomically: the content lands in
 /// `<path>.tmp` first and is renamed into place only once fully written,
@@ -55,25 +68,28 @@ fn tmp_path(path: &Path) -> PathBuf {
 
 /// The lifecycle of one shard as the driver sees it.
 ///
-/// `attempts` counts subprocess launches: a shard resumed from a valid
+/// `attempts` counts executions launched: a shard resumed from a valid
 /// artifact finishes with `attempts: 0`, a clean first run with `1`, one
-/// retry with `2`, and so on.
+/// retry with `2`, and so on. Reassignments after host failures count as
+/// attempts in this tally (each is a launch) but do not consume the retry
+/// budget.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ShardStatus {
     /// Not yet started (only ever observed in mid-run state files).
     Pending,
-    /// A subprocess is currently running this shard.
+    /// An execution is currently running this shard.
     Running,
     /// The shard's artifacts are complete and valid.
     Done {
-        /// Subprocess launches this drive needed (0 = resumed).
+        /// Executions this drive launched for the shard (0 = resumed).
         attempts: usize,
     },
     /// The shard failed its final permitted attempt.
     Failed {
-        /// Subprocess launches consumed.
+        /// Executions consumed.
         attempts: usize,
-        /// Exit code of the last attempt (absent when killed by a signal).
+        /// Exit code of the last attempt (absent when killed by a signal
+        /// or lost with its host).
         exit_code: Option<i32>,
     },
 }
@@ -85,12 +101,28 @@ pub struct ShardEntry {
     pub index: usize,
     /// Current lifecycle state.
     pub status: ShardStatus,
+    /// Host index of every execution launched for this shard, in launch
+    /// order — the shard's assignment history. A reassigned shard shows
+    /// more than one entry; a resumed shard shows none.
+    pub assignments: Vec<usize>,
+}
+
+/// One host's row in the [`DriveState`] manifest.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HostEntry {
+    /// Zero-based host index.
+    pub index: usize,
+    /// Whether the drive declared this host permanently lost (died
+    /// mid-run, refused a spawn, or stayed unreachable past the
+    /// heartbeat deadline).
+    pub lost: bool,
 }
 
 /// The `drive-state.json` manifest: what a drive was asked to do and where
-/// every shard stands. Deterministic by construction — shards in index
-/// order, no timestamps, no host- or scheduling-dependent fields — so two
-/// identical drives leave byte-identical final state files.
+/// every shard stands. Deterministic by construction — shards and hosts in
+/// index order, events in occurrence order on virtual (round) time, no
+/// timestamps, no scheduling-dependent fields on the single-host path —
+/// so two identical drives leave byte-identical final state files.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DriveState {
     /// Total shards in the split.
@@ -102,8 +134,13 @@ pub struct DriveState {
     pub fingerprints: Vec<String>,
     /// Whether the drive ran the quick (CI-sized) grids.
     pub quick: bool,
+    /// One entry per host, in index order.
+    pub hosts: Vec<HostEntry>,
     /// One entry per shard, in index order.
     pub shards: Vec<ShardEntry>,
+    /// Host-health and reassignment history, in occurrence order. Empty
+    /// on a fault-free single-host drive.
+    pub events: Vec<String>,
 }
 
 impl DriveState {
@@ -120,14 +157,45 @@ impl DriveState {
     }
 }
 
+/// Scheduler knobs: deadlines and backoff, all in poll rounds (virtual
+/// time), never wall-clock. The defaults suit both the real
+/// [`LocalTransport`] (where a round is
+/// ~15 ms of sleep when idle) and the simulated multi-host transport
+/// (where a round is one deterministic step).
+#[derive(Clone, Debug)]
+pub struct DriveTuning {
+    /// Consecutive unreachable (or fetch-failing) rounds before an
+    /// execution's host is declared lost and the shard is reassigned.
+    pub heartbeat_deadline: usize,
+    /// Base of the capped exponential backoff schedule, in rounds.
+    pub backoff_base: usize,
+    /// Upper bound on any single backoff wait, in rounds.
+    pub backoff_cap: usize,
+    /// Seed for the deterministic backoff jitter
+    /// (see [`backoff_rounds`](crate::scheduler::backoff_rounds)).
+    pub seed: u64,
+}
+
+impl Default for DriveTuning {
+    fn default() -> Self {
+        DriveTuning {
+            heartbeat_deadline: 4,
+            backoff_base: 2,
+            backoff_cap: 16,
+            seed: 0xD21E_5EED,
+        }
+    }
+}
+
 /// What a drive was asked to do: the split, the parallelism bound, the
 /// retry budget, and where the state manifest lives.
 pub struct DriveOptions {
     /// Number of shards to split each sweep into.
     pub shard_count: usize,
-    /// Maximum shard subprocesses running at once.
+    /// Maximum shard executions running at once *per host*.
     pub jobs: usize,
     /// Re-launches permitted per shard after its first attempt fails.
+    /// Host failures (fence + reassign) do not count against this.
     pub retries: usize,
     /// Path of the `drive-state.json` manifest.
     pub state_path: PathBuf,
@@ -137,6 +205,8 @@ pub struct DriveOptions {
     pub fingerprints: Vec<String>,
     /// Quick vs full mode, recorded in the state manifest.
     pub quick: bool,
+    /// Scheduler deadlines and backoff.
+    pub tuning: DriveTuning,
 }
 
 /// How one shard reached `Done`.
@@ -144,7 +214,7 @@ pub struct DriveOptions {
 pub struct ShardReport {
     /// The shard.
     pub shard: Shard,
-    /// Subprocess launches used (0 = resumed from a valid artifact).
+    /// Executions launched (0 = resumed from a valid artifact).
     pub attempts: usize,
 }
 
@@ -161,14 +231,14 @@ impl DriveReport {
         self.shards.iter().filter(|s| s.attempts == 0).count()
     }
 
-    /// Total subprocess launches across all shards.
+    /// Total executions launched across all shards.
     pub fn launches(&self) -> usize {
         self.shards.iter().map(|s| s.attempts).sum()
     }
 }
 
-/// A drive that could not complete: some shard exhausted its retry budget
-/// (or a subprocess could not even be spawned).
+/// A drive that could not complete: some shard exhausted its retry budget,
+/// its host-failure budget, or ran out of live hosts.
 #[derive(Debug)]
 pub struct DriveError {
     /// `(shard index, reason)` for every permanently failed shard.
@@ -187,187 +257,37 @@ impl fmt::Display for DriveError {
 
 impl std::error::Error for DriveError {}
 
-/// Internal per-shard bookkeeping.
-struct Slot {
-    status: ShardStatus,
-    attempts: usize,
-    reason: Option<String>,
-}
-
-/// Orchestrates a multi-process sharded sweep; see the [module docs](self).
+/// Orchestrates a multi-process sharded sweep on the local machine; see
+/// the [module docs](self).
 ///
-/// * `command(shard, attempt)` builds the subprocess for one attempt of
-///   one shard (attempt numbering starts at 0, letting callers inject
-///   first-attempt-only faults for testing).
-/// * `validate(shard)` decides whether the shard's artifacts on disk are
-///   complete and current. It runs *before* any spawn (resume: `Ok` skips
-///   the shard) and *after* each attempt (a zero exit with a bad artifact
-///   is still a failure). On `Err` the validator is expected to have
-///   removed whatever invalid artifacts it found, so a re-run starts
-///   clean; the driver itself never touches artifact files.
+/// This is [`drive_with`] over a [`LocalTransport`]: one implicit host,
+/// subprocesses via `std::process::Command`, artifacts written straight
+/// into the output directory (fetch is a no-op). Behavior on this path is
+/// unchanged from the pre-transport driver: same retry semantics, same
+/// log lines, deterministic state file.
+///
+/// * `command(ctx)` builds the [`CommandSpec`] for one attempt of one
+///   shard (`ctx.attempt` starts at 0, letting callers inject
+///   first-attempt-only faults for testing; `ctx.staging` is `None` on
+///   this transport).
+/// * `validate(shard)` classifies the shard's artifacts on disk:
+///   [`Validation::Valid`] means complete and current, [`Missing`] means
+///   absent, [`Invalid`] means present but torn/stale/incomplete (the
+///   validator is expected to have removed them so a re-run starts
+///   clean). It runs *before* any spawn (resume: `Valid` skips the shard)
+///   and *after* each attempt — a zero exit with a missing **or** invalid
+///   artifact is the same failure; the driver itself never touches
+///   artifact files.
 /// * `log(message)` receives human-readable progress lines.
+///
+/// [`Missing`]: Validation::Missing
+/// [`Invalid`]: Validation::Invalid
 pub fn drive(
     opts: &DriveOptions,
-    mut command: impl FnMut(Shard, usize) -> Command,
-    mut validate: impl FnMut(Shard) -> Result<(), String>,
-    mut log: impl FnMut(&str),
+    command: impl FnMut(&SpawnCtx<'_>) -> CommandSpec,
+    validate: impl FnMut(Shard) -> Validation,
+    log: impl FnMut(&str),
 ) -> Result<DriveReport, DriveError> {
-    assert!(opts.shard_count > 0, "a drive needs at least one shard");
-    assert!(opts.jobs > 0, "a drive needs at least one job slot");
-    let count = opts.shard_count;
-
-    let mut slots: Vec<Slot> = (0..count)
-        .map(|_| Slot {
-            status: ShardStatus::Pending,
-            attempts: 0,
-            reason: None,
-        })
-        .collect();
-    let mut queue: VecDeque<usize> = VecDeque::new();
-
-    // Resume pass: skip every shard whose artifacts are already valid.
-    for (index, slot) in slots.iter_mut().enumerate() {
-        let shard = Shard::new(index, count);
-        match validate(shard) {
-            Ok(()) => {
-                slot.status = ShardStatus::Done { attempts: 0 };
-                log(&format!("shard {shard}: resumed (artifacts valid)"));
-            }
-            Err(reason) => {
-                log(&format!("shard {shard}: will run ({reason})"));
-                queue.push_back(index);
-            }
-        }
-    }
-    write_state(opts, &slots);
-
-    let mut running: Vec<(usize, Child)> = Vec::new();
-    while !queue.is_empty() || !running.is_empty() {
-        // Fill free job slots.
-        while running.len() < opts.jobs {
-            let Some(index) = queue.pop_front() else {
-                break;
-            };
-            let shard = Shard::new(index, count);
-            let attempt = slots[index].attempts;
-            match command(shard, attempt).spawn() {
-                Ok(child) => {
-                    slots[index].status = ShardStatus::Running;
-                    slots[index].attempts += 1;
-                    log(&format!("shard {shard}: attempt {} started", attempt + 1));
-                    running.push((index, child));
-                }
-                Err(e) => {
-                    // Spawn failure is environmental, not a flaky shard:
-                    // retrying the other shards can't fix a missing binary.
-                    slots[index].status = ShardStatus::Failed {
-                        attempts: slots[index].attempts,
-                        exit_code: None,
-                    };
-                    slots[index].reason = Some(format!("cannot spawn shard process: {e}"));
-                }
-            }
-            write_state(opts, &slots);
-        }
-        if running.is_empty() {
-            break;
-        }
-
-        // Reap any finished child; sleep briefly when none is done yet.
-        let mut reaped = false;
-        let mut still_running = Vec::with_capacity(running.len());
-        for (index, mut child) in running {
-            match child.try_wait() {
-                Ok(Some(exit)) => {
-                    reaped = true;
-                    let shard = Shard::new(index, count);
-                    let outcome = if exit.success() {
-                        validate(shard)
-                    } else {
-                        Err(format!("process exited with {exit}"))
-                    };
-                    match outcome {
-                        Ok(()) => {
-                            let attempts = slots[index].attempts;
-                            slots[index].status = ShardStatus::Done { attempts };
-                            log(&format!("shard {shard}: done (attempt {attempts})"));
-                        }
-                        Err(reason) if slots[index].attempts <= opts.retries => {
-                            log(&format!("shard {shard}: retrying — {reason}"));
-                            slots[index].status = ShardStatus::Pending;
-                            queue.push_back(index);
-                        }
-                        Err(reason) => {
-                            log(&format!("shard {shard}: giving up — {reason}"));
-                            slots[index].status = ShardStatus::Failed {
-                                attempts: slots[index].attempts,
-                                exit_code: exit.code(),
-                            };
-                            slots[index].reason = Some(reason);
-                        }
-                    }
-                    write_state(opts, &slots);
-                }
-                Ok(None) => still_running.push((index, child)),
-                Err(e) => {
-                    reaped = true;
-                    slots[index].status = ShardStatus::Failed {
-                        attempts: slots[index].attempts,
-                        exit_code: None,
-                    };
-                    slots[index].reason = Some(format!("cannot wait on shard process: {e}"));
-                    write_state(opts, &slots);
-                }
-            }
-        }
-        running = still_running;
-        if !reaped && !running.is_empty() {
-            std::thread::sleep(Duration::from_millis(15));
-        }
-    }
-
-    let failed: Vec<(usize, String)> = slots
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| matches!(s.status, ShardStatus::Failed { .. }))
-        .map(|(i, s)| {
-            let reason = s.reason.clone().unwrap_or_else(|| "unknown".to_owned());
-            (i, reason)
-        })
-        .collect();
-    if !failed.is_empty() {
-        return Err(DriveError { failed });
-    }
-    Ok(DriveReport {
-        shards: slots
-            .iter()
-            .enumerate()
-            .map(|(index, s)| ShardReport {
-                shard: Shard::new(index, count),
-                attempts: s.attempts,
-            })
-            .collect(),
-    })
-}
-
-/// Writes the current state manifest atomically.
-fn write_state(opts: &DriveOptions, slots: &[Slot]) {
-    let state = DriveState {
-        shard_count: opts.shard_count,
-        workloads: opts.workloads.clone(),
-        fingerprints: opts.fingerprints.clone(),
-        quick: opts.quick,
-        shards: slots
-            .iter()
-            .enumerate()
-            .map(|(index, s)| ShardEntry {
-                index,
-                status: s.status.clone(),
-            })
-            .collect(),
-    };
-    if let Some(dir) = opts.state_path.parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    write_atomic(&opts.state_path, state.render()).expect("can write drive state");
+    let mut transport = LocalTransport::new();
+    drive_with(&mut transport, opts, command, validate, log)
 }

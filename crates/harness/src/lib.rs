@@ -32,11 +32,20 @@
 //!    share one registry, and [`Shard`] slicing plus an ordered merge
 //!    ([`AnyWorkload::merge_shards`]) lets one sweep span processes or
 //!    hosts and still reassemble byte-identically.
-//! 6. [`driver`] — the distributed sweep driver: [`drive`] fans shard
-//!    subprocesses out under a `jobs` bound, validates artifacts against
-//!    the manifest [fingerprint](Manifest::fingerprint) (resume skips
-//!    valid completed shards; torn or stale ones are discarded and
-//!    re-run), retries failures, and records per-shard status in a
+//! 6. [`driver`] / [`scheduler`] / [`transport`] — the distributed sweep
+//!    driver. [`drive_with`] is the transport-generic scheduler: per-host
+//!    bounded job slots, heartbeat-based lost-host detection, seeded
+//!    capped-exponential backoff, fencing and shard reassignment — all on
+//!    virtual poll-round time, never wall-clock. [`Transport`] abstracts
+//!    the execution substrate: [`LocalTransport`] (subprocesses, the
+//!    historical [`drive`] path), [`SimHostTransport`] (an in-process
+//!    fault-injectable host pool for deterministic multi-host testing),
+//!    and [`SshTransport`] (the same protocol serialized over a
+//!    [`BytePipe`], so a real remote backend is a drop-in). Artifacts are
+//!    validated against the manifest [fingerprint](Manifest::fingerprint)
+//!    (resume skips valid completed shards; absent, torn, or stale ones
+//!    are discarded and re-run — one unified [`Validation`] outcome), and
+//!    per-shard status plus host assignment/health history land in a
 //!    deterministic `drive-state.json`. [`write_atomic`] (tmp + rename)
 //!    is what makes artifacts all-or-nothing on disk.
 //!
@@ -74,13 +83,15 @@ pub mod driver;
 pub mod exec;
 pub mod manifest;
 pub mod report;
+pub mod scheduler;
 pub mod spec;
+pub mod transport;
 pub mod workload;
 
 pub use agg::{summarize_cells, Aggregate, CellSummary, MetricSummary};
 pub use driver::{
-    drive, write_atomic, DriveError, DriveOptions, DriveReport, DriveState, ShardEntry,
-    ShardReport, ShardStatus,
+    drive, write_atomic, DriveError, DriveOptions, DriveReport, DriveState, DriveTuning, HostEntry,
+    ShardEntry, ShardReport, ShardStatus,
 };
 pub use exec::{
     run_shard_with_progress, run_sweep, run_sweep_with_progress, Progress, SweepOutcome,
@@ -90,7 +101,13 @@ pub use report::{
     fmt_ci, fmt_f, fmt_opt, render_csv, render_json, write_report, ExperimentResult, SweepReport,
     Table,
 };
+pub use scheduler::{backoff_rounds, drive_with, SpawnCtx, Validation};
 pub use spec::{SeedMode, SweepSpec};
+pub use transport::{
+    BytePipe, CommandSpec, ExecId, FetchRecord, HostHealth, LocalTransport, LoopbackPipe,
+    PollStatus, SimFaults, SimHostTransport, SimJob, SshTransport, Transport, WireRequest,
+    WireResponse,
+};
 pub use workload::{
     parse_shard, render_shard, shard_artifact_name, AnyWorkload, FnWorkload, MergeError,
     ShardArtifact, ShardResult, Workload, WorkloadOutput,

@@ -1,0 +1,671 @@
+//! The transport-generic drive scheduler: per-host job slots, heartbeat
+//! deadlines, deterministic backoff, fencing, and shard reassignment.
+//!
+//! [`drive_with`] is the loop [`drive`](crate::driver::drive) (and the
+//! multi-host `sweep drive`) runs on. Time is counted in *poll rounds* —
+//! one [`Transport::tick`] per loop iteration — never in wall-clock, so a
+//! drive over a deterministic transport (the in-process
+//! [`SimHostTransport`](crate::transport::SimHostTransport)) is a
+//! deterministic state machine end to end: same faults, same schedule,
+//! same final [`DriveState`], byte for byte.
+//!
+//! The failure taxonomy the scheduler enforces:
+//!
+//! * **Shard failures** (nonzero exit, or a zero exit whose artifacts
+//!   fail validation — absent and invalid are one outcome, see
+//!   [`Validation`]) consume the per-shard `--retries` budget, with a
+//!   [deterministically seeded](backoff_rounds) capped exponential
+//!   backoff between attempts.
+//! * **Host failures** (a dead host, a heartbeat past the deadline, a
+//!   fetch that cannot complete) are not the shard's fault: the
+//!   execution is **fenced** — the transport guarantees its artifacts
+//!   can never be delivered — and the shard is reassigned to a surviving
+//!   host without consuming the retry budget. A bounded host-failure
+//!   budget (`hosts × 4` reassignments per shard) prevents livelock when
+//!   every host keeps dying.
+//!
+//! Fencing *before* reassignment is what upholds the exactly-once
+//! contract: no shard ever has two live executions, so the merged output
+//! of a faulted multi-host drive is byte-identical to a single-process
+//! run.
+
+use crate::driver::{
+    write_atomic, DriveError, DriveOptions, DriveReport, DriveState, DriveTuning, HostEntry,
+    ShardEntry, ShardReport, ShardStatus,
+};
+use crate::manifest::{derive_seed, Shard};
+use crate::transport::{CommandSpec, HostHealth, PollStatus, Transport};
+use std::path::{Path, PathBuf};
+
+/// Everything a command builder needs to assemble one shard attempt.
+pub struct SpawnCtx<'a> {
+    /// The shard to run.
+    pub shard: Shard,
+    /// Zero-based attempt number (first-attempt-only fault hooks key off
+    /// this).
+    pub attempt: usize,
+    /// The host the attempt was scheduled onto.
+    pub host: usize,
+    /// The host's staging directory when the transport uses one — the
+    /// child must write its artifacts there; `None` means write straight
+    /// into the coordinator's output directory.
+    pub staging: Option<&'a Path>,
+}
+
+/// The unified validator outcome: a shard's artifacts are either valid,
+/// absent, or present-but-wrong. **Absent and invalid are the same
+/// failure** as far as the scheduler is concerned — both mean the attempt
+/// did not deliver its contract, whatever the exit code claimed — they
+/// differ only in the log line and in whether the validator had anything
+/// to delete.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Validation {
+    /// Artifacts are complete and current: the shard is done.
+    Valid,
+    /// Artifacts (or their directory) are missing entirely.
+    Missing(String),
+    /// Artifacts exist but are torn, stale, or incomplete; the validator
+    /// has removed them so a re-run starts clean.
+    Invalid(String),
+}
+
+impl Validation {
+    /// The failure reason, or `None` when valid.
+    pub fn reason(&self) -> Option<&str> {
+        match self {
+            Validation::Valid => None,
+            Validation::Missing(reason) | Validation::Invalid(reason) => Some(reason),
+        }
+    }
+}
+
+/// Rounds a shard waits before retry `failure + 1` (zero-based `failure`
+/// counts prior shard-fault failures): an exponential schedule
+/// `base·2^(failure−1)` capped at `cap`, plus a deterministic jitter
+/// derived from `(seed, shard_index, failure)` — a pure function, so two
+/// drives with the same seed produce identical backoff schedules, with no
+/// wall-clock anywhere. The first retry is immediate (matching the
+/// historical driver).
+pub fn backoff_rounds(
+    seed: u64,
+    shard_index: usize,
+    failure: usize,
+    tuning: &DriveTuning,
+) -> usize {
+    if failure == 0 {
+        return 0;
+    }
+    let base = tuning.backoff_base.max(1);
+    let exp = base
+        .saturating_mul(1usize << (failure - 1).min(16))
+        .min(tuning.backoff_cap);
+    let jitter = derive_seed(seed, ((shard_index as u64) << 32) | failure as u64) as usize % base;
+    (exp + jitter).min(tuning.backoff_cap)
+}
+
+struct RunningExec {
+    exec: crate::transport::ExecId,
+    host: usize,
+    /// Consecutive rounds the host has been unreachable.
+    unreachable: usize,
+    /// Consecutive rounds a completed execution's fetch has failed.
+    fetch_stalls: usize,
+    /// The process exited zero; we are trying to fetch its artifacts.
+    exited: bool,
+}
+
+struct Slot {
+    status: ShardStatus,
+    attempts: usize,
+    assignments: Vec<usize>,
+    reason: Option<String>,
+    run: Option<RunningExec>,
+    /// For pending shards: the earliest round a spawn may happen.
+    ready_round: usize,
+    /// Shard-fault failures so far (drives the backoff schedule).
+    failures: usize,
+    /// Host-fault reassignments so far (bounded separately).
+    host_failures: usize,
+}
+
+impl Slot {
+    fn pending(&self) -> bool {
+        self.status == ShardStatus::Pending && self.run.is_none()
+    }
+
+    fn settled(&self) -> bool {
+        matches!(
+            self.status,
+            ShardStatus::Done { .. } | ShardStatus::Failed { .. }
+        )
+    }
+}
+
+struct HostBook {
+    used: usize,
+    dead: bool,
+    /// Currently observed unreachable (logged once per episode).
+    suspect: bool,
+}
+
+/// What Phase A decided to do with one running execution.
+enum Action {
+    Nothing,
+    /// Host-fault: fence the exec, free the slot, reassign the shard.
+    HostFault {
+        reason: String,
+    },
+    /// Shard-fault: the attempt failed on its own merits.
+    AttemptFailed {
+        exit_code: Option<i32>,
+        reason: String,
+    },
+    /// The shard completed and validated.
+    Done,
+}
+
+/// Orchestrates a sharded sweep over any [`Transport`]; see the
+/// [module docs](self) for the scheduling and failure model.
+///
+/// * `command(ctx)` builds the [`CommandSpec`] for one attempt.
+/// * `validate(shard)` classifies the shard's artifacts *in the
+///   coordinator's output directory* (after fetch): it runs before any
+///   spawn (resume) and after every fetched attempt.
+/// * `log(message)` receives human-readable progress lines.
+pub fn drive_with(
+    transport: &mut dyn Transport,
+    opts: &DriveOptions,
+    mut command: impl FnMut(&SpawnCtx<'_>) -> CommandSpec,
+    mut validate: impl FnMut(Shard) -> Validation,
+    mut log: impl FnMut(&str),
+) -> Result<DriveReport, DriveError> {
+    assert!(opts.shard_count > 0, "a drive needs at least one shard");
+    assert!(opts.jobs > 0, "a drive needs at least one job slot");
+    let count = opts.shard_count;
+    let tuning = &opts.tuning;
+    let host_count = transport.host_count();
+    let max_host_failures = host_count * 4;
+
+    let mut slots: Vec<Slot> = (0..count)
+        .map(|_| Slot {
+            status: ShardStatus::Pending,
+            attempts: 0,
+            assignments: Vec::new(),
+            reason: None,
+            run: None,
+            ready_round: 0,
+            failures: 0,
+            host_failures: 0,
+        })
+        .collect();
+    let mut hosts: Vec<HostBook> = (0..host_count)
+        .map(|_| HostBook {
+            used: 0,
+            dead: false,
+            suspect: false,
+        })
+        .collect();
+    let mut events: Vec<String> = Vec::new();
+    let staging: Vec<Option<PathBuf>> = (0..host_count).map(|h| transport.staging_dir(h)).collect();
+
+    // Resume pass: skip every shard whose artifacts are already valid.
+    for (index, slot) in slots.iter_mut().enumerate() {
+        let shard = Shard::new(index, count);
+        match validate(shard) {
+            Validation::Valid => {
+                slot.status = ShardStatus::Done { attempts: 0 };
+                log(&format!("shard {shard}: resumed (artifacts valid)"));
+            }
+            Validation::Missing(reason) | Validation::Invalid(reason) => {
+                log(&format!("shard {shard}: will run ({reason})"));
+            }
+        }
+    }
+    write_state(opts, &hosts, &slots, &events);
+
+    let mut round = 0usize;
+    loop {
+        let mut dirty = false;
+        let mut progressed = false;
+
+        // --- Phase A: service running executions -------------------------
+        #[allow(clippy::needless_range_loop)] // &mut slots[index] + &mut hosts at once
+        for index in 0..count {
+            let (exec, host) = match &slots[index].run {
+                Some(r) => (r.exec, r.host),
+                None => continue,
+            };
+            let shard = Shard::new(index, count);
+            let action = match transport.health(host) {
+                HostHealth::Dead => {
+                    mark_host_dead(&mut hosts[host], host, "lost", &mut events, &mut log);
+                    Action::HostFault {
+                        reason: format!("host {host} died mid-run"),
+                    }
+                }
+                HostHealth::Unreachable => {
+                    if !hosts[host].suspect {
+                        hosts[host].suspect = true;
+                        events.push(format!("host {host} unreachable"));
+                        log(&format!("host {host}: unreachable"));
+                    }
+                    let run = slots[index].run.as_mut().expect("checked above");
+                    run.unreachable += 1;
+                    if run.unreachable > tuning.heartbeat_deadline {
+                        Action::HostFault {
+                            reason: format!(
+                                "host {host} unreachable past the {}-round deadline",
+                                tuning.heartbeat_deadline
+                            ),
+                        }
+                    } else {
+                        Action::Nothing
+                    }
+                }
+                HostHealth::Reachable => {
+                    if hosts[host].suspect {
+                        hosts[host].suspect = false;
+                        events.push(format!("host {host} reachable again"));
+                        log(&format!("host {host}: reachable again"));
+                    }
+                    slots[index]
+                        .run
+                        .as_mut()
+                        .expect("checked above")
+                        .unreachable = 0;
+                    let exited = slots[index].run.as_ref().expect("checked above").exited;
+                    let now_exited = if exited {
+                        true
+                    } else {
+                        match transport.poll(exec) {
+                            PollStatus::Running => false,
+                            PollStatus::Lost => {
+                                mark_host_dead(
+                                    &mut hosts[host],
+                                    host,
+                                    "lost",
+                                    &mut events,
+                                    &mut log,
+                                );
+                                slots[index].run = None; // freed below via action
+                                slots[index].run = Some(RunningExec {
+                                    exec,
+                                    host,
+                                    unreachable: 0,
+                                    fetch_stalls: 0,
+                                    exited: false,
+                                });
+                                // fall through to the host-fault action
+                                hosts[host].suspect = false;
+                                let reason = format!("execution lost with host {host}");
+                                apply_action(
+                                    transport,
+                                    &mut slots[index],
+                                    &mut hosts,
+                                    shard,
+                                    round,
+                                    opts,
+                                    max_host_failures,
+                                    Action::HostFault { reason },
+                                    &mut validate,
+                                    &mut events,
+                                    &mut log,
+                                );
+                                dirty = true;
+                                progressed = true;
+                                continue;
+                            }
+                            PollStatus::Exited {
+                                success: false,
+                                exit_code,
+                            } => {
+                                apply_action(
+                                    transport,
+                                    &mut slots[index],
+                                    &mut hosts,
+                                    shard,
+                                    round,
+                                    opts,
+                                    max_host_failures,
+                                    Action::AttemptFailed {
+                                        exit_code,
+                                        reason: format!(
+                                            "process exited with {}",
+                                            exit_code.map_or_else(
+                                                || "a signal".to_owned(),
+                                                |c| format!("code {c}")
+                                            )
+                                        ),
+                                    },
+                                    &mut validate,
+                                    &mut events,
+                                    &mut log,
+                                );
+                                dirty = true;
+                                progressed = true;
+                                continue;
+                            }
+                            PollStatus::Exited { success: true, .. } => {
+                                slots[index].run.as_mut().expect("checked above").exited = true;
+                                true
+                            }
+                        }
+                    };
+                    if now_exited {
+                        match transport.fetch_artifacts(exec) {
+                            Ok(()) => Action::Done,
+                            Err(reason) => {
+                                let run = slots[index].run.as_mut().expect("checked above");
+                                run.fetch_stalls += 1;
+                                if run.fetch_stalls > tuning.heartbeat_deadline {
+                                    Action::HostFault {
+                                        reason: format!("artifact fetch kept failing: {reason}"),
+                                    }
+                                } else {
+                                    Action::Nothing
+                                }
+                            }
+                        }
+                    } else {
+                        Action::Nothing
+                    }
+                }
+            };
+            if !matches!(action, Action::Nothing) {
+                apply_action(
+                    transport,
+                    &mut slots[index],
+                    &mut hosts,
+                    shard,
+                    round,
+                    opts,
+                    max_host_failures,
+                    action,
+                    &mut validate,
+                    &mut events,
+                    &mut log,
+                );
+                dirty = true;
+                progressed = true;
+            }
+        }
+
+        // --- Phase B: spawn ready pending shards --------------------------
+        #[allow(clippy::needless_range_loop)] // &mut slots[index] + &mut hosts at once
+        for index in 0..count {
+            if !slots[index].pending() || slots[index].ready_round > round {
+                continue;
+            }
+            let shard = Shard::new(index, count);
+            // Least-loaded live, reachable host; ties to the lowest index.
+            let target = (0..host_count)
+                .filter(|&h| !hosts[h].dead && hosts[h].used < opts.jobs)
+                .filter(|&h| transport.health(h) == HostHealth::Reachable)
+                .min_by_key(|&h| (hosts[h].used, h));
+            let Some(host) = target else {
+                continue; // all hosts busy, partitioned, or dead — wait
+            };
+            let attempt = slots[index].attempts;
+            let ctx = SpawnCtx {
+                shard,
+                attempt,
+                host,
+                staging: staging[host].as_deref(),
+            };
+            let spec = command(&ctx);
+            match transport.spawn(host, shard, &spec) {
+                Ok(exec) => {
+                    slots[index].attempts += 1;
+                    slots[index].assignments.push(host);
+                    slots[index].status = ShardStatus::Running;
+                    slots[index].run = Some(RunningExec {
+                        exec,
+                        host,
+                        unreachable: 0,
+                        fetch_stalls: 0,
+                        exited: false,
+                    });
+                    hosts[host].used += 1;
+                    if host_count > 1 {
+                        events.push(format!(
+                            "shard {index} -> host {host} (attempt {})",
+                            attempt + 1
+                        ));
+                    }
+                    log(&format!(
+                        "shard {shard}: attempt {} started on host {host}",
+                        attempt + 1
+                    ));
+                }
+                Err(reason) => {
+                    // A spawn refusal is a host failure: mark the host
+                    // dead and reassign, unless no host remains.
+                    mark_host_dead(
+                        &mut hosts[host],
+                        host,
+                        &format!("refused spawn: {reason}"),
+                        &mut events,
+                        &mut log,
+                    );
+                    requeue_host_failure(
+                        &mut slots[index],
+                        shard,
+                        round,
+                        max_host_failures,
+                        &format!("cannot spawn shard process: {reason}"),
+                        &mut events,
+                        &mut log,
+                    );
+                }
+            }
+            dirty = true;
+            progressed = true;
+        }
+
+        // --- Phase C: termination ----------------------------------------
+        if slots.iter().all(Slot::settled) {
+            write_state(opts, &hosts, &slots, &events);
+            break;
+        }
+        if hosts.iter().all(|h| h.dead) {
+            // Nothing can ever run again: fail every unsettled shard.
+            for (index, slot) in slots.iter_mut().enumerate() {
+                if !slot.settled() {
+                    if let Some(run) = slot.run.take() {
+                        transport.fence(run.exec);
+                    }
+                    slot.status = ShardStatus::Failed {
+                        attempts: slot.attempts,
+                        exit_code: None,
+                    };
+                    slot.reason
+                        .get_or_insert_with(|| "no live hosts remain".to_owned());
+                    log(&format!("shard {index}: giving up — no live hosts remain"));
+                }
+            }
+            write_state(opts, &hosts, &slots, &events);
+            break;
+        }
+        if dirty {
+            write_state(opts, &hosts, &slots, &events);
+        }
+
+        // --- Phase D: advance time ---------------------------------------
+        transport.tick(!progressed);
+        round += 1;
+    }
+
+    let failed: Vec<(usize, String)> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s.status, ShardStatus::Failed { .. }))
+        .map(|(i, s)| {
+            let reason = s.reason.clone().unwrap_or_else(|| "unknown".to_owned());
+            (i, reason)
+        })
+        .collect();
+    if !failed.is_empty() {
+        return Err(DriveError { failed });
+    }
+    Ok(DriveReport {
+        shards: slots
+            .iter()
+            .enumerate()
+            .map(|(index, s)| ShardReport {
+                shard: Shard::new(index, count),
+                attempts: s.attempts,
+            })
+            .collect(),
+    })
+}
+
+/// Records a host's permanent death (once) in events and the log.
+fn mark_host_dead(
+    host: &mut HostBook,
+    index: usize,
+    what: &str,
+    events: &mut Vec<String>,
+    log: &mut impl FnMut(&str),
+) {
+    if !host.dead {
+        host.dead = true;
+        events.push(format!("host {index} {what}"));
+        log(&format!("host {index}: {what}"));
+    }
+}
+
+/// Applies one Phase-A decision: frees the job slot, fences when the
+/// fault was the host's, and routes the shard to done / retry / failed.
+#[allow(clippy::too_many_arguments)]
+fn apply_action(
+    transport: &mut dyn Transport,
+    slot: &mut Slot,
+    hosts: &mut [HostBook],
+    shard: Shard,
+    round: usize,
+    opts: &DriveOptions,
+    max_host_failures: usize,
+    action: Action,
+    validate: &mut impl FnMut(Shard) -> Validation,
+    events: &mut Vec<String>,
+    log: &mut impl FnMut(&str),
+) {
+    let Some(run) = slot.run.take() else { return };
+    hosts[run.host].used = hosts[run.host].used.saturating_sub(1);
+    match action {
+        Action::Nothing => slot.run = Some(run),
+        Action::HostFault { reason } => {
+            transport.fence(run.exec);
+            requeue_host_failure(slot, shard, round, max_host_failures, &reason, events, log);
+        }
+        Action::AttemptFailed { exit_code, reason } => {
+            attempt_failed(slot, shard, round, opts, exit_code, reason, log);
+        }
+        Action::Done => match validate(shard) {
+            Validation::Valid => {
+                let attempts = slot.attempts;
+                slot.status = ShardStatus::Done { attempts };
+                log(&format!("shard {shard}: done (attempt {attempts})"));
+            }
+            // The zero-exit-but-no-artifact case: exit codes are claims,
+            // artifacts are facts — absent and invalid fail identically.
+            Validation::Missing(reason) | Validation::Invalid(reason) => {
+                attempt_failed(slot, shard, round, opts, None, reason, log);
+            }
+        },
+    }
+}
+
+/// A shard-fault failure: consume the retry budget or settle as `Failed`.
+fn attempt_failed(
+    slot: &mut Slot,
+    shard: Shard,
+    round: usize,
+    opts: &DriveOptions,
+    exit_code: Option<i32>,
+    reason: String,
+    log: &mut impl FnMut(&str),
+) {
+    if slot.attempts <= opts.retries {
+        slot.failures += 1;
+        let wait = backoff_rounds(
+            opts.tuning.seed,
+            shard.index,
+            slot.failures - 1,
+            &opts.tuning,
+        );
+        slot.ready_round = round + wait;
+        slot.status = ShardStatus::Pending;
+        log(&format!(
+            "shard {shard}: retrying after {wait} round(s) — {reason}"
+        ));
+    } else {
+        slot.status = ShardStatus::Failed {
+            attempts: slot.attempts,
+            exit_code,
+        };
+        slot.reason = Some(reason.clone());
+        log(&format!("shard {shard}: giving up — {reason}"));
+    }
+}
+
+/// A host-fault failure: reassign without consuming the retry budget,
+/// bounded by the host-failure budget.
+fn requeue_host_failure(
+    slot: &mut Slot,
+    shard: Shard,
+    round: usize,
+    max_host_failures: usize,
+    reason: &str,
+    events: &mut Vec<String>,
+    log: &mut impl FnMut(&str),
+) {
+    slot.host_failures += 1;
+    if slot.host_failures > max_host_failures {
+        slot.status = ShardStatus::Failed {
+            attempts: slot.attempts,
+            exit_code: None,
+        };
+        slot.reason = Some(format!("host-failure budget exhausted: {reason}"));
+        log(&format!(
+            "shard {shard}: giving up — host-failure budget exhausted ({reason})"
+        ));
+        return;
+    }
+    slot.status = ShardStatus::Pending;
+    slot.ready_round = round + 1;
+    events.push(format!("shard {} reassigned: {reason}", shard.index));
+    log(&format!("shard {shard}: reassigning — {reason}"));
+}
+
+/// Writes the current state manifest atomically.
+fn write_state(opts: &DriveOptions, hosts: &[HostBook], slots: &[Slot], events: &[String]) {
+    let state = DriveState {
+        shard_count: opts.shard_count,
+        workloads: opts.workloads.clone(),
+        fingerprints: opts.fingerprints.clone(),
+        quick: opts.quick,
+        hosts: hosts
+            .iter()
+            .enumerate()
+            .map(|(index, h)| HostEntry {
+                index,
+                lost: h.dead,
+            })
+            .collect(),
+        shards: slots
+            .iter()
+            .enumerate()
+            .map(|(index, s)| ShardEntry {
+                index,
+                status: s.status.clone(),
+                assignments: s.assignments.clone(),
+            })
+            .collect(),
+        events: events.to_vec(),
+    };
+    if let Some(dir) = opts.state_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    write_atomic(&opts.state_path, state.render()).expect("can write drive state");
+}

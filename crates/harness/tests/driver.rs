@@ -3,9 +3,11 @@
 //! "processes" (`sh -c` scripts) so the shard lifecycle is tested without
 //! dragging in a real workload.
 
-use airdnd_harness::{drive, write_atomic, DriveOptions, DriveState, Shard, ShardStatus};
+use airdnd_harness::{
+    drive, write_atomic, CommandSpec, DriveOptions, DriveState, DriveTuning, Shard, ShardStatus,
+    Validation,
+};
 use std::path::{Path, PathBuf};
-use std::process::{Command, Stdio};
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("airdnd-driver-{tag}-{}", std::process::id()));
@@ -23,26 +25,29 @@ fn opts(dir: &Path, count: usize, retries: usize) -> DriveOptions {
         workloads: vec!["stub".to_owned()],
         fingerprints: vec!["00000000deadbeef".to_owned()],
         quick: true,
+        tuning: DriveTuning::default(),
     }
 }
 
 /// A stub shard process: touches `shard<i>.ok` in `dir` and exits 0.
-fn touch_command(dir: &Path, shard: Shard) -> Command {
-    let mut cmd = Command::new("sh");
-    cmd.arg("-c")
+fn touch_command(dir: &Path, shard: Shard) -> CommandSpec {
+    CommandSpec::new("sh")
+        .arg("-c")
         .arg(format!("touch {}/shard{}.ok", dir.display(), shard.index))
-        .stdout(Stdio::null())
-        .stderr(Stdio::null());
-    cmd
 }
 
-fn marker_validate(dir: &Path) -> impl FnMut(Shard) -> Result<(), String> + '_ {
+/// A stub shard process that just exits with `code`.
+fn exit_command(code: i32) -> CommandSpec {
+    CommandSpec::new("sh").arg("-c").arg(format!("exit {code}"))
+}
+
+fn marker_validate(dir: &Path) -> impl FnMut(Shard) -> Validation + '_ {
     move |shard: Shard| {
         let path = dir.join(format!("shard{}.ok", shard.index));
         if path.exists() {
-            Ok(())
+            Validation::Valid
         } else {
-            Err(format!("marker {} missing", path.display()))
+            Validation::Missing(format!("marker {} missing", path.display()))
         }
     }
 }
@@ -52,7 +57,7 @@ fn drive_runs_every_shard_and_records_done() {
     let dir = temp_dir("basic");
     let report = drive(
         &opts(&dir, 3, 0),
-        |shard, _attempt| touch_command(&dir, shard),
+        |ctx| touch_command(&dir, ctx.shard),
         marker_validate(&dir),
         |_| {},
     )
@@ -72,6 +77,11 @@ fn drive_runs_every_shard_and_records_done() {
         .shards
         .iter()
         .all(|s| s.status == ShardStatus::Done { attempts: 1 }));
+    // One implicit local host, never lost; every launch assigned to it.
+    assert_eq!(state.hosts.len(), 1);
+    assert!(!state.hosts[0].lost);
+    assert!(state.shards.iter().all(|s| s.assignments == vec![0]));
+    assert!(state.events.is_empty(), "no events on a fault-free drive");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -82,9 +92,9 @@ fn drive_resumes_shards_whose_artifacts_are_already_valid() {
     std::fs::write(dir.join("shard1.ok"), b"").expect("can seed marker");
     let report = drive(
         &opts(&dir, 3, 0),
-        |shard, _attempt| {
-            assert_ne!(shard.index, 1, "completed shard must be skipped");
-            touch_command(&dir, shard)
+        |ctx| {
+            assert_ne!(ctx.shard.index, 1, "completed shard must be skipped");
+            touch_command(&dir, ctx.shard)
         },
         marker_validate(&dir),
         |_| {},
@@ -101,14 +111,12 @@ fn drive_retries_a_failing_shard_until_it_succeeds() {
     let dir = temp_dir("retry");
     let report = drive(
         &opts(&dir, 3, 2),
-        |shard, attempt| {
+        |ctx| {
             // Shard 2 dies on its first attempt, succeeds on the second.
-            if shard.index == 2 && attempt == 0 {
-                let mut cmd = Command::new("sh");
-                cmd.arg("-c").arg("exit 7").stdout(Stdio::null());
-                cmd
+            if ctx.shard.index == 2 && ctx.attempt == 0 {
+                exit_command(7)
             } else {
-                touch_command(&dir, shard)
+                touch_command(&dir, ctx.shard)
             }
         },
         marker_validate(&dir),
@@ -124,6 +132,7 @@ fn drive_retries_a_failing_shard_until_it_succeeds() {
     )
     .expect("state parses");
     assert_eq!(state.shards[2].status, ShardStatus::Done { attempts: 2 });
+    assert_eq!(state.shards[2].assignments, vec![0, 0]);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -132,13 +141,11 @@ fn drive_gives_up_after_the_retry_budget_and_reports_the_shard() {
     let dir = temp_dir("give-up");
     let err = drive(
         &opts(&dir, 2, 1),
-        |shard, _attempt| {
-            if shard.index == 0 {
-                let mut cmd = Command::new("sh");
-                cmd.arg("-c").arg("exit 9").stdout(Stdio::null());
-                cmd
+        |ctx| {
+            if ctx.shard.index == 0 {
+                exit_command(9)
             } else {
-                touch_command(&dir, shard)
+                touch_command(&dir, ctx.shard)
             }
         },
         marker_validate(&dir),
@@ -165,22 +172,36 @@ fn drive_gives_up_after_the_retry_budget_and_reports_the_shard() {
 }
 
 #[test]
-fn zero_exit_with_invalid_artifact_still_counts_as_failure() {
+fn zero_exit_with_missing_artifact_still_counts_as_failure() {
     let dir = temp_dir("lying-exit");
-    // Every process exits 0 but only writes its marker from attempt 1 on:
-    // the driver must trust the validator, not the exit code.
+    // Every process exits 0 but never writes its marker: the driver must
+    // trust the validator, not the exit code — an absent artifact fails
+    // exactly like an invalid one.
     let err = drive(
         &opts(&dir, 1, 0),
-        |_shard, _attempt| {
-            let mut cmd = Command::new("sh");
-            cmd.arg("-c").arg("exit 0").stdout(Stdio::null());
-            cmd
-        },
+        |_ctx| exit_command(0),
         marker_validate(&dir),
         |_| {},
     )
     .expect_err("no artifact, no success");
     assert_eq!(err.failed.len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn zero_exit_with_invalid_artifact_fails_identically_to_missing() {
+    let dir = temp_dir("invalid-artifact");
+    // The validator reports Invalid (artifact present but torn): the
+    // unified outcome means the shard fails exactly as if it were absent.
+    let err = drive(
+        &opts(&dir, 1, 0),
+        |_ctx| exit_command(0),
+        |_shard| Validation::Invalid("artifact torn".to_owned()),
+        |_| {},
+    )
+    .expect_err("invalid artifact, no success");
+    assert_eq!(err.failed.len(), 1);
+    assert!(err.failed[0].1.contains("artifact torn"));
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -211,7 +232,7 @@ fn drive_state_round_trips_and_is_deterministic() {
         }
         drive(
             &opts(&dir, 2, 0),
-            |shard, _| touch_command(&dir, shard),
+            |ctx| touch_command(&dir, ctx.shard),
             marker_validate(&dir),
             |_| {},
         )
